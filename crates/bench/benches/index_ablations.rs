@@ -1,0 +1,113 @@
+//! Criterion ablation benchmarks for the design choices DESIGN.md calls
+//! out: DSTree leaf capacity, iSAX segment count, VA+file quantization bits,
+//! and HNSW connectivity — each measured by the cost of an ε-approximate (or
+//! ng-approximate) 10-NN query on the same random-walk dataset.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hydra::prelude::*;
+use hydra::summarize::sax::SaxParams;
+
+fn dataset() -> hydra::Dataset {
+    hydra::data::random_walk(2_000, 128, 1234)
+}
+
+fn query() -> Vec<f32> {
+    hydra::data::random_walk(1, 128, 4321).series(0).to_vec()
+}
+
+fn bench_dstree_leaf_capacity(c: &mut Criterion) {
+    let data = dataset();
+    let q = query();
+    let mut group = c.benchmark_group("ablation-dstree-leaf-capacity");
+    group.sample_size(20);
+    for capacity in [32usize, 128, 512] {
+        let index = DsTree::build(
+            &data,
+            DsTreeConfig {
+                leaf_capacity: capacity,
+                storage: StorageConfig::in_memory(),
+                ..DsTreeConfig::default()
+            },
+        )
+        .unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(capacity), &index, |b, idx| {
+            b.iter(|| std::hint::black_box(idx.search(&q, &SearchParams::epsilon(10, 1.0)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_isax_segments(c: &mut Criterion) {
+    let data = dataset();
+    let q = query();
+    let mut group = c.benchmark_group("ablation-isax-segments");
+    group.sample_size(20);
+    for segments in [8usize, 16, 32] {
+        let index = Isax2Plus::build(
+            &data,
+            IsaxConfig {
+                sax: SaxParams::new(segments, 8),
+                storage: StorageConfig::in_memory(),
+                ..IsaxConfig::default()
+            },
+        )
+        .unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(segments), &index, |b, idx| {
+            b.iter(|| std::hint::black_box(idx.search(&q, &SearchParams::epsilon(10, 1.0)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_vafile_bits(c: &mut Criterion) {
+    let data = dataset();
+    let q = query();
+    let mut group = c.benchmark_group("ablation-vafile-bits");
+    group.sample_size(20);
+    for bits in [2u8, 4, 6] {
+        let index = VaPlusFile::build(
+            &data,
+            VaPlusFileConfig {
+                bits_per_dim: bits,
+                storage: StorageConfig::in_memory(),
+                ..VaPlusFileConfig::default()
+            },
+        )
+        .unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &index, |b, idx| {
+            b.iter(|| std::hint::black_box(idx.search(&q, &SearchParams::epsilon(10, 1.0)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_hnsw_connectivity(c: &mut Criterion) {
+    let data = dataset();
+    let q = query();
+    let mut group = c.benchmark_group("ablation-hnsw-m");
+    group.sample_size(20);
+    for m in [4usize, 8, 16] {
+        let index = Hnsw::build(
+            &data,
+            HnswConfig {
+                m,
+                ef_construction: 64,
+                seed: 3,
+            },
+        )
+        .unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(m), &index, |b, idx| {
+            b.iter(|| std::hint::black_box(idx.search(&q, &SearchParams::ng(10, 64)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dstree_leaf_capacity,
+    bench_isax_segments,
+    bench_vafile_bits,
+    bench_hnsw_connectivity
+);
+criterion_main!(benches);

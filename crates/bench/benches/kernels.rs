@@ -1,0 +1,101 @@
+//! Criterion micro-benchmarks of the computational kernels every index is
+//! built on: distance computation, summarization and quantization.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hydra::summarize::apca::{segment_stats, uniform_segments, Segment};
+use hydra::summarize::quantization::{KMeans, ProductQuantizer, ScalarQuantizer};
+use hydra::summarize::sax::{normal_breakpoints, sax_word, SaxParams};
+use hydra::summarize::{paa, DftSummarizer, GaussianProjection};
+
+fn series(seed: u64, n: usize) -> Vec<f32> {
+    let d = hydra::data::random_walk(1, n, seed);
+    d.series(0).to_vec()
+}
+
+fn bench_distances(c: &mut Criterion) {
+    let a = series(1, 256);
+    let b = series(2, 256);
+    let mut group = c.benchmark_group("distance");
+    group.sample_size(30);
+    group.bench_function("euclidean-256", |bench| {
+        bench.iter(|| std::hint::black_box(hydra::core::euclidean(&a, &b)))
+    });
+    group.bench_function("early-abandon-256-tight", |bench| {
+        bench.iter(|| std::hint::black_box(hydra::core::euclidean_early_abandon(&a, &b, 0.5)))
+    });
+    group.bench_function("early-abandon-256-loose", |bench| {
+        bench.iter(|| {
+            std::hint::black_box(hydra::core::euclidean_early_abandon(&a, &b, f32::INFINITY))
+        })
+    });
+    group.finish();
+}
+
+fn bench_summarizations(c: &mut Criterion) {
+    let s = series(3, 256);
+    let params = SaxParams::default();
+    let breakpoints = normal_breakpoints(params.max_cardinality());
+    let dft = DftSummarizer::new(256, 8);
+    let proj = GaussianProjection::new(256, 16, 7);
+    let segments = uniform_segments(256, 16);
+    let mut group = c.benchmark_group("summarization");
+    group.sample_size(30);
+    group.bench_function("paa-256-to-16", |bench| {
+        bench.iter(|| std::hint::black_box(paa(&s, 16)))
+    });
+    group.bench_function("sax-word-256", |bench| {
+        bench.iter(|| std::hint::black_box(sax_word(&s, &params, &breakpoints)))
+    });
+    group.bench_function("dft-256-to-8", |bench| {
+        bench.iter(|| std::hint::black_box(dft.transform(&s)))
+    });
+    group.bench_function("gaussian-projection-256-to-16", |bench| {
+        bench.iter(|| std::hint::black_box(proj.project(&s)))
+    });
+    group.bench_function("eapca-stats-16-segments", |bench| {
+        bench.iter(|| {
+            let stats: Vec<_> = segments
+                .iter()
+                .map(|seg: &Segment| segment_stats(&s, *seg))
+                .collect();
+            std::hint::black_box(stats)
+        })
+    });
+    group.finish();
+}
+
+fn bench_quantization(c: &mut Criterion) {
+    let data = hydra::data::sift_like(512, 32, 5);
+    let refs: Vec<&[f32]> = data.iter().collect();
+    let sq = ScalarQuantizer::train(&refs, 4);
+    let pq = ProductQuantizer::train(&refs, 4, 32, 10, 1);
+    let km = KMeans::fit(&refs, 32, 10, 1);
+    let query = data.series(0).to_vec();
+    let code = pq.encode(data.series(1));
+    let table = pq.distance_table(&query);
+    let mut group = c.benchmark_group("quantization");
+    group.sample_size(30);
+    group.bench_function("scalar-encode-32d", |bench| {
+        bench.iter(|| std::hint::black_box(sq.encode(&query)))
+    });
+    group.bench_function("pq-encode-32d", |bench| {
+        bench.iter(|| std::hint::black_box(pq.encode(&query)))
+    });
+    group.bench_function("pq-adc-distance", |bench| {
+        bench.iter(|| std::hint::black_box(ProductQuantizer::adc_distance(&table, &code)))
+    });
+    group.bench_function("kmeans-assign-32d-k32", |bench| {
+        bench.iter(|| std::hint::black_box(km.assign(&query)))
+    });
+    group.bench_function("pq-distance-table", |bench| {
+        bench.iter_batched(
+            || query.clone(),
+            |q| std::hint::black_box(pq.distance_table(&q)),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_distances, bench_summarizations, bench_quantization);
+criterion_main!(benches);

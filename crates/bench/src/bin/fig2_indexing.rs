@@ -1,0 +1,37 @@
+//! Figure 2: indexing scalability — (a) index-building time and (b) index
+//! memory footprint as the dataset size grows.
+//!
+//! Paper shape to reproduce: iSAX2+ builds fastest, followed by VA+file and
+//! SRS; DSTree is slower; HNSW and IMI are the slowest despite parallelism.
+//! DSTree has the smallest footprint, iSAX2+ next; IMI/SRS/VA+file/FLANN are
+//! orders of magnitude larger; QALSH and HNSW the largest (they keep raw
+//! data or per-point signatures).
+
+use hydra_bench::{build_methods, print_header, print_row, scale};
+
+fn main() {
+    print_header();
+    let sizes = [1_000usize, 2_000, 4_000, 8_000];
+    for &n in &sizes {
+        let n = n * scale();
+        let data = hydra::data::random_walk(n, 256, 42);
+        for built in build_methods(&data, true, 7) {
+            print_row(
+                "fig2a-indexing-time",
+                &format!("rand-{n}"),
+                built.index.name(),
+                "build",
+                n as f64,
+                built.build_seconds,
+            );
+            print_row(
+                "fig2b-index-footprint",
+                &format!("rand-{n}"),
+                built.index.name(),
+                "footprint",
+                n as f64,
+                built.index.memory_footprint() as f64 / (1024.0 * 1024.0),
+            );
+        }
+    }
+}

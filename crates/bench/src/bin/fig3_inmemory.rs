@@ -1,0 +1,59 @@
+//! Figure 3: in-memory query efficiency vs. accuracy (100-NN queries) on
+//! short random walks, long random walks, SIFT-like and Deep-like vectors.
+//!
+//! For every method and sweep setting the harness emits three series per
+//! dataset, matching the paper's panels:
+//! * throughput (queries/minute) vs. MAP, for ng-approximate sweeps and for
+//!   guarantee-carrying (δ-ε) sweeps;
+//! * combined index + 100-query cost vs. MAP;
+//! * combined index + 10K-query cost (extrapolated) vs. MAP.
+//!
+//! Paper shape to reproduce: HNSW has the best ng throughput/accuracy but
+//! never reaches MAP = 1; the data-series indexes do. DSTree dominates the
+//! δ-ε methods; SRS caps out at moderate MAP; with indexing time included,
+//! iSAX2+ wins small workloads and DSTree large ones.
+
+use hydra_bench::{build_methods, in_memory_datasets, print_header, print_row, run_point, sweep_settings};
+
+fn main() {
+    print_header();
+    let k = 100;
+    for dataset in in_memory_datasets(k) {
+        let methods = build_methods(&dataset.data, true, 3);
+        for built in &methods {
+            for guarantees in [false, true] {
+                let mode = if guarantees { "delta-eps" } else { "ng" };
+                for (setting, params) in sweep_settings(built.index.as_ref(), k, guarantees) {
+                    let (map, report) = run_point(built.index.as_ref(), &dataset, &params);
+                    print_row(
+                        &format!("fig3-throughput-{mode}"),
+                        dataset.name,
+                        built.index.name(),
+                        &setting,
+                        map,
+                        report.queries_per_minute,
+                    );
+                    let idx_plus_100 = built.build_seconds
+                        + report.total_seconds / report.num_queries as f64 * 100.0;
+                    print_row(
+                        &format!("fig3-idx-plus-100q-{mode}"),
+                        dataset.name,
+                        built.index.name(),
+                        &setting,
+                        map,
+                        idx_plus_100 / 60.0,
+                    );
+                    let idx_plus_10k = built.build_seconds + report.extrapolated_10k_seconds;
+                    print_row(
+                        &format!("fig3-idx-plus-10kq-{mode}"),
+                        dataset.name,
+                        built.index.name(),
+                        &setting,
+                        map,
+                        idx_plus_10k / 60.0,
+                    );
+                }
+            }
+        }
+    }
+}

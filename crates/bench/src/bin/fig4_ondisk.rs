@@ -1,0 +1,53 @@
+//! Figure 4: on-disk query efficiency vs. accuracy (100-NN queries) for the
+//! disk-capable methods (DSTree, iSAX2+, VA+file, SRS, IMI), with the
+//! simulated buffer pool much smaller than the dataset.
+//!
+//! Paper shape to reproduce: DSTree and iSAX2+ outperform everything else on
+//! both ng and δ-ε queries; IMI is fast but its accuracy collapses; SRS
+//! degrades badly on disk; iSAX2+ is competitive when indexing cost matters
+//! (small workloads).
+
+use hydra_bench::{build_methods, on_disk_datasets, print_header, print_row, run_point, sweep_settings};
+
+fn main() {
+    print_header();
+    let k = 100;
+    for dataset in on_disk_datasets(k) {
+        let methods = build_methods(&dataset.data, false, 5);
+        for built in &methods {
+            for guarantees in [false, true] {
+                let mode = if guarantees { "delta-eps" } else { "ng" };
+                for (setting, params) in sweep_settings(built.index.as_ref(), k, guarantees) {
+                    let (map, report) = run_point(built.index.as_ref(), &dataset, &params);
+                    print_row(
+                        &format!("fig4-throughput-{mode}"),
+                        dataset.name,
+                        built.index.name(),
+                        &setting,
+                        map,
+                        report.queries_per_minute,
+                    );
+                    let idx_plus_100 = built.build_seconds
+                        + report.total_seconds / report.num_queries as f64 * 100.0;
+                    print_row(
+                        &format!("fig4-idx-plus-100q-{mode}"),
+                        dataset.name,
+                        built.index.name(),
+                        &setting,
+                        map,
+                        idx_plus_100 / 60.0,
+                    );
+                    let idx_plus_10k = built.build_seconds + report.extrapolated_10k_seconds;
+                    print_row(
+                        &format!("fig4-idx-plus-10kq-{mode}"),
+                        dataset.name,
+                        built.index.name(),
+                        &setting,
+                        map,
+                        idx_plus_10k / 60.0,
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Figure 5: comparison of accuracy measures on a SIFT-like dataset —
+//! (a) Avg Recall vs. MAP and (b) MRE vs. MAP, per method.
+//!
+//! Paper shape to reproduce: recall equals MAP for every method except IMI
+//! (which does not re-rank with true distances), and a small MRE can still
+//! correspond to a very low MAP (the reason the paper prefers MAP).
+
+use hydra_bench::{build_methods, make_dataset, print_header, print_row, run_point, scale, sweep_settings};
+
+fn main() {
+    print_header();
+    let k = 100;
+    let dataset = make_dataset("sift-like", 5_000 * scale(), 128, k, 55);
+    let methods = build_methods(&dataset.data, true, 9);
+    for built in &methods {
+        for guarantees in [false, true] {
+            for (setting, params) in sweep_settings(built.index.as_ref(), k, guarantees) {
+                let (map, report) = run_point(built.index.as_ref(), &dataset, &params);
+                print_row(
+                    "fig5a-recall-vs-map",
+                    dataset.name,
+                    built.index.name(),
+                    &setting,
+                    map,
+                    report.accuracy.avg_recall,
+                );
+                print_row(
+                    "fig5b-mre-vs-map",
+                    dataset.name,
+                    built.index.name(),
+                    &setting,
+                    map,
+                    report.accuracy.mre,
+                );
+            }
+        }
+    }
+}

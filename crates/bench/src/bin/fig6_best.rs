@@ -1,0 +1,66 @@
+//! Figure 6: the best-performing disk methods (DSTree vs. iSAX2+), compared
+//! on five datasets under an ε sweep (ε-approximate 100-NN queries):
+//! queries/minute, percentage of data accessed, and number of random I/Os,
+//! all as a function of the achieved MAP.
+//!
+//! Paper shape to reproduce: DSTree wins most datasets; iSAX2+ incurs more
+//! random I/Os (more, emptier leaves) and edges out DSTree only on the
+//! SALD-like dataset at moderate accuracies.
+
+use hydra::prelude::*;
+use hydra_bench::{best_method_datasets, print_header, print_row, run_point};
+
+fn main() {
+    print_header();
+    let k = 100;
+    for dataset in best_method_datasets(k) {
+        let dstree = DsTree::build(
+            &dataset.data,
+            DsTreeConfig {
+                storage: StorageConfig::on_disk(),
+                ..DsTreeConfig::default()
+            },
+        )
+        .expect("DSTree");
+        let isax = Isax2Plus::build(
+            &dataset.data,
+            IsaxConfig {
+                storage: StorageConfig::on_disk(),
+                ..IsaxConfig::default()
+            },
+        )
+        .expect("iSAX2+");
+        let total_bytes = dstree.store().total_bytes();
+
+        for eps in [5.0f32, 2.0, 1.0, 0.5, 0.0] {
+            let params = SearchParams::epsilon(k, eps);
+            for (name, index) in [("DSTree", &dstree as &dyn hydra::AnnIndex), ("iSAX2+", &isax)] {
+                let (map, report) = run_point(index, &dataset, &params);
+                print_row(
+                    "fig6-queries-per-min",
+                    dataset.name,
+                    name,
+                    &format!("eps={eps}"),
+                    map,
+                    report.queries_per_minute,
+                );
+                print_row(
+                    "fig6-pct-data-accessed",
+                    dataset.name,
+                    name,
+                    &format!("eps={eps}"),
+                    map,
+                    report.fraction_data_accessed(total_bytes) * 100.0,
+                );
+                print_row(
+                    "fig6-random-io",
+                    dataset.name,
+                    name,
+                    &format!("eps={eps}"),
+                    map,
+                    report.random_ios_per_query(),
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Figure 7: effect of k — total workload time for k ∈ {1, 10, 100}
+//! ε-approximate queries, in memory and on disk, for the best methods.
+//!
+//! Paper shape to reproduce: finding the first neighbor dominates the cost;
+//! additional neighbors are much cheaper (total time grows slowly with k).
+
+use hydra::prelude::*;
+use hydra_bench::{make_dataset, print_header, print_row, scale};
+
+fn main() {
+    print_header();
+    let s = scale();
+    let scenarios = [
+        ("rand-mem", "rand256", 4_000 * s, 256, true),
+        ("sift-mem", "sift-like", 4_000 * s, 128, true),
+        ("deep-mem", "deep-like", 4_000 * s, 96, true),
+        ("rand-disk", "rand256", 8_000 * s, 256, false),
+        ("sift-disk", "sift-like", 8_000 * s, 128, false),
+        ("deep-disk", "deep-like", 8_000 * s, 96, false),
+    ];
+    for (label, kind, n, len, in_memory) in scenarios {
+        let storage = if in_memory {
+            StorageConfig::in_memory()
+        } else {
+            StorageConfig::on_disk()
+        };
+        for k in [1usize, 10, 100] {
+            let dataset = make_dataset(kind, n, len, k, 77);
+            let dstree = DsTree::build(
+                &dataset.data,
+                DsTreeConfig {
+                    storage,
+                    ..DsTreeConfig::default()
+                },
+            )
+            .expect("DSTree");
+            let report = hydra::eval::run_workload(
+                &dstree,
+                &dataset.workload,
+                &dataset.truth,
+                &SearchParams::epsilon(k, 1.0),
+            );
+            print_row(
+                "fig7-total-time-vs-k",
+                label,
+                "DSTree",
+                &format!("k={k}"),
+                k as f64,
+                report.total_seconds,
+            );
+        }
+    }
+}

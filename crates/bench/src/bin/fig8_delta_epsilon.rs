@@ -1,0 +1,39 @@
+//! Figure 8: sensitivity of the extended data-series methods to ε and δ.
+//!
+//! * (a–c) ε sweep at δ = 1: throughput rises dramatically with ε, MAP stays
+//!   near 1 until ε ≈ 2 then drops, and the measured MRE stays far below the
+//!   user-tolerated ε.
+//! * (d–e) δ sweep at ε = 0: throughput and accuracy stay flat until δ
+//!   approaches 1, where search becomes exact (the histogram-based r_δ stop
+//!   condition rarely fires — the paper's "ineffectiveness of δ" finding).
+
+use hydra::prelude::*;
+use hydra_bench::{make_dataset, print_header, print_row, run_point, scale};
+
+fn main() {
+    print_header();
+    let k = 100;
+    let dataset = make_dataset("rand256", 6_000 * scale(), 256, k, 88);
+    let dstree = DsTree::build(&dataset.data, DsTreeConfig::default()).expect("DSTree");
+    let isax = Isax2Plus::build(&dataset.data, IsaxConfig::default()).expect("iSAX2+");
+
+    // (a-c) epsilon sweep at delta = 1.
+    for eps in [0.0f32, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0] {
+        for (name, index) in [("DSTree", &dstree as &dyn hydra::AnnIndex), ("iSAX2+", &isax)] {
+            let (map, report) = run_point(index, &dataset, &SearchParams::epsilon(k, eps));
+            print_row("fig8a-throughput-vs-eps", dataset.name, name, "delta=1", eps as f64, report.queries_per_minute);
+            print_row("fig8b-map-vs-eps", dataset.name, name, "delta=1", eps as f64, map);
+            print_row("fig8c-mre-vs-eps", dataset.name, name, "delta=1", eps as f64, report.accuracy.mre);
+        }
+    }
+
+    // (d-e) delta sweep at epsilon = 0.
+    for delta in [0.2f32, 0.4, 0.6, 0.8, 0.9, 0.99, 1.0] {
+        for (name, index) in [("DSTree", &dstree as &dyn hydra::AnnIndex), ("iSAX2+", &isax)] {
+            let params = SearchParams::delta_epsilon(k, delta, 0.0);
+            let (map, report) = run_point(index, &dataset, &params);
+            print_row("fig8d-throughput-vs-delta", dataset.name, name, "eps=0", delta as f64, report.queries_per_minute);
+            print_row("fig8e-map-vs-delta", dataset.name, name, "eps=0", delta as f64, map);
+        }
+    }
+}

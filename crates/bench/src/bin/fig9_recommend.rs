@@ -1,0 +1,49 @@
+//! Figure 9: the recommendation decision matrix, both as the paper states it
+//! and as *measured* on this harness — for each scenario the binary runs the
+//! relevant methods and reports which one actually wins, so the matrix can
+//! be validated end to end.
+
+use hydra_bench::{build_methods, make_dataset, run_point, scale, sweep_settings};
+use hydra::eval::{recommend, Scenario};
+
+fn main() {
+    println!("scenario,paper_recommendation,measured_winner,winner_metric");
+    let k = 100;
+    for in_memory in [true, false] {
+        let dataset = make_dataset("rand256", 4_000 * scale(), 256, k, 99);
+        let methods = build_methods(&dataset.data, in_memory, 17);
+        for needs_guarantees in [false, true] {
+            // Measured winner: the method with the highest throughput among
+            // those reaching MAP >= 0.9 in the relevant mode.
+            let mut best: Option<(String, f64)> = None;
+            for built in &methods {
+                for (_, params) in sweep_settings(built.index.as_ref(), k, needs_guarantees) {
+                    let (map, report) = run_point(built.index.as_ref(), &dataset, &params);
+                    if map >= 0.9 {
+                        let qpm = report.queries_per_minute;
+                        if best.as_ref().map(|(_, b)| qpm > *b).unwrap_or(true) {
+                            best = Some((built.index.name().to_string(), qpm));
+                        }
+                    }
+                }
+            }
+            for small_workload in [true, false] {
+                let rec = recommend(Scenario {
+                    in_memory,
+                    needs_guarantees,
+                    small_workload,
+                });
+                let (winner, qpm) = best.clone().unwrap_or(("n/a".into(), 0.0));
+                println!(
+                    "{}-{}-{},{},{},{:.1}",
+                    if in_memory { "memory" } else { "disk" },
+                    if needs_guarantees { "guarantees" } else { "ng" },
+                    if small_workload { "small" } else { "large" },
+                    rec.method,
+                    winner,
+                    qpm
+                );
+            }
+        }
+    }
+}

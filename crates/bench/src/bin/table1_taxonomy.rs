@@ -1,0 +1,22 @@
+//! Table 1 / Figure 1: the capability matrix (matching, accuracy
+//! guarantees, representation, disk support) of every method in the study,
+//! generated from the live `Capabilities` each index reports.
+
+fn main() {
+    let data = hydra::data::random_walk(400, 64, 1);
+    let methods = hydra::build_all_methods(&data, true, 1);
+    println!("method,exact,ng,epsilon,delta_epsilon,representation,disk_resident");
+    for m in &methods {
+        let c = m.capabilities();
+        println!(
+            "{},{},{},{},{},{},{}",
+            m.name(),
+            c.exact,
+            c.ng_approximate,
+            c.epsilon_approximate,
+            c.delta_epsilon_approximate,
+            c.representation.name(),
+            c.disk_resident
+        );
+    }
+}

@@ -1,0 +1,309 @@
+//! # hydra-bench
+//!
+//! Shared harness utilities for the figure-reproduction binaries
+//! (`src/bin/fig*.rs`, `src/bin/table1_taxonomy.rs`) and the Criterion
+//! micro/ablation benchmarks (`benches/`).
+//!
+//! Every binary prints CSV to stdout with the schema
+//! `figure,dataset,method,setting,x,y` where `x` is usually the accuracy
+//! (MAP) and `y` the efficiency measure of the corresponding figure of the
+//! paper (throughput, combined cost, % data accessed, random I/Os, ...).
+//! `EXPERIMENTS.md` at the repository root records the expected shape of
+//! each figure and what the harness measures.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::time::Instant;
+
+use hydra::prelude::*;
+use hydra::{AnnIndex, Dataset};
+
+/// Scale factor applied to all dataset sizes (override with the
+/// `HYDRA_SCALE` environment variable, e.g. `HYDRA_SCALE=4` for a longer,
+/// more faithful run).
+pub fn scale() -> usize {
+    std::env::var("HYDRA_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&s| s > 0)
+        .unwrap_or(1)
+}
+
+/// A dataset prepared for one experiment.
+pub struct BenchDataset {
+    /// Short name used in CSV output ("rand256", "sift-like", ...).
+    pub name: &'static str,
+    /// The series collection.
+    pub data: Dataset,
+    /// Query workload (paper protocol: 100 queries; scaled down here).
+    pub workload: hydra::data::QueryWorkload,
+    /// Exact answers for the workload.
+    pub truth: hydra::data::GroundTruth,
+}
+
+/// Builds one named dataset with its workload and ground truth.
+pub fn make_dataset(name: &'static str, n: usize, len: usize, k: usize, seed: u64) -> BenchDataset {
+    let kind = match name {
+        "sift-like" => hydra::data::DatasetKind::SiftLike,
+        "deep-like" => hydra::data::DatasetKind::DeepLike,
+        "seismic-like" => hydra::data::DatasetKind::SeismicLike,
+        "sald-like" => hydra::data::DatasetKind::MriLike,
+        _ => hydra::data::DatasetKind::RandomWalk,
+    };
+    let data = kind.generate(n, len, seed);
+    let workload = hydra::data::noisy_queries(&data, 20, &[0.0, 0.1, 0.25], seed ^ 0xABCD);
+    let truth = hydra::data::ground_truth(&data, &workload, k);
+    BenchDataset {
+        name,
+        data,
+        workload,
+        truth,
+    }
+}
+
+/// The in-memory experiment datasets of Figure 3 (scaled down).
+pub fn in_memory_datasets(k: usize) -> Vec<BenchDataset> {
+    let s = scale();
+    vec![
+        make_dataset("rand256", 4_000 * s, 256, k, 1),
+        make_dataset("rand-long", 1_000 * s, 1_024, k, 2),
+        make_dataset("sift-like", 4_000 * s, 128, k, 3),
+        make_dataset("deep-like", 4_000 * s, 96, k, 4),
+    ]
+}
+
+/// The on-disk experiment datasets of Figure 4 (scaled down).
+pub fn on_disk_datasets(k: usize) -> Vec<BenchDataset> {
+    let s = scale();
+    vec![
+        make_dataset("rand256", 8_000 * s, 256, k, 5),
+        make_dataset("sift-like", 8_000 * s, 128, k, 6),
+        make_dataset("deep-like", 8_000 * s, 96, k, 7),
+    ]
+}
+
+/// The five datasets of the best-methods comparison (Figure 6).
+pub fn best_method_datasets(k: usize) -> Vec<BenchDataset> {
+    let s = scale();
+    vec![
+        make_dataset("rand256", 6_000 * s, 256, k, 11),
+        make_dataset("sift-like", 6_000 * s, 128, k, 12),
+        make_dataset("deep-like", 6_000 * s, 96, k, 13),
+        make_dataset("sald-like", 6_000 * s, 128, k, 14),
+        make_dataset("seismic-like", 6_000 * s, 256, k, 15),
+    ]
+}
+
+/// A method built for an experiment, together with its build cost.
+pub struct BuiltMethod {
+    /// The index behind the uniform interface.
+    pub index: Box<dyn AnnIndex>,
+    /// Wall-clock build time in seconds.
+    pub build_seconds: f64,
+}
+
+/// Builds every method applicable to the scenario, timing each build.
+pub fn build_methods(data: &Dataset, in_memory: bool, seed: u64) -> Vec<BuiltMethod> {
+    let storage = if in_memory {
+        StorageConfig::in_memory()
+    } else {
+        StorageConfig::on_disk()
+    };
+    let mut out: Vec<BuiltMethod> = Vec::new();
+    let mut push = |index: Box<dyn AnnIndex>, secs: f64| {
+        out.push(BuiltMethod {
+            index,
+            build_seconds: secs,
+        })
+    };
+    let t = Instant::now();
+    let dstree = DsTree::build(
+        data,
+        DsTreeConfig {
+            storage,
+            seed,
+            ..DsTreeConfig::default()
+        },
+    )
+    .expect("DSTree");
+    push(Box::new(dstree), t.elapsed().as_secs_f64());
+
+    let t = Instant::now();
+    let isax = Isax2Plus::build(
+        data,
+        IsaxConfig {
+            storage,
+            seed,
+            ..IsaxConfig::default()
+        },
+    )
+    .expect("iSAX2+");
+    push(Box::new(isax), t.elapsed().as_secs_f64());
+
+    let t = Instant::now();
+    let va = VaPlusFile::build(
+        data,
+        VaPlusFileConfig {
+            storage,
+            seed,
+            ..VaPlusFileConfig::default()
+        },
+    )
+    .expect("VA+file");
+    push(Box::new(va), t.elapsed().as_secs_f64());
+
+    let t = Instant::now();
+    let srs = Srs::build(
+        data,
+        SrsConfig {
+            storage,
+            seed,
+            ..SrsConfig::default()
+        },
+    )
+    .expect("SRS");
+    push(Box::new(srs), t.elapsed().as_secs_f64());
+
+    if data.series_len() % 8 == 0 {
+        let t = Instant::now();
+        let imi = InvertedMultiIndex::build(
+            data,
+            ImiConfig {
+                seed,
+                ..ImiConfig::default()
+            },
+        )
+        .expect("IMI");
+        push(Box::new(imi), t.elapsed().as_secs_f64());
+    }
+    if in_memory {
+        let t = Instant::now();
+        let hnsw = Hnsw::build(
+            data,
+            HnswConfig {
+                m: 8,
+                ef_construction: 128,
+                seed,
+            },
+        )
+        .expect("HNSW");
+        push(Box::new(hnsw), t.elapsed().as_secs_f64());
+
+        let t = Instant::now();
+        let qalsh = Qalsh::build(
+            data,
+            QalshConfig {
+                seed,
+                ..QalshConfig::default()
+            },
+        )
+        .expect("QALSH");
+        push(Box::new(qalsh), t.elapsed().as_secs_f64());
+
+        let t = Instant::now();
+        let flann = Flann::build(data, FlannConfig::default()).expect("FLANN");
+        push(Box::new(flann), t.elapsed().as_secs_f64());
+    }
+    out
+}
+
+/// The parameter sweep a method uses to trace its efficiency/accuracy curve,
+/// mirroring the paper's tuning knobs: `nprobe`/`efs` for ng-approximate
+/// methods, ε (at δ = 1) and δ (at small ε) for the methods with guarantees.
+pub fn sweep_settings(
+    index: &dyn AnnIndex,
+    k: usize,
+    guarantees: bool,
+) -> Vec<(String, SearchParams)> {
+    let caps = index.capabilities();
+    let mut settings = Vec::new();
+    if guarantees && caps.delta_epsilon_approximate {
+        for eps in [5.0f32, 2.0, 1.0, 0.5, 0.0] {
+            settings.push((format!("eps={eps}"), SearchParams::epsilon(k, eps)));
+        }
+        for delta in [0.5f32, 0.9, 0.99] {
+            settings.push((
+                format!("delta={delta}"),
+                SearchParams::delta_epsilon(k, delta, 1.0),
+            ));
+        }
+    } else if !guarantees && caps.ng_approximate {
+        for nprobe in [1usize, 2, 4, 8, 16, 64, 256] {
+            settings.push((format!("nprobe={nprobe}"), SearchParams::ng(k, nprobe)));
+        }
+    }
+    settings
+}
+
+/// Runs one sweep point and returns `(map, report)`.
+pub fn run_point(
+    index: &dyn AnnIndex,
+    dataset: &BenchDataset,
+    params: &SearchParams,
+) -> (f64, hydra::eval::WorkloadReport) {
+    let report = hydra::eval::run_workload(index, &dataset.workload, &dataset.truth, params);
+    (report.accuracy.map, report)
+}
+
+/// Prints the common CSV header used by all figure binaries.
+pub fn print_header() {
+    println!("figure,dataset,method,setting,x,y");
+}
+
+/// Prints one CSV row of the common schema.
+pub fn print_row(figure: &str, dataset: &str, method: &str, setting: &str, x: f64, y: f64) {
+    println!("{figure},{dataset},{method},{setting},{x:.4},{y:.4}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn make_dataset_produces_consistent_bundle() {
+        let d = make_dataset("rand256", 200, 32, 5, 1);
+        assert_eq!(d.data.len(), 200);
+        assert_eq!(d.workload.len(), 20);
+        assert_eq!(d.truth.answers.len(), 20);
+        assert_eq!(d.truth.k, 5);
+        assert_eq!(d.name, "rand256");
+    }
+
+    #[test]
+    fn build_methods_times_every_build() {
+        let d = hydra::data::random_walk(300, 32, 9);
+        let methods = build_methods(&d, true, 2);
+        assert_eq!(methods.len(), 8);
+        for m in &methods {
+            assert!(m.build_seconds >= 0.0);
+            assert_eq!(m.index.num_series(), 300);
+        }
+        let disk_methods = build_methods(&d, false, 2);
+        assert_eq!(disk_methods.len(), 5);
+    }
+
+    #[test]
+    fn sweeps_match_capabilities() {
+        let d = hydra::data::random_walk(200, 32, 9);
+        let dstree = DsTree::build(&d, DsTreeConfig::default()).unwrap();
+        let hnsw = Hnsw::build(
+            &d,
+            HnswConfig {
+                m: 4,
+                ef_construction: 32,
+                seed: 1,
+            },
+        )
+        .unwrap();
+        assert!(!sweep_settings(&dstree, 10, true).is_empty());
+        assert!(!sweep_settings(&dstree, 10, false).is_empty());
+        assert!(sweep_settings(&hnsw, 10, true).is_empty());
+        assert!(!sweep_settings(&hnsw, 10, false).is_empty());
+    }
+
+    #[test]
+    fn scale_defaults_to_one() {
+        assert!(scale() >= 1);
+    }
+}

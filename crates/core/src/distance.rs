@@ -1,0 +1,155 @@
+//! Euclidean distance kernels.
+//!
+//! The paper evaluates whole-matching similarity under the Euclidean
+//! distance. All indexes in this workspace refine candidates with the
+//! early-abandoning variant, which stops accumulating squared differences as
+//! soon as the partial sum exceeds the best-so-far distance — the single
+//! most important CPU optimization for leaf refinement.
+
+/// Squared Euclidean distance between two equally-sized slices.
+///
+/// # Panics
+/// Panics in debug builds if the slices have different lengths.
+#[inline]
+pub fn squared_euclidean(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    // Manual 4-way unrolling: lets the compiler vectorize without relying on
+    // floating-point reassociation flags.
+    let mut acc0 = 0.0f32;
+    let mut acc1 = 0.0f32;
+    let mut acc2 = 0.0f32;
+    let mut acc3 = 0.0f32;
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        let j = i * 4;
+        let d0 = a[j] - b[j];
+        let d1 = a[j + 1] - b[j + 1];
+        let d2 = a[j + 2] - b[j + 2];
+        let d3 = a[j + 3] - b[j + 3];
+        acc0 += d0 * d0;
+        acc1 += d1 * d1;
+        acc2 += d2 * d2;
+        acc3 += d3 * d3;
+    }
+    let mut acc = acc0 + acc1 + acc2 + acc3;
+    for j in chunks * 4..a.len() {
+        let d = a[j] - b[j];
+        acc += d * d;
+    }
+    acc
+}
+
+/// Euclidean distance between two equally-sized slices.
+#[inline]
+pub fn euclidean(a: &[f32], b: &[f32]) -> f32 {
+    squared_euclidean(a, b).sqrt()
+}
+
+/// Early-abandoning Euclidean distance.
+///
+/// Accumulates squared differences and returns `None` as soon as the partial
+/// sum exceeds `best_so_far`² (i.e., the candidate cannot improve on the
+/// current best answer). Returns `Some(distance)` otherwise.
+///
+/// `best_so_far` is expressed in *un-squared* Euclidean units, matching the
+/// distances returned by [`euclidean`].
+#[inline]
+pub fn euclidean_early_abandon(a: &[f32], b: &[f32], best_so_far: f32) -> Option<f32> {
+    debug_assert_eq!(a.len(), b.len());
+    if !best_so_far.is_finite() {
+        return Some(euclidean(a, b));
+    }
+    let threshold = best_so_far * best_so_far;
+    let mut acc = 0.0f32;
+    // Check the abandonment condition every 8 points: frequent enough to
+    // save work, rare enough not to dominate the loop with branches.
+    for (ca, cb) in a.chunks(8).zip(b.chunks(8)) {
+        for (x, y) in ca.iter().zip(cb.iter()) {
+            let d = x - y;
+            acc += d * d;
+        }
+        if acc > threshold {
+            return None;
+        }
+    }
+    Some(acc.sqrt())
+}
+
+/// Squared Euclidean norm of a slice.
+#[inline]
+pub fn squared_norm(a: &[f32]) -> f32 {
+    a.iter().map(|v| v * v).sum()
+}
+
+/// Dot product of two equally-sized slices.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn squared_euclidean_basic() {
+        assert_eq!(squared_euclidean(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(euclidean(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn zero_distance_to_self() {
+        let v = vec![1.5f32; 37];
+        assert_eq!(squared_euclidean(&v, &v), 0.0);
+        assert_eq!(euclidean(&v, &v), 0.0);
+    }
+
+    #[test]
+    fn unrolled_matches_naive_on_odd_lengths() {
+        for len in [1usize, 2, 3, 5, 7, 8, 9, 15, 16, 17, 63, 100] {
+            let a: Vec<f32> = (0..len).map(|i| i as f32 * 0.37).collect();
+            let b: Vec<f32> = (0..len).map(|i| (i as f32).sin()).collect();
+            let naive: f32 = a
+                .iter()
+                .zip(b.iter())
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum();
+            let fast = squared_euclidean(&a, &b);
+            let tol = 1e-5 * naive.abs().max(1.0);
+            assert!((naive - fast).abs() < tol, "len={len}: {naive} vs {fast}");
+        }
+    }
+
+    #[test]
+    fn early_abandon_agrees_when_not_abandoning() {
+        let a: Vec<f32> = (0..64).map(|i| i as f32).collect();
+        let b: Vec<f32> = (0..64).map(|i| i as f32 + 1.0).collect();
+        let exact = euclidean(&a, &b);
+        let ea = euclidean_early_abandon(&a, &b, f32::INFINITY).unwrap();
+        assert!((exact - ea).abs() < 1e-4);
+        let ea2 = euclidean_early_abandon(&a, &b, exact + 1.0).unwrap();
+        assert!((exact - ea2).abs() < 1e-4);
+    }
+
+    #[test]
+    fn early_abandon_abandons_hopeless_candidates() {
+        let a = vec![0.0f32; 256];
+        let b = vec![10.0f32; 256];
+        assert_eq!(euclidean_early_abandon(&a, &b, 1.0), None);
+    }
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(squared_norm(&[3.0, 4.0]), 25.0);
+    }
+
+    #[test]
+    fn triangle_inequality_spot_check() {
+        let a = [0.0f32, 1.0, 2.0, 3.0];
+        let b = [4.0f32, 2.0, 0.0, 1.0];
+        let c = [1.0f32, 1.0, 1.0, 1.0];
+        assert!(euclidean(&a, &b) <= euclidean(&a, &c) + euclidean(&c, &b) + 1e-6);
+    }
+}

@@ -1,0 +1,74 @@
+//! Error types shared by every Hydra crate.
+
+use std::fmt;
+
+/// Convenience result alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced while building or querying similarity search indexes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The dataset is empty or otherwise unusable for the requested
+    /// operation (e.g., building an index over zero series).
+    EmptyDataset,
+    /// A series with an unexpected length was supplied (expected, found).
+    DimensionMismatch {
+        /// The series length the structure was configured for.
+        expected: usize,
+        /// The length of the offending series.
+        found: usize,
+    },
+    /// A configuration parameter is invalid for the given data
+    /// (e.g., more PAA segments than points, zero-sized leaf capacity).
+    InvalidParameter(String),
+    /// The requested search mode is not supported by this index
+    /// (e.g., δ-ε-approximate search on a method with no guarantees).
+    UnsupportedMode(String),
+    /// An I/O-layer failure from the simulated storage engine.
+    Storage(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::EmptyDataset => write!(f, "dataset is empty"),
+            Error::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            Error::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            Error::UnsupportedMode(msg) => write!(f, "unsupported search mode: {msg}"),
+            Error::Storage(msg) => write!(f, "storage error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        assert_eq!(Error::EmptyDataset.to_string(), "dataset is empty");
+        assert_eq!(
+            Error::DimensionMismatch {
+                expected: 256,
+                found: 128
+            }
+            .to_string(),
+            "dimension mismatch: expected 256, found 128"
+        );
+        assert!(Error::InvalidParameter("bad".into())
+            .to_string()
+            .contains("bad"));
+        assert!(Error::UnsupportedMode("ng".into()).to_string().contains("ng"));
+        assert!(Error::Storage("disk".into()).to_string().contains("disk"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<Error>();
+    }
+}

@@ -1,0 +1,232 @@
+//! Distance distribution estimation for the δ stop condition.
+//!
+//! Algorithm 2 of the paper stops early once the best-so-far distance drops
+//! below `(1 + ε) · r_δ(Q)`, where `r_δ(Q)` is the largest radius such that
+//! the ball centered at the query with that radius is empty with probability
+//! at least δ. Following Ciaccia & Patella (and the paper's own
+//! implementation), `r_δ` is estimated from the *overall* distance
+//! distribution `F(·)`, approximated by a histogram of pairwise distances on
+//! a sample of the dataset.
+//!
+//! For a dataset of `n` points whose distances to the query are i.i.d. with
+//! CDF `F`, the nearest-neighbor distance exceeds `r` with probability
+//! `(1 - F(r))^n`. Requiring that probability to be at least δ gives
+//! `F(r) ≤ 1 - δ^(1/n)`, so `r_δ = F⁻¹(1 - δ^(1/n))`.
+
+use crate::distance::euclidean;
+use crate::series::Dataset;
+
+/// Histogram approximation of the overall pairwise distance distribution
+/// `F(·)` of a dataset.
+#[derive(Debug, Clone)]
+pub struct DistanceHistogram {
+    /// Upper edge of each bin (uniform width over `[0, max_distance]`).
+    bin_edges: Vec<f32>,
+    /// Cumulative counts per bin (last entry equals the total sample count).
+    cumulative: Vec<u64>,
+    /// Number of sampled distances.
+    total: u64,
+    /// Number of series in the dataset the histogram describes (the `n` in
+    /// the `δ^(1/n)` correction).
+    dataset_size: usize,
+}
+
+impl DistanceHistogram {
+    /// Builds a histogram from explicit distance samples.
+    ///
+    /// `dataset_size` is the size of the full collection the samples
+    /// describe; it controls the nearest-neighbor correction in
+    /// [`DistanceHistogram::r_delta`].
+    pub fn from_samples(samples: &[f32], num_bins: usize, dataset_size: usize) -> Self {
+        let num_bins = num_bins.max(1);
+        let max = samples
+            .iter()
+            .copied()
+            .fold(0.0f32, f32::max)
+            .max(f32::MIN_POSITIVE);
+        let width = max / num_bins as f32;
+        let mut counts = vec![0u64; num_bins];
+        for &d in samples {
+            let mut bin = (d / width) as usize;
+            if bin >= num_bins {
+                bin = num_bins - 1;
+            }
+            counts[bin] += 1;
+        }
+        let mut cumulative = Vec::with_capacity(num_bins);
+        let mut acc = 0u64;
+        let mut bin_edges = Vec::with_capacity(num_bins);
+        for (i, c) in counts.iter().enumerate() {
+            acc += c;
+            cumulative.push(acc);
+            bin_edges.push(width * (i as f32 + 1.0));
+        }
+        Self {
+            bin_edges,
+            cumulative,
+            total: acc,
+            dataset_size: dataset_size.max(1),
+        }
+    }
+
+    /// Builds a histogram by sampling pairwise distances between series of a
+    /// dataset.
+    ///
+    /// `sample_pairs` pairwise distances are drawn with a cheap
+    /// multiplicative-congruential scheme seeded by `seed`, matching the
+    /// paper's protocol of estimating `F` on a sample (they used a 100K
+    /// series sample).
+    pub fn from_dataset(dataset: &Dataset, sample_pairs: usize, num_bins: usize, seed: u64) -> Self {
+        let n = dataset.len();
+        if n < 2 {
+            return Self::from_samples(&[1.0], num_bins, n);
+        }
+        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        let mut next = || {
+            // xorshift64* — deterministic, dependency-free sampling.
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state = state.wrapping_mul(0x2545F4914F6CDD1D);
+            state
+        };
+        let mut samples = Vec::with_capacity(sample_pairs);
+        for _ in 0..sample_pairs {
+            let i = (next() % n as u64) as usize;
+            let mut j = (next() % n as u64) as usize;
+            if i == j {
+                j = (j + 1) % n;
+            }
+            samples.push(euclidean(dataset.series(i), dataset.series(j)));
+        }
+        Self::from_samples(&samples, num_bins, n)
+    }
+
+    /// Evaluates the empirical CDF `F(r)`.
+    pub fn cdf(&self, r: f32) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        if r <= 0.0 {
+            return 0.0;
+        }
+        match self
+            .bin_edges
+            .iter()
+            .position(|&edge| r <= edge)
+        {
+            Some(bin) => self.cumulative[bin] as f64 / self.total as f64,
+            None => 1.0,
+        }
+    }
+
+    /// Evaluates the empirical quantile function `F⁻¹(p)`.
+    pub fn quantile(&self, p: f64) -> f32 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let target = (p.clamp(0.0, 1.0) * self.total as f64).ceil() as u64;
+        for (edge, &cum) in self.bin_edges.iter().zip(self.cumulative.iter()) {
+            if cum >= target {
+                return *edge;
+            }
+        }
+        *self.bin_edges.last().unwrap_or(&0.0)
+    }
+
+    /// Estimates `r_δ`: the radius such that a ball of that radius around a
+    /// query is empty with probability at least `δ`, under the i.i.d.
+    /// approximation described in the module documentation.
+    ///
+    /// `δ = 1` yields radius 0 (the stop condition never fires), recovering
+    /// plain ε-approximate behaviour as in the paper.
+    pub fn r_delta(&self, delta: f32) -> f32 {
+        let delta = delta.clamp(0.0, 1.0) as f64;
+        if delta >= 1.0 {
+            return 0.0;
+        }
+        let n = self.dataset_size as f64;
+        // P[NN dist > r] = (1 - F(r))^n >= delta  =>  F(r) <= 1 - delta^(1/n)
+        let p = 1.0 - delta.powf(1.0 / n);
+        self.quantile(p)
+    }
+
+    /// Number of sampled distances in the histogram.
+    pub fn sample_count(&self) -> u64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_samples() -> Vec<f32> {
+        // 1000 distances uniform on (0, 10].
+        (1..=1000).map(|i| i as f32 / 100.0).collect()
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_bounded() {
+        let h = DistanceHistogram::from_samples(&uniform_samples(), 50, 1000);
+        let mut prev = 0.0;
+        for i in 0..=100 {
+            let r = i as f32 / 10.0;
+            let c = h.cdf(r);
+            assert!(c >= prev - 1e-12, "cdf must be monotone");
+            assert!((0.0..=1.0).contains(&c));
+            prev = c;
+        }
+        assert_eq!(h.cdf(-1.0), 0.0);
+        assert_eq!(h.cdf(1e9), 1.0);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf_approximately() {
+        let h = DistanceHistogram::from_samples(&uniform_samples(), 100, 1000);
+        let q = h.quantile(0.5);
+        assert!((q - 5.0).abs() < 0.3, "median of U(0,10] should be ~5, got {q}");
+        assert!(h.quantile(0.0) <= h.quantile(0.5));
+        assert!(h.quantile(0.5) <= h.quantile(1.0));
+    }
+
+    #[test]
+    fn r_delta_shrinks_with_dataset_size_and_delta() {
+        let samples = uniform_samples();
+        let small = DistanceHistogram::from_samples(&samples, 100, 100);
+        let large = DistanceHistogram::from_samples(&samples, 100, 100_000);
+        // A bigger dataset packs neighbors closer: r_delta must not grow.
+        assert!(large.r_delta(0.9) <= small.r_delta(0.9) + 1e-6);
+        // Larger delta demands a higher probability of emptiness => smaller radius.
+        assert!(small.r_delta(0.99) <= small.r_delta(0.5) + 1e-6);
+        // delta = 1 disables the stop condition entirely.
+        assert_eq!(small.r_delta(1.0), 0.0);
+    }
+
+    #[test]
+    fn from_dataset_is_deterministic_per_seed() {
+        let mut d = Dataset::new(8).unwrap();
+        for i in 0..64 {
+            let s: Vec<f32> = (0..8).map(|j| ((i * 7 + j) % 13) as f32).collect();
+            d.push(&s).unwrap();
+        }
+        let h1 = DistanceHistogram::from_dataset(&d, 500, 32, 42);
+        let h2 = DistanceHistogram::from_dataset(&d, 500, 32, 42);
+        let h3 = DistanceHistogram::from_dataset(&d, 500, 32, 7);
+        assert_eq!(h1.quantile(0.5), h2.quantile(0.5));
+        assert_eq!(h1.sample_count(), 500);
+        // A different seed may (and generally will) give a slightly different
+        // histogram, but must still be a valid distribution.
+        assert!(h3.quantile(1.0) > 0.0);
+    }
+
+    #[test]
+    fn degenerate_datasets_do_not_panic() {
+        let d = Dataset::new(4).unwrap();
+        let h = DistanceHistogram::from_dataset(&d, 10, 10, 1);
+        assert!(h.r_delta(0.5) >= 0.0);
+        let h = DistanceHistogram::from_samples(&[], 10, 10);
+        assert_eq!(h.cdf(1.0), 0.0);
+        assert_eq!(h.quantile(0.5), 0.0);
+    }
+}

@@ -1,0 +1,188 @@
+//! Index traits and capability descriptors.
+//!
+//! Two traits structure the workspace:
+//!
+//! * [`AnnIndex`] is the uniform, object-safe query interface implemented by
+//!   every method in the study (DSTree, iSAX2+, VA+file, HNSW, IMI, SRS,
+//!   QALSH, FLANN). The evaluation harness only talks to `dyn AnnIndex`.
+//! * [`HierarchicalIndex`] exposes the tree structure of indexes built by
+//!   conservative recursive partitioning (DSTree, iSAX2+). The paper's
+//!   Algorithm 1 (exact search) and Algorithm 2 (δ-ε-approximate search) are
+//!   implemented once, generically, over this trait in [`crate::search`].
+
+use crate::error::Result;
+use crate::query::{SearchParams, SearchResult};
+use crate::stats::QueryStats;
+
+/// How a method summarizes (represents) the data, mirroring the
+/// "Representation" column of Table 1 in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Representation {
+    /// Raw series, no reduced representation.
+    Raw,
+    /// Extended Adaptive Piecewise Constant Approximation (DSTree).
+    Eapca,
+    /// indexable Symbolic Aggregate approXimation (iSAX family).
+    Isax,
+    /// Discrete Fourier Transform coefficients (modified VA+file).
+    Dft,
+    /// (Optimized) product quantization codes (IMI).
+    Opq,
+    /// LSH / random projection signatures (SRS, QALSH).
+    Signatures,
+    /// Hierarchical k-means / kd-tree partitions (FLANN).
+    Partitions,
+    /// Proximity graph over raw vectors (HNSW, NSG).
+    Graph,
+}
+
+impl Representation {
+    /// Human-readable name used in the Table 1 reproduction.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Representation::Raw => "Raw",
+            Representation::Eapca => "EAPCA",
+            Representation::Isax => "iSAX",
+            Representation::Dft => "DFT",
+            Representation::Opq => "OPQ",
+            Representation::Signatures => "Signatures",
+            Representation::Partitions => "Partitions",
+            Representation::Graph => "Graph",
+        }
+    }
+}
+
+/// What a method can do — the paper's Table 1 as a queryable structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Capabilities {
+    /// Supports exact k-NN queries.
+    pub exact: bool,
+    /// Supports ng-approximate (no guarantee) queries.
+    pub ng_approximate: bool,
+    /// Supports ε-approximate queries.
+    pub epsilon_approximate: bool,
+    /// Supports δ-ε-approximate queries.
+    pub delta_epsilon_approximate: bool,
+    /// Can operate on disk-resident data (through the simulated storage
+    /// layer); methods without this flag are in-memory only.
+    pub disk_resident: bool,
+    /// The reduced representation the method indexes.
+    pub representation: Representation,
+}
+
+impl Capabilities {
+    /// Whether the given search mode is supported.
+    pub fn supports(&self, mode: &crate::query::SearchMode) -> bool {
+        use crate::query::SearchMode::*;
+        match mode {
+            Exact => self.exact,
+            Ng { .. } => self.ng_approximate,
+            Epsilon { .. } => self.epsilon_approximate,
+            DeltaEpsilon { .. } => self.delta_epsilon_approximate,
+        }
+    }
+}
+
+/// Uniform query interface implemented by every similarity search method in
+/// the study.
+pub trait AnnIndex: Send + Sync {
+    /// Short method name ("DSTree", "iSAX2+", "VA+file", "HNSW", ...).
+    fn name(&self) -> &'static str;
+
+    /// The guarantees and representation of this method (Table 1).
+    fn capabilities(&self) -> Capabilities;
+
+    /// Number of series indexed.
+    fn num_series(&self) -> usize;
+
+    /// Length (dimensionality) of the indexed series.
+    fn series_len(&self) -> usize;
+
+    /// Approximate main-memory footprint of the index structure in bytes
+    /// (excluding any raw data kept on simulated disk).
+    fn memory_footprint(&self) -> usize;
+
+    /// Answers a k-NN query under the requested guarantee level.
+    ///
+    /// # Errors
+    /// Returns [`crate::Error::UnsupportedMode`] if the index cannot honour
+    /// the requested [`crate::SearchMode`].
+    fn search(&self, query: &[f32], params: &SearchParams) -> Result<SearchResult>;
+}
+
+/// A node handle inside a [`HierarchicalIndex`]. Implementations typically
+/// use an arena index.
+pub type NodeId = usize;
+
+/// Structural view of a hierarchical index built by conservative recursive
+/// partitioning, as required by the optimal exact NN algorithm the paper
+/// builds on (Hjaltason & Samet / Berchtold et al.).
+///
+/// "Conservative" means that the lower-bound distance of a node never
+/// exceeds the true distance of any series stored beneath it; this is what
+/// makes Algorithm 1 exact and Algorithm 2's ε bound valid.
+pub trait HierarchicalIndex {
+    /// Root node(s) of the index. Most trees have one root; iSAX-style
+    /// indexes have one root child per initial SAX word.
+    fn roots(&self) -> Vec<NodeId>;
+
+    /// Whether `node` is a leaf.
+    fn is_leaf(&self, node: NodeId) -> bool;
+
+    /// Children of an internal node (empty for leaves).
+    fn children(&self, node: NodeId) -> Vec<NodeId>;
+
+    /// Lower bound on the distance between `query` and any series stored in
+    /// the subtree rooted at `node`.
+    fn min_dist(&self, query: &[f32], node: NodeId) -> f32;
+
+    /// Visits every series stored in leaf `node`, invoking `visit` with the
+    /// series' dataset position and raw values. The implementation must
+    /// account for storage-layer costs in `stats`.
+    fn visit_leaf(
+        &self,
+        node: NodeId,
+        stats: &mut QueryStats,
+        visit: &mut dyn FnMut(usize, &[f32]),
+    );
+
+    /// Number of series stored in leaf `node` (0 for internal nodes).
+    fn leaf_size(&self, node: NodeId) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::SearchMode;
+
+    #[test]
+    fn capabilities_supports_matches_flags() {
+        let caps = Capabilities {
+            exact: true,
+            ng_approximate: true,
+            epsilon_approximate: false,
+            delta_epsilon_approximate: false,
+            disk_resident: true,
+            representation: Representation::Eapca,
+        };
+        assert!(caps.supports(&SearchMode::Exact));
+        assert!(caps.supports(&SearchMode::Ng { nprobe: 1 }));
+        assert!(!caps.supports(&SearchMode::Epsilon { epsilon: 1.0 }));
+        assert!(!caps.supports(&SearchMode::DeltaEpsilon {
+            epsilon: 1.0,
+            delta: 0.5
+        }));
+    }
+
+    #[test]
+    fn representation_names_are_stable() {
+        assert_eq!(Representation::Eapca.name(), "EAPCA");
+        assert_eq!(Representation::Isax.name(), "iSAX");
+        assert_eq!(Representation::Dft.name(), "DFT");
+        assert_eq!(Representation::Opq.name(), "OPQ");
+        assert_eq!(Representation::Raw.name(), "Raw");
+        assert_eq!(Representation::Graph.name(), "Graph");
+        assert_eq!(Representation::Signatures.name(), "Signatures");
+        assert_eq!(Representation::Partitions.name(), "Partitions");
+    }
+}

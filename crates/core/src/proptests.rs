@@ -1,0 +1,78 @@
+//! Property-based tests of the core invariants: distance metric properties,
+//! TopK correctness against sorting, and histogram/quantile consistency.
+
+#![cfg(test)]
+
+use proptest::prelude::*;
+
+use crate::distance::{euclidean, euclidean_early_abandon, squared_euclidean};
+use crate::histogram::DistanceHistogram;
+use crate::query::{Neighbor, TopK};
+
+fn vec_strategy(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-1000.0f32..1000.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn euclidean_is_a_metric(a in vec_strategy(24), b in vec_strategy(24), c in vec_strategy(24)) {
+        let dab = euclidean(&a, &b);
+        let dba = euclidean(&b, &a);
+        let dac = euclidean(&a, &c);
+        let dcb = euclidean(&c, &b);
+        // Symmetry, identity and the triangle inequality (with float slack).
+        prop_assert!((dab - dba).abs() <= 1e-3 * dab.max(1.0));
+        prop_assert!(euclidean(&a, &a) == 0.0);
+        prop_assert!(dab <= dac + dcb + 1e-2 * (dab.max(1.0)));
+        prop_assert!((dab * dab - squared_euclidean(&a, &b)).abs() <= 1e-2 * (dab * dab).max(1.0));
+    }
+
+    #[test]
+    fn early_abandon_is_consistent_with_exact(
+        a in vec_strategy(64),
+        b in vec_strategy(64),
+        threshold in 0.0f32..5000.0,
+    ) {
+        let exact = euclidean(&a, &b);
+        match euclidean_early_abandon(&a, &b, threshold) {
+            Some(d) => prop_assert!((d - exact).abs() <= 1e-3 * exact.max(1.0)),
+            None => prop_assert!(exact >= threshold * 0.999),
+        }
+    }
+
+    #[test]
+    fn topk_matches_full_sort(
+        distances in proptest::collection::vec(0.0f32..100.0, 1..200),
+        k in 1usize..20,
+    ) {
+        let mut top = TopK::new(k);
+        for (i, &d) in distances.iter().enumerate() {
+            top.push(Neighbor::new(i, d));
+        }
+        let got: Vec<f32> = top.into_sorted().iter().map(|n| n.distance).collect();
+        let mut all: Vec<f32> = distances.clone();
+        all.sort_by(f32::total_cmp);
+        all.truncate(k);
+        prop_assert_eq!(got.len(), all.len());
+        for (g, e) in got.iter().zip(all.iter()) {
+            prop_assert!((g - e).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn histogram_quantile_and_cdf_are_inverse_monotone(
+        samples in proptest::collection::vec(0.01f32..500.0, 10..500),
+        p in 0.0f64..1.0,
+    ) {
+        let h = DistanceHistogram::from_samples(&samples, 64, samples.len());
+        let q = h.quantile(p);
+        // CDF at the quantile must reach at least p (up to bin granularity).
+        prop_assert!(h.cdf(q) + 1e-9 >= p - 1.0 / 64.0);
+        // r_delta is monotone non-increasing in delta.
+        let r_low = h.r_delta(0.1);
+        let r_high = h.r_delta(0.9);
+        prop_assert!(r_high <= r_low + 1e-6);
+    }
+}

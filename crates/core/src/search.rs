@@ -1,0 +1,462 @@
+//! Index-invariant exact and approximate k-NN search.
+//!
+//! This module implements the paper's Algorithm 1 (exact 1-NN generalized to
+//! k-NN) and Algorithm 2 (its δ-ε-approximate extension) once, generically,
+//! over any index exposing the [`HierarchicalIndex`] trait. DSTree and
+//! iSAX2+ reuse this driver directly, which mirrors the paper's point that
+//! the modification applies to *any* index built by conservative recursive
+//! partitioning.
+//!
+//! The driver unifies all four guarantee levels of the taxonomy:
+//!
+//! * **exact** — ε = 0, δ = 1, no leaf budget;
+//! * **ε-approximate** — prune with `bsf / (1 + ε)` instead of `bsf`;
+//! * **δ-ε-approximate** — additionally stop once
+//!   `bsf ≤ (1 + ε) · r_δ` (the ball around the query of radius `r_δ` is
+//!   empty with probability δ, so the current answer already satisfies the
+//!   guarantee with that probability);
+//! * **ng-approximate** — stop after visiting `nprobe` leaves, no guarantee.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::distance::euclidean_early_abandon;
+use crate::histogram::DistanceHistogram;
+use crate::index::{HierarchicalIndex, NodeId};
+use crate::query::{Neighbor, SearchMode, SearchParams, SearchResult, TopK};
+use crate::stats::QueryStats;
+
+/// Fully-resolved search controls derived from a [`SearchParams`] and, for
+/// probabilistic modes, a [`DistanceHistogram`].
+#[derive(Debug, Clone, Copy)]
+pub struct SearchSpec {
+    /// Number of neighbors to return.
+    pub k: usize,
+    /// Relative error bound ε (0 ⇒ exact pruning).
+    pub epsilon: f32,
+    /// The δ-radius; 0 disables the probabilistic stop condition.
+    pub r_delta: f32,
+    /// Maximum number of leaves to visit (ng-approximate); `None` means
+    /// unbounded.
+    pub max_leaves: Option<usize>,
+}
+
+impl SearchSpec {
+    /// Exact k-NN.
+    pub fn exact(k: usize) -> Self {
+        Self {
+            k,
+            epsilon: 0.0,
+            r_delta: 0.0,
+            max_leaves: None,
+        }
+    }
+
+    /// Translates user-facing [`SearchParams`] into a search spec.
+    ///
+    /// `histogram` provides the distance distribution needed to estimate
+    /// `r_δ`; it is only consulted for [`SearchMode::DeltaEpsilon`] with
+    /// δ < 1.
+    pub fn from_params(params: &SearchParams, histogram: Option<&DistanceHistogram>) -> Self {
+        match params.mode {
+            SearchMode::Exact => Self::exact(params.k),
+            SearchMode::Ng { nprobe } => Self {
+                k: params.k,
+                epsilon: 0.0,
+                r_delta: 0.0,
+                max_leaves: Some(nprobe.max(1)),
+            },
+            SearchMode::Epsilon { epsilon } => Self {
+                k: params.k,
+                epsilon: epsilon.max(0.0),
+                r_delta: 0.0,
+                max_leaves: None,
+            },
+            SearchMode::DeltaEpsilon { epsilon, delta } => {
+                let r_delta = if delta < 1.0 {
+                    histogram.map(|h| h.r_delta(delta)).unwrap_or(0.0)
+                } else {
+                    0.0
+                };
+                Self {
+                    k: params.k,
+                    epsilon: epsilon.max(0.0),
+                    r_delta,
+                    max_leaves: None,
+                }
+            }
+        }
+    }
+}
+
+/// A queue entry ordered by lower-bound distance (min-heap via `Reverse`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct QueueEntry {
+    lb: f32,
+    node: NodeId,
+}
+
+impl Eq for QueueEntry {}
+
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.lb
+            .total_cmp(&other.lb)
+            .then_with(|| self.node.cmp(&other.node))
+    }
+}
+
+/// Reusable k-NN searcher over a [`HierarchicalIndex`].
+///
+/// Holding the searcher lets callers amortize the priority-queue allocation
+/// across queries of a workload.
+pub struct KnnSearcher<'a, I: HierarchicalIndex + ?Sized> {
+    index: &'a I,
+    queue: BinaryHeap<Reverse<QueueEntry>>,
+}
+
+impl<'a, I: HierarchicalIndex + ?Sized> KnnSearcher<'a, I> {
+    /// Creates a searcher over `index`.
+    pub fn new(index: &'a I) -> Self {
+        Self {
+            index,
+            queue: BinaryHeap::new(),
+        }
+    }
+
+    /// Runs Algorithm 2 (which subsumes Algorithm 1) and returns the
+    /// neighbors found together with cost counters.
+    pub fn search(&mut self, query: &[f32], spec: &SearchSpec) -> SearchResult {
+        let mut stats = QueryStats::new();
+        let mut top = TopK::new(spec.k.max(1));
+        self.queue.clear();
+
+        // Lines 2-5 / 4-7: seed the queue with the root node(s).
+        for root in self.index.roots() {
+            let lb = self.index.min_dist(query, root);
+            stats.lower_bound_computations += 1;
+            self.queue.push(Reverse(QueueEntry { lb, node: root }));
+        }
+
+        let one_plus_eps = 1.0 + spec.epsilon;
+        let delta_threshold = one_plus_eps * spec.r_delta;
+        let mut leaves_visited = 0usize;
+
+        // Lines 8-21: best-first traversal with ε-relaxed pruning.
+        while let Some(Reverse(entry)) = self.queue.pop() {
+            let bsf = top.kth_distance();
+            if entry.lb > bsf / one_plus_eps {
+                // All remaining entries have even larger lower bounds.
+                break;
+            }
+            stats.nodes_visited += 1;
+            if self.index.is_leaf(entry.node) {
+                leaves_visited += 1;
+                stats.leaves_visited += 1;
+                let mut scanned = 0u64;
+                self.index.visit_leaf(entry.node, &mut stats, &mut |id, series| {
+                    scanned += 1;
+                    let bsf = top.kth_distance();
+                    if let Some(d) = euclidean_early_abandon(query, series, bsf) {
+                        top.push(Neighbor::new(id, d));
+                    }
+                });
+                stats.series_scanned += scanned;
+                stats.distance_computations += scanned;
+                // Line 16 of Algorithm 2: probabilistic stop condition.
+                if spec.r_delta > 0.0 && top.is_full() && top.kth_distance() <= delta_threshold {
+                    stats.delta_stop_triggered = true;
+                    break;
+                }
+                // ng-approximate leaf budget.
+                if let Some(max_leaves) = spec.max_leaves {
+                    if leaves_visited >= max_leaves {
+                        break;
+                    }
+                }
+            } else {
+                let bsf = top.kth_distance();
+                for child in self.index.children(entry.node) {
+                    let lb = self.index.min_dist(query, child);
+                    stats.lower_bound_computations += 1;
+                    if lb < bsf / one_plus_eps || !top.is_full() {
+                        self.queue.push(Reverse(QueueEntry { lb, node: child }));
+                    }
+                }
+            }
+        }
+
+        SearchResult::new(top.into_sorted(), stats)
+    }
+}
+
+/// Convenience wrapper: builds a throw-away [`KnnSearcher`] and runs one
+/// query.
+pub fn knn_search<I: HierarchicalIndex + ?Sized>(
+    index: &I,
+    query: &[f32],
+    spec: &SearchSpec,
+) -> SearchResult {
+    KnnSearcher::new(index).search(query, spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::euclidean;
+    use crate::series::Dataset;
+
+    /// A toy balanced binary tree over 1-D points, used to validate the
+    /// generic driver without depending on any concrete index crate.
+    struct ToyTree {
+        dataset: Dataset,
+        // Nodes: (lo, hi) ranges over the sorted order; leaves hold <= cap.
+        nodes: Vec<ToyNode>,
+        order: Vec<usize>,
+    }
+
+    struct ToyNode {
+        lo: usize,
+        hi: usize,
+        min: f32,
+        max: f32,
+        children: Vec<NodeId>,
+    }
+
+    impl ToyTree {
+        fn build(values: &[f32], leaf_cap: usize) -> Self {
+            let mut order: Vec<usize> = (0..values.len()).collect();
+            order.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
+            let mut dataset = Dataset::new(1).unwrap();
+            for &v in values {
+                dataset.push(&[v]).unwrap();
+            }
+            let mut tree = ToyTree {
+                dataset,
+                nodes: Vec::new(),
+                order,
+            };
+            tree.split(0, values.len(), leaf_cap, values);
+            tree
+        }
+
+        fn split(&mut self, lo: usize, hi: usize, cap: usize, values: &[f32]) -> NodeId {
+            let id = self.nodes.len();
+            let slice = &self.order[lo..hi];
+            let min = slice.iter().map(|&i| values[i]).fold(f32::INFINITY, f32::min);
+            let max = slice
+                .iter()
+                .map(|&i| values[i])
+                .fold(f32::NEG_INFINITY, f32::max);
+            self.nodes.push(ToyNode {
+                lo,
+                hi,
+                min,
+                max,
+                children: Vec::new(),
+            });
+            if hi - lo > cap {
+                let mid = (lo + hi) / 2;
+                let l = self.split(lo, mid, cap, values);
+                let r = self.split(mid, hi, cap, values);
+                self.nodes[id].children = vec![l, r];
+            }
+            id
+        }
+    }
+
+    impl HierarchicalIndex for ToyTree {
+        fn roots(&self) -> Vec<NodeId> {
+            vec![0]
+        }
+        fn is_leaf(&self, node: NodeId) -> bool {
+            self.nodes[node].children.is_empty()
+        }
+        fn children(&self, node: NodeId) -> Vec<NodeId> {
+            self.nodes[node].children.clone()
+        }
+        fn min_dist(&self, query: &[f32], node: NodeId) -> f32 {
+            let q = query[0];
+            let n = &self.nodes[node];
+            if q < n.min {
+                n.min - q
+            } else if q > n.max {
+                q - n.max
+            } else {
+                0.0
+            }
+        }
+        fn visit_leaf(
+            &self,
+            node: NodeId,
+            _stats: &mut QueryStats,
+            visit: &mut dyn FnMut(usize, &[f32]),
+        ) {
+            let n = &self.nodes[node];
+            for &idx in &self.order[n.lo..n.hi] {
+                visit(idx, self.dataset.series(idx));
+            }
+        }
+        fn leaf_size(&self, node: NodeId) -> usize {
+            let n = &self.nodes[node];
+            if self.is_leaf(node) {
+                n.hi - n.lo
+            } else {
+                0
+            }
+        }
+    }
+
+    fn brute_force(values: &[f32], q: f32, k: usize) -> Vec<Neighbor> {
+        let mut v: Vec<Neighbor> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| Neighbor::new(i, euclidean(&[x], &[q])))
+            .collect();
+        v.sort();
+        v.truncate(k);
+        v
+    }
+
+    fn sample_values(n: usize) -> Vec<f32> {
+        (0..n).map(|i| ((i * 37) % 101) as f32 / 3.0).collect()
+    }
+
+    #[test]
+    fn exact_search_matches_brute_force() {
+        let values = sample_values(200);
+        let tree = ToyTree::build(&values, 8);
+        for q in [0.0f32, 5.5, 17.2, 40.0] {
+            for k in [1usize, 5, 20] {
+                let res = knn_search(&tree, &[q], &SearchSpec::exact(k));
+                let expected = brute_force(&values, q, k);
+                let got: Vec<f32> = res.neighbors.iter().map(|n| n.distance).collect();
+                let want: Vec<f32> = expected.iter().map(|n| n.distance).collect();
+                assert_eq!(got.len(), k);
+                for (g, w) in got.iter().zip(want.iter()) {
+                    assert!((g - w).abs() < 1e-5, "q={q} k={k}: {got:?} vs {want:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ng_search_visits_at_most_nprobe_leaves() {
+        let values = sample_values(200);
+        let tree = ToyTree::build(&values, 8);
+        let spec = SearchSpec {
+            k: 3,
+            epsilon: 0.0,
+            r_delta: 0.0,
+            max_leaves: Some(1),
+        };
+        let res = knn_search(&tree, &[12.0], &spec);
+        assert_eq!(res.stats.leaves_visited, 1);
+        assert_eq!(res.neighbors.len(), 3);
+        let spec2 = SearchSpec {
+            max_leaves: Some(3),
+            ..spec
+        };
+        let res2 = knn_search(&tree, &[12.0], &spec2);
+        assert!(res2.stats.leaves_visited <= 3);
+        // More leaves can only improve (or keep) the answer.
+        assert!(res2.kth_distance() <= res.kth_distance() + 1e-6);
+    }
+
+    #[test]
+    fn epsilon_guarantee_holds() {
+        let values = sample_values(500);
+        let tree = ToyTree::build(&values, 4);
+        for &eps in &[0.0f32, 0.5, 1.0, 3.0] {
+            for q in [3.3f32, 11.0, 29.9] {
+                let spec = SearchSpec {
+                    k: 5,
+                    epsilon: eps,
+                    r_delta: 0.0,
+                    max_leaves: None,
+                };
+                let res = knn_search(&tree, &[q], &spec);
+                let exact = brute_force(&values, q, 5);
+                // Definition 5: every returned distance is within (1+eps) of the
+                // exact k-th NN distance.
+                let bound = (1.0 + eps) * exact[4].distance + 1e-5;
+                for n in &res.neighbors {
+                    assert!(n.distance <= bound, "eps={eps} q={q}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn epsilon_reduces_work() {
+        let values = sample_values(2000);
+        let tree = ToyTree::build(&values, 4);
+        let exact = knn_search(&tree, &[15.0], &SearchSpec::exact(10));
+        let relaxed = knn_search(
+            &tree,
+            &[15.0],
+            &SearchSpec {
+                k: 10,
+                epsilon: 2.0,
+                r_delta: 0.0,
+                max_leaves: None,
+            },
+        );
+        assert!(relaxed.stats.leaves_visited <= exact.stats.leaves_visited);
+        assert!(relaxed.stats.distance_computations <= exact.stats.distance_computations);
+    }
+
+    #[test]
+    fn delta_stop_triggers_with_large_radius() {
+        let values = sample_values(500);
+        let tree = ToyTree::build(&values, 4);
+        let spec = SearchSpec {
+            k: 1,
+            epsilon: 0.0,
+            r_delta: 1e6, // absurdly large radius: first leaf should satisfy it
+            max_leaves: None,
+        };
+        let res = knn_search(&tree, &[10.0], &spec);
+        assert!(res.stats.delta_stop_triggered);
+        assert_eq!(res.stats.leaves_visited, 1);
+    }
+
+    #[test]
+    fn from_params_translation() {
+        let p = SearchParams::exact(7);
+        let s = SearchSpec::from_params(&p, None);
+        assert_eq!(s.k, 7);
+        assert_eq!(s.epsilon, 0.0);
+        assert_eq!(s.max_leaves, None);
+
+        let p = SearchParams::ng(5, 3);
+        let s = SearchSpec::from_params(&p, None);
+        assert_eq!(s.max_leaves, Some(3));
+
+        let p = SearchParams::epsilon(5, 2.0);
+        let s = SearchSpec::from_params(&p, None);
+        assert_eq!(s.epsilon, 2.0);
+        assert_eq!(s.r_delta, 0.0);
+
+        // delta < 1 without a histogram falls back to r_delta = 0.
+        let p = SearchParams::delta_epsilon(5, 0.5, 1.0);
+        let s = SearchSpec::from_params(&p, None);
+        assert_eq!(s.r_delta, 0.0);
+
+        // delta = 1 never consults the histogram.
+        let h = DistanceHistogram::from_samples(&[1.0, 2.0, 3.0], 4, 100);
+        let p = SearchParams::delta_epsilon(5, 1.0, 1.0);
+        let s = SearchSpec::from_params(&p, Some(&h));
+        assert_eq!(s.r_delta, 0.0);
+
+        let p = SearchParams::delta_epsilon(5, 0.5, 1.0);
+        let s = SearchSpec::from_params(&p, Some(&h));
+        assert!(s.r_delta > 0.0);
+    }
+}

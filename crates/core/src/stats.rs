@@ -1,0 +1,113 @@
+//! Implementation-independent query cost counters.
+//!
+//! The paper complements wall-clock measurements with two
+//! implementation-independent measures: the number of random disk accesses
+//! and the percentage of data accessed. [`QueryStats`] captures those,
+//! together with CPU-side counters that explain where time goes (distance
+//! computations, lower-bound computations, visited leaves/nodes).
+
+/// Cost counters accumulated while answering one query (or a workload, when
+/// merged with [`QueryStats::merge`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct QueryStats {
+    /// Number of full (or early-abandoned) raw-data distance computations.
+    pub distance_computations: u64,
+    /// Number of lower-bound distance computations on summarizations.
+    pub lower_bound_computations: u64,
+    /// Number of leaf nodes (or inverted lists / buckets) visited.
+    pub leaves_visited: u64,
+    /// Number of internal nodes popped from the search priority queue.
+    pub nodes_visited: u64,
+    /// Number of raw series fetched from storage and compared to the query.
+    pub series_scanned: u64,
+    /// Bytes of raw data read from the (simulated) storage layer.
+    pub bytes_read: u64,
+    /// Number of random I/O operations charged by the storage layer.
+    pub random_ios: u64,
+    /// Number of sequential I/O operations charged by the storage layer.
+    pub sequential_ios: u64,
+    /// Whether the probabilistic (δ) stop condition fired for this query.
+    pub delta_stop_triggered: bool,
+}
+
+impl QueryStats {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulates `other` into `self` (used to aggregate a workload).
+    pub fn merge(&mut self, other: &QueryStats) {
+        self.distance_computations += other.distance_computations;
+        self.lower_bound_computations += other.lower_bound_computations;
+        self.leaves_visited += other.leaves_visited;
+        self.nodes_visited += other.nodes_visited;
+        self.series_scanned += other.series_scanned;
+        self.bytes_read += other.bytes_read;
+        self.random_ios += other.random_ios;
+        self.sequential_ios += other.sequential_ios;
+        self.delta_stop_triggered |= other.delta_stop_triggered;
+    }
+
+    /// Fraction of the dataset touched, given the total raw payload size in
+    /// bytes. Returns a value in `[0, +∞)`; values above 1 indicate repeated
+    /// access to the same data.
+    pub fn fraction_data_accessed(&self, total_bytes: u64) -> f64 {
+        if total_bytes == 0 {
+            0.0
+        } else {
+            self.bytes_read as f64 / total_bytes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates_all_fields() {
+        let mut a = QueryStats {
+            distance_computations: 1,
+            lower_bound_computations: 2,
+            leaves_visited: 3,
+            nodes_visited: 4,
+            series_scanned: 5,
+            bytes_read: 6,
+            random_ios: 7,
+            sequential_ios: 8,
+            delta_stop_triggered: false,
+        };
+        let b = QueryStats {
+            distance_computations: 10,
+            lower_bound_computations: 20,
+            leaves_visited: 30,
+            nodes_visited: 40,
+            series_scanned: 50,
+            bytes_read: 60,
+            random_ios: 70,
+            sequential_ios: 80,
+            delta_stop_triggered: true,
+        };
+        a.merge(&b);
+        assert_eq!(a.distance_computations, 11);
+        assert_eq!(a.lower_bound_computations, 22);
+        assert_eq!(a.leaves_visited, 33);
+        assert_eq!(a.nodes_visited, 44);
+        assert_eq!(a.series_scanned, 55);
+        assert_eq!(a.bytes_read, 66);
+        assert_eq!(a.random_ios, 77);
+        assert_eq!(a.sequential_ios, 88);
+        assert!(a.delta_stop_triggered);
+    }
+
+    #[test]
+    fn fraction_data_accessed_handles_zero_total() {
+        let s = QueryStats {
+            bytes_read: 100,
+            ..Default::default()
+        };
+        assert_eq!(s.fraction_data_accessed(0), 0.0);
+        assert!((s.fraction_data_accessed(400) - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,130 @@
+//! Brute-force exact k-NN ground truth.
+//!
+//! Accuracy metrics (recall, MAP, MRE) compare approximate answers against
+//! the exact neighbors. The exact answers are computed by a parallel linear
+//! scan — the only method guaranteed correct independently of any index
+//! implementation, which is why the harness uses it as the yardstick.
+
+use hydra_core::{Dataset, Neighbor, TopK};
+
+use crate::queries::QueryWorkload;
+
+/// Exact k-NN answers for a whole workload.
+#[derive(Debug, Clone)]
+pub struct GroundTruth {
+    /// `answers[q]` holds the exact k nearest neighbors of query `q`,
+    /// sorted by increasing distance.
+    pub answers: Vec<Vec<Neighbor>>,
+    /// The `k` the ground truth was computed for.
+    pub k: usize,
+}
+
+impl GroundTruth {
+    /// Number of queries covered.
+    pub fn len(&self) -> usize {
+        self.answers.len()
+    }
+
+    /// Whether the ground truth is empty.
+    pub fn is_empty(&self) -> bool {
+        self.answers.is_empty()
+    }
+}
+
+/// Exact k nearest neighbors of `query` in `dataset` by linear scan.
+pub fn exact_knn(dataset: &Dataset, query: &[f32], k: usize) -> Vec<Neighbor> {
+    let mut top = TopK::new(k.max(1));
+    for (i, s) in dataset.iter().enumerate() {
+        let bsf = top.kth_distance();
+        if let Some(d) = hydra_core::euclidean_early_abandon(query, s, bsf) {
+            top.push(Neighbor::new(i, d));
+        }
+    }
+    top.into_sorted()
+}
+
+/// Exact k-NN ground truth for every query of a workload, computed with one
+/// scan thread per available core (scoped threads, no unsafe).
+pub fn ground_truth(dataset: &Dataset, workload: &QueryWorkload, k: usize) -> GroundTruth {
+    let queries: Vec<&[f32]> = workload.iter().collect();
+    let num_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(queries.len().max(1));
+    let mut answers: Vec<Vec<Neighbor>> = vec![Vec::new(); queries.len()];
+
+    if num_threads <= 1 || queries.len() < 4 {
+        for (q, query) in queries.iter().enumerate() {
+            answers[q] = exact_knn(dataset, query, k);
+        }
+        return GroundTruth { answers, k };
+    }
+
+    let chunk = queries.len().div_ceil(num_threads);
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (t, chunk_queries) in queries.chunks(chunk).enumerate() {
+            let handle = scope.spawn(move |_| {
+                let mut local = Vec::with_capacity(chunk_queries.len());
+                for query in chunk_queries {
+                    local.push(exact_knn(dataset, query, k));
+                }
+                (t, local)
+            });
+            handles.push(handle);
+        }
+        for handle in handles {
+            let (t, local) = handle.join().expect("ground-truth worker panicked");
+            for (i, ans) in local.into_iter().enumerate() {
+                answers[t * chunk + i] = ans;
+            }
+        }
+    })
+    .expect("ground-truth scope failed");
+
+    GroundTruth { answers, k }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::random_walk;
+    use crate::queries::noisy_queries;
+
+    #[test]
+    fn exact_knn_finds_the_query_itself() {
+        let d = random_walk(100, 32, 1);
+        let gt = exact_knn(&d, d.series(42), 3);
+        assert_eq!(gt[0].index, 42);
+        assert!(gt[0].distance.abs() < 1e-5);
+        assert_eq!(gt.len(), 3);
+        // Sorted by distance.
+        assert!(gt[0].distance <= gt[1].distance);
+        assert!(gt[1].distance <= gt[2].distance);
+    }
+
+    #[test]
+    fn parallel_ground_truth_matches_sequential() {
+        let d = random_walk(300, 32, 2);
+        let w = noisy_queries(&d, 16, &[0.1, 0.5], 3);
+        let gt = ground_truth(&d, &w, 5);
+        assert_eq!(gt.len(), 16);
+        assert_eq!(gt.k, 5);
+        assert!(!gt.is_empty());
+        for (q, query) in w.iter().enumerate() {
+            let seq = exact_knn(&d, query, 5);
+            assert_eq!(gt.answers[q].len(), 5);
+            for (a, b) in gt.answers[q].iter().zip(seq.iter()) {
+                assert_eq!(a.index, b.index);
+                assert!((a.distance - b.distance).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn k_larger_than_dataset_returns_all() {
+        let d = random_walk(5, 16, 4);
+        let gt = exact_knn(&d, d.series(0), 10);
+        assert_eq!(gt.len(), 5);
+    }
+}

@@ -1,0 +1,169 @@
+//! Query workload generation.
+//!
+//! The paper's workloads contain 100 queries. Synthetic queries come from
+//! the same generator as the dataset (with a different seed); for real
+//! datasets, queries are produced by adding progressively larger amounts of
+//! noise to stored series, producing a controlled range of difficulties
+//! (following Zoumpatianos et al., "Generating data series query
+//! workloads").
+
+use hydra_core::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A set of query series together with the noise level each was generated
+/// with (0 for queries drawn directly from the data distribution).
+#[derive(Debug, Clone)]
+pub struct QueryWorkload {
+    /// The query series.
+    pub queries: Dataset,
+    /// Noise level used for each query (same order as `queries`).
+    pub noise_levels: Vec<f32>,
+}
+
+impl QueryWorkload {
+    /// Number of queries in the workload.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Whether the workload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// Iterates over the query series.
+    pub fn iter(&self) -> impl Iterator<Item = &[f32]> + '_ {
+        self.queries.iter()
+    }
+}
+
+fn normal<R: Rng>(rng: &mut R) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+/// Builds a workload of `count` queries by perturbing randomly chosen series
+/// of `dataset` with Gaussian noise.
+///
+/// Noise levels are spread uniformly across `noise_levels` (e.g.,
+/// `[0.0, 0.1, 0.25, 0.5]`), so the workload mixes easy and hard queries as
+/// in the paper. The noise standard deviation for a query is
+/// `level * std(series)`.
+pub fn noisy_queries(
+    dataset: &Dataset,
+    count: usize,
+    noise_levels: &[f32],
+    seed: u64,
+) -> QueryWorkload {
+    assert!(!dataset.is_empty(), "cannot derive queries from an empty dataset");
+    let levels = if noise_levels.is_empty() {
+        &[0.1f32][..]
+    } else {
+        noise_levels
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let len = dataset.series_len();
+    let mut queries = Dataset::with_capacity(len, count).expect("positive length");
+    let mut used_levels = Vec::with_capacity(count);
+    let mut buf = vec![0.0f32; len];
+    for q in 0..count {
+        let source = rng.gen_range(0..dataset.len());
+        let level = levels[q % levels.len()];
+        let series = dataset.series(source);
+        let mean: f32 = series.iter().sum::<f32>() / len as f32;
+        let std: f32 = (series.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / len as f32)
+            .sqrt()
+            .max(f32::EPSILON);
+        for (dst, &src) in buf.iter_mut().zip(series.iter()) {
+            *dst = src + normal(&mut rng) * level * std;
+        }
+        queries.push(&buf).expect("length is fixed");
+        used_levels.push(level);
+    }
+    QueryWorkload {
+        queries,
+        noise_levels: used_levels,
+    }
+}
+
+/// Builds a workload of `count` queries drawn from the same generator as the
+/// dataset family (used for the synthetic Rand datasets, where the paper
+/// generates queries with a different seed).
+pub fn sample_queries(
+    kind: crate::generators::DatasetKind,
+    count: usize,
+    series_len: usize,
+    seed: u64,
+) -> QueryWorkload {
+    let queries = kind.generate(count, series_len, seed);
+    QueryWorkload {
+        noise_levels: vec![0.0; queries.len()],
+        queries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{random_walk, DatasetKind};
+
+    #[test]
+    fn noisy_queries_have_expected_shape_and_levels() {
+        let d = random_walk(100, 64, 1);
+        let w = noisy_queries(&d, 10, &[0.0, 0.5], 2);
+        assert_eq!(w.len(), 10);
+        assert!(!w.is_empty());
+        assert_eq!(w.queries.series_len(), 64);
+        assert_eq!(w.noise_levels.len(), 10);
+        // Levels alternate 0.0, 0.5, 0.0, ...
+        assert_eq!(w.noise_levels[0], 0.0);
+        assert_eq!(w.noise_levels[1], 0.5);
+        assert_eq!(w.iter().count(), 10);
+    }
+
+    #[test]
+    fn zero_noise_queries_match_source_series_exactly() {
+        let d = random_walk(50, 32, 3);
+        let w = noisy_queries(&d, 20, &[0.0], 4);
+        // Every query must be identical to some stored series.
+        for q in w.iter() {
+            let found = d.iter().any(|s| s == q);
+            assert!(found, "zero-noise query should equal a dataset series");
+        }
+    }
+
+    #[test]
+    fn higher_noise_means_larger_distance_to_source() {
+        let d = random_walk(50, 128, 5);
+        let low = noisy_queries(&d, 30, &[0.05], 6);
+        let high = noisy_queries(&d, 30, &[1.0], 6);
+        let nn_dist = |w: &QueryWorkload| -> f32 {
+            w.iter()
+                .map(|q| {
+                    d.iter()
+                        .map(|s| hydra_core::euclidean(q, s))
+                        .fold(f32::INFINITY, f32::min)
+                })
+                .sum::<f32>()
+                / w.len() as f32
+        };
+        assert!(nn_dist(&low) < nn_dist(&high));
+    }
+
+    #[test]
+    fn sample_queries_uses_generator() {
+        let w = sample_queries(DatasetKind::RandomWalk, 5, 32, 77);
+        assert_eq!(w.len(), 5);
+        assert!(w.noise_levels.iter().all(|&l| l == 0.0));
+    }
+
+    #[test]
+    fn workload_is_deterministic() {
+        let d = random_walk(40, 32, 9);
+        let a = noisy_queries(&d, 10, &[0.1, 0.3], 42);
+        let b = noisy_queries(&d, 10, &[0.1, 0.3], 42);
+        assert_eq!(a.queries, b.queries);
+    }
+}

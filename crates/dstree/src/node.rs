@@ -1,0 +1,568 @@
+//! The DSTree index proper.
+
+use hydra_core::{
+    knn_search, AnnIndex, Capabilities, Dataset, DistanceHistogram, Error, HierarchicalIndex,
+    QueryStats, Representation, Result, SearchParams, SearchResult,
+};
+use hydra_core::search::SearchSpec;
+use hydra_storage::{SeriesStore, StorageConfig};
+use hydra_summarize::apca::{segment_stats, uniform_segments, Segment};
+
+use crate::split::{enumerate_candidates, SplitRule};
+
+/// Configuration of a [`DsTree`].
+#[derive(Debug, Clone, Copy)]
+pub struct DsTreeConfig {
+    /// Maximum number of series a leaf may hold before splitting.
+    pub leaf_capacity: usize,
+    /// Initial number of segments of the root node.
+    pub initial_segments: usize,
+    /// Maximum number of segments a node may reach through vertical splits.
+    pub max_segments: usize,
+    /// Simulated storage configuration for the raw series.
+    pub storage: StorageConfig,
+    /// Number of pairwise-distance samples used to estimate the distance
+    /// distribution for δ-ε-approximate search.
+    pub histogram_samples: usize,
+    /// Seed for the histogram sampling.
+    pub seed: u64,
+}
+
+impl Default for DsTreeConfig {
+    /// Defaults scaled from the paper's setup (leaf size 100K on 25-250 GB
+    /// datasets) down to laptop-scale datasets.
+    fn default() -> Self {
+        Self {
+            leaf_capacity: 128,
+            initial_segments: 4,
+            max_segments: 16,
+            storage: StorageConfig::on_disk(),
+            histogram_samples: 20_000,
+            seed: 0xD57EE,
+        }
+    }
+}
+
+/// Per-segment synopsis: the range of segment means and standard deviations
+/// over every series stored in the subtree.
+#[derive(Debug, Clone, Copy)]
+struct Synopsis {
+    min_mean: f32,
+    max_mean: f32,
+    min_std: f32,
+    max_std: f32,
+}
+
+impl Synopsis {
+    fn empty() -> Self {
+        Self {
+            min_mean: f32::INFINITY,
+            max_mean: f32::NEG_INFINITY,
+            min_std: f32::INFINITY,
+            max_std: f32::NEG_INFINITY,
+        }
+    }
+
+    fn absorb(&mut self, mean: f32, std: f32) {
+        self.min_mean = self.min_mean.min(mean);
+        self.max_mean = self.max_mean.max(mean);
+        self.min_std = self.min_std.min(std);
+        self.max_std = self.max_std.max(std);
+    }
+}
+
+#[derive(Debug)]
+struct Node {
+    segments: Vec<Segment>,
+    synopsis: Vec<Synopsis>,
+    children: Vec<usize>,
+    rule: Option<SplitRule>,
+    /// Series ids (dataset positions) stored here while building.
+    members: Vec<usize>,
+    /// After materialization: the contiguous range of this leaf in the
+    /// leaf-ordered series store.
+    store_start: usize,
+    store_len: usize,
+    size: usize,
+}
+
+impl Node {
+    fn new_leaf(segments: Vec<Segment>) -> Self {
+        let synopsis = vec![Synopsis::empty(); segments.len()];
+        Self {
+            segments,
+            synopsis,
+            children: Vec::new(),
+            rule: None,
+            members: Vec::new(),
+            store_start: 0,
+            store_len: 0,
+            size: 0,
+        }
+    }
+
+    fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+}
+
+/// The DSTree index.
+pub struct DsTree {
+    config: DsTreeConfig,
+    series_len: usize,
+    nodes: Vec<Node>,
+    /// Leaf-ordered raw series (the simulated on-disk layout).
+    store: SeriesStore,
+    /// Maps positions in the store back to dataset positions.
+    store_to_dataset: Vec<usize>,
+    histogram: DistanceHistogram,
+    num_series: usize,
+}
+
+impl DsTree {
+    /// Builds a DSTree over `dataset`.
+    ///
+    /// # Errors
+    /// Returns an error if the dataset is empty or the configuration is
+    /// invalid.
+    pub fn build(dataset: &Dataset, config: DsTreeConfig) -> Result<Self> {
+        if dataset.is_empty() {
+            return Err(Error::EmptyDataset);
+        }
+        if config.leaf_capacity == 0 {
+            return Err(Error::InvalidParameter("leaf capacity must be positive".into()));
+        }
+        let series_len = dataset.series_len();
+        let initial = config.initial_segments.clamp(1, series_len);
+        let mut tree = Self {
+            config,
+            series_len,
+            nodes: vec![Node::new_leaf(uniform_segments(series_len, initial))],
+            store: SeriesStore::new(series_len, config.storage)?,
+            store_to_dataset: Vec::with_capacity(dataset.len()),
+            histogram: DistanceHistogram::from_dataset(
+                dataset,
+                config.histogram_samples,
+                256,
+                config.seed,
+            ),
+            num_series: dataset.len(),
+        };
+        for id in 0..dataset.len() {
+            tree.insert(dataset, id);
+        }
+        tree.materialize(dataset)?;
+        Ok(tree)
+    }
+
+    /// Inserts one series (by dataset position) into the tree.
+    fn insert(&mut self, dataset: &Dataset, id: usize) {
+        let series = dataset.series(id);
+        // Descend to the leaf, updating synopses along the way.
+        let mut node_id = 0usize;
+        loop {
+            self.absorb(node_id, series);
+            if self.nodes[node_id].is_leaf() {
+                break;
+            }
+            let rule = self.nodes[node_id].rule.expect("internal node has a rule");
+            let left = rule.goes_left(series, &self.nodes[node_id].segments);
+            let children = &self.nodes[node_id].children;
+            node_id = if left { children[0] } else { children[1] };
+        }
+        self.nodes[node_id].members.push(id);
+        if self.nodes[node_id].members.len() > self.config.leaf_capacity {
+            self.split_leaf(dataset, node_id);
+        }
+    }
+
+    fn absorb(&mut self, node_id: usize, series: &[f32]) {
+        let node = &mut self.nodes[node_id];
+        node.size += 1;
+        for (seg, syn) in node.segments.clone().iter().zip(node.synopsis.iter_mut()) {
+            let st = segment_stats(series, *seg);
+            syn.absorb(st.mean, st.std);
+        }
+    }
+
+    /// Splits an overflowing leaf using the best-scoring candidate
+    /// (horizontal or vertical).
+    fn split_leaf(&mut self, dataset: &Dataset, node_id: usize) {
+        let members = self.nodes[node_id].members.clone();
+        let series: Vec<&[f32]> = members.iter().map(|&id| dataset.series(id)).collect();
+        let candidates = enumerate_candidates(
+            &series,
+            &self.nodes[node_id].segments,
+            self.config.max_segments,
+        );
+        let Some(best) = candidates
+            .into_iter()
+            .max_by(|a, b| a.score.total_cmp(&b.score))
+        else {
+            // All series are identical under every statistic; keep the
+            // oversized leaf (splitting cannot help).
+            return;
+        };
+
+        let child_segments = best.segments.clone();
+        let mut left = Node::new_leaf(child_segments.clone());
+        let mut right = Node::new_leaf(child_segments.clone());
+        for (&id, s) in members.iter().zip(series.iter()) {
+            let target = if best.rule.goes_left(s, &child_segments) {
+                &mut left
+            } else {
+                &mut right
+            };
+            target.members.push(id);
+            target.size += 1;
+            for (seg, syn) in child_segments.iter().zip(target.synopsis.iter_mut()) {
+                let st = segment_stats(s, *seg);
+                syn.absorb(st.mean, st.std);
+            }
+        }
+        // Degenerate partitions can happen when the threshold equals the
+        // extreme value; fall back to a balanced split on the same ordering.
+        if left.members.is_empty() || right.members.is_empty() {
+            left.members.clear();
+            right.members.clear();
+            left.synopsis = vec![Synopsis::empty(); child_segments.len()];
+            right.synopsis = vec![Synopsis::empty(); child_segments.len()];
+            left.size = 0;
+            right.size = 0;
+            for (i, (&id, s)) in members.iter().zip(series.iter()).enumerate() {
+                let target = if i % 2 == 0 { &mut left } else { &mut right };
+                target.members.push(id);
+                target.size += 1;
+                for (seg, syn) in child_segments.iter().zip(target.synopsis.iter_mut()) {
+                    let st = segment_stats(s, *seg);
+                    syn.absorb(st.mean, st.std);
+                }
+            }
+        }
+
+        let left_id = self.nodes.len();
+        self.nodes.push(left);
+        let right_id = self.nodes.len();
+        self.nodes.push(right);
+        let parent = &mut self.nodes[node_id];
+        parent.members.clear();
+        parent.children = vec![left_id, right_id];
+        parent.rule = Some(best.rule);
+        parent.segments = child_segments;
+        // The parent synopsis must be recomputed for the refined
+        // segmentation: take the union of the children's synopses.
+        let mut synopsis = vec![Synopsis::empty(); self.nodes[node_id].segments.len()];
+        for &child in &[left_id, right_id] {
+            for (i, syn) in self.nodes[child].synopsis.iter().enumerate() {
+                synopsis[i].min_mean = synopsis[i].min_mean.min(syn.min_mean);
+                synopsis[i].max_mean = synopsis[i].max_mean.max(syn.max_mean);
+                synopsis[i].min_std = synopsis[i].min_std.min(syn.min_std);
+                synopsis[i].max_std = synopsis[i].max_std.max(syn.max_std);
+            }
+        }
+        self.nodes[node_id].synopsis = synopsis;
+    }
+
+    /// Writes leaf contents contiguously into the simulated store (the
+    /// on-disk layout of the original implementation, where each leaf owns a
+    /// contiguous region).
+    fn materialize(&mut self, dataset: &Dataset) -> Result<()> {
+        let leaf_ids: Vec<usize> = (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].is_leaf())
+            .collect();
+        for leaf_id in leaf_ids {
+            let members = self.nodes[leaf_id].members.clone();
+            let start = self.store.len();
+            for &id in &members {
+                self.store.append(dataset.series(id))?;
+                self.store_to_dataset.push(id);
+            }
+            let node = &mut self.nodes[leaf_id];
+            node.store_start = start;
+            node.store_len = members.len();
+        }
+        self.store.reset_io();
+        Ok(())
+    }
+
+    /// Number of leaves in the tree.
+    pub fn num_leaves(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_leaf()).count()
+    }
+
+    /// Average leaf fill factor (stored series / leaf capacity).
+    pub fn avg_leaf_fill(&self) -> f64 {
+        let leaves: Vec<&Node> = self.nodes.iter().filter(|n| n.is_leaf()).collect();
+        if leaves.is_empty() {
+            return 0.0;
+        }
+        let total: usize = leaves.iter().map(|n| n.store_len).sum();
+        total as f64 / (leaves.len() * self.config.leaf_capacity) as f64
+    }
+
+    /// The simulated storage layer holding the raw series.
+    pub fn store(&self) -> &SeriesStore {
+        &self.store
+    }
+
+    /// The distance histogram used for δ-ε-approximate search.
+    pub fn histogram(&self) -> &DistanceHistogram {
+        &self.histogram
+    }
+
+    /// The configuration the tree was built with.
+    pub fn config(&self) -> &DsTreeConfig {
+        &self.config
+    }
+
+    /// Lower bound between `query` and node `node_id` using the EAPCA
+    /// synopsis: for every segment, the query's segment mean/std are clamped
+    /// into the node's ranges, and the per-segment contribution is
+    /// `len · ((μ_q - μ̂)² + (σ_q - σ̂)²)`.
+    fn node_min_dist(&self, query: &[f32], node_id: usize) -> f32 {
+        let node = &self.nodes[node_id];
+        if node.size == 0 {
+            return f32::INFINITY;
+        }
+        let mut acc = 0.0f32;
+        for (seg, syn) in node.segments.iter().zip(node.synopsis.iter()) {
+            let st = segment_stats(query, *seg);
+            let mean_gap = if st.mean < syn.min_mean {
+                syn.min_mean - st.mean
+            } else if st.mean > syn.max_mean {
+                st.mean - syn.max_mean
+            } else {
+                0.0
+            };
+            let std_gap = if st.std < syn.min_std {
+                syn.min_std - st.std
+            } else if st.std > syn.max_std {
+                st.std - syn.max_std
+            } else {
+                0.0
+            };
+            acc += seg.len() as f32 * (mean_gap * mean_gap + std_gap * std_gap);
+        }
+        acc.sqrt()
+    }
+}
+
+impl HierarchicalIndex for DsTree {
+    fn roots(&self) -> Vec<usize> {
+        vec![0]
+    }
+
+    fn is_leaf(&self, node: usize) -> bool {
+        self.nodes[node].is_leaf()
+    }
+
+    fn children(&self, node: usize) -> Vec<usize> {
+        self.nodes[node].children.clone()
+    }
+
+    fn min_dist(&self, query: &[f32], node: usize) -> f32 {
+        self.node_min_dist(query, node)
+    }
+
+    fn visit_leaf(
+        &self,
+        node: usize,
+        stats: &mut QueryStats,
+        visit: &mut dyn FnMut(usize, &[f32]),
+    ) {
+        let n = &self.nodes[node];
+        if n.store_len == 0 {
+            return;
+        }
+        self.store
+            .read_range(n.store_start, n.store_len, stats, &mut |pos, series| {
+                visit(self.store_to_dataset[pos], series);
+            });
+    }
+
+    fn leaf_size(&self, node: usize) -> usize {
+        self.nodes[node].store_len
+    }
+}
+
+impl AnnIndex for DsTree {
+    fn name(&self) -> &'static str {
+        "DSTree"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            exact: true,
+            ng_approximate: true,
+            epsilon_approximate: true,
+            delta_epsilon_approximate: true,
+            disk_resident: true,
+            representation: Representation::Eapca,
+        }
+    }
+
+    fn num_series(&self) -> usize {
+        self.num_series
+    }
+
+    fn series_len(&self) -> usize {
+        self.series_len
+    }
+
+    fn memory_footprint(&self) -> usize {
+        // The index structure itself: nodes with segmentation + synopsis.
+        // Raw series live on (simulated) disk and are not counted, matching
+        // how the paper reports DSTree's small footprint.
+        self.nodes
+            .iter()
+            .map(|n| {
+                std::mem::size_of::<Node>()
+                    + n.segments.len() * std::mem::size_of::<Segment>()
+                    + n.synopsis.len() * std::mem::size_of::<Synopsis>()
+            })
+            .sum::<usize>()
+            + self.store_to_dataset.len() * std::mem::size_of::<usize>()
+    }
+
+    fn search(&self, query: &[f32], params: &SearchParams) -> Result<SearchResult> {
+        if query.len() != self.series_len {
+            return Err(Error::DimensionMismatch {
+                expected: self.series_len,
+                found: query.len(),
+            });
+        }
+        let spec = SearchSpec::from_params(params, Some(&self.histogram));
+        Ok(knn_search(self, query, &spec))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydra_data::{exact_knn, random_walk};
+
+    fn build_small(n: usize, len: usize) -> (Dataset, DsTree) {
+        let data = random_walk(n, len, 42);
+        let config = DsTreeConfig {
+            leaf_capacity: 16,
+            initial_segments: 4,
+            max_segments: 8,
+            storage: StorageConfig::in_memory(),
+            histogram_samples: 2_000,
+            seed: 1,
+        };
+        let tree = DsTree::build(&data, config).unwrap();
+        (data, tree)
+    }
+
+    #[test]
+    fn build_rejects_empty_dataset() {
+        let empty = Dataset::new(8).unwrap();
+        assert!(DsTree::build(&empty, DsTreeConfig::default()).is_err());
+        let one = random_walk(1, 8, 0);
+        let bad = DsTreeConfig {
+            leaf_capacity: 0,
+            ..DsTreeConfig::default()
+        };
+        assert!(DsTree::build(&one, bad).is_err());
+    }
+
+    #[test]
+    fn tree_partitions_all_series_into_leaves() {
+        let (data, tree) = build_small(500, 64);
+        let total: usize = (0..tree.nodes.len())
+            .filter(|&i| tree.is_leaf(i))
+            .map(|i| tree.leaf_size(i))
+            .sum();
+        assert_eq!(total, data.len());
+        assert!(tree.num_leaves() > 1, "500 series must split a 16-capacity leaf");
+        assert!(tree.avg_leaf_fill() > 0.0);
+        assert_eq!(tree.num_series(), 500);
+        assert_eq!(tree.series_len(), 64);
+        assert!(tree.memory_footprint() > 0);
+        assert_eq!(tree.name(), "DSTree");
+        assert!(tree.capabilities().exact);
+        assert!(tree.capabilities().disk_resident);
+    }
+
+    #[test]
+    fn exact_search_matches_brute_force() {
+        let (data, tree) = build_small(400, 32);
+        for qi in [0usize, 13, 77] {
+            let query = data.series(qi);
+            let res = tree.search(query, &SearchParams::exact(10)).unwrap();
+            let gt = exact_knn(&data, query, 10);
+            assert_eq!(res.neighbors.len(), 10);
+            for (a, b) in res.neighbors.iter().zip(gt.iter()) {
+                assert!(
+                    (a.distance - b.distance).abs() < 1e-4,
+                    "exact search must match brute force"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn epsilon_guarantee_holds() {
+        let (data, tree) = build_small(400, 32);
+        let queries = random_walk(10, 32, 7);
+        for eps in [0.5f32, 1.0, 3.0] {
+            for q in queries.iter() {
+                let res = tree.search(q, &SearchParams::epsilon(5, eps)).unwrap();
+                let gt = exact_knn(&data, q, 5);
+                let bound = (1.0 + eps) * gt[4].distance + 1e-4;
+                for n in &res.neighbors {
+                    assert!(n.distance <= bound, "eps={eps}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ng_search_visits_bounded_leaves_and_is_fast_but_approximate() {
+        let (data, tree) = build_small(800, 32);
+        let query = random_walk(1, 32, 99);
+        let q = query.series(0);
+        let ng = tree.search(q, &SearchParams::ng(5, 2)).unwrap();
+        assert!(ng.stats.leaves_visited <= 2);
+        let exact = tree.search(q, &SearchParams::exact(5)).unwrap();
+        assert!(ng.stats.distance_computations <= exact.stats.distance_computations);
+        // ng answers are never better than exact ones.
+        assert!(ng.kth_distance() + 1e-6 >= exact.kth_distance());
+        let _ = data;
+    }
+
+    #[test]
+    fn delta_epsilon_search_returns_valid_answers() {
+        let (data, tree) = build_small(400, 32);
+        let q = data.series(3);
+        let res = tree
+            .search(q, &SearchParams::delta_epsilon(5, 0.95, 1.0))
+            .unwrap();
+        assert_eq!(res.neighbors.len(), 5);
+        // Distances are sorted and finite.
+        for w in res.neighbors.windows(2) {
+            assert!(w[0].distance <= w[1].distance);
+        }
+    }
+
+    #[test]
+    fn search_rejects_wrong_dimension() {
+        let (_, tree) = build_small(100, 32);
+        assert!(tree.search(&[0.0; 8], &SearchParams::exact(1)).is_err());
+    }
+
+    #[test]
+    fn exact_search_accesses_less_data_than_full_scan_on_clustered_data() {
+        // Random walks are highly correlated, which is where DSTree pruning
+        // shines; verify pruning actually happens.
+        let (data, tree) = build_small(1000, 64);
+        let q = data.series(11);
+        let res = tree.search(q, &SearchParams::exact(1)).unwrap();
+        assert!(
+            (res.stats.series_scanned as usize) < data.len(),
+            "exact search should prune part of the dataset"
+        );
+        assert_eq!(res.neighbors[0].index, 11);
+    }
+}

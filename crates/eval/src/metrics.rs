@@ -1,0 +1,166 @@
+//! Accuracy metrics (Section 4.1 of the paper).
+
+use hydra_core::Neighbor;
+
+/// Recall of one query: the fraction of true neighbors returned.
+///
+/// `Recall(S_Q) = (# true neighbors returned) / k`.
+pub fn recall(found: &[Neighbor], truth: &[Neighbor]) -> f64 {
+    if truth.is_empty() {
+        return 1.0;
+    }
+    let truth_ids: std::collections::HashSet<usize> = truth.iter().map(|n| n.index).collect();
+    let hits = found.iter().filter(|n| truth_ids.contains(&n.index)).count();
+    hits as f64 / truth.len() as f64
+}
+
+/// Average precision of one query (the rank-sensitive measure the paper
+/// prefers over recall):
+///
+/// `AP(S_Q) = (1/k) Σ_r P(S_Q, r) · rel(r)` where `P(S_Q, r)` is the
+/// precision among the first `r` returned elements and `rel(r)` indicates
+/// whether the element at rank `r` is a true neighbor.
+pub fn average_precision(found: &[Neighbor], truth: &[Neighbor]) -> f64 {
+    if truth.is_empty() {
+        return 1.0;
+    }
+    let truth_ids: std::collections::HashSet<usize> = truth.iter().map(|n| n.index).collect();
+    let k = truth.len();
+    let mut hits = 0usize;
+    let mut ap = 0.0f64;
+    for (r, n) in found.iter().enumerate().take(k) {
+        if truth_ids.contains(&n.index) {
+            hits += 1;
+            ap += hits as f64 / (r + 1) as f64;
+        }
+    }
+    ap / k as f64
+}
+
+/// Relative error of one query:
+///
+/// `RE(S_Q) = (1/k) Σ_r (d(S_Q, S_Cr) − d(S_Q, S_Ci)) / d(S_Q, S_Ci)` where
+/// `S_Cr` is the r-th returned neighbor and `S_Ci` the true r-th nearest
+/// neighbor. Pairs whose exact distance is zero are skipped, as in the paper
+/// (which excludes self-matches from the definition).
+pub fn mean_relative_error(found: &[Neighbor], truth: &[Neighbor]) -> f64 {
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0f64;
+    let mut counted = 0usize;
+    for (r, exact) in truth.iter().enumerate() {
+        if exact.distance <= f32::EPSILON {
+            continue;
+        }
+        let approx = found
+            .get(r)
+            .map(|n| n.distance)
+            .unwrap_or(f32::INFINITY)
+            .max(exact.distance);
+        total += ((approx - exact.distance) / exact.distance) as f64;
+        counted += 1;
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        total / counted as f64
+    }
+}
+
+/// Workload-level accuracy summary: the three measures averaged over all
+/// queries.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AccuracySummary {
+    /// Average recall over the workload.
+    pub avg_recall: f64,
+    /// Mean average precision over the workload.
+    pub map: f64,
+    /// Mean relative (distance) error over the workload.
+    pub mre: f64,
+}
+
+impl AccuracySummary {
+    /// Averages per-query measurements.
+    pub fn from_queries(per_query: &[(f64, f64, f64)]) -> Self {
+        if per_query.is_empty() {
+            return Self::default();
+        }
+        let n = per_query.len() as f64;
+        Self {
+            avg_recall: per_query.iter().map(|q| q.0).sum::<f64>() / n,
+            map: per_query.iter().map(|q| q.1).sum::<f64>() / n,
+            mre: per_query.iter().map(|q| q.2).sum::<f64>() / n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(index: usize, distance: f32) -> Neighbor {
+        Neighbor::new(index, distance)
+    }
+
+    #[test]
+    fn perfect_answer_scores_one() {
+        let truth = vec![n(1, 1.0), n(2, 2.0), n(3, 3.0)];
+        assert_eq!(recall(&truth, &truth), 1.0);
+        assert_eq!(average_precision(&truth, &truth), 1.0);
+        assert_eq!(mean_relative_error(&truth, &truth), 0.0);
+    }
+
+    #[test]
+    fn empty_answer_scores_zero() {
+        let truth = vec![n(1, 1.0), n(2, 2.0)];
+        assert_eq!(recall(&[], &truth), 0.0);
+        assert_eq!(average_precision(&[], &truth), 0.0);
+        assert!(mean_relative_error(&[], &truth) > 1e6);
+    }
+
+    #[test]
+    fn recall_counts_set_overlap_only() {
+        let truth = vec![n(1, 1.0), n(2, 2.0), n(3, 3.0), n(4, 4.0)];
+        let found = vec![n(3, 3.0), n(9, 9.0), n(1, 1.0), n(8, 8.0)];
+        assert_eq!(recall(&found, &truth), 0.5);
+    }
+
+    #[test]
+    fn map_is_rank_sensitive_where_recall_is_not() {
+        let truth = vec![n(1, 1.0), n(2, 2.0), n(3, 3.0), n(4, 4.0)];
+        // Same set of hits, different order: recall identical, AP differs.
+        let good_order = vec![n(1, 1.0), n(2, 2.0), n(8, 9.0), n(9, 9.0)];
+        let bad_order = vec![n(8, 9.0), n(9, 9.0), n(1, 1.0), n(2, 2.0)];
+        assert_eq!(recall(&good_order, &truth), recall(&bad_order, &truth));
+        assert!(average_precision(&good_order, &truth) > average_precision(&bad_order, &truth));
+    }
+
+    #[test]
+    fn mre_measures_distance_degradation() {
+        let truth = vec![n(1, 1.0), n(2, 2.0)];
+        let found = vec![n(7, 1.5), n(8, 3.0)];
+        // ((1.5-1)/1 + (3-2)/2) / 2 = (0.5 + 0.5)/2 = 0.5
+        assert!((mean_relative_error(&found, &truth) - 0.5).abs() < 1e-9);
+        // Zero-distance exact neighbors are skipped.
+        let truth_zero = vec![n(1, 0.0), n(2, 2.0)];
+        let found2 = vec![n(1, 0.0), n(2, 2.0)];
+        assert_eq!(mean_relative_error(&found2, &truth_zero), 0.0);
+    }
+
+    #[test]
+    fn summary_averages_queries() {
+        let s = AccuracySummary::from_queries(&[(1.0, 1.0, 0.0), (0.5, 0.25, 0.2)]);
+        assert!((s.avg_recall - 0.75).abs() < 1e-12);
+        assert!((s.map - 0.625).abs() < 1e-12);
+        assert!((s.mre - 0.1).abs() < 1e-12);
+        assert_eq!(AccuracySummary::from_queries(&[]), AccuracySummary::default());
+    }
+
+    #[test]
+    fn empty_truth_is_trivially_satisfied() {
+        assert_eq!(recall(&[n(0, 1.0)], &[]), 1.0);
+        assert_eq!(average_precision(&[n(0, 1.0)], &[]), 1.0);
+        assert_eq!(mean_relative_error(&[n(0, 1.0)], &[]), 0.0);
+    }
+}

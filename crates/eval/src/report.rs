@@ -1,0 +1,205 @@
+//! CSV reporting and the Figure 9 decision matrix.
+
+use std::fmt::Write as _;
+
+/// A minimal CSV writer used by the figure harnesses (keeps the workspace
+/// free of serialization dependencies).
+#[derive(Debug, Default)]
+pub struct CsvWriter {
+    buffer: String,
+    columns: usize,
+}
+
+impl CsvWriter {
+    /// Creates a writer with the given header row.
+    pub fn new(header: &[&str]) -> Self {
+        let mut w = Self {
+            buffer: String::new(),
+            columns: header.len(),
+        };
+        w.write_row_internal(header.iter().map(|s| s.to_string()));
+        w
+    }
+
+    /// Appends one row. Values are formatted with `Display`.
+    ///
+    /// # Panics
+    /// Panics if the number of values differs from the header width.
+    pub fn row<I, T>(&mut self, values: I)
+    where
+        I: IntoIterator<Item = T>,
+        T: std::fmt::Display,
+    {
+        let rendered: Vec<String> = values.into_iter().map(|v| v.to_string()).collect();
+        assert_eq!(
+            rendered.len(),
+            self.columns,
+            "row width must match the header"
+        );
+        self.write_row_internal(rendered.into_iter());
+    }
+
+    fn write_row_internal<I: Iterator<Item = String>>(&mut self, values: I) {
+        let mut first = true;
+        for v in values {
+            if !first {
+                self.buffer.push(',');
+            }
+            let needs_quotes = v.contains(',') || v.contains('"');
+            if needs_quotes {
+                let escaped = v.replace('"', "\"\"");
+                let _ = write!(self.buffer, "\"{escaped}\"");
+            } else {
+                self.buffer.push_str(&v);
+            }
+            first = false;
+        }
+        self.buffer.push('\n');
+    }
+
+    /// The accumulated CSV text.
+    pub fn as_str(&self) -> &str {
+        &self.buffer
+    }
+
+    /// Number of data rows written (excluding the header).
+    pub fn num_rows(&self) -> usize {
+        self.buffer.lines().count().saturating_sub(1)
+    }
+}
+
+/// The scenario axes of the paper's recommendation matrix (Figure 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scenario {
+    /// Whether the dataset fits in memory.
+    pub in_memory: bool,
+    /// Whether the user needs guarantees (ε / δ-ε) on the answers.
+    pub needs_guarantees: bool,
+    /// Whether index-construction time must be amortized over a small query
+    /// workload (≈100 queries) rather than a large one (≈10K queries).
+    pub small_workload: bool,
+}
+
+/// A recommendation produced by [`recommend`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Recommendation {
+    /// Primary method to use.
+    pub method: &'static str,
+    /// Justification, phrased like the paper's discussion.
+    pub rationale: &'static str,
+}
+
+/// The paper's Figure 9 decision matrix (query answering with an existing
+/// index, refined by the amortization discussion of Section 4.2.3):
+///
+/// * in-memory, no guarantees → HNSW (best ng throughput/accuracy), unless
+///   the index must be amortized over few queries, in which case iSAX2+;
+/// * in-memory, with guarantees → DSTree;
+/// * on-disk, no guarantees → DSTree or iSAX2+ (iSAX2+ when indexing time
+///   dominates, i.e. small workloads);
+/// * on-disk, with guarantees → DSTree.
+pub fn recommend(scenario: Scenario) -> Recommendation {
+    match (scenario.in_memory, scenario.needs_guarantees, scenario.small_workload) {
+        (true, false, false) => Recommendation {
+            method: "HNSW",
+            rationale: "best in-memory ng-approximate throughput/accuracy when the index already exists",
+        },
+        (true, false, true) => Recommendation {
+            method: "iSAX2+",
+            rationale: "cheapest index construction amortized over a small ng workload",
+        },
+        (true, true, _) => Recommendation {
+            method: "DSTree",
+            rationale: "best guarantee-carrying accuracy/efficiency tradeoff in memory",
+        },
+        (false, false, true) => Recommendation {
+            method: "iSAX2+",
+            rationale: "fastest index build; wins when only ~100 queries amortize it",
+        },
+        (false, false, false) => Recommendation {
+            method: "DSTree",
+            rationale: "best on-disk ng-approximate performance for large workloads",
+        },
+        (false, true, _) => Recommendation {
+            method: "DSTree",
+            rationale: "best on-disk performance with epsilon/delta-epsilon guarantees",
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_writer_produces_well_formed_output() {
+        let mut w = CsvWriter::new(&["figure", "method", "x", "y"]);
+        w.row(["fig3a", "DSTree", "0.5", "120"]);
+        w.row(["fig3a", "a,b", "0.9", "10"]);
+        let text = w.as_str();
+        assert!(text.starts_with("figure,method,x,y\n"));
+        assert!(text.contains("\"a,b\""));
+        assert_eq!(w.num_rows(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn csv_writer_rejects_ragged_rows() {
+        let mut w = CsvWriter::new(&["a", "b"]);
+        w.row(["only-one"]);
+    }
+
+    #[test]
+    fn recommendations_match_figure_9() {
+        // In-memory without guarantees: HNSW (large workload).
+        assert_eq!(
+            recommend(Scenario {
+                in_memory: true,
+                needs_guarantees: false,
+                small_workload: false
+            })
+            .method,
+            "HNSW"
+        );
+        // In-memory with guarantees: DSTree.
+        assert_eq!(
+            recommend(Scenario {
+                in_memory: true,
+                needs_guarantees: true,
+                small_workload: false
+            })
+            .method,
+            "DSTree"
+        );
+        // On-disk with guarantees: DSTree.
+        assert_eq!(
+            recommend(Scenario {
+                in_memory: false,
+                needs_guarantees: true,
+                small_workload: true
+            })
+            .method,
+            "DSTree"
+        );
+        // On-disk, no guarantees, small workload: iSAX2+ (indexing wins).
+        assert_eq!(
+            recommend(Scenario {
+                in_memory: false,
+                needs_guarantees: false,
+                small_workload: true
+            })
+            .method,
+            "iSAX2+"
+        );
+        // On-disk, no guarantees, large workload: DSTree.
+        assert_eq!(
+            recommend(Scenario {
+                in_memory: false,
+                needs_guarantees: false,
+                small_workload: false
+            })
+            .method,
+            "DSTree"
+        );
+    }
+}

@@ -1,0 +1,204 @@
+//! Workload execution and measurement.
+
+use std::time::Instant;
+
+use hydra_core::{AnnIndex, QueryStats, SearchParams};
+use hydra_data::{GroundTruth, QueryWorkload};
+
+use crate::metrics::{average_precision, mean_relative_error, recall, AccuracySummary};
+
+/// Everything measured while answering one workload with one method under
+/// one parameter setting — the unit from which every figure of the paper is
+/// assembled.
+#[derive(Debug, Clone)]
+pub struct WorkloadReport {
+    /// Method name.
+    pub method: String,
+    /// Search parameters used.
+    pub params: SearchParams,
+    /// Accuracy over the workload.
+    pub accuracy: AccuracySummary,
+    /// Total wall-clock time for the whole workload, in seconds.
+    pub total_seconds: f64,
+    /// Throughput in queries per minute.
+    pub queries_per_minute: f64,
+    /// Estimated total seconds for a 10 000-query workload, using the
+    /// paper's extrapolation protocol (drop the 5 best and 5 worst queries,
+    /// multiply the mean of the rest by 10 000).
+    pub extrapolated_10k_seconds: f64,
+    /// Cost counters summed over the workload.
+    pub stats: QueryStats,
+    /// Per-query wall-clock times in seconds.
+    pub per_query_seconds: Vec<f64>,
+    /// Number of queries answered.
+    pub num_queries: usize,
+}
+
+impl WorkloadReport {
+    /// Fraction of the raw dataset accessed (bytes read / total payload).
+    pub fn fraction_data_accessed(&self, total_bytes: u64) -> f64 {
+        self.stats.fraction_data_accessed(total_bytes) / self.num_queries.max(1) as f64
+    }
+
+    /// Average random I/Os per query.
+    pub fn random_ios_per_query(&self) -> f64 {
+        self.stats.random_ios as f64 / self.num_queries.max(1) as f64
+    }
+}
+
+/// Extrapolates a large-workload runtime from per-query times, following the
+/// paper: discard the 5 best and 5 worst queries (when there are enough) and
+/// multiply the average of the remainder by `target` queries.
+pub fn extrapolate_seconds(per_query_seconds: &[f64], target: usize) -> f64 {
+    if per_query_seconds.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = per_query_seconds.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let trimmed: &[f64] = if sorted.len() > 10 {
+        &sorted[5..sorted.len() - 5]
+    } else {
+        &sorted
+    };
+    let mean = trimmed.iter().sum::<f64>() / trimmed.len() as f64;
+    mean * target as f64
+}
+
+/// Runs `workload` against `index` with the given parameters and measures
+/// accuracy against `ground_truth`.
+///
+/// Queries the index one at a time (the paper runs queries asynchronously,
+/// not in batch mode) and accumulates wall-clock time and cost counters.
+pub fn run_workload(
+    index: &dyn AnnIndex,
+    workload: &QueryWorkload,
+    ground_truth: &GroundTruth,
+    params: &SearchParams,
+) -> WorkloadReport {
+    let mut per_query = Vec::with_capacity(workload.len());
+    let mut per_query_seconds = Vec::with_capacity(workload.len());
+    let mut stats = QueryStats::new();
+    let started = Instant::now();
+    for (q, query) in workload.iter().enumerate() {
+        let t0 = Instant::now();
+        let result = index
+            .search(query, params)
+            .unwrap_or_default_result();
+        per_query_seconds.push(t0.elapsed().as_secs_f64());
+        stats.merge(&result.stats);
+        let truth = &ground_truth.answers[q];
+        per_query.push((
+            recall(&result.neighbors, truth),
+            average_precision(&result.neighbors, truth),
+            mean_relative_error(&result.neighbors, truth),
+        ));
+    }
+    let total_seconds = started.elapsed().as_secs_f64();
+    let queries_per_minute = if total_seconds > 0.0 {
+        workload.len() as f64 / total_seconds * 60.0
+    } else {
+        f64::INFINITY
+    };
+    WorkloadReport {
+        method: index.name().to_string(),
+        params: *params,
+        accuracy: AccuracySummary::from_queries(&per_query),
+        total_seconds,
+        queries_per_minute,
+        extrapolated_10k_seconds: extrapolate_seconds(&per_query_seconds, 10_000),
+        stats,
+        per_query_seconds,
+        num_queries: workload.len(),
+    }
+}
+
+/// Small extension so a failed query (unsupported mode mid-sweep) counts as
+/// an empty answer instead of aborting a whole experiment.
+trait UnwrapResult {
+    fn unwrap_or_default_result(self) -> hydra_core::SearchResult;
+}
+
+impl UnwrapResult for hydra_core::Result<hydra_core::SearchResult> {
+    fn unwrap_or_default_result(self) -> hydra_core::SearchResult {
+        self.unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydra_core::{Capabilities, Dataset, Representation, Result, SearchResult};
+    use hydra_data::{ground_truth, noisy_queries, random_walk};
+
+    /// A trivially exact "index": brute force scan. Lets the runner be
+    /// tested independently of any real index crate.
+    struct BruteForce {
+        data: Dataset,
+    }
+
+    impl AnnIndex for BruteForce {
+        fn name(&self) -> &'static str {
+            "brute-force"
+        }
+        fn capabilities(&self) -> Capabilities {
+            Capabilities {
+                exact: true,
+                ng_approximate: false,
+                epsilon_approximate: false,
+                delta_epsilon_approximate: false,
+                disk_resident: false,
+                representation: Representation::Raw,
+            }
+        }
+        fn num_series(&self) -> usize {
+            self.data.len()
+        }
+        fn series_len(&self) -> usize {
+            self.data.series_len()
+        }
+        fn memory_footprint(&self) -> usize {
+            self.data.payload_bytes()
+        }
+        fn search(&self, query: &[f32], params: &SearchParams) -> Result<SearchResult> {
+            let neighbors = hydra_data::exact_knn(&self.data, query, params.k);
+            let mut stats = QueryStats::new();
+            stats.distance_computations = self.data.len() as u64;
+            Ok(SearchResult::new(neighbors, stats))
+        }
+    }
+
+    #[test]
+    fn exact_method_scores_perfect_accuracy() {
+        let data = random_walk(200, 32, 1);
+        let workload = noisy_queries(&data, 12, &[0.1], 2);
+        let gt = ground_truth(&data, &workload, 5);
+        let index = BruteForce { data };
+        let report = run_workload(&index, &workload, &gt, &SearchParams::exact(5));
+        assert_eq!(report.num_queries, 12);
+        assert!((report.accuracy.avg_recall - 1.0).abs() < 1e-12);
+        assert!((report.accuracy.map - 1.0).abs() < 1e-12);
+        assert!(report.accuracy.mre.abs() < 1e-12);
+        assert!(report.total_seconds > 0.0);
+        assert!(report.queries_per_minute > 0.0);
+        assert!(report.extrapolated_10k_seconds > 0.0);
+        assert_eq!(report.per_query_seconds.len(), 12);
+        assert_eq!(report.stats.distance_computations, 12 * 200);
+        assert_eq!(report.method, "brute-force");
+        assert!(report.random_ios_per_query() >= 0.0);
+        assert!(report.fraction_data_accessed(1) >= 0.0);
+    }
+
+    #[test]
+    fn extrapolation_trims_outliers() {
+        // 20 queries at 1ms with two outliers; trimmed mean ignores them.
+        let mut times = vec![0.001f64; 18];
+        times.push(10.0);
+        times.push(0.000001);
+        let est = extrapolate_seconds(&times, 10_000);
+        assert!((est - 10.0).abs() < 1.0, "outliers must be trimmed: {est}");
+        // Short workloads are used as-is.
+        let est_small = extrapolate_seconds(&[0.002, 0.004], 100);
+        assert!((est_small - 0.3).abs() < 1e-9);
+        assert_eq!(extrapolate_seconds(&[], 100), 0.0);
+    }
+}

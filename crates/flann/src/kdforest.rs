@@ -1,0 +1,347 @@
+//! Randomized kd-tree forest.
+//!
+//! Each tree chooses, at every node, a random split dimension among the few
+//! dimensions with the highest variance (Silpa-Anan & Hartley). All trees
+//! are searched simultaneously with one shared priority queue of unexplored
+//! branches, and the search stops after `max_checks` point comparisons.
+
+use hydra_core::{
+    AnnIndex, Capabilities, Dataset, Error, Neighbor, QueryStats, Representation, Result,
+    SearchMode, SearchParams, SearchResult, TopK,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Configuration of a [`KdForest`].
+#[derive(Debug, Clone, Copy)]
+pub struct KdForestConfig {
+    /// Number of randomized trees.
+    pub num_trees: usize,
+    /// Maximum number of points per leaf.
+    pub leaf_size: usize,
+    /// Number of top-variance dimensions the random split dimension is
+    /// drawn from (FLANN uses 5).
+    pub top_dims: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for KdForestConfig {
+    fn default() -> Self {
+        Self {
+            num_trees: 4,
+            leaf_size: 16,
+            top_dims: 5,
+            seed: 0x5D,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum KdNode {
+    Leaf {
+        points: Vec<u32>,
+    },
+    Split {
+        dim: usize,
+        value: f32,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// An ensemble of randomized kd-trees over an in-memory dataset.
+pub struct KdForest {
+    config: KdForestConfig,
+    data: Dataset,
+    /// Per tree: an arena of nodes, root at index 0.
+    trees: Vec<Vec<KdNode>>,
+}
+
+impl KdForest {
+    /// Builds the forest.
+    pub fn build(dataset: &Dataset, config: KdForestConfig) -> Result<Self> {
+        if dataset.is_empty() {
+            return Err(Error::EmptyDataset);
+        }
+        if config.num_trees == 0 || config.leaf_size == 0 {
+            return Err(Error::InvalidParameter(
+                "kd-forest needs at least one tree and a positive leaf size".into(),
+            ));
+        }
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut trees = Vec::with_capacity(config.num_trees);
+        for _ in 0..config.num_trees {
+            let mut nodes = Vec::new();
+            let ids: Vec<u32> = (0..dataset.len() as u32).collect();
+            build_node(dataset, ids, &config, &mut nodes, &mut rng);
+            trees.push(nodes);
+        }
+        Ok(Self {
+            config,
+            data: dataset.clone(),
+            trees,
+        })
+    }
+
+    /// Number of trees in the forest.
+    pub fn num_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// The configuration the forest was built with.
+    pub fn config(&self) -> &KdForestConfig {
+        &self.config
+    }
+}
+
+/// Recursively builds one node; returns its index in the arena.
+fn build_node(
+    data: &Dataset,
+    ids: Vec<u32>,
+    config: &KdForestConfig,
+    nodes: &mut Vec<KdNode>,
+    rng: &mut StdRng,
+) -> usize {
+    let my_index = nodes.len();
+    if ids.len() <= config.leaf_size {
+        nodes.push(KdNode::Leaf { points: ids });
+        return my_index;
+    }
+    // Pick a random dimension among the top-variance ones.
+    let dim_count = data.series_len();
+    let mut variances: Vec<(f32, usize)> = (0..dim_count)
+        .map(|d| {
+            let mean: f32 = ids.iter().map(|&i| data.series(i as usize)[d]).sum::<f32>()
+                / ids.len() as f32;
+            let var: f32 = ids
+                .iter()
+                .map(|&i| {
+                    let v = data.series(i as usize)[d] - mean;
+                    v * v
+                })
+                .sum::<f32>()
+                / ids.len() as f32;
+            (var, d)
+        })
+        .collect();
+    variances.sort_by(|a, b| b.0.total_cmp(&a.0));
+    let pick = rng.gen_range(0..config.top_dims.min(variances.len()));
+    let dim = variances[pick].1;
+    let mut values: Vec<f32> = ids.iter().map(|&i| data.series(i as usize)[dim]).collect();
+    values.sort_by(f32::total_cmp);
+    let median = values[values.len() / 2];
+    let (left_ids, right_ids): (Vec<u32>, Vec<u32>) = ids
+        .iter()
+        .partition(|&&i| data.series(i as usize)[dim] < median);
+    if left_ids.is_empty() || right_ids.is_empty() {
+        // Constant dimension slice: stop splitting.
+        nodes.push(KdNode::Leaf { points: ids });
+        return my_index;
+    }
+    nodes.push(KdNode::Split {
+        dim,
+        value: median,
+        left: 0,
+        right: 0,
+    });
+    let left = build_node(data, left_ids, config, nodes, rng);
+    let right = build_node(data, right_ids, config, nodes, rng);
+    if let KdNode::Split {
+        left: l, right: r, ..
+    } = &mut nodes[my_index]
+    {
+        *l = left;
+        *r = right;
+    }
+    my_index
+}
+
+impl AnnIndex for KdForest {
+    fn name(&self) -> &'static str {
+        "FLANN-kd"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            exact: false,
+            ng_approximate: true,
+            epsilon_approximate: false,
+            delta_epsilon_approximate: false,
+            disk_resident: false,
+            representation: Representation::Partitions,
+        }
+    }
+
+    fn num_series(&self) -> usize {
+        self.data.len()
+    }
+
+    fn series_len(&self) -> usize {
+        self.data.series_len()
+    }
+
+    fn memory_footprint(&self) -> usize {
+        self.trees
+            .iter()
+            .map(|t| t.len() * std::mem::size_of::<KdNode>())
+            .sum::<usize>()
+            + self.data.payload_bytes()
+    }
+
+    fn search(&self, query: &[f32], params: &SearchParams) -> Result<SearchResult> {
+        if query.len() != self.data.series_len() {
+            return Err(Error::DimensionMismatch {
+                expected: self.data.series_len(),
+                found: query.len(),
+            });
+        }
+        let SearchMode::Ng { nprobe } = params.mode else {
+            return Err(Error::UnsupportedMode(
+                "FLANN is ng-approximate only (no guarantees)".into(),
+            ));
+        };
+        let max_checks = nprobe.max(params.k).max(1);
+        let mut stats = QueryStats::new();
+        let mut top = TopK::new(params.k.max(1));
+        let mut checked = vec![false; self.data.len()];
+        let mut checks = 0usize;
+
+        // Shared branch queue across all trees: (lower bound, tree, node).
+        #[derive(PartialEq)]
+        struct Branch(f32, usize, usize);
+        impl Eq for Branch {}
+        impl PartialOrd for Branch {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Branch {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                self.0
+                    .total_cmp(&other.0)
+                    .then(self.1.cmp(&other.1))
+                    .then(self.2.cmp(&other.2))
+            }
+        }
+        let mut queue: BinaryHeap<Reverse<Branch>> = BinaryHeap::new();
+        for t in 0..self.trees.len() {
+            queue.push(Reverse(Branch(0.0, t, 0)));
+        }
+
+        while let Some(Reverse(Branch(lb, tree, mut node))) = queue.pop() {
+            if checks >= max_checks {
+                break;
+            }
+            if top.is_full() && lb > top.kth_distance() {
+                continue;
+            }
+            // Descend to a leaf, pushing the unexplored sibling branches.
+            loop {
+                match &self.trees[tree][node] {
+                    KdNode::Leaf { points } => {
+                        stats.leaves_visited += 1;
+                        for &id in points {
+                            let id = id as usize;
+                            if checked[id] || checks >= max_checks {
+                                continue;
+                            }
+                            checked[id] = true;
+                            checks += 1;
+                            stats.distance_computations += 1;
+                            stats.series_scanned += 1;
+                            if let Some(d) = hydra_core::euclidean_early_abandon(
+                                query,
+                                self.data.series(id),
+                                top.kth_distance(),
+                            ) {
+                                top.push(Neighbor::new(id, d));
+                            }
+                        }
+                        break;
+                    }
+                    KdNode::Split {
+                        dim,
+                        value,
+                        left,
+                        right,
+                    } => {
+                        let diff = query[*dim] - value;
+                        let (near, far) = if diff < 0.0 {
+                            (*left, *right)
+                        } else {
+                            (*right, *left)
+                        };
+                        queue.push(Reverse(Branch(lb.max(diff.abs()), tree, far)));
+                        node = near;
+                    }
+                }
+            }
+        }
+        Ok(SearchResult::new(top.into_sorted(), stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydra_data::{exact_knn, sift_like};
+
+    #[test]
+    fn forest_reaches_good_recall_with_enough_checks() {
+        let data = sift_like(600, 20, 11);
+        let forest = KdForest::build(
+            &data,
+            KdForestConfig {
+                num_trees: 4,
+                leaf_size: 8,
+                top_dims: 5,
+                seed: 3,
+            },
+        )
+        .unwrap();
+        assert_eq!(forest.num_trees(), 4);
+        let queries = sift_like(5, 20, 99);
+        let mut hits = 0usize;
+        for q in queries.iter() {
+            let res = forest.search(q, &SearchParams::ng(1, 300)).unwrap();
+            let gt = exact_knn(&data, q, 1);
+            if res.neighbors[0].index == gt[0].index {
+                hits += 1;
+            }
+        }
+        assert!(hits >= 3, "kd-forest 1-NN hits: {hits}/5");
+    }
+
+    #[test]
+    fn checks_budget_is_respected() {
+        let data = sift_like(500, 16, 13);
+        let forest = KdForest::build(&data, KdForestConfig::default()).unwrap();
+        let q = data.series(0);
+        let res = forest.search(q, &SearchParams::ng(5, 50)).unwrap();
+        assert!(res.stats.series_scanned <= 50);
+        let bigger = forest.search(q, &SearchParams::ng(5, 200)).unwrap();
+        assert!(bigger.stats.series_scanned <= 200);
+        assert!(bigger.kth_distance() <= res.kth_distance() + 1e-6);
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        let empty = Dataset::new(4).unwrap();
+        assert!(KdForest::build(&empty, KdForestConfig::default()).is_err());
+        let data = sift_like(10, 8, 1);
+        assert!(KdForest::build(
+            &data,
+            KdForestConfig {
+                num_trees: 0,
+                ..KdForestConfig::default()
+            }
+        )
+        .is_err());
+        let forest = KdForest::build(&data, KdForestConfig::default()).unwrap();
+        assert!(forest.search(&[0.0; 8], &SearchParams::exact(1)).is_err());
+        assert!(forest.search(&[0.0; 2], &SearchParams::ng(1, 5)).is_err());
+    }
+}

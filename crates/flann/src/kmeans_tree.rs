@@ -1,0 +1,289 @@
+//! Hierarchical k-means tree (the "k-means tree" algorithm of FLANN).
+//!
+//! The dataset is recursively partitioned by k-means with a small branching
+//! factor; leaves hold a bounded number of points. Search descends to the
+//! closest centroid at each level and keeps unexplored siblings in a
+//! priority queue ordered by centroid distance, stopping after `max_checks`
+//! point comparisons.
+
+use hydra_core::{
+    AnnIndex, Capabilities, Dataset, Error, Neighbor, QueryStats, Representation, Result,
+    SearchMode, SearchParams, SearchResult, TopK,
+};
+use hydra_summarize::quantization::KMeans;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Configuration of a [`KMeansTree`].
+#[derive(Debug, Clone, Copy)]
+pub struct KMeansTreeConfig {
+    /// Branching factor of each internal node.
+    pub branching: usize,
+    /// Maximum number of points per leaf.
+    pub leaf_size: usize,
+    /// k-means iterations per node.
+    pub kmeans_iters: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for KMeansTreeConfig {
+    fn default() -> Self {
+        Self {
+            branching: 16,
+            leaf_size: 32,
+            kmeans_iters: 8,
+            seed: 0xF1A,
+        }
+    }
+}
+
+enum TreeNode {
+    Leaf {
+        points: Vec<u32>,
+    },
+    Internal {
+        centroids: KMeans,
+        children: Vec<usize>,
+    },
+}
+
+/// The hierarchical k-means tree.
+pub struct KMeansTree {
+    config: KMeansTreeConfig,
+    data: Dataset,
+    nodes: Vec<TreeNode>,
+}
+
+impl KMeansTree {
+    /// Builds the tree.
+    pub fn build(dataset: &Dataset, config: KMeansTreeConfig) -> Result<Self> {
+        if dataset.is_empty() {
+            return Err(Error::EmptyDataset);
+        }
+        if config.branching < 2 || config.leaf_size == 0 {
+            return Err(Error::InvalidParameter(
+                "k-means tree needs branching >= 2 and a positive leaf size".into(),
+            ));
+        }
+        let mut tree = Self {
+            config,
+            data: dataset.clone(),
+            nodes: Vec::new(),
+        };
+        let ids: Vec<u32> = (0..dataset.len() as u32).collect();
+        tree.build_node(ids, config.seed);
+        Ok(tree)
+    }
+
+    fn build_node(&mut self, ids: Vec<u32>, seed: u64) -> usize {
+        let my_index = self.nodes.len();
+        if ids.len() <= self.config.leaf_size.max(self.config.branching) {
+            self.nodes.push(TreeNode::Leaf { points: ids });
+            return my_index;
+        }
+        let refs: Vec<&[f32]> = ids.iter().map(|&i| self.data.series(i as usize)).collect();
+        let km = KMeans::fit(&refs, self.config.branching, self.config.kmeans_iters, seed);
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); km.k()];
+        for &id in &ids {
+            let c = km.assign(self.data.series(id as usize));
+            buckets[c].push(id);
+        }
+        // If clustering failed to separate the points, fall back to a leaf.
+        if buckets.iter().filter(|b| !b.is_empty()).count() <= 1 {
+            self.nodes.push(TreeNode::Leaf { points: ids });
+            return my_index;
+        }
+        self.nodes.push(TreeNode::Internal {
+            centroids: km,
+            children: Vec::new(),
+        });
+        let mut children = Vec::new();
+        for (c, bucket) in buckets.into_iter().enumerate() {
+            if bucket.is_empty() {
+                children.push(usize::MAX);
+                continue;
+            }
+            let child = self.build_node(bucket, seed.wrapping_add(c as u64 + 1));
+            children.push(child);
+        }
+        if let TreeNode::Internal { children: ch, .. } = &mut self.nodes[my_index] {
+            *ch = children;
+        }
+        my_index
+    }
+}
+
+impl AnnIndex for KMeansTree {
+    fn name(&self) -> &'static str {
+        "FLANN-kmeans"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            exact: false,
+            ng_approximate: true,
+            epsilon_approximate: false,
+            delta_epsilon_approximate: false,
+            disk_resident: false,
+            representation: Representation::Partitions,
+        }
+    }
+
+    fn num_series(&self) -> usize {
+        self.data.len()
+    }
+
+    fn series_len(&self) -> usize {
+        self.data.series_len()
+    }
+
+    fn memory_footprint(&self) -> usize {
+        let centroid_bytes: usize = self
+            .nodes
+            .iter()
+            .map(|n| match n {
+                TreeNode::Internal { centroids, .. } => centroids.memory_footprint(),
+                TreeNode::Leaf { points } => points.len() * std::mem::size_of::<u32>(),
+            })
+            .sum();
+        centroid_bytes + self.data.payload_bytes()
+    }
+
+    fn search(&self, query: &[f32], params: &SearchParams) -> Result<SearchResult> {
+        if query.len() != self.data.series_len() {
+            return Err(Error::DimensionMismatch {
+                expected: self.data.series_len(),
+                found: query.len(),
+            });
+        }
+        let SearchMode::Ng { nprobe } = params.mode else {
+            return Err(Error::UnsupportedMode(
+                "FLANN is ng-approximate only (no guarantees)".into(),
+            ));
+        };
+        let max_checks = nprobe.max(params.k).max(1);
+        let mut stats = QueryStats::new();
+        let mut top = TopK::new(params.k.max(1));
+        let mut checks = 0usize;
+
+        #[derive(PartialEq)]
+        struct Entry(f32, usize);
+        impl Eq for Entry {}
+        impl PartialOrd for Entry {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Entry {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
+            }
+        }
+        let mut queue: BinaryHeap<Reverse<Entry>> = BinaryHeap::new();
+        queue.push(Reverse(Entry(0.0, 0)));
+
+        while let Some(Reverse(Entry(_, node))) = queue.pop() {
+            if checks >= max_checks {
+                break;
+            }
+            match &self.nodes[node] {
+                TreeNode::Leaf { points } => {
+                    stats.leaves_visited += 1;
+                    for &id in points {
+                        if checks >= max_checks {
+                            break;
+                        }
+                        let id = id as usize;
+                        checks += 1;
+                        stats.distance_computations += 1;
+                        stats.series_scanned += 1;
+                        if let Some(d) = hydra_core::euclidean_early_abandon(
+                            query,
+                            self.data.series(id),
+                            top.kth_distance(),
+                        ) {
+                            top.push(Neighbor::new(id, d));
+                        }
+                    }
+                }
+                TreeNode::Internal {
+                    centroids,
+                    children,
+                } => {
+                    let dists = centroids.distances(query);
+                    stats.lower_bound_computations += dists.len() as u64;
+                    for (c, d) in dists.into_iter().enumerate() {
+                        if children[c] != usize::MAX {
+                            queue.push(Reverse(Entry(d.sqrt(), children[c])));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(SearchResult::new(top.into_sorted(), stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydra_data::{exact_knn, sift_like};
+
+    #[test]
+    fn tree_reaches_good_recall_with_enough_checks() {
+        let data = sift_like(700, 20, 21);
+        let tree = KMeansTree::build(
+            &data,
+            KMeansTreeConfig {
+                branching: 8,
+                leaf_size: 16,
+                kmeans_iters: 6,
+                seed: 2,
+            },
+        )
+        .unwrap();
+        let queries = sift_like(5, 20, 98);
+        let mut hits = 0usize;
+        for q in queries.iter() {
+            let res = tree.search(q, &SearchParams::ng(1, 300)).unwrap();
+            let gt = exact_knn(&data, q, 1);
+            if res.neighbors[0].index == gt[0].index {
+                hits += 1;
+            }
+        }
+        assert!(hits >= 3, "k-means tree 1-NN hits: {hits}/5");
+    }
+
+    #[test]
+    fn checks_budget_is_respected_and_improves_quality() {
+        let data = sift_like(600, 16, 23);
+        let tree = KMeansTree::build(&data, KMeansTreeConfig::default()).unwrap();
+        let q = data.series(1);
+        let small = tree.search(q, &SearchParams::ng(5, 40)).unwrap();
+        let large = tree.search(q, &SearchParams::ng(5, 400)).unwrap();
+        assert!(small.stats.series_scanned <= 40);
+        assert!(large.stats.series_scanned <= 400);
+        assert!(large.kth_distance() <= small.kth_distance() + 1e-6);
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        let empty = Dataset::new(4).unwrap();
+        assert!(KMeansTree::build(&empty, KMeansTreeConfig::default()).is_err());
+        let data = sift_like(10, 8, 1);
+        assert!(KMeansTree::build(
+            &data,
+            KMeansTreeConfig {
+                branching: 1,
+                ..KMeansTreeConfig::default()
+            }
+        )
+        .is_err());
+        let tree = KMeansTree::build(&data, KMeansTreeConfig::default()).unwrap();
+        assert!(tree.search(&[0.0; 8], &SearchParams::epsilon(1, 1.0)).is_err());
+        assert!(tree.search(&[0.0; 2], &SearchParams::ng(1, 5)).is_err());
+        assert_eq!(tree.name(), "FLANN-kmeans");
+        assert!(tree.memory_footprint() > 0);
+    }
+}

@@ -1,0 +1,209 @@
+//! # hydra
+//!
+//! Facade crate for the Lernaean Hydra benchmark: a unified Rust
+//! implementation of data-series and high-dimensional approximate
+//! similarity search, reproducing *"Return of the Lernaean Hydra:
+//! Experimental Evaluation of Data Series Approximate Similarity Search"*
+//! (Echihabi et al., PVLDB 2019).
+//!
+//! This crate re-exports the whole workspace behind one dependency:
+//!
+//! * the core types and the generic exact/ε/δ-ε search driver
+//!   ([`hydra_core`]),
+//! * the summarizations ([`hydra_summarize`]), the simulated disk layer
+//!   ([`hydra_storage`]), the dataset/query generators ([`hydra_data`]) and
+//!   the metrics/benchmark runner ([`hydra_eval`]),
+//! * every method of the study: [`DsTree`], [`Isax2Plus`], [`VaPlusFile`],
+//!   [`Hnsw`], [`InvertedMultiIndex`], [`Srs`], [`Qalsh`] and [`Flann`].
+//!
+//! ## Quick example
+//!
+//! ```
+//! use hydra::prelude::*;
+//!
+//! // 1. Generate a small random-walk dataset and a query workload.
+//! let data = hydra::data::random_walk(2_000, 64, 7);
+//! let workload = hydra::data::noisy_queries(&data, 10, &[0.1], 8);
+//! let truth = hydra::data::ground_truth(&data, &workload, 10);
+//!
+//! // 2. Build a DSTree and answer delta-epsilon-approximate 10-NN queries.
+//! let index = DsTree::build(&data, DsTreeConfig::default()).unwrap();
+//! let report = hydra::eval::run_workload(
+//!     &index,
+//!     &workload,
+//!     &truth,
+//!     &SearchParams::delta_epsilon(10, 0.99, 1.0),
+//! );
+//! assert!(report.accuracy.map > 0.5);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use hydra_core as core;
+pub use hydra_data as data;
+pub use hydra_eval as eval;
+pub use hydra_storage as storage;
+pub use hydra_summarize as summarize;
+
+pub use hydra_core::{
+    AnnIndex, Capabilities, Dataset, DistanceHistogram, Error, Neighbor, QueryStats,
+    Representation, Result, SearchMode, SearchParams, SearchResult,
+};
+pub use hydra_dstree::{DsTree, DsTreeConfig};
+pub use hydra_flann::{Flann, FlannAlgorithm, FlannConfig, KdForest, KdForestConfig, KMeansTree, KMeansTreeConfig};
+pub use hydra_hnsw::{Hnsw, HnswConfig};
+pub use hydra_imi::{ImiConfig, InvertedMultiIndex};
+pub use hydra_isax::{Isax2Plus, IsaxConfig};
+pub use hydra_lsh::{Qalsh, QalshConfig, Srs, SrsConfig};
+pub use hydra_storage::StorageConfig;
+pub use hydra_vafile::{VaPlusFile, VaPlusFileConfig};
+
+/// Convenience prelude pulling in the types most programs need.
+pub mod prelude {
+    pub use hydra_core::{AnnIndex, Dataset, Neighbor, SearchMode, SearchParams};
+    pub use hydra_dstree::{DsTree, DsTreeConfig};
+    pub use hydra_flann::{Flann, FlannConfig};
+    pub use hydra_hnsw::{Hnsw, HnswConfig};
+    pub use hydra_imi::{ImiConfig, InvertedMultiIndex};
+    pub use hydra_isax::{Isax2Plus, IsaxConfig};
+    pub use hydra_lsh::{Qalsh, QalshConfig, Srs, SrsConfig};
+    pub use hydra_storage::StorageConfig;
+    pub use hydra_vafile::{VaPlusFile, VaPlusFileConfig};
+}
+
+/// Builds every method of the study over the same dataset with reasonable
+/// laptop-scale defaults, returning them behind the uniform [`AnnIndex`]
+/// interface. Used by the examples and the benchmark harness.
+///
+/// `in_memory` selects the storage configuration of the disk-capable
+/// methods (buffer pool larger than the dataset vs. a small pool).
+pub fn build_all_methods(
+    dataset: &Dataset,
+    in_memory: bool,
+    seed: u64,
+) -> Vec<Box<dyn AnnIndex>> {
+    let storage = if in_memory {
+        StorageConfig::in_memory()
+    } else {
+        StorageConfig::on_disk()
+    };
+    let mut methods: Vec<Box<dyn AnnIndex>> = Vec::new();
+    methods.push(Box::new(
+        DsTree::build(
+            dataset,
+            DsTreeConfig {
+                storage,
+                seed,
+                ..DsTreeConfig::default()
+            },
+        )
+        .expect("DSTree build"),
+    ));
+    methods.push(Box::new(
+        Isax2Plus::build(
+            dataset,
+            IsaxConfig {
+                storage,
+                seed,
+                ..IsaxConfig::default()
+            },
+        )
+        .expect("iSAX2+ build"),
+    ));
+    methods.push(Box::new(
+        VaPlusFile::build(
+            dataset,
+            VaPlusFileConfig {
+                storage,
+                seed,
+                ..VaPlusFileConfig::default()
+            },
+        )
+        .expect("VA+file build"),
+    ));
+    methods.push(Box::new(
+        Srs::build(
+            dataset,
+            SrsConfig {
+                storage,
+                seed,
+                ..SrsConfig::default()
+            },
+        )
+        .expect("SRS build"),
+    ));
+    if dataset.series_len() % 2 == 0 && dataset.series_len() % 8 == 0 {
+        methods.push(Box::new(
+            InvertedMultiIndex::build(
+                dataset,
+                ImiConfig {
+                    seed,
+                    ..ImiConfig::default()
+                },
+            )
+            .expect("IMI build"),
+        ));
+    }
+    if in_memory {
+        methods.push(Box::new(
+            Hnsw::build(
+                dataset,
+                HnswConfig {
+                    seed,
+                    m: 8,
+                    ef_construction: 128,
+                },
+            )
+            .expect("HNSW build"),
+        ));
+        methods.push(Box::new(
+            Qalsh::build(
+                dataset,
+                QalshConfig {
+                    seed,
+                    ..QalshConfig::default()
+                },
+            )
+            .expect("QALSH build"),
+        ));
+        methods.push(Box::new(
+            Flann::build(dataset, FlannConfig::default()).expect("FLANN build"),
+        ));
+    }
+    methods
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_all_methods_in_memory_includes_memory_only_methods() {
+        let data = data::random_walk(300, 32, 5);
+        let methods = build_all_methods(&data, true, 1);
+        let names: Vec<&str> = methods.iter().map(|m| m.name()).collect();
+        assert!(names.contains(&"DSTree"));
+        assert!(names.contains(&"iSAX2+"));
+        assert!(names.contains(&"VA+file"));
+        assert!(names.contains(&"SRS"));
+        assert!(names.contains(&"IMI"));
+        assert!(names.contains(&"HNSW"));
+        assert!(names.contains(&"QALSH"));
+        assert!(names.contains(&"FLANN"));
+    }
+
+    #[test]
+    fn build_all_methods_on_disk_excludes_memory_only_methods() {
+        let data = data::random_walk(300, 32, 5);
+        let methods = build_all_methods(&data, false, 1);
+        let names: Vec<&str> = methods.iter().map(|m| m.name()).collect();
+        assert!(!names.contains(&"HNSW"));
+        assert!(!names.contains(&"QALSH"));
+        assert!(!names.contains(&"FLANN"));
+        assert!(names.iter().all(|n| !n.is_empty()));
+        for m in &methods {
+            assert!(m.capabilities().disk_resident, "{} must be disk capable", m.name());
+        }
+    }
+}

@@ -1,0 +1,423 @@
+//! # hydra-imi
+//!
+//! The Inverted Multi-Index (Babenko & Lempitsky) with (optimized) product
+//! quantization — the state-of-the-art quantization-based inverted index of
+//! the Lernaean Hydra study (the paper uses the Faiss `IMI2x…,PQ32`
+//! configuration).
+//!
+//! ## How it works
+//!
+//! The vector space is decomposed into two halves; each half gets its own
+//! k-means codebook of `K` coarse centroids, so the cross product defines a
+//! grid of `K²` cells. Every vector is assigned to the cell given by its two
+//! nearest half-centroids and stored in that cell's inverted list as a
+//! compact product-quantization code (optionally after an OPQ rotation).
+//!
+//! A query ranks cells with the *multi-sequence algorithm* (cells visited in
+//! increasing sum of half-distances), scans the inverted lists of the best
+//! `nprobe` cells, and scores candidates with asymmetric distance
+//! computation (ADC) on the codes. As in the paper, IMI never touches the
+//! raw vectors at query time — which caps its attainable accuracy (MAP) and
+//! is why its recall degrades on the hardest datasets.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use hydra_core::{
+    AnnIndex, Capabilities, Dataset, Error, Neighbor, QueryStats, Representation, Result,
+    SearchMode, SearchParams, SearchResult, TopK,
+};
+use hydra_summarize::quantization::{KMeans, OptimizedProductQuantizer, ProductQuantizer};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Configuration of an [`InvertedMultiIndex`].
+#[derive(Debug, Clone, Copy)]
+pub struct ImiConfig {
+    /// Number of coarse centroids per half (the grid has `coarse_k²` cells).
+    pub coarse_k: usize,
+    /// Number of product-quantization subspaces.
+    pub pq_m: usize,
+    /// Codebook size per PQ subspace.
+    pub pq_k: usize,
+    /// Whether to learn an OPQ rotation before product quantization.
+    pub use_opq: bool,
+    /// Maximum number of training vectors used to fit codebooks.
+    pub training_size: usize,
+    /// k-means iterations.
+    pub kmeans_iters: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ImiConfig {
+    fn default() -> Self {
+        Self {
+            coarse_k: 32,
+            pq_m: 8,
+            pq_k: 64,
+            use_opq: true,
+            training_size: 4_096,
+            kmeans_iters: 12,
+            seed: 0x1111,
+        }
+    }
+}
+
+enum FineQuantizer {
+    Plain(ProductQuantizer),
+    Optimized(OptimizedProductQuantizer),
+}
+
+impl FineQuantizer {
+    fn encode(&self, v: &[f32]) -> Vec<u16> {
+        match self {
+            FineQuantizer::Plain(pq) => pq.encode(v),
+            FineQuantizer::Optimized(opq) => opq.encode(v),
+        }
+    }
+
+    fn distance_table(&self, query: &[f32]) -> Vec<Vec<f32>> {
+        match self {
+            FineQuantizer::Plain(pq) => pq.distance_table(query),
+            FineQuantizer::Optimized(opq) => opq.distance_table(query),
+        }
+    }
+
+    fn memory_footprint(&self) -> usize {
+        match self {
+            FineQuantizer::Plain(pq) => pq.memory_footprint(),
+            FineQuantizer::Optimized(opq) => opq.memory_footprint(),
+        }
+    }
+}
+
+/// The IMI index.
+pub struct InvertedMultiIndex {
+    config: ImiConfig,
+    series_len: usize,
+    half: usize,
+    coarse: [KMeans; 2],
+    fine: FineQuantizer,
+    /// `lists[i * coarse_k + j]` holds `(id, code)` pairs of cell `(i, j)`.
+    lists: Vec<Vec<(u32, Vec<u16>)>>,
+    num_series: usize,
+}
+
+impl InvertedMultiIndex {
+    /// Builds an IMI over `dataset`.
+    ///
+    /// # Errors
+    /// Returns an error if the dataset is empty or the dimensionality is not
+    /// even and divisible by `pq_m`.
+    pub fn build(dataset: &Dataset, config: ImiConfig) -> Result<Self> {
+        if dataset.is_empty() {
+            return Err(Error::EmptyDataset);
+        }
+        let dim = dataset.series_len();
+        if dim % 2 != 0 {
+            return Err(Error::InvalidParameter(
+                "IMI requires an even dimensionality".into(),
+            ));
+        }
+        if dim % config.pq_m != 0 {
+            return Err(Error::InvalidParameter(
+                "dimensionality must be divisible by pq_m".into(),
+            ));
+        }
+        let half = dim / 2;
+        // Training sample: a prefix of the dataset (generators already
+        // shuffle cluster membership, so a prefix is an unbiased sample).
+        let train_n = dataset.len().min(config.training_size.max(1));
+        let train_first: Vec<&[f32]> = (0..train_n).map(|i| &dataset.series(i)[..half]).collect();
+        let train_second: Vec<&[f32]> = (0..train_n).map(|i| &dataset.series(i)[half..]).collect();
+        let coarse = [
+            KMeans::fit(&train_first, config.coarse_k, config.kmeans_iters, config.seed),
+            KMeans::fit(
+                &train_second,
+                config.coarse_k,
+                config.kmeans_iters,
+                config.seed ^ 0xBEEF,
+            ),
+        ];
+        let train_full: Vec<&[f32]> = (0..train_n).map(|i| dataset.series(i)).collect();
+        let fine = if config.use_opq {
+            FineQuantizer::Optimized(OptimizedProductQuantizer::train(
+                &train_full,
+                config.pq_m,
+                config.pq_k,
+                config.kmeans_iters,
+                3,
+                config.seed ^ 0x0B0,
+            ))
+        } else {
+            FineQuantizer::Plain(ProductQuantizer::train(
+                &train_full,
+                config.pq_m,
+                config.pq_k,
+                config.kmeans_iters,
+                config.seed ^ 0x0B0,
+            ))
+        };
+
+        let k1 = coarse[0].k();
+        let k2 = coarse[1].k();
+        let mut lists = vec![Vec::new(); k1 * k2];
+        for (id, v) in dataset.iter().enumerate() {
+            let i = coarse[0].assign(&v[..half]);
+            let j = coarse[1].assign(&v[half..]);
+            lists[i * k2 + j].push((id as u32, fine.encode(v)));
+        }
+        Ok(Self {
+            config,
+            series_len: dim,
+            half,
+            coarse,
+            fine,
+            lists,
+            num_series: dataset.len(),
+        })
+    }
+
+    /// Number of non-empty cells.
+    pub fn non_empty_cells(&self) -> usize {
+        self.lists.iter().filter(|l| !l.is_empty()).count()
+    }
+
+    /// The configuration the index was built with.
+    pub fn config(&self) -> &ImiConfig {
+        &self.config
+    }
+
+    /// Multi-sequence traversal: visits cells in increasing
+    /// `d1[i] + d2[j]` order, scanning inverted lists until `nprobe`
+    /// non-empty lists have been read; candidates are ranked by ADC.
+    fn query_cells(&self, query: &[f32], nprobe: usize, k: usize, stats: &mut QueryStats) -> Vec<Neighbor> {
+        let k1 = self.coarse[0].k();
+        let k2 = self.coarse[1].k();
+        // Sorted half-distances.
+        let mut d1: Vec<(f32, usize)> = self.coarse[0]
+            .distances(&query[..self.half])
+            .into_iter()
+            .enumerate()
+            .map(|(i, d)| (d, i))
+            .collect();
+        let mut d2: Vec<(f32, usize)> = self.coarse[1]
+            .distances(&query[self.half..])
+            .into_iter()
+            .enumerate()
+            .map(|(i, d)| (d, i))
+            .collect();
+        stats.lower_bound_computations += (k1 + k2) as u64;
+        d1.sort_by(|a, b| a.0.total_cmp(&b.0));
+        d2.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+        // Multi-sequence algorithm over the sorted grid.
+        #[derive(PartialEq)]
+        struct Cell(f32, usize, usize);
+        impl Eq for Cell {}
+        impl PartialOrd for Cell {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Cell {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                self.0
+                    .total_cmp(&other.0)
+                    .then(self.1.cmp(&other.1))
+                    .then(self.2.cmp(&other.2))
+            }
+        }
+        let mut heap: BinaryHeap<Reverse<Cell>> = BinaryHeap::new();
+        let mut pushed = vec![false; k1 * k2];
+        heap.push(Reverse(Cell(d1[0].0 + d2[0].0, 0, 0)));
+        pushed[0] = true;
+
+        let table = self.fine.distance_table(query);
+        let mut top = TopK::new(k.max(1));
+        let mut visited_lists = 0usize;
+        while let Some(Reverse(Cell(_, a, b))) = heap.pop() {
+            if visited_lists >= nprobe {
+                break;
+            }
+            let cell = d1[a].1 * k2 + d2[b].1;
+            let list = &self.lists[cell];
+            if !list.is_empty() {
+                visited_lists += 1;
+                stats.leaves_visited += 1;
+                for (id, code) in list {
+                    stats.distance_computations += 1;
+                    let d = ProductQuantizer::adc_distance(&table, code);
+                    top.push(Neighbor::new(*id as usize, d));
+                }
+            }
+            // Push grid successors.
+            if a + 1 < k1 {
+                let idx = (a + 1) * k2 + b;
+                if !pushed[idx] {
+                    pushed[idx] = true;
+                    heap.push(Reverse(Cell(d1[a + 1].0 + d2[b].0, a + 1, b)));
+                }
+            }
+            if b + 1 < k2 {
+                let idx = a * k2 + b + 1;
+                if !pushed[idx] {
+                    pushed[idx] = true;
+                    heap.push(Reverse(Cell(d1[a].0 + d2[b + 1].0, a, b + 1)));
+                }
+            }
+        }
+        top.into_sorted()
+    }
+}
+
+impl AnnIndex for InvertedMultiIndex {
+    fn name(&self) -> &'static str {
+        "IMI"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            exact: false,
+            ng_approximate: true,
+            epsilon_approximate: false,
+            delta_epsilon_approximate: false,
+            disk_resident: true,
+            representation: Representation::Opq,
+        }
+    }
+
+    fn num_series(&self) -> usize {
+        self.num_series
+    }
+
+    fn series_len(&self) -> usize {
+        self.series_len
+    }
+
+    fn memory_footprint(&self) -> usize {
+        let codes: usize = self
+            .lists
+            .iter()
+            .map(|l| l.iter().map(|(_, c)| c.len() * 2 + 4).sum::<usize>())
+            .sum();
+        codes
+            + self.coarse[0].memory_footprint()
+            + self.coarse[1].memory_footprint()
+            + self.fine.memory_footprint()
+    }
+
+    fn search(&self, query: &[f32], params: &SearchParams) -> Result<SearchResult> {
+        if query.len() != self.series_len {
+            return Err(Error::DimensionMismatch {
+                expected: self.series_len,
+                found: query.len(),
+            });
+        }
+        let SearchMode::Ng { nprobe } = params.mode else {
+            return Err(Error::UnsupportedMode(
+                "IMI is ng-approximate only (no guarantees)".into(),
+            ));
+        };
+        let mut stats = QueryStats::new();
+        let neighbors = self.query_cells(query, nprobe.max(1), params.k, &mut stats);
+        Ok(SearchResult::new(neighbors, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydra_data::{deep_like, exact_knn, sift_like};
+
+    fn recall(found: &[Neighbor], truth: &[Neighbor]) -> f64 {
+        let ids: std::collections::HashSet<usize> = truth.iter().map(|n| n.index).collect();
+        found.iter().filter(|n| ids.contains(&n.index)).count() as f64 / truth.len() as f64
+    }
+
+    fn build(n: usize, dim: usize, use_opq: bool) -> (Dataset, InvertedMultiIndex) {
+        let data = sift_like(n, dim, 3);
+        let config = ImiConfig {
+            coarse_k: 16,
+            pq_m: 8,
+            pq_k: 32,
+            use_opq,
+            training_size: 800,
+            kmeans_iters: 8,
+            seed: 7,
+        };
+        let imi = InvertedMultiIndex::build(&data, config).unwrap();
+        (data, imi)
+    }
+
+    #[test]
+    fn build_rejects_bad_inputs() {
+        let empty = Dataset::new(8).unwrap();
+        assert!(InvertedMultiIndex::build(&empty, ImiConfig::default()).is_err());
+        let odd = deep_like(10, 7, 1);
+        assert!(InvertedMultiIndex::build(&odd, ImiConfig::default()).is_err());
+        let not_divisible = deep_like(10, 10, 1);
+        let cfg = ImiConfig {
+            pq_m: 4,
+            ..ImiConfig::default()
+        };
+        assert!(InvertedMultiIndex::build(&not_divisible, cfg).is_err());
+    }
+
+    #[test]
+    fn every_vector_lands_in_exactly_one_list() {
+        let (data, imi) = build(500, 16, false);
+        let total: usize = imi.lists.iter().map(|l| l.len()).sum();
+        assert_eq!(total, data.len());
+        assert!(imi.non_empty_cells() > 1);
+    }
+
+    #[test]
+    fn recall_improves_with_nprobe() {
+        let (data, imi) = build(600, 16, false);
+        let queries = sift_like(8, 16, 99);
+        let mut r_small = 0.0;
+        let mut r_large = 0.0;
+        for q in queries.iter() {
+            let gt = exact_knn(&data, q, 10);
+            let small = imi.search(q, &SearchParams::ng(10, 1)).unwrap();
+            let large = imi.search(q, &SearchParams::ng(10, 128)).unwrap();
+            r_small += recall(&small.neighbors, &gt);
+            r_large += recall(&large.neighbors, &gt);
+        }
+        assert!(r_large >= r_small);
+        assert!(r_large / 8.0 > 0.5, "IMI recall too low: {}", r_large / 8.0);
+    }
+
+    #[test]
+    fn opq_variant_builds_and_answers() {
+        let (data, imi) = build(300, 16, true);
+        let q = data.series(0);
+        let res = imi.search(q, &SearchParams::ng(5, 16)).unwrap();
+        assert_eq!(res.neighbors.len(), 5);
+        assert!(res.stats.leaves_visited <= 16);
+        assert!(res.stats.distance_computations > 0);
+    }
+
+    #[test]
+    fn guarantee_modes_are_rejected() {
+        let (_, imi) = build(100, 16, false);
+        let q = vec![0.0f32; 16];
+        assert!(imi.search(&q, &SearchParams::exact(1)).is_err());
+        assert!(imi.search(&q, &SearchParams::epsilon(1, 0.5)).is_err());
+        assert!(imi.search(&[0.0; 5], &SearchParams::ng(1, 1)).is_err());
+    }
+
+    #[test]
+    fn metadata_is_consistent() {
+        let (_, imi) = build(200, 16, false);
+        assert_eq!(imi.name(), "IMI");
+        assert!(imi.capabilities().disk_resident);
+        assert!(!imi.capabilities().exact);
+        assert_eq!(imi.num_series(), 200);
+        assert_eq!(imi.series_len(), 16);
+        assert!(imi.memory_footprint() > 0);
+        assert_eq!(imi.config().coarse_k, 16);
+    }
+}

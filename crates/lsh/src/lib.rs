@@ -1,0 +1,28 @@
+//! # hydra-lsh
+//!
+//! Locality-sensitive-hashing methods of the Lernaean Hydra study:
+//!
+//! * [`Srs`] — SRS (Sun et al., PVLDB 2014): projects the data onto a tiny
+//!   number of Gaussian directions (2-stable projections), examines points
+//!   in increasing *projected* distance order, and stops early using the
+//!   χ²-distribution of projected distances. Answers δ-ε-approximate k-NN
+//!   with an index of size linear in the dataset.
+//! * [`Qalsh`] — QALSH (Huang et al., PVLDB 2015): query-aware LSH with
+//!   dynamic collision counting over per-projection sorted lists ("virtual
+//!   rehashing" enlarges the search radius geometrically until enough
+//!   collisions accumulate).
+//!
+//! Both keep only signatures in memory and read raw series through the
+//! simulated disk layer for refinement, matching the paper's setup where SRS
+//! is the only LSH method able to operate on disk-resident data.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod qalsh;
+mod srs;
+mod stats;
+
+pub use qalsh::{Qalsh, QalshConfig};
+pub use srs::{Srs, SrsConfig};
+pub use stats::chi_squared_cdf;

@@ -1,0 +1,119 @@
+//! Statistical helpers for the LSH early-termination tests.
+
+/// Regularized lower incomplete gamma function `P(a, x)`, computed with the
+/// series expansion for `x < a + 1` and the continued fraction otherwise
+/// (Numerical Recipes `gammp`).
+pub fn lower_incomplete_gamma_regularized(a: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if a <= 0.0 {
+        return 1.0;
+    }
+    if x < a + 1.0 {
+        // Series representation.
+        let mut ap = a;
+        let mut sum = 1.0 / a;
+        let mut del = sum;
+        for _ in 0..500 {
+            ap += 1.0;
+            del *= x / ap;
+            sum += del;
+            if del.abs() < sum.abs() * 1e-12 {
+                break;
+            }
+        }
+        sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+    } else {
+        // Continued fraction for Q(a, x); P = 1 - Q.
+        let mut b = x + 1.0 - a;
+        let mut c = 1.0 / 1e-300;
+        let mut d = 1.0 / b;
+        let mut h = d;
+        for i in 1..500 {
+            let an = -(i as f64) * (i as f64 - a);
+            b += 2.0;
+            d = an * d + b;
+            if d.abs() < 1e-300 {
+                d = 1e-300;
+            }
+            c = b + an / c;
+            if c.abs() < 1e-300 {
+                c = 1e-300;
+            }
+            d = 1.0 / d;
+            let del = d * c;
+            h *= del;
+            if (del - 1.0).abs() < 1e-12 {
+                break;
+            }
+        }
+        1.0 - (-x + a * x.ln() - ln_gamma(a)).exp() * h
+    }
+}
+
+/// CDF of the χ² distribution with `k` degrees of freedom.
+///
+/// For 2-stable (Gaussian) projections onto `k` directions, the squared
+/// projected distance divided by the squared original distance follows a χ²
+/// distribution with `k` degrees of freedom — the fact underlying SRS's
+/// early-termination test.
+pub fn chi_squared_cdf(x: f64, k: usize) -> f64 {
+    lower_incomplete_gamma_regularized(k as f64 / 2.0, x / 2.0)
+}
+
+/// Lanczos approximation of `ln Γ(x)` for `x > 0`.
+pub fn ln_gamma(x: f64) -> f64 {
+    const COEFFS: [f64; 6] = [
+        76.18009172947146,
+        -86.50532032941677,
+        24.01409824083091,
+        -1.231739572450155,
+        0.1208650973866179e-2,
+        -0.5395239384953e-5,
+    ];
+    let mut y = x;
+    let tmp = x + 5.5;
+    let tmp = tmp - (x + 0.5) * tmp.ln();
+    let mut ser = 1.000000000190015;
+    for c in COEFFS {
+        y += 1.0;
+        ser += c / y;
+    }
+    -tmp + (2.5066282746310005 * ser / x).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Γ(n) = (n-1)!
+        assert!((ln_gamma(1.0)).abs() < 1e-9);
+        assert!((ln_gamma(2.0)).abs() < 1e-9);
+        assert!((ln_gamma(5.0) - (24.0f64).ln()).abs() < 1e-9);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chi_squared_cdf_known_values() {
+        // Median of chi2 with 2 dof is 2 ln 2 ≈ 1.386.
+        assert!((chi_squared_cdf(2.0 * std::f64::consts::LN_2, 2) - 0.5).abs() < 1e-6);
+        // CDF is 0 at 0 and approaches 1 for large x.
+        assert_eq!(chi_squared_cdf(0.0, 4), 0.0);
+        assert!(chi_squared_cdf(100.0, 4) > 0.9999);
+        // Monotone in x.
+        assert!(chi_squared_cdf(1.0, 6) < chi_squared_cdf(2.0, 6));
+        // More degrees of freedom shift mass right.
+        assert!(chi_squared_cdf(3.0, 2) > chi_squared_cdf(3.0, 8));
+    }
+
+    #[test]
+    fn incomplete_gamma_edge_cases() {
+        assert_eq!(lower_incomplete_gamma_regularized(2.0, 0.0), 0.0);
+        assert_eq!(lower_incomplete_gamma_regularized(2.0, -1.0), 0.0);
+        assert!((0.0..=1.0).contains(&lower_incomplete_gamma_regularized(3.0, 2.5)));
+        assert!((0.0..=1.0).contains(&lower_incomplete_gamma_regularized(3.0, 25.0)));
+    }
+}

@@ -1,0 +1,141 @@
+//! A capacity-bounded LRU buffer pool of page identifiers.
+//!
+//! The pool does not hold page *contents* (the simulated store keeps all
+//! values in one flat vector); it only tracks which pages would currently be
+//! resident in memory, which is all that is needed to decide whether an
+//! access costs an I/O.
+
+use std::collections::{BTreeMap, HashMap};
+
+/// LRU set of page ids with a fixed capacity.
+#[derive(Debug)]
+pub struct BufferPool {
+    capacity: usize,
+    /// page -> last-use timestamp
+    pages: HashMap<u64, u64>,
+    /// last-use timestamp -> page (for O(log n) eviction)
+    lru: BTreeMap<u64, u64>,
+    clock: u64,
+}
+
+impl BufferPool {
+    /// Creates a pool able to hold `capacity` pages. A capacity of zero
+    /// means every access misses (pure cold-cache disk behaviour).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            pages: HashMap::new(),
+            lru: BTreeMap::new(),
+            clock: 0,
+        }
+    }
+
+    /// Capacity in pages.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of resident pages.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// Records an access to `page`. Returns `true` if the page was already
+    /// resident (hit), `false` if it had to be "read from disk" (miss).
+    pub fn access(&mut self, page: u64) -> bool {
+        self.clock += 1;
+        if let Some(ts) = self.pages.get_mut(&page) {
+            self.lru.remove(ts);
+            *ts = self.clock;
+            self.lru.insert(self.clock, page);
+            return true;
+        }
+        if self.capacity == 0 {
+            return false;
+        }
+        if self.pages.len() >= self.capacity {
+            // Evict the least recently used page.
+            if let Some((&oldest_ts, &victim)) = self.lru.iter().next() {
+                self.lru.remove(&oldest_ts);
+                self.pages.remove(&victim);
+            }
+        }
+        self.pages.insert(page, self.clock);
+        self.lru.insert(self.clock, page);
+        false
+    }
+
+    /// Whether `page` is currently resident (without touching recency).
+    pub fn contains(&self, page: u64) -> bool {
+        self.pages.contains_key(&page)
+    }
+
+    /// Drops every resident page (the paper clears OS caches between the
+    /// index-building and query-answering steps).
+    pub fn clear(&mut self) {
+        self.pages.clear();
+        self.lru.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_access_misses_second_hits() {
+        let mut p = BufferPool::new(4);
+        assert!(!p.access(1));
+        assert!(p.access(1));
+        assert_eq!(p.len(), 1);
+        assert!(p.contains(1));
+        assert!(!p.is_empty());
+        assert_eq!(p.capacity(), 4);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut p = BufferPool::new(2);
+        p.access(1);
+        p.access(2);
+        p.access(1); // 1 is now more recent than 2
+        p.access(3); // evicts 2
+        assert!(p.contains(1));
+        assert!(!p.contains(2));
+        assert!(p.contains(3));
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_always_misses() {
+        let mut p = BufferPool::new(0);
+        assert!(!p.access(7));
+        assert!(!p.access(7));
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn clear_empties_the_pool() {
+        let mut p = BufferPool::new(8);
+        for i in 0..5 {
+            p.access(i);
+        }
+        p.clear();
+        assert!(p.is_empty());
+        assert!(!p.access(0), "after clear, accesses miss again");
+    }
+
+    #[test]
+    fn large_workload_respects_capacity() {
+        let mut p = BufferPool::new(16);
+        for i in 0..10_000u64 {
+            p.access(i % 64);
+        }
+        assert!(p.len() <= 16);
+    }
+}

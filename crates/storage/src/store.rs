@@ -1,0 +1,354 @@
+//! The simulated series store.
+
+use hydra_core::{Dataset, Error, QueryStats, Result};
+use parking_lot::Mutex;
+
+use crate::buffer::BufferPool;
+
+/// Configuration of the simulated storage layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StorageConfig {
+    /// Size of one disk page in bytes.
+    pub page_bytes: usize,
+    /// Capacity of the buffer pool in pages. Use a large value (or
+    /// [`StorageConfig::in_memory`]) to model a dataset that fits in RAM.
+    pub buffer_pool_pages: usize,
+}
+
+impl StorageConfig {
+    /// The default on-disk configuration: 64 KiB pages and a pool of 128
+    /// pages (8 MiB), small relative to the datasets used in experiments.
+    pub fn on_disk() -> Self {
+        Self {
+            page_bytes: 64 * 1024,
+            buffer_pool_pages: 128,
+        }
+    }
+
+    /// A configuration whose pool always holds the entire dataset, so only
+    /// cold (first-touch) reads are charged — the in-memory scenario.
+    pub fn in_memory() -> Self {
+        Self {
+            page_bytes: 64 * 1024,
+            buffer_pool_pages: usize::MAX / 2,
+        }
+    }
+}
+
+impl Default for StorageConfig {
+    fn default() -> Self {
+        Self::on_disk()
+    }
+}
+
+/// Cumulative I/O counters of a store since creation (or the last reset).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoSnapshot {
+    /// Pages read that required a seek (non-adjacent to the previous read).
+    pub random_ios: u64,
+    /// Pages read contiguously after the previous one.
+    pub sequential_ios: u64,
+    /// Total bytes charged to reads.
+    pub bytes_read: u64,
+    /// Buffer-pool hits (no I/O charged).
+    pub pool_hits: u64,
+}
+
+#[derive(Debug)]
+struct AccessState {
+    pool: BufferPool,
+    last_page: Option<u64>,
+    totals: IoSnapshot,
+}
+
+/// A flat, append-only store of fixed-length series with simulated paged
+/// access.
+///
+/// Record ids are assigned in append order; indexes lay out their leaves by
+/// appending leaf contents contiguously, so a leaf scan is a sequential read
+/// and a jump between leaves is a random read — matching the layout of the
+/// original on-disk implementations.
+#[derive(Debug)]
+pub struct SeriesStore {
+    series_len: usize,
+    config: StorageConfig,
+    data: Vec<f32>,
+    state: Mutex<AccessState>,
+}
+
+impl SeriesStore {
+    /// Creates an empty store for series of length `series_len`.
+    pub fn new(series_len: usize, config: StorageConfig) -> Result<Self> {
+        if series_len == 0 {
+            return Err(Error::InvalidParameter(
+                "series length must be positive".into(),
+            ));
+        }
+        if config.page_bytes < std::mem::size_of::<f32>() {
+            return Err(Error::InvalidParameter(
+                "page size must hold at least one value".into(),
+            ));
+        }
+        Ok(Self {
+            series_len,
+            config,
+            data: Vec::new(),
+            state: Mutex::new(AccessState {
+                pool: BufferPool::new(config.buffer_pool_pages),
+                last_page: None,
+                totals: IoSnapshot::default(),
+            }),
+        })
+    }
+
+    /// Creates a store populated with the contents of a dataset, preserving
+    /// record ids = dataset positions.
+    pub fn from_dataset(dataset: &Dataset, config: StorageConfig) -> Result<Self> {
+        let mut store = Self::new(dataset.series_len(), config)?;
+        store.data.extend_from_slice(dataset.as_flat());
+        Ok(store)
+    }
+
+    /// Appends one series, returning its record id.
+    pub fn append(&mut self, series: &[f32]) -> Result<usize> {
+        if series.len() != self.series_len {
+            return Err(Error::DimensionMismatch {
+                expected: self.series_len,
+                found: series.len(),
+            });
+        }
+        let id = self.len();
+        self.data.extend_from_slice(series);
+        Ok(id)
+    }
+
+    /// Number of series stored.
+    pub fn len(&self) -> usize {
+        self.data.len() / self.series_len
+    }
+
+    /// Whether the store holds no series.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Length of each stored series.
+    pub fn series_len(&self) -> usize {
+        self.series_len
+    }
+
+    /// Total size of the stored raw payload in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        (self.data.len() * std::mem::size_of::<f32>()) as u64
+    }
+
+    /// The storage configuration in use.
+    pub fn config(&self) -> StorageConfig {
+        self.config
+    }
+
+    /// Bytes occupied by one series.
+    fn series_bytes(&self) -> u64 {
+        (self.series_len * std::mem::size_of::<f32>()) as u64
+    }
+
+    fn series_per_page(&self) -> u64 {
+        (self.config.page_bytes as u64 / self.series_bytes()).max(1)
+    }
+
+    fn page_of(&self, record: usize) -> u64 {
+        record as u64 / self.series_per_page()
+    }
+
+    /// Reads one series, charging simulated I/O to both the per-query
+    /// `stats` and the store-wide totals.
+    ///
+    /// # Panics
+    /// Panics if `record` is out of bounds.
+    pub fn read(&self, record: usize, stats: &mut QueryStats) -> &[f32] {
+        assert!(record < self.len(), "record {record} out of bounds");
+        self.charge_pages(self.page_of(record), self.page_of(record), stats);
+        stats.bytes_read += self.series_bytes();
+        let start = record * self.series_len;
+        &self.data[start..start + self.series_len]
+    }
+
+    /// Reads `count` consecutive series starting at `start`, invoking
+    /// `visit(record_id, series)` for each. The contiguous range is charged
+    /// as one random positioning followed by sequential page reads.
+    pub fn read_range(
+        &self,
+        start: usize,
+        count: usize,
+        stats: &mut QueryStats,
+        visit: &mut dyn FnMut(usize, &[f32]),
+    ) {
+        if count == 0 {
+            return;
+        }
+        let end = (start + count).min(self.len());
+        assert!(start < self.len(), "start {start} out of bounds");
+        self.charge_pages(self.page_of(start), self.page_of(end - 1), stats);
+        stats.bytes_read += self.series_bytes() * (end - start) as u64;
+        for record in start..end {
+            let off = record * self.series_len;
+            visit(record, &self.data[off..off + self.series_len]);
+        }
+    }
+
+    /// Charges page accesses for the inclusive page range `[first, last]`.
+    fn charge_pages(&self, first: u64, last: u64, stats: &mut QueryStats) {
+        let mut state = self.state.lock();
+        for page in first..=last {
+            if state.pool.access(page) {
+                state.totals.pool_hits += 1;
+            } else {
+                let sequential = state.last_page == Some(page.wrapping_sub(1)) || state.last_page == Some(page);
+                if sequential {
+                    state.totals.sequential_ios += 1;
+                    stats.sequential_ios += 1;
+                } else {
+                    state.totals.random_ios += 1;
+                    stats.random_ios += 1;
+                }
+                state.totals.bytes_read += self.config.page_bytes as u64;
+            }
+            state.last_page = Some(page);
+        }
+    }
+
+    /// Snapshot of cumulative I/O counters.
+    pub fn io_snapshot(&self) -> IoSnapshot {
+        self.state.lock().totals
+    }
+
+    /// Clears the buffer pool and resets cumulative counters (the paper
+    /// clears caches before each experiment step).
+    pub fn reset_io(&self) {
+        let mut state = self.state.lock();
+        state.pool.clear();
+        state.last_page = None;
+        state.totals = IoSnapshot::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_store(n: usize, len: usize, config: StorageConfig) -> SeriesStore {
+        let mut d = Dataset::new(len).unwrap();
+        for i in 0..n {
+            let s: Vec<f32> = (0..len).map(|j| (i * len + j) as f32).collect();
+            d.push(&s).unwrap();
+        }
+        SeriesStore::from_dataset(&d, config).unwrap()
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(SeriesStore::new(0, StorageConfig::default()).is_err());
+        assert!(SeriesStore::new(
+            8,
+            StorageConfig {
+                page_bytes: 1,
+                buffer_pool_pages: 1
+            }
+        )
+        .is_err());
+        let mut s = SeriesStore::new(4, StorageConfig::default()).unwrap();
+        assert!(s.is_empty());
+        assert!(s.append(&[1.0, 2.0, 3.0]).is_err());
+        assert_eq!(s.append(&[1.0, 2.0, 3.0, 4.0]).unwrap(), 0);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.series_len(), 4);
+        assert_eq!(s.total_bytes(), 16);
+    }
+
+    #[test]
+    fn read_returns_correct_series_and_charges_bytes() {
+        let store = small_store(10, 4, StorageConfig::on_disk());
+        let mut stats = QueryStats::new();
+        let s = store.read(3, &mut stats);
+        assert_eq!(s, &[12.0, 13.0, 14.0, 15.0]);
+        assert_eq!(stats.bytes_read, 16);
+    }
+
+    #[test]
+    fn sequential_scan_is_mostly_sequential_io() {
+        // Page = 64 values = 16 series of length 4.
+        let config = StorageConfig {
+            page_bytes: 256,
+            buffer_pool_pages: 0,
+        };
+        let store = small_store(64, 4, config);
+        let mut stats = QueryStats::new();
+        store.read_range(0, 64, &mut stats, &mut |_, _| {});
+        // 4 pages: the first positioning is random, the rest sequential.
+        assert_eq!(stats.random_ios, 1);
+        assert_eq!(stats.sequential_ios, 3);
+        assert_eq!(stats.bytes_read, 64 * 16);
+    }
+
+    #[test]
+    fn scattered_reads_are_random_io() {
+        let config = StorageConfig {
+            page_bytes: 256, // 16 series/page
+            buffer_pool_pages: 0,
+        };
+        let store = small_store(256, 4, config);
+        let mut stats = QueryStats::new();
+        // Jump between far-apart pages.
+        for r in [0usize, 128, 16, 240, 64] {
+            store.read(r, &mut stats);
+        }
+        assert_eq!(stats.random_ios, 5);
+        assert_eq!(stats.sequential_ios, 0);
+    }
+
+    #[test]
+    fn buffer_pool_absorbs_repeated_access() {
+        let config = StorageConfig {
+            page_bytes: 256,
+            buffer_pool_pages: 1024,
+        };
+        let store = small_store(64, 4, config);
+        let mut stats = QueryStats::new();
+        store.read(5, &mut stats);
+        store.read(6, &mut stats); // same page -> pool hit
+        assert_eq!(stats.random_ios + stats.sequential_ios, 1);
+        let snap = store.io_snapshot();
+        assert_eq!(snap.pool_hits, 1);
+        assert_eq!(snap.random_ios, 1);
+    }
+
+    #[test]
+    fn reset_io_clears_totals_and_pool() {
+        let store = small_store(64, 4, StorageConfig::in_memory());
+        let mut stats = QueryStats::new();
+        store.read(0, &mut stats);
+        assert!(store.io_snapshot().random_ios > 0);
+        store.reset_io();
+        assert_eq!(store.io_snapshot(), IoSnapshot::default());
+        let mut stats2 = QueryStats::new();
+        store.read(0, &mut stats2);
+        assert_eq!(stats2.random_ios, 1, "after reset the first read misses again");
+    }
+
+    #[test]
+    fn read_range_clamps_to_len() {
+        let store = small_store(10, 4, StorageConfig::in_memory());
+        let mut stats = QueryStats::new();
+        let mut seen = Vec::new();
+        store.read_range(8, 100, &mut stats, &mut |id, _| seen.push(id));
+        assert_eq!(seen, vec![8, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn read_out_of_bounds_panics() {
+        let store = small_store(4, 4, StorageConfig::in_memory());
+        let mut stats = QueryStats::new();
+        let _ = store.read(100, &mut stats);
+    }
+}

@@ -1,0 +1,328 @@
+//! Small dense-matrix kernel.
+//!
+//! Only what the summarizers need: row-major matrices, multiplication,
+//! transpose, Gram–Schmidt orthonormalization, a cyclic Jacobi
+//! eigendecomposition for symmetric matrices, and the orthogonal Procrustes
+//! solution used to train OPQ rotations. Dimensions here are small (at most
+//! a few hundred), so `O(d³)` algorithms in `f64` are both fast enough and
+//! numerically robust.
+
+/// A row-major dense matrix of `f64` values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer size mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow of row `r`.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// # Panics
+    /// Panics if the inner dimensions do not agree.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "inner dimensions must agree");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out[(i, j)] += a * other[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Applies the matrix to a vector (`self * v`).
+    pub fn apply(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols);
+        (0..self.rows)
+            .map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// Frobenius norm of the difference to another matrix.
+    pub fn distance(&self, other: &Matrix) -> f64 {
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+/// Orthonormalizes the rows of `m` in place with modified Gram–Schmidt.
+/// Rows that become numerically zero are replaced by canonical basis vectors
+/// so the result always has full rank.
+pub fn gram_schmidt_rows(m: &mut Matrix) {
+    let cols = m.cols();
+    for i in 0..m.rows() {
+        // Subtract projections on previous rows.
+        for j in 0..i {
+            let dot: f64 = (0..cols).map(|c| m[(i, c)] * m[(j, c)]).sum();
+            for c in 0..cols {
+                m[(i, c)] -= dot * m[(j, c)];
+            }
+        }
+        let norm: f64 = (0..cols).map(|c| m[(i, c)] * m[(i, c)]).sum::<f64>().sqrt();
+        if norm < 1e-12 {
+            for c in 0..cols {
+                m[(i, c)] = if c == i % cols { 1.0 } else { 0.0 };
+            }
+        } else {
+            for c in 0..cols {
+                m[(i, c)] /= norm;
+            }
+        }
+    }
+}
+
+/// Eigendecomposition of a symmetric matrix with the cyclic Jacobi method.
+///
+/// Returns `(eigenvalues, eigenvectors)` where column `j` of the eigenvector
+/// matrix corresponds to `eigenvalues[j]`, sorted in decreasing order.
+pub fn symmetric_eigen(a: &Matrix) -> (Vec<f64>, Matrix) {
+    assert_eq!(a.rows(), a.cols(), "matrix must be square");
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+    for _sweep in 0..100 {
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in i + 1..n {
+                off += m[(i, j)] * m[(i, j)];
+            }
+        }
+        if off < 1e-20 {
+            break;
+        }
+        for p in 0..n {
+            for q in p + 1..n {
+                if m[(p, q)].abs() < 1e-18 {
+                    continue;
+                }
+                let theta = (m[(q, q)] - m[(p, p)]) / (2.0 * m[(p, q)]);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (m[(i, i)], i)).collect();
+    pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    let eigenvalues: Vec<f64> = pairs.iter().map(|(val, _)| *val).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (new_col, (_, old_col)) in pairs.iter().enumerate() {
+        for r in 0..n {
+            vectors[(r, new_col)] = v[(r, *old_col)];
+        }
+    }
+    (eigenvalues, vectors)
+}
+
+/// Solves the orthogonal Procrustes problem: the rotation `R` minimizing
+/// `|| A R - B ||_F` over orthogonal matrices, via the SVD of `Aᵀ B`
+/// (computed from two symmetric eigendecompositions).
+pub fn procrustes_rotation(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.rows(), b.rows());
+    assert_eq!(a.cols(), b.cols());
+    let m = a.transpose().matmul(b); // d x d
+    // SVD of M: M = U S V^T, with U from eigenvectors of M M^T and V from
+    // eigenvectors of M^T M. Signs are aligned through M.
+    let mmt = m.matmul(&m.transpose());
+    let mtm = m.transpose().matmul(&m);
+    let (_, u) = symmetric_eigen(&mmt);
+    let (_, v) = symmetric_eigen(&mtm);
+    // Align sign: for each singular direction, require u_i^T M v_i >= 0.
+    let d = m.rows();
+    let mut u_aligned = u.clone();
+    for i in 0..d {
+        let mut s = 0.0;
+        for r in 0..d {
+            let mut mv = 0.0;
+            for c in 0..d {
+                mv += m[(r, c)] * v[(c, i)];
+            }
+            s += u[(r, i)] * mv;
+        }
+        if s < 0.0 {
+            for r in 0..d {
+                u_aligned[(r, i)] = -u[(r, i)];
+            }
+        }
+    }
+    // R = U V^T
+    u_aligned.matmul(&v.transpose())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_and_indexing() {
+        let id = Matrix::identity(3);
+        assert_eq!(id[(0, 0)], 1.0);
+        assert_eq!(id[(0, 1)], 0.0);
+        assert_eq!(id.rows(), 3);
+        assert_eq!(id.cols(), 3);
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c[(0, 0)], 58.0);
+        assert_eq!(c[(0, 1)], 64.0);
+        assert_eq!(c[(1, 0)], 139.0);
+        assert_eq!(c[(1, 1)], 154.0);
+    }
+
+    #[test]
+    fn apply_multiplies_vector() {
+        let a = Matrix::from_vec(2, 2, vec![0.0, 1.0, -1.0, 0.0]);
+        assert_eq!(a.apply(&[2.0, 3.0]), vec![3.0, -2.0]);
+    }
+
+    #[test]
+    fn gram_schmidt_produces_orthonormal_rows() {
+        let mut m = Matrix::from_vec(
+            3,
+            3,
+            vec![1.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 1.0],
+        );
+        gram_schmidt_rows(&mut m);
+        for i in 0..3 {
+            for j in 0..3 {
+                let dot: f64 = (0..3).map(|c| m[(i, c)] * m[(j, c)]).sum();
+                let expected = if i == j { 1.0 } else { 0.0 };
+                assert!((dot - expected).abs() < 1e-9, "rows {i},{j}");
+            }
+        }
+    }
+
+    #[test]
+    fn jacobi_eigen_recovers_known_spectrum() {
+        // Symmetric matrix with known eigenvalues 3 and 1.
+        let a = Matrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0]);
+        let (vals, vecs) = symmetric_eigen(&a);
+        assert!((vals[0] - 3.0).abs() < 1e-9);
+        assert!((vals[1] - 1.0).abs() < 1e-9);
+        // A v = lambda v for the leading eigenvector.
+        let v0: Vec<f64> = (0..2).map(|r| vecs[(r, 0)]).collect();
+        let av = a.apply(&v0);
+        for r in 0..2 {
+            assert!((av[r] - 3.0 * v0[r]).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn procrustes_recovers_a_known_rotation() {
+        // B = A R for a known rotation R (90 degrees in 2D); Procrustes must
+        // recover R.
+        let a = Matrix::from_vec(4, 2, vec![1.0, 0.0, 0.0, 1.0, 2.0, 1.0, -1.0, 3.0]);
+        let r_true = Matrix::from_vec(2, 2, vec![0.0, -1.0, 1.0, 0.0]);
+        let b = a.matmul(&r_true);
+        let r = procrustes_rotation(&a, &b);
+        assert!(r.distance(&r_true) < 1e-6, "{r:?}");
+    }
+
+    #[test]
+    fn procrustes_result_is_orthogonal() {
+        let a = Matrix::from_vec(3, 3, vec![1.0, 2.0, 0.5, -1.0, 0.3, 2.0, 0.0, 1.0, 1.0]);
+        let b = Matrix::from_vec(3, 3, vec![0.3, 1.0, 0.0, 2.0, -0.5, 1.0, 1.0, 0.0, 2.0]);
+        let r = procrustes_rotation(&a, &b);
+        let should_be_identity = r.transpose().matmul(&r);
+        assert!(should_be_identity.distance(&Matrix::identity(3)) < 1e-6);
+    }
+}

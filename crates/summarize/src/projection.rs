@@ -1,0 +1,154 @@
+//! Gaussian random projections.
+//!
+//! SRS and (indirectly) QALSH rely on projecting the original
+//! `d`-dimensional data onto `m ≪ d` random directions whose components are
+//! i.i.d. standard normal. The Johnson–Lindenstrauss lemma guarantees that
+//! pairwise distances are approximately preserved with high probability, and
+//! 2-stable projections guarantee that the projected difference of two
+//! points is normally distributed with scale proportional to their original
+//! Euclidean distance — the property both LSH methods build on.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A `m × d` Gaussian random projection matrix.
+#[derive(Debug, Clone)]
+pub struct GaussianProjection {
+    input_dim: usize,
+    output_dim: usize,
+    /// Row-major projection matrix (`output_dim` rows of `input_dim`).
+    matrix: Vec<f32>,
+}
+
+impl GaussianProjection {
+    /// Samples a projection from `input_dim` to `output_dim` dimensions
+    /// using the given seed.
+    pub fn new(input_dim: usize, output_dim: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let matrix = (0..input_dim * output_dim)
+            .map(|_| standard_normal(&mut rng))
+            .collect();
+        Self {
+            input_dim,
+            output_dim,
+            matrix,
+        }
+    }
+
+    /// Original dimensionality accepted by [`GaussianProjection::project`].
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Dimensionality of projected vectors.
+    pub fn output_dim(&self) -> usize {
+        self.output_dim
+    }
+
+    /// Projects a vector.
+    ///
+    /// # Panics
+    /// Panics if `v.len() != self.input_dim()`.
+    pub fn project(&self, v: &[f32]) -> Vec<f32> {
+        assert_eq!(v.len(), self.input_dim, "dimension mismatch");
+        (0..self.output_dim)
+            .map(|r| {
+                let row = &self.matrix[r * self.input_dim..(r + 1) * self.input_dim];
+                row.iter().zip(v).map(|(a, b)| a * b).sum()
+            })
+            .collect()
+    }
+
+    /// Projects onto a single direction `r` (used by QALSH, which treats
+    /// each direction as an independent hash function).
+    pub fn project_one(&self, v: &[f32], r: usize) -> f32 {
+        assert!(r < self.output_dim);
+        let row = &self.matrix[r * self.input_dim..(r + 1) * self.input_dim];
+        row.iter().zip(v).map(|(a, b)| a * b).sum()
+    }
+
+    /// Memory footprint of the projection matrix in bytes.
+    pub fn memory_footprint(&self) -> usize {
+        self.matrix.len() * std::mem::size_of::<f32>()
+    }
+}
+
+/// Samples a standard normal variate with the Box–Muller transform (keeps
+/// the dependency surface to `rand`'s uniform sampling only).
+pub fn standard_normal<R: Rng>(rng: &mut R) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydra_core::euclidean;
+
+    #[test]
+    fn projection_is_deterministic_per_seed() {
+        let p1 = GaussianProjection::new(32, 8, 7);
+        let p2 = GaussianProjection::new(32, 8, 7);
+        let p3 = GaussianProjection::new(32, 8, 8);
+        let v: Vec<f32> = (0..32).map(|i| i as f32).collect();
+        assert_eq!(p1.project(&v), p2.project(&v));
+        assert_ne!(p1.project(&v), p3.project(&v));
+        assert_eq!(p1.input_dim(), 32);
+        assert_eq!(p1.output_dim(), 8);
+        assert_eq!(p1.memory_footprint(), 32 * 8 * 4);
+    }
+
+    #[test]
+    fn project_one_matches_full_projection() {
+        let p = GaussianProjection::new(16, 4, 3);
+        let v: Vec<f32> = (0..16).map(|i| (i as f32).cos()).collect();
+        let full = p.project(&v);
+        for r in 0..4 {
+            assert!((full[r] - p.project_one(&v, r)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn jl_distances_roughly_preserved_on_average() {
+        // With enough projected dimensions, the expected squared projected
+        // distance equals m times the original squared distance. Check the
+        // ratio is within a loose factor for an average over pairs.
+        let d = 64;
+        let m = 32;
+        let p = GaussianProjection::new(d, m, 99);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut ratio_sum = 0.0f64;
+        let pairs = 30;
+        for _ in 0..pairs {
+            let a: Vec<f32> = (0..d).map(|_| standard_normal(&mut rng)).collect();
+            let b: Vec<f32> = (0..d).map(|_| standard_normal(&mut rng)).collect();
+            let orig = euclidean(&a, &b);
+            let proj = euclidean(&p.project(&a), &p.project(&b)) / (m as f32).sqrt();
+            ratio_sum += (proj / orig) as f64;
+        }
+        let mean_ratio = ratio_sum / pairs as f64;
+        assert!(
+            (0.8..1.2).contains(&mean_ratio),
+            "JL mean distance ratio {mean_ratio} outside tolerance"
+        );
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean: f32 = samples.iter().sum::<f32>() / n as f32;
+        let var: f32 = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn project_rejects_wrong_dim() {
+        let p = GaussianProjection::new(8, 2, 1);
+        let _ = p.project(&[0.0; 4]);
+    }
+}

@@ -1,0 +1,332 @@
+//! Skip-sequential VA+file search.
+
+use hydra_core::{
+    AnnIndex, Capabilities, Dataset, DistanceHistogram, Error, Neighbor, QueryStats,
+    Representation, Result, SearchMode, SearchParams, SearchResult, TopK,
+};
+use hydra_storage::{SeriesStore, StorageConfig};
+use hydra_summarize::quantization::ScalarQuantizer;
+use hydra_summarize::DftSummarizer;
+
+/// Configuration of a [`VaPlusFile`].
+#[derive(Debug, Clone, Copy)]
+pub struct VaPlusFileConfig {
+    /// Number of DFT coefficients kept (the paper uses 16 reduced
+    /// dimensions, i.e. 8 complex coefficients).
+    pub dft_coefficients: usize,
+    /// Bits per quantized dimension of the approximation file.
+    pub bits_per_dim: u8,
+    /// Simulated storage configuration for the raw series.
+    pub storage: StorageConfig,
+    /// Number of pairwise-distance samples for the δ-ε histogram.
+    pub histogram_samples: usize,
+    /// Seed for histogram sampling.
+    pub seed: u64,
+}
+
+impl Default for VaPlusFileConfig {
+    fn default() -> Self {
+        Self {
+            dft_coefficients: 8,
+            bits_per_dim: 4,
+            storage: StorageConfig::on_disk(),
+            histogram_samples: 20_000,
+            seed: 0xFA11E,
+        }
+    }
+}
+
+/// The VA+file index.
+pub struct VaPlusFile {
+    config: VaPlusFileConfig,
+    series_len: usize,
+    dft: DftSummarizer,
+    quantizer: ScalarQuantizer,
+    /// Quantized approximation of every series (the approximation file),
+    /// kept in memory as in the paper's setup.
+    approximations: Vec<Vec<u16>>,
+    /// Exact DFT summaries (used to bound from below slightly more tightly
+    /// when the cell is degenerate); not strictly required but cheap.
+    store: SeriesStore,
+    histogram: DistanceHistogram,
+    num_series: usize,
+}
+
+impl VaPlusFile {
+    /// Builds a VA+file over `dataset`.
+    ///
+    /// # Errors
+    /// Returns an error if the dataset is empty.
+    pub fn build(dataset: &Dataset, config: VaPlusFileConfig) -> Result<Self> {
+        if dataset.is_empty() {
+            return Err(Error::EmptyDataset);
+        }
+        let series_len = dataset.series_len();
+        let dft = DftSummarizer::new(series_len, config.dft_coefficients);
+
+        // Transform everything, then train the per-dimension quantizer on
+        // the transformed data (the "+" of VA+: adaptive, equi-depth cells).
+        let summaries: Vec<Vec<f32>> = dataset.iter().map(|s| dft.transform(s)).collect();
+        let refs: Vec<&[f32]> = summaries.iter().map(|v| v.as_slice()).collect();
+        let quantizer = ScalarQuantizer::train(&refs, config.bits_per_dim);
+        let approximations: Vec<Vec<u16>> = summaries.iter().map(|s| quantizer.encode(s)).collect();
+
+        let store = SeriesStore::from_dataset(dataset, config.storage)?;
+        store.reset_io();
+        Ok(Self {
+            config,
+            series_len,
+            dft,
+            quantizer,
+            approximations,
+            store,
+            histogram: DistanceHistogram::from_dataset(
+                dataset,
+                config.histogram_samples,
+                256,
+                config.seed,
+            ),
+            num_series: dataset.len(),
+        })
+    }
+
+    /// The configuration the index was built with.
+    pub fn config(&self) -> &VaPlusFileConfig {
+        &self.config
+    }
+
+    /// The distance histogram used for δ-ε-approximate search.
+    pub fn histogram(&self) -> &DistanceHistogram {
+        &self.histogram
+    }
+
+    /// The simulated storage layer holding the raw series.
+    pub fn store(&self) -> &SeriesStore {
+        &self.store
+    }
+
+    /// Number of quantization cells per reduced dimension.
+    pub fn cells_per_dim(&self) -> usize {
+        self.quantizer.cells()
+    }
+
+    /// Skip-sequential search shared by every mode.
+    ///
+    /// Phase 1 scans the approximation file, computing a lower bound per
+    /// candidate (and, for exact/ε modes, maintaining the k-th smallest
+    /// upper bound to pre-prune). Phase 2 refines candidates in increasing
+    /// lower-bound order, reading raw series from disk, until the lower
+    /// bound exceeds `bsf / (1 + ε)` (or the candidate budget is exhausted
+    /// in ng mode, or the δ stop condition fires).
+    fn skip_sequential(&self, query: &[f32], params: &SearchParams) -> SearchResult {
+        let mut stats = QueryStats::new();
+        let k = params.k.max(1);
+        let epsilon = params.mode.epsilon().max(0.0);
+        let one_plus_eps = 1.0 + epsilon;
+        let (nprobe, r_delta) = match params.mode {
+            SearchMode::Ng { nprobe } => (Some(nprobe.max(1)), 0.0),
+            SearchMode::DeltaEpsilon { delta, .. } if delta < 1.0 => {
+                (None, self.histogram.r_delta(delta))
+            }
+            _ => (None, 0.0),
+        };
+
+        // Phase 1: sequential scan of the in-memory approximation file.
+        let query_summary = self.dft.transform(query);
+        let mut candidates: Vec<(f32, usize)> = Vec::with_capacity(self.num_series);
+        let mut upper_topk = TopK::new(k);
+        for (id, code) in self.approximations.iter().enumerate() {
+            stats.lower_bound_computations += 1;
+            let lb = self.quantizer.lower_bound(&query_summary, code);
+            let ub = self.quantizer.upper_bound(&query_summary, code);
+            upper_topk.push(Neighbor::new(id, ub));
+            candidates.push((lb, id));
+        }
+        // Pre-prune: candidates whose lower bound exceeds the k-th smallest
+        // upper bound can never be in the answer (classic VA-file phase-1
+        // filter). The filter keeps a superset of the exact answer, so it is
+        // valid for every guarantee level.
+        let ub_threshold = upper_topk.kth_distance();
+        candidates.retain(|(lb, _)| *lb <= ub_threshold);
+        candidates.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+        // Phase 2: refine in increasing lower-bound order.
+        let mut top = TopK::new(k);
+        let delta_threshold = one_plus_eps * r_delta;
+        let mut refined = 0usize;
+        for (lb, id) in candidates {
+            let bsf = top.kth_distance();
+            if lb > bsf / one_plus_eps {
+                break;
+            }
+            if let Some(limit) = nprobe {
+                if refined >= limit {
+                    break;
+                }
+            }
+            let series = self.store.read(id, &mut stats);
+            stats.series_scanned += 1;
+            stats.distance_computations += 1;
+            if let Some(d) = hydra_core::euclidean_early_abandon(query, series, bsf) {
+                top.push(Neighbor::new(id, d));
+            }
+            refined += 1;
+            if r_delta > 0.0 && top.is_full() && top.kth_distance() <= delta_threshold {
+                stats.delta_stop_triggered = true;
+                break;
+            }
+        }
+        stats.leaves_visited = refined as u64;
+        SearchResult::new(top.into_sorted(), stats)
+    }
+}
+
+impl AnnIndex for VaPlusFile {
+    fn name(&self) -> &'static str {
+        "VA+file"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            exact: true,
+            ng_approximate: true,
+            epsilon_approximate: true,
+            delta_epsilon_approximate: true,
+            disk_resident: true,
+            representation: Representation::Dft,
+        }
+    }
+
+    fn num_series(&self) -> usize {
+        self.num_series
+    }
+
+    fn series_len(&self) -> usize {
+        self.series_len
+    }
+
+    fn memory_footprint(&self) -> usize {
+        // The approximation file plus the quantizer edges.
+        self.approximations
+            .iter()
+            .map(|a| a.len() * std::mem::size_of::<u16>())
+            .sum::<usize>()
+            + self.quantizer.dims() * (self.quantizer.cells() + 1) * std::mem::size_of::<f32>()
+    }
+
+    fn search(&self, query: &[f32], params: &SearchParams) -> Result<SearchResult> {
+        if query.len() != self.series_len {
+            return Err(Error::DimensionMismatch {
+                expected: self.series_len,
+                found: query.len(),
+            });
+        }
+        Ok(self.skip_sequential(query, params))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydra_data::{exact_knn, random_walk};
+
+    fn build_small(n: usize, len: usize) -> (Dataset, VaPlusFile) {
+        let data = random_walk(n, len, 23);
+        let config = VaPlusFileConfig {
+            dft_coefficients: 8,
+            bits_per_dim: 4,
+            storage: StorageConfig::in_memory(),
+            histogram_samples: 2_000,
+            seed: 3,
+        };
+        let va = VaPlusFile::build(&data, config).unwrap();
+        (data, va)
+    }
+
+    #[test]
+    fn build_rejects_empty_dataset() {
+        let empty = Dataset::new(8).unwrap();
+        assert!(VaPlusFile::build(&empty, VaPlusFileConfig::default()).is_err());
+    }
+
+    #[test]
+    fn exact_search_matches_brute_force() {
+        let (data, va) = build_small(400, 64);
+        for qi in [0usize, 57, 399] {
+            let query = data.series(qi);
+            let res = va.search(query, &SearchParams::exact(10)).unwrap();
+            let gt = exact_knn(&data, query, 10);
+            for (a, b) in res.neighbors.iter().zip(gt.iter()) {
+                assert!(
+                    (a.distance - b.distance).abs() < 1e-4,
+                    "VA+file exact search must match brute force"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_search_refines_fewer_series_than_a_full_scan() {
+        let (data, va) = build_small(1000, 64);
+        let q = data.series(3);
+        let res = va.search(q, &SearchParams::exact(1)).unwrap();
+        assert_eq!(res.neighbors[0].index, 3);
+        assert!(
+            (res.stats.series_scanned as usize) < data.len(),
+            "the VA filter should prune raw-data accesses"
+        );
+    }
+
+    #[test]
+    fn epsilon_guarantee_holds_and_reduces_refinements() {
+        let (data, va) = build_small(500, 64);
+        let queries = random_walk(6, 64, 91);
+        for q in queries.iter() {
+            let exact = va.search(q, &SearchParams::exact(5)).unwrap();
+            let relaxed = va.search(q, &SearchParams::epsilon(5, 2.0)).unwrap();
+            let gt = exact_knn(&data, q, 5);
+            let bound = 3.0 * gt[4].distance + 1e-4;
+            for n in &relaxed.neighbors {
+                assert!(n.distance <= bound);
+            }
+            assert!(relaxed.stats.series_scanned <= exact.stats.series_scanned);
+        }
+    }
+
+    #[test]
+    fn ng_mode_bounds_refined_candidates() {
+        let (_, va) = build_small(500, 64);
+        let queries = random_walk(3, 64, 5);
+        for q in queries.iter() {
+            let res = va.search(q, &SearchParams::ng(5, 10)).unwrap();
+            assert!(res.stats.series_scanned <= 10);
+            assert!(!res.neighbors.is_empty());
+        }
+    }
+
+    #[test]
+    fn delta_epsilon_mode_returns_sorted_answers() {
+        let (data, va) = build_small(300, 64);
+        let q = data.series(9);
+        let res = va
+            .search(q, &SearchParams::delta_epsilon(5, 0.9, 1.0))
+            .unwrap();
+        assert_eq!(res.neighbors.len(), 5);
+        for w in res.neighbors.windows(2) {
+            assert!(w[0].distance <= w[1].distance);
+        }
+    }
+
+    #[test]
+    fn capabilities_and_metadata() {
+        let (_, va) = build_small(100, 32);
+        assert_eq!(va.name(), "VA+file");
+        assert!(va.capabilities().disk_resident);
+        assert!(va.capabilities().delta_epsilon_approximate);
+        assert_eq!(va.num_series(), 100);
+        assert_eq!(va.series_len(), 32);
+        assert!(va.memory_footprint() > 0);
+        assert_eq!(va.cells_per_dim(), 16);
+        assert!(va.search(&[0.0; 4], &SearchParams::exact(1)).is_err());
+    }
+}

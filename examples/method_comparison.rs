@@ -1,0 +1,64 @@
+//! Full method comparison: reproduces the spirit of the paper's Table 1 and
+//! Figure 9 — what each method can do, how big its index is, and which
+//! method the decision matrix recommends for each scenario.
+//!
+//! ```text
+//! cargo run --release --example method_comparison
+//! ```
+
+use hydra_eval::{recommend, Scenario};
+
+fn main() {
+    let data = hydra::data::deep_like(3_000, 96, 21);
+    let methods = hydra::build_all_methods(&data, true, 13);
+
+    // Table 1: matching / accuracy / representation / disk support.
+    println!(
+        "{:<10} {:>6} {:>5} {:>5} {:>7} {:>12} {:>6} {:>12}",
+        "method", "exact", "ng", "eps", "d-eps", "repr", "disk", "index KiB"
+    );
+    for m in &methods {
+        let caps = m.capabilities();
+        println!(
+            "{:<10} {:>6} {:>5} {:>5} {:>7} {:>12} {:>6} {:>12}",
+            m.name(),
+            tick(caps.exact),
+            tick(caps.ng_approximate),
+            tick(caps.epsilon_approximate),
+            tick(caps.delta_epsilon_approximate),
+            caps.representation.name(),
+            tick(caps.disk_resident),
+            m.memory_footprint() / 1024,
+        );
+    }
+
+    // Figure 9: the decision matrix.
+    println!("\nRecommendations (Figure 9):");
+    for in_memory in [true, false] {
+        for needs_guarantees in [false, true] {
+            for small_workload in [true, false] {
+                let rec = recommend(Scenario {
+                    in_memory,
+                    needs_guarantees,
+                    small_workload,
+                });
+                println!(
+                    "  {:<9} | {:<13} | {:<14} -> {:<7} ({})",
+                    if in_memory { "in-memory" } else { "on-disk" },
+                    if needs_guarantees { "guarantees" } else { "no guarantees" },
+                    if small_workload { "small workload" } else { "large workload" },
+                    rec.method,
+                    rec.rationale
+                );
+            }
+        }
+    }
+}
+
+fn tick(b: bool) -> &'static str {
+    if b {
+        "yes"
+    } else {
+        "-"
+    }
+}

@@ -1,0 +1,145 @@
+//! Cross-crate integration tests: every method of the study, built over the
+//! same datasets and queried through the uniform `AnnIndex` interface.
+
+use hydra::prelude::*;
+use hydra::AnnIndex;
+
+fn recall(found: &[hydra::Neighbor], truth: &[hydra::Neighbor]) -> f64 {
+    let ids: std::collections::HashSet<usize> = truth.iter().map(|n| n.index).collect();
+    found.iter().filter(|n| ids.contains(&n.index)).count() as f64 / truth.len() as f64
+}
+
+#[test]
+fn all_methods_answer_knn_queries_on_random_walks() {
+    let data = hydra::data::random_walk(1_200, 64, 101);
+    let workload = hydra::data::noisy_queries(&data, 8, &[0.1], 102);
+    let truth = hydra::data::ground_truth(&data, &workload, 10);
+    let methods = hydra::build_all_methods(&data, true, 103);
+    assert_eq!(methods.len(), 8, "all eight methods must build in memory");
+
+    for method in &methods {
+        // Pick a generous effort setting for each method family.
+        let params = if method.capabilities().exact {
+            SearchParams::exact(10)
+        } else if method.capabilities().delta_epsilon_approximate {
+            SearchParams::delta_epsilon(10, 0.99, 0.0)
+        } else {
+            SearchParams::ng(10, 256)
+        };
+        let mut total_recall = 0.0;
+        for (q, query) in workload.iter().enumerate() {
+            let res = method.search(query, &params).expect("query must succeed");
+            assert!(res.neighbors.len() <= 10);
+            // Distances must be sorted and consistent with the raw data for
+            // methods that report true distances (all but IMI, which ranks
+            // by compressed-domain distances only).
+            for w in res.neighbors.windows(2) {
+                assert!(w[0].distance <= w[1].distance, "{}", method.name());
+            }
+            if method.name() != "IMI" {
+                for n in &res.neighbors {
+                    let true_d = hydra::core::euclidean(query, data.series(n.index));
+                    assert!(
+                        (n.distance - true_d).abs() < 1e-3,
+                        "{} must report true distances",
+                        method.name()
+                    );
+                }
+            }
+            total_recall += recall(&res.neighbors, &truth.answers[q]);
+        }
+        let avg = total_recall / workload.len() as f64;
+        let floor = match method.name() {
+            "DSTree" | "iSAX2+" | "VA+file" => 0.99, // exact mode
+            "IMI" => 0.3,                             // compressed-domain only
+            _ => 0.5,
+        };
+        assert!(
+            avg >= floor,
+            "{} recall {avg} below floor {floor}",
+            method.name()
+        );
+    }
+}
+
+#[test]
+fn exact_methods_agree_with_each_other_and_with_ground_truth() {
+    let data = hydra::data::mri_like(800, 128, 7);
+    let queries = hydra::data::noisy_queries(&data, 5, &[0.2], 8);
+    let truth = hydra::data::ground_truth(&data, &queries, 5);
+
+    let dstree = DsTree::build(&data, DsTreeConfig::default()).unwrap();
+    let isax = Isax2Plus::build(&data, IsaxConfig::default()).unwrap();
+    let va = VaPlusFile::build(&data, VaPlusFileConfig::default()).unwrap();
+
+    for (q, query) in queries.iter().enumerate() {
+        let expected: Vec<f32> = truth.answers[q].iter().map(|n| n.distance).collect();
+        for index in [&dstree as &dyn AnnIndex, &isax, &va] {
+            let res = index.search(query, &SearchParams::exact(5)).unwrap();
+            let got: Vec<f32> = res.neighbors.iter().map(|n| n.distance).collect();
+            for (g, e) in got.iter().zip(expected.iter()) {
+                assert!(
+                    (g - e).abs() < 1e-3,
+                    "{} disagrees with ground truth",
+                    index.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn disk_resident_methods_report_io_activity() {
+    let data = hydra::data::random_walk(2_000, 64, 55);
+    let workload = hydra::data::noisy_queries(&data, 5, &[0.1], 56);
+    let truth = hydra::data::ground_truth(&data, &workload, 10);
+    let methods = hydra::build_all_methods(&data, false, 57);
+
+    for method in &methods {
+        assert!(method.capabilities().disk_resident);
+        let params = if method.capabilities().exact {
+            SearchParams::exact(10)
+        } else {
+            SearchParams::ng(10, 64)
+        };
+        let report = hydra::eval::run_workload(method.as_ref(), &workload, &truth, &params);
+        if method.name() == "IMI" {
+            // IMI never touches the raw data.
+            assert_eq!(report.stats.random_ios, 0, "IMI reads no raw data");
+        } else {
+            assert!(
+                report.stats.random_ios + report.stats.sequential_ios > 0,
+                "{} must charge simulated I/O",
+                method.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn methods_reject_unsupported_modes_consistently() {
+    let data = hydra::data::random_walk(300, 32, 5);
+    let methods = hydra::build_all_methods(&data, true, 6);
+    let query = vec![0.0f32; 32];
+    for method in &methods {
+        let caps = method.capabilities();
+        for (mode_supported, params) in [
+            (caps.exact, SearchParams::exact(5)),
+            (caps.ng_approximate, SearchParams::ng(5, 4)),
+            (caps.epsilon_approximate, SearchParams::epsilon(5, 1.0)),
+            (
+                caps.delta_epsilon_approximate,
+                SearchParams::delta_epsilon(5, 0.9, 1.0),
+            ),
+        ] {
+            let result = method.search(&query, &params);
+            assert_eq!(
+                result.is_ok(),
+                mode_supported,
+                "{} capabilities disagree with search() for {:?}",
+                method.name(),
+                params.mode
+            );
+        }
+    }
+}
