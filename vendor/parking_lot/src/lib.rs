@@ -1,0 +1,91 @@
+//! Minimal, dependency-free stand-in for the parts of `parking_lot` this
+//! workspace uses: a `Mutex` whose `lock()` returns the guard directly
+//! (no poisoning `Result`).
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! the tiny API surface it needs behind the same paths as the real crate.
+//! Internally this wraps `std::sync::Mutex` and recovers from poisoning,
+//! which matches `parking_lot`'s no-poisoning semantics closely enough for
+//! this codebase.
+
+#![warn(missing_docs)]
+
+use std::sync::{Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+/// A mutual-exclusion lock with `parking_lot`-style (non-poisoning) API.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: StdMutex<T>,
+}
+
+/// RAII guard returned by [`Mutex::lock`]; releases the lock on drop.
+pub type MutexGuard<'a, T> = StdMutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex protecting `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: StdMutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex and returns the protected value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until it is available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Returns a mutable reference to the protected value without locking
+    /// (possible because `&mut self` proves exclusive access).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Mutex;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_round_trip() {
+        let m = Mutex::new(1);
+        *m.lock() += 41;
+        assert_eq!(*m.lock(), 42);
+        assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let m = Arc::new(Mutex::new(0u64));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        *m.lock() += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*m.lock(), 8000);
+    }
+}

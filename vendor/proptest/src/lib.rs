@@ -1,0 +1,234 @@
+//! Minimal, dependency-free stand-in for the parts of the `proptest` crate
+//! this workspace uses: the `proptest!` macro, range and `collection::vec`
+//! strategies, `prop_assert!`/`prop_assert_eq!`, and `ProptestConfig`.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! the tiny API surface it needs behind the same paths as the real crate.
+//! Semantics differ from real proptest in two deliberate ways: inputs are
+//! drawn from a fixed deterministic seed (derived from the test name) so
+//! failures reproduce exactly, and there is no shrinking — a failing case
+//! panics with the ordinary `assert!` message.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Generation strategies, mirroring `proptest::strategy`.
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A recipe for generating values of type [`Strategy::Value`].
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+        /// Draws one value from the strategy.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+        fn sample(&self, rng: &mut StdRng) -> f32 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut StdRng) -> f64 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl Strategy for Range<usize> {
+        type Value = usize;
+        fn sample(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl Strategy for Range<i64> {
+        type Value = i64;
+        fn sample(&self, rng: &mut StdRng) -> i64 {
+            rng.gen_range(self.clone())
+        }
+    }
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Length specification accepted by [`vec()`]: an exact `usize` or a
+    /// half-open `Range<usize>`.
+    pub trait IntoSizeRange {
+        /// Draws a concrete length.
+        fn sample_len(&self, rng: &mut StdRng) -> usize;
+    }
+
+    impl IntoSizeRange for usize {
+        fn sample_len(&self, _rng: &mut StdRng) -> usize {
+            *self
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn sample_len(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Strategy for `Vec<T>` built from an element strategy and a length.
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    impl<S: Strategy, L: IntoSizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = self.len.sample_len(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Generates `Vec`s whose elements come from `element` and whose length
+    /// comes from `len`.
+    pub fn vec<S: Strategy, L: IntoSizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+}
+
+/// Per-block configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic per-test seed derived from the property's name (FNV-1a),
+/// used by the [`proptest!`] expansion.
+pub fn seed_for(name: &str) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Asserts a property holds for the current case; mirrors
+/// `proptest::prop_assert!` but panics immediately (no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Equality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_eq!($left, $right, $($fmt)*) };
+}
+
+/// Declares property tests; mirrors `proptest::proptest!`.
+///
+/// Each `fn name(arg in strategy, ...) { body }` becomes an ordinary
+/// `#[test]` that samples all arguments `cases` times from a deterministic
+/// RNG and runs the body on each case.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_items!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`]; do not invoke directly.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cases = ($cfg).cases;
+            let mut __rng = $crate::seed_for(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)*
+                $body
+            }
+        }
+        $crate::__proptest_items!(($cfg) $($rest)*);
+    };
+}
+
+/// One-stop imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::Strategy;
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = Vec<f32>> {
+        collection::vec(-1.0f32..1.0, 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_hold(x in 0.0f32..1.0, n in 1usize..10) {
+            prop_assert!((0.0..1.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+        }
+
+        #[test]
+        fn vec_lengths_hold(v in collection::vec(0.0f32..1.0, 3..7), w in pair()) {
+            prop_assert!((3..7).contains(&v.len()));
+            prop_assert_eq!(w.len(), 2);
+        }
+    }
+
+    #[test]
+    fn seeds_are_deterministic() {
+        use crate::strategy::Strategy;
+        let s = collection::vec(0.0f32..1.0, 5);
+        let a = s.sample(&mut crate::seed_for("t"));
+        let b = s.sample(&mut crate::seed_for("t"));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,216 @@
+//! Minimal, dependency-free stand-in for the parts of the `rand` crate this
+//! workspace uses: seedable RNGs and uniform range sampling.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! the tiny API surface it needs (`StdRng`, `SeedableRng`, `Rng::gen_range`)
+//! behind the same paths as the real crate. The generator is a SplitMix64 /
+//! xoshiro256++ pair — statistically solid for test-data generation, never
+//! intended for cryptography.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// A random number generator that can be seeded deterministically.
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose stream is fully determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Range types that can be sampled uniformly to produce a `T` by
+/// [`Rng::gen_range`]. Generic over `T` (rather than using an associated
+/// type) so that `let x: f32 = rng.gen_range(0.0..1.0)` infers the literal
+/// range as `Range<f32>`, matching real `rand` inference behavior.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+#[inline]
+fn unit_f64(word: u64) -> f64 {
+    // 53 high bits -> [0, 1).
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[inline]
+fn unit_f32(word: u64) -> f32 {
+    // 24 high bits -> [0, 1).
+    (word >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+}
+
+impl SampleRange<f32> for Range<f32> {
+    #[inline]
+    fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "empty gen_range range");
+        let v = self.start + unit_f32(rng.next_u64()) * (self.end - self.start);
+        // `start + u * (end - start)` can round up to exactly `end`; keep
+        // the documented half-open contract.
+        if v >= self.end {
+            self.end.next_down()
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleRange<f64> for Range<f64> {
+    #[inline]
+    fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty gen_range range");
+        let v = self.start + unit_f64(rng.next_u64()) * (self.end - self.start);
+        if v >= self.end {
+            self.end.next_down()
+        } else {
+            v
+        }
+    }
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty gen_range range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty gen_range range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let offset = (rng.next_u64() as u128) % span;
+                (start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// User-facing sampling methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range` (half-open or inclusive).
+    #[inline]
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_one(self)
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Concrete RNG implementations, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic RNG (xoshiro256++ seeded via
+    /// SplitMix64, the conventional seeding scheme for that family).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0usize..1000), b.gen_range(0usize..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let f = rng.gen_range(-2.0f32..3.0);
+            assert!((-2.0..3.0).contains(&f));
+            let u = rng.gen_range(5usize..8);
+            assert!((5..8).contains(&u));
+            let i = rng.gen_range(1..=3);
+            assert!((1..=3).contains(&i));
+        }
+    }
+
+    #[test]
+    fn float_ranges_never_return_the_end_bound() {
+        // `start + u * (end - start)` at the max mantissa sample can round
+        // up to exactly `end` without the clamp; this range reproduces it.
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1_000_000 {
+            let f = rng.gen_range(1.0f32..5.0);
+            assert!(f < 5.0);
+        }
+    }
+
+    #[test]
+    fn floats_cover_the_range() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut lo = f32::INFINITY;
+        let mut hi = f32::NEG_INFINITY;
+        for _ in 0..10_000 {
+            let f = rng.gen_range(0.0f32..1.0);
+            lo = lo.min(f);
+            hi = hi.max(f);
+        }
+        assert!(lo < 0.01 && hi > 0.99, "poor coverage: [{lo}, {hi}]");
+    }
+}
