@@ -12,10 +12,19 @@
 //! never reaches MAP = 1; the data-series indexes do. DSTree dominates the
 //! δ-ε methods; SRS caps out at moderate MAP; with indexing time included,
 //! iSAX2+ wins small workloads and DSTree large ones.
+//!
+//! Pass `--threads N` to answer each workload with `N` worker threads and
+//! batched `search_batch` calls (serving mode). Accuracy and cost counters
+//! are unchanged; throughput scales. The default (1) is the paper's
+//! sequential protocol.
 
-use hydra_bench::{build_methods, in_memory_datasets, print_header, print_row, run_point, sweep_settings};
+use hydra_bench::{
+    build_methods, in_memory_datasets, print_header, print_row, run_point_threaded,
+    sweep_settings, threads_flag,
+};
 
 fn main() {
+    let threads = threads_flag();
     print_header();
     let k = 100;
     for dataset in in_memory_datasets(k) {
@@ -24,7 +33,8 @@ fn main() {
             for guarantees in [false, true] {
                 let mode = if guarantees { "delta-eps" } else { "ng" };
                 for (setting, params) in sweep_settings(built.index.as_ref(), k, guarantees) {
-                    let (map, report) = run_point(built.index.as_ref(), &dataset, &params);
+                    let (map, report) =
+                        run_point_threaded(built.index.as_ref(), &dataset, &params, threads);
                     print_row(
                         &format!("fig3-throughput-{mode}"),
                         dataset.name,

@@ -6,10 +6,22 @@
 //! both ng and δ-ε queries; IMI is fast but its accuracy collapses; SRS
 //! degrades badly on disk; iSAX2+ is competitive when indexing cost matters
 //! (small workloads).
+//!
+//! Pass `--threads N` to answer each workload with `N` worker threads and
+//! batched `search_batch` calls (serving mode). Accuracy, CPU counters and
+//! `bytes_read` are unchanged; throughput scales; the I/O-operation
+//! counters (`random_ios`/`sequential_ios`, count and split — pool hits
+//! charge no operation) can shift because the shared buffer pool sees a
+//! different access interleaving, as on a real disk. The default (1) is
+//! the paper's sequential protocol.
 
-use hydra_bench::{build_methods, on_disk_datasets, print_header, print_row, run_point, sweep_settings};
+use hydra_bench::{
+    build_methods, on_disk_datasets, print_header, print_row, run_point_threaded,
+    sweep_settings, threads_flag,
+};
 
 fn main() {
+    let threads = threads_flag();
     print_header();
     let k = 100;
     for dataset in on_disk_datasets(k) {
@@ -18,7 +30,8 @@ fn main() {
             for guarantees in [false, true] {
                 let mode = if guarantees { "delta-eps" } else { "ng" };
                 for (setting, params) in sweep_settings(built.index.as_ref(), k, guarantees) {
-                    let (map, report) = run_point(built.index.as_ref(), &dataset, &params);
+                    let (map, report) =
+                        run_point_threaded(built.index.as_ref(), &dataset, &params, threads);
                     print_row(
                         &format!("fig4-throughput-{mode}"),
                         dataset.name,

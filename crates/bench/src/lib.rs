@@ -8,8 +8,9 @@
 //! `figure,dataset,method,setting,x,y` where `x` is usually the accuracy
 //! (MAP) and `y` the efficiency measure of the corresponding figure of the
 //! paper (throughput, combined cost, % data accessed, random I/Os, ...).
-//! `EXPERIMENTS.md` at the repository root records the expected shape of
-//! each figure and what the harness measures.
+//! `crates/bench/README.md` records every binary, its flags (including
+//! `--threads` for the parallel serving mode) and the expected output
+//! shape.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -242,8 +243,71 @@ pub fn run_point(
     dataset: &BenchDataset,
     params: &SearchParams,
 ) -> (f64, hydra::eval::WorkloadReport) {
-    let report = hydra::eval::run_workload(index, &dataset.workload, &dataset.truth, params);
+    run_point_threaded(index, dataset, params, 1)
+}
+
+/// Runs one sweep point with `threads` worker threads and returns
+/// `(map, report)`.
+///
+/// One thread uses the paper-faithful sequential protocol
+/// ([`hydra::eval::run_workload`]); more than one shards the workload over
+/// scoped threads with batched `search_batch` calls
+/// ([`hydra::eval::run_workload_parallel`]). Accuracy and cost counters are
+/// identical either way; only throughput changes.
+pub fn run_point_threaded(
+    index: &dyn AnnIndex,
+    dataset: &BenchDataset,
+    params: &SearchParams,
+    threads: usize,
+) -> (f64, hydra::eval::WorkloadReport) {
+    let report = if threads <= 1 {
+        hydra::eval::run_workload(index, &dataset.workload, &dataset.truth, params)
+    } else {
+        hydra::eval::run_workload_parallel(index, &dataset.workload, &dataset.truth, params, threads)
+    };
     (report.accuracy.map, report)
+}
+
+/// Parses a `--threads N` (or `--threads=N`) flag from an argument list.
+/// Absent flag means 1 worker (the paper's sequential protocol). Anything
+/// unusable — a bad value, but also any argument the figure binaries do
+/// not know (`--thread`, a typo, a stray positional) — is an error, never
+/// a silent fallback: a mistyped invocation must not let sequential
+/// numbers masquerade as serving-mode ones.
+pub fn parse_threads(args: &[String]) -> std::result::Result<usize, String> {
+    let mut threads = 1usize;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let value = if arg == "--threads" {
+            it.next()
+                .ok_or_else(|| "--threads requires a value".to_string())?
+                .as_str()
+        } else if let Some(v) = arg.strip_prefix("--threads=") {
+            v
+        } else {
+            return Err(format!(
+                "unrecognized argument {arg:?} (the figure binaries accept only --threads N)"
+            ));
+        };
+        threads = match value.parse::<usize>() {
+            Ok(t) if t > 0 => t,
+            _ => return Err(format!("--threads expects a positive integer, got {value:?}")),
+        };
+    }
+    Ok(threads)
+}
+
+/// [`parse_threads`] over the process arguments; exits with an error
+/// message on a malformed flag.
+pub fn threads_flag() -> usize {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_threads(&args) {
+        Ok(t) => t,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    }
 }
 
 /// Prints the common CSV header used by all figure binaries.
@@ -305,5 +369,39 @@ mod tests {
     #[test]
     fn scale_defaults_to_one() {
         assert!(scale() >= 1);
+    }
+
+    // `threads_flag()` itself reads the live process arguments (and the
+    // libtest harness injects its own, e.g. `--quiet`), so the pure
+    // `parse_threads` is the tested surface.
+    #[test]
+    fn parse_threads_accepts_both_spellings_and_rejects_garbage() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(parse_threads(&args(&[])), Ok(1));
+        assert_eq!(parse_threads(&args(&["--threads", "8"])), Ok(8));
+        assert_eq!(parse_threads(&args(&["--threads=8"])), Ok(8));
+        assert!(parse_threads(&args(&["--threads"])).is_err());
+        assert!(parse_threads(&args(&["--threads", "eight"])).is_err());
+        assert!(parse_threads(&args(&["--threads=0"])).is_err());
+        assert!(parse_threads(&args(&["--threads", "-3"])).is_err());
+        // Unknown flags are errors too — a typo must not silently run the
+        // sequential protocol while the operator believes it is serving.
+        assert!(parse_threads(&args(&["--thread", "8"])).is_err());
+        assert!(parse_threads(&args(&["-t", "8"])).is_err());
+        assert!(parse_threads(&args(&["--threads", "2", "extra"])).is_err());
+    }
+
+    #[test]
+    fn threaded_run_point_matches_sequential_accuracy_and_stats() {
+        let d = make_dataset("rand256", 300, 32, 5, 21);
+        let dstree = DsTree::build(&d.data, DsTreeConfig::default()).unwrap();
+        let params = SearchParams::ng(5, 8);
+        let (map1, seq) = run_point_threaded(&dstree, &d, &params, 1);
+        let (map4, par) = run_point_threaded(&dstree, &d, &params, 4);
+        assert_eq!(map1, map4);
+        assert_eq!(seq.accuracy, par.accuracy);
+        assert_eq!(seq.stats.distance_computations, par.stats.distance_computations);
+        assert_eq!(seq.threads, 1);
+        assert_eq!(par.threads, 4);
     }
 }

@@ -106,8 +106,40 @@ pub trait AnnIndex: Send + Sync {
     ///
     /// # Errors
     /// Returns [`crate::Error::UnsupportedMode`] if the index cannot honour
-    /// the requested [`crate::SearchMode`].
+    /// the requested [`crate::SearchMode`], and
+    /// [`crate::Error::DimensionMismatch`] if `query` does not have
+    /// [`Self::series_len`] values.
     fn search(&self, query: &[f32], params: &SearchParams) -> Result<SearchResult>;
+
+    /// Answers a batch of k-NN queries under one parameter setting.
+    ///
+    /// The default implementation simply calls [`Self::search`] once per
+    /// query. Indexes override it when a batch lets them amortize per-query
+    /// setup — e.g. IMI builds the ADC lookup tables of every query in a
+    /// single pass over its codebooks, and the scan-based methods reuse
+    /// per-batch scratch buffers instead of reallocating them per query.
+    ///
+    /// # Contract for implementors
+    ///
+    /// * `results[i]` answers `queries[i]`; the output length equals the
+    ///   input length.
+    /// * Every query is answered exactly as [`Self::search`] would answer
+    ///   it: same neighbors, same errors, same per-query [`QueryStats`]
+    ///   (batching may only amortize *work*, never change *answers* — this
+    ///   is what lets the parallel workload runner reproduce the sequential
+    ///   runner's figures exactly). Counters derived from shared storage
+    ///   state — the simulated buffer pool's I/O-operation charges — are
+    ///   exempt: they depend on access interleaving, exactly as between two
+    ///   sequential runs.
+    /// * Failures are per query: one unsupported or malformed query yields
+    ///   an `Err` at its position without poisoning the rest of the batch.
+    fn search_batch(
+        &self,
+        queries: &[&[f32]],
+        params: &SearchParams,
+    ) -> Vec<Result<SearchResult>> {
+        queries.iter().map(|q| self.search(q, params)).collect()
+    }
 }
 
 /// A node handle inside a [`HierarchicalIndex`]. Implementations typically
@@ -172,6 +204,65 @@ mod tests {
             epsilon: 1.0,
             delta: 0.5
         }));
+    }
+
+    #[test]
+    fn default_search_batch_answers_queries_in_order() {
+        use crate::query::{SearchParams, SearchResult};
+        use crate::Neighbor;
+
+        /// Echoes the first query value as the neighbor id, so order is
+        /// observable.
+        struct Echo;
+        impl AnnIndex for Echo {
+            fn name(&self) -> &'static str {
+                "echo"
+            }
+            fn capabilities(&self) -> Capabilities {
+                Capabilities {
+                    exact: true,
+                    ng_approximate: false,
+                    epsilon_approximate: false,
+                    delta_epsilon_approximate: false,
+                    disk_resident: false,
+                    representation: Representation::Raw,
+                }
+            }
+            fn num_series(&self) -> usize {
+                1
+            }
+            fn series_len(&self) -> usize {
+                1
+            }
+            fn memory_footprint(&self) -> usize {
+                0
+            }
+            fn search(&self, query: &[f32], _params: &SearchParams) -> Result<SearchResult> {
+                if query.len() != 1 {
+                    return Err(crate::Error::DimensionMismatch {
+                        expected: 1,
+                        found: query.len(),
+                    });
+                }
+                Ok(SearchResult::new(
+                    vec![Neighbor::new(query[0] as usize, 0.0)],
+                    QueryStats::new(),
+                ))
+            }
+        }
+
+        let index = Echo;
+        let q0 = [0.0f32];
+        let q1 = [1.0f32];
+        let bad = [2.0f32, 2.0];
+        let q3 = [3.0f32];
+        let queries: Vec<&[f32]> = vec![&q0, &q1, &bad, &q3];
+        let results = index.search_batch(&queries, &SearchParams::exact(1));
+        assert_eq!(results.len(), 4);
+        assert_eq!(results[0].as_ref().unwrap().neighbors[0].index, 0);
+        assert_eq!(results[1].as_ref().unwrap().neighbors[0].index, 1);
+        assert!(results[2].is_err(), "failures must stay per-query");
+        assert_eq!(results[3].as_ref().unwrap().neighbors[0].index, 3);
     }
 
     #[test]

@@ -43,10 +43,14 @@ pub fn exact_knn(dataset: &Dataset, query: &[f32], k: usize) -> Vec<Neighbor> {
     top.into_sorted()
 }
 
-/// Exact k-NN ground truth for every query of a workload, computed with one
-/// scan thread per available core (scoped threads, no unsafe).
-pub fn ground_truth(dataset: &Dataset, workload: &QueryWorkload, k: usize) -> GroundTruth {
-    let queries: Vec<&[f32]> = workload.iter().collect();
+/// Exact k-NN answers for a batch of queries, computed with one scan thread
+/// per available core (scoped threads, no unsafe).
+///
+/// This is the shared brute-force scan behind [`ground_truth`] and behind
+/// any `AnnIndex::search_batch` implementation that answers a batch by
+/// parallel linear scan. Results are in query order and identical to calling
+/// [`exact_knn`] per query, whatever the thread count.
+pub fn exact_knn_batch(dataset: &Dataset, queries: &[&[f32]], k: usize) -> Vec<Vec<Neighbor>> {
     let num_threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
@@ -57,7 +61,7 @@ pub fn ground_truth(dataset: &Dataset, workload: &QueryWorkload, k: usize) -> Gr
         for (q, query) in queries.iter().enumerate() {
             answers[q] = exact_knn(dataset, query, k);
         }
-        return GroundTruth { answers, k };
+        return answers;
     }
 
     let chunk = queries.len().div_ceil(num_threads);
@@ -74,13 +78,21 @@ pub fn ground_truth(dataset: &Dataset, workload: &QueryWorkload, k: usize) -> Gr
             handles.push(handle);
         }
         for handle in handles {
-            let (t, local) = handle.join().expect("ground-truth worker panicked");
+            let (t, local) = handle.join().expect("brute-force scan worker panicked");
             for (i, ans) in local.into_iter().enumerate() {
                 answers[t * chunk + i] = ans;
             }
         }
     });
 
+    answers
+}
+
+/// Exact k-NN ground truth for every query of a workload (the parallel
+/// [`exact_knn_batch`] scan over the workload's queries).
+pub fn ground_truth(dataset: &Dataset, workload: &QueryWorkload, k: usize) -> GroundTruth {
+    let queries: Vec<&[f32]> = workload.iter().collect();
+    let answers = exact_knn_batch(dataset, &queries, k);
     GroundTruth { answers, k }
 }
 
@@ -118,6 +130,24 @@ mod tests {
                 assert!((a.distance - b.distance).abs() < 1e-6);
             }
         }
+    }
+
+    #[test]
+    fn exact_knn_batch_matches_per_query_scan() {
+        let d = random_walk(200, 16, 6);
+        let w = noisy_queries(&d, 9, &[0.2], 7);
+        let refs: Vec<&[f32]> = w.iter().collect();
+        let batch = exact_knn_batch(&d, &refs, 4);
+        assert_eq!(batch.len(), 9);
+        for (q, ans) in refs.iter().zip(batch.iter()) {
+            let seq = exact_knn(&d, q, 4);
+            assert_eq!(ans.len(), seq.len());
+            for (a, b) in ans.iter().zip(seq.iter()) {
+                assert_eq!(a.index, b.index);
+                assert_eq!(a.distance.to_bits(), b.distance.to_bits());
+            }
+        }
+        assert!(exact_knn_batch(&d, &[], 4).is_empty());
     }
 
     #[test]

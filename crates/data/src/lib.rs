@@ -35,5 +35,5 @@ pub mod queries;
 pub use generators::{
     deep_like, mri_like, random_walk, seismic_like, sift_like, DatasetKind, GeneratorConfig,
 };
-pub use ground_truth::{exact_knn, ground_truth, GroundTruth};
+pub use ground_truth::{exact_knn, exact_knn_batch, ground_truth, GroundTruth};
 pub use queries::{noisy_queries, sample_queries, QueryWorkload};

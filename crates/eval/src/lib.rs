@@ -9,7 +9,10 @@
 //!   measuring wall-clock time, implementation-independent cost counters and
 //!   accuracy against brute-force ground truth; implements the paper's
 //!   extrapolation protocol for large workloads (drop the 5 best and 5 worst
-//!   queries, scale the mean of the rest).
+//!   queries, scale the mean of the rest). Two execution modes share one
+//!   report type: [`runner::run_workload`] (sequential, paper-faithful) and
+//!   [`runner::run_workload_parallel`] (sharded across scoped threads with
+//!   batched `search_batch` calls, for serving-mode throughput).
 //! * [`report`] — tiny CSV helpers and the Figure 9 decision-matrix
 //!   recommendation logic.
 
@@ -22,4 +25,4 @@ pub mod runner;
 
 pub use metrics::{average_precision, mean_relative_error, recall, AccuracySummary};
 pub use report::{recommend, CsvWriter, Recommendation, Scenario};
-pub use runner::{run_workload, WorkloadReport};
+pub use runner::{run_workload, run_workload_parallel, WorkloadReport};

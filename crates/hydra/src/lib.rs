@@ -35,7 +35,22 @@
 //!     &SearchParams::delta_epsilon(10, 0.99, 1.0),
 //! );
 //! assert!(report.accuracy.map > 0.5);
+//!
+//! // 3. Same workload, serving mode: 4 worker threads, batched queries.
+//! //    Accuracy and cost counters are identical to the sequential run.
+//! let parallel = hydra::eval::run_workload_parallel(
+//!     &index,
+//!     &workload,
+//!     &truth,
+//!     &SearchParams::delta_epsilon(10, 0.99, 1.0),
+//!     4,
+//! );
+//! assert_eq!(parallel.accuracy, report.accuracy);
 //! ```
+//!
+//! Every index also accepts whole batches through
+//! [`AnnIndex::search_batch`]; IMI, VA+file, SRS and QALSH override it to
+//! amortize per-query setup (ADC tables, scratch buffers) across the batch.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

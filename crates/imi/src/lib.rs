@@ -30,6 +30,7 @@ use hydra_core::{
 use hydra_summarize::quantization::{KMeans, OptimizedProductQuantizer, ProductQuantizer};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Configuration of an [`InvertedMultiIndex`].
 #[derive(Debug, Clone, Copy)]
@@ -84,6 +85,13 @@ impl FineQuantizer {
         }
     }
 
+    fn distance_tables(&self, queries: &[&[f32]]) -> Vec<Vec<Vec<f32>>> {
+        match self {
+            FineQuantizer::Plain(pq) => pq.distance_tables(queries),
+            FineQuantizer::Optimized(opq) => opq.distance_tables(queries),
+        }
+    }
+
     fn memory_footprint(&self) -> usize {
         match self {
             FineQuantizer::Plain(pq) => pq.memory_footprint(),
@@ -102,6 +110,12 @@ pub struct InvertedMultiIndex {
     /// `lists[i * coarse_k + j]` holds `(id, code)` pairs of cell `(i, j)`.
     lists: Vec<Vec<(u32, Vec<u16>)>>,
     num_series: usize,
+    /// Number of passes made over the PQ codebooks to build ADC lookup
+    /// tables. Per-query search costs one pass per query; batched search
+    /// costs one pass per batch — the counter makes that amortization
+    /// observable (and testable) without perturbing [`QueryStats`], whose
+    /// per-query values stay identical in both paths.
+    adc_table_passes: AtomicU64,
 }
 
 impl InvertedMultiIndex {
@@ -176,7 +190,34 @@ impl InvertedMultiIndex {
             fine,
             lists,
             num_series: dataset.len(),
+            adc_table_passes: AtomicU64::new(0),
         })
+    }
+
+    /// Cumulative number of codebook passes spent building ADC lookup
+    /// tables since the index was built. [`AnnIndex::search`] adds one per
+    /// query; [`AnnIndex::search_batch`] adds one per batch.
+    pub fn adc_table_passes(&self) -> u64 {
+        self.adc_table_passes.load(Ordering::Relaxed)
+    }
+
+    /// Shared precondition check of [`AnnIndex::search`] and
+    /// [`AnnIndex::search_batch`] (dimension first, then mode — one code
+    /// path so the two entry points cannot drift apart). Returns the
+    /// `nprobe` of the accepted ng mode.
+    fn validate(&self, query: &[f32], params: &SearchParams) -> Result<usize> {
+        if query.len() != self.series_len {
+            return Err(Error::DimensionMismatch {
+                expected: self.series_len,
+                found: query.len(),
+            });
+        }
+        let SearchMode::Ng { nprobe } = params.mode else {
+            return Err(Error::UnsupportedMode(
+                "IMI is ng-approximate only (no guarantees)".into(),
+            ));
+        };
+        Ok(nprobe.max(1))
     }
 
     /// Number of non-empty cells.
@@ -191,8 +232,18 @@ impl InvertedMultiIndex {
 
     /// Multi-sequence traversal: visits cells in increasing
     /// `d1[i] + d2[j]` order, scanning inverted lists until `nprobe`
-    /// non-empty lists have been read; candidates are ranked by ADC.
-    fn query_cells(&self, query: &[f32], nprobe: usize, k: usize, stats: &mut QueryStats) -> Vec<Neighbor> {
+    /// non-empty lists have been read; candidates are ranked by ADC against
+    /// the precomputed lookup `table`. `pushed` is a reusable scratch bitmap
+    /// (cleared on entry), so batched callers allocate it once per batch.
+    fn query_cells(
+        &self,
+        query: &[f32],
+        table: &[Vec<f32>],
+        nprobe: usize,
+        k: usize,
+        stats: &mut QueryStats,
+        pushed: &mut Vec<bool>,
+    ) -> Vec<Neighbor> {
         let k1 = self.coarse[0].k();
         let k2 = self.coarse[1].k();
         // Sorted half-distances.
@@ -230,11 +281,11 @@ impl InvertedMultiIndex {
             }
         }
         let mut heap: BinaryHeap<Reverse<Cell>> = BinaryHeap::new();
-        let mut pushed = vec![false; k1 * k2];
+        pushed.clear();
+        pushed.resize(k1 * k2, false);
         heap.push(Reverse(Cell(d1[0].0 + d2[0].0, 0, 0)));
         pushed[0] = true;
 
-        let table = self.fine.distance_table(query);
         let mut top = TopK::new(k.max(1));
         let mut visited_lists = 0usize;
         while let Some(Reverse(Cell(_, a, b))) = heap.pop() {
@@ -248,7 +299,7 @@ impl InvertedMultiIndex {
                 stats.leaves_visited += 1;
                 for (id, code) in list {
                     stats.distance_computations += 1;
-                    let d = ProductQuantizer::adc_distance(&table, code);
+                    let d = ProductQuantizer::adc_distance(table, code);
                     top.push(Neighbor::new(*id as usize, d));
                 }
             }
@@ -309,20 +360,59 @@ impl AnnIndex for InvertedMultiIndex {
     }
 
     fn search(&self, query: &[f32], params: &SearchParams) -> Result<SearchResult> {
-        if query.len() != self.series_len {
-            return Err(Error::DimensionMismatch {
-                expected: self.series_len,
-                found: query.len(),
-            });
-        }
-        let SearchMode::Ng { nprobe } = params.mode else {
-            return Err(Error::UnsupportedMode(
-                "IMI is ng-approximate only (no guarantees)".into(),
-            ));
-        };
+        let nprobe = self.validate(query, params)?;
+        let table = self.fine.distance_table(query);
+        self.adc_table_passes.fetch_add(1, Ordering::Relaxed);
         let mut stats = QueryStats::new();
-        let neighbors = self.query_cells(query, nprobe.max(1), params.k, &mut stats);
+        let mut pushed = Vec::new();
+        let neighbors = self.query_cells(query, &table, nprobe, params.k, &mut stats, &mut pushed);
         Ok(SearchResult::new(neighbors, stats))
+    }
+
+    /// Batched search: the ADC lookup tables of every valid query in the
+    /// batch are built in a *single* pass over the PQ codebooks (each
+    /// centroid is scored against all queries while cache-hot), and the
+    /// multi-sequence scratch bitmap is allocated once per batch. Answers,
+    /// per-query [`QueryStats`] and per-query errors are identical to
+    /// [`Self::search`].
+    fn search_batch(
+        &self,
+        queries: &[&[f32]],
+        params: &SearchParams,
+    ) -> Vec<Result<SearchResult>> {
+        // Validate once; the same pass decides which queries get a table,
+        // so the table iterator below cannot fall out of step with the
+        // per-query results.
+        let checks: Vec<Result<usize>> = queries
+            .iter()
+            .map(|q| self.validate(q, params))
+            .collect();
+        let valid: Vec<&[f32]> = queries
+            .iter()
+            .zip(&checks)
+            .filter(|(_, c)| c.is_ok())
+            .map(|(q, _)| *q)
+            .collect();
+        let mut tables = if valid.is_empty() {
+            Vec::new()
+        } else {
+            self.adc_table_passes.fetch_add(1, Ordering::Relaxed);
+            self.fine.distance_tables(&valid)
+        }
+        .into_iter();
+        let mut pushed = Vec::new();
+        queries
+            .iter()
+            .zip(checks)
+            .map(|(query, check)| {
+                let nprobe = check?;
+                let table = tables.next().expect("one table per valid query");
+                let mut stats = QueryStats::new();
+                let neighbors =
+                    self.query_cells(query, &table, nprobe, params.k, &mut stats, &mut pushed);
+                Ok(SearchResult::new(neighbors, stats))
+            })
+            .collect()
     }
 }
 
@@ -407,6 +497,67 @@ mod tests {
         assert_eq!(res.neighbors.len(), 5);
         assert!(res.stats.leaves_visited <= 16);
         assert!(res.stats.distance_computations > 0);
+    }
+
+    #[test]
+    fn batch_search_matches_per_query_search_with_fewer_table_passes() {
+        let (_, imi) = build(500, 16, true);
+        let queries = sift_like(6, 16, 41);
+        let refs: Vec<&[f32]> = queries.iter().collect();
+        let params = SearchParams::ng(10, 16);
+
+        let base = imi.adc_table_passes();
+        let sequential: Vec<_> = refs.iter().map(|q| imi.search(q, &params).unwrap()).collect();
+        assert_eq!(
+            imi.adc_table_passes() - base,
+            6,
+            "per-query search builds one ADC table pass per query"
+        );
+
+        let before_batch = imi.adc_table_passes();
+        let batched = imi.search_batch(&refs, &params);
+        assert_eq!(
+            imi.adc_table_passes() - before_batch,
+            1,
+            "batched search amortizes ADC table construction to one codebook pass"
+        );
+
+        assert_eq!(batched.len(), sequential.len());
+        for (b, s) in batched.iter().zip(sequential.iter()) {
+            let b = b.as_ref().unwrap();
+            assert_eq!(b.neighbors.len(), s.neighbors.len());
+            for (x, y) in b.neighbors.iter().zip(s.neighbors.iter()) {
+                assert_eq!(x.index, y.index);
+                assert_eq!(x.distance.to_bits(), y.distance.to_bits());
+            }
+            assert_eq!(b.stats, s.stats, "batching must not change per-query stats");
+        }
+    }
+
+    #[test]
+    fn batch_search_keeps_failures_per_query() {
+        let (_, imi) = build(200, 16, false);
+        let good = sift_like(2, 16, 43);
+        let bad = vec![0.0f32; 10];
+        let refs: Vec<&[f32]> = vec![good.series(0), &bad, good.series(1)];
+        let results = imi.search_batch(&refs, &SearchParams::ng(5, 8));
+        assert!(results[0].is_ok());
+        assert!(results[1].is_err());
+        assert!(results[2].is_ok());
+        // A mode no query can use fails the whole batch query-by-query,
+        // with the same error kind per query as `search` (dimension is
+        // checked before mode, in both entry points).
+        let rejected = imi.search_batch(&refs, &SearchParams::exact(5));
+        assert_eq!(rejected.len(), 3);
+        for (q, r) in refs.iter().zip(rejected.iter()) {
+            let single = imi.search(q, &SearchParams::exact(5)).unwrap_err();
+            let batch = r.as_ref().unwrap_err();
+            assert_eq!(
+                std::mem::discriminant(batch),
+                std::mem::discriminant(&single),
+                "batch error kind must match per-query error kind"
+            );
+        }
     }
 
     #[test]

@@ -95,8 +95,38 @@ impl Qalsh {
         &self.config
     }
 
+    /// Shared precondition check of [`AnnIndex::search`] and
+    /// [`AnnIndex::search_batch`] (dimension first, then mode — one code
+    /// path so the two entry points cannot drift apart).
+    fn validate(&self, query: &[f32], params: &SearchParams) -> Result<()> {
+        if query.len() != self.data.series_len() {
+            return Err(Error::DimensionMismatch {
+                expected: self.data.series_len(),
+                found: query.len(),
+            });
+        }
+        match params.mode {
+            SearchMode::Exact => Err(Error::UnsupportedMode(
+                "QALSH does not guarantee exact answers".into(),
+            )),
+            SearchMode::Epsilon { .. } => Err(Error::UnsupportedMode(
+                "QALSH guarantees are probabilistic (use delta-epsilon)".into(),
+            )),
+            _ => Ok(()),
+        }
+    }
+
     /// Query-aware search with virtual rehashing.
-    fn search_impl(&self, query: &[f32], params: &SearchParams) -> SearchResult {
+    ///
+    /// `collisions` and `refined` are reusable per-point scratch buffers
+    /// (reset on entry); batched callers allocate them once per batch.
+    fn search_impl(
+        &self,
+        query: &[f32],
+        params: &SearchParams,
+        collisions: &mut Vec<u16>,
+        refined: &mut Vec<bool>,
+    ) -> SearchResult {
         let mut stats = QueryStats::new();
         let k = params.k.max(1);
         let n = self.data.len();
@@ -120,8 +150,10 @@ impl Qalsh {
         let mut lo: Vec<isize> = starts.iter().map(|&s| s as isize - 1).collect();
         let mut hi: Vec<usize> = starts.clone();
 
-        let mut collisions = vec![0u16; n];
-        let mut refined = vec![false; n];
+        collisions.clear();
+        collisions.resize(n, 0);
+        refined.clear();
+        refined.resize(n, false);
         let mut top = TopK::new(k);
         let mut refined_count = 0usize;
 
@@ -234,21 +266,30 @@ impl AnnIndex for Qalsh {
     }
 
     fn search(&self, query: &[f32], params: &SearchParams) -> Result<SearchResult> {
-        if query.len() != self.data.series_len() {
-            return Err(Error::DimensionMismatch {
-                expected: self.data.series_len(),
-                found: query.len(),
-            });
-        }
-        match params.mode {
-            SearchMode::Exact => Err(Error::UnsupportedMode(
-                "QALSH does not guarantee exact answers".into(),
-            )),
-            SearchMode::Epsilon { .. } => Err(Error::UnsupportedMode(
-                "QALSH guarantees are probabilistic (use delta-epsilon)".into(),
-            )),
-            _ => Ok(self.search_impl(query, params)),
-        }
+        self.validate(query, params)?;
+        let mut collisions = Vec::new();
+        let mut refined = Vec::new();
+        Ok(self.search_impl(query, params, &mut collisions, &mut refined))
+    }
+
+    /// Batched search: the per-point collision-count and refinement bitmaps
+    /// are allocated once and reused across the batch. Answers, per-query
+    /// stats and errors are identical to [`Self::search`].
+    fn search_batch(
+        &self,
+        queries: &[&[f32]],
+        params: &SearchParams,
+    ) -> Vec<Result<SearchResult>> {
+        let n = self.data.len();
+        let mut collisions = Vec::with_capacity(n);
+        let mut refined = Vec::with_capacity(n);
+        queries
+            .iter()
+            .map(|query| {
+                self.validate(query, params)?;
+                Ok(self.search_impl(query, params, &mut collisions, &mut refined))
+            })
+            .collect()
     }
 }
 
@@ -324,6 +365,33 @@ mod tests {
         assert!(res.stats.series_scanned as usize <= 400);
         assert!(res.stats.series_scanned as usize <= (400.0 * 0.4) as usize + 5);
         assert!(!res.neighbors.is_empty());
+    }
+
+    #[test]
+    fn batch_search_matches_per_query_search() {
+        let (_, q) = build(300, 32);
+        let queries = random_walk(5, 32, 23);
+        let refs: Vec<&[f32]> = queries.iter().collect();
+        let params = SearchParams::delta_epsilon(5, 0.9, 1.0);
+        let batched = q.search_batch(&refs, &params);
+        for (query, b) in refs.iter().zip(batched.iter()) {
+            let s = q.search(query, &params).unwrap();
+            let b = b.as_ref().unwrap();
+            assert_eq!(b.stats, s.stats, "scratch reuse must not change stats");
+            assert_eq!(b.neighbors.len(), s.neighbors.len());
+            for (x, y) in b.neighbors.iter().zip(s.neighbors.iter()) {
+                assert_eq!(x.index, y.index);
+                assert_eq!(x.distance.to_bits(), y.distance.to_bits());
+            }
+        }
+        let bad = vec![0.0f32; 2];
+        let mixed: Vec<&[f32]> = vec![refs[0], &bad];
+        let results = q.search_batch(&mixed, &SearchParams::ng(1, 4));
+        assert!(results[0].is_ok() && results[1].is_err());
+        assert!(q
+            .search_batch(&mixed, &SearchParams::exact(1))
+            .iter()
+            .all(|r| r.is_err()));
     }
 
     #[test]

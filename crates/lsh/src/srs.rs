@@ -95,6 +95,24 @@ impl Srs {
         &self.store
     }
 
+    /// Shared precondition check of [`AnnIndex::search`] and
+    /// [`AnnIndex::search_batch`] (dimension first, then mode — one code
+    /// path so the two entry points cannot drift apart).
+    fn validate(&self, query: &[f32], params: &SearchParams) -> Result<()> {
+        if query.len() != self.series_len {
+            return Err(Error::DimensionMismatch {
+                expected: self.series_len,
+                found: query.len(),
+            });
+        }
+        if matches!(params.mode, SearchMode::Exact) {
+            return Err(Error::UnsupportedMode(
+                "SRS does not guarantee exact answers".into(),
+            ));
+        }
+        Ok(())
+    }
+
     /// Incremental search in the projected space with the SRS
     /// early-termination test.
     ///
@@ -103,7 +121,16 @@ impl Srs {
     /// once `χ²_m-CDF(proj_next² / (bsf/(1+ε))²)` exceeds δ, any unexamined
     /// point is closer than `bsf/(1+ε)` with probability below `1 − δ`, and
     /// the current answer is δ-ε-correct.
-    fn search_impl(&self, query: &[f32], params: &SearchParams) -> SearchResult {
+    ///
+    /// `order` is a reusable scratch buffer for the ranked projected
+    /// distances (one entry per stored point, cleared on entry); batched
+    /// callers allocate it once per batch.
+    fn search_impl(
+        &self,
+        query: &[f32],
+        params: &SearchParams,
+        order: &mut Vec<(f32, usize)>,
+    ) -> SearchResult {
         let mut stats = QueryStats::new();
         let k = params.k.max(1);
         let (epsilon, delta, budget) = match params.mode {
@@ -126,20 +153,20 @@ impl Srs {
         // Rank all points by projected distance (the projected table is tiny
         // and lives in memory — this is SRS's linear-size index).
         let qp = self.projection.project(query);
-        let mut order: Vec<(f32, usize)> = (0..self.num_series)
-            .map(|id| {
-                stats.lower_bound_computations += 1;
-                (
-                    hydra_core::squared_euclidean(&qp, self.projected_point(id)),
-                    id,
-                )
-            })
-            .collect();
+        order.clear();
+        order.reserve(self.num_series);
+        order.extend((0..self.num_series).map(|id| {
+            stats.lower_bound_computations += 1;
+            (
+                hydra_core::squared_euclidean(&qp, self.projected_point(id)),
+                id,
+            )
+        }));
         order.sort_by(|a, b| a.0.total_cmp(&b.0));
 
         let mut top = TopK::new(k);
         let mut examined = 0usize;
-        for (proj_sq, id) in order {
+        for &(proj_sq, id) in order.iter() {
             if examined >= budget.max(k) {
                 break;
             }
@@ -199,18 +226,29 @@ impl AnnIndex for Srs {
     }
 
     fn search(&self, query: &[f32], params: &SearchParams) -> Result<SearchResult> {
-        if query.len() != self.series_len {
-            return Err(Error::DimensionMismatch {
-                expected: self.series_len,
-                found: query.len(),
-            });
-        }
-        if matches!(params.mode, SearchMode::Exact) {
-            return Err(Error::UnsupportedMode(
-                "SRS does not guarantee exact answers".into(),
-            ));
-        }
-        Ok(self.search_impl(query, params))
+        self.validate(query, params)?;
+        let mut order = Vec::new();
+        Ok(self.search_impl(query, params, &mut order))
+    }
+
+    /// Batched search: the ranked-projection buffer (one entry per stored
+    /// point) is allocated once and reused across the batch. Answers,
+    /// per-query CPU counters and errors are identical to [`Self::search`];
+    /// as for every disk-backed method, the I/O-operation counters depend
+    /// on the shared buffer pool's warm-up order.
+    fn search_batch(
+        &self,
+        queries: &[&[f32]],
+        params: &SearchParams,
+    ) -> Vec<Result<SearchResult>> {
+        let mut order = Vec::with_capacity(self.num_series);
+        queries
+            .iter()
+            .map(|query| {
+                self.validate(query, params)?;
+                Ok(self.search_impl(query, params, &mut order))
+            })
+            .collect()
     }
 }
 
@@ -288,6 +326,33 @@ mod tests {
             .search(q, &SearchParams::delta_epsilon(5, 0.9, 4.0))
             .unwrap();
         assert!(loose.stats.series_scanned <= tight.stats.series_scanned);
+    }
+
+    #[test]
+    fn batch_search_matches_per_query_search() {
+        let (_, srs) = build(400, 32);
+        let queries = random_walk(5, 32, 19);
+        let refs: Vec<&[f32]> = queries.iter().collect();
+        let params = SearchParams::delta_epsilon(5, 0.9, 1.0);
+        let batched = srs.search_batch(&refs, &params);
+        for (q, b) in refs.iter().zip(batched.iter()) {
+            let s = srs.search(q, &params).unwrap();
+            let b = b.as_ref().unwrap();
+            assert_eq!(b.neighbors.len(), s.neighbors.len());
+            for (x, y) in b.neighbors.iter().zip(s.neighbors.iter()) {
+                assert_eq!(x.index, y.index);
+                assert_eq!(x.distance.to_bits(), y.distance.to_bits());
+            }
+            assert_eq!(b.stats.lower_bound_computations, s.stats.lower_bound_computations);
+            assert_eq!(b.stats.series_scanned, s.stats.series_scanned);
+        }
+        // Exact mode and bad dimensions fail per query.
+        let bad = vec![0.0f32; 2];
+        let mixed: Vec<&[f32]> = vec![refs[0], &bad];
+        let exact = srs.search_batch(&mixed, &SearchParams::exact(1));
+        assert!(exact.iter().all(|r| r.is_err()));
+        let ng = srs.search_batch(&mixed, &SearchParams::ng(1, 4));
+        assert!(ng[0].is_ok() && ng[1].is_err());
     }
 
     #[test]

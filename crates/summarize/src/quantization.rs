@@ -388,6 +388,41 @@ impl ProductQuantizer {
             .collect()
     }
 
+    /// Builds the ADC lookup tables for a whole batch of queries in a single
+    /// pass over the codebooks.
+    ///
+    /// Per-query construction ([`Self::distance_table`]) walks every
+    /// codebook once per query; here each centroid is visited once and
+    /// scored against all queries while it is hot in cache, so a batch of
+    /// `B` queries costs one codebook pass instead of `B`. The returned
+    /// tables are element-for-element identical to what
+    /// [`Self::distance_table`] produces for each query (same distance
+    /// kernel, same summation order), so batched search results match
+    /// per-query search bit for bit.
+    pub fn distance_tables(&self, queries: &[&[f32]]) -> Vec<Vec<Vec<f32>>> {
+        for q in queries {
+            assert_eq!(q.len(), self.dim, "dimension mismatch");
+        }
+        let mut tables: Vec<Vec<Vec<f32>>> = queries
+            .iter()
+            .map(|_| Vec::with_capacity(self.subquantizers.len()))
+            .collect();
+        for (s, sub) in self.subquantizers.iter().enumerate() {
+            for table in &mut tables {
+                table.push(vec![0.0f32; sub.k()]);
+            }
+            let lo = s * self.sub_dim;
+            let hi = lo + self.sub_dim;
+            for c in 0..sub.k() {
+                let centroid = sub.centroid(c);
+                for (qi, q) in queries.iter().enumerate() {
+                    tables[qi][s][c] = hydra_core::squared_euclidean(&q[lo..hi], centroid);
+                }
+            }
+        }
+        tables
+    }
+
     /// Asymmetric distance (ADC): approximate Euclidean distance between the
     /// query represented by `table` and the encoded vector `code`.
     pub fn adc_distance(table: &[Vec<f32>], code: &[u16]) -> f32 {
@@ -503,6 +538,15 @@ impl OptimizedProductQuantizer {
     /// Builds the ADC table for a query (rotating it first).
     pub fn distance_table(&self, query: &[f32]) -> Vec<Vec<f32>> {
         self.pq.distance_table(&self.rotate(query))
+    }
+
+    /// Builds the ADC tables for a batch of queries in one codebook pass
+    /// (each query is rotated first). See
+    /// [`ProductQuantizer::distance_tables`].
+    pub fn distance_tables(&self, queries: &[&[f32]]) -> Vec<Vec<Vec<f32>>> {
+        let rotated: Vec<Vec<f32>> = queries.iter().map(|q| self.rotate(q)).collect();
+        let refs: Vec<&[f32]> = rotated.iter().map(|v| v.as_slice()).collect();
+        self.pq.distance_tables(&refs)
     }
 
     /// Memory footprint (rotation matrix plus codebooks).
@@ -630,6 +674,26 @@ mod tests {
             rand_err += euclidean(v, &data[(i + 37) % data.len()]);
         }
         assert!(rec_err < rand_err, "PQ reconstruction should beat random");
+    }
+
+    #[test]
+    fn batched_distance_tables_match_per_query_tables() {
+        let data = training_set(300, 16, 51);
+        let refs = as_refs(&data);
+        let pq = ProductQuantizer::train(&refs, 4, 16, 10, 5);
+        let queries: Vec<&[f32]> = data.iter().take(7).map(|v| v.as_slice()).collect();
+        let batched = pq.distance_tables(&queries);
+        assert_eq!(batched.len(), 7);
+        for (q, table) in queries.iter().zip(batched.iter()) {
+            let single = pq.distance_table(q);
+            assert_eq!(table, &single, "batched ADC table must be bit-identical");
+        }
+
+        let opq = OptimizedProductQuantizer::train(&refs, 4, 16, 8, 2, 52);
+        let batched = opq.distance_tables(&queries);
+        for (q, table) in queries.iter().zip(batched.iter()) {
+            assert_eq!(table, &opq.distance_table(q));
+        }
     }
 
     #[test]

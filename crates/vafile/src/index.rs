@@ -110,6 +110,20 @@ impl VaPlusFile {
         self.quantizer.cells()
     }
 
+    /// Shared precondition check of [`AnnIndex::search`] and
+    /// [`AnnIndex::search_batch`] (one code path so the two entry points
+    /// cannot drift apart). VA+file supports every mode, so only the
+    /// dimension is checked.
+    fn validate(&self, query: &[f32]) -> Result<()> {
+        if query.len() != self.series_len {
+            return Err(Error::DimensionMismatch {
+                expected: self.series_len,
+                found: query.len(),
+            });
+        }
+        Ok(())
+    }
+
     /// Skip-sequential search shared by every mode.
     ///
     /// Phase 1 scans the approximation file, computing a lower bound per
@@ -118,7 +132,16 @@ impl VaPlusFile {
     /// lower-bound order, reading raw series from disk, until the lower
     /// bound exceeds `bsf / (1 + ε)` (or the candidate budget is exhausted
     /// in ng mode, or the δ stop condition fires).
-    fn skip_sequential(&self, query: &[f32], params: &SearchParams) -> SearchResult {
+    ///
+    /// `candidates` is a reusable scratch buffer (cleared on entry) sized by
+    /// the phase-1 scan; batched callers allocate it once per batch instead
+    /// of once per query.
+    fn skip_sequential(
+        &self,
+        query: &[f32],
+        params: &SearchParams,
+        candidates: &mut Vec<(f32, usize)>,
+    ) -> SearchResult {
         let mut stats = QueryStats::new();
         let k = params.k.max(1);
         let epsilon = params.mode.epsilon().max(0.0);
@@ -133,7 +156,8 @@ impl VaPlusFile {
 
         // Phase 1: sequential scan of the in-memory approximation file.
         let query_summary = self.dft.transform(query);
-        let mut candidates: Vec<(f32, usize)> = Vec::with_capacity(self.num_series);
+        candidates.clear();
+        candidates.reserve(self.num_series);
         let mut upper_topk = TopK::new(k);
         for (id, code) in self.approximations.iter().enumerate() {
             stats.lower_bound_computations += 1;
@@ -154,7 +178,7 @@ impl VaPlusFile {
         let mut top = TopK::new(k);
         let delta_threshold = one_plus_eps * r_delta;
         let mut refined = 0usize;
-        for (lb, id) in candidates {
+        for &(lb, id) in candidates.iter() {
             let bsf = top.kth_distance();
             if lb > bsf / one_plus_eps {
                 break;
@@ -215,13 +239,31 @@ impl AnnIndex for VaPlusFile {
     }
 
     fn search(&self, query: &[f32], params: &SearchParams) -> Result<SearchResult> {
-        if query.len() != self.series_len {
-            return Err(Error::DimensionMismatch {
-                expected: self.series_len,
-                found: query.len(),
-            });
-        }
-        Ok(self.skip_sequential(query, params))
+        self.validate(query)?;
+        let mut candidates = Vec::new();
+        Ok(self.skip_sequential(query, params, &mut candidates))
+    }
+
+    /// Batched search: the phase-1 candidate buffer (one `(lower bound, id)`
+    /// entry per stored series) is allocated once and reused across the
+    /// whole batch. Answers, per-query CPU counters and `bytes_read` are
+    /// identical to [`Self::search`]; the I/O-*operation* counters
+    /// (`random_ios`/`sequential_ios`) can differ — a pool hit charges no
+    /// operation at all, and hits depend on how the shared, order-sensitive
+    /// buffer pool was warmed, exactly as between two sequential runs.
+    fn search_batch(
+        &self,
+        queries: &[&[f32]],
+        params: &SearchParams,
+    ) -> Vec<Result<SearchResult>> {
+        let mut candidates = Vec::with_capacity(self.num_series);
+        queries
+            .iter()
+            .map(|query| {
+                self.validate(query)?;
+                Ok(self.skip_sequential(query, params, &mut candidates))
+            })
+            .collect()
     }
 }
 
@@ -315,6 +357,42 @@ mod tests {
         for w in res.neighbors.windows(2) {
             assert!(w[0].distance <= w[1].distance);
         }
+    }
+
+    #[test]
+    fn batch_search_matches_per_query_search() {
+        let (_, va) = build_small(400, 64);
+        let queries = random_walk(5, 64, 17);
+        let refs: Vec<&[f32]> = queries.iter().collect();
+        for params in [
+            SearchParams::exact(5),
+            SearchParams::ng(5, 10),
+            SearchParams::delta_epsilon(5, 0.9, 1.0),
+        ] {
+            let batched = va.search_batch(&refs, &params);
+            assert_eq!(batched.len(), refs.len());
+            for (q, b) in refs.iter().zip(batched.iter()) {
+                let s = va.search(q, &params).unwrap();
+                let b = b.as_ref().unwrap();
+                assert_eq!(b.neighbors.len(), s.neighbors.len());
+                for (x, y) in b.neighbors.iter().zip(s.neighbors.iter()) {
+                    assert_eq!(x.index, y.index);
+                    assert_eq!(x.distance.to_bits(), y.distance.to_bits());
+                }
+                // CPU-side work is identical; only buffer-pool-dependent I/O
+                // classification may drift between separate passes.
+                assert_eq!(b.stats.distance_computations, s.stats.distance_computations);
+                assert_eq!(b.stats.lower_bound_computations, s.stats.lower_bound_computations);
+                assert_eq!(b.stats.series_scanned, s.stats.series_scanned);
+                assert_eq!(b.stats.bytes_read, s.stats.bytes_read);
+            }
+        }
+        // Malformed queries fail in place without poisoning the batch.
+        let bad = vec![0.0f32; 3];
+        let mixed: Vec<&[f32]> = vec![refs[0], &bad];
+        let results = va.search_batch(&mixed, &SearchParams::exact(3));
+        assert!(results[0].is_ok());
+        assert!(results[1].is_err());
     }
 
     #[test]
