@@ -14,18 +14,26 @@
 //! charge no operation) can shift because the shared buffer pool sees a
 //! different access interleaving, as on a real disk. The default (1) is
 //! the paper's sequential protocol.
+//!
+//! Pass `--save-index DIR` to snapshot every index after its build, or
+//! `--load-index DIR` to restore every index from such snapshots and skip
+//! the build phase entirely — the combined-cost columns then report the
+//! load time instead of a rebuild, and the accuracy columns are identical
+//! by the snapshot contract. `HYDRA_GT_CACHE=DIR` additionally caches the
+//! exact ground-truth answers.
 
 use hydra_bench::{
-    build_methods, on_disk_datasets, print_header, print_row, run_point_threaded,
-    sweep_settings, threads_flag,
+    bench_flags, build_or_load_methods, on_disk_datasets, print_header, print_row,
+    run_point_threaded, sweep_settings,
 };
 
 fn main() {
-    let threads = threads_flag();
+    let flags = bench_flags(true);
+    let threads = flags.threads;
     print_header();
     let k = 100;
     for dataset in on_disk_datasets(k) {
-        let methods = build_methods(&dataset.data, false, 5);
+        let methods = build_or_load_methods(dataset.name, &dataset.data, false, 5, &flags);
         for built in &methods {
             for guarantees in [false, true] {
                 let mode = if guarantees { "delta-eps" } else { "ng" };

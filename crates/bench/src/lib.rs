@@ -15,6 +15,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use hydra::prelude::*;
@@ -44,6 +45,12 @@ pub struct BenchDataset {
 }
 
 /// Builds one named dataset with its workload and ground truth.
+///
+/// When the `HYDRA_GT_CACHE` environment variable names a directory, the
+/// exact answers are served from (or computed into) that directory's
+/// ground-truth cache, keyed by the dataset/query/`k` fingerprint — a large
+/// wall-clock win for repeated figure runs over the same configuration. An
+/// unusable cache never fails a run; it only costs the recompute.
 pub fn make_dataset(name: &'static str, n: usize, len: usize, k: usize, seed: u64) -> BenchDataset {
     let kind = match name {
         "sift-like" => hydra::data::DatasetKind::SiftLike,
@@ -54,7 +61,12 @@ pub fn make_dataset(name: &'static str, n: usize, len: usize, k: usize, seed: u6
     };
     let data = kind.generate(n, len, seed);
     let workload = hydra::data::noisy_queries(&data, 20, &[0.0, 0.1, 0.25], seed ^ 0xABCD);
-    let truth = hydra::data::ground_truth(&data, &workload, k);
+    let truth = match std::env::var("HYDRA_GT_CACHE") {
+        Ok(dir) if !dir.is_empty() => {
+            hydra::data::ground_truth_cached(&data, &workload, k, Path::new(&dir)).0
+        }
+        _ => hydra::data::ground_truth(&data, &workload, k),
+    };
     BenchDataset {
         name,
         data,
@@ -96,115 +108,196 @@ pub fn best_method_datasets(k: usize) -> Vec<BenchDataset> {
     ]
 }
 
-/// A method built for an experiment, together with its build cost.
+/// A method obtained for an experiment, together with how it was obtained.
 pub struct BuiltMethod {
     /// The index behind the uniform interface.
     pub index: Box<dyn AnnIndex>,
-    /// Wall-clock build time in seconds.
+    /// Wall-clock seconds spent obtaining the index: a fresh build, or —
+    /// when it was restored from a snapshot — the load (see
+    /// [`BuiltMethod::loaded`]). Figure binaries report this value as their
+    /// build-time column either way, so a `--load-index` run honestly shows
+    /// the cost of booting from disk instead of a rebuild.
     pub build_seconds: f64,
+    /// Whether the index was loaded from a snapshot rather than built.
+    pub loaded: bool,
+}
+
+/// The snapshot file one method of one dataset maps to: lowercase
+/// alphanumerics (and dashes) of the dataset name and the index kind tag,
+/// e.g. `rand256-isax2.snap`.
+pub fn snapshot_file(dir: &Path, dataset: &str, kind: &str) -> PathBuf {
+    fn sanitize(s: &str) -> String {
+        s.chars()
+            .filter(|c| c.is_ascii_alphanumeric() || *c == '-')
+            .collect::<String>()
+            .to_ascii_lowercase()
+    }
+    dir.join(format!("{}-{}.snap", sanitize(dataset), sanitize(kind)))
+}
+
+/// Obtains one index: loads it from `flags.load_index` (hard error if the
+/// snapshot is missing, damaged, or fingerprint-mismatched — a serving run
+/// must never silently fall back to a rebuild), or builds it and, with
+/// `flags.save_index`, snapshots it for later runs.
+fn obtain<T, F>(
+    dataset_name: &str,
+    data: &Dataset,
+    config: T::Config,
+    flags: &BenchFlags,
+    build: F,
+) -> BuiltMethod
+where
+    T: AnnIndex + hydra::PersistentIndex + 'static,
+    T::Config: Copy,
+    F: FnOnce(&Dataset, T::Config) -> hydra::Result<T>,
+{
+    if let Some(dir) = &flags.load_index {
+        let path = snapshot_file(dir, dataset_name, T::KIND);
+        let t = Instant::now();
+        let index = T::load(&path, data, &config).unwrap_or_else(|e| {
+            eprintln!(
+                "error: cannot load {} snapshot from {}: {e}",
+                T::KIND,
+                path.display()
+            );
+            std::process::exit(2);
+        });
+        return BuiltMethod {
+            index: Box::new(index),
+            build_seconds: t.elapsed().as_secs_f64(),
+            loaded: true,
+        };
+    }
+    let t = Instant::now();
+    let index = build(data, config).expect("index build");
+    let build_seconds = t.elapsed().as_secs_f64();
+    if let Some(dir) = &flags.save_index {
+        let path = snapshot_file(dir, dataset_name, T::KIND);
+        index.save(&path).unwrap_or_else(|e| {
+            eprintln!(
+                "error: cannot save {} snapshot to {}: {e}",
+                T::KIND,
+                path.display()
+            );
+            std::process::exit(2);
+        });
+    }
+    BuiltMethod {
+        index: Box::new(index),
+        build_seconds,
+        loaded: false,
+    }
 }
 
 /// Builds every method applicable to the scenario, timing each build.
 pub fn build_methods(data: &Dataset, in_memory: bool, seed: u64) -> Vec<BuiltMethod> {
+    build_or_load_methods("default", data, in_memory, seed, &BenchFlags::default())
+}
+
+/// [`build_methods`] with snapshot support: with `flags.load_index` every
+/// method is restored from `DIR/<dataset>-<kind>.snap` (skipping its build
+/// phase entirely), and with `flags.save_index` every freshly built method
+/// is written there for later runs. The method set and configurations are
+/// identical to [`build_methods`], so a loaded zoo answers workloads
+/// exactly like a built one.
+pub fn build_or_load_methods(
+    dataset_name: &str,
+    data: &Dataset,
+    in_memory: bool,
+    seed: u64,
+    flags: &BenchFlags,
+) -> Vec<BuiltMethod> {
     let storage = if in_memory {
         StorageConfig::in_memory()
     } else {
         StorageConfig::on_disk()
     };
     let mut out: Vec<BuiltMethod> = Vec::new();
-    let mut push = |index: Box<dyn AnnIndex>, secs: f64| {
-        out.push(BuiltMethod {
-            index,
-            build_seconds: secs,
-        })
-    };
-    let t = Instant::now();
-    let dstree = DsTree::build(
+    out.push(obtain(
+        dataset_name,
         data,
         DsTreeConfig {
             storage,
             seed,
             ..DsTreeConfig::default()
         },
-    )
-    .expect("DSTree");
-    push(Box::new(dstree), t.elapsed().as_secs_f64());
-
-    let t = Instant::now();
-    let isax = Isax2Plus::build(
+        flags,
+        DsTree::build,
+    ));
+    out.push(obtain(
+        dataset_name,
         data,
         IsaxConfig {
             storage,
             seed,
             ..IsaxConfig::default()
         },
-    )
-    .expect("iSAX2+");
-    push(Box::new(isax), t.elapsed().as_secs_f64());
-
-    let t = Instant::now();
-    let va = VaPlusFile::build(
+        flags,
+        Isax2Plus::build,
+    ));
+    out.push(obtain(
+        dataset_name,
         data,
         VaPlusFileConfig {
             storage,
             seed,
             ..VaPlusFileConfig::default()
         },
-    )
-    .expect("VA+file");
-    push(Box::new(va), t.elapsed().as_secs_f64());
-
-    let t = Instant::now();
-    let srs = Srs::build(
+        flags,
+        VaPlusFile::build,
+    ));
+    out.push(obtain(
+        dataset_name,
         data,
         SrsConfig {
             storage,
             seed,
             ..SrsConfig::default()
         },
-    )
-    .expect("SRS");
-    push(Box::new(srs), t.elapsed().as_secs_f64());
-
+        flags,
+        Srs::build,
+    ));
     if data.series_len() % 8 == 0 {
-        let t = Instant::now();
-        let imi = InvertedMultiIndex::build(
+        out.push(obtain(
+            dataset_name,
             data,
             ImiConfig {
                 seed,
                 ..ImiConfig::default()
             },
-        )
-        .expect("IMI");
-        push(Box::new(imi), t.elapsed().as_secs_f64());
+            flags,
+            InvertedMultiIndex::build,
+        ));
     }
     if in_memory {
-        let t = Instant::now();
-        let hnsw = Hnsw::build(
+        out.push(obtain(
+            dataset_name,
             data,
             HnswConfig {
                 m: 8,
                 ef_construction: 128,
                 seed,
             },
-        )
-        .expect("HNSW");
-        push(Box::new(hnsw), t.elapsed().as_secs_f64());
-
-        let t = Instant::now();
-        let qalsh = Qalsh::build(
+            flags,
+            Hnsw::build,
+        ));
+        out.push(obtain(
+            dataset_name,
             data,
             QalshConfig {
                 seed,
                 ..QalshConfig::default()
             },
-        )
-        .expect("QALSH");
-        push(Box::new(qalsh), t.elapsed().as_secs_f64());
-
-        let t = Instant::now();
-        let flann = Flann::build(data, FlannConfig::default()).expect("FLANN");
-        push(Box::new(flann), t.elapsed().as_secs_f64());
+            flags,
+            Qalsh::build,
+        ));
+        out.push(obtain(
+            dataset_name,
+            data,
+            FlannConfig::default(),
+            flags,
+            Flann::build,
+        ));
     }
     out
 }
@@ -268,41 +361,110 @@ pub fn run_point_threaded(
     (report.accuracy.map, report)
 }
 
-/// Parses a `--threads N` (or `--threads=N`) flag from an argument list.
-/// Absent flag means 1 worker (the paper's sequential protocol). Anything
-/// unusable — a bad value, but also any argument the figure binaries do
-/// not know (`--thread`, a typo, a stray positional) — is an error, never
-/// a silent fallback: a mistyped invocation must not let sequential
-/// numbers masquerade as serving-mode ones.
-pub fn parse_threads(args: &[String]) -> std::result::Result<usize, String> {
-    let mut threads = 1usize;
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        let value = if arg == "--threads" {
-            it.next()
-                .ok_or_else(|| "--threads requires a value".to_string())?
-                .as_str()
-        } else if let Some(v) = arg.strip_prefix("--threads=") {
-            v
-        } else {
-            return Err(format!(
-                "unrecognized argument {arg:?} (the figure binaries accept only --threads N)"
-            ));
-        };
-        threads = match value.parse::<usize>() {
-            Ok(t) if t > 0 => t,
-            _ => return Err(format!("--threads expects a positive integer, got {value:?}")),
-        };
-    }
-    Ok(threads)
+/// Command-line flags of the persistence-aware figure binaries
+/// (`fig2_indexing`, `fig3_inmemory`, `fig4_ondisk`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchFlags {
+    /// Worker threads for the query phase (`--threads N`; always 1 for
+    /// binaries without a query phase).
+    pub threads: usize,
+    /// Directory to snapshot every built index into (`--save-index DIR`).
+    pub save_index: Option<PathBuf>,
+    /// Directory to restore every index from instead of building
+    /// (`--load-index DIR`).
+    pub load_index: Option<PathBuf>,
 }
 
-/// [`parse_threads`] over the process arguments; exits with an error
-/// message on a malformed flag.
-pub fn threads_flag() -> usize {
+impl Default for BenchFlags {
+    /// No persistence, the paper's sequential single-thread protocol.
+    fn default() -> Self {
+        Self {
+            threads: 1,
+            save_index: None,
+            load_index: None,
+        }
+    }
+}
+
+/// Parses the figure-binary flags strictly: both `--flag VALUE` and
+/// `--flag=VALUE` spellings are accepted, and anything unusable — a bad
+/// value, a repeated flag, an unknown argument, `--save-index` together
+/// with `--load-index`, or `--threads` on a binary without a query phase
+/// (`threads_allowed = false`) — is an error, never a silent fallback: a
+/// mistyped invocation must not let sequential or rebuilt numbers
+/// masquerade as serving-mode ones.
+pub fn parse_bench_flags(
+    args: &[String],
+    threads_allowed: bool,
+) -> std::result::Result<BenchFlags, String> {
+    let mut flags = BenchFlags::default();
+    let mut threads_seen = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value_of = |name: &str| -> Option<std::result::Result<String, String>> {
+            if arg == name {
+                Some(
+                    it.next()
+                        .map(|v| v.clone())
+                        .ok_or_else(|| format!("{name} requires a value")),
+                )
+            } else {
+                arg.strip_prefix(&format!("{name}=")).map(|v| Ok(v.to_string()))
+            }
+        };
+        if let Some(value) = value_of("--threads") {
+            let value = value?;
+            if !threads_allowed {
+                return Err("this binary has no query phase and does not take --threads".into());
+            }
+            if threads_seen {
+                return Err("--threads given more than once".into());
+            }
+            threads_seen = true;
+            flags.threads = match value.parse::<usize>() {
+                Ok(t) if t > 0 => t,
+                _ => return Err(format!("--threads expects a positive integer, got {value:?}")),
+            };
+        } else if let Some(value) = value_of("--save-index") {
+            let value = value?;
+            if flags.save_index.is_some() {
+                return Err("--save-index given more than once".into());
+            }
+            if value.is_empty() {
+                return Err("--save-index expects a directory path".into());
+            }
+            flags.save_index = Some(PathBuf::from(value));
+        } else if let Some(value) = value_of("--load-index") {
+            let value = value?;
+            if flags.load_index.is_some() {
+                return Err("--load-index given more than once".into());
+            }
+            if value.is_empty() {
+                return Err("--load-index expects a directory path".into());
+            }
+            flags.load_index = Some(PathBuf::from(value));
+        } else {
+            return Err(format!(
+                "unrecognized argument {arg:?} (accepted: {}--save-index DIR, --load-index DIR)",
+                if threads_allowed { "--threads N, " } else { "" }
+            ));
+        }
+    }
+    if flags.save_index.is_some() && flags.load_index.is_some() {
+        return Err(
+            "--save-index and --load-index are mutually exclusive (a loaded index is already saved)"
+                .into(),
+        );
+    }
+    Ok(flags)
+}
+
+/// [`parse_bench_flags`] over the process arguments; exits with an error
+/// message on a malformed invocation.
+pub fn bench_flags(threads_allowed: bool) -> BenchFlags {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match parse_threads(&args) {
-        Ok(t) => t,
+    match parse_bench_flags(&args, threads_allowed) {
+        Ok(flags) => flags,
         Err(msg) => {
             eprintln!("error: {msg}");
             std::process::exit(2);
@@ -371,24 +533,88 @@ mod tests {
         assert!(scale() >= 1);
     }
 
-    // `threads_flag()` itself reads the live process arguments (and the
+    // `bench_flags()` itself reads the live process arguments (and the
     // libtest harness injects its own, e.g. `--quiet`), so the pure
-    // `parse_threads` is the tested surface.
+    // `parse_bench_flags` is the tested surface.
     #[test]
-    fn parse_threads_accepts_both_spellings_and_rejects_garbage() {
+    fn parse_bench_flags_accepts_both_spellings_and_rejects_garbage() {
         let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
-        assert_eq!(parse_threads(&args(&[])), Ok(1));
-        assert_eq!(parse_threads(&args(&["--threads", "8"])), Ok(8));
-        assert_eq!(parse_threads(&args(&["--threads=8"])), Ok(8));
-        assert!(parse_threads(&args(&["--threads"])).is_err());
-        assert!(parse_threads(&args(&["--threads", "eight"])).is_err());
-        assert!(parse_threads(&args(&["--threads=0"])).is_err());
-        assert!(parse_threads(&args(&["--threads", "-3"])).is_err());
-        // Unknown flags are errors too — a typo must not silently run the
-        // sequential protocol while the operator believes it is serving.
-        assert!(parse_threads(&args(&["--thread", "8"])).is_err());
-        assert!(parse_threads(&args(&["-t", "8"])).is_err());
-        assert!(parse_threads(&args(&["--threads", "2", "extra"])).is_err());
+        assert_eq!(parse_bench_flags(&args(&[]), true), Ok(BenchFlags::default()));
+        assert_eq!(parse_bench_flags(&args(&["--threads", "8"]), true).unwrap().threads, 8);
+        assert_eq!(parse_bench_flags(&args(&["--threads=8"]), true).unwrap().threads, 8);
+        assert!(parse_bench_flags(&args(&["--threads", "eight"]), true).is_err());
+        assert!(parse_bench_flags(&args(&["--threads", "-3"]), true).is_err());
+        // A typo must not silently run the sequential protocol while the
+        // operator believes it is serving.
+        assert!(parse_bench_flags(&args(&["-t", "8"]), true).is_err());
+        assert!(parse_bench_flags(&args(&["--threads", "2", "extra"]), true).is_err());
+        let f = parse_bench_flags(&args(&["--threads", "4", "--save-index", "/tmp/x"]), true)
+            .unwrap();
+        assert_eq!(f.threads, 4);
+        assert_eq!(f.save_index.as_deref(), Some(Path::new("/tmp/x")));
+        assert!(f.load_index.is_none());
+        let f = parse_bench_flags(&args(&["--load-index=/tmp/y"]), false).unwrap();
+        assert_eq!(f.load_index.as_deref(), Some(Path::new("/tmp/y")));
+        // Strictness: unknown flags, bad values, duplicates, conflicts, and
+        // --threads where there is no query phase are all hard errors.
+        assert!(parse_bench_flags(&args(&["--thread", "8"]), true).is_err());
+        assert!(parse_bench_flags(&args(&["--threads"]), true).is_err());
+        assert!(parse_bench_flags(&args(&["--threads=0"]), true).is_err());
+        assert!(parse_bench_flags(&args(&["--threads", "2"]), false).is_err());
+        assert!(parse_bench_flags(&args(&["--save-index"]), true).is_err());
+        assert!(parse_bench_flags(&args(&["--save-index="]), true).is_err());
+        assert!(
+            parse_bench_flags(&args(&["--save-index", "/a", "--save-index", "/b"]), true).is_err()
+        );
+        assert!(parse_bench_flags(
+            &args(&["--save-index", "/a", "--load-index", "/b"]),
+            true
+        )
+        .is_err());
+        assert!(parse_bench_flags(&args(&["--threads", "2", "--threads", "3"]), true).is_err());
+        assert!(parse_bench_flags(&args(&["extra"]), true).is_err());
+    }
+
+    #[test]
+    fn snapshot_file_names_are_filesystem_safe_and_distinct() {
+        let dir = Path::new("/snaps");
+        let isax = snapshot_file(dir, "rand256", "isax2+");
+        assert_eq!(isax, Path::new("/snaps/rand256-isax2.snap"));
+        let va = snapshot_file(dir, "sift-like", "va+file");
+        assert_eq!(va, Path::new("/snaps/sift-like-vafile.snap"));
+        assert_ne!(isax, snapshot_file(dir, "rand256", "dstree"));
+    }
+
+    #[test]
+    fn saved_then_loaded_zoo_reports_identical_accuracy() {
+        let dir = std::env::temp_dir().join(format!(
+            "hydra-bench-snapshots-{}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let d = make_dataset("rand256", 300, 32, 5, 77);
+        let save = BenchFlags {
+            save_index: Some(dir.clone()),
+            ..BenchFlags::default()
+        };
+        let built = build_or_load_methods(d.name, &d.data, true, 2, &save);
+        assert!(built.iter().all(|m| !m.loaded));
+        let load = BenchFlags {
+            load_index: Some(dir.clone()),
+            ..BenchFlags::default()
+        };
+        let loaded = build_or_load_methods(d.name, &d.data, true, 2, &load);
+        assert_eq!(built.len(), loaded.len());
+        assert!(loaded.iter().all(|m| m.loaded));
+        for (b, l) in built.iter().zip(loaded.iter()) {
+            assert_eq!(b.index.name(), l.index.name());
+            let params = SearchParams::ng(5, 8);
+            let (map_b, rep_b) = run_point(b.index.as_ref(), &d, &params);
+            let (map_l, rep_l) = run_point(l.index.as_ref(), &d, &params);
+            assert_eq!(map_b, map_l, "{} must answer identically", b.index.name());
+            assert_eq!(rep_b.accuracy, rep_l.accuracy);
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

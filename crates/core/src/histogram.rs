@@ -155,6 +155,47 @@ impl DistanceHistogram {
     pub fn sample_count(&self) -> u64 {
         self.total
     }
+
+    /// Upper edge of each bin (persistence accessor; pairs with
+    /// [`DistanceHistogram::from_parts`]).
+    pub fn bin_edges(&self) -> &[f32] {
+        &self.bin_edges
+    }
+
+    /// Cumulative counts per bin (persistence accessor).
+    pub fn cumulative_counts(&self) -> &[u64] {
+        &self.cumulative
+    }
+
+    /// Size of the dataset the histogram describes (the `n` of the
+    /// `δ^(1/n)` correction; persistence accessor).
+    pub fn dataset_size(&self) -> usize {
+        self.dataset_size
+    }
+
+    /// Reassembles a histogram from its stored parts (the inverse of the
+    /// accessors above), used when restoring an index snapshot.
+    ///
+    /// # Panics
+    /// Panics if `bin_edges` and `cumulative` differ in length.
+    pub fn from_parts(
+        bin_edges: Vec<f32>,
+        cumulative: Vec<u64>,
+        total: u64,
+        dataset_size: usize,
+    ) -> Self {
+        assert_eq!(
+            bin_edges.len(),
+            cumulative.len(),
+            "bin edges and cumulative counts must pair up"
+        );
+        Self {
+            bin_edges,
+            cumulative,
+            total,
+            dataset_size: dataset_size.max(1),
+        }
+    }
 }
 
 #[cfg(test)]

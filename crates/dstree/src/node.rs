@@ -1,14 +1,20 @@
 //! The DSTree index proper.
 
+use std::path::Path;
+
 use hydra_core::{
     knn_search, AnnIndex, Capabilities, Dataset, DistanceHistogram, Error, HierarchicalIndex,
     QueryStats, Representation, Result, SearchParams, SearchResult,
 };
 use hydra_core::search::SearchSpec;
+use hydra_persist::{
+    codec, fingerprint_dataset, fingerprint_series_permuted, Fingerprint, PersistError,
+    PersistentIndex, Section, SnapshotReader, SnapshotWriter,
+};
 use hydra_storage::{SeriesStore, StorageConfig};
 use hydra_summarize::apca::{segment_stats, uniform_segments, Segment};
 
-use crate::split::{enumerate_candidates, SplitRule};
+use crate::split::{enumerate_candidates, SplitKind, SplitRule};
 
 /// Configuration of a [`DsTree`].
 #[derive(Debug, Clone, Copy)]
@@ -347,6 +353,215 @@ impl DsTree {
     }
 }
 
+/// Everything that shapes a DSTree build, hashed together with the dataset
+/// content (see [`PersistentIndex`]).
+fn snapshot_fingerprint(config: &DsTreeConfig, data_fingerprint: u64) -> u64 {
+    let mut f = Fingerprint::new();
+    f.push_str(DsTree::KIND);
+    f.push_usize(config.leaf_capacity);
+    f.push_usize(config.initial_segments);
+    f.push_usize(config.max_segments);
+    f.push_usize(config.storage.page_bytes);
+    f.push_usize(config.storage.buffer_pool_pages);
+    f.push_usize(config.histogram_samples);
+    f.push_u64(config.seed);
+    f.push_u64(data_fingerprint);
+    f.finish()
+}
+
+impl PersistentIndex for DsTree {
+    type Config = DsTreeConfig;
+    const KIND: &'static str = "dstree";
+
+    /// Snapshots the tree (per-node segmentation, EAPCA synopsis, split
+    /// rule, leaf extents), the leaf-order-to-dataset mapping and the δ-ε
+    /// histogram; the raw series are re-materialized from the dataset at
+    /// load time.
+    fn save(&self, path: &Path) -> hydra_persist::Result<()> {
+        let data_fp = fingerprint_series_permuted(
+            self.series_len,
+            self.store.as_flat(),
+            &self.store_to_dataset,
+        );
+        let mut w = SnapshotWriter::new(Self::KIND, snapshot_fingerprint(&self.config, data_fp));
+
+        let mut meta = Section::new();
+        meta.put_usize(self.series_len);
+        meta.put_usize(self.num_series);
+        meta.put_usize(self.nodes.len());
+        w.push(meta);
+
+        let mut nodes = Section::new();
+        for node in &self.nodes {
+            nodes.put_usize(node.segments.len());
+            for seg in &node.segments {
+                nodes.put_usize(seg.start);
+                nodes.put_usize(seg.end);
+            }
+            for syn in &node.synopsis {
+                nodes.put_f32(syn.min_mean);
+                nodes.put_f32(syn.max_mean);
+                nodes.put_f32(syn.min_std);
+                nodes.put_f32(syn.max_std);
+            }
+            nodes.put_usizes(&node.children);
+            match node.rule {
+                None => nodes.put_bool(false),
+                Some(rule) => {
+                    nodes.put_bool(true);
+                    nodes.put_usize(rule.segment);
+                    nodes.put_u8(match rule.kind {
+                        SplitKind::Mean => 0,
+                        SplitKind::Std => 1,
+                    });
+                    nodes.put_f32(rule.threshold);
+                }
+            }
+            nodes.put_usize(node.store_start);
+            nodes.put_usize(node.store_len);
+            nodes.put_usize(node.size);
+        }
+        w.push(nodes);
+
+        let mut mapping = Section::new();
+        mapping.put_usizes(&self.store_to_dataset);
+        w.push(mapping);
+
+        let mut hist = Section::new();
+        codec::put_histogram(&mut hist, &self.histogram);
+        w.push(hist);
+
+        w.write_to(path)
+    }
+
+    fn load(path: &Path, dataset: &Dataset, config: &DsTreeConfig) -> hydra_persist::Result<Self> {
+        let mut r = SnapshotReader::open(path)?;
+        r.expect_kind(Self::KIND)?;
+        r.expect_fingerprint(snapshot_fingerprint(config, fingerprint_dataset(dataset)))?;
+
+        let mut meta = r.next_section()?;
+        let series_len = meta.get_usize()?;
+        let num_series = meta.get_usize()?;
+        let node_count = meta.get_usize()?;
+        if series_len != dataset.series_len() || num_series != dataset.len() {
+            return Err(PersistError::Corrupt(
+                "snapshot metadata disagrees with the dataset".into(),
+            ));
+        }
+
+        let mut sec = r.next_section()?;
+        let mut nodes = Vec::with_capacity(node_count);
+        for _ in 0..node_count {
+            let seg_count = sec.get_usize()?;
+            let mut segments = Vec::with_capacity(seg_count);
+            for _ in 0..seg_count {
+                let start = sec.get_usize()?;
+                let end = sec.get_usize()?;
+                if start >= end || end > series_len {
+                    return Err(PersistError::Corrupt(format!(
+                        "segment [{start}, {end}) outside the series domain"
+                    )));
+                }
+                segments.push(Segment { start, end });
+            }
+            let mut synopsis = Vec::with_capacity(seg_count);
+            for _ in 0..seg_count {
+                synopsis.push(Synopsis {
+                    min_mean: sec.get_f32()?,
+                    max_mean: sec.get_f32()?,
+                    min_std: sec.get_f32()?,
+                    max_std: sec.get_f32()?,
+                });
+            }
+            let children = sec.get_usizes()?;
+            let rule = if sec.get_bool()? {
+                let segment = sec.get_usize()?;
+                let kind = match sec.get_u8()? {
+                    0 => SplitKind::Mean,
+                    1 => SplitKind::Std,
+                    tag => {
+                        return Err(PersistError::Corrupt(format!(
+                            "invalid split-kind tag {tag}"
+                        )))
+                    }
+                };
+                if segment >= seg_count {
+                    return Err(PersistError::Corrupt(
+                        "split rule references a missing segment".into(),
+                    ));
+                }
+                Some(SplitRule {
+                    segment,
+                    kind,
+                    threshold: sec.get_f32()?,
+                })
+            } else {
+                None
+            };
+            let store_start = sec.get_usize()?;
+            let store_len = sec.get_usize()?;
+            if store_start
+                .checked_add(store_len)
+                .map_or(true, |end| end > num_series)
+            {
+                return Err(PersistError::Corrupt(
+                    "leaf extent exceeds the series store".into(),
+                ));
+            }
+            let size = sec.get_usize()?;
+            nodes.push(Node {
+                segments,
+                synopsis,
+                children,
+                rule,
+                members: Vec::new(),
+                store_start,
+                store_len,
+                size,
+            });
+        }
+        if nodes
+            .iter()
+            .any(|n| n.children.iter().any(|&c| c == 0 || c >= node_count))
+        {
+            return Err(PersistError::Corrupt("node child id out of range".into()));
+        }
+
+        let mut sec = r.next_section()?;
+        let store_to_dataset = sec.get_usizes()?;
+        if store_to_dataset.len() != num_series {
+            return Err(PersistError::Corrupt(
+                "leaf-order mapping does not cover the dataset".into(),
+            ));
+        }
+
+        let mut sec = r.next_section()?;
+        let histogram = codec::get_histogram(&mut sec)?;
+
+        let mut store = SeriesStore::new(series_len, config.storage)
+            .map_err(|e| PersistError::Corrupt(format!("cannot rebuild series store: {e}")))?;
+        for &ds in &store_to_dataset {
+            let series = dataset
+                .get(ds)
+                .ok_or_else(|| PersistError::Corrupt(format!("store mapping {ds} out of range")))?;
+            store
+                .append(series)
+                .map_err(|e| PersistError::Corrupt(format!("cannot rebuild series store: {e}")))?;
+        }
+        store.reset_io();
+
+        Ok(Self {
+            config: *config,
+            series_len,
+            nodes,
+            store,
+            store_to_dataset,
+            histogram,
+            num_series,
+        })
+    }
+}
+
 impl HierarchicalIndex for DsTree {
     fn roots(&self) -> Vec<usize> {
         vec![0]
@@ -550,6 +765,44 @@ mod tests {
     fn search_rejects_wrong_dimension() {
         let (_, tree) = build_small(100, 32);
         assert!(tree.search(&[0.0; 8], &SearchParams::exact(1)).is_err());
+    }
+
+    #[test]
+    fn snapshot_roundtrip_answers_identically_and_checks_fingerprint() {
+        let (data, tree) = build_small(300, 32);
+        let path = std::env::temp_dir().join(format!(
+            "hydra-dstree-roundtrip-{}.snap",
+            std::process::id()
+        ));
+        tree.save(&path).unwrap();
+        let loaded = DsTree::load(&path, &data, tree.config()).unwrap();
+        assert_eq!(loaded.num_leaves(), tree.num_leaves());
+        for qi in [0usize, 77, 299] {
+            let q = data.series(qi);
+            for params in [
+                SearchParams::exact(5),
+                SearchParams::ng(5, 2),
+                SearchParams::delta_epsilon(5, 0.9, 1.0),
+            ] {
+                let a = tree.search(q, &params).unwrap();
+                let b = loaded.search(q, &params).unwrap();
+                assert_eq!(a.neighbors.len(), b.neighbors.len());
+                for (x, y) in a.neighbors.iter().zip(b.neighbors.iter()) {
+                    assert_eq!(x.index, y.index);
+                    assert_eq!(x.distance.to_bits(), y.distance.to_bits());
+                }
+                assert_eq!(a.stats, b.stats, "loaded tree must pay identical costs");
+            }
+        }
+        let other = DsTreeConfig {
+            seed: tree.config().seed ^ 1,
+            ..*tree.config()
+        };
+        assert!(matches!(
+            DsTree::load(&path, &data, &other),
+            Err(hydra_persist::PersistError::FingerprintMismatch { .. })
+        ));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

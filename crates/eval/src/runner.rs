@@ -23,6 +23,15 @@
 //!   order-sensitive state — exactly as on a real machine. `bytes_read`
 //!   and every CPU-side counter stay exact.
 //!
+//! ## Snapshots and the indexing-cost split
+//!
+//! Both runners are oblivious to *how* the index came to exist: a freshly
+//! built index and one restored via `hydra_persist::PersistentIndex::load`
+//! are contractually indistinguishable (same answers, same CPU counters),
+//! so the combined index+query figures can charge either a build or a
+//! (much cheaper) snapshot load as the indexing-cost term. The figure
+//! harness does exactly that for `--load-index` runs.
+//!
 //! ## Per-query timing under parallelism
 //!
 //! A batched call yields one wall-clock measurement per shard, not per

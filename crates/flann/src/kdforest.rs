@@ -9,6 +9,7 @@ use hydra_core::{
     AnnIndex, Capabilities, Dataset, Error, Neighbor, QueryStats, Representation, Result,
     SearchMode, SearchParams, SearchResult, TopK,
 };
+use hydra_persist::{Fingerprint, PersistError, Section, SnapshotReader, SnapshotWriter};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
@@ -94,6 +95,123 @@ impl KdForest {
     /// The configuration the forest was built with.
     pub fn config(&self) -> &KdForestConfig {
         &self.config
+    }
+
+    /// The in-memory dataset the forest was built over (persistence hook).
+    pub(crate) fn data(&self) -> &Dataset {
+        &self.data
+    }
+
+    /// Hashes the build parameters into a snapshot fingerprint (persistence
+    /// hook shared with the [`crate::Flann`] wrapper).
+    pub(crate) fn push_fingerprint(config: &KdForestConfig, f: &mut Fingerprint) {
+        f.push_usize(config.num_trees);
+        f.push_usize(config.leaf_size);
+        f.push_usize(config.top_dims);
+        f.push_u64(config.seed);
+    }
+
+    /// Appends the forest's structure (every tree's node arena) to a
+    /// snapshot being written (persistence hook).
+    pub(crate) fn persist_sections(&self, w: &mut SnapshotWriter) {
+        let mut meta = Section::new();
+        meta.put_usize(self.data.series_len());
+        meta.put_usize(self.data.len());
+        meta.put_usize(self.trees.len());
+        w.push(meta);
+
+        let mut trees = Section::new();
+        for nodes in &self.trees {
+            trees.put_usize(nodes.len());
+            for node in nodes {
+                match node {
+                    KdNode::Leaf { points } => {
+                        trees.put_u8(0);
+                        trees.put_u32s(points);
+                    }
+                    KdNode::Split {
+                        dim,
+                        value,
+                        left,
+                        right,
+                    } => {
+                        trees.put_u8(1);
+                        trees.put_usize(*dim);
+                        trees.put_f32(*value);
+                        trees.put_usize(*left);
+                        trees.put_usize(*right);
+                    }
+                }
+            }
+        }
+        w.push(trees);
+    }
+
+    /// Restores a forest from the sections written by
+    /// [`Self::persist_sections`] (persistence hook).
+    pub(crate) fn restore_sections(
+        r: &mut SnapshotReader,
+        dataset: &Dataset,
+        config: KdForestConfig,
+    ) -> hydra_persist::Result<Self> {
+        let mut meta = r.next_section()?;
+        let series_len = meta.get_usize()?;
+        let n = meta.get_usize()?;
+        let tree_count = meta.get_usize()?;
+        if series_len != dataset.series_len() || n != dataset.len() {
+            return Err(PersistError::Corrupt(
+                "snapshot metadata disagrees with the dataset".into(),
+            ));
+        }
+
+        let mut sec = r.next_section()?;
+        let mut trees = Vec::with_capacity(tree_count);
+        for _ in 0..tree_count {
+            let node_count = sec.get_usize()?;
+            let mut nodes = Vec::with_capacity(node_count);
+            for _ in 0..node_count {
+                nodes.push(match sec.get_u8()? {
+                    0 => {
+                        let points = sec.get_u32s()?;
+                        if points.iter().any(|&p| p as usize >= n) {
+                            return Err(PersistError::Corrupt(
+                                "kd leaf point out of range".into(),
+                            ));
+                        }
+                        KdNode::Leaf { points }
+                    }
+                    1 => {
+                        let dim = sec.get_usize()?;
+                        let value = sec.get_f32()?;
+                        let left = sec.get_usize()?;
+                        let right = sec.get_usize()?;
+                        if dim >= series_len || left >= node_count || right >= node_count {
+                            return Err(PersistError::Corrupt(
+                                "kd split references a missing node or dimension".into(),
+                            ));
+                        }
+                        KdNode::Split {
+                            dim,
+                            value,
+                            left,
+                            right,
+                        }
+                    }
+                    tag => {
+                        return Err(PersistError::Corrupt(format!(
+                            "invalid kd-node tag {tag}"
+                        )))
+                    }
+                });
+            }
+            trees.push(nodes);
+        }
+
+        Ok(Self {
+            config,
+            data: dataset.clone(),
+            trees,
+        })
     }
 }
 

@@ -10,6 +10,7 @@ use hydra_core::{
     AnnIndex, Capabilities, Dataset, Error, Neighbor, QueryStats, Representation, Result,
     SearchMode, SearchParams, SearchResult, TopK,
 };
+use hydra_persist::{codec, Fingerprint, PersistError, Section, SnapshotReader, SnapshotWriter};
 use hydra_summarize::quantization::KMeans;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -111,6 +112,118 @@ impl KMeansTree {
             *ch = children;
         }
         my_index
+    }
+
+    /// The in-memory dataset the tree was built over (persistence hook).
+    pub(crate) fn data(&self) -> &Dataset {
+        &self.data
+    }
+
+    /// Hashes the build parameters into a snapshot fingerprint (persistence
+    /// hook shared with the [`crate::Flann`] wrapper).
+    pub(crate) fn push_fingerprint(config: &KMeansTreeConfig, f: &mut Fingerprint) {
+        f.push_usize(config.branching);
+        f.push_usize(config.leaf_size);
+        f.push_usize(config.kmeans_iters);
+        f.push_u64(config.seed);
+    }
+
+    /// Appends the tree's structure (leaf membership and per-node k-means
+    /// codebooks) to a snapshot being written (persistence hook).
+    ///
+    /// Empty-cluster children are recorded with the same `usize::MAX`
+    /// sentinel the in-memory arena uses (stored as `u64::MAX`).
+    pub(crate) fn persist_sections(&self, w: &mut SnapshotWriter) {
+        let mut meta = Section::new();
+        meta.put_usize(self.data.series_len());
+        meta.put_usize(self.data.len());
+        meta.put_usize(self.nodes.len());
+        w.push(meta);
+
+        let mut nodes = Section::new();
+        for node in &self.nodes {
+            match node {
+                TreeNode::Leaf { points } => {
+                    nodes.put_u8(0);
+                    nodes.put_u32s(points);
+                }
+                TreeNode::Internal {
+                    centroids,
+                    children,
+                } => {
+                    nodes.put_u8(1);
+                    codec::put_kmeans(&mut nodes, centroids);
+                    nodes.put_usizes(children);
+                }
+            }
+        }
+        w.push(nodes);
+    }
+
+    /// Restores a tree from the sections written by
+    /// [`Self::persist_sections`] (persistence hook).
+    pub(crate) fn restore_sections(
+        r: &mut SnapshotReader,
+        dataset: &Dataset,
+        config: KMeansTreeConfig,
+    ) -> hydra_persist::Result<Self> {
+        let mut meta = r.next_section()?;
+        let series_len = meta.get_usize()?;
+        let n = meta.get_usize()?;
+        let node_count = meta.get_usize()?;
+        if series_len != dataset.series_len() || n != dataset.len() {
+            return Err(PersistError::Corrupt(
+                "snapshot metadata disagrees with the dataset".into(),
+            ));
+        }
+
+        let mut sec = r.next_section()?;
+        let mut nodes = Vec::with_capacity(node_count);
+        for _ in 0..node_count {
+            nodes.push(match sec.get_u8()? {
+                0 => {
+                    let points = sec.get_u32s()?;
+                    if points.iter().any(|&p| p as usize >= n) {
+                        return Err(PersistError::Corrupt(
+                            "k-means leaf point out of range".into(),
+                        ));
+                    }
+                    TreeNode::Leaf { points }
+                }
+                1 => {
+                    let centroids = codec::get_kmeans(&mut sec)?;
+                    if centroids.dim() != series_len {
+                        return Err(PersistError::Corrupt(
+                            "node codebook dimensionality mismatch".into(),
+                        ));
+                    }
+                    let children = sec.get_usizes()?;
+                    if children
+                        .iter()
+                        .any(|&c| c != usize::MAX && c >= node_count)
+                    {
+                        return Err(PersistError::Corrupt(
+                            "k-means child id out of range".into(),
+                        ));
+                    }
+                    TreeNode::Internal {
+                        centroids,
+                        children,
+                    }
+                }
+                tag => {
+                    return Err(PersistError::Corrupt(format!(
+                        "invalid k-means-tree node tag {tag}"
+                    )))
+                }
+            });
+        }
+
+        Ok(Self {
+            config,
+            data: dataset.clone(),
+            nodes,
+        })
     }
 }
 

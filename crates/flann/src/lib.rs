@@ -19,8 +19,14 @@ mod kmeans_tree;
 pub use kdforest::{KdForest, KdForestConfig};
 pub use kmeans_tree::{KMeansTree, KMeansTreeConfig};
 
+use std::path::Path;
+
 use hydra_core::{
     AnnIndex, Capabilities, Dataset, Error, Representation, Result, SearchParams, SearchResult,
+};
+use hydra_persist::{
+    fingerprint_dataset, Fingerprint, PersistError, PersistentIndex, Section, SnapshotReader,
+    SnapshotWriter,
 };
 
 /// Which algorithm a [`Flann`] instance selected.
@@ -62,6 +68,9 @@ enum Inner {
 pub struct Flann {
     inner: Inner,
     algorithm: FlannAlgorithm,
+    /// The full configuration the wrapper was built with (both algorithms'
+    /// parameters), kept for snapshot fingerprinting.
+    config: FlannConfig,
 }
 
 impl Flann {
@@ -92,12 +101,101 @@ impl Flann {
                 Inner::KMeans(KMeansTree::build(dataset, config.kmeans)?)
             }
         };
-        Ok(Self { inner, algorithm })
+        Ok(Self {
+            inner,
+            algorithm,
+            config,
+        })
     }
 
     /// Which algorithm was selected.
     pub fn algorithm(&self) -> FlannAlgorithm {
         self.algorithm
+    }
+
+    /// The configuration the wrapper was built with.
+    pub fn config(&self) -> &FlannConfig {
+        &self.config
+    }
+}
+
+/// Everything that shapes a FLANN build — both algorithms' parameters plus
+/// the forced-algorithm choice — hashed together with the dataset content
+/// (see [`PersistentIndex`]). Auto-selection is deterministic in the
+/// dataset, so fingerprinting the full configuration pins down the built
+/// structure exactly.
+fn snapshot_fingerprint(config: &FlannConfig, data_fingerprint: u64) -> u64 {
+    let mut f = Fingerprint::new();
+    f.push_str(Flann::KIND);
+    KdForest::push_fingerprint(&config.kd, &mut f);
+    KMeansTree::push_fingerprint(&config.kmeans, &mut f);
+    f.push_u64(match config.force {
+        None => 0,
+        Some(FlannAlgorithm::RandomizedKdTrees) => 1,
+        Some(FlannAlgorithm::HierarchicalKMeans) => 2,
+    });
+    f.push_u64(data_fingerprint);
+    f.finish()
+}
+
+impl PersistentIndex for Flann {
+    type Config = FlannConfig;
+    const KIND: &'static str = "flann";
+
+    /// Snapshots which algorithm auto-selection picked followed by that
+    /// algorithm's structure (kd-forest node arenas, or the hierarchical
+    /// k-means tree with its per-node codebooks). The raw vectors are
+    /// re-attached from the dataset at load time.
+    fn save(&self, path: &Path) -> hydra_persist::Result<()> {
+        let data = match &self.inner {
+            Inner::Kd(i) => i.data(),
+            Inner::KMeans(i) => i.data(),
+        };
+        let mut w = SnapshotWriter::new(
+            Self::KIND,
+            snapshot_fingerprint(&self.config, fingerprint_dataset(data)),
+        );
+        let mut algo = Section::new();
+        algo.put_u8(match self.algorithm {
+            FlannAlgorithm::RandomizedKdTrees => 0,
+            FlannAlgorithm::HierarchicalKMeans => 1,
+        });
+        w.push(algo);
+        match &self.inner {
+            Inner::Kd(i) => i.persist_sections(&mut w),
+            Inner::KMeans(i) => i.persist_sections(&mut w),
+        }
+        w.write_to(path)
+    }
+
+    fn load(path: &Path, dataset: &Dataset, config: &FlannConfig) -> hydra_persist::Result<Self> {
+        let mut r = SnapshotReader::open(path)?;
+        r.expect_kind(Self::KIND)?;
+        r.expect_fingerprint(snapshot_fingerprint(config, fingerprint_dataset(dataset)))?;
+
+        let mut algo = r.next_section()?;
+        let algorithm = match algo.get_u8()? {
+            0 => FlannAlgorithm::RandomizedKdTrees,
+            1 => FlannAlgorithm::HierarchicalKMeans,
+            tag => {
+                return Err(PersistError::Corrupt(format!(
+                    "invalid FLANN algorithm tag {tag}"
+                )))
+            }
+        };
+        let inner = match algorithm {
+            FlannAlgorithm::RandomizedKdTrees => {
+                Inner::Kd(KdForest::restore_sections(&mut r, dataset, config.kd)?)
+            }
+            FlannAlgorithm::HierarchicalKMeans => {
+                Inner::KMeans(KMeansTree::restore_sections(&mut r, dataset, config.kmeans)?)
+            }
+        };
+        Ok(Self {
+            inner,
+            algorithm,
+            config: *config,
+        })
     }
 }
 

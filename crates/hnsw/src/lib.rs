@@ -24,10 +24,15 @@ use hydra_core::{
     AnnIndex, Capabilities, Dataset, Error, Neighbor, QueryStats, Representation, Result,
     SearchMode, SearchParams, SearchResult, TopK,
 };
+use hydra_persist::{
+    fingerprint_dataset, Fingerprint, PersistError, PersistentIndex, Section, SnapshotReader,
+    SnapshotWriter,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::path::Path;
 
 /// Configuration of an [`Hnsw`] index.
 #[derive(Debug, Clone, Copy)]
@@ -276,6 +281,115 @@ impl Hnsw {
     /// Highest layer of the hierarchy.
     pub fn max_level(&self) -> usize {
         self.max_level
+    }
+}
+
+/// Everything that shapes an HNSW build, hashed together with the dataset
+/// content (see [`PersistentIndex`]).
+fn snapshot_fingerprint(config: &HnswConfig, data_fingerprint: u64) -> u64 {
+    let mut f = Fingerprint::new();
+    f.push_str(Hnsw::KIND);
+    f.push_usize(config.m);
+    f.push_usize(config.ef_construction);
+    f.push_u64(config.seed);
+    f.push_u64(data_fingerprint);
+    f.finish()
+}
+
+impl PersistentIndex for Hnsw {
+    type Config = HnswConfig;
+    const KIND: &'static str = "hnsw";
+
+    /// Snapshots the layer assignment and the full adjacency of every
+    /// layer — the product of the expensive incremental construction. The
+    /// raw vectors (which HNSW keeps in memory) are re-attached from the
+    /// dataset at load time.
+    fn save(&self, path: &Path) -> hydra_persist::Result<()> {
+        let mut w = SnapshotWriter::new(
+            Self::KIND,
+            snapshot_fingerprint(&self.config, fingerprint_dataset(&self.data)),
+        );
+
+        let mut meta = Section::new();
+        meta.put_usize(self.data.series_len());
+        meta.put_usize(self.data.len());
+        meta.put_usize(self.entry_point);
+        meta.put_usize(self.max_level);
+        w.push(meta);
+
+        let mut levels = Section::new();
+        levels.put_u8s(&self.levels);
+        w.push(levels);
+
+        let mut adjacency = Section::new();
+        adjacency.put_usize(self.neighbors.len());
+        for layer in &self.neighbors {
+            for links in layer {
+                adjacency.put_u32s(links);
+            }
+        }
+        w.push(adjacency);
+
+        w.write_to(path)
+    }
+
+    fn load(path: &Path, dataset: &Dataset, config: &HnswConfig) -> hydra_persist::Result<Self> {
+        let mut r = SnapshotReader::open(path)?;
+        r.expect_kind(Self::KIND)?;
+        r.expect_fingerprint(snapshot_fingerprint(config, fingerprint_dataset(dataset)))?;
+
+        let mut meta = r.next_section()?;
+        let series_len = meta.get_usize()?;
+        let n = meta.get_usize()?;
+        let entry_point = meta.get_usize()?;
+        let max_level = meta.get_usize()?;
+        if series_len != dataset.series_len() || n != dataset.len() || entry_point >= n {
+            return Err(PersistError::Corrupt(
+                "snapshot metadata disagrees with the dataset".into(),
+            ));
+        }
+
+        let mut sec = r.next_section()?;
+        let levels = sec.get_u8s()?;
+        if levels.len() != n {
+            return Err(PersistError::Corrupt(
+                "layer assignment does not cover every node".into(),
+            ));
+        }
+        if levels.iter().any(|&l| l as usize > max_level) {
+            return Err(PersistError::Corrupt(
+                "node level exceeds the maximum layer".into(),
+            ));
+        }
+
+        let mut sec = r.next_section()?;
+        let layer_count = sec.get_usize()?;
+        if layer_count != max_level + 1 {
+            return Err(PersistError::Corrupt(
+                "adjacency layer count disagrees with the maximum level".into(),
+            ));
+        }
+        let mut neighbors = Vec::with_capacity(layer_count);
+        for _ in 0..layer_count {
+            let mut layer = Vec::with_capacity(n);
+            for _ in 0..n {
+                let links = sec.get_u32s()?;
+                if links.iter().any(|&l| l as usize >= n) {
+                    return Err(PersistError::Corrupt("graph link out of range".into()));
+                }
+                layer.push(links);
+            }
+            neighbors.push(layer);
+        }
+
+        Ok(Self {
+            config: *config,
+            data: dataset.clone(),
+            neighbors,
+            levels,
+            entry_point,
+            max_level,
+        })
     }
 }
 

@@ -58,6 +58,7 @@
 pub use hydra_core as core;
 pub use hydra_data as data;
 pub use hydra_eval as eval;
+pub use hydra_persist as persist;
 pub use hydra_storage as storage;
 pub use hydra_summarize as summarize;
 
@@ -67,6 +68,7 @@ pub use hydra_core::{
 };
 pub use hydra_dstree::{DsTree, DsTreeConfig};
 pub use hydra_flann::{Flann, FlannAlgorithm, FlannConfig, KdForest, KdForestConfig, KMeansTree, KMeansTreeConfig};
+pub use hydra_persist::{PersistError, PersistentIndex};
 pub use hydra_hnsw::{Hnsw, HnswConfig};
 pub use hydra_imi::{ImiConfig, InvertedMultiIndex};
 pub use hydra_isax::{Isax2Plus, IsaxConfig};
@@ -83,6 +85,7 @@ pub mod prelude {
     pub use hydra_imi::{ImiConfig, InvertedMultiIndex};
     pub use hydra_isax::{Isax2Plus, IsaxConfig};
     pub use hydra_lsh::{Qalsh, QalshConfig, Srs, SrsConfig};
+    pub use hydra_persist::PersistentIndex;
     pub use hydra_storage::StorageConfig;
     pub use hydra_vafile::{VaPlusFile, VaPlusFileConfig};
 }

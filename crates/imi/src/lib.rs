@@ -27,9 +27,14 @@ use hydra_core::{
     AnnIndex, Capabilities, Dataset, Error, Neighbor, QueryStats, Representation, Result,
     SearchMode, SearchParams, SearchResult, TopK,
 };
+use hydra_persist::{
+    codec, fingerprint_dataset, Fingerprint, PersistError, PersistentIndex, Section,
+    SnapshotReader, SnapshotWriter,
+};
 use hydra_summarize::quantization::{KMeans, OptimizedProductQuantizer, ProductQuantizer};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Configuration of an [`InvertedMultiIndex`].
@@ -98,6 +103,16 @@ impl FineQuantizer {
             FineQuantizer::Optimized(opq) => opq.memory_footprint(),
         }
     }
+
+    /// `(subspaces, codebook size)` — the shape every stored PQ code must
+    /// respect for ADC lookups to be in bounds.
+    fn code_shape(&self) -> (usize, usize) {
+        let pq = match self {
+            FineQuantizer::Plain(pq) => pq,
+            FineQuantizer::Optimized(opq) => opq.pq(),
+        };
+        (pq.num_subspaces(), pq.codebook_size())
+    }
 }
 
 /// The IMI index.
@@ -110,6 +125,11 @@ pub struct InvertedMultiIndex {
     /// `lists[i * coarse_k + j]` holds `(id, code)` pairs of cell `(i, j)`.
     lists: Vec<Vec<(u32, Vec<u16>)>>,
     num_series: usize,
+    /// Content fingerprint of the build dataset. IMI is the one index that
+    /// retains no raw vectors, so this is captured at build time and carried
+    /// into snapshots, where loading validates it against the offered
+    /// dataset.
+    data_fingerprint: u64,
     /// Number of passes made over the PQ codebooks to build ADC lookup
     /// tables. Per-query search costs one pass per query; batched search
     /// costs one pass per batch — the counter makes that amortization
@@ -190,6 +210,7 @@ impl InvertedMultiIndex {
             fine,
             lists,
             num_series: dataset.len(),
+            data_fingerprint: fingerprint_dataset(dataset),
             adc_table_passes: AtomicU64::new(0),
         })
     }
@@ -320,6 +341,158 @@ impl InvertedMultiIndex {
             }
         }
         top.into_sorted()
+    }
+}
+
+/// Everything that shapes an IMI build, hashed together with the dataset
+/// content (see [`PersistentIndex`]).
+fn snapshot_fingerprint(config: &ImiConfig, data_fingerprint: u64) -> u64 {
+    let mut f = Fingerprint::new();
+    f.push_str(InvertedMultiIndex::KIND);
+    f.push_usize(config.coarse_k);
+    f.push_usize(config.pq_m);
+    f.push_usize(config.pq_k);
+    f.push_bool(config.use_opq);
+    f.push_usize(config.training_size);
+    f.push_usize(config.kmeans_iters);
+    f.push_u64(config.seed);
+    f.push_u64(data_fingerprint);
+    f.finish()
+}
+
+impl PersistentIndex for InvertedMultiIndex {
+    type Config = ImiConfig;
+    const KIND: &'static str = "imi";
+
+    /// Snapshots the two coarse codebooks, the fine (O)PQ quantizer — the
+    /// expensive k-means/Procrustes training — and every inverted list with
+    /// its PQ codes. IMI never touches raw vectors at query time, so the
+    /// snapshot alone fully determines query behaviour; the dataset is only
+    /// used to validate the fingerprint.
+    fn save(&self, path: &Path) -> hydra_persist::Result<()> {
+        // IMI does not retain the raw vectors, so the dataset fingerprint is
+        // captured once at build time and carried in the header.
+        let mut w = SnapshotWriter::new(
+            Self::KIND,
+            snapshot_fingerprint(&self.config, self.data_fingerprint),
+        );
+
+        let mut meta = Section::new();
+        meta.put_usize(self.series_len);
+        meta.put_usize(self.half);
+        meta.put_usize(self.num_series);
+        w.push(meta);
+
+        let mut coarse = Section::new();
+        codec::put_kmeans(&mut coarse, &self.coarse[0]);
+        codec::put_kmeans(&mut coarse, &self.coarse[1]);
+        w.push(coarse);
+
+        let mut fine = Section::new();
+        match &self.fine {
+            FineQuantizer::Plain(pq) => {
+                fine.put_u8(0);
+                codec::put_product_quantizer(&mut fine, pq);
+            }
+            FineQuantizer::Optimized(opq) => {
+                fine.put_u8(1);
+                codec::put_opq(&mut fine, opq);
+            }
+        }
+        w.push(fine);
+
+        let mut lists = Section::new();
+        lists.put_usize(self.lists.len());
+        for list in &self.lists {
+            lists.put_usize(list.len());
+            for (id, code) in list {
+                lists.put_u32(*id);
+                lists.put_u16s(code);
+            }
+        }
+        w.push(lists);
+
+        w.write_to(path)
+    }
+
+    fn load(path: &Path, dataset: &Dataset, config: &ImiConfig) -> hydra_persist::Result<Self> {
+        let data_fingerprint = fingerprint_dataset(dataset);
+        let mut r = SnapshotReader::open(path)?;
+        r.expect_kind(Self::KIND)?;
+        r.expect_fingerprint(snapshot_fingerprint(config, data_fingerprint))?;
+
+        let mut meta = r.next_section()?;
+        let series_len = meta.get_usize()?;
+        let half = meta.get_usize()?;
+        let num_series = meta.get_usize()?;
+        if series_len != dataset.series_len() || num_series != dataset.len() || half * 2 != series_len
+        {
+            return Err(PersistError::Corrupt(
+                "snapshot metadata disagrees with the dataset".into(),
+            ));
+        }
+
+        let mut sec = r.next_section()?;
+        let coarse0 = codec::get_kmeans(&mut sec)?;
+        let coarse1 = codec::get_kmeans(&mut sec)?;
+        if coarse0.dim() != half || coarse1.dim() != half {
+            return Err(PersistError::Corrupt(
+                "coarse codebooks do not cover half the dimensionality".into(),
+            ));
+        }
+
+        let mut sec = r.next_section()?;
+        let fine = match sec.get_u8()? {
+            0 => FineQuantizer::Plain(codec::get_product_quantizer(&mut sec)?),
+            1 => FineQuantizer::Optimized(codec::get_opq(&mut sec)?),
+            tag => {
+                return Err(PersistError::Corrupt(format!(
+                    "invalid fine-quantizer tag {tag}"
+                )))
+            }
+        };
+
+        let mut sec = r.next_section()?;
+        let cell_count = sec.get_usize()?;
+        if cell_count != coarse0.k() * coarse1.k() {
+            return Err(PersistError::Corrupt(
+                "inverted-list grid does not match the coarse codebooks".into(),
+            ));
+        }
+        let (code_len, code_k) = fine.code_shape();
+        let mut lists = Vec::with_capacity(cell_count);
+        for _ in 0..cell_count {
+            let len = sec.get_usize()?;
+            let mut list = Vec::with_capacity(len.min(num_series));
+            for _ in 0..len {
+                let id = sec.get_u32()?;
+                if id as usize >= num_series {
+                    return Err(PersistError::Corrupt(format!(
+                        "inverted list id {id} out of range"
+                    )));
+                }
+                let code = sec.get_u16s()?;
+                if code.len() != code_len || code.iter().any(|&c| c as usize >= code_k) {
+                    return Err(PersistError::Corrupt(
+                        "PQ code does not fit the fine codebooks".into(),
+                    ));
+                }
+                list.push((id, code));
+            }
+            lists.push(list);
+        }
+
+        Ok(Self {
+            config: *config,
+            series_len,
+            half,
+            coarse: [coarse0, coarse1],
+            fine,
+            lists,
+            num_series,
+            data_fingerprint,
+            adc_table_passes: AtomicU64::new(0),
+        })
     }
 }
 

@@ -1,9 +1,15 @@
 //! The iSAX2+ tree.
 
+use std::path::Path;
+
 use hydra_core::search::SearchSpec;
 use hydra_core::{
     knn_search, AnnIndex, Capabilities, Dataset, DistanceHistogram, Error, HierarchicalIndex,
     QueryStats, Representation, Result, SearchParams, SearchResult,
+};
+use hydra_persist::{
+    codec, fingerprint_dataset, fingerprint_series_permuted, Fingerprint, PersistError,
+    PersistentIndex, Section, SnapshotReader, SnapshotWriter,
 };
 use hydra_storage::{SeriesStore, StorageConfig};
 use hydra_summarize::paa::paa;
@@ -315,6 +321,158 @@ impl Isax2Plus {
     }
 }
 
+/// Everything that shapes an iSAX2+ build, hashed together with the dataset
+/// content: a snapshot only loads against the exact configuration and data
+/// it was built from.
+fn snapshot_fingerprint(config: &IsaxConfig, data_fingerprint: u64) -> u64 {
+    let mut f = Fingerprint::new();
+    f.push_str(Isax2Plus::KIND);
+    f.push_usize(config.sax.segments);
+    f.push_u64(config.sax.max_bits as u64);
+    f.push_usize(config.leaf_capacity);
+    f.push_usize(config.storage.page_bytes);
+    f.push_usize(config.storage.buffer_pool_pages);
+    f.push_usize(config.histogram_samples);
+    f.push_u64(config.seed);
+    f.push_u64(data_fingerprint);
+    f.finish()
+}
+
+impl PersistentIndex for Isax2Plus {
+    type Config = IsaxConfig;
+    const KIND: &'static str = "isax2+";
+
+    /// Snapshots the tree topology (iSAX words, children, leaf extents),
+    /// the leaf-order-to-dataset mapping and the δ-ε histogram. The raw
+    /// series are *not* stored: `load` re-materializes the leaf-ordered
+    /// [`SeriesStore`] from its `dataset` argument.
+    fn save(&self, path: &Path) -> hydra_persist::Result<()> {
+        // The store holds the series in leaf order; hash them back in
+        // dataset order so the fingerprint matches `fingerprint_dataset` of
+        // the original collection at load time.
+        let data_fp = fingerprint_series_permuted(
+            self.series_len,
+            self.store.as_flat(),
+            &self.store_to_dataset,
+        );
+        let mut w = SnapshotWriter::new(Self::KIND, snapshot_fingerprint(&self.config, data_fp));
+
+        let mut meta = Section::new();
+        meta.put_usize(self.series_len);
+        meta.put_usize(self.num_series);
+        meta.put_usize(self.nodes.len());
+        w.push(meta);
+
+        let mut nodes = Section::new();
+        for node in &self.nodes {
+            nodes.put_u16s(&node.word.symbols);
+            nodes.put_u8s(&node.word.bits);
+            nodes.put_usizes(&node.children);
+            nodes.put_usize(node.store_start);
+            nodes.put_usize(node.store_len);
+        }
+        w.push(nodes);
+
+        let mut mapping = Section::new();
+        mapping.put_usizes(&self.store_to_dataset);
+        w.push(mapping);
+
+        let mut hist = Section::new();
+        codec::put_histogram(&mut hist, &self.histogram);
+        w.push(hist);
+
+        w.write_to(path)
+    }
+
+    fn load(path: &Path, dataset: &Dataset, config: &IsaxConfig) -> hydra_persist::Result<Self> {
+        let mut r = SnapshotReader::open(path)?;
+        r.expect_kind(Self::KIND)?;
+        r.expect_fingerprint(snapshot_fingerprint(config, fingerprint_dataset(dataset)))?;
+
+        let mut meta = r.next_section()?;
+        let series_len = meta.get_usize()?;
+        let num_series = meta.get_usize()?;
+        let node_count = meta.get_usize()?;
+        if series_len != dataset.series_len() || num_series != dataset.len() {
+            return Err(PersistError::Corrupt(
+                "snapshot metadata disagrees with the dataset".into(),
+            ));
+        }
+
+        let mut sec = r.next_section()?;
+        let mut nodes = Vec::with_capacity(node_count);
+        for _ in 0..node_count {
+            let symbols = sec.get_u16s()?;
+            let bits = sec.get_u8s()?;
+            if symbols.len() != bits.len() {
+                return Err(PersistError::Corrupt(
+                    "iSAX word symbols and bits differ in length".into(),
+                ));
+            }
+            let children = sec.get_usizes()?;
+            let store_start = sec.get_usize()?;
+            let store_len = sec.get_usize()?;
+            if store_start
+                .checked_add(store_len)
+                .map_or(true, |end| end > num_series)
+            {
+                return Err(PersistError::Corrupt(
+                    "leaf extent exceeds the series store".into(),
+                ));
+            }
+            nodes.push(Node {
+                word: IsaxWord { symbols, bits },
+                children,
+                // Build-time scratch; empty after materialization either way.
+                members: Vec::new(),
+                member_words: Vec::new(),
+                store_start,
+                store_len,
+            });
+        }
+        if nodes
+            .iter()
+            .any(|n| n.children.iter().any(|&c| c == 0 || c >= node_count))
+        {
+            return Err(PersistError::Corrupt("node child id out of range".into()));
+        }
+
+        let mut sec = r.next_section()?;
+        let store_to_dataset = sec.get_usizes()?;
+        if store_to_dataset.len() != num_series {
+            return Err(PersistError::Corrupt(
+                "leaf-order mapping does not cover the dataset".into(),
+            ));
+        }
+
+        let mut sec = r.next_section()?;
+        let histogram = codec::get_histogram(&mut sec)?;
+
+        let mut store = SeriesStore::new(series_len, config.storage)
+            .map_err(|e| PersistError::Corrupt(format!("cannot rebuild series store: {e}")))?;
+        for &ds in &store_to_dataset {
+            let series = dataset
+                .get(ds)
+                .ok_or_else(|| PersistError::Corrupt(format!("store mapping {ds} out of range")))?;
+            store
+                .append(series)
+                .map_err(|e| PersistError::Corrupt(format!("cannot rebuild series store: {e}")))?;
+        }
+        store.reset_io();
+
+        Ok(Self {
+            config: *config,
+            series_len,
+            breakpoints: normal_breakpoints(config.sax.max_cardinality()),
+            nodes,
+            store,
+            store_to_dataset,
+            histogram,
+            num_series,
+        })
+    }
+}
+
 impl HierarchicalIndex for Isax2Plus {
     fn roots(&self) -> Vec<usize> {
         vec![0]
@@ -512,6 +670,46 @@ mod tests {
     fn search_rejects_wrong_dimension() {
         let (_, index) = build_small(50, 64);
         assert!(index.search(&[0.0; 16], &SearchParams::exact(1)).is_err());
+    }
+
+    #[test]
+    fn snapshot_roundtrip_answers_identically_and_checks_fingerprint() {
+        let (data, index) = build_small(300, 64);
+        let path = std::env::temp_dir().join(format!(
+            "hydra-isax-roundtrip-{}.snap",
+            std::process::id()
+        ));
+        index.save(&path).unwrap();
+        let loaded = Isax2Plus::load(&path, &data, index.config()).unwrap();
+        for qi in [0usize, 50, 299] {
+            let q = data.series(qi);
+            for params in [SearchParams::exact(5), SearchParams::ng(5, 2)] {
+                let a = index.search(q, &params).unwrap();
+                let b = loaded.search(q, &params).unwrap();
+                assert_eq!(a.neighbors.len(), b.neighbors.len());
+                for (x, y) in a.neighbors.iter().zip(b.neighbors.iter()) {
+                    assert_eq!(x.index, y.index);
+                    assert_eq!(x.distance.to_bits(), y.distance.to_bits());
+                }
+                assert_eq!(a.stats, b.stats, "loaded tree must pay identical costs");
+            }
+        }
+        // A different build configuration must be refused, not absorbed.
+        let other = IsaxConfig {
+            leaf_capacity: index.config().leaf_capacity + 1,
+            ..*index.config()
+        };
+        assert!(matches!(
+            Isax2Plus::load(&path, &data, &other),
+            Err(hydra_persist::PersistError::FingerprintMismatch { .. })
+        ));
+        // So must different data of the same shape.
+        let other_data = random_walk(300, 64, 999);
+        assert!(matches!(
+            Isax2Plus::load(&path, &other_data, index.config()),
+            Err(hydra_persist::PersistError::FingerprintMismatch { .. })
+        ));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -1,9 +1,15 @@
 //! QALSH: query-aware locality-sensitive hashing with dynamic collision
 //! counting.
 
+use std::path::Path;
+
 use hydra_core::{
     AnnIndex, Capabilities, Dataset, Error, Neighbor, QueryStats, Representation, Result,
     SearchMode, SearchParams, SearchResult, TopK,
+};
+use hydra_persist::{
+    fingerprint_dataset, Fingerprint, PersistError, PersistentIndex, Section, SnapshotReader,
+    SnapshotWriter,
 };
 use hydra_summarize::GaussianProjection;
 
@@ -228,6 +234,102 @@ impl Qalsh {
         }
         stats.leaves_visited = rounds as u64;
         SearchResult::new(top.into_sorted(), stats)
+    }
+}
+
+/// Everything that shapes a QALSH build, hashed together with the dataset
+/// content (see [`PersistentIndex`]).
+fn snapshot_fingerprint(config: &QalshConfig, data_fingerprint: u64) -> u64 {
+    let mut f = Fingerprint::new();
+    f.push_str(Qalsh::KIND);
+    f.push_usize(config.num_hashes);
+    f.push_f32(config.bucket_width);
+    f.push_usize(config.collision_threshold);
+    f.push_f32(config.approximation_ratio);
+    f.push_f64(config.max_refined_fraction);
+    f.push_u64(config.seed);
+    f.push_u64(data_fingerprint);
+    f.finish()
+}
+
+impl PersistentIndex for Qalsh {
+    type Config = QalshConfig;
+    const KIND: &'static str = "qalsh";
+
+    /// Snapshots the sorted hash tables (the "B+-trees" of the original
+    /// implementation, one per hash function). The projection matrix is
+    /// deterministic in the seed and the raw vectors are re-attached from
+    /// the dataset, so neither is stored.
+    fn save(&self, path: &Path) -> hydra_persist::Result<()> {
+        let mut w = SnapshotWriter::new(
+            Self::KIND,
+            snapshot_fingerprint(&self.config, fingerprint_dataset(&self.data)),
+        );
+
+        let mut meta = Section::new();
+        meta.put_usize(self.data.series_len());
+        meta.put_usize(self.data.len());
+        meta.put_usize(self.tables.len());
+        w.push(meta);
+
+        let mut tables = Section::new();
+        for table in &self.tables {
+            tables.put_usize(table.len());
+            for &(value, id) in table {
+                tables.put_f32(value);
+                tables.put_u32(id);
+            }
+        }
+        w.push(tables);
+
+        w.write_to(path)
+    }
+
+    fn load(path: &Path, dataset: &Dataset, config: &QalshConfig) -> hydra_persist::Result<Self> {
+        let mut r = SnapshotReader::open(path)?;
+        r.expect_kind(Self::KIND)?;
+        r.expect_fingerprint(snapshot_fingerprint(config, fingerprint_dataset(dataset)))?;
+
+        let mut meta = r.next_section()?;
+        let series_len = meta.get_usize()?;
+        let n = meta.get_usize()?;
+        let table_count = meta.get_usize()?;
+        if series_len != dataset.series_len() || n != dataset.len() || table_count != config.num_hashes
+        {
+            return Err(PersistError::Corrupt(
+                "snapshot metadata disagrees with the dataset or configuration".into(),
+            ));
+        }
+
+        let mut sec = r.next_section()?;
+        let mut tables = Vec::with_capacity(table_count);
+        for _ in 0..table_count {
+            let len = sec.get_usize()?;
+            if len != n {
+                return Err(PersistError::Corrupt(
+                    "hash table does not cover every point".into(),
+                ));
+            }
+            let mut table = Vec::with_capacity(len);
+            for _ in 0..len {
+                let value = sec.get_f32()?;
+                let id = sec.get_u32()?;
+                if id as usize >= n {
+                    return Err(PersistError::Corrupt(format!(
+                        "hash table id {id} out of range"
+                    )));
+                }
+                table.push((value, id));
+            }
+            tables.push(table);
+        }
+
+        Ok(Self {
+            config: *config,
+            data: dataset.clone(),
+            projection: GaussianProjection::new(series_len, config.num_hashes, config.seed),
+            tables,
+        })
     }
 }
 

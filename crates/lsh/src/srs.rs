@@ -1,8 +1,14 @@
 //! SRS: solving c-approximate NN queries with a tiny index.
 
+use std::path::Path;
+
 use hydra_core::{
     AnnIndex, Capabilities, Dataset, Error, Neighbor, QueryStats, Representation, Result,
     SearchMode, SearchParams, SearchResult, TopK,
+};
+use hydra_persist::{
+    fingerprint_dataset, fingerprint_series_flat, Fingerprint, PersistError, PersistentIndex,
+    Section, SnapshotReader, SnapshotWriter,
 };
 use hydra_storage::{SeriesStore, StorageConfig};
 use hydra_summarize::GaussianProjection;
@@ -194,6 +200,85 @@ impl Srs {
         }
         stats.leaves_visited = examined as u64;
         SearchResult::new(top.into_sorted(), stats)
+    }
+}
+
+/// Everything that shapes an SRS build, hashed together with the dataset
+/// content (see [`PersistentIndex`]).
+fn snapshot_fingerprint(config: &SrsConfig, data_fingerprint: u64) -> u64 {
+    let mut f = Fingerprint::new();
+    f.push_str(Srs::KIND);
+    f.push_usize(config.projected_dims);
+    f.push_f64(config.max_examined_fraction);
+    f.push_usize(config.storage.page_bytes);
+    f.push_usize(config.storage.buffer_pool_pages);
+    f.push_u64(config.seed);
+    f.push_u64(data_fingerprint);
+    f.finish()
+}
+
+impl PersistentIndex for Srs {
+    type Config = SrsConfig;
+    const KIND: &'static str = "srs";
+
+    /// Snapshots the projected table — SRS's "tiny index", whose
+    /// construction is the one full pass over the raw data the method ever
+    /// makes. The Gaussian projection matrix is deterministic in the seed
+    /// and is re-sampled at load time; the raw series store is re-created
+    /// from the dataset.
+    fn save(&self, path: &Path) -> hydra_persist::Result<()> {
+        let data_fp = fingerprint_series_flat(self.series_len, self.store.as_flat());
+        let mut w = SnapshotWriter::new(Self::KIND, snapshot_fingerprint(&self.config, data_fp));
+
+        let mut meta = Section::new();
+        meta.put_usize(self.series_len);
+        meta.put_usize(self.num_series);
+        meta.put_usize(self.config.projected_dims);
+        w.push(meta);
+
+        let mut projected = Section::new();
+        projected.put_f32s(&self.projected);
+        w.push(projected);
+
+        w.write_to(path)
+    }
+
+    fn load(path: &Path, dataset: &Dataset, config: &SrsConfig) -> hydra_persist::Result<Self> {
+        let mut r = SnapshotReader::open(path)?;
+        r.expect_kind(Self::KIND)?;
+        r.expect_fingerprint(snapshot_fingerprint(config, fingerprint_dataset(dataset)))?;
+
+        let mut meta = r.next_section()?;
+        let series_len = meta.get_usize()?;
+        let num_series = meta.get_usize()?;
+        let m = meta.get_usize()?;
+        if series_len != dataset.series_len() || num_series != dataset.len() || m != config.projected_dims
+        {
+            return Err(PersistError::Corrupt(
+                "snapshot metadata disagrees with the dataset or configuration".into(),
+            ));
+        }
+
+        let mut sec = r.next_section()?;
+        let projected = sec.get_f32s()?;
+        if projected.len() != num_series * m {
+            return Err(PersistError::Corrupt(
+                "projected table does not cover every series".into(),
+            ));
+        }
+
+        let store = SeriesStore::from_dataset(dataset, config.storage)
+            .map_err(|e| PersistError::Corrupt(format!("cannot rebuild series store: {e}")))?;
+        store.reset_io();
+
+        Ok(Self {
+            config: *config,
+            series_len,
+            projection: GaussianProjection::new(series_len, m, config.seed),
+            projected,
+            store,
+            num_series,
+        })
     }
 }
 

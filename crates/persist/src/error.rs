@@ -1,0 +1,132 @@
+//! Typed snapshot errors.
+//!
+//! Every way a snapshot file can be unusable maps to a distinct variant, so
+//! callers (and tests) can tell a stale format from a corrupted disk from an
+//! operator error — and none of them ever surfaces as a panic or as silently
+//! wrong data.
+
+use std::fmt;
+
+/// Convenience result alias for snapshot operations.
+pub type Result<T> = std::result::Result<T, PersistError>;
+
+/// Errors produced while writing or reading snapshot files.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PersistError {
+    /// The file does not start with the snapshot magic bytes — it is not a
+    /// Hydra snapshot at all (or the first page was destroyed).
+    BadMagic,
+    /// The file was written by a different (usually future) format version.
+    VersionMismatch {
+        /// Version found in the file header.
+        found: u32,
+        /// The single version this build can read.
+        supported: u32,
+    },
+    /// The file is a valid snapshot of a *different* kind of index
+    /// (e.g. a DSTree snapshot handed to the iSAX loader).
+    KindMismatch {
+        /// The kind the caller expected.
+        expected: String,
+        /// The kind recorded in the file.
+        found: String,
+    },
+    /// The build-parameter fingerprint in the file does not match the
+    /// configuration (and dataset) the caller is loading against, so the
+    /// snapshot describes a differently-built index.
+    FingerprintMismatch {
+        /// Fingerprint computed from the requested config + dataset.
+        expected: u64,
+        /// Fingerprint recorded in the file.
+        found: u64,
+    },
+    /// A section's payload does not hash to its recorded checksum: the file
+    /// was corrupted after it was written.
+    ChecksumMismatch {
+        /// Zero-based index of the damaged section.
+        section: usize,
+    },
+    /// The file ends before the data its header promises (truncated write,
+    /// partial copy, or a reader asking for more values than a section
+    /// holds).
+    Truncated,
+    /// The bytes decode but describe an impossible structure (bad enum tag,
+    /// invalid UTF-8, an id out of range, trailing garbage).
+    Corrupt(String),
+    /// An operating-system I/O failure while reading or writing the file.
+    Io(String),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::BadMagic => write!(f, "not a Hydra snapshot (bad magic)"),
+            PersistError::VersionMismatch { found, supported } => write!(
+                f,
+                "snapshot format version {found} is not supported (this build reads version {supported})"
+            ),
+            PersistError::KindMismatch { expected, found } => {
+                write!(f, "snapshot holds a {found:?} index, expected {expected:?}")
+            }
+            PersistError::FingerprintMismatch { expected, found } => write!(
+                f,
+                "snapshot was built with different parameters or data \
+                 (fingerprint {found:#018x}, requested config gives {expected:#018x})"
+            ),
+            PersistError::ChecksumMismatch { section } => {
+                write!(f, "checksum mismatch in section {section}: the file is corrupted")
+            }
+            PersistError::Truncated => write!(f, "snapshot is truncated"),
+            PersistError::Corrupt(msg) => write!(f, "snapshot is corrupt: {msg}"),
+            PersistError::Io(msg) => write!(f, "snapshot I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(PersistError::BadMagic.to_string().contains("magic"));
+        assert!(PersistError::VersionMismatch { found: 9, supported: 1 }
+            .to_string()
+            .contains('9'));
+        let e = PersistError::KindMismatch {
+            expected: "isax2+".into(),
+            found: "dstree".into(),
+        };
+        assert!(e.to_string().contains("isax2+") && e.to_string().contains("dstree"));
+        assert!(PersistError::FingerprintMismatch { expected: 1, found: 2 }
+            .to_string()
+            .contains("fingerprint"));
+        assert!(PersistError::ChecksumMismatch { section: 3 }
+            .to_string()
+            .contains("section 3"));
+        assert!(PersistError::Truncated.to_string().contains("truncated"));
+        assert!(PersistError::Corrupt("tag".into()).to_string().contains("tag"));
+        assert!(PersistError::Io("disk".into()).to_string().contains("disk"));
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: PersistError = io.into();
+        assert!(matches!(e, PersistError::Io(_)));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<PersistError>();
+    }
+}

@@ -1,0 +1,200 @@
+//! Build-parameter fingerprints.
+//!
+//! A snapshot records a single `u64` fingerprint of everything that shaped
+//! the index: its kind, every build parameter, and the dataset content it
+//! was built over. Loading recomputes the fingerprint from the *requested*
+//! configuration and dataset and refuses
+//! ([`crate::PersistError::FingerprintMismatch`]) to deserialize a snapshot
+//! built differently — the on-disk analogue of "this binary was compiled
+//! with different flags".
+//!
+//! The hash is FNV-1a 64 over a canonical little-endian byte stream. Floats
+//! contribute their IEEE bit patterns, so the fingerprint is exact (no
+//! epsilon comparisons) and deterministic across platforms.
+
+use hydra_core::Dataset;
+
+use crate::snapshot::{fnv1a64_continue, FNV_OFFSET_BASIS};
+
+/// Incremental FNV-1a 64 hasher over typed values.
+///
+/// Slice pushes hash only the element bytes (no length prefix), so hashing a
+/// buffer in one call or in chunks yields the same fingerprint — which lets
+/// an index that stores its data in a permuted layout reproduce the
+/// dataset-order fingerprint series by series.
+#[derive(Debug, Clone)]
+pub struct Fingerprint {
+    state: u64,
+}
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fingerprint {
+    /// Creates a hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Self {
+            state: FNV_OFFSET_BASIS,
+        }
+    }
+
+    fn absorb(&mut self, bytes: &[u8]) {
+        self.state = fnv1a64_continue(self.state, bytes);
+    }
+
+    /// Hashes a `u64`.
+    pub fn push_u64(&mut self, v: u64) -> &mut Self {
+        self.absorb(&v.to_le_bytes());
+        self
+    }
+
+    /// Hashes a `usize` (as a `u64`).
+    pub fn push_usize(&mut self, v: usize) -> &mut Self {
+        self.push_u64(v as u64)
+    }
+
+    /// Hashes a bool (as one byte).
+    pub fn push_bool(&mut self, v: bool) -> &mut Self {
+        self.absorb(&[v as u8]);
+        self
+    }
+
+    /// Hashes an `f32` by bit pattern.
+    pub fn push_f32(&mut self, v: f32) -> &mut Self {
+        self.absorb(&v.to_bits().to_le_bytes());
+        self
+    }
+
+    /// Hashes an `f64` by bit pattern.
+    pub fn push_f64(&mut self, v: f64) -> &mut Self {
+        self.absorb(&v.to_bits().to_le_bytes());
+        self
+    }
+
+    /// Hashes a string's UTF-8 bytes followed by a NUL separator (so
+    /// adjacent strings cannot alias).
+    pub fn push_str(&mut self, s: &str) -> &mut Self {
+        self.absorb(s.as_bytes());
+        self.absorb(&[0]);
+        self
+    }
+
+    /// Hashes a slice of `f32`s element by element (no length prefix; see
+    /// the type-level docs).
+    pub fn push_f32s(&mut self, v: &[f32]) -> &mut Self {
+        for &x in v {
+            self.push_f32(x);
+        }
+        self
+    }
+
+    /// The finished fingerprint.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// Content fingerprint of a dataset: its shape followed by every value's bit
+/// pattern, in dataset order.
+pub fn fingerprint_dataset(dataset: &Dataset) -> u64 {
+    fingerprint_series_flat(dataset.series_len(), dataset.as_flat())
+}
+
+/// [`fingerprint_dataset`] over a raw flat buffer already laid out in
+/// dataset order (used by indexes whose store keeps the original order).
+pub fn fingerprint_series_flat(series_len: usize, flat: &[f32]) -> u64 {
+    let mut f = Fingerprint::new();
+    f.push_usize(series_len);
+    f.push_usize(if series_len == 0 { 0 } else { flat.len() / series_len });
+    f.push_f32s(flat);
+    f.finish()
+}
+
+/// [`fingerprint_dataset`] over a *permuted* flat buffer: `flat` stores the
+/// series in store order and `store_to_dataset[pos]` gives the dataset
+/// position of store record `pos`. Used by the tree indexes, which lay their
+/// leaves out contiguously — the fingerprint is still computed in dataset
+/// order, so it matches [`fingerprint_dataset`] of the original collection.
+///
+/// # Panics
+/// Panics if `store_to_dataset` is not a permutation of `0..n`.
+pub fn fingerprint_series_permuted(
+    series_len: usize,
+    flat: &[f32],
+    store_to_dataset: &[usize],
+) -> u64 {
+    let n = store_to_dataset.len();
+    assert_eq!(flat.len(), n * series_len, "flat buffer shape mismatch");
+    let mut inverse = vec![usize::MAX; n];
+    for (pos, &ds) in store_to_dataset.iter().enumerate() {
+        assert!(ds < n && inverse[ds] == usize::MAX, "not a permutation");
+        inverse[ds] = pos;
+    }
+    let mut f = Fingerprint::new();
+    f.push_usize(series_len);
+    f.push_usize(n);
+    for &pos in &inverse {
+        f.push_f32s(&flat[pos * series_len..(pos + 1) * series_len]);
+    }
+    f.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprints_are_deterministic_and_sensitive() {
+        let mut a = Fingerprint::new();
+        a.push_u64(1).push_f32(2.0).push_str("x").push_bool(true);
+        let mut b = Fingerprint::new();
+        b.push_u64(1).push_f32(2.0).push_str("x").push_bool(true);
+        assert_eq!(a.finish(), b.finish());
+        let mut c = Fingerprint::new();
+        c.push_u64(1).push_f32(2.0).push_str("x").push_bool(false);
+        assert_ne!(a.finish(), c.finish());
+    }
+
+    #[test]
+    fn chunked_f32_pushes_match_one_push() {
+        let data = [1.0f32, -2.0, 3.5, 0.0, 9.25];
+        let mut whole = Fingerprint::new();
+        whole.push_f32s(&data);
+        let mut chunked = Fingerprint::new();
+        chunked.push_f32s(&data[..2]).push_f32s(&data[2..]);
+        assert_eq!(whole.finish(), chunked.finish());
+    }
+
+    #[test]
+    fn dataset_fingerprint_depends_on_content_and_shape() {
+        let a = Dataset::from_series(2, &[[1.0f32, 2.0], [3.0, 4.0]]).unwrap();
+        let b = Dataset::from_series(2, &[[1.0f32, 2.0], [3.0, 4.0]]).unwrap();
+        let c = Dataset::from_series(2, &[[1.0f32, 2.0], [3.0, 5.0]]).unwrap();
+        let d = Dataset::from_series(4, &[[1.0f32, 2.0, 3.0, 4.0]]).unwrap();
+        assert_eq!(fingerprint_dataset(&a), fingerprint_dataset(&b));
+        assert_ne!(fingerprint_dataset(&a), fingerprint_dataset(&c));
+        assert_ne!(fingerprint_dataset(&a), fingerprint_dataset(&d));
+    }
+
+    #[test]
+    fn permuted_fingerprint_matches_dataset_order() {
+        let data = Dataset::from_series(2, &[[0.0f32, 1.0], [2.0, 3.0], [4.0, 5.0]]).unwrap();
+        // Store order: series 2, 0, 1.
+        let flat = [4.0f32, 5.0, 0.0, 1.0, 2.0, 3.0];
+        let store_to_dataset = [2usize, 0, 1];
+        assert_eq!(
+            fingerprint_series_permuted(2, &flat, &store_to_dataset),
+            fingerprint_dataset(&data)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn permuted_fingerprint_rejects_non_permutations() {
+        let flat = [0.0f32; 4];
+        fingerprint_series_permuted(2, &flat, &[0, 0]);
+    }
+}

@@ -1,0 +1,101 @@
+//! # hydra-persist
+//!
+//! Versioned on-disk snapshots for the whole index zoo: build an index once
+//! (the cost the paper reports as *indexing time*), save it, and serve it
+//! forever — every later process skips the build phase entirely and answers
+//! with byte-identical results.
+//!
+//! ## The container
+//!
+//! Snapshots use a small self-describing binary format (see
+//! [`snapshot`]): magic bytes, a format version, an index-kind tag, a
+//! build-parameter fingerprint, and a sequence of length-prefixed,
+//! checksummed sections. Everything is little-endian and dependency-free.
+//! Misuse and damage map to typed errors ([`PersistError`]) — a stale
+//! format version, a wrong index kind, a flipped bit, or a truncated file
+//! are each distinguishable, and none of them panics or yields garbage.
+//!
+//! ## What is (and is not) stored
+//!
+//! A snapshot stores the *derived* structure an index spent its build time
+//! computing — tree topology and synopses, codebooks and inverted lists,
+//! graph adjacency, hash tables, quantized approximations — but not the raw
+//! series, which every `load` receives as a [`Dataset`] (itself
+//! snapshottable via [`dataset::save_dataset`]). The header fingerprint
+//! hashes the build configuration *and* the dataset content, so loading
+//! against the wrong data or the wrong parameters fails loudly with
+//! [`PersistError::FingerprintMismatch`] instead of answering queries from
+//! a mismatched index.
+//!
+//! ## Implementing persistence for an index
+//!
+//! Index crates implement [`PersistentIndex`] next to their private fields
+//! and serialize with [`snapshot::Section`] putters plus the shared
+//! [`codec`] helpers (histograms, k-means codebooks, product quantizers,
+//! rotation matrices), which guarantees one canonical layout for each
+//! shared structure across the zoo.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod codec;
+pub mod dataset;
+pub mod error;
+pub mod fingerprint;
+pub mod snapshot;
+
+use std::path::Path;
+
+use hydra_core::Dataset;
+
+pub use error::{PersistError, Result};
+pub use fingerprint::{
+    fingerprint_dataset, fingerprint_series_flat, fingerprint_series_permuted, Fingerprint,
+};
+pub use snapshot::{Section, SectionReader, SnapshotReader, SnapshotWriter, FORMAT_VERSION, MAGIC};
+
+/// An index that can be saved to — and restored from — a snapshot file.
+///
+/// ## Contract
+///
+/// * `load(path, dataset, config)` after `save(path)` must produce an index
+///   that answers every query **identically** to the saved one: same
+///   neighbors, same distances (bit for bit), same CPU-side
+///   [`hydra_core::QueryStats`]. Saving the loaded index again must produce
+///   a byte-identical file.
+/// * `save` records a fingerprint of the build configuration and the
+///   dataset content; `load` recomputes it from its `config` and `dataset`
+///   arguments and fails with [`PersistError::FingerprintMismatch`] if the
+///   snapshot was built differently — a snapshot can never silently stand
+///   in for an index it is not.
+/// * Snapshots store derived structure only. Raw series are re-attached
+///   from the `dataset` argument at load time (disk-backed indexes rebuild
+///   their simulated [`hydra_storage::SeriesStore`] layout from it,
+///   in-memory ones keep a clone), so a snapshot is small relative to the
+///   collection and can never disagree with the data it is served over.
+///
+/// [`hydra_storage::SeriesStore`]: https://docs.rs/hydra-storage
+pub trait PersistentIndex: Sized {
+    /// The build-configuration type whose parameters fingerprint the
+    /// snapshot.
+    type Config;
+
+    /// The kind tag written into (and required of) snapshot headers,
+    /// e.g. `"isax2+"`.
+    const KIND: &'static str;
+
+    /// Writes the index to `path`, creating parent directories as needed.
+    ///
+    /// # Errors
+    /// [`PersistError::Io`] if the file cannot be written.
+    fn save(&self, path: &Path) -> Result<()>;
+
+    /// Restores an index from `path`, re-attaching the raw series of
+    /// `dataset` and validating the snapshot against `config`.
+    ///
+    /// # Errors
+    /// Any [`PersistError`]: I/O failures, a non-snapshot or truncated
+    /// file, a future format version, a different index kind, a damaged
+    /// section, or a fingerprint mismatch against `config`/`dataset`.
+    fn load(path: &Path, dataset: &Dataset, config: &Self::Config) -> Result<Self>;
+}

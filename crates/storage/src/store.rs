@@ -147,6 +147,15 @@ impl SeriesStore {
         self.config
     }
 
+    /// The raw flat payload in record order, bypassing the simulated I/O
+    /// accounting entirely (no pool warm-up, no counters). This is a
+    /// maintenance hatch for persistence — fingerprinting and snapshotting
+    /// must not perturb the I/O economics the store exists to measure —
+    /// and must never be used on a query path.
+    pub fn as_flat(&self) -> &[f32] {
+        &self.data
+    }
+
     /// Bytes occupied by one series.
     fn series_bytes(&self) -> u64 {
         (self.series_len * std::mem::size_of::<f32>()) as u64

@@ -58,6 +58,12 @@ impl Matrix {
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
+    /// The row-major value buffer (persistence accessor; pairs with
+    /// [`Matrix::from_vec`]).
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
     /// Matrix transpose.
     pub fn transpose(&self) -> Matrix {
         let mut t = Matrix::zeros(self.cols, self.rows);

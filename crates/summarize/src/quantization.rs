@@ -155,6 +155,27 @@ impl ScalarQuantizer {
     pub fn code_bytes(&self) -> usize {
         (self.dims() * self.bits as usize).div_ceil(8)
     }
+
+    /// Per-dimension cell edges (persistence accessor; pairs with
+    /// [`ScalarQuantizer::from_parts`]).
+    pub fn edges(&self) -> &[Vec<f32>] {
+        &self.edges
+    }
+
+    /// Reassembles a trained quantizer from its stored parts.
+    ///
+    /// # Panics
+    /// Panics if `bits` is outside `1..=16` or any dimension does not carry
+    /// exactly `2^bits + 1` edges.
+    pub fn from_parts(bits: u8, edges: Vec<Vec<f32>>) -> Self {
+        assert!(bits > 0 && bits <= 16, "bits must be in 1..=16");
+        let cells = 1usize << bits;
+        assert!(
+            edges.iter().all(|e| e.len() == cells + 1),
+            "each dimension must carry 2^bits + 1 edges"
+        );
+        Self { bits, edges }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -296,6 +317,23 @@ impl KMeans {
     /// Memory footprint of the codebook in bytes.
     pub fn memory_footprint(&self) -> usize {
         self.centroids.len() * std::mem::size_of::<f32>()
+    }
+
+    /// The flattened centroid buffer (`k` rows of `dim` values; persistence
+    /// accessor, pairs with [`KMeans::from_parts`]).
+    pub fn centroids_flat(&self) -> &[f32] {
+        &self.centroids
+    }
+
+    /// Reassembles a fitted codebook from its stored parts.
+    ///
+    /// # Panics
+    /// Panics if the buffer does not hold exactly `k * dim` values or either
+    /// dimension is zero.
+    pub fn from_parts(centroids: Vec<f32>, dim: usize, k: usize) -> Self {
+        assert!(k > 0 && dim > 0, "k and dim must be positive");
+        assert_eq!(centroids.len(), k * dim, "centroid buffer shape mismatch");
+        Self { centroids, dim, k }
     }
 }
 
@@ -440,6 +478,32 @@ impl ProductQuantizer {
             .map(|q| q.memory_footprint())
             .sum()
     }
+
+    /// The per-subspace codebooks (persistence accessor; pairs with
+    /// [`ProductQuantizer::from_parts`]).
+    pub fn subquantizers(&self) -> &[KMeans] {
+        &self.subquantizers
+    }
+
+    /// Reassembles a trained product quantizer from its stored parts.
+    ///
+    /// # Panics
+    /// Panics if there are no subquantizers, `dim` is not divisible by their
+    /// count, or any subquantizer's dimensionality is not `dim / m`.
+    pub fn from_parts(subquantizers: Vec<KMeans>, dim: usize) -> Self {
+        let m = subquantizers.len();
+        assert!(m > 0 && dim % m == 0, "dimension must be a multiple of m");
+        let sub_dim = dim / m;
+        assert!(
+            subquantizers.iter().all(|q| q.dim() == sub_dim),
+            "every subquantizer must cover dim / m dimensions"
+        );
+        Self {
+            subquantizers,
+            dim,
+            sub_dim,
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -552,6 +616,25 @@ impl OptimizedProductQuantizer {
     /// Memory footprint (rotation matrix plus codebooks).
     pub fn memory_footprint(&self) -> usize {
         self.dim * self.dim * std::mem::size_of::<f64>() + self.pq.memory_footprint()
+    }
+
+    /// The learned rotation (persistence accessor; pairs with
+    /// [`OptimizedProductQuantizer::from_parts`]).
+    pub fn rotation(&self) -> &Matrix {
+        &self.rotation
+    }
+
+    /// Reassembles a trained OPQ from its stored parts.
+    ///
+    /// # Panics
+    /// Panics unless `rotation` is square with the codebook dimensionality.
+    pub fn from_parts(rotation: Matrix, pq: ProductQuantizer) -> Self {
+        let dim = pq.dim();
+        assert!(
+            rotation.rows() == dim && rotation.cols() == dim,
+            "rotation must be square in the codebook dimensionality"
+        );
+        Self { rotation, pq, dim }
     }
 }
 

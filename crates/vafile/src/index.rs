@@ -1,8 +1,14 @@
 //! Skip-sequential VA+file search.
 
+use std::path::Path;
+
 use hydra_core::{
     AnnIndex, Capabilities, Dataset, DistanceHistogram, Error, Neighbor, QueryStats,
     Representation, Result, SearchMode, SearchParams, SearchResult, TopK,
+};
+use hydra_persist::{
+    codec, fingerprint_dataset, fingerprint_series_flat, Fingerprint, PersistError,
+    PersistentIndex, Section, SnapshotReader, SnapshotWriter,
 };
 use hydra_storage::{SeriesStore, StorageConfig};
 use hydra_summarize::quantization::ScalarQuantizer;
@@ -205,6 +211,119 @@ impl VaPlusFile {
     }
 }
 
+/// Everything that shapes a VA+file build, hashed together with the dataset
+/// content (see [`PersistentIndex`]).
+fn snapshot_fingerprint(config: &VaPlusFileConfig, data_fingerprint: u64) -> u64 {
+    let mut f = Fingerprint::new();
+    f.push_str(VaPlusFile::KIND);
+    f.push_usize(config.dft_coefficients);
+    f.push_u64(config.bits_per_dim as u64);
+    f.push_usize(config.storage.page_bytes);
+    f.push_usize(config.storage.buffer_pool_pages);
+    f.push_usize(config.histogram_samples);
+    f.push_u64(config.seed);
+    f.push_u64(data_fingerprint);
+    f.finish()
+}
+
+impl PersistentIndex for VaPlusFile {
+    type Config = VaPlusFileConfig;
+    const KIND: &'static str = "va+file";
+
+    /// Snapshots the trained equi-depth quantizer, the whole approximation
+    /// file and the δ-ε histogram. The DFT summarizer is stateless (it is
+    /// fully determined by the configuration) and the raw series store is
+    /// re-created from the dataset, so neither is stored.
+    fn save(&self, path: &Path) -> hydra_persist::Result<()> {
+        let data_fp = fingerprint_series_flat(self.series_len, self.store.as_flat());
+        let mut w = SnapshotWriter::new(Self::KIND, snapshot_fingerprint(&self.config, data_fp));
+
+        let mut meta = Section::new();
+        meta.put_usize(self.series_len);
+        meta.put_usize(self.num_series);
+        w.push(meta);
+
+        let mut quant = Section::new();
+        codec::put_scalar_quantizer(&mut quant, &self.quantizer);
+        w.push(quant);
+
+        // The approximation file, flattened (every code has quantizer.dims()
+        // entries).
+        let mut approx = Section::new();
+        approx.put_usize(self.quantizer.dims());
+        let flat: Vec<u16> = self.approximations.iter().flatten().copied().collect();
+        approx.put_u16s(&flat);
+        w.push(approx);
+
+        let mut hist = Section::new();
+        codec::put_histogram(&mut hist, &self.histogram);
+        w.push(hist);
+
+        w.write_to(path)
+    }
+
+    fn load(
+        path: &Path,
+        dataset: &Dataset,
+        config: &VaPlusFileConfig,
+    ) -> hydra_persist::Result<Self> {
+        let mut r = SnapshotReader::open(path)?;
+        r.expect_kind(Self::KIND)?;
+        r.expect_fingerprint(snapshot_fingerprint(config, fingerprint_dataset(dataset)))?;
+
+        let mut meta = r.next_section()?;
+        let series_len = meta.get_usize()?;
+        let num_series = meta.get_usize()?;
+        if series_len != dataset.series_len() || num_series != dataset.len() {
+            return Err(PersistError::Corrupt(
+                "snapshot metadata disagrees with the dataset".into(),
+            ));
+        }
+
+        let mut sec = r.next_section()?;
+        let quantizer = codec::get_scalar_quantizer(&mut sec)?;
+
+        let mut sec = r.next_section()?;
+        let dims = sec.get_usize()?;
+        let flat = sec.get_u16s()?;
+        if dims != quantizer.dims() || flat.len() != num_series * dims {
+            return Err(PersistError::Corrupt(
+                "approximation file does not match the quantizer shape".into(),
+            ));
+        }
+        if flat.iter().any(|&c| c as usize >= quantizer.cells()) {
+            return Err(PersistError::Corrupt(
+                "approximation cell index exceeds the quantizer grid".into(),
+            ));
+        }
+        let approximations: Vec<Vec<u16>> = flat.chunks(dims).map(|c| c.to_vec()).collect();
+
+        let mut sec = r.next_section()?;
+        let histogram = codec::get_histogram(&mut sec)?;
+
+        let dft = DftSummarizer::new(series_len, config.dft_coefficients);
+        if dft.summary_len() != dims {
+            return Err(PersistError::Corrupt(
+                "DFT summary length disagrees with the stored quantizer".into(),
+            ));
+        }
+        let store = SeriesStore::from_dataset(dataset, config.storage)
+            .map_err(|e| PersistError::Corrupt(format!("cannot rebuild series store: {e}")))?;
+        store.reset_io();
+
+        Ok(Self {
+            config: *config,
+            series_len,
+            dft,
+            quantizer,
+            approximations,
+            store,
+            histogram,
+            num_series,
+        })
+    }
+}
+
 impl AnnIndex for VaPlusFile {
     fn name(&self) -> &'static str {
         "VA+file"
@@ -393,6 +512,40 @@ mod tests {
         let results = va.search_batch(&mixed, &SearchParams::exact(3));
         assert!(results[0].is_ok());
         assert!(results[1].is_err());
+    }
+
+    #[test]
+    fn snapshot_roundtrip_answers_identically_and_checks_fingerprint() {
+        let (data, va) = build_small(300, 64);
+        let path = std::env::temp_dir().join(format!(
+            "hydra-vafile-roundtrip-{}.snap",
+            std::process::id()
+        ));
+        va.save(&path).unwrap();
+        let loaded = VaPlusFile::load(&path, &data, va.config()).unwrap();
+        assert_eq!(loaded.cells_per_dim(), va.cells_per_dim());
+        for qi in [0usize, 42, 299] {
+            let q = data.series(qi);
+            for params in [SearchParams::exact(5), SearchParams::ng(5, 10)] {
+                let a = va.search(q, &params).unwrap();
+                let b = loaded.search(q, &params).unwrap();
+                assert_eq!(a.neighbors.len(), b.neighbors.len());
+                for (x, y) in a.neighbors.iter().zip(b.neighbors.iter()) {
+                    assert_eq!(x.index, y.index);
+                    assert_eq!(x.distance.to_bits(), y.distance.to_bits());
+                }
+                assert_eq!(a.stats, b.stats);
+            }
+        }
+        let other = VaPlusFileConfig {
+            bits_per_dim: va.config().bits_per_dim + 1,
+            ..*va.config()
+        };
+        assert!(matches!(
+            VaPlusFile::load(&path, &data, &other),
+            Err(hydra_persist::PersistError::FingerprintMismatch { .. })
+        ));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]
