@@ -1,7 +1,9 @@
 //! # hydra-bench
 //!
 //! Shared harness utilities for the figure-reproduction binaries
-//! (`src/bin/fig*.rs`, `src/bin/table1_taxonomy.rs`) and the Criterion
+//! (`src/bin/fig*.rs`, `src/bin/table1_taxonomy.rs`), the serving-mode
+//! load generator (`src/bin/serve_client.rs`, which replays these same
+//! workloads against a `hydra-serve` server) and the Criterion
 //! micro/ablation benchmarks (`benches/`).
 //!
 //! Every binary prints CSV to stdout with the schema
@@ -126,13 +128,22 @@ pub struct BuiltMethod {
 /// alphanumerics (and dashes) of the dataset name and the index kind tag,
 /// e.g. `rand256-isax2.snap`.
 pub fn snapshot_file(dir: &Path, dataset: &str, kind: &str) -> PathBuf {
-    fn sanitize(s: &str) -> String {
-        s.chars()
-            .filter(|c| c.is_ascii_alphanumeric() || *c == '-')
-            .collect::<String>()
-            .to_ascii_lowercase()
-    }
     dir.join(format!("{}-{}.snap", sanitize(dataset), sanitize(kind)))
+}
+
+/// The snapshot file a dataset itself maps to (`rand256.data.snap`) —
+/// written alongside the index snapshots by `--save-index` so a
+/// `hydra-serve` process can boot the directory without regenerating any
+/// data.
+pub fn dataset_snapshot_file(dir: &Path, dataset: &str) -> PathBuf {
+    dir.join(format!("{}.data.snap", sanitize(dataset)))
+}
+
+fn sanitize(s: &str) -> String {
+    s.chars()
+        .filter(|c| c.is_ascii_alphanumeric() || *c == '-')
+        .collect::<String>()
+        .to_ascii_lowercase()
 }
 
 /// Obtains one index: loads it from `flags.load_index` (hard error if the
@@ -197,9 +208,13 @@ pub fn build_methods(data: &Dataset, in_memory: bool, seed: u64) -> Vec<BuiltMet
 /// [`build_methods`] with snapshot support: with `flags.load_index` every
 /// method is restored from `DIR/<dataset>-<kind>.snap` (skipping its build
 /// phase entirely), and with `flags.save_index` every freshly built method
-/// is written there for later runs. The method set and configurations are
-/// identical to [`build_methods`], so a loaded zoo answers workloads
-/// exactly like a built one.
+/// is written there for later runs, together with one
+/// `DIR/<dataset>.data.snap` dataset snapshot so a `hydra-serve` process
+/// can boot the directory self-sufficiently. The method set and
+/// configurations are identical to [`build_methods`] — and, crucially, to
+/// [`hydra::standard_configs`], which is what lets
+/// `hydra::standard_registry` restore these snapshots with matching
+/// fingerprints.
 pub fn build_or_load_methods(
     dataset_name: &str,
     data: &Dataset,
@@ -207,97 +222,35 @@ pub fn build_or_load_methods(
     seed: u64,
     flags: &BenchFlags,
 ) -> Vec<BuiltMethod> {
-    let storage = if in_memory {
-        StorageConfig::in_memory()
-    } else {
-        StorageConfig::on_disk()
-    };
+    let configs = hydra::standard_configs(in_memory, seed);
+    if let Some(dir) = &flags.save_index {
+        let path = dataset_snapshot_file(dir, dataset_name);
+        hydra::persist::dataset::save_dataset(data, &path).unwrap_or_else(|e| {
+            eprintln!(
+                "error: cannot save the {dataset_name} dataset snapshot to {}: {e}",
+                path.display()
+            );
+            std::process::exit(2);
+        });
+    }
     let mut out: Vec<BuiltMethod> = Vec::new();
-    out.push(obtain(
-        dataset_name,
-        data,
-        DsTreeConfig {
-            storage,
-            seed,
-            ..DsTreeConfig::default()
-        },
-        flags,
-        DsTree::build,
-    ));
-    out.push(obtain(
-        dataset_name,
-        data,
-        IsaxConfig {
-            storage,
-            seed,
-            ..IsaxConfig::default()
-        },
-        flags,
-        Isax2Plus::build,
-    ));
-    out.push(obtain(
-        dataset_name,
-        data,
-        VaPlusFileConfig {
-            storage,
-            seed,
-            ..VaPlusFileConfig::default()
-        },
-        flags,
-        VaPlusFile::build,
-    ));
-    out.push(obtain(
-        dataset_name,
-        data,
-        SrsConfig {
-            storage,
-            seed,
-            ..SrsConfig::default()
-        },
-        flags,
-        Srs::build,
-    ));
+    out.push(obtain(dataset_name, data, configs.dstree, flags, DsTree::build));
+    out.push(obtain(dataset_name, data, configs.isax, flags, Isax2Plus::build));
+    out.push(obtain(dataset_name, data, configs.vafile, flags, VaPlusFile::build));
+    out.push(obtain(dataset_name, data, configs.srs, flags, Srs::build));
     if data.series_len() % 8 == 0 {
         out.push(obtain(
             dataset_name,
             data,
-            ImiConfig {
-                seed,
-                ..ImiConfig::default()
-            },
+            configs.imi,
             flags,
             InvertedMultiIndex::build,
         ));
     }
     if in_memory {
-        out.push(obtain(
-            dataset_name,
-            data,
-            HnswConfig {
-                m: 8,
-                ef_construction: 128,
-                seed,
-            },
-            flags,
-            Hnsw::build,
-        ));
-        out.push(obtain(
-            dataset_name,
-            data,
-            QalshConfig {
-                seed,
-                ..QalshConfig::default()
-            },
-            flags,
-            Qalsh::build,
-        ));
-        out.push(obtain(
-            dataset_name,
-            data,
-            FlannConfig::default(),
-            flags,
-            Flann::build,
-        ));
+        out.push(obtain(dataset_name, data, configs.hnsw, flags, Hnsw::build));
+        out.push(obtain(dataset_name, data, configs.qalsh, flags, Qalsh::build));
+        out.push(obtain(dataset_name, data, configs.flann, flags, Flann::build));
     }
     out
 }
@@ -310,7 +263,19 @@ pub fn sweep_settings(
     k: usize,
     guarantees: bool,
 ) -> Vec<(String, SearchParams)> {
-    let caps = index.capabilities();
+    sweep_settings_for(&index.capabilities(), k, guarantees)
+}
+
+/// [`sweep_settings`] from a bare [`hydra::Capabilities`] value — for
+/// callers that know a method only by its advertised capabilities, like
+/// the `serve_client` load generator planning sweeps from a server's
+/// index listing. Keeping one implementation guarantees a served sweep
+/// replays exactly the settings the offline figures measured.
+pub fn sweep_settings_for(
+    caps: &hydra::Capabilities,
+    k: usize,
+    guarantees: bool,
+) -> Vec<(String, SearchParams)> {
     let mut settings = Vec::new();
     if guarantees && caps.delta_epsilon_approximate {
         for eps in [5.0f32, 2.0, 1.0, 0.5, 0.0] {

@@ -122,7 +122,46 @@ pub struct SearchParams {
     pub mode: SearchMode,
 }
 
+/// A canonical, hashable, totally ordered key identifying one
+/// [`SearchParams`] value.
+///
+/// `SearchParams` itself carries `f32` knobs, so it cannot implement `Eq`
+/// or `Hash` directly; serving-side batchers need exactly that to group
+/// compatible requests (only queries sharing one parameter setting may be
+/// answered by a single [`crate::AnnIndex::search_batch`] call). The key
+/// folds the floats in by bit pattern, so two parameter values map to the
+/// same key **iff** they request bit-identical searches — `0.0` and `-0.0`
+/// ε are deliberately distinct, exactly as `-0.0f32.to_bits()` is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SearchKey {
+    k: usize,
+    mode_tag: u8,
+    nprobe: usize,
+    epsilon_bits: u32,
+    delta_bits: u32,
+}
+
 impl SearchParams {
+    /// The canonical grouping key of this parameter value (see
+    /// [`SearchKey`]).
+    pub fn key(&self) -> SearchKey {
+        let (mode_tag, nprobe, epsilon_bits, delta_bits) = match self.mode {
+            SearchMode::Exact => (0u8, 0usize, 0u32, 0u32),
+            SearchMode::Ng { nprobe } => (1, nprobe, 0, 0),
+            SearchMode::Epsilon { epsilon } => (2, 0, epsilon.to_bits(), 0),
+            SearchMode::DeltaEpsilon { epsilon, delta } => {
+                (3, 0, epsilon.to_bits(), delta.to_bits())
+            }
+        };
+        SearchKey {
+            k: self.k,
+            mode_tag,
+            nprobe,
+            epsilon_bits,
+            delta_bits,
+        }
+    }
+
     /// Exact k-NN search.
     pub fn exact(k: usize) -> Self {
         Self {
@@ -285,6 +324,43 @@ mod tests {
         assert_eq!(SearchParams::exact(1).k, 1);
         assert_eq!(SearchParams::ng(5, 2).k, 5);
         assert_eq!(SearchParams::delta_epsilon(5, 0.5, 1.0).mode.delta(), 0.5);
+    }
+
+    #[test]
+    fn search_keys_group_identical_params_and_separate_different_ones() {
+        use std::collections::HashSet;
+        let same = [
+            SearchParams::ng(10, 16).key(),
+            SearchParams::ng(10, 16).key(),
+        ];
+        assert_eq!(same[0], same[1]);
+        let distinct: HashSet<SearchKey> = [
+            SearchParams::exact(10),
+            SearchParams::exact(11),
+            SearchParams::ng(10, 16),
+            SearchParams::ng(10, 17),
+            SearchParams::epsilon(10, 1.0),
+            SearchParams::epsilon(10, 2.0),
+            SearchParams::delta_epsilon(10, 0.9, 1.0),
+            SearchParams::delta_epsilon(10, 0.99, 1.0),
+            SearchParams::delta_epsilon(10, 0.9, 2.0),
+        ]
+        .iter()
+        .map(|p| p.key())
+        .collect();
+        assert_eq!(distinct.len(), 9, "every distinct setting gets its own key");
+        // Bit-pattern semantics: 0.0 and -0.0 are different requests.
+        assert_ne!(
+            SearchParams::epsilon(5, 0.0).key(),
+            SearchParams::epsilon(5, -0.0).key()
+        );
+        // Keys are ordered, so they can key a BTreeMap deterministically.
+        let mut keys = vec![
+            SearchParams::ng(10, 2).key(),
+            SearchParams::exact(10).key(),
+        ];
+        keys.sort();
+        assert_eq!(keys[0], SearchParams::exact(10).key());
     }
 
     #[test]

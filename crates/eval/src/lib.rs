@@ -25,4 +25,6 @@ pub mod runner;
 
 pub use metrics::{average_precision, mean_relative_error, recall, AccuracySummary};
 pub use report::{recommend, CsvWriter, Recommendation, Scenario};
-pub use runner::{run_workload, run_workload_parallel, WorkloadReport};
+pub use runner::{
+    percentile_seconds, run_workload, run_workload_parallel, LatencyPercentiles, WorkloadReport,
+};

@@ -58,6 +58,22 @@
 //! figure by more than the differences between methods the figures are
 //! meant to show; trimming both tails makes the estimate robust without
 //! biasing it toward either the easy or the hard queries.
+//!
+//! ## Latency percentiles (p50 / p95 / p99)
+//!
+//! Serving a live workload cares about tails, which both the trimmed mean
+//! and the extrapolation above deliberately ignore. Every report therefore
+//! also carries the 50th, 95th and 99th percentile of `per_query_seconds`
+//! ([`WorkloadReport::latency`]), computed with the **nearest-rank**
+//! definition ([`percentile_seconds`]): the p-th percentile of `n` sorted
+//! observations is the value at rank `ceil(p/100 · n)`. Nearest-rank always
+//! returns an observed value (no interpolation can invent a latency nobody
+//! measured) and is exact for the small workloads here. The same caveat as
+//! above applies under the parallel runner: its per-query times are
+//! per-shard amortized means, so its percentiles describe shard-level, not
+//! query-level, tails — serving-side tails are measured where they are
+//! real, at the client (`serve_client` reports these same three
+//! percentiles over wire-level latencies).
 
 use std::time::Instant;
 
@@ -90,6 +106,9 @@ pub struct WorkloadReport {
     /// Per-query wall-clock times in seconds. Under the parallel runner
     /// these are per-shard amortized means (see the module docs).
     pub per_query_seconds: Vec<f64>,
+    /// p50/p95/p99 of [`Self::per_query_seconds`] (nearest-rank; see the
+    /// module docs for the definition and its serving-mode caveat).
+    pub latency: LatencyPercentiles,
     /// Number of queries answered.
     pub num_queries: usize,
     /// Number of worker threads actually spawned (1 for the sequential
@@ -109,6 +128,59 @@ impl WorkloadReport {
     pub fn random_ios_per_query(&self) -> f64 {
         self.stats.random_ios as f64 / self.num_queries.max(1) as f64
     }
+}
+
+/// The latency tail of one workload run: 50th, 95th and 99th percentile of
+/// the per-query times, nearest-rank definition (module docs).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencyPercentiles {
+    /// Median per-query seconds.
+    pub p50_seconds: f64,
+    /// 95th-percentile per-query seconds.
+    pub p95_seconds: f64,
+    /// 99th-percentile per-query seconds.
+    pub p99_seconds: f64,
+}
+
+impl LatencyPercentiles {
+    /// Computes the three percentiles of `per_query_seconds` (0.0 across
+    /// the board for an empty slice), sorting the observations once.
+    pub fn from_times(per_query_seconds: &[f64]) -> Self {
+        if per_query_seconds.is_empty() {
+            return Self::default();
+        }
+        let mut sorted = per_query_seconds.to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        Self {
+            p50_seconds: sorted[nearest_rank(sorted.len(), 50.0) - 1],
+            p95_seconds: sorted[nearest_rank(sorted.len(), 95.0) - 1],
+            p99_seconds: sorted[nearest_rank(sorted.len(), 99.0) - 1],
+        }
+    }
+}
+
+/// The 1-based nearest rank of the p-th percentile among `n` observations:
+/// `ceil(p/100 · n)`, clamped into `1..=n`.
+fn nearest_rank(n: usize, p: f64) -> usize {
+    ((p / 100.0 * n as f64).ceil() as usize).clamp(1, n)
+}
+
+/// Nearest-rank percentile: the value at rank `ceil(p/100 · n)` of the
+/// sorted observations (`0 < p ≤ 100`), i.e. the smallest observation that
+/// at least `p` percent of the sample does not exceed. Returns 0.0 for an
+/// empty slice.
+///
+/// # Panics
+/// Panics if `p` is not in `(0, 100]` — asking for the 0th or the 150th
+/// percentile is a caller bug, not a data property.
+pub fn percentile_seconds(per_query_seconds: &[f64], p: f64) -> f64 {
+    assert!(p > 0.0 && p <= 100.0, "percentile must be in (0, 100], got {p}");
+    if per_query_seconds.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = per_query_seconds.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    sorted[nearest_rank(sorted.len(), p) - 1]
 }
 
 /// Extrapolates a large-workload runtime from per-query times, following the
@@ -172,6 +244,7 @@ pub fn run_workload(
         queries_per_minute,
         extrapolated_10k_seconds: extrapolate_seconds(&per_query_seconds, 10_000),
         stats,
+        latency: LatencyPercentiles::from_times(&per_query_seconds),
         per_query_seconds,
         num_queries: workload.len(),
         threads: 1,
@@ -211,6 +284,7 @@ pub fn run_workload_parallel(
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for (t, shard) in queries.chunks(chunk).enumerate() {
+                let shard_range = (t * chunk, t * chunk + shard.len());
                 let handle = scope.spawn(move || {
                     let t0 = Instant::now();
                     let results = index.search_batch(shard, params);
@@ -229,10 +303,19 @@ pub fn run_workload_parallel(
                     }
                     (t, amortized, rows)
                 });
-                handles.push(handle);
+                handles.push((shard_range, handle));
             }
-            for handle in handles {
-                let (t, amortized, rows) = handle.join().expect("workload worker panicked");
+            for ((start, end), handle) in handles {
+                // A panicking worker must name its shard: a poisoned run
+                // over thousands of queries is undiagnosable from a bare
+                // "workload worker panicked".
+                let (t, amortized, rows) = handle.join().unwrap_or_else(|payload| {
+                    panic!(
+                        "workload shard {} (queries {start}..{end}) panicked: {}",
+                        start / chunk,
+                        panic_message(&payload)
+                    )
+                });
                 for (i, (r, ap, mre, qstats)) in rows.into_iter().enumerate() {
                     let g = t * chunk + i;
                     per_query[g] = (r, ap, mre);
@@ -260,9 +343,23 @@ pub fn run_workload_parallel(
         queries_per_minute,
         extrapolated_10k_seconds: extrapolate_seconds(&per_query_seconds, 10_000),
         stats,
+        latency: LatencyPercentiles::from_times(&per_query_seconds),
         per_query_seconds,
         num_queries: n,
         threads: spawned,
+    }
+}
+
+/// Renders a worker's panic payload: `panic!` with a message produces a
+/// `String` or `&str` payload; anything else (a custom `panic_any`) is
+/// reported by its opaqueness rather than dropped.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "(non-string panic payload)"
     }
 }
 
@@ -409,6 +506,117 @@ mod tests {
         let report = run_workload_parallel(&index, &workload, &gt, &SearchParams::exact(3), 8);
         assert_eq!(report.threads, 5);
         assert_eq!(report.num_queries, 9);
+    }
+
+    /// An index whose batch entry point panics when a shard contains the
+    /// poison query (first value negative) — for testing worker-panic
+    /// propagation.
+    struct Poisoned;
+
+    impl AnnIndex for Poisoned {
+        fn name(&self) -> &'static str {
+            "poisoned"
+        }
+        fn capabilities(&self) -> Capabilities {
+            Capabilities {
+                exact: true,
+                ng_approximate: false,
+                epsilon_approximate: false,
+                delta_epsilon_approximate: false,
+                disk_resident: false,
+                representation: Representation::Raw,
+            }
+        }
+        fn num_series(&self) -> usize {
+            1
+        }
+        fn series_len(&self) -> usize {
+            2
+        }
+        fn memory_footprint(&self) -> usize {
+            0
+        }
+        fn search(&self, query: &[f32], _params: &SearchParams) -> Result<SearchResult> {
+            assert!(query[0] >= 0.0, "poison query reached the worker");
+            Ok(SearchResult::default())
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "workload shard 1 (queries 2..4) panicked")]
+    fn panicking_worker_names_its_shard() {
+        // 4 queries on 2 threads: shard 0 answers queries 0..2, shard 1
+        // queries 2..4. The poison query sits at index 3, so the panic
+        // message must name shard 1 and its query range.
+        let queries = Dataset::from_series(
+            2,
+            &[[0.0f32, 0.0], [1.0, 0.0], [2.0, 0.0], [-1.0, 0.0]],
+        )
+        .unwrap();
+        let workload = hydra_data::QueryWorkload {
+            noise_levels: vec![0.0; queries.len()],
+            queries,
+        };
+        let gt = GroundTruth {
+            k: 1,
+            answers: vec![Vec::new(); 4],
+        };
+        run_workload_parallel(&Poisoned, &workload, &gt, &SearchParams::exact(1), 2);
+    }
+
+    #[test]
+    fn percentiles_pin_the_nearest_rank_definition() {
+        // 10 observations 1..=10: p50 = ceil(5) -> 5th smallest = 5,
+        // p95 = ceil(9.5) -> 10th = 10, p99 -> 10, p100 -> 10, p10 -> 1.
+        let t: Vec<f64> = (1..=10).map(|v| v as f64).collect();
+        assert_eq!(percentile_seconds(&t, 50.0), 5.0);
+        assert_eq!(percentile_seconds(&t, 95.0), 10.0);
+        assert_eq!(percentile_seconds(&t, 99.0), 10.0);
+        assert_eq!(percentile_seconds(&t, 100.0), 10.0);
+        assert_eq!(percentile_seconds(&t, 10.0), 1.0);
+        // Order of the input must not matter.
+        let shuffled = [7.0, 1.0, 10.0, 4.0, 2.0, 9.0, 5.0, 3.0, 8.0, 6.0];
+        assert_eq!(percentile_seconds(&shuffled, 50.0), 5.0);
+        // A single observation is every percentile.
+        assert_eq!(percentile_seconds(&[0.25], 50.0), 0.25);
+        assert_eq!(percentile_seconds(&[0.25], 99.0), 0.25);
+        // 100 observations 1..=100: p99 = 99th smallest.
+        let t: Vec<f64> = (1..=100).map(|v| v as f64).collect();
+        assert_eq!(percentile_seconds(&t, 99.0), 99.0);
+        assert_eq!(percentile_seconds(&t, 95.0), 95.0);
+        // Empty input degrades to zero rather than panicking.
+        assert_eq!(percentile_seconds(&[], 50.0), 0.0);
+        let l = LatencyPercentiles::from_times(&[3.0, 1.0, 2.0]);
+        assert_eq!(l.p50_seconds, 2.0);
+        assert_eq!(l.p95_seconds, 3.0);
+        assert_eq!(l.p99_seconds, 3.0);
+        assert_eq!(LatencyPercentiles::from_times(&[]), LatencyPercentiles::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in (0, 100]")]
+    fn zeroth_percentile_is_a_caller_bug() {
+        percentile_seconds(&[1.0], 0.0);
+    }
+
+    #[test]
+    fn reports_carry_consistent_latency_percentiles() {
+        let data = random_walk(120, 16, 3);
+        let workload = noisy_queries(&data, 11, &[0.1], 4);
+        let gt = ground_truth(&data, &workload, 3);
+        let index = BruteForce { data };
+        for report in [
+            run_workload(&index, &workload, &gt, &SearchParams::exact(3)),
+            run_workload_parallel(&index, &workload, &gt, &SearchParams::exact(3), 3),
+        ] {
+            assert_eq!(
+                report.latency,
+                LatencyPercentiles::from_times(&report.per_query_seconds)
+            );
+            assert!(report.latency.p50_seconds > 0.0);
+            assert!(report.latency.p50_seconds <= report.latency.p95_seconds);
+            assert!(report.latency.p95_seconds <= report.latency.p99_seconds);
+        }
     }
 
     #[test]

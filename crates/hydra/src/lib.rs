@@ -64,7 +64,7 @@ pub use hydra_summarize as summarize;
 
 pub use hydra_core::{
     AnnIndex, Capabilities, Dataset, DistanceHistogram, Error, Neighbor, QueryStats,
-    Representation, Result, SearchMode, SearchParams, SearchResult,
+    Representation, Result, SearchKey, SearchMode, SearchParams, SearchResult,
 };
 pub use hydra_dstree::{DsTree, DsTreeConfig};
 pub use hydra_flann::{Flann, FlannAlgorithm, FlannConfig, KdForest, KdForestConfig, KMeansTree, KMeansTreeConfig};
@@ -90,103 +90,145 @@ pub mod prelude {
     pub use hydra_vafile::{VaPlusFile, VaPlusFileConfig};
 }
 
-/// Builds every method of the study over the same dataset with reasonable
-/// laptop-scale defaults, returning them behind the uniform [`AnnIndex`]
-/// interface. Used by the examples and the benchmark harness.
+/// The standard laptop-scale build configuration of every method in the
+/// zoo — the **single source of truth** shared by [`build_all_methods`],
+/// the figure harness (`hydra-bench`) and the snapshot-boot registry
+/// ([`standard_registry`]).
 ///
-/// `in_memory` selects the storage configuration of the disk-capable
-/// methods (buffer pool larger than the dataset vs. a small pool).
-pub fn build_all_methods(
-    dataset: &Dataset,
-    in_memory: bool,
-    seed: u64,
-) -> Vec<Box<dyn AnnIndex>> {
+/// Snapshot fingerprints hash the full build configuration, so a saver and
+/// a loader must construct configurations from the same place or loading
+/// fails with [`PersistError::FingerprintMismatch`]; centralizing them here
+/// is what lets `fig* --save-index` runs and a later `hydra-serve` boot
+/// agree by construction.
+#[derive(Debug, Clone, Copy)]
+pub struct StandardConfigs {
+    /// DSTree build parameters.
+    pub dstree: DsTreeConfig,
+    /// iSAX2+ build parameters.
+    pub isax: IsaxConfig,
+    /// VA+file build parameters.
+    pub vafile: VaPlusFileConfig,
+    /// SRS build parameters.
+    pub srs: SrsConfig,
+    /// IMI build parameters (only applicable when the series length is a
+    /// multiple of 8).
+    pub imi: ImiConfig,
+    /// HNSW build parameters (in-memory scenarios only).
+    pub hnsw: HnswConfig,
+    /// QALSH build parameters (in-memory scenarios only).
+    pub qalsh: QalshConfig,
+    /// FLANN auto-tuning parameters (in-memory scenarios only).
+    pub flann: FlannConfig,
+}
+
+/// The standard zoo configuration for one scenario: `in_memory` selects the
+/// storage configuration of the disk-capable methods (buffer pool larger
+/// than the dataset vs. a small pool), `seed` the shared build seed.
+pub fn standard_configs(in_memory: bool, seed: u64) -> StandardConfigs {
     let storage = if in_memory {
         StorageConfig::in_memory()
     } else {
         StorageConfig::on_disk()
     };
+    StandardConfigs {
+        dstree: DsTreeConfig {
+            storage,
+            seed,
+            ..DsTreeConfig::default()
+        },
+        isax: IsaxConfig {
+            storage,
+            seed,
+            ..IsaxConfig::default()
+        },
+        vafile: VaPlusFileConfig {
+            storage,
+            seed,
+            ..VaPlusFileConfig::default()
+        },
+        srs: SrsConfig {
+            storage,
+            seed,
+            ..SrsConfig::default()
+        },
+        imi: ImiConfig {
+            seed,
+            ..ImiConfig::default()
+        },
+        hnsw: HnswConfig {
+            m: 8,
+            ef_construction: 128,
+            seed,
+        },
+        qalsh: QalshConfig {
+            seed,
+            ..QalshConfig::default()
+        },
+        flann: FlannConfig::default(),
+    }
+}
+
+/// A snapshot-loading registry covering the whole zoo under the standard
+/// configuration of the given scenario (see [`standard_configs`]): every
+/// kind is registered — including the memory-only methods, whose snapshots
+/// simply never occur in on-disk scenario directories — so
+/// [`persist::LoaderRegistry::load_any`] can restore any snapshot a
+/// `fig* --save-index` run (or [`PersistentIndex::save`] under the same
+/// configs) produced.
+pub fn standard_registry(in_memory: bool, seed: u64) -> persist::LoaderRegistry {
+    let configs = standard_configs(in_memory, seed);
+    let mut registry = persist::LoaderRegistry::new();
+    registry.register::<DsTree>(configs.dstree);
+    registry.register::<Isax2Plus>(configs.isax);
+    registry.register::<VaPlusFile>(configs.vafile);
+    registry.register::<Srs>(configs.srs);
+    registry.register::<InvertedMultiIndex>(configs.imi);
+    registry.register::<Hnsw>(configs.hnsw);
+    registry.register::<Qalsh>(configs.qalsh);
+    registry.register::<Flann>(configs.flann);
+    registry
+}
+
+/// Builds every method of the study over the same dataset with reasonable
+/// laptop-scale defaults, returning them behind the uniform [`AnnIndex`]
+/// interface. Used by the examples and the benchmark harness.
+///
+/// `in_memory` selects the storage configuration of the disk-capable
+/// methods (buffer pool larger than the dataset vs. a small pool). The
+/// configurations are exactly [`standard_configs`].
+pub fn build_all_methods(
+    dataset: &Dataset,
+    in_memory: bool,
+    seed: u64,
+) -> Vec<Box<dyn AnnIndex>> {
+    let configs = standard_configs(in_memory, seed);
     let mut methods: Vec<Box<dyn AnnIndex>> = Vec::new();
     methods.push(Box::new(
-        DsTree::build(
-            dataset,
-            DsTreeConfig {
-                storage,
-                seed,
-                ..DsTreeConfig::default()
-            },
-        )
-        .expect("DSTree build"),
+        DsTree::build(dataset, configs.dstree).expect("DSTree build"),
     ));
     methods.push(Box::new(
-        Isax2Plus::build(
-            dataset,
-            IsaxConfig {
-                storage,
-                seed,
-                ..IsaxConfig::default()
-            },
-        )
-        .expect("iSAX2+ build"),
+        Isax2Plus::build(dataset, configs.isax).expect("iSAX2+ build"),
     ));
     methods.push(Box::new(
-        VaPlusFile::build(
-            dataset,
-            VaPlusFileConfig {
-                storage,
-                seed,
-                ..VaPlusFileConfig::default()
-            },
-        )
-        .expect("VA+file build"),
+        VaPlusFile::build(dataset, configs.vafile).expect("VA+file build"),
     ));
     methods.push(Box::new(
-        Srs::build(
-            dataset,
-            SrsConfig {
-                storage,
-                seed,
-                ..SrsConfig::default()
-            },
-        )
-        .expect("SRS build"),
+        Srs::build(dataset, configs.srs).expect("SRS build"),
     ));
     if dataset.series_len() % 2 == 0 && dataset.series_len() % 8 == 0 {
         methods.push(Box::new(
-            InvertedMultiIndex::build(
-                dataset,
-                ImiConfig {
-                    seed,
-                    ..ImiConfig::default()
-                },
-            )
-            .expect("IMI build"),
+            InvertedMultiIndex::build(dataset, configs.imi).expect("IMI build"),
         ));
     }
     if in_memory {
         methods.push(Box::new(
-            Hnsw::build(
-                dataset,
-                HnswConfig {
-                    seed,
-                    m: 8,
-                    ef_construction: 128,
-                },
-            )
-            .expect("HNSW build"),
+            Hnsw::build(dataset, configs.hnsw).expect("HNSW build"),
         ));
         methods.push(Box::new(
-            Qalsh::build(
-                dataset,
-                QalshConfig {
-                    seed,
-                    ..QalshConfig::default()
-                },
-            )
-            .expect("QALSH build"),
+            Qalsh::build(dataset, configs.qalsh).expect("QALSH build"),
         ));
         methods.push(Box::new(
-            Flann::build(dataset, FlannConfig::default()).expect("FLANN build"),
+            Flann::build(dataset, configs.flann).expect("FLANN build"),
         ));
     }
     methods
@@ -209,6 +251,34 @@ mod tests {
         assert!(names.contains(&"HNSW"));
         assert!(names.contains(&"QALSH"));
         assert!(names.contains(&"FLANN"));
+    }
+
+    #[test]
+    fn standard_registry_loads_what_standard_configs_built() {
+        let data = data::random_walk(200, 32, 11);
+        let configs = standard_configs(true, 3);
+        let index = Isax2Plus::build(&data, configs.isax).unwrap();
+        let path = std::env::temp_dir().join(format!(
+            "hydra-facade-registry-{}.snap",
+            std::process::id()
+        ));
+        index.save(&path).unwrap();
+        let registry = standard_registry(true, 3);
+        assert_eq!(registry.kinds().len(), 8);
+        assert!(registry.contains("isax2+") && registry.contains("flann"));
+        let loaded = registry.load_any(&path, &data).unwrap();
+        assert_eq!(loaded.name(), "iSAX2+");
+        let q = data.series(0);
+        let a = index.search(q, &SearchParams::ng(5, 8)).unwrap();
+        let b = loaded.search(q, &SearchParams::ng(5, 8)).unwrap();
+        assert_eq!(a.neighbors, b.neighbors);
+        // A different seed is a different fingerprint: loading must refuse.
+        let other = standard_registry(true, 4);
+        assert!(matches!(
+            other.load_any(&path, &data),
+            Err(PersistError::FingerprintMismatch { .. })
+        ));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -40,6 +40,14 @@ pub enum PersistError {
         /// Fingerprint recorded in the file.
         found: u64,
     },
+    /// The file is a valid snapshot, but no loader for its kind was
+    /// registered with the [`crate::LoaderRegistry`] asked to load it.
+    UnknownKind {
+        /// The kind recorded in the file.
+        found: String,
+        /// Every kind the registry can load, sorted.
+        registered: Vec<String>,
+    },
     /// A section's payload does not hash to its recorded checksum: the file
     /// was corrupted after it was written.
     ChecksumMismatch {
@@ -72,6 +80,11 @@ impl fmt::Display for PersistError {
                 f,
                 "snapshot was built with different parameters or data \
                  (fingerprint {found:#018x}, requested config gives {expected:#018x})"
+            ),
+            PersistError::UnknownKind { found, registered } => write!(
+                f,
+                "no loader registered for {found:?} snapshots (registered: {})",
+                registered.join(", ")
             ),
             PersistError::ChecksumMismatch { section } => {
                 write!(f, "checksum mismatch in section {section}: the file is corrupted")
@@ -112,6 +125,11 @@ mod tests {
         assert!(PersistError::ChecksumMismatch { section: 3 }
             .to_string()
             .contains("section 3"));
+        let e = PersistError::UnknownKind {
+            found: "mystery".into(),
+            registered: vec!["dstree".into(), "hnsw".into()],
+        };
+        assert!(e.to_string().contains("mystery") && e.to_string().contains("dstree, hnsw"));
         assert!(PersistError::Truncated.to_string().contains("truncated"));
         assert!(PersistError::Corrupt("tag".into()).to_string().contains("tag"));
         assert!(PersistError::Io("disk".into()).to_string().contains("disk"));

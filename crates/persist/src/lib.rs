@@ -42,6 +42,7 @@ pub mod codec;
 pub mod dataset;
 pub mod error;
 pub mod fingerprint;
+pub mod registry;
 pub mod snapshot;
 
 use std::path::Path;
@@ -52,7 +53,10 @@ pub use error::{PersistError, Result};
 pub use fingerprint::{
     fingerprint_dataset, fingerprint_series_flat, fingerprint_series_permuted, Fingerprint,
 };
-pub use snapshot::{Section, SectionReader, SnapshotReader, SnapshotWriter, FORMAT_VERSION, MAGIC};
+pub use registry::{BoxedLoader, LoaderRegistry};
+pub use snapshot::{
+    peek_kind, Section, SectionReader, SnapshotReader, SnapshotWriter, FORMAT_VERSION, MAGIC,
+};
 
 /// An index that can be saved to — and restored from — a snapshot file.
 ///

@@ -203,7 +203,15 @@ pub struct SectionReader<'a> {
 }
 
 impl<'a> SectionReader<'a> {
-    pub(crate) fn new(buf: &'a [u8]) -> Self {
+    /// Wraps a raw payload buffer.
+    ///
+    /// Inside this crate every `SectionReader` comes from
+    /// [`SnapshotReader::next_section`] (already checksum-validated);
+    /// outside it, this constructor lets other length-prefixed formats —
+    /// e.g. the `hydra-serve` wire protocol — reuse the snapshot
+    /// primitives and their never-panic decoding guarantees over bytes
+    /// they framed themselves.
+    pub fn new(buf: &'a [u8]) -> Self {
         Self { buf, pos: 0 }
     }
 
@@ -392,6 +400,50 @@ impl SnapshotWriter {
         std::fs::write(path, self.to_bytes())?;
         Ok(())
     }
+}
+
+/// Reads only the header of the snapshot at `path` — magic, format
+/// version, and kind tag — without loading or checksum-validating any
+/// section.
+///
+/// This is the cheap dispatch primitive behind
+/// [`crate::LoaderRegistry::load_any`]: a multi-gigabyte snapshot costs a
+/// few dozen bytes of I/O to identify, and the dispatched loader then
+/// performs the full validation exactly once. The header fields read here
+/// ARE validated (wrong magic, future version, truncation and a non-UTF-8
+/// kind each fail typed); damage beyond the header is the loader's to
+/// find.
+pub fn peek_kind(path: &Path) -> Result<String> {
+    use std::io::Read;
+    fn read_exactly(f: &mut std::fs::File, buf: &mut [u8]) -> Result<()> {
+        f.read_exact(buf).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                PersistError::Truncated
+            } else {
+                PersistError::from(e)
+            }
+        })
+    }
+    let mut f = std::fs::File::open(path)?;
+    let mut magic = [0u8; 8];
+    read_exactly(&mut f, &mut magic)?;
+    if magic != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    // Version (u32), fingerprint (u64, skipped), kind length (u16).
+    let mut head = [0u8; 14];
+    read_exactly(&mut f, &mut head)?;
+    let version = u32::from_le_bytes(head[0..4].try_into().unwrap());
+    if version != FORMAT_VERSION {
+        return Err(PersistError::VersionMismatch {
+            found: version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    let kind_len = u16::from_le_bytes(head[12..14].try_into().unwrap()) as usize;
+    let mut kind = vec![0u8; kind_len];
+    read_exactly(&mut f, &mut kind)?;
+    String::from_utf8(kind).map_err(|_| PersistError::Corrupt("invalid UTF-8 kind tag".into()))
 }
 
 // ---------------------------------------------------------------------------
@@ -701,6 +753,44 @@ mod tests {
         s.put_u8(0xFE);
         let mut r = SectionReader::new(s.as_bytes());
         assert!(matches!(r.get_str(), Err(PersistError::Corrupt(_))));
+    }
+
+    #[test]
+    fn peek_kind_reads_only_the_header() {
+        let path = temp_path("peek.snap");
+        sample_snapshot().write_to(&path).unwrap();
+        assert_eq!(peek_kind(&path).unwrap(), "unit-test");
+
+        // Section damage is invisible to the peek (dispatchers hand the
+        // file to a loader that validates fully)...
+        let pristine = std::fs::read(&path).unwrap();
+        let mut flipped = pristine.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0xFF;
+        std::fs::write(&path, &flipped).unwrap();
+        assert_eq!(peek_kind(&path).unwrap(), "unit-test");
+
+        // ...but header damage is typed exactly like the full reader.
+        let mut bad_magic = pristine.clone();
+        bad_magic[0] = b'X';
+        std::fs::write(&path, &bad_magic).unwrap();
+        assert!(matches!(peek_kind(&path), Err(PersistError::BadMagic)));
+        let mut future = pristine.clone();
+        future[8..12].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+        std::fs::write(&path, &future).unwrap();
+        assert!(matches!(
+            peek_kind(&path),
+            Err(PersistError::VersionMismatch { .. })
+        ));
+        std::fs::write(&path, &pristine[..12]).unwrap();
+        assert!(matches!(peek_kind(&path), Err(PersistError::Truncated)));
+        std::fs::write(&path, &pristine[..3]).unwrap();
+        assert!(matches!(peek_kind(&path), Err(PersistError::Truncated)));
+        assert!(matches!(
+            peek_kind(Path::new("/nonexistent/peek.snap")),
+            Err(PersistError::Io(_))
+        ));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -1,0 +1,71 @@
+//! Scaffolding for the house CLI style, shared by the `hydra-serve`
+//! binary and `hydra-bench`'s `serve_client`: both `--flag VALUE` and
+//! `--flag=VALUE` spellings are accepted, and anything unusable — a typo,
+//! a missing value, a duplicate flag — is an error, never a silent
+//! fallback. Keeping the two parsers on one scaffold means a future fix
+//! to the spelling rules cannot drift between them.
+
+/// Matches the current argument against `--name VALUE` / `--name=VALUE`.
+///
+/// Returns `None` if `arg` is not this flag at all; `Some(Ok(value))` on a
+/// match; `Some(Err(message))` when the space-separated spelling has no
+/// value left in `rest`.
+pub fn value_of(
+    arg: &str,
+    name: &str,
+    rest: &mut std::slice::Iter<'_, String>,
+) -> Option<Result<String, String>> {
+    if arg == name {
+        Some(
+            rest.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value")),
+        )
+    } else {
+        arg.strip_prefix(name)
+            .and_then(|r| r.strip_prefix('='))
+            .map(|v| Ok(v.to_string()))
+    }
+}
+
+/// Records one occurrence of `name`, erroring on a duplicate.
+pub fn once(name: &'static str, seen: &mut Vec<&'static str>) -> Result<(), String> {
+    if seen.contains(&name) {
+        return Err(format!("{name} given more than once"));
+    }
+    seen.push(name);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn both_spellings_match_and_others_do_not() {
+        let rest_args = args(&["VALUE"]);
+        let mut rest = rest_args.iter();
+        assert_eq!(value_of("--x", "--x", &mut rest), Some(Ok("VALUE".into())));
+        assert!(rest.next().is_none(), "the space spelling consumes the value");
+        let mut rest = [].iter();
+        assert_eq!(value_of("--x=7", "--x", &mut rest), Some(Ok("7".into())));
+        assert_eq!(value_of("--x=", "--x", &mut rest), Some(Ok(String::new())));
+        // A different flag sharing the prefix is NOT a match.
+        assert_eq!(value_of("--xy=7", "--x", &mut rest), None);
+        assert_eq!(value_of("--y", "--x", &mut rest), None);
+        // Missing value is an error, not a silent skip.
+        assert!(matches!(value_of("--x", "--x", &mut [].iter()), Some(Err(_))));
+    }
+
+    #[test]
+    fn once_rejects_duplicates() {
+        let mut seen = Vec::new();
+        assert!(once("--x", &mut seen).is_ok());
+        assert!(once("--y", &mut seen).is_ok());
+        assert!(once("--x", &mut seen).is_err());
+    }
+}

@@ -1,0 +1,116 @@
+//! A small blocking client for the hydra-serve protocol, shared by the
+//! `serve_client` load generator, the end-to-end tests, and anyone who
+//! wants to talk to a server from Rust without hand-rolling frames.
+//!
+//! The client is deliberately thin: [`ServeClient::send`] and
+//! [`ServeClient::recv`] expose the pipelined request/response streams
+//! directly (responses carry request ids, so callers may have many
+//! requests in flight), and [`ServeClient::call`] wraps the common
+//! one-in-one-out pattern.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use crate::protocol::{
+    read_response, write_request, IndexInfo, ProtocolError, Request, Response, ResponseBody,
+};
+
+/// A blocking connection to a hydra-serve server.
+#[derive(Debug)]
+pub struct ServeClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+}
+
+impl ServeClient {
+    /// Connects to `addr`.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        Ok(Self {
+            reader: BufReader::new(stream),
+            writer,
+            next_id: 1,
+        })
+    }
+
+    /// Connects to `addr`, retrying until `timeout` elapses — for racing a
+    /// server that is still booting (e.g. the CI smoke step).
+    pub fn connect_with_retry(addr: SocketAddr, timeout: Duration) -> std::io::Result<Self> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match Self::connect(addr) {
+                Ok(client) => return Ok(client),
+                Err(e) if Instant::now() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(50)),
+            }
+        }
+    }
+
+    /// A fresh request id (monotonically increasing, never 0 — 0 is the
+    /// protocol-error id).
+    pub fn fresh_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Sends one request without waiting for its response (pipelining).
+    pub fn send(&mut self, request: &Request) -> Result<(), ProtocolError> {
+        write_request(&mut self.writer, request)
+    }
+
+    /// Receives the next response, in server order.
+    ///
+    /// # Errors
+    /// [`ProtocolError::Truncated`] if the server closed the stream — once
+    /// a request is in flight, end-of-stream is an unanswered request, not
+    /// a clean end.
+    pub fn recv(&mut self) -> Result<Response, ProtocolError> {
+        read_response(&mut self.reader)?.ok_or(ProtocolError::Truncated)
+    }
+
+    /// Sends `request` and waits for its response, checking the echoed id.
+    pub fn call(&mut self, request: &Request) -> Result<Response, ProtocolError> {
+        self.send(request)?;
+        let response = self.recv()?;
+        if response.request_id != request.request_id() {
+            return Err(ProtocolError::Corrupt(format!(
+                "response id {} does not match request id {} (call() does not pipeline)",
+                response.request_id,
+                request.request_id()
+            )));
+        }
+        Ok(response)
+    }
+
+    /// Lists the served indexes.
+    pub fn list_indexes(&mut self) -> Result<Vec<IndexInfo>, ProtocolError> {
+        let request_id = self.fresh_id();
+        let response = self.call(&Request::ListIndexes { request_id })?;
+        match response.body {
+            ResponseBody::Indexes { indexes } => Ok(indexes),
+            ResponseBody::Error { code, message } => Err(ProtocolError::Corrupt(format!(
+                "server answered list-indexes with {code:?}: {message}"
+            ))),
+            other => Err(ProtocolError::Corrupt(format!(
+                "unexpected response body {other:?} to list-indexes"
+            ))),
+        }
+    }
+
+    /// Asks the server to shut down cleanly; returns once acknowledged.
+    pub fn shutdown(&mut self) -> Result<(), ProtocolError> {
+        let request_id = self.fresh_id();
+        let response = self.call(&Request::Shutdown { request_id })?;
+        match response.body {
+            ResponseBody::ShutdownAck => Ok(()),
+            other => Err(ProtocolError::Corrupt(format!(
+                "unexpected response body {other:?} to shutdown"
+            ))),
+        }
+    }
+}

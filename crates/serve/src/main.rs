@@ -1,0 +1,210 @@
+//! The `hydra-serve` binary: boot the index zoo from a snapshot directory
+//! and serve it until a shutdown frame arrives.
+//!
+//! ```text
+//! hydra-serve --snapshots DIR [--addr 127.0.0.1:7878]
+//!             [--storage on-disk|in-memory] [--seed N]
+//!             [--batch-window-ms N] [--max-batch N]
+//! ```
+//!
+//! `--storage` and `--seed` select the `hydra::standard_registry`
+//! configuration the snapshots must fingerprint-match: use `on-disk`/`5`
+//! for `fig4_ondisk --save-index` directories (the defaults) and
+//! `in-memory`/`3` for `fig3_inmemory` ones. A mismatch fails at boot with
+//! the offending file named — the server never guesses.
+//!
+//! All diagnostics go to stderr; stdout is never written, so the binary
+//! composes with shell pipelines the same way the figure binaries do.
+
+use std::time::Duration;
+
+use hydra_serve::{boot_from_dir, Server, ServerConfig};
+
+/// Parsed command-line configuration.
+#[derive(Debug, Clone, PartialEq)]
+struct Args {
+    snapshots: std::path::PathBuf,
+    addr: String,
+    in_memory: bool,
+    seed: u64,
+    batch_window: Duration,
+    max_batch: usize,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            snapshots: std::path::PathBuf::new(),
+            addr: "127.0.0.1:7878".into(),
+            in_memory: false,
+            seed: 5,
+            batch_window: Duration::from_millis(1),
+            max_batch: 64,
+        }
+    }
+}
+
+/// Strict flag parsing in the house style (scaffolding shared with
+/// `serve_client` via [`hydra_serve::cli`]): both `--flag VALUE` and
+/// `--flag=VALUE` spellings, and anything unusable — a typo, a bad value,
+/// a duplicate — is an error, never a silent fallback.
+fn parse_args(args: &[String]) -> Result<Args, String> {
+    use hydra_serve::cli::{once, value_of as cli_value_of};
+    let mut out = Args::default();
+    let mut seen: Vec<&'static str> = Vec::new();
+    let mut snapshots_given = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value_of = |name: &'static str| cli_value_of(arg, name, &mut it);
+        if let Some(value) = value_of("--snapshots") {
+            once("--snapshots", &mut seen)?;
+            let value = value?;
+            if value.is_empty() {
+                return Err("--snapshots expects a directory path".into());
+            }
+            out.snapshots = value.into();
+            snapshots_given = true;
+        } else if let Some(value) = value_of("--addr") {
+            once("--addr", &mut seen)?;
+            out.addr = value?;
+        } else if let Some(value) = value_of("--storage") {
+            once("--storage", &mut seen)?;
+            out.in_memory = match value?.as_str() {
+                "in-memory" => true,
+                "on-disk" => false,
+                other => {
+                    return Err(format!(
+                        "--storage expects in-memory or on-disk, got {other:?}"
+                    ))
+                }
+            };
+        } else if let Some(value) = value_of("--seed") {
+            once("--seed", &mut seen)?;
+            let value = value?;
+            out.seed = value
+                .parse()
+                .map_err(|_| format!("--seed expects an integer, got {value:?}"))?;
+        } else if let Some(value) = value_of("--batch-window-ms") {
+            once("--batch-window-ms", &mut seen)?;
+            let value = value?;
+            let ms: u64 = value
+                .parse()
+                .map_err(|_| format!("--batch-window-ms expects an integer, got {value:?}"))?;
+            out.batch_window = Duration::from_millis(ms);
+        } else if let Some(value) = value_of("--max-batch") {
+            once("--max-batch", &mut seen)?;
+            let value = value?;
+            out.max_batch = match value.parse::<usize>() {
+                Ok(n) if n > 0 => n,
+                _ => return Err(format!("--max-batch expects a positive integer, got {value:?}")),
+            };
+        } else {
+            return Err(format!(
+                "unrecognized argument {arg:?} (accepted: --snapshots DIR, --addr HOST:PORT, \
+                 --storage on-disk|in-memory, --seed N, --batch-window-ms N, --max-batch N)"
+            ));
+        }
+    }
+    if !snapshots_given {
+        return Err("--snapshots DIR is required".into());
+    }
+    Ok(out)
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&raw) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    };
+    let registry = hydra::standard_registry(args.in_memory, args.seed);
+    let report = match boot_from_dir(&args.snapshots, &registry) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: boot failed: {e}");
+            std::process::exit(2);
+        }
+    };
+    for (name, n, len) in &report.datasets {
+        eprintln!("hydra-serve: dataset {name}: {n} series of length {len}");
+    }
+    for served in &report.indexes {
+        eprintln!(
+            "hydra-serve: serving {} ({}, {} series)",
+            served.name,
+            served.index.name(),
+            served.index.num_series()
+        );
+    }
+    for file in &report.skipped {
+        eprintln!("hydra-serve: skipping {} (not an index of any dataset)", file.display());
+    }
+    let config = ServerConfig {
+        batch_window: args.batch_window,
+        max_batch: args.max_batch,
+        ..ServerConfig::default()
+    };
+    let handle = match Server::spawn(report.indexes, args.addr.as_str(), config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("error: cannot bind {}: {e}", args.addr);
+            std::process::exit(2);
+        }
+    };
+    eprintln!(
+        "hydra-serve: listening on {} (batch window {:?}, max batch {})",
+        handle.local_addr(),
+        config.batch_window,
+        config.max_batch
+    );
+    let stats = handle.join();
+    eprintln!(
+        "hydra-serve: clean shutdown after {} queries in {} batch calls over {} ticks ({} connections)",
+        stats.queries, stats.batch_calls, stats.ticks, stats.connections
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parser_accepts_both_spellings_and_rejects_garbage() {
+        let a = parse_args(&args(&["--snapshots", "/snaps"])).unwrap();
+        assert_eq!(a.snapshots, std::path::Path::new("/snaps"));
+        assert_eq!(a.addr, "127.0.0.1:7878");
+        assert!(!a.in_memory);
+        assert_eq!(a.seed, 5);
+        let a = parse_args(&args(&[
+            "--snapshots=/s",
+            "--addr=0.0.0.0:9000",
+            "--storage=in-memory",
+            "--seed=4",
+            "--batch-window-ms=5",
+            "--max-batch=128",
+        ]))
+        .unwrap();
+        assert!(a.in_memory);
+        assert_eq!(a.seed, 4);
+        assert_eq!(a.batch_window, Duration::from_millis(5));
+        assert_eq!(a.max_batch, 128);
+        assert_eq!(a.addr, "0.0.0.0:9000");
+        // Required, duplicate, unknown, malformed.
+        assert!(parse_args(&args(&[])).is_err());
+        assert!(parse_args(&args(&["--snapshots"])).is_err());
+        assert!(parse_args(&args(&["--snapshots="])).is_err());
+        assert!(parse_args(&args(&["--snapshots", "/a", "--snapshots", "/b"])).is_err());
+        assert!(parse_args(&args(&["--snapshots", "/a", "--storage", "floppy"])).is_err());
+        assert!(parse_args(&args(&["--snapshots", "/a", "--seed", "many"])).is_err());
+        assert!(parse_args(&args(&["--snapshots", "/a", "--max-batch", "0"])).is_err());
+        assert!(parse_args(&args(&["--snapshots", "/a", "--threads", "2"])).is_err());
+        assert!(parse_args(&args(&["extra"])).is_err());
+    }
+}

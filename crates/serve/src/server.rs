@@ -1,0 +1,807 @@
+//! The serving loop: connections, the micro-batching queue, and the
+//! batcher that drains it into [`AnnIndex::search_batch`] calls.
+//!
+//! ## Threading model
+//!
+//! ```text
+//! acceptor ──spawns──▶ per-connection reader ──Job──▶ micro-batch queue
+//!                      per-connection writer ◀─encoded response frames─┐
+//!                                                                      │
+//!                      batcher: recv first job, gather until the batch │
+//!                      window closes or the batch is full, group by    │
+//!                      (index, SearchKey), ONE search_batch call per   │
+//!                      group per tick ─────────────────────────────────┘
+//! ```
+//!
+//! Each connection gets one reader thread (parsing frames, answering
+//! list/shutdown inline, forwarding queries to the queue) and one writer
+//! thread (serializing response frames back), so slow clients never block
+//! the batcher. The single batcher thread makes batching *deterministic
+//! work amortization*: every tick turns all compatible pending queries
+//! into one [`AnnIndex::search_batch`] call — the same entry point the
+//! offline parallel runner uses — whose contract guarantees answers
+//! identical to per-query [`AnnIndex::search`]. That contract is what the
+//! end-to-end test (`tests/integration_serve.rs`) pins: served answers are
+//! byte-identical to offline ones.
+//!
+//! ## Failure semantics
+//!
+//! A malformed frame yields one protocol-error response (request id 0)
+//! and closes that connection; other connections and the batcher are
+//! unaffected. Per-query failures (unknown index, unsupported mode,
+//! dimension mismatch) are error responses on the query's own id —
+//! exactly mirroring `search_batch`'s per-query `Err` positions — and
+//! never poison the rest of a batch.
+
+use std::collections::BTreeMap;
+use std::io::{BufReader, Write};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use hydra::{AnnIndex, SearchKey, SearchParams};
+
+use crate::protocol::{
+    read_request, ErrorCode, IndexInfo, Request, Response, ResponseBody,
+};
+
+/// One index behind the server, addressable by name.
+pub struct ServedIndex {
+    /// The name queries address it by (by convention the snapshot file
+    /// stem, e.g. `rand256-isax2`).
+    pub name: String,
+    /// The index itself.
+    pub index: Box<dyn AnnIndex>,
+}
+
+impl std::fmt::Debug for ServedIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServedIndex")
+            .field("name", &self.name)
+            .field("method", &self.index.name())
+            .field("num_series", &self.index.num_series())
+            .finish()
+    }
+}
+
+/// Tuning knobs of the micro-batching loop.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// How long the batcher gathers requests after the first one of a tick
+    /// before draining the batch. Larger windows amortize more per-batch
+    /// setup (ADC tables, scratch buffers) at the cost of added latency.
+    pub batch_window: Duration,
+    /// Upper bound on requests gathered per tick; a full batch drains
+    /// immediately without waiting out the window.
+    pub max_batch: usize,
+    /// Socket write timeout per connection (`None` = never time out). A
+    /// client that pipelines queries but stops reading responses
+    /// eventually fills the kernel send buffer and parks its writer
+    /// thread in `write_all`; shutdown only closes *read* halves (so
+    /// queued responses, including the shutdown ack, still flush), so
+    /// this timeout is what bounds how long such a stalled connection can
+    /// delay `ServerHandle::join`.
+    pub write_timeout: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    /// 1 ms window, 64 requests, 30 s write timeout — latency-lean
+    /// defaults for local serving.
+    fn default() -> Self {
+        Self {
+            batch_window: Duration::from_millis(1),
+            max_batch: 64,
+            write_timeout: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+/// Counters the server accumulates while running (readable after
+/// shutdown via [`ServerHandle::join`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Queries answered (including per-query errors).
+    pub queries: u64,
+    /// Micro-batch ticks drained.
+    pub ticks: u64,
+    /// `search_batch` calls issued (one per (index, setting) group per
+    /// tick — ≤ `queries`, and the whole point of serving in batches).
+    pub batch_calls: u64,
+    /// Connections accepted.
+    pub connections: u64,
+}
+
+/// One queued query: everything the batcher needs to answer it and route
+/// the response back to its connection.
+struct Job {
+    request_id: u64,
+    slot: usize,
+    params: SearchParams,
+    query: Vec<f32>,
+    reply: mpsc::Sender<Vec<u8>>,
+}
+
+struct Inner {
+    indexes: Vec<ServedIndex>,
+    config: ServerConfig,
+    addr: SocketAddr,
+    shutdown: AtomicBool,
+    /// Handles of every *live* connection, keyed by connection id, so
+    /// shutdown can unblock readers that would otherwise sit in
+    /// `read_request` forever. Entries are removed when their connection
+    /// thread retires — a lingering clone would hold the socket open (the
+    /// peer would never see EOF) and leak one fd per connection.
+    conns: Mutex<std::collections::HashMap<u64, TcpStream>>,
+    next_conn_id: AtomicU64,
+    queries: AtomicU64,
+    ticks: AtomicU64,
+    batch_calls: AtomicU64,
+    connections: AtomicU64,
+}
+
+impl Inner {
+    fn slot_of(&self, name: &str) -> Option<usize> {
+        self.indexes.iter().position(|s| s.name == name)
+    }
+
+    /// Tracks a live connection for shutdown. Closing the *read* half on
+    /// shutdown turns a blocked reader's next `read` into EOF (a clean
+    /// hangup) while letting its writer flush responses already queued —
+    /// including the shutdown ack itself.
+    ///
+    /// If the tracking clone cannot be made (fd exhaustion), the
+    /// connection is refused outright — an untracked reader would be one
+    /// that shutdown can never unblock.
+    fn register(&self, stream: &TcpStream) -> u64 {
+        let id = self.next_conn_id.fetch_add(1, Ordering::Relaxed);
+        match stream.try_clone() {
+            Ok(clone) => {
+                self.conns.lock().expect("conns lock").insert(id, clone);
+            }
+            Err(_) => {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+        }
+        // A connection accepted while begin_shutdown was sweeping would
+        // miss the sweep; re-checking after registration closes the race.
+        if self.shutdown.load(Ordering::SeqCst) {
+            let _ = stream.shutdown(Shutdown::Read);
+        }
+        id
+    }
+
+    fn deregister(&self, id: u64) {
+        self.conns.lock().expect("conns lock").remove(&id);
+    }
+
+    fn begin_shutdown(&self) {
+        if !self.shutdown.swap(true, Ordering::SeqCst) {
+            // Unblock the acceptor with a throwaway connection; the accept
+            // loop re-checks the flag before serving it. A wildcard bind
+            // (0.0.0.0 / ::) is not connectable on every platform, so aim
+            // the wake-up at loopback on the bound port instead.
+            let mut target = self.addr;
+            if target.ip().is_unspecified() {
+                target.set_ip(match target {
+                    SocketAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
+                    SocketAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
+                });
+            }
+            let _ = TcpStream::connect(target);
+            // Unblock every idle reader: without this, one lingering
+            // connection would park `ServerHandle::join` forever.
+            for conn in self.conns.lock().expect("conns lock").values() {
+                let _ = conn.shutdown(Shutdown::Read);
+            }
+        }
+    }
+}
+
+/// A running server. Obtained from [`Server::spawn`]; dropping the handle
+/// does **not** stop the server — call [`ServerHandle::shutdown`] (or send
+/// a shutdown frame) and then [`ServerHandle::join`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    inner: Arc<Inner>,
+    acceptor: std::thread::JoinHandle<()>,
+    batcher: std::thread::JoinHandle<()>,
+}
+
+impl ServerHandle {
+    /// The address the server actually listens on (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Asks the server to stop accepting and drain, as a shutdown frame
+    /// would.
+    pub fn shutdown(&self) {
+        self.inner.begin_shutdown();
+    }
+
+    /// Waits for the acceptor, every connection and the batcher to finish,
+    /// then reports the run's counters.
+    ///
+    /// # Panics
+    /// Propagates a panic of the acceptor or batcher thread (neither is
+    /// expected to panic; connection threads cannot reach here poisoned —
+    /// their failures close only their own connection).
+    pub fn join(self) -> ServerStats {
+        self.acceptor.join().expect("acceptor panicked");
+        self.batcher.join().expect("batcher panicked");
+        ServerStats {
+            queries: self.inner.queries.load(Ordering::Relaxed),
+            ticks: self.inner.ticks.load(Ordering::Relaxed),
+            batch_calls: self.inner.batch_calls.load(Ordering::Relaxed),
+            connections: self.inner.connections.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The hydra-serve server: binds, spawns the serving threads, and hands
+/// back a [`ServerHandle`].
+pub struct Server;
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts serving
+    /// `indexes` with the given batching configuration.
+    ///
+    /// # Errors
+    /// An [`std::io::Error`] if the listener cannot bind, or if `indexes`
+    /// is empty or contains duplicate names (both are configuration bugs
+    /// that must fail before the first request, not answer it wrongly).
+    pub fn spawn<A: ToSocketAddrs>(
+        indexes: Vec<ServedIndex>,
+        addr: A,
+        config: ServerConfig,
+    ) -> std::io::Result<ServerHandle> {
+        if indexes.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "refusing to serve zero indexes",
+            ));
+        }
+        let mut names: Vec<&str> = indexes.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        if names.windows(2).any(|w| w[0] == w[1]) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "duplicate served index names",
+            ));
+        }
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let inner = Arc::new(Inner {
+            indexes,
+            config,
+            addr,
+            shutdown: AtomicBool::new(false),
+            conns: Mutex::new(std::collections::HashMap::new()),
+            next_conn_id: AtomicU64::new(0),
+            queries: AtomicU64::new(0),
+            ticks: AtomicU64::new(0),
+            batch_calls: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+        });
+        let (job_tx, job_rx) = mpsc::channel::<Job>();
+        let batcher = {
+            let inner = Arc::clone(&inner);
+            std::thread::spawn(move || batcher_loop(&inner, &job_rx))
+        };
+        let acceptor = {
+            let inner = Arc::clone(&inner);
+            std::thread::spawn(move || accept_loop(&inner, &listener, job_tx))
+        };
+        Ok(ServerHandle {
+            addr,
+            inner,
+            acceptor,
+            batcher,
+        })
+    }
+}
+
+fn accept_loop(inner: &Arc<Inner>, listener: &TcpListener, job_tx: mpsc::Sender<Job>) {
+    let mut readers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        // Reap retired connection threads as we go: a forever-running
+        // server must not accumulate one joinable-thread carcass per
+        // connection it ever served.
+        readers = readers
+            .into_iter()
+            .filter_map(|handle| {
+                if handle.is_finished() {
+                    let _ = handle.join();
+                    None
+                } else {
+                    Some(handle)
+                }
+            })
+            .collect();
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => {
+                // Persistent accept failures (fd exhaustion, EMFILE) would
+                // otherwise busy-spin this loop at 100% CPU on the one
+                // binary designed to run forever; back off briefly.
+                std::thread::sleep(Duration::from_millis(20));
+                continue;
+            }
+        };
+        inner.connections.fetch_add(1, Ordering::Relaxed);
+        if let Some(timeout) = inner.config.write_timeout.filter(|t| !t.is_zero()) {
+            let _ = stream.set_write_timeout(Some(timeout));
+        }
+        let conn_id = inner.register(&stream);
+        let inner = Arc::clone(inner);
+        let job_tx = job_tx.clone();
+        readers.push(std::thread::spawn(move || {
+            connection_loop(&inner, stream, conn_id, &job_tx)
+        }));
+    }
+    // The batcher exits once every Job sender is gone: ours here, the
+    // per-connection clones when their readers return.
+    drop(job_tx);
+    for reader in readers {
+        let _ = reader.join();
+    }
+}
+
+fn connection_loop(inner: &Arc<Inner>, stream: TcpStream, conn_id: u64, job_tx: &mpsc::Sender<Job>) {
+    let write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => {
+            // No write half, no service — release the tracking clone (the
+            // invariant at `Inner::conns`) and hang up.
+            inner.deregister(conn_id);
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
+    };
+    let (reply_tx, reply_rx) = mpsc::channel::<Vec<u8>>();
+    let writer = std::thread::spawn(move || writer_loop(write_half, &reply_rx));
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_request(&mut reader) {
+            Ok(None) => break,
+            Ok(Some(request)) => handle_request(inner, request, job_tx, &reply_tx),
+            Err(e) => {
+                // One typed protocol-error response (id 0), then hang up:
+                // after a framing error the stream position is unknowable,
+                // so continuing could misparse every later byte.
+                let _ = reply_tx.send(
+                    Response {
+                        request_id: 0,
+                        body: ResponseBody::Error {
+                            code: ErrorCode::Protocol,
+                            message: e.to_string(),
+                        },
+                    }
+                    .encode(),
+                );
+                break;
+            }
+        }
+    }
+    // In-flight jobs still hold reply senders; the writer drains them and
+    // exits once the batcher has answered the last one, so joining here
+    // guarantees every accepted request was answered before the connection
+    // thread retires.
+    drop(reply_tx);
+    let _ = writer.join();
+    // Release the shutdown-sweep handle (it would otherwise hold the
+    // socket open past this thread's life) and hang up explicitly.
+    inner.deregister(conn_id);
+    let _ = reader.into_inner().shutdown(Shutdown::Both);
+}
+
+fn writer_loop(mut stream: TcpStream, replies: &mpsc::Receiver<Vec<u8>>) {
+    while let Ok(frame) = replies.recv() {
+        if stream.write_all(&frame).and_then(|()| stream.flush()).is_err() {
+            // The peer is gone; keep draining so queued senders never
+            // block (mpsc sends are non-blocking anyway) and exit when
+            // they hang up.
+            break;
+        }
+    }
+}
+
+fn handle_request(
+    inner: &Arc<Inner>,
+    request: Request,
+    job_tx: &mpsc::Sender<Job>,
+    reply_tx: &mpsc::Sender<Vec<u8>>,
+) {
+    match request {
+        Request::Query {
+            request_id,
+            index,
+            params,
+            query,
+        } => {
+            let Some(slot) = inner.slot_of(&index) else {
+                inner.queries.fetch_add(1, Ordering::Relaxed);
+                let _ = reply_tx.send(
+                    Response {
+                        request_id,
+                        body: ResponseBody::Error {
+                            code: ErrorCode::UnknownIndex,
+                            message: format!("no index named {index:?} is served"),
+                        },
+                    }
+                    .encode(),
+                );
+                return;
+            };
+            let job = Job {
+                request_id,
+                slot,
+                params,
+                query,
+                reply: reply_tx.clone(),
+            };
+            if job_tx.send(job).is_err() {
+                // The batcher is gone (shutdown raced the request). Still
+                // an answered query for the stats, like every other error.
+                inner.queries.fetch_add(1, Ordering::Relaxed);
+                let _ = reply_tx.send(
+                    Response {
+                        request_id,
+                        body: ResponseBody::Error {
+                            code: ErrorCode::Search,
+                            message: "server is shutting down".into(),
+                        },
+                    }
+                    .encode(),
+                );
+            }
+        }
+        Request::ListIndexes { request_id } => {
+            let indexes = inner
+                .indexes
+                .iter()
+                .map(|s| IndexInfo::describe(&s.name, s.index.as_ref()))
+                .collect();
+            let _ = reply_tx.send(
+                Response {
+                    request_id,
+                    body: ResponseBody::Indexes { indexes },
+                }
+                .encode(),
+            );
+        }
+        Request::Shutdown { request_id } => {
+            let _ = reply_tx.send(
+                Response {
+                    request_id,
+                    body: ResponseBody::ShutdownAck,
+                }
+                .encode(),
+            );
+            inner.begin_shutdown();
+        }
+    }
+}
+
+fn batcher_loop(inner: &Arc<Inner>, jobs: &mpsc::Receiver<Job>) {
+    loop {
+        // Block for the first request of a tick...
+        let first = match jobs.recv() {
+            Ok(job) => job,
+            Err(_) => break, // every sender gone: acceptor and readers done
+        };
+        let mut batch = vec![first];
+        // ...then gather until the window closes or the batch fills.
+        let deadline = Instant::now() + inner.config.batch_window;
+        while batch.len() < inner.config.max_batch {
+            let now = Instant::now();
+            let Some(left) = deadline.checked_duration_since(now).filter(|d| !d.is_zero())
+            else {
+                break;
+            };
+            match jobs.recv_timeout(left) {
+                Ok(job) => batch.push(job),
+                Err(_) => break, // window elapsed, or all senders gone
+            }
+        }
+        drain_tick(inner, batch);
+    }
+}
+
+/// Answers one tick's batch: group by (index, parameter key) — only
+/// queries sharing both may legally share a `search_batch` call — and
+/// issue exactly one batched call per group, routing each result to its
+/// connection.
+fn drain_tick(inner: &Arc<Inner>, batch: Vec<Job>) {
+    inner.ticks.fetch_add(1, Ordering::Relaxed);
+    inner.queries.fetch_add(batch.len() as u64, Ordering::Relaxed);
+    let mut groups: BTreeMap<(usize, SearchKey), Vec<Job>> = BTreeMap::new();
+    for job in batch {
+        groups
+            .entry((job.slot, job.params.key()))
+            .or_default()
+            .push(job);
+    }
+    for ((slot, _), group) in groups {
+        inner.batch_calls.fetch_add(1, Ordering::Relaxed);
+        let params = group[0].params;
+        let queries: Vec<&[f32]> = group.iter().map(|j| j.query.as_slice()).collect();
+        let results = inner.indexes[slot].index.search_batch(&queries, &params);
+        debug_assert_eq!(results.len(), group.len());
+        // Pair results back by position, but never let a contract-breaking
+        // index (fewer results than queries) leave a request unanswered —
+        // a client with no read timeout would wait forever. Such requests
+        // get an error response naming the broken index instead.
+        let mut results = results.into_iter();
+        for job in &group {
+            let body = match results.next() {
+                Some(Ok(answer)) => ResponseBody::Answer {
+                    neighbors: answer.neighbors,
+                },
+                Some(Err(e)) => ResponseBody::Error {
+                    code: ErrorCode::Search,
+                    message: e.to_string(),
+                },
+                None => ResponseBody::Error {
+                    code: ErrorCode::Search,
+                    message: format!(
+                        "index {:?} violated the search_batch contract: fewer results than queries",
+                        inner.indexes[slot].name
+                    ),
+                },
+            };
+            let _ = job.reply.send(
+                Response {
+                    request_id: job.request_id,
+                    body,
+                }
+                .encode(),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydra::core::{Capabilities, Representation};
+    use hydra::{Error, Neighbor, QueryStats, Result, SearchResult};
+
+    /// Answers with the query's first value as the neighbor id; counts
+    /// batched entry-point calls so micro-batching is observable.
+    struct Echo {
+        batch_calls: AtomicU64,
+    }
+
+    impl AnnIndex for Echo {
+        fn name(&self) -> &'static str {
+            "echo"
+        }
+        fn capabilities(&self) -> Capabilities {
+            Capabilities {
+                exact: true,
+                ng_approximate: true,
+                epsilon_approximate: false,
+                delta_epsilon_approximate: false,
+                disk_resident: false,
+                representation: Representation::Raw,
+            }
+        }
+        fn num_series(&self) -> usize {
+            100
+        }
+        fn series_len(&self) -> usize {
+            2
+        }
+        fn memory_footprint(&self) -> usize {
+            0
+        }
+        fn search(&self, query: &[f32], _params: &SearchParams) -> Result<SearchResult> {
+            if query.len() != 2 {
+                return Err(Error::DimensionMismatch {
+                    expected: 2,
+                    found: query.len(),
+                });
+            }
+            Ok(SearchResult::new(
+                vec![Neighbor::new(query[0] as usize, query[1])],
+                QueryStats::new(),
+            ))
+        }
+        fn search_batch(
+            &self,
+            queries: &[&[f32]],
+            params: &SearchParams,
+        ) -> Vec<Result<SearchResult>> {
+            self.batch_calls.fetch_add(1, Ordering::Relaxed);
+            queries.iter().map(|q| self.search(q, params)).collect()
+        }
+    }
+
+    fn echo_server(window_ms: u64) -> ServerHandle {
+        Server::spawn(
+            vec![ServedIndex {
+                name: "echo".into(),
+                index: Box::new(Echo {
+                    batch_calls: AtomicU64::new(0),
+                }),
+            }],
+            "127.0.0.1:0",
+            ServerConfig {
+                batch_window: Duration::from_millis(window_ms),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn refuses_empty_and_duplicate_index_sets() {
+        assert!(Server::spawn(Vec::new(), "127.0.0.1:0", ServerConfig::default()).is_err());
+        let dup = || ServedIndex {
+            name: "same".into(),
+            index: Box::new(Echo {
+                batch_calls: AtomicU64::new(0),
+            }) as Box<dyn AnnIndex>,
+        };
+        assert!(
+            Server::spawn(vec![dup(), dup()], "127.0.0.1:0", ServerConfig::default()).is_err()
+        );
+    }
+
+    #[test]
+    fn serves_pipelined_queries_lists_and_shuts_down_cleanly() {
+        let handle = echo_server(1);
+        let addr = handle.local_addr();
+        let mut client = crate::client::ServeClient::connect(addr).unwrap();
+        // List first.
+        let infos = client.list_indexes().unwrap();
+        assert_eq!(infos.len(), 1);
+        assert_eq!(infos[0].name, "echo");
+        assert_eq!(infos[0].method, "echo");
+        assert!(infos[0].capabilities().ng_approximate);
+        // Pipeline a burst of queries, then collect responses by id.
+        let n = 20u64;
+        for i in 0..n {
+            client
+                .send(&Request::Query {
+                    request_id: 100 + i,
+                    index: "echo".into(),
+                    params: SearchParams::ng(1, 4),
+                    query: vec![i as f32, 0.5],
+                })
+                .unwrap();
+        }
+        let mut seen = std::collections::BTreeMap::new();
+        for _ in 0..n {
+            let resp = client.recv().unwrap();
+            match resp.body {
+                ResponseBody::Answer { neighbors } => {
+                    seen.insert(resp.request_id, neighbors[0].index);
+                }
+                other => panic!("expected an answer, got {other:?}"),
+            }
+        }
+        for i in 0..n {
+            assert_eq!(seen[&(100 + i)], i as usize, "answers must match their ids");
+        }
+        // Unknown index and bad dimensionality are per-request errors.
+        let resp = client
+            .call(&Request::Query {
+                request_id: 7,
+                index: "nope".into(),
+                params: SearchParams::exact(1),
+                query: vec![0.0, 0.0],
+            })
+            .unwrap();
+        assert!(matches!(
+            resp.body,
+            ResponseBody::Error {
+                code: ErrorCode::UnknownIndex,
+                ..
+            }
+        ));
+        let resp = client
+            .call(&Request::Query {
+                request_id: 8,
+                index: "echo".into(),
+                params: SearchParams::exact(1),
+                query: vec![0.0, 0.0, 0.0],
+            })
+            .unwrap();
+        assert!(matches!(
+            resp.body,
+            ResponseBody::Error {
+                code: ErrorCode::Search,
+                ..
+            }
+        ));
+        // Shutdown is acknowledged, then the server exits.
+        let resp = client.call(&Request::Shutdown { request_id: 9 }).unwrap();
+        assert_eq!(resp.body, ResponseBody::ShutdownAck);
+        drop(client);
+        let stats = handle.join();
+        assert_eq!(stats.queries, n + 2);
+        assert!(stats.connections >= 1);
+        assert!(stats.ticks >= 1);
+        // Batching must have amortized: strictly fewer search_batch calls
+        // than queries (the pipelined burst shares ticks).
+        assert!(
+            stats.batch_calls < stats.queries,
+            "{} batch calls for {} queries — micro-batching never grouped anything",
+            stats.batch_calls,
+            stats.queries
+        );
+    }
+
+    #[test]
+    fn malformed_frames_get_a_protocol_error_and_a_hangup() {
+        let handle = echo_server(1);
+        let addr = handle.local_addr();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"garbage everywhere").unwrap();
+        stream.flush().unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let resp = crate::protocol::read_response(&mut reader).unwrap().unwrap();
+        assert_eq!(resp.request_id, 0);
+        assert!(matches!(
+            resp.body,
+            ResponseBody::Error {
+                code: ErrorCode::Protocol,
+                ..
+            }
+        ));
+        // The server hangs up after a framing error.
+        assert!(crate::protocol::read_response(&mut reader).unwrap().is_none());
+        // A fresh connection still works: the bad one poisoned nothing.
+        let mut client = crate::client::ServeClient::connect(addr).unwrap();
+        let resp = client
+            .call(&Request::Query {
+                request_id: 1,
+                index: "echo".into(),
+                params: SearchParams::ng(1, 1),
+                query: vec![3.0, 0.25],
+            })
+            .unwrap();
+        assert!(matches!(resp.body, ResponseBody::Answer { .. }));
+        client.call(&Request::Shutdown { request_id: 2 }).unwrap();
+        drop(client);
+        handle.join();
+    }
+
+    #[test]
+    fn handle_shutdown_stops_an_idle_server() {
+        let handle = echo_server(1);
+        handle.shutdown();
+        let stats = handle.join();
+        assert_eq!(stats.queries, 0);
+    }
+
+    #[test]
+    fn shutdown_completes_despite_an_idle_connection() {
+        let handle = echo_server(1);
+        let addr = handle.local_addr();
+        // A connection that never sends a byte and never closes: its
+        // reader sits blocked in read_request until shutdown closes the
+        // read half.
+        let idle = TcpStream::connect(addr).unwrap();
+        let mut client = crate::client::ServeClient::connect(addr).unwrap();
+        client.shutdown().unwrap();
+        drop(client);
+        // join() must still complete; a watchdog turns a regression into
+        // a failure instead of a hung test run.
+        let (tx, rx) = mpsc::channel();
+        std::thread::spawn(move || {
+            let _ = tx.send(handle.join());
+        });
+        let stats = rx
+            .recv_timeout(Duration::from_secs(30))
+            .expect("join must not hang on an idle connection");
+        assert_eq!(stats.queries, 0);
+        drop(idle);
+    }
+}

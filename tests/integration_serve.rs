@@ -1,0 +1,230 @@
+//! Zoo-wide end-to-end serving test: every index of the study is built,
+//! snapshotted, booted into an in-process `hydra-serve` server, and
+//! queried over real TCP through concurrent connections — and every served
+//! answer must be **byte-identical** to the offline path (per-query
+//! `search` / `run_workload` on an index loaded from the same snapshot):
+//! same neighbors, bit-identical distances, same workload accuracy.
+//!
+//! This is the acceptance contract of PR 4: a client cannot tell whether
+//! its answers were computed by the paper's offline harness or by the
+//! micro-batching server, except by how fast they arrive.
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use hydra::prelude::*;
+use hydra::Neighbor;
+use hydra_serve::{
+    boot_from_dir, Request, ResponseBody, ServeClient, Server, ServerConfig, ServerHandle,
+};
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "hydra-integration-serve-{}-{name}",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Replays `workload` against one served index through `connections`
+/// concurrent TCP connections, returning the answers in workload order.
+fn replay(
+    addr: SocketAddr,
+    index_name: &str,
+    params: &SearchParams,
+    workload: &hydra::data::QueryWorkload,
+    connections: usize,
+) -> Vec<Vec<Neighbor>> {
+    let queries: Vec<&[f32]> = workload.iter().collect();
+    let n = queries.len();
+    let chunk = n.div_ceil(connections).max(1);
+    let mut merged: Vec<Option<Vec<Neighbor>>> = vec![None; n];
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (c, shard) in queries.chunks(chunk).enumerate() {
+            let handle = scope.spawn(move || {
+                let mut client = ServeClient::connect(addr).expect("connect");
+                // Pipeline the whole shard, then collect by request id, so
+                // the batcher genuinely sees bursts.
+                for (i, query) in shard.iter().enumerate() {
+                    client
+                        .send(&Request::Query {
+                            request_id: (i + 1) as u64,
+                            index: index_name.to_string(),
+                            params: *params,
+                            query: query.to_vec(),
+                        })
+                        .expect("send");
+                }
+                let mut answers: Vec<Option<Vec<Neighbor>>> = vec![None; shard.len()];
+                for _ in 0..shard.len() {
+                    let response = client.recv().expect("recv");
+                    let slot = (response.request_id - 1) as usize;
+                    match response.body {
+                        ResponseBody::Answer { neighbors } => {
+                            assert!(answers[slot].is_none(), "duplicate response id");
+                            answers[slot] = Some(neighbors);
+                        }
+                        other => panic!("query {} failed: {other:?}", response.request_id),
+                    }
+                }
+                (c, answers)
+            });
+            handles.push(handle);
+        }
+        for handle in handles {
+            let (c, answers) = handle.join().expect("replay connection panicked");
+            for (i, answer) in answers.into_iter().enumerate() {
+                merged[c * chunk + i] = Some(answer.expect("unanswered query"));
+            }
+        }
+    });
+    merged.into_iter().map(|a| a.unwrap()).collect()
+}
+
+#[test]
+fn every_index_in_the_zoo_serves_byte_identical_answers() {
+    let dir = temp_dir("zoo");
+    let data = hydra::data::random_walk(400, 32, 2024);
+    let seed = 9;
+    let configs = hydra::standard_configs(true, seed);
+
+    // Snapshot the dataset and the whole zoo, exactly as
+    // `fig3_inmemory --save-index` lays a directory out.
+    hydra::persist::dataset::save_dataset(&data, &dir.join("zoo.data.snap")).unwrap();
+    DsTree::build(&data, configs.dstree)
+        .unwrap()
+        .save(&dir.join("zoo-dstree.snap"))
+        .unwrap();
+    Isax2Plus::build(&data, configs.isax)
+        .unwrap()
+        .save(&dir.join("zoo-isax2.snap"))
+        .unwrap();
+    VaPlusFile::build(&data, configs.vafile)
+        .unwrap()
+        .save(&dir.join("zoo-vafile.snap"))
+        .unwrap();
+    Srs::build(&data, configs.srs)
+        .unwrap()
+        .save(&dir.join("zoo-srs.snap"))
+        .unwrap();
+    InvertedMultiIndex::build(&data, configs.imi)
+        .unwrap()
+        .save(&dir.join("zoo-imi.snap"))
+        .unwrap();
+    Hnsw::build(&data, configs.hnsw)
+        .unwrap()
+        .save(&dir.join("zoo-hnsw.snap"))
+        .unwrap();
+    Qalsh::build(&data, configs.qalsh)
+        .unwrap()
+        .save(&dir.join("zoo-qalsh.snap"))
+        .unwrap();
+    Flann::build(&data, configs.flann)
+        .unwrap()
+        .save(&dir.join("zoo-flann.snap"))
+        .unwrap();
+
+    // Boot the server from the directory; keep an offline twin loaded from
+    // the *same* snapshots (the persist contract makes it bit-identical to
+    // what the server serves).
+    let registry = hydra::standard_registry(true, seed);
+    let booted = boot_from_dir(&dir, &registry).unwrap();
+    assert_eq!(booted.indexes.len(), 8, "the whole zoo must boot");
+    let offline = boot_from_dir(&dir, &registry).unwrap();
+    let handle: ServerHandle = Server::spawn(
+        booted.indexes,
+        "127.0.0.1:0",
+        ServerConfig {
+            batch_window: Duration::from_millis(2),
+            max_batch: 16,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = handle.local_addr();
+
+    // The server's own listing agrees with the offline twin.
+    let mut control = ServeClient::connect(addr).unwrap();
+    let infos = control.list_indexes().unwrap();
+    assert_eq!(infos.len(), 8);
+    for (info, served) in infos.iter().zip(offline.indexes.iter()) {
+        assert_eq!(info.name, served.name);
+        assert_eq!(info.method, served.index.name());
+        assert_eq!(info.capabilities(), {
+            let mut caps = served.index.capabilities();
+            caps.representation = hydra::Representation::Raw; // not on the wire
+            caps
+        });
+    }
+
+    let k = 10;
+    let workload = hydra::data::noisy_queries(&data, 12, &[0.0, 0.2], 77);
+    let truth = hydra::data::ground_truth(&data, &workload, k);
+
+    for served in &offline.indexes {
+        let caps = served.index.capabilities();
+        let mut settings = vec![SearchParams::ng(k, 16)];
+        if caps.exact {
+            settings.push(SearchParams::exact(k));
+        }
+        if caps.delta_epsilon_approximate {
+            settings.push(SearchParams::delta_epsilon(k, 0.9, 1.0));
+        }
+        for params in &settings {
+            let answers = replay(addr, &served.name, params, &workload, 3);
+            // Byte identity against the offline path, query by query.
+            let mut per_query = Vec::with_capacity(workload.len());
+            for (q, query) in workload.iter().enumerate() {
+                let offline_answer = served.index.search(query, params).unwrap();
+                let wire = &answers[q];
+                assert_eq!(
+                    wire.len(),
+                    offline_answer.neighbors.len(),
+                    "{} {params:?} query {q}: answer set size drifted",
+                    served.name
+                );
+                for (a, b) in wire.iter().zip(offline_answer.neighbors.iter()) {
+                    assert_eq!(
+                        a.index, b.index,
+                        "{} {params:?} query {q}: neighbor drifted",
+                        served.name
+                    );
+                    assert_eq!(
+                        a.distance.to_bits(),
+                        b.distance.to_bits(),
+                        "{} {params:?} query {q}: distance drifted",
+                        served.name
+                    );
+                }
+                let answer_truth = &truth.answers[q];
+                per_query.push((
+                    hydra::eval::recall(wire, answer_truth),
+                    hydra::eval::average_precision(wire, answer_truth),
+                    hydra::eval::mean_relative_error(wire, answer_truth),
+                ));
+            }
+            // And the workload-level accuracy equals the offline runner's.
+            let served_accuracy = hydra::eval::AccuracySummary::from_queries(&per_query);
+            let offline_report =
+                hydra::eval::run_workload(served.index.as_ref(), &workload, &truth, params);
+            assert_eq!(
+                served_accuracy, offline_report.accuracy,
+                "{} {params:?}: workload accuracy drifted between serving and offline",
+                served.name
+            );
+        }
+    }
+
+    control.shutdown().unwrap();
+    drop(control);
+    let stats = handle.join();
+    // 8 methods; ng for all, exact for 3 (DSTree, iSAX2+, VA+file), δ-ε
+    // for 5 (those three + SRS + QALSH), 12 queries each.
+    assert_eq!(stats.queries, (8 + 3 + 5) as u64 * 12);
+    assert!(stats.batch_calls >= 1 && stats.ticks >= 1);
+    std::fs::remove_dir_all(&dir).ok();
+}

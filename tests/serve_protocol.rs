@@ -1,0 +1,316 @@
+//! Fuzz and corruption-matrix tests of the hydra-serve wire codec
+//! (mirroring the snapshot-layer style of `tests/persist_roundtrip.rs` /
+//! the container tests): arbitrary bytes, truncated frames, flipped
+//! magic/version/length fields and oversized declared lengths must each
+//! yield the exact typed `ProtocolError` — never a panic, a hang, or a
+//! partially decoded answer.
+
+use std::io::{Cursor, Read};
+
+use proptest::prelude::*;
+
+use hydra::{SearchMode, SearchParams};
+use hydra_serve::protocol::{
+    read_frame, read_request, read_response, ProtocolError, Request, Response, ResponseBody,
+    MAX_FRAME_LEN, PROTOCOL_VERSION, REQUEST_MAGIC, RESPONSE_MAGIC,
+};
+
+/// Builds a deterministic but parameter-diverse query request.
+fn sample_request(k: usize, nprobe: usize, mode_pick: usize, qlen: usize, id: usize) -> Request {
+    let mode = match mode_pick % 4 {
+        0 => SearchMode::Exact,
+        1 => SearchMode::Ng { nprobe },
+        2 => SearchMode::Epsilon {
+            epsilon: nprobe as f32 * 0.25,
+        },
+        _ => SearchMode::DeltaEpsilon {
+            epsilon: nprobe as f32 * 0.25,
+            delta: 1.0 / (1.0 + id as f32),
+        },
+    };
+    Request::Query {
+        request_id: id as u64 + 1,
+        index: format!("idx-{}", id % 7),
+        params: SearchParams { k: k.max(1), mode },
+        query: (0..qlen).map(|i| (i as f32 - 3.5) * 0.75).collect(),
+    }
+}
+
+/// A reader that fails the test if more than `limit` bytes are ever read —
+/// proving a decoder rejected a hostile header *before* consuming (or
+/// waiting for) the payload it declares.
+struct ByteBudget {
+    inner: Cursor<Vec<u8>>,
+    limit: usize,
+    consumed: usize,
+}
+
+impl Read for ByteBudget {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.consumed += n;
+        assert!(
+            self.consumed <= self.limit,
+            "decoder consumed {} bytes; a rejected frame must stop at {}",
+            self.consumed,
+            self.limit
+        );
+        Ok(n)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Well-formed frames of every shape round-trip exactly.
+    #[test]
+    fn valid_requests_roundtrip(
+        k in 1usize..2_000,
+        nprobe in 0usize..1_000,
+        mode_pick in 0usize..4,
+        qlen in 0usize..64,
+        id in 0usize..1_000,
+    ) {
+        let request = sample_request(k, nprobe, mode_pick, qlen, id);
+        let mut cur = Cursor::new(request.encode());
+        let decoded = read_request(&mut cur).unwrap().unwrap();
+        prop_assert_eq!(decoded, request);
+        prop_assert!(read_request(&mut cur).unwrap().is_none());
+    }
+
+    /// Arbitrary byte soup never panics or hangs either decoder: every
+    /// outcome is a clean end, a decoded value, or a typed error.
+    #[test]
+    fn arbitrary_bytes_never_panic(
+        len in 0usize..200,
+        seed in 0usize..1_000_000,
+    ) {
+        let mut state = seed as u64 ^ 0x9E37_79B9_7F4A_7C15;
+        let bytes: Vec<u8> = (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 33) as u8
+            })
+            .collect();
+        // Both directions, frame layer and payload layer: the assertion is
+        // simply that these calls return (no panic, no hang) — and when
+        // they fail, with a ProtocolError, which is statically guaranteed
+        // by the signature.
+        let _ = read_request(&mut Cursor::new(bytes.clone()));
+        let _ = read_response(&mut Cursor::new(bytes.clone()));
+        let _ = Request::decode(&bytes);
+        let _ = Response::decode(&bytes);
+    }
+
+    /// Every strict prefix of a valid frame is `Truncated` — no prefix can
+    /// decode, hang, or yield a partial answer.
+    #[test]
+    fn truncated_frames_are_typed(
+        k in 1usize..100,
+        nprobe in 0usize..64,
+        mode_pick in 0usize..4,
+        qlen in 1usize..16,
+        cut_pick in 0usize..10_000,
+    ) {
+        let bytes = sample_request(k, nprobe, mode_pick, qlen, cut_pick).encode();
+        let cut = 1 + cut_pick % (bytes.len() - 1);
+        prop_assert!(matches!(
+            read_request(&mut Cursor::new(bytes[..cut].to_vec())),
+            Err(ProtocolError::Truncated)
+        ));
+    }
+
+    /// A flipped magic byte is `BadMagic`; a bumped version field is
+    /// `VersionMismatch` carrying the exact found/supported pair.
+    #[test]
+    fn flipped_magic_and_version_are_typed(
+        byte_pick in 0usize..4,
+        flip in 1usize..256,
+        version_bump in 1usize..1_000,
+    ) {
+        let good = Request::ListIndexes { request_id: 1 }.encode();
+        let mut bad_magic = good.clone();
+        bad_magic[byte_pick] ^= flip as u8;
+        prop_assert!(matches!(
+            read_request(&mut Cursor::new(bad_magic)),
+            Err(ProtocolError::BadMagic { .. })
+        ));
+        let mut bad_version = good.clone();
+        let version = PROTOCOL_VERSION.wrapping_add(version_bump as u16);
+        bad_version[4..6].copy_from_slice(&version.to_le_bytes());
+        prop_assert!(matches!(
+            read_request(&mut Cursor::new(bad_version)),
+            Err(ProtocolError::VersionMismatch { found, supported: PROTOCOL_VERSION })
+                if found == version
+        ));
+    }
+
+    /// An oversized declared length is rejected after the 10 header bytes,
+    /// before a single payload byte is consumed, allocated, or awaited —
+    /// the no-hang guarantee.
+    #[test]
+    fn oversized_lengths_fail_before_the_payload(excess in 1usize..1_000_000) {
+        let declared = MAX_FRAME_LEN + excess as u32;
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&REQUEST_MAGIC);
+        bytes.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&declared.to_le_bytes());
+        bytes.extend_from_slice(&vec![0u8; 64]); // bait: must never be read
+        let mut budget = ByteBudget { inner: Cursor::new(bytes), limit: 10, consumed: 0 };
+        prop_assert!(matches!(
+            read_frame(&mut budget, REQUEST_MAGIC),
+            Err(ProtocolError::FrameTooLarge { declared: d, max: MAX_FRAME_LEN }) if d == declared
+        ));
+    }
+
+    /// A tampered length field still yields a typed error (never a panic):
+    /// shrinking the frame leaves trailing garbage (`Corrupt`) or cuts a
+    /// field (`Truncated`); growing it promises bytes that never come
+    /// (`Truncated`).
+    #[test]
+    fn tampered_length_fields_are_typed(
+        k in 1usize..100,
+        qlen in 1usize..16,
+        delta_pick in 0usize..2_000,
+    ) {
+        let bytes = sample_request(k, 8, 1, qlen, delta_pick).encode();
+        let true_len = (bytes.len() - 10) as u32;
+        // Any wrong length in [0, true_len + 1000], excluding the true one.
+        let mut wrong = (delta_pick as u32 * 7) % (true_len + 1_000);
+        if wrong == true_len {
+            wrong += 1;
+        }
+        let mut tampered = bytes.clone();
+        tampered[6..10].copy_from_slice(&wrong.to_le_bytes());
+        match read_request(&mut Cursor::new(tampered)) {
+            Err(
+                ProtocolError::Truncated
+                | ProtocolError::Corrupt(_)
+                | ProtocolError::BadMagic { .. },
+            ) => {}
+            // A shorter declared length can, rarely, still frame a valid
+            // request whose trailing bytes then fail as the next frame's
+            // magic — also a typed outcome, verified above. But it must
+            // never decode to the same request as the untampered frame
+            // with a *different* declared length, panic, or I/O-error.
+            Ok(_) => {}
+            Err(other) => {
+                prop_assert!(false, "unexpected error variant: {other:?}");
+            }
+        }
+    }
+
+    /// Flipping any single payload byte of a query frame never panics the
+    /// decoder: it either still decodes (the flip landed in value bits) or
+    /// fails with a typed error.
+    #[test]
+    fn payload_bitflips_never_panic(
+        k in 1usize..100,
+        qlen in 1usize..16,
+        pos_pick in 0usize..10_000,
+        flip in 1usize..256,
+    ) {
+        let bytes = sample_request(k, 8, pos_pick, qlen, flip).encode();
+        let pos = 10 + pos_pick % (bytes.len() - 10);
+        let mut tampered = bytes.clone();
+        tampered[pos] ^= flip as u8;
+        let _ = read_request(&mut Cursor::new(tampered));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic corruption matrix (one pinned case per failure class, in
+// the style of the persist container tests).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn corruption_matrix_pins_every_error_class() {
+    let good = sample_request(10, 16, 1, 8, 42).encode();
+
+    // Pristine decodes.
+    assert!(read_request(&mut Cursor::new(good.clone())).unwrap().is_some());
+
+    // Empty stream: clean end, not an error.
+    assert!(read_request(&mut Cursor::new(Vec::new())).unwrap().is_none());
+
+    // Response magic on the request channel (and vice versa): BadMagic.
+    let mut crossed = good.clone();
+    crossed[..4].copy_from_slice(&RESPONSE_MAGIC);
+    assert!(matches!(
+        read_request(&mut Cursor::new(crossed)),
+        Err(ProtocolError::BadMagic { found, expected })
+            if found == RESPONSE_MAGIC && expected == REQUEST_MAGIC
+    ));
+
+    // Unknown op / mode / status / error-code tags: Corrupt.
+    let mut cases: Vec<Vec<u8>> = Vec::new();
+    {
+        use hydra::persist::Section;
+        let mut s = Section::new();
+        s.put_u64(1);
+        s.put_u8(3); // unknown op
+        cases.push(s.as_bytes().to_vec());
+        let mut s = Section::new();
+        s.put_u64(1);
+        s.put_u8(0);
+        s.put_str("idx");
+        s.put_u64(10);
+        s.put_u8(4); // unknown mode tag
+        cases.push(s.as_bytes().to_vec());
+    }
+    for payload in cases {
+        assert!(matches!(
+            Request::decode(&payload),
+            Err(ProtocolError::Corrupt(_))
+        ));
+    }
+
+    // k = 0 and absurd k: Corrupt (a hostile k must not reach TopK).
+    for k in [0u64, u64::MAX] {
+        use hydra::persist::Section;
+        let mut s = Section::new();
+        s.put_u64(1);
+        s.put_u8(0);
+        s.put_str("idx");
+        s.put_u64(k);
+        s.put_u8(0);
+        s.put_f32s(&[1.0]);
+        assert!(matches!(
+            Request::decode(s.as_bytes()),
+            Err(ProtocolError::Corrupt(_))
+        ));
+    }
+
+    // Trailing bytes inside the declared payload: Corrupt.
+    let mut padded = Request::Shutdown { request_id: 1 }.encode();
+    padded.extend_from_slice(&[0xAB; 3]);
+    let len = (padded.len() - 10) as u32;
+    padded[6..10].copy_from_slice(&len.to_le_bytes());
+    assert!(matches!(
+        read_request(&mut Cursor::new(padded)),
+        Err(ProtocolError::Corrupt(_))
+    ));
+
+    // A response whose neighbor count outruns its payload: typed, bounded.
+    {
+        use hydra::persist::Section;
+        let mut s = Section::new();
+        s.put_u64(1);
+        s.put_u8(0);
+        s.put_u64(u64::MAX); // declares ~2^64 neighbors
+        assert!(matches!(
+            Response::decode(s.as_bytes()),
+            Err(ProtocolError::Truncated)
+        ));
+    }
+
+    // Responses round-trip too (shared frame layer, distinct magic).
+    let response = Response {
+        request_id: 7,
+        body: ResponseBody::Answer {
+            neighbors: vec![hydra::Neighbor::new(3, 0.5)],
+        },
+    };
+    let mut cur = Cursor::new(response.encode());
+    assert_eq!(read_response(&mut cur).unwrap().unwrap(), response);
+}
