@@ -21,6 +21,13 @@
 //! load time instead of a rebuild, and the accuracy columns are identical
 //! by the snapshot contract. `HYDRA_GT_CACHE=DIR` additionally caches the
 //! exact ground-truth answers.
+//!
+//! Pass `--out-of-core` (with `--load-index`) to serve the raw series from
+//! the snapshot files through a real page cache instead of holding them
+//! resident, and `--pool-pages N` to bound that cache — the genuinely
+//! disk-resident regime of the paper. Answers, accuracy and per-query
+//! `QueryStats` are byte-identical to the resident run at any pool size;
+//! the store-level `bytes_read`/eviction totals become measurements.
 
 use hydra_bench::{
     bench_flags, build_or_load_methods, on_disk_datasets, print_header, print_row,

@@ -149,7 +149,11 @@ fn sanitize(s: &str) -> String {
 /// Obtains one index: loads it from `flags.load_index` (hard error if the
 /// snapshot is missing, damaged, or fingerprint-mismatched — a serving run
 /// must never silently fall back to a rebuild), or builds it and, with
-/// `flags.save_index`, snapshots it for later runs.
+/// `flags.save_index`, snapshots it for later runs. With
+/// `flags.out_of_core`, disk-capable indexes re-attach their raw series
+/// file-backed: dataset-ordered stores onto the directory's
+/// `<dataset>.data.snap` itself, leaf-ordered ones onto a verified
+/// `<snapshot>.series` sidecar.
 fn obtain<T, F>(
     dataset_name: &str,
     data: &Dataset,
@@ -164,8 +168,19 @@ where
 {
     if let Some(dir) = &flags.load_index {
         let path = snapshot_file(dir, dataset_name, T::KIND);
+        let data_snap = dataset_snapshot_file(dir, dataset_name);
+        let backing = if flags.out_of_core {
+            hydra::StoreBacking::FileBacked {
+                // Directories saved by `--save-index` always hold the
+                // dataset snapshot; tolerate hand-built ones without it
+                // (the loaders fall back to a sidecar).
+                dataset_snapshot: data_snap.exists().then_some(data_snap.as_path()),
+            }
+        } else {
+            hydra::StoreBacking::Resident
+        };
         let t = Instant::now();
-        let index = T::load(&path, data, &config).unwrap_or_else(|e| {
+        let index = T::load_backed(&path, data, &config, backing).unwrap_or_else(|e| {
             eprintln!(
                 "error: cannot load {} snapshot from {}: {e}",
                 T::KIND,
@@ -222,7 +237,7 @@ pub fn build_or_load_methods(
     seed: u64,
     flags: &BenchFlags,
 ) -> Vec<BuiltMethod> {
-    let configs = hydra::standard_configs(in_memory, seed);
+    let configs = hydra::standard_configs_pooled(in_memory, seed, flags.pool_pages);
     if let Some(dir) = &flags.save_index {
         let path = dataset_snapshot_file(dir, dataset_name);
         hydra::persist::dataset::save_dataset(data, &path).unwrap_or_else(|e| {
@@ -338,6 +353,13 @@ pub struct BenchFlags {
     /// Directory to restore every index from instead of building
     /// (`--load-index DIR`).
     pub load_index: Option<PathBuf>,
+    /// Buffer-pool capacity override for the disk-capable methods, in
+    /// pages (`--pool-pages N`). `None` keeps the scenario's default.
+    pub pool_pages: Option<usize>,
+    /// Serve raw series out-of-core (`--out-of-core`): loaded indexes
+    /// attach their stores file-backed instead of resident. Requires
+    /// `--load-index` — a fresh build is always resident.
+    pub out_of_core: bool,
 }
 
 impl Default for BenchFlags {
@@ -347,6 +369,8 @@ impl Default for BenchFlags {
             threads: 1,
             save_index: None,
             load_index: None,
+            pool_pages: None,
+            out_of_core: false,
         }
     }
 }
@@ -408,9 +432,28 @@ pub fn parse_bench_flags(
                 return Err("--load-index expects a directory path".into());
             }
             flags.load_index = Some(PathBuf::from(value));
+        } else if let Some(value) = value_of("--pool-pages") {
+            let value = value?;
+            if flags.pool_pages.is_some() {
+                return Err("--pool-pages given more than once".into());
+            }
+            flags.pool_pages = match value.parse::<usize>() {
+                Ok(n) => Some(n),
+                _ => {
+                    return Err(format!(
+                        "--pool-pages expects a non-negative integer, got {value:?}"
+                    ))
+                }
+            };
+        } else if arg == "--out-of-core" {
+            if flags.out_of_core {
+                return Err("--out-of-core given more than once".into());
+            }
+            flags.out_of_core = true;
         } else {
             return Err(format!(
-                "unrecognized argument {arg:?} (accepted: {}--save-index DIR, --load-index DIR)",
+                "unrecognized argument {arg:?} (accepted: {}--save-index DIR, --load-index DIR, \
+                 --pool-pages N, --out-of-core)",
                 if threads_allowed { "--threads N, " } else { "" }
             ));
         }
@@ -418,6 +461,13 @@ pub fn parse_bench_flags(
     if flags.save_index.is_some() && flags.load_index.is_some() {
         return Err(
             "--save-index and --load-index are mutually exclusive (a loaded index is already saved)"
+                .into(),
+        );
+    }
+    if flags.out_of_core && flags.load_index.is_none() {
+        return Err(
+            "--out-of-core requires --load-index DIR (a fresh build is always resident; save \
+             snapshots first, then re-run out-of-core)"
                 .into(),
         );
     }
@@ -538,6 +588,77 @@ mod tests {
         .is_err());
         assert!(parse_bench_flags(&args(&["--threads", "2", "--threads", "3"]), true).is_err());
         assert!(parse_bench_flags(&args(&["extra"]), true).is_err());
+        // Out-of-core flags: --pool-pages and --out-of-core, both spellings,
+        // strict about garbage, and --out-of-core demands snapshots to load.
+        let f = parse_bench_flags(
+            &args(&["--load-index", "/s", "--out-of-core", "--pool-pages", "2"]),
+            true,
+        )
+        .unwrap();
+        assert!(f.out_of_core);
+        assert_eq!(f.pool_pages, Some(2));
+        assert_eq!(
+            parse_bench_flags(&args(&["--pool-pages=0"]), true).unwrap().pool_pages,
+            Some(0),
+            "a zero-page pool (pure cold-cache) is a legal measurement setup"
+        );
+        assert!(parse_bench_flags(&args(&["--pool-pages", "few"]), true).is_err());
+        assert!(parse_bench_flags(&args(&["--pool-pages"]), true).is_err());
+        assert!(
+            parse_bench_flags(&args(&["--pool-pages=1", "--pool-pages=2"]), true).is_err()
+        );
+        assert!(parse_bench_flags(&args(&["--out-of-core"]), true).is_err());
+        assert!(parse_bench_flags(
+            &args(&["--save-index", "/s", "--out-of-core"]),
+            true
+        )
+        .is_err());
+        assert!(parse_bench_flags(
+            &args(&["--load-index", "/s", "--out-of-core", "--out-of-core"]),
+            true
+        )
+        .is_err());
+        assert!(parse_bench_flags(&args(&["--out-of-core=yes"]), true).is_err());
+    }
+
+    #[test]
+    fn out_of_core_load_answers_like_the_resident_load() {
+        let dir = std::env::temp_dir().join(format!(
+            "hydra-bench-ooc-{}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let d = make_dataset("rand256", 400, 32, 5, 31);
+        let save = BenchFlags {
+            save_index: Some(dir.clone()),
+            ..BenchFlags::default()
+        };
+        let built = build_or_load_methods(d.name, &d.data, false, 5, &save);
+        let resident = BenchFlags {
+            load_index: Some(dir.clone()),
+            ..BenchFlags::default()
+        };
+        let resident = build_or_load_methods(d.name, &d.data, false, 5, &resident);
+        // A pool of 1 page is far smaller than 400×32×4 bytes of raw data.
+        let ooc = BenchFlags {
+            load_index: Some(dir.clone()),
+            out_of_core: true,
+            pool_pages: Some(1),
+            ..BenchFlags::default()
+        };
+        let ooc = build_or_load_methods(d.name, &d.data, false, 5, &ooc);
+        assert_eq!(built.len(), ooc.len());
+        for ((b, r), o) in built.iter().zip(resident.iter()).zip(ooc.iter()) {
+            let params = SearchParams::ng(5, 8);
+            let (map_b, rep_b) = run_point(b.index.as_ref(), &d, &params);
+            let (map_r, rep_r) = run_point(r.index.as_ref(), &d, &params);
+            let (map_o, rep_o) = run_point(o.index.as_ref(), &d, &params);
+            assert_eq!(map_b, map_o, "{} out-of-core answers drifted", b.index.name());
+            assert_eq!(rep_b.accuracy, rep_o.accuracy);
+            assert_eq!(map_r, map_o);
+            assert_eq!(rep_r.accuracy, rep_o.accuracy);
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -8,8 +8,8 @@ use hydra_core::{
 };
 use hydra_core::search::SearchSpec;
 use hydra_persist::{
-    codec, fingerprint_dataset, fingerprint_series_permuted, Fingerprint, PersistError,
-    PersistentIndex, Section, SnapshotReader, SnapshotWriter,
+    codec, fingerprint_dataset, Fingerprint, PersistError, PersistentIndex, Section,
+    SnapshotReader, SnapshotWriter, StoreBacking,
 };
 use hydra_storage::{SeriesStore, StorageConfig};
 use hydra_summarize::apca::{segment_stats, uniform_segments, Segment};
@@ -123,6 +123,10 @@ pub struct DsTree {
     store_to_dataset: Vec<usize>,
     histogram: DistanceHistogram,
     num_series: usize,
+    /// Content fingerprint of the dataset the tree was built over, captured
+    /// at build/load time so snapshotting never has to re-read the
+    /// (possibly file-backed) store.
+    data_fingerprint: u64,
 }
 
 impl DsTree {
@@ -153,6 +157,7 @@ impl DsTree {
                 config.seed,
             ),
             num_series: dataset.len(),
+            data_fingerprint: fingerprint_dataset(dataset),
         };
         for id in 0..dataset.len() {
             tree.insert(dataset, id);
@@ -354,15 +359,16 @@ impl DsTree {
 }
 
 /// Everything that shapes a DSTree build, hashed together with the dataset
-/// content (see [`PersistentIndex`]).
+/// content (see [`PersistentIndex`]). The storage configuration is
+/// deliberately **not** hashed — page size, pool capacity and backing shape
+/// only I/O economics, never the tree or its answers, so a snapshot may be
+/// served with any pool (`--pool-pages`) and either backing.
 fn snapshot_fingerprint(config: &DsTreeConfig, data_fingerprint: u64) -> u64 {
     let mut f = Fingerprint::new();
     f.push_str(DsTree::KIND);
     f.push_usize(config.leaf_capacity);
     f.push_usize(config.initial_segments);
     f.push_usize(config.max_segments);
-    f.push_usize(config.storage.page_bytes);
-    f.push_usize(config.storage.buffer_pool_pages);
     f.push_usize(config.histogram_samples);
     f.push_u64(config.seed);
     f.push_u64(data_fingerprint);
@@ -375,15 +381,15 @@ impl PersistentIndex for DsTree {
 
     /// Snapshots the tree (per-node segmentation, EAPCA synopsis, split
     /// rule, leaf extents), the leaf-order-to-dataset mapping and the δ-ε
-    /// histogram; the raw series are re-materialized from the dataset at
-    /// load time.
+    /// histogram; the raw series are re-attached from the dataset at load
+    /// time (resident or file-backed). The dataset-content fingerprint was
+    /// captured when the tree was built or loaded, so saving never reads
+    /// the store.
     fn save(&self, path: &Path) -> hydra_persist::Result<()> {
-        let data_fp = fingerprint_series_permuted(
-            self.series_len,
-            self.store.as_flat(),
-            &self.store_to_dataset,
+        let mut w = SnapshotWriter::new(
+            Self::KIND,
+            snapshot_fingerprint(&self.config, self.data_fingerprint),
         );
-        let mut w = SnapshotWriter::new(Self::KIND, snapshot_fingerprint(&self.config, data_fp));
 
         let mut meta = Section::new();
         meta.put_usize(self.series_len);
@@ -435,9 +441,19 @@ impl PersistentIndex for DsTree {
     }
 
     fn load(path: &Path, dataset: &Dataset, config: &DsTreeConfig) -> hydra_persist::Result<Self> {
+        Self::load_backed(path, dataset, config, StoreBacking::Resident)
+    }
+
+    fn load_backed(
+        path: &Path,
+        dataset: &Dataset,
+        config: &DsTreeConfig,
+        backing: StoreBacking<'_>,
+    ) -> hydra_persist::Result<Self> {
+        let data_fingerprint = fingerprint_dataset(dataset);
         let mut r = SnapshotReader::open(path)?;
         r.expect_kind(Self::KIND)?;
-        r.expect_fingerprint(snapshot_fingerprint(config, fingerprint_dataset(dataset)))?;
+        r.expect_fingerprint(snapshot_fingerprint(config, data_fingerprint))?;
 
         let mut meta = r.next_section()?;
         let series_len = meta.get_usize()?;
@@ -538,17 +554,13 @@ impl PersistentIndex for DsTree {
         let mut sec = r.next_section()?;
         let histogram = codec::get_histogram(&mut sec)?;
 
-        let mut store = SeriesStore::new(series_len, config.storage)
-            .map_err(|e| PersistError::Corrupt(format!("cannot rebuild series store: {e}")))?;
-        for &ds in &store_to_dataset {
-            let series = dataset
-                .get(ds)
-                .ok_or_else(|| PersistError::Corrupt(format!("store mapping {ds} out of range")))?;
-            store
-                .append(series)
-                .map_err(|e| PersistError::Corrupt(format!("cannot rebuild series store: {e}")))?;
-        }
-        store.reset_io();
+        let store = hydra_persist::backing::attach_permuted_store(
+            path,
+            dataset,
+            &store_to_dataset,
+            config.storage,
+            backing,
+        )?;
 
         Ok(Self {
             config: *config,
@@ -558,6 +570,7 @@ impl PersistentIndex for DsTree {
             store_to_dataset,
             histogram,
             num_series,
+            data_fingerprint,
         })
     }
 }

@@ -68,7 +68,7 @@ pub use hydra_core::{
 };
 pub use hydra_dstree::{DsTree, DsTreeConfig};
 pub use hydra_flann::{Flann, FlannAlgorithm, FlannConfig, KdForest, KdForestConfig, KMeansTree, KMeansTreeConfig};
-pub use hydra_persist::{PersistError, PersistentIndex};
+pub use hydra_persist::{PersistError, PersistentIndex, StoreBacking};
 pub use hydra_hnsw::{Hnsw, HnswConfig};
 pub use hydra_imi::{ImiConfig, InvertedMultiIndex};
 pub use hydra_isax::{Isax2Plus, IsaxConfig};
@@ -125,11 +125,26 @@ pub struct StandardConfigs {
 /// storage configuration of the disk-capable methods (buffer pool larger
 /// than the dataset vs. a small pool), `seed` the shared build seed.
 pub fn standard_configs(in_memory: bool, seed: u64) -> StandardConfigs {
-    let storage = if in_memory {
+    standard_configs_pooled(in_memory, seed, None)
+}
+
+/// [`standard_configs`] with the buffer-pool capacity of the disk-capable
+/// methods overridden (`--pool-pages N`). Pool capacity shapes only I/O
+/// economics — it is not part of any snapshot fingerprint — so a serving
+/// process may pick any pool for snapshots saved under the defaults.
+pub fn standard_configs_pooled(
+    in_memory: bool,
+    seed: u64,
+    pool_pages: Option<usize>,
+) -> StandardConfigs {
+    let mut storage = if in_memory {
         StorageConfig::in_memory()
     } else {
         StorageConfig::on_disk()
     };
+    if let Some(pages) = pool_pages {
+        storage = storage.with_pool_pages(pages);
+    }
     StandardConfigs {
         dstree: DsTreeConfig {
             storage,
@@ -176,7 +191,20 @@ pub fn standard_configs(in_memory: bool, seed: u64) -> StandardConfigs {
 /// `fig* --save-index` run (or [`PersistentIndex::save`] under the same
 /// configs) produced.
 pub fn standard_registry(in_memory: bool, seed: u64) -> persist::LoaderRegistry {
-    let configs = standard_configs(in_memory, seed);
+    standard_registry_pooled(in_memory, seed, None)
+}
+
+/// [`standard_registry`] with the buffer-pool capacity of the disk-capable
+/// methods overridden (see [`standard_configs_pooled`]) — the registry a
+/// `hydra-serve --pool-pages N` boot uses. Whether the loaded stores are
+/// resident or file-backed is chosen per load via
+/// [`persist::LoaderRegistry::load_any_backed`], not here.
+pub fn standard_registry_pooled(
+    in_memory: bool,
+    seed: u64,
+    pool_pages: Option<usize>,
+) -> persist::LoaderRegistry {
+    let configs = standard_configs_pooled(in_memory, seed, pool_pages);
     let mut registry = persist::LoaderRegistry::new();
     registry.register::<DsTree>(configs.dstree);
     registry.register::<Isax2Plus>(configs.isax);
@@ -279,6 +307,40 @@ mod tests {
             Err(PersistError::FingerprintMismatch { .. })
         ));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn snapshots_load_at_any_pool_size_and_backing() {
+        // The serving knobs — pool capacity and store backing — are not
+        // part of the snapshot fingerprint: one snapshot saved under the
+        // defaults boots with any `--pool-pages` and either backing, and
+        // answers bit-identically.
+        let data = data::random_walk(250, 32, 8);
+        let dir = std::env::temp_dir().join(format!(
+            "hydra-facade-pooled-{}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let index = DsTree::build(&data, standard_configs(false, 5).dstree).unwrap();
+        let path = dir.join("walk-dstree.snap");
+        index.save(&path).unwrap();
+        let baseline = index.search(data.series(3), &SearchParams::exact(5)).unwrap();
+        for pool_pages in [Some(1), Some(4), None] {
+            let registry = standard_registry_pooled(false, 5, pool_pages);
+            for backing in [
+                StoreBacking::Resident,
+                StoreBacking::FileBacked {
+                    dataset_snapshot: None,
+                },
+            ] {
+                let loaded = registry.load_any_backed(&path, &data, backing).unwrap();
+                let got = loaded.search(data.series(3), &SearchParams::exact(5)).unwrap();
+                assert_eq!(got.neighbors, baseline.neighbors,
+                    "pool {pool_pages:?} / {backing:?} drifted");
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -8,8 +8,8 @@ use hydra_core::{
     QueryStats, Representation, Result, SearchParams, SearchResult,
 };
 use hydra_persist::{
-    codec, fingerprint_dataset, fingerprint_series_permuted, Fingerprint, PersistError,
-    PersistentIndex, Section, SnapshotReader, SnapshotWriter,
+    codec, fingerprint_dataset, Fingerprint, PersistError, PersistentIndex, Section,
+    SnapshotReader, SnapshotWriter, StoreBacking,
 };
 use hydra_storage::{SeriesStore, StorageConfig};
 use hydra_summarize::paa::paa;
@@ -75,6 +75,10 @@ pub struct Isax2Plus {
     store_to_dataset: Vec<usize>,
     histogram: DistanceHistogram,
     num_series: usize,
+    /// Content fingerprint of the dataset the index was built over,
+    /// captured at build/load time so snapshotting never has to re-read the
+    /// (possibly file-backed) store.
+    data_fingerprint: u64,
 }
 
 impl Isax2Plus {
@@ -117,6 +121,7 @@ impl Isax2Plus {
                 config.seed,
             ),
             num_series: dataset.len(),
+            data_fingerprint: fingerprint_dataset(dataset),
         };
         for id in 0..dataset.len() {
             index.insert(dataset, id);
@@ -323,15 +328,16 @@ impl Isax2Plus {
 
 /// Everything that shapes an iSAX2+ build, hashed together with the dataset
 /// content: a snapshot only loads against the exact configuration and data
-/// it was built from.
+/// it was built from. The storage configuration is deliberately **not**
+/// hashed — page size, pool capacity and backing shape only I/O economics,
+/// never the index structure or its answers, so a snapshot may be served
+/// with any pool (`--pool-pages`) and either backing.
 fn snapshot_fingerprint(config: &IsaxConfig, data_fingerprint: u64) -> u64 {
     let mut f = Fingerprint::new();
     f.push_str(Isax2Plus::KIND);
     f.push_usize(config.sax.segments);
     f.push_u64(config.sax.max_bits as u64);
     f.push_usize(config.leaf_capacity);
-    f.push_usize(config.storage.page_bytes);
-    f.push_usize(config.storage.buffer_pool_pages);
     f.push_usize(config.histogram_samples);
     f.push_u64(config.seed);
     f.push_u64(data_fingerprint);
@@ -344,18 +350,15 @@ impl PersistentIndex for Isax2Plus {
 
     /// Snapshots the tree topology (iSAX words, children, leaf extents),
     /// the leaf-order-to-dataset mapping and the δ-ε histogram. The raw
-    /// series are *not* stored: `load` re-materializes the leaf-ordered
-    /// [`SeriesStore`] from its `dataset` argument.
+    /// series are *not* stored: `load` re-attaches the leaf-ordered
+    /// [`SeriesStore`] from its `dataset` argument (resident or
+    /// file-backed). The dataset-content fingerprint was captured when the
+    /// index was built or loaded, so saving never reads the store.
     fn save(&self, path: &Path) -> hydra_persist::Result<()> {
-        // The store holds the series in leaf order; hash them back in
-        // dataset order so the fingerprint matches `fingerprint_dataset` of
-        // the original collection at load time.
-        let data_fp = fingerprint_series_permuted(
-            self.series_len,
-            self.store.as_flat(),
-            &self.store_to_dataset,
+        let mut w = SnapshotWriter::new(
+            Self::KIND,
+            snapshot_fingerprint(&self.config, self.data_fingerprint),
         );
-        let mut w = SnapshotWriter::new(Self::KIND, snapshot_fingerprint(&self.config, data_fp));
 
         let mut meta = Section::new();
         meta.put_usize(self.series_len);
@@ -385,9 +388,19 @@ impl PersistentIndex for Isax2Plus {
     }
 
     fn load(path: &Path, dataset: &Dataset, config: &IsaxConfig) -> hydra_persist::Result<Self> {
+        Self::load_backed(path, dataset, config, StoreBacking::Resident)
+    }
+
+    fn load_backed(
+        path: &Path,
+        dataset: &Dataset,
+        config: &IsaxConfig,
+        backing: StoreBacking<'_>,
+    ) -> hydra_persist::Result<Self> {
+        let data_fingerprint = fingerprint_dataset(dataset);
         let mut r = SnapshotReader::open(path)?;
         r.expect_kind(Self::KIND)?;
-        r.expect_fingerprint(snapshot_fingerprint(config, fingerprint_dataset(dataset)))?;
+        r.expect_fingerprint(snapshot_fingerprint(config, data_fingerprint))?;
 
         let mut meta = r.next_section()?;
         let series_len = meta.get_usize()?;
@@ -448,17 +461,13 @@ impl PersistentIndex for Isax2Plus {
         let mut sec = r.next_section()?;
         let histogram = codec::get_histogram(&mut sec)?;
 
-        let mut store = SeriesStore::new(series_len, config.storage)
-            .map_err(|e| PersistError::Corrupt(format!("cannot rebuild series store: {e}")))?;
-        for &ds in &store_to_dataset {
-            let series = dataset
-                .get(ds)
-                .ok_or_else(|| PersistError::Corrupt(format!("store mapping {ds} out of range")))?;
-            store
-                .append(series)
-                .map_err(|e| PersistError::Corrupt(format!("cannot rebuild series store: {e}")))?;
-        }
-        store.reset_io();
+        let store = hydra_persist::backing::attach_permuted_store(
+            path,
+            dataset,
+            &store_to_dataset,
+            config.storage,
+            backing,
+        )?;
 
         Ok(Self {
             config: *config,
@@ -469,6 +478,7 @@ impl PersistentIndex for Isax2Plus {
             store_to_dataset,
             histogram,
             num_series,
+            data_fingerprint,
         })
     }
 }

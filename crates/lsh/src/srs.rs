@@ -7,8 +7,8 @@ use hydra_core::{
     SearchMode, SearchParams, SearchResult, TopK,
 };
 use hydra_persist::{
-    fingerprint_dataset, fingerprint_series_flat, Fingerprint, PersistError, PersistentIndex,
-    Section, SnapshotReader, SnapshotWriter,
+    fingerprint_dataset, Fingerprint, PersistError, PersistentIndex, Section, SnapshotReader,
+    SnapshotWriter, StoreBacking,
 };
 use hydra_storage::{SeriesStore, StorageConfig};
 use hydra_summarize::GaussianProjection;
@@ -51,6 +51,9 @@ pub struct Srs {
     projected: Vec<f32>,
     store: SeriesStore,
     num_series: usize,
+    /// Content fingerprint of the dataset, captured at build/load time so
+    /// snapshotting never has to re-read the (possibly file-backed) store.
+    data_fingerprint: u64,
 }
 
 impl Srs {
@@ -83,6 +86,7 @@ impl Srs {
             projected,
             store,
             num_series: dataset.len(),
+            data_fingerprint: fingerprint_dataset(dataset),
         })
     }
 
@@ -192,7 +196,8 @@ impl Srs {
             let series = self.store.read(id, &mut stats);
             stats.series_scanned += 1;
             stats.distance_computations += 1;
-            if let Some(d) = hydra_core::euclidean_early_abandon(query, series, top.kth_distance())
+            if let Some(d) =
+                hydra_core::euclidean_early_abandon(query, &series, top.kth_distance())
             {
                 top.push(Neighbor::new(id, d));
             }
@@ -204,14 +209,15 @@ impl Srs {
 }
 
 /// Everything that shapes an SRS build, hashed together with the dataset
-/// content (see [`PersistentIndex`]).
+/// content (see [`PersistentIndex`]). The storage configuration is
+/// deliberately **not** hashed — it shapes only I/O economics, never the
+/// projected table or its answers, so a snapshot may be served with any
+/// pool (`--pool-pages`) and either backing.
 fn snapshot_fingerprint(config: &SrsConfig, data_fingerprint: u64) -> u64 {
     let mut f = Fingerprint::new();
     f.push_str(Srs::KIND);
     f.push_usize(config.projected_dims);
     f.push_f64(config.max_examined_fraction);
-    f.push_usize(config.storage.page_bytes);
-    f.push_usize(config.storage.buffer_pool_pages);
     f.push_u64(config.seed);
     f.push_u64(data_fingerprint);
     f.finish()
@@ -227,8 +233,10 @@ impl PersistentIndex for Srs {
     /// and is re-sampled at load time; the raw series store is re-created
     /// from the dataset.
     fn save(&self, path: &Path) -> hydra_persist::Result<()> {
-        let data_fp = fingerprint_series_flat(self.series_len, self.store.as_flat());
-        let mut w = SnapshotWriter::new(Self::KIND, snapshot_fingerprint(&self.config, data_fp));
+        let mut w = SnapshotWriter::new(
+            Self::KIND,
+            snapshot_fingerprint(&self.config, self.data_fingerprint),
+        );
 
         let mut meta = Section::new();
         meta.put_usize(self.series_len);
@@ -244,9 +252,19 @@ impl PersistentIndex for Srs {
     }
 
     fn load(path: &Path, dataset: &Dataset, config: &SrsConfig) -> hydra_persist::Result<Self> {
+        Self::load_backed(path, dataset, config, StoreBacking::Resident)
+    }
+
+    fn load_backed(
+        path: &Path,
+        dataset: &Dataset,
+        config: &SrsConfig,
+        backing: StoreBacking<'_>,
+    ) -> hydra_persist::Result<Self> {
+        let data_fingerprint = fingerprint_dataset(dataset);
         let mut r = SnapshotReader::open(path)?;
         r.expect_kind(Self::KIND)?;
-        r.expect_fingerprint(snapshot_fingerprint(config, fingerprint_dataset(dataset)))?;
+        r.expect_fingerprint(snapshot_fingerprint(config, data_fingerprint))?;
 
         let mut meta = r.next_section()?;
         let series_len = meta.get_usize()?;
@@ -267,9 +285,8 @@ impl PersistentIndex for Srs {
             ));
         }
 
-        let store = SeriesStore::from_dataset(dataset, config.storage)
-            .map_err(|e| PersistError::Corrupt(format!("cannot rebuild series store: {e}")))?;
-        store.reset_io();
+        let store =
+            hydra_persist::backing::attach_dataset_order_store(path, dataset, config.storage, backing)?;
 
         Ok(Self {
             config: *config,
@@ -278,6 +295,7 @@ impl PersistentIndex for Srs {
             projected,
             store,
             num_series,
+            data_fingerprint,
         })
     }
 }

@@ -1,0 +1,243 @@
+//! Re-attaching raw-series stores at snapshot load time.
+//!
+//! Every disk-capable index ends its `load` the same way: the snapshot
+//! described the *structure*, and the raw series must now be put behind a
+//! [`SeriesStore`] in the layout the structure expects. This module is the
+//! single implementation of that step for both layouts and both backings
+//! (see [`StoreBacking`]), so the zoo cannot drift:
+//!
+//! * [`attach_permuted_store`] — tree indexes, whose store holds the
+//!   series in **leaf order** (`store_to_dataset[pos]` = dataset position
+//!   of record `pos`). File-backed, the leaf-ordered payload lives in a
+//!   verified `<snapshot>.series` flat-file sidecar
+//!   ([`crate::dataset::ensure_flat_series`]).
+//! * [`attach_dataset_order_store`] — skip-sequential indexes, whose store
+//!   keeps **dataset order**. File-backed, the dataset snapshot itself is
+//!   the backing file when its path is known
+//!   ([`crate::dataset::dataset_flat_region`]); otherwise a sidecar is
+//!   used, exactly as for the trees.
+//!
+//! The backing never changes answers: the store serves bit-identical
+//! series either way, and the shared accounting in `hydra-storage` keeps
+//! the per-query I/O counters identical too.
+
+use std::path::Path;
+
+use hydra_core::Dataset;
+use hydra_storage::{FileSpan, SeriesStore, StorageConfig};
+
+use crate::dataset::{dataset_flat_region, ensure_flat_series, sidecar_series_path, FlatSpan};
+use crate::error::{PersistError, Result};
+use crate::StoreBacking;
+
+fn file_backed(path: &Path, span: FlatSpan, storage: StorageConfig) -> Result<SeriesStore> {
+    SeriesStore::file_backed(
+        path,
+        FileSpan {
+            offset: span.payload_offset,
+            records: span.records,
+        },
+        span.series_len,
+        storage,
+    )
+    .map_err(|e| {
+        PersistError::Io(format!(
+            "cannot attach file-backed store {}: {e}",
+            path.display()
+        ))
+    })
+}
+
+/// Re-attaches a permuted (leaf-ordered) raw-series store under the
+/// requested backing: resident (re-appended from the dataset, as every
+/// load did historically) or file-backed (a verified flat-file sidecar
+/// next to `snapshot`, served through the real page cache).
+///
+/// # Errors
+/// [`PersistError::Corrupt`] if the mapping references series outside the
+/// dataset; [`PersistError::Io`] on filesystem failures.
+pub fn attach_permuted_store(
+    snapshot: &Path,
+    dataset: &Dataset,
+    store_to_dataset: &[usize],
+    storage: StorageConfig,
+    backing: StoreBacking<'_>,
+) -> Result<SeriesStore> {
+    match backing {
+        StoreBacking::Resident => {
+            let mut store = SeriesStore::new(dataset.series_len(), storage)
+                .map_err(|e| PersistError::Corrupt(format!("cannot rebuild series store: {e}")))?;
+            for &ds in store_to_dataset {
+                let series = dataset.get(ds).ok_or_else(|| {
+                    PersistError::Corrupt(format!("store mapping {ds} out of range"))
+                })?;
+                store.append(series).map_err(|e| {
+                    PersistError::Corrupt(format!("cannot rebuild series store: {e}"))
+                })?;
+            }
+            store.reset_io();
+            Ok(store)
+        }
+        StoreBacking::FileBacked { .. } => {
+            let sidecar = sidecar_series_path(snapshot);
+            // `ensure_flat_series` validates the mapping range itself.
+            let span = ensure_flat_series(&sidecar, dataset, Some(store_to_dataset))?;
+            file_backed(&sidecar, span, storage)
+        }
+    }
+}
+
+/// Re-attaches a dataset-ordered raw-series store under the requested
+/// backing. File-backed, the dataset snapshot named by the backing doubles
+/// as the backing file (no extra bytes on disk); without one, a flat-file
+/// sidecar next to `snapshot` is used.
+///
+/// # Errors
+/// [`PersistError`] on filesystem failures, a damaged dataset snapshot, or
+/// a dataset snapshot whose content is not `dataset`.
+pub fn attach_dataset_order_store(
+    snapshot: &Path,
+    dataset: &Dataset,
+    storage: StorageConfig,
+    backing: StoreBacking<'_>,
+) -> Result<SeriesStore> {
+    match backing {
+        StoreBacking::Resident => {
+            let store = SeriesStore::from_dataset(dataset, storage)
+                .map_err(|e| PersistError::Corrupt(format!("cannot rebuild series store: {e}")))?;
+            store.reset_io();
+            Ok(store)
+        }
+        StoreBacking::FileBacked {
+            dataset_snapshot: Some(data_path),
+        } => {
+            let span = dataset_flat_region(data_path, dataset)?;
+            file_backed(data_path, span, storage)
+        }
+        StoreBacking::FileBacked {
+            dataset_snapshot: None,
+        } => {
+            let sidecar = sidecar_series_path(snapshot);
+            let span = ensure_flat_series(&sidecar, dataset, None)?;
+            file_backed(&sidecar, span, storage)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::save_dataset;
+    use hydra_core::QueryStats;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("hydra-backing-{}-{name}", std::process::id()))
+    }
+
+    fn sample() -> Dataset {
+        let mut d = Dataset::new(4).unwrap();
+        for i in 0..10 {
+            let s: Vec<f32> = (0..4).map(|j| (i * 4 + j) as f32).collect();
+            d.push(&s).unwrap();
+        }
+        d
+    }
+
+    fn read_all(store: &SeriesStore) -> Vec<Vec<f32>> {
+        let mut stats = QueryStats::new();
+        (0..store.len())
+            .map(|r| store.read(r, &mut stats).to_vec())
+            .collect()
+    }
+
+    #[test]
+    fn permuted_store_serves_identical_series_under_both_backings() {
+        let d = sample();
+        let snapshot = temp_path("perm.snap");
+        std::fs::remove_file(crate::dataset::sidecar_series_path(&snapshot)).ok();
+        let mapping: Vec<usize> = (0..10).rev().collect();
+        let storage = StorageConfig {
+            page_bytes: 32,
+            buffer_pool_pages: 1,
+        };
+        let resident =
+            attach_permuted_store(&snapshot, &d, &mapping, storage, StoreBacking::Resident)
+                .unwrap();
+        let filed = attach_permuted_store(
+            &snapshot,
+            &d,
+            &mapping,
+            storage,
+            StoreBacking::FileBacked {
+                dataset_snapshot: None,
+            },
+        )
+        .unwrap();
+        assert!(!resident.is_file_backed());
+        assert!(filed.is_file_backed());
+        assert_eq!(read_all(&resident), read_all(&filed));
+        assert!(filed.io_snapshot().pool_evictions > 0, "capacity 1 must thrash");
+        // A mapping outside the dataset is corrupt under either backing.
+        for backing in [
+            StoreBacking::Resident,
+            StoreBacking::FileBacked {
+                dataset_snapshot: None,
+            },
+        ] {
+            assert!(matches!(
+                attach_permuted_store(&snapshot, &d, &[99], storage, backing),
+                Err(PersistError::Corrupt(_))
+            ));
+        }
+        std::fs::remove_file(crate::dataset::sidecar_series_path(&snapshot)).ok();
+    }
+
+    #[test]
+    fn dataset_order_store_backs_onto_the_dataset_snapshot() {
+        let d = sample();
+        let snapshot = temp_path("order.snap");
+        let data_snap = temp_path("order.data.snap");
+        save_dataset(&d, &data_snap).unwrap();
+        let storage = StorageConfig::on_disk();
+        let resident =
+            attach_dataset_order_store(&snapshot, &d, storage, StoreBacking::Resident).unwrap();
+        let from_snap = attach_dataset_order_store(
+            &snapshot,
+            &d,
+            storage,
+            StoreBacking::FileBacked {
+                dataset_snapshot: Some(&data_snap),
+            },
+        )
+        .unwrap();
+        let from_sidecar = attach_dataset_order_store(
+            &snapshot,
+            &d,
+            storage,
+            StoreBacking::FileBacked {
+                dataset_snapshot: None,
+            },
+        )
+        .unwrap();
+        assert_eq!(read_all(&resident), read_all(&from_snap));
+        assert_eq!(read_all(&resident), read_all(&from_sidecar));
+        // The dataset snapshot was NOT copied: no sidecar appears when the
+        // snapshot itself is the backing file.
+        assert!(from_snap.is_file_backed());
+        // A wrong dataset snapshot is refused, never silently served.
+        let other = Dataset::from_flat(4, vec![0.0; 40]).unwrap();
+        assert!(matches!(
+            attach_dataset_order_store(
+                &snapshot,
+                &other,
+                storage,
+                StoreBacking::FileBacked {
+                    dataset_snapshot: Some(&data_snap),
+                },
+            ),
+            Err(PersistError::FingerprintMismatch { .. })
+        ));
+        std::fs::remove_file(&data_snap).ok();
+        std::fs::remove_file(crate::dataset::sidecar_series_path(&snapshot)).ok();
+    }
+}

@@ -1,20 +1,75 @@
-//! Snapshotting whole datasets.
+//! Snapshotting whole datasets — and the flat series layout that lets a
+//! file on disk *back* a [`hydra-storage`] store directly.
 //!
 //! Generating the synthetic collections is cheap, but real deployments load
 //! series from expensive pipelines; persisting the [`Dataset`] itself makes
 //! a saved index fully self-sufficient: a server can boot from
 //! `dataset.snap` + `index.snap` without touching the original source.
+//!
+//! ## The flat series layout
+//!
+//! Out-of-core serving needs raw series it can `pread` at a computable
+//! offset. Two files provide that:
+//!
+//! * A **dataset snapshot** ([`save_dataset`]) stores its values as
+//!   contiguous little-endian `f32` bit patterns, so the snapshot *doubles
+//!   as the backing file* for any store that keeps series in dataset order
+//!   (VA+file, SRS) — [`dataset_flat_region`] validates the container and
+//!   returns the payload's byte region.
+//! * A **flat series file** (`HYDRFLAT`, [`ensure_flat_series`]) holds
+//!   series in an arbitrary caller-chosen order — the leaf-ordered layout
+//!   of the tree indexes. It is a derived cache: written (atomically) from
+//!   the in-RAM dataset on first use, verified against a content
+//!   fingerprint on reuse, and silently rebuilt if damaged.
+//!
+//! ```text
+//! flat series file layout (all little-endian)
+//! offset  size  field
+//! 0       8     magic  b"HYDRFLAT"
+//! 8       4     format version (u32, currently 1)
+//! 12      4     reserved (zero)
+//! 16      8     series length (u64)
+//! 24      8     record count (u64)
+//! 32      8     content fingerprint (u64, see [`flat_series_fingerprint`])
+//! 40      24    zero padding
+//! 64      ...   record count × series length f32 values (bit patterns)
+//! ```
+//!
+//! [`hydra-storage`]: https://docs.rs/hydra-storage
 
-use std::path::Path;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
 
 use hydra_core::Dataset;
 
 use crate::error::{PersistError, Result};
-use crate::fingerprint::fingerprint_dataset;
-use crate::snapshot::{Section, SnapshotReader, SnapshotWriter};
+use crate::fingerprint::{fingerprint_dataset, Fingerprint};
+use crate::snapshot::{Section, SnapshotReader, SnapshotWriter, MAGIC};
 
 /// Kind tag of dataset snapshots.
 pub const DATASET_KIND: &str = "dataset";
+
+/// Magic bytes identifying a flat series file.
+pub const FLAT_MAGIC: [u8; 8] = *b"HYDRFLAT";
+
+/// The single flat-series-file format version this build writes and reads.
+pub const FLAT_VERSION: u32 = 1;
+
+/// Byte offset of record 0 inside a flat series file.
+pub const FLAT_PAYLOAD_OFFSET: u64 = 64;
+
+/// Where the raw series of a file live: `payload_offset` bytes in, as
+/// `records` × `series_len` little-endian `f32` bit patterns. This is the
+/// value handed to `hydra_storage::SeriesStore::file_backed`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlatSpan {
+    /// Byte offset of the first value.
+    pub payload_offset: u64,
+    /// Number of series.
+    pub records: usize,
+    /// Length of each series.
+    pub series_len: usize,
+}
 
 /// Writes `dataset` to `path` as a snapshot of kind [`DATASET_KIND`], with
 /// the dataset's content fingerprint in the header.
@@ -49,12 +104,236 @@ pub fn load_dataset(path: &Path) -> Result<Dataset> {
     Ok(dataset)
 }
 
+/// The byte region of `dataset`'s values inside its snapshot at `path` —
+/// the span that lets the snapshot double as a store's backing file.
+///
+/// The container is fully validated (checksums included) and must hold
+/// exactly `dataset`: a snapshot of different content fails with
+/// [`PersistError::FingerprintMismatch`], so a store can never be silently
+/// backed by the wrong bytes.
+pub fn dataset_flat_region(path: &Path, dataset: &Dataset) -> Result<FlatSpan> {
+    let mut r = SnapshotReader::open(path)?;
+    r.expect_kind(DATASET_KIND)?;
+    r.expect_fingerprint(fingerprint_dataset(dataset))?;
+    let mut s = r.next_section()?;
+    let series_len = s.get_usize()?;
+    let n = s.get_usize()?;
+    let values = s.get_usize()?; // count prefix of the f32 slice
+    if series_len != dataset.series_len() || n != dataset.len() || values != n * series_len {
+        return Err(PersistError::Corrupt(
+            "dataset snapshot shape disagrees with the dataset".into(),
+        ));
+    }
+    // The fixed container layout (see `snapshot` module docs): header,
+    // then section 0's length+checksum, then the three u64s decoded above.
+    let header = MAGIC.len() + 4 + 8 + 2 + DATASET_KIND.len() + 4;
+    let payload_offset = (header + 16 + 24) as u64;
+    // Probe the computed offset against the in-RAM dataset: if the
+    // container layout ever drifts from this arithmetic, the mismatch must
+    // surface here as a typed error, never as a store preading garbage
+    // while every checksum reports success.
+    if n > 0 {
+        use std::os::unix::fs::FileExt;
+        let file = std::fs::File::open(path)?;
+        let mut probe = vec![0u8; series_len * 4];
+        file.read_exact_at(&mut probe, payload_offset)?;
+        let matches = probe
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .eq(dataset.series(0).iter().map(|v| v.to_bits()));
+        if !matches {
+            return Err(PersistError::Corrupt(
+                "dataset snapshot payload is not at the expected offset \
+                 (container layout drifted from dataset_flat_region?)"
+                    .into(),
+            ));
+        }
+    }
+    Ok(FlatSpan {
+        payload_offset,
+        records: n,
+        series_len,
+    })
+}
+
+/// The flat series file that caches an index snapshot's store-ordered raw
+/// series: `<snapshot>.series` next to the snapshot itself.
+pub fn sidecar_series_path(snapshot: &Path) -> PathBuf {
+    let mut os = snapshot.as_os_str().to_os_string();
+    os.push(".series");
+    PathBuf::from(os)
+}
+
+/// Content fingerprint of a flat series file: shape, then every value's
+/// bit pattern in *file* order (`order[pos]` names the dataset series
+/// stored at record `pos`; `None` is dataset order). With `None` this
+/// equals [`fingerprint_dataset`].
+pub fn flat_series_fingerprint(dataset: &Dataset, order: Option<&[usize]>) -> u64 {
+    let records = order.map_or(dataset.len(), <[usize]>::len);
+    let mut f = Fingerprint::new();
+    f.push_usize(dataset.series_len());
+    f.push_usize(records);
+    match order {
+        None => {
+            f.push_f32s(dataset.as_flat());
+        }
+        Some(order) => {
+            for &ds in order {
+                f.push_f32s(dataset.series(ds));
+            }
+        }
+    }
+    f.finish()
+}
+
+fn flat_header(series_len: usize, records: usize, fingerprint: u64) -> [u8; FLAT_PAYLOAD_OFFSET as usize] {
+    let mut header = [0u8; FLAT_PAYLOAD_OFFSET as usize];
+    header[0..8].copy_from_slice(&FLAT_MAGIC);
+    header[8..12].copy_from_slice(&FLAT_VERSION.to_le_bytes());
+    header[16..24].copy_from_slice(&(series_len as u64).to_le_bytes());
+    header[24..32].copy_from_slice(&(records as u64).to_le_bytes());
+    header[32..40].copy_from_slice(&fingerprint.to_le_bytes());
+    header
+}
+
+/// Checks whether the flat series file at `path` exists and holds exactly
+/// the expected shape, header fingerprint and payload content. Any
+/// shortfall — absent file, stale header, damaged payload — reports
+/// `Ok(false)` (the caller rewrites); only an unreadable filesystem is an
+/// error.
+fn flat_series_is_valid(
+    path: &Path,
+    series_len: usize,
+    records: usize,
+    fingerprint: u64,
+) -> Result<bool> {
+    let mut file = match std::fs::File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(false),
+        Err(e) => return Err(e.into()),
+    };
+    let mut header = [0u8; FLAT_PAYLOAD_OFFSET as usize];
+    if file.read_exact(&mut header).is_err() {
+        return Ok(false);
+    }
+    if header != flat_header(series_len, records, fingerprint) {
+        return Ok(false);
+    }
+    // Verify the payload really hashes to the header fingerprint, so a
+    // flipped bit in a cached sidecar is repaired instead of served.
+    let mut f = Fingerprint::new();
+    f.push_usize(series_len);
+    f.push_usize(records);
+    let mut remaining = records * series_len * 4;
+    let mut buf = vec![0u8; (1 << 20).min(remaining.max(4))];
+    while remaining > 0 {
+        let take = buf.len().min(remaining);
+        if file.read_exact(&mut buf[..take]).is_err() {
+            return Ok(false);
+        }
+        for chunk in buf[..take].chunks_exact(4) {
+            f.push_f32(f32::from_bits(u32::from_le_bytes(chunk.try_into().unwrap())));
+        }
+        remaining -= take;
+    }
+    Ok(f.finish() == fingerprint)
+}
+
+/// Ensures the flat series file at `path` holds `dataset`'s series in the
+/// given order (`order[pos]` = dataset position of record `pos`; `None` is
+/// dataset order), returning the payload span to back a store with.
+///
+/// The file is a derived cache: if it already exists with the expected
+/// header and verified payload it is reused untouched; otherwise it is
+/// (re)written from the in-RAM dataset via a temporary file and an atomic
+/// rename, so a concurrent boot never observes a half-written payload.
+///
+/// # Errors
+/// [`PersistError::Corrupt`] if `order` references a series outside the
+/// dataset; [`PersistError::Io`] on filesystem failures.
+pub fn ensure_flat_series(
+    path: &Path,
+    dataset: &Dataset,
+    order: Option<&[usize]>,
+) -> Result<FlatSpan> {
+    if let Some(order) = order {
+        if let Some(&bad) = order.iter().find(|&&ds| ds >= dataset.len()) {
+            return Err(PersistError::Corrupt(format!(
+                "flat series order references series {bad} of a {}-series dataset",
+                dataset.len()
+            )));
+        }
+    }
+    let series_len = dataset.series_len();
+    let records = order.map_or(dataset.len(), <[usize]>::len);
+    let fingerprint = flat_series_fingerprint(dataset, order);
+    let span = FlatSpan {
+        payload_offset: FLAT_PAYLOAD_OFFSET,
+        records,
+        series_len,
+    };
+    if flat_series_is_valid(path, series_len, records, fingerprint)? {
+        return Ok(span);
+    }
+
+    let tmp = {
+        let mut os = path.as_os_str().to_os_string();
+        os.push(format!(".tmp.{}", std::process::id()));
+        PathBuf::from(os)
+    };
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    {
+        let file = std::fs::File::create(&tmp)?;
+        let mut w = std::io::BufWriter::new(file);
+        w.write_all(&flat_header(series_len, records, fingerprint))?;
+        let mut write_series = |series: &[f32]| -> Result<()> {
+            for &v in series {
+                w.write_all(&v.to_bits().to_le_bytes())?;
+            }
+            Ok(())
+        };
+        match order {
+            None => {
+                for series in dataset.iter() {
+                    write_series(series)?;
+                }
+            }
+            Some(order) => {
+                for &ds in order {
+                    write_series(dataset.series(ds))?;
+                }
+            }
+        }
+        w.flush()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(span)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn temp_path(name: &str) -> std::path::PathBuf {
         std::env::temp_dir().join(format!("hydra-dataset-{}-{name}", std::process::id()))
+    }
+
+    fn read_record(path: &Path, span: FlatSpan, record: usize) -> Vec<f32> {
+        use std::os::unix::fs::FileExt;
+        let file = std::fs::File::open(path).unwrap();
+        let mut buf = vec![0u8; span.series_len * 4];
+        file.read_exact_at(
+            &mut buf,
+            span.payload_offset + (record * span.series_len * 4) as u64,
+        )
+        .unwrap();
+        buf.chunks_exact(4)
+            .map(|c| f32::from_bits(u32::from_le_bytes(c.try_into().unwrap())))
+            .collect()
     }
 
     #[test]
@@ -82,5 +361,111 @@ mod tests {
             Err(PersistError::KindMismatch { .. })
         ));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn dataset_snapshot_doubles_as_a_backing_file() {
+        let d = Dataset::from_series(
+            4,
+            &[
+                [1.0f32, 2.0, 3.0, 4.0],
+                [-1.5, 0.0, f32::INFINITY, 8.25],
+                [9.0, 10.0, 11.0, 12.0],
+            ],
+        )
+        .unwrap();
+        let path = temp_path("region.snap");
+        save_dataset(&d, &path).unwrap();
+        let span = dataset_flat_region(&path, &d).unwrap();
+        assert_eq!(span.records, 3);
+        assert_eq!(span.series_len, 4);
+        // pread at the advertised offset yields exactly the stored series.
+        for r in 0..3 {
+            assert_eq!(
+                read_record(&path, span, r)
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                d.series(r).iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "record {r} drifted"
+            );
+        }
+        // A different dataset of the same shape is refused.
+        let other = Dataset::from_series(4, &[[0.0f32; 4], [0.0; 4], [0.0; 4]]).unwrap();
+        assert!(matches!(
+            dataset_flat_region(&path, &other),
+            Err(PersistError::FingerprintMismatch { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn flat_series_file_roundtrips_in_any_order() {
+        let d = Dataset::from_series(
+            2,
+            &[[0.0f32, 1.0], [2.0, 3.0], [4.0, 5.0]],
+        )
+        .unwrap();
+        let path = temp_path("flat.series");
+        std::fs::remove_file(&path).ok();
+        let order = [2usize, 0, 1];
+        let span = ensure_flat_series(&path, &d, Some(&order)).unwrap();
+        assert_eq!(span.payload_offset, FLAT_PAYLOAD_OFFSET);
+        assert_eq!(span.records, 3);
+        for (pos, &ds) in order.iter().enumerate() {
+            assert_eq!(read_record(&path, span, pos), d.series(ds), "record {pos}");
+        }
+        // Identity order equals the dataset fingerprint.
+        assert_eq!(
+            flat_series_fingerprint(&d, None),
+            fingerprint_dataset(&d)
+        );
+        // Out-of-range order entries are corrupt, not a panic.
+        assert!(matches!(
+            ensure_flat_series(&path, &d, Some(&[7])),
+            Err(PersistError::Corrupt(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn flat_series_cache_is_reused_verified_and_self_healing() {
+        let d = Dataset::from_series(2, &[[1.0f32, 2.0], [3.0, 4.0]]).unwrap();
+        let path = temp_path("flat-heal.series");
+        std::fs::remove_file(&path).ok();
+        ensure_flat_series(&path, &d, None).unwrap();
+        let pristine = std::fs::read(&path).unwrap();
+
+        // Reuse does not rewrite (mtime-independent check: flip nothing,
+        // ensure again, bytes unchanged).
+        ensure_flat_series(&path, &d, None).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), pristine);
+
+        // A flipped payload byte is detected and the file rebuilt.
+        let mut damaged = pristine.clone();
+        let last = damaged.len() - 1;
+        damaged[last] ^= 0x20;
+        std::fs::write(&path, &damaged).unwrap();
+        let span = ensure_flat_series(&path, &d, None).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), pristine, "damage repaired");
+        assert_eq!(read_record(&path, span, 1), d.series(1));
+
+        // A truncated file is rebuilt too.
+        std::fs::write(&path, &pristine[..pristine.len() - 3]).unwrap();
+        ensure_flat_series(&path, &d, None).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), pristine);
+
+        // A *different* expected order invalidates the cache.
+        let span = ensure_flat_series(&path, &d, Some(&[1, 0])).unwrap();
+        assert_eq!(read_record(&path, span, 0), d.series(1));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sidecar_path_appends_series_suffix() {
+        assert_eq!(
+            sidecar_series_path(Path::new("/snaps/rand256-isax2.snap")),
+            Path::new("/snaps/rand256-isax2.snap.series")
+        );
     }
 }

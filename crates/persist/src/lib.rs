@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod backing;
 pub mod codec;
 pub mod dataset;
 pub mod error;
@@ -53,10 +54,39 @@ pub use error::{PersistError, Result};
 pub use fingerprint::{
     fingerprint_dataset, fingerprint_series_flat, fingerprint_series_permuted, Fingerprint,
 };
+pub use dataset::FlatSpan;
 pub use registry::{BoxedLoader, LoaderRegistry};
 pub use snapshot::{
     peek_kind, Section, SectionReader, SnapshotReader, SnapshotWriter, FORMAT_VERSION, MAGIC,
 };
+
+/// How a loaded index should re-attach its raw series — the out-of-core
+/// switch of the whole persistence layer.
+///
+/// The choice shapes only where bytes live and what the I/O counters
+/// measure; it is **not** part of the snapshot fingerprint, so one snapshot
+/// loads under either backing (at any buffer-pool size) with bit-identical
+/// answers.
+#[derive(Debug, Clone, Copy, Default)]
+pub enum StoreBacking<'a> {
+    /// Raw series resident in RAM, paged I/O simulated — the historical
+    /// (and build-time) mode.
+    #[default]
+    Resident,
+    /// Raw series served from a file through a page cache with real
+    /// eviction. Indexes whose store keeps *dataset* order are backed by
+    /// the dataset snapshot itself when its path is given (the snapshot
+    /// doubles as the backing file, see
+    /// [`dataset::dataset_flat_region`]); indexes with a permuted
+    /// (leaf-ordered) store — and dataset-ordered ones when no snapshot
+    /// path is available — use a [`dataset::ensure_flat_series`] sidecar
+    /// next to the index snapshot.
+    FileBacked {
+        /// The `*.data.snap` file holding the dataset this index is loaded
+        /// against, if the caller has one.
+        dataset_snapshot: Option<&'a Path>,
+    },
+}
 
 /// An index that can be saved to — and restored from — a snapshot file.
 ///
@@ -74,9 +104,15 @@ pub use snapshot::{
 ///   in for an index it is not.
 /// * Snapshots store derived structure only. Raw series are re-attached
 ///   from the `dataset` argument at load time (disk-backed indexes rebuild
-///   their simulated [`hydra_storage::SeriesStore`] layout from it,
-///   in-memory ones keep a clone), so a snapshot is small relative to the
-///   collection and can never disagree with the data it is served over.
+///   their [`hydra_storage::SeriesStore`] layout from it, in-memory ones
+///   keep a clone), so a snapshot is small relative to the collection and
+///   can never disagree with the data it is served over.
+/// * [`PersistentIndex::load_backed`] with [`StoreBacking::FileBacked`]
+///   must answer **byte-identically** to the resident load of the same
+///   snapshot — answers, accuracy, and [`hydra_core::QueryStats`] — at any
+///   buffer-pool size and thread count; only the store-level
+///   `bytes_read`/eviction totals may differ, because there they are
+///   measurements rather than a simulation.
 ///
 /// [`hydra_storage::SeriesStore`]: https://docs.rs/hydra-storage
 pub trait PersistentIndex: Sized {
@@ -102,4 +138,25 @@ pub trait PersistentIndex: Sized {
     /// file, a future format version, a different index kind, a damaged
     /// section, or a fingerprint mismatch against `config`/`dataset`.
     fn load(path: &Path, dataset: &Dataset, config: &Self::Config) -> Result<Self>;
+
+    /// [`PersistentIndex::load`] with an explicit raw-series backing.
+    ///
+    /// The default implementation ignores `backing` and loads resident —
+    /// correct for memory-only indexes, which hold no series store.
+    /// Disk-capable indexes override it to attach their store file-backed
+    /// (see [`StoreBacking`]); the loaded index must answer byte-identically
+    /// either way.
+    ///
+    /// # Errors
+    /// Everything [`PersistentIndex::load`] reports, plus I/O failures
+    /// while creating or validating the backing file.
+    fn load_backed(
+        path: &Path,
+        dataset: &Dataset,
+        config: &Self::Config,
+        backing: StoreBacking<'_>,
+    ) -> Result<Self> {
+        let _ = backing;
+        Self::load(path, dataset, config)
+    }
 }

@@ -22,11 +22,12 @@ use hydra_core::{AnnIndex, Dataset};
 
 use crate::error::{PersistError, Result};
 use crate::snapshot::peek_kind;
-use crate::PersistentIndex;
+use crate::{PersistentIndex, StoreBacking};
 
-/// A type-erased snapshot loader: `(path, dataset) -> boxed index`.
-pub type BoxedLoader =
-    Box<dyn Fn(&Path, &Dataset) -> Result<Box<dyn AnnIndex>> + Send + Sync>;
+/// A type-erased snapshot loader: `(path, dataset, backing) -> boxed index`.
+pub type BoxedLoader = Box<
+    dyn for<'a> Fn(&Path, &Dataset, StoreBacking<'a>) -> Result<Box<dyn AnnIndex>> + Send + Sync,
+>;
 
 /// Maps snapshot kind tags to loaders, so callers can restore a directory
 /// of heterogeneous snapshots without knowing statically what each file
@@ -63,8 +64,9 @@ impl LoaderRegistry {
     {
         self.loaders.insert(
             T::KIND.to_string(),
-            Box::new(move |path, dataset| {
-                Ok(Box::new(T::load(path, dataset, &config)?) as Box<dyn AnnIndex>)
+            Box::new(move |path, dataset, backing| {
+                Ok(Box::new(T::load_backed(path, dataset, &config, backing)?)
+                    as Box<dyn AnnIndex>)
             }),
         );
     }
@@ -91,12 +93,29 @@ impl LoaderRegistry {
     /// [`PersistentIndex::load`] reports (I/O, damage, fingerprint or kind
     /// mismatches).
     pub fn load_any(&self, path: &Path, dataset: &Dataset) -> Result<Box<dyn AnnIndex>> {
+        self.load_any_backed(path, dataset, StoreBacking::Resident)
+    }
+
+    /// [`LoaderRegistry::load_any`] with an explicit raw-series backing:
+    /// [`StoreBacking::FileBacked`] makes every disk-capable index serve
+    /// its raw series out-of-core through a real page cache (memory-only
+    /// indexes ignore the choice — they hold no series store).
+    ///
+    /// # Errors
+    /// Exactly [`LoaderRegistry::load_any`]'s, plus I/O failures creating
+    /// or validating the backing files.
+    pub fn load_any_backed(
+        &self,
+        path: &Path,
+        dataset: &Dataset,
+        backing: StoreBacking<'_>,
+    ) -> Result<Box<dyn AnnIndex>> {
         let kind = peek_kind(path)?;
         let loader = self.loaders.get(&kind).ok_or_else(|| PersistError::UnknownKind {
             found: kind,
             registered: self.loaders.keys().cloned().collect(),
         })?;
-        loader(path, dataset)
+        loader(path, dataset, backing)
     }
 }
 

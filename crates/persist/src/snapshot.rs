@@ -8,7 +8,7 @@
 //! ```text
 //! offset  size  field
 //! 0       8     magic  b"HYDRSNAP"
-//! 8       4     format version (u32, currently 1)
+//! 8       4     format version (u32, currently 2)
 //! 12      8     build-parameter fingerprint (u64)
 //! 20      2     kind length L (u16)
 //! 22      L     kind tag (ASCII, e.g. "isax2+", "dstree", "ground-truth")
@@ -33,7 +33,15 @@ use crate::error::{PersistError, Result};
 pub const MAGIC: [u8; 8] = *b"HYDRSNAP";
 
 /// The single container-format version this build writes and reads.
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// Version history: 1 = the original container; 2 = identical byte
+/// layout, but index snapshot fingerprints stopped hashing the storage
+/// configuration (PR 5's out-of-core work — pool size and backing are
+/// serving knobs, not build parameters). The bump exists so directories
+/// saved under the old fingerprint scheme fail with a clear
+/// [`PersistError::VersionMismatch`] ("re-save your snapshots") instead
+/// of a misleading fingerprint mismatch blaming the configuration.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// The FNV-1a 64-bit offset basis.
 pub(crate) const FNV_OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;

@@ -21,7 +21,7 @@
 
 use std::path::{Path, PathBuf};
 
-use hydra::persist::{dataset::load_dataset, LoaderRegistry, PersistError};
+use hydra::persist::{dataset::load_dataset, LoaderRegistry, PersistError, StoreBacking};
 use hydra::Dataset;
 
 use crate::server::ServedIndex;
@@ -112,6 +112,19 @@ where
         .max_by_key(|name| name.len())
 }
 
+/// How [`boot_from_dir_with`] should re-attach each index's raw series.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BootOptions {
+    /// Serve raw series out-of-core: every disk-capable index is loaded
+    /// [`StoreBacking::FileBacked`], with its dataset's own `*.data.snap`
+    /// as the backing file where the store keeps dataset order (and a
+    /// verified `<snapshot>.series` sidecar — written into the snapshot
+    /// directory on first boot — where it does not). Memory-only indexes
+    /// are unaffected. Answers are byte-identical either way; only the
+    /// boot-time RAM footprint and the realness of the I/O counters change.
+    pub file_backed: bool,
+}
+
 /// Scans `dir` and loads every index snapshot against its dataset through
 /// `registry` (see the module docs for the expected layout).
 ///
@@ -119,6 +132,20 @@ where
 /// Any [`BootError`]; loading is all-or-nothing, so a partially damaged
 /// directory never yields a partially booted server.
 pub fn boot_from_dir(dir: &Path, registry: &LoaderRegistry) -> Result<BootReport, BootError> {
+    boot_from_dir_with(dir, registry, BootOptions::default())
+}
+
+/// [`boot_from_dir`] with explicit [`BootOptions`] — the out-of-core
+/// serving switch.
+///
+/// # Errors
+/// Any [`BootError`]; loading is all-or-nothing, so a partially damaged
+/// directory never yields a partially booted server.
+pub fn boot_from_dir_with(
+    dir: &Path,
+    registry: &LoaderRegistry,
+    options: BootOptions,
+) -> Result<BootReport, BootError> {
     let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
         .map_err(|e| BootError::Io(format!("{}: {e}", dir.display())))?
         .filter_map(|entry| entry.ok().map(|e| e.path()))
@@ -126,8 +153,9 @@ pub fn boot_from_dir(dir: &Path, registry: &LoaderRegistry) -> Result<BootReport
         .collect();
     files.sort();
 
-    // Pass 1: datasets.
-    let mut datasets: Vec<(String, Dataset)> = Vec::new();
+    // Pass 1: datasets (keeping each snapshot's path: out-of-core boots
+    // hand it to the loaders as the backing file).
+    let mut datasets: Vec<(String, Dataset, PathBuf)> = Vec::new();
     for file in &files {
         let Some(name) = file_name_str(file).and_then(|n| n.strip_suffix(DATASET_SUFFIX)) else {
             continue;
@@ -136,7 +164,7 @@ pub fn boot_from_dir(dir: &Path, registry: &LoaderRegistry) -> Result<BootReport
             file: file.clone(),
             source,
         })?;
-        datasets.push((name.to_string(), data));
+        datasets.push((name.to_string(), data, file.clone()));
     }
     if datasets.is_empty() {
         return Err(BootError::NoDatasets(dir.to_path_buf()));
@@ -148,6 +176,12 @@ pub fn boot_from_dir(dir: &Path, registry: &LoaderRegistry) -> Result<BootReport
     let mut skipped = Vec::new();
     for file in &files {
         let Some(stem) = file_name_str(file).and_then(|n| n.strip_suffix(SNAPSHOT_SUFFIX)) else {
+            // `.snap.series` flat files are this boot path's own out-of-core
+            // cache (written by an earlier file-backed boot), not operator
+            // files worth flagging in the skip listing.
+            if file_name_str(file).is_some_and(|n| n.ends_with(".snap.series")) {
+                continue;
+            }
             skipped.push(file.clone());
             continue;
         };
@@ -155,18 +189,24 @@ pub fn boot_from_dir(dir: &Path, registry: &LoaderRegistry) -> Result<BootReport
             continue; // a dataset, already loaded
         }
         let Some(owner) =
-            dataset_for_index(stem, datasets.iter().map(|(name, _)| name.as_str()))
+            dataset_for_index(stem, datasets.iter().map(|(name, _, _)| name.as_str()))
         else {
             skipped.push(file.clone());
             continue;
         };
-        let data = &datasets
+        let (_, data, data_path) = datasets
             .iter()
-            .find(|(name, _)| name == owner)
-            .expect("owner came from this list")
-            .1;
+            .find(|(name, _, _)| name == owner)
+            .expect("owner came from this list");
+        let backing = if options.file_backed {
+            StoreBacking::FileBacked {
+                dataset_snapshot: Some(data_path.as_path()),
+            }
+        } else {
+            StoreBacking::Resident
+        };
         let index = registry
-            .load_any(file, data)
+            .load_any_backed(file, data, backing)
             .map_err(|source| BootError::Snapshot {
                 file: file.clone(),
                 source,
@@ -182,7 +222,7 @@ pub fn boot_from_dir(dir: &Path, registry: &LoaderRegistry) -> Result<BootReport
     indexes.sort_by(|a, b| a.name.cmp(&b.name));
     let mut dataset_summaries: Vec<(String, usize, usize)> = datasets
         .iter()
-        .map(|(name, d)| (name.clone(), d.len(), d.series_len()))
+        .map(|(name, d, _)| (name.clone(), d.len(), d.series_len()))
         .collect();
     dataset_summaries.sort();
     Ok(BootReport {

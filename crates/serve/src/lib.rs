@@ -43,7 +43,9 @@ pub mod client;
 pub mod protocol;
 pub mod server;
 
-pub use boot::{boot_from_dir, dataset_for_index, BootError, BootReport};
+pub use boot::{
+    boot_from_dir, boot_from_dir_with, dataset_for_index, BootError, BootOptions, BootReport,
+};
 pub use client::ServeClient;
 pub use protocol::{
     ErrorCode, IndexInfo, ProtocolError, Request, Response, ResponseBody, MAX_FRAME_LEN, MAX_K,

@@ -4,6 +4,7 @@
 //! ```text
 //! hydra-serve --snapshots DIR [--addr 127.0.0.1:7878]
 //!             [--storage on-disk|in-memory] [--seed N]
+//!             [--pool-pages N] [--out-of-core]
 //!             [--batch-window-ms N] [--max-batch N]
 //! ```
 //!
@@ -11,14 +12,22 @@
 //! configuration the snapshots must fingerprint-match: use `on-disk`/`5`
 //! for `fig4_ondisk --save-index` directories (the defaults) and
 //! `in-memory`/`3` for `fig3_inmemory` ones. A mismatch fails at boot with
-//! the offending file named — the server never guesses.
+//! the offending file named — the server never guesses. (The *storage*
+//! part of a configuration — page size, pool, backing — is not
+//! fingerprinted; it only shapes I/O economics.)
+//!
+//! `--out-of-core` serves raw series from the snapshot files themselves
+//! through a real page cache instead of holding them resident, and
+//! `--pool-pages N` bounds that cache — together they let a boot serve
+//! collections whose raw series far exceed the configured pool. Answers
+//! are byte-identical to a resident boot.
 //!
 //! All diagnostics go to stderr; stdout is never written, so the binary
 //! composes with shell pipelines the same way the figure binaries do.
 
 use std::time::Duration;
 
-use hydra_serve::{boot_from_dir, Server, ServerConfig};
+use hydra_serve::{boot_from_dir_with, Server, ServerConfig};
 
 /// Parsed command-line configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,6 +36,8 @@ struct Args {
     addr: String,
     in_memory: bool,
     seed: u64,
+    pool_pages: Option<usize>,
+    out_of_core: bool,
     batch_window: Duration,
     max_batch: usize,
 }
@@ -38,6 +49,8 @@ impl Default for Args {
             addr: "127.0.0.1:7878".into(),
             in_memory: false,
             seed: 5,
+            pool_pages: None,
+            out_of_core: false,
             batch_window: Duration::from_millis(1),
             max_batch: 64,
         }
@@ -84,6 +97,15 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
             out.seed = value
                 .parse()
                 .map_err(|_| format!("--seed expects an integer, got {value:?}"))?;
+        } else if let Some(value) = value_of("--pool-pages") {
+            once("--pool-pages", &mut seen)?;
+            let value = value?;
+            out.pool_pages = Some(value.parse::<usize>().map_err(|_| {
+                format!("--pool-pages expects a non-negative integer, got {value:?}")
+            })?);
+        } else if arg == "--out-of-core" {
+            once("--out-of-core", &mut seen)?;
+            out.out_of_core = true;
         } else if let Some(value) = value_of("--batch-window-ms") {
             once("--batch-window-ms", &mut seen)?;
             let value = value?;
@@ -101,7 +123,8 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         } else {
             return Err(format!(
                 "unrecognized argument {arg:?} (accepted: --snapshots DIR, --addr HOST:PORT, \
-                 --storage on-disk|in-memory, --seed N, --batch-window-ms N, --max-batch N)"
+                 --storage on-disk|in-memory, --seed N, --pool-pages N, --out-of-core, \
+                 --batch-window-ms N, --max-batch N)"
             ));
         }
     }
@@ -120,14 +143,26 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let registry = hydra::standard_registry(args.in_memory, args.seed);
-    let report = match boot_from_dir(&args.snapshots, &registry) {
+    let registry = hydra::standard_registry_pooled(args.in_memory, args.seed, args.pool_pages);
+    let options = hydra_serve::BootOptions {
+        file_backed: args.out_of_core,
+    };
+    let report = match boot_from_dir_with(&args.snapshots, &registry, options) {
         Ok(report) => report,
         Err(e) => {
             eprintln!("error: boot failed: {e}");
             std::process::exit(2);
         }
     };
+    if args.out_of_core {
+        eprintln!(
+            "hydra-serve: serving out-of-core (raw series file-backed{})",
+            match args.pool_pages {
+                Some(p) => format!(", pool {p} pages"),
+                None => String::new(),
+            }
+        );
+    }
     for (name, n, len) in &report.datasets {
         eprintln!("hydra-serve: dataset {name}: {n} series of length {len}");
     }
@@ -206,5 +241,27 @@ mod tests {
         assert!(parse_args(&args(&["--snapshots", "/a", "--max-batch", "0"])).is_err());
         assert!(parse_args(&args(&["--snapshots", "/a", "--threads", "2"])).is_err());
         assert!(parse_args(&args(&["extra"])).is_err());
+        // Out-of-core serving flags.
+        let a = parse_args(&args(&[
+            "--snapshots=/s",
+            "--out-of-core",
+            "--pool-pages=4",
+        ]))
+        .unwrap();
+        assert!(a.out_of_core);
+        assert_eq!(a.pool_pages, Some(4));
+        let a = parse_args(&args(&["--snapshots", "/s"])).unwrap();
+        assert!(!a.out_of_core);
+        assert_eq!(a.pool_pages, None);
+        assert!(parse_args(&args(&["--snapshots", "/s", "--pool-pages", "lots"])).is_err());
+        assert!(parse_args(&args(&["--snapshots", "/s", "--pool-pages"])).is_err());
+        assert!(parse_args(&args(&[
+            "--snapshots",
+            "/s",
+            "--out-of-core",
+            "--out-of-core"
+        ]))
+        .is_err());
+        assert!(parse_args(&args(&["--snapshots", "/s", "--out-of-core=yes"])).is_err());
     }
 }

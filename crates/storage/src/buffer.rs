@@ -1,21 +1,43 @@
-//! A capacity-bounded LRU buffer pool of page identifiers.
+//! A capacity-bounded LRU buffer pool of disk pages.
 //!
-//! The pool does not hold page *contents* (the simulated store keeps all
-//! values in one flat vector); it only tracks which pages would currently be
-//! resident in memory, which is all that is needed to decide whether an
-//! access costs an I/O.
+//! The pool serves two backings of [`crate::SeriesStore`]:
+//!
+//! * **Resident** (simulated) stores keep every value in one flat vector,
+//!   so the pool only tracks page *identifiers* ([`BufferPool::access`]) —
+//!   enough to decide whether an access would have cost an I/O.
+//! * **File-backed** stores have no resident copy: the pool caches the
+//!   actual page *contents* as shared frames ([`BufferPool::fetch`] /
+//!   [`BufferPool::install`]), and an eviction really drops bytes that the
+//!   next access must `pread` back from disk.
+//!
+//! Both entry points share one LRU: the hit/miss/eviction sequence for a
+//! given access pattern and capacity is identical whether frames are
+//! cached or not, which is what lets a file-backed store reproduce the
+//! simulated store's I/O accounting exactly.
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
-/// LRU set of page ids with a fixed capacity.
+/// One resident page: its recency timestamp and, for file-backed stores,
+/// the cached frame contents.
+#[derive(Debug)]
+struct Slot {
+    ts: u64,
+    frame: Option<Arc<[f32]>>,
+}
+
+/// LRU set of pages with a fixed capacity, optionally caching page bytes.
 #[derive(Debug)]
 pub struct BufferPool {
     capacity: usize,
-    /// page -> last-use timestamp
-    pages: HashMap<u64, u64>,
+    /// page -> slot (timestamp + optional cached frame)
+    pages: HashMap<u64, Slot>,
     /// last-use timestamp -> page (for O(log n) eviction)
     lru: BTreeMap<u64, u64>,
     clock: u64,
+    evictions: u64,
+    /// Total `f32` values held by cached frames (0 in id-only mode).
+    resident_values: usize,
 }
 
 impl BufferPool {
@@ -27,6 +49,8 @@ impl BufferPool {
             pages: HashMap::new(),
             lru: BTreeMap::new(),
             clock: 0,
+            evictions: 0,
+            resident_values: 0,
         }
     }
 
@@ -45,29 +69,100 @@ impl BufferPool {
         self.pages.is_empty()
     }
 
-    /// Records an access to `page`. Returns `true` if the page was already
-    /// resident (hit), `false` if it had to be "read from disk" (miss).
-    pub fn access(&mut self, page: u64) -> bool {
+    /// Pages evicted since creation (or the last [`BufferPool::clear`]).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Total `f32` values held by cached frames — the pool's real memory
+    /// footprint in file-backed mode (always 0 in id-only mode).
+    pub fn resident_values(&self) -> usize {
+        self.resident_values
+    }
+
+    /// Marks `page` as most recently used. Returns `true` if it was
+    /// resident.
+    fn touch(&mut self, page: u64) -> bool {
         self.clock += 1;
-        if let Some(ts) = self.pages.get_mut(&page) {
-            self.lru.remove(ts);
-            *ts = self.clock;
+        if let Some(slot) = self.pages.get_mut(&page) {
+            self.lru.remove(&slot.ts);
+            slot.ts = self.clock;
             self.lru.insert(self.clock, page);
-            return true;
+            true
+        } else {
+            false
         }
-        if self.capacity == 0 {
-            return false;
-        }
+    }
+
+    /// Evicts the least recently used page if the pool is full.
+    fn make_room(&mut self) {
         if self.pages.len() >= self.capacity {
-            // Evict the least recently used page.
             if let Some((&oldest_ts, &victim)) = self.lru.iter().next() {
                 self.lru.remove(&oldest_ts);
-                self.pages.remove(&victim);
+                if let Some(slot) = self.pages.remove(&victim) {
+                    if let Some(frame) = slot.frame {
+                        self.resident_values -= frame.len();
+                    }
+                }
+                self.evictions += 1;
             }
         }
-        self.pages.insert(page, self.clock);
+    }
+
+    fn insert_slot(&mut self, page: u64, frame: Option<Arc<[f32]>>) {
+        if self.capacity == 0 {
+            return;
+        }
+        // A fresh timestamp of its own: an install is not required to be
+        // paired with a fetch, so it must never reuse the clock value of an
+        // earlier touch (two LRU entries would collide).
+        self.clock += 1;
+        self.make_room();
+        if let Some(frame) = &frame {
+            self.resident_values += frame.len();
+        }
+        self.pages.insert(
+            page,
+            Slot {
+                ts: self.clock,
+                frame,
+            },
+        );
         self.lru.insert(self.clock, page);
+    }
+
+    /// Records an id-only access to `page` (resident/simulated stores).
+    /// Returns `true` if the page was already resident (hit), `false` if it
+    /// had to be "read from disk" (miss, now cached).
+    pub fn access(&mut self, page: u64) -> bool {
+        if self.touch(page) {
+            return true;
+        }
+        self.insert_slot(page, None);
         false
+    }
+
+    /// Looks up the cached frame of `page` (file-backed stores). A hit
+    /// touches recency and returns a shared handle to the frame; a miss
+    /// returns `None` — the caller reads the page from disk and
+    /// [`BufferPool::install`]s it.
+    pub fn fetch(&mut self, page: u64) -> Option<Arc<[f32]>> {
+        if self.touch(page) {
+            self.pages.get(&page).and_then(|slot| slot.frame.clone())
+        } else {
+            None
+        }
+    }
+
+    /// Caches the frame a [`BufferPool::fetch`] miss loaded from disk,
+    /// evicting the least recently used page if the pool is full. A
+    /// zero-capacity pool caches nothing.
+    pub fn install(&mut self, page: u64, frame: Arc<[f32]>) {
+        debug_assert!(
+            !self.pages.contains_key(&page),
+            "install after a fetch hit would duplicate page {page}"
+        );
+        self.insert_slot(page, Some(frame));
     }
 
     /// Whether `page` is currently resident (without touching recency).
@@ -75,11 +170,14 @@ impl BufferPool {
         self.pages.contains_key(&page)
     }
 
-    /// Drops every resident page (the paper clears OS caches between the
-    /// index-building and query-answering steps).
+    /// Drops every resident page and zeroes the eviction counter (the paper
+    /// clears OS caches between the index-building and query-answering
+    /// steps).
     pub fn clear(&mut self) {
         self.pages.clear();
         self.lru.clear();
+        self.evictions = 0;
+        self.resident_values = 0;
     }
 }
 
@@ -96,6 +194,7 @@ mod tests {
         assert!(p.contains(1));
         assert!(!p.is_empty());
         assert_eq!(p.capacity(), 4);
+        assert_eq!(p.evictions(), 0);
     }
 
     #[test]
@@ -109,6 +208,7 @@ mod tests {
         assert!(!p.contains(2));
         assert!(p.contains(3));
         assert_eq!(p.len(), 2);
+        assert_eq!(p.evictions(), 1);
     }
 
     #[test]
@@ -117,6 +217,7 @@ mod tests {
         assert!(!p.access(7));
         assert!(!p.access(7));
         assert!(p.is_empty());
+        assert_eq!(p.evictions(), 0);
     }
 
     #[test]
@@ -137,5 +238,80 @@ mod tests {
             p.access(i % 64);
         }
         assert!(p.len() <= 16);
+        assert!(p.evictions() > 0);
+    }
+
+    fn frame(values: &[f32]) -> Arc<[f32]> {
+        Arc::from(values.to_vec())
+    }
+
+    #[test]
+    fn fetch_and_install_cache_real_frames() {
+        let mut p = BufferPool::new(2);
+        assert!(p.fetch(0).is_none(), "cold pool misses");
+        p.install(0, frame(&[1.0, 2.0]));
+        assert_eq!(p.fetch(0).as_deref(), Some(&[1.0f32, 2.0][..]));
+        assert_eq!(p.resident_values(), 2);
+        p.install(1, frame(&[3.0]));
+        assert_eq!(p.resident_values(), 3);
+        // Touch 0, then install 2: the LRU victim is 1 and its bytes are
+        // genuinely dropped.
+        assert!(p.fetch(0).is_some());
+        p.install(2, frame(&[4.0, 5.0, 6.0]));
+        assert!(p.fetch(1).is_none(), "evicted frame is gone");
+        assert_eq!(p.evictions(), 1);
+        assert_eq!(p.resident_values(), 5);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn capacity_one_pool_holds_exactly_the_last_frame() {
+        let mut p = BufferPool::new(1);
+        // Pinned hit/miss/eviction sequence for pages 0,0,1,0 at capacity 1:
+        // miss, hit, miss(evict 0), miss(evict 1).
+        assert!(p.fetch(0).is_none());
+        p.install(0, frame(&[0.0]));
+        assert!(p.fetch(0).is_some());
+        assert!(p.fetch(1).is_none());
+        p.install(1, frame(&[1.0]));
+        assert!(p.fetch(0).is_none());
+        p.install(0, frame(&[0.0]));
+        assert_eq!(p.evictions(), 2);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.resident_values(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_never_caches_frames() {
+        let mut p = BufferPool::new(0);
+        assert!(p.fetch(3).is_none());
+        p.install(3, frame(&[9.0]));
+        assert!(p.fetch(3).is_none());
+        assert_eq!(p.resident_values(), 0);
+        assert_eq!(p.len(), 0);
+    }
+
+    #[test]
+    fn id_only_and_frame_modes_share_one_lru_policy() {
+        // The same access pattern at the same capacity produces the same
+        // hit/miss sequence through both entry points.
+        let pattern = [0u64, 1, 2, 0, 3, 1, 1, 4, 0];
+        let capacity = 2;
+        let mut id_only = BufferPool::new(capacity);
+        let id_hits: Vec<bool> = pattern.iter().map(|&pg| id_only.access(pg)).collect();
+        let mut framed = BufferPool::new(capacity);
+        let frame_hits: Vec<bool> = pattern
+            .iter()
+            .map(|&pg| {
+                if framed.fetch(pg).is_some() {
+                    true
+                } else {
+                    framed.install(pg, frame(&[pg as f32]));
+                    false
+                }
+            })
+            .collect();
+        assert_eq!(id_hits, frame_hits);
+        assert_eq!(id_only.evictions(), framed.evictions());
     }
 }

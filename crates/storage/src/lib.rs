@@ -1,21 +1,34 @@
 //! # hydra-storage
 //!
-//! Simulated paged storage with a buffer pool and I/O accounting.
+//! Paged storage with a buffer pool and I/O accounting — resident
+//! (simulated) or genuinely file-backed.
 //!
 //! The paper evaluates on-disk behaviour on 25–250 GB datasets with a
 //! RAM-limited server, and reports two implementation-independent measures:
 //! the number of random disk accesses and the percentage of data accessed.
-//! This crate reproduces those measures at laptop scale: raw series live in
-//! a [`SeriesStore`] that charges page-granular I/O whenever an access
-//! misses the (capacity-bounded) buffer pool, distinguishing *random* from
-//! *sequential* page reads exactly like a spinning-disk cost model would.
+//! This crate reproduces those measures at laptop scale. Raw series live in
+//! a [`SeriesStore`] with two backings behind one API:
+//!
+//! * **Resident**: every value in one flat vector; the [`BufferPool`]
+//!   tracks page *ids* only and the counters simulate what a spinning disk
+//!   would have charged. This is the build-time (and historical) mode.
+//! * **File-backed** ([`SeriesStore::file_backed`]): the payload lives in a
+//!   file; the pool caches real page frames with LRU eviction, a miss is a
+//!   page-granular `pread`, and the counters are *measurements* — which is
+//!   what lets the disk-resident zoo serve collections whose raw series
+//!   exceed the configured pool.
+//!
+//! Both backings share one accounting path, so for the same access
+//! sequence and [`StorageConfig`] they report identical
+//! [`hydra_core::QueryStats`]; only [`IoSnapshot::bytes_read`] differs
+//! (simulated page charges vs. real transfers).
 //!
 //! Indexes route all raw-data reads through the store, so the counters they
-//! report (via [`hydra_core::QueryStats`]) reflect the same access-pattern
-//! economics that drive the paper's on-disk results: tree indexes with few,
-//! large leaves incur few random I/Os; skip-sequential methods read
-//! summaries sequentially and pay one random I/O per refined candidate;
-//! in-memory methods configure the pool to hold the whole dataset.
+//! report reflect the same access-pattern economics that drive the paper's
+//! on-disk results: tree indexes with few, large leaves incur few random
+//! I/Os; skip-sequential methods read summaries sequentially and pay one
+//! random I/O per refined candidate; in-memory methods configure the pool
+//! to hold the whole dataset.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -24,4 +37,4 @@ pub mod buffer;
 pub mod store;
 
 pub use buffer::BufferPool;
-pub use store::{IoSnapshot, SeriesStore, StorageConfig};
+pub use store::{FileSpan, IoSnapshot, SeriesRead, SeriesStore, StorageConfig};

@@ -1,11 +1,14 @@
-//! The simulated series store.
+//! The series store: resident (simulated-disk) or genuinely file-backed.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use hydra_core::{Dataset, Error, QueryStats, Result};
 use parking_lot::Mutex;
 
 use crate::buffer::BufferPool;
 
-/// Configuration of the simulated storage layer.
+/// Configuration of the storage layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StorageConfig {
     /// Size of one disk page in bytes.
@@ -33,6 +36,17 @@ impl StorageConfig {
             buffer_pool_pages: usize::MAX / 2,
         }
     }
+
+    /// This configuration with the buffer pool capacity replaced — the
+    /// `--pool-pages N` serving knob. Pool capacity shapes only I/O
+    /// economics, never answers, so it may differ freely between the
+    /// process that built an index and the one that serves it.
+    pub fn with_pool_pages(self, pages: usize) -> Self {
+        Self {
+            buffer_pool_pages: pages,
+            ..self
+        }
+    }
 }
 
 impl Default for StorageConfig {
@@ -48,10 +62,20 @@ pub struct IoSnapshot {
     pub random_ios: u64,
     /// Pages read contiguously after the previous one.
     pub sequential_ios: u64,
-    /// Total bytes charged to reads.
+    /// Total bytes charged to reads. On a resident store this is the
+    /// simulated `page_bytes` per miss; on a file-backed store it is the
+    /// bytes actually transferred from the backing file (whole frames,
+    /// truncated at the tail), so the two backings legitimately differ
+    /// here — this is the counter that became a *measurement*.
     pub bytes_read: u64,
     /// Buffer-pool hits (no I/O charged).
     pub pool_hits: u64,
+    /// Buffer-pool misses (each one charged as a random or sequential I/O).
+    pub pool_misses: u64,
+    /// Pages evicted from the pool to make room — real eviction traffic on
+    /// a file-backed store (the dropped bytes must be re-read), bookkeeping
+    /// on a resident one.
+    pub pool_evictions: u64,
 }
 
 #[derive(Debug)]
@@ -61,24 +85,130 @@ struct AccessState {
     totals: IoSnapshot,
 }
 
-/// A flat, append-only store of fixed-length series with simulated paged
-/// access.
+impl AccessState {
+    /// Records the outcome of one page access — the single accounting path
+    /// shared by both backings, so a file-backed store charges exactly the
+    /// hit/miss/random/sequential sequence the simulated store would.
+    fn charge(&mut self, page: u64, hit: bool, miss_bytes: u64, stats: &mut QueryStats) {
+        if hit {
+            self.totals.pool_hits += 1;
+        } else {
+            self.totals.pool_misses += 1;
+            let sequential =
+                self.last_page == Some(page.wrapping_sub(1)) || self.last_page == Some(page);
+            if sequential {
+                self.totals.sequential_ios += 1;
+                stats.sequential_ios += 1;
+            } else {
+                self.totals.random_ios += 1;
+                stats.random_ios += 1;
+            }
+            self.totals.bytes_read += miss_bytes;
+        }
+        self.last_page = Some(page);
+    }
+}
+
+/// Where a record's byte range lives inside a backing file: the series
+/// payload starts `offset` bytes into the file and holds `records`
+/// fixed-length series, contiguous and little-endian (IEEE-754 bit
+/// patterns) — the layout `hydra-persist`'s flat series files and dataset
+/// snapshots both expose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileSpan {
+    /// Byte offset of record 0 within the file.
+    pub offset: u64,
+    /// Number of series in the span.
+    pub records: usize,
+}
+
+#[derive(Debug)]
+struct FileBacked {
+    file: std::fs::File,
+    path: PathBuf,
+    span: FileSpan,
+}
+
+#[derive(Debug)]
+enum Backing {
+    /// Every value resident in one flat vector; paged I/O is simulated.
+    Resident(Vec<f32>),
+    /// Values live in a file; the buffer pool caches real page bytes.
+    File(FileBacked),
+}
+
+/// A guard over one series read from a [`SeriesStore`], dereferencing to
+/// `&[f32]`.
+///
+/// On a resident store this borrows the store's flat vector (zero-copy,
+/// exactly the old behaviour); on a file-backed store it keeps the cached
+/// page frame alive for as long as the caller looks at the series, so an
+/// eviction on another thread can never invalidate the view.
+#[derive(Debug)]
+pub struct SeriesRead<'a>(ReadRepr<'a>);
+
+#[derive(Debug)]
+enum ReadRepr<'a> {
+    Resident(&'a [f32]),
+    Cached {
+        frame: Arc<[f32]>,
+        start: usize,
+        len: usize,
+    },
+}
+
+impl std::ops::Deref for SeriesRead<'_> {
+    type Target = [f32];
+
+    fn deref(&self) -> &[f32] {
+        match &self.0 {
+            ReadRepr::Resident(slice) => slice,
+            ReadRepr::Cached { frame, start, len } => &frame[*start..*start + *len],
+        }
+    }
+}
+
+impl AsRef<[f32]> for SeriesRead<'_> {
+    fn as_ref(&self) -> &[f32] {
+        self
+    }
+}
+
+/// A flat, append-only store of fixed-length series with paged access.
 ///
 /// Record ids are assigned in append order; indexes lay out their leaves by
 /// appending leaf contents contiguously, so a leaf scan is a sequential read
 /// and a jump between leaves is a random read — matching the layout of the
 /// original on-disk implementations.
+///
+/// ## Backings
+///
+/// * [`SeriesStore::new`] / [`SeriesStore::from_dataset`] create a
+///   **resident** store: all values in RAM, the buffer pool tracks page ids
+///   only, and the I/O counters are a *simulation* of what a disk would
+///   have done.
+/// * [`SeriesStore::file_backed`] attaches a **file-backed** store: reads
+///   go through the same buffer pool, but a miss is a genuine
+///   page-granular `pread` ([`std::os::unix::fs::FileExt::read_exact_at`])
+///   and an eviction genuinely drops bytes. The hit/miss/random/sequential
+///   accounting is shared with the resident path, so for the same access
+///   sequence and [`StorageConfig`] the two backings report identical
+///   [`QueryStats`] — only [`IoSnapshot::bytes_read`] differs, because on
+///   a file it measures real transfers.
+///
+/// Pages hold a whole number of series (`page_bytes / series_bytes`,
+/// minimum one), so a record never straddles a page; a series larger than
+/// `page_bytes` makes each page one series.
 #[derive(Debug)]
 pub struct SeriesStore {
     series_len: usize,
     config: StorageConfig,
-    data: Vec<f32>,
+    backing: Backing,
     state: Mutex<AccessState>,
 }
 
 impl SeriesStore {
-    /// Creates an empty store for series of length `series_len`.
-    pub fn new(series_len: usize, config: StorageConfig) -> Result<Self> {
+    fn validated(series_len: usize, config: StorageConfig, backing: Backing) -> Result<Self> {
         if series_len == 0 {
             return Err(Error::InvalidParameter(
                 "series length must be positive".into(),
@@ -92,7 +222,7 @@ impl SeriesStore {
         Ok(Self {
             series_len,
             config,
-            data: Vec::new(),
+            backing,
             state: Mutex::new(AccessState {
                 pool: BufferPool::new(config.buffer_pool_pages),
                 last_page: None,
@@ -101,15 +231,80 @@ impl SeriesStore {
         })
     }
 
-    /// Creates a store populated with the contents of a dataset, preserving
-    /// record ids = dataset positions.
+    /// Creates an empty resident store for series of length `series_len`.
+    pub fn new(series_len: usize, config: StorageConfig) -> Result<Self> {
+        Self::validated(series_len, config, Backing::Resident(Vec::new()))
+    }
+
+    /// Creates a resident store populated with the contents of a dataset,
+    /// preserving record ids = dataset positions.
     pub fn from_dataset(dataset: &Dataset, config: StorageConfig) -> Result<Self> {
         let mut store = Self::new(dataset.series_len(), config)?;
-        store.data.extend_from_slice(dataset.as_flat());
+        match &mut store.backing {
+            Backing::Resident(data) => data.extend_from_slice(dataset.as_flat()),
+            Backing::File(_) => unreachable!("new() builds resident stores"),
+        }
         Ok(store)
     }
 
-    /// Appends one series, returning its record id.
+    /// Attaches a store to the series payload at `span` inside the file at
+    /// `path` — the out-of-core backing. The file is opened read-only and
+    /// must stay immutable while the store lives; every cold read is a real
+    /// page-granular `pread`.
+    ///
+    /// # Errors
+    /// [`Error::Storage`] if the file cannot be opened or is shorter than
+    /// the span promises; [`Error::InvalidParameter`] for a zero series
+    /// length or a degenerate page size.
+    pub fn file_backed(
+        path: &Path,
+        span: FileSpan,
+        series_len: usize,
+        config: StorageConfig,
+    ) -> Result<Self> {
+        let file = std::fs::File::open(path)
+            .map_err(|e| Error::Storage(format!("cannot open {}: {e}", path.display())))?;
+        let store = Self::validated(
+            series_len,
+            config,
+            Backing::File(FileBacked {
+                file,
+                path: path.to_path_buf(),
+                span,
+            }),
+        )?;
+        let needed = (span.records as u64)
+            .checked_mul(store.series_bytes())
+            .and_then(|payload| span.offset.checked_add(payload))
+            .ok_or_else(|| Error::Storage("file span overflows".into()))?;
+        let actual = match &store.backing {
+            Backing::File(fb) => fb
+                .file
+                .metadata()
+                .map_err(|e| Error::Storage(format!("cannot stat {}: {e}", path.display())))?
+                .len(),
+            Backing::Resident(_) => unreachable!(),
+        };
+        if actual < needed {
+            return Err(Error::Storage(format!(
+                "{} holds {actual} bytes but the span needs {needed}",
+                path.display()
+            )));
+        }
+        Ok(store)
+    }
+
+    /// Whether this store reads from a backing file (vs. resident RAM).
+    pub fn is_file_backed(&self) -> bool {
+        matches!(self.backing, Backing::File(_))
+    }
+
+    /// Appends one series, returning its record id. Only resident stores
+    /// grow; a file-backed store is attached to an immutable payload.
+    ///
+    /// # Errors
+    /// [`Error::DimensionMismatch`] for a wrong series length,
+    /// [`Error::Storage`] on a file-backed store.
     pub fn append(&mut self, series: &[f32]) -> Result<usize> {
         if series.len() != self.series_len {
             return Err(Error::DimensionMismatch {
@@ -118,18 +313,29 @@ impl SeriesStore {
             });
         }
         let id = self.len();
-        self.data.extend_from_slice(series);
+        match &mut self.backing {
+            Backing::Resident(data) => data.extend_from_slice(series),
+            Backing::File(fb) => {
+                return Err(Error::Storage(format!(
+                    "cannot append to the file-backed store over {}",
+                    fb.path.display()
+                )))
+            }
+        }
         Ok(id)
     }
 
     /// Number of series stored.
     pub fn len(&self) -> usize {
-        self.data.len() / self.series_len
+        match &self.backing {
+            Backing::Resident(data) => data.len() / self.series_len,
+            Backing::File(fb) => fb.span.records,
+        }
     }
 
     /// Whether the store holds no series.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len() == 0
     }
 
     /// Length of each stored series.
@@ -139,7 +345,7 @@ impl SeriesStore {
 
     /// Total size of the stored raw payload in bytes.
     pub fn total_bytes(&self) -> u64 {
-        (self.data.len() * std::mem::size_of::<f32>()) as u64
+        self.len() as u64 * self.series_bytes()
     }
 
     /// The storage configuration in use.
@@ -147,13 +353,25 @@ impl SeriesStore {
         self.config
     }
 
-    /// The raw flat payload in record order, bypassing the simulated I/O
-    /// accounting entirely (no pool warm-up, no counters). This is a
-    /// maintenance hatch for persistence — fingerprinting and snapshotting
-    /// must not perturb the I/O economics the store exists to measure —
-    /// and must never be used on a query path.
-    pub fn as_flat(&self) -> &[f32] {
-        &self.data
+    /// The raw flat payload in record order, bypassing the I/O accounting
+    /// entirely (no pool warm-up, no counters). This is a maintenance hatch
+    /// for resident stores only — fingerprinting and snapshotting must not
+    /// perturb the I/O economics the store exists to measure — and must
+    /// never be used on a query path.
+    ///
+    /// # Errors
+    /// [`Error::Storage`] on a file-backed store: there is no resident
+    /// slice to hand out, and silently materializing one would defeat the
+    /// out-of-core contract. Callers that need content identity use the
+    /// fingerprint captured when the store was built or attached.
+    pub fn as_flat(&self) -> Result<&[f32]> {
+        match &self.backing {
+            Backing::Resident(data) => Ok(data),
+            Backing::File(fb) => Err(Error::Storage(format!(
+                "as_flat is resident-only: the payload of this store lives in {}",
+                fb.path.display()
+            ))),
+        }
     }
 
     /// Bytes occupied by one series.
@@ -169,22 +387,84 @@ impl SeriesStore {
         record as u64 / self.series_per_page()
     }
 
-    /// Reads one series, charging simulated I/O to both the per-query
-    /// `stats` and the store-wide totals.
+    /// Reads the whole frame of `page` from the backing file.
     ///
     /// # Panics
-    /// Panics if `record` is out of bounds.
-    pub fn read(&self, record: usize, stats: &mut QueryStats) -> &[f32] {
+    /// Panics if the read fails: the span was validated when the store was
+    /// attached, so a failure here is a genuine I/O fault (or the file was
+    /// mutated behind the store's back), not a recoverable query error.
+    fn load_frame(&self, fb: &FileBacked, page: u64) -> Arc<[f32]> {
+        use std::os::unix::fs::FileExt;
+        let spp = self.series_per_page();
+        let first = page * spp;
+        let count = spp.min(fb.span.records as u64 - first) as usize;
+        let bytes = count * self.series_bytes() as usize;
+        let mut buf = vec![0u8; bytes];
+        fb.file
+            .read_exact_at(&mut buf, fb.span.offset + first * self.series_bytes())
+            .unwrap_or_else(|e| {
+                panic!(
+                    "file-backed series store: reading page {page} of {} failed: {e}",
+                    fb.path.display()
+                )
+            });
+        let values: Vec<f32> = buf
+            .chunks_exact(4)
+            .map(|c| f32::from_bits(u32::from_le_bytes(c.try_into().unwrap())))
+            .collect();
+        Arc::from(values)
+    }
+
+    /// Returns the (cached or freshly read) frame of `page`, charging the
+    /// access. The pool lock is held across the `pread`, so concurrent
+    /// readers of one page pay a single disk read — and the hit/miss
+    /// sequence stays identical to the resident simulation.
+    fn fetch_frame(&self, fb: &FileBacked, page: u64, stats: &mut QueryStats) -> Arc<[f32]> {
+        let mut state = self.state.lock();
+        if let Some(frame) = state.pool.fetch(page) {
+            state.charge(page, true, 0, stats);
+            return frame;
+        }
+        let frame = self.load_frame(fb, page);
+        state.charge(page, false, (frame.len() * std::mem::size_of::<f32>()) as u64, stats);
+        state.pool.install(page, Arc::clone(&frame));
+        frame
+    }
+
+    /// Reads one series, charging I/O to both the per-query `stats` and the
+    /// store-wide totals.
+    ///
+    /// # Panics
+    /// Panics if `record` is out of bounds, or (file-backed only) on a
+    /// genuine disk fault: the span was validated when the store was
+    /// attached, so a failing `pread` means real I/O trouble, not a
+    /// recoverable query error.
+    pub fn read(&self, record: usize, stats: &mut QueryStats) -> SeriesRead<'_> {
         assert!(record < self.len(), "record {record} out of bounds");
-        self.charge_pages(self.page_of(record), self.page_of(record), stats);
+        let page = self.page_of(record);
         stats.bytes_read += self.series_bytes();
-        let start = record * self.series_len;
-        &self.data[start..start + self.series_len]
+        match &self.backing {
+            Backing::Resident(data) => {
+                self.charge_resident_pages(page, page, stats);
+                let start = record * self.series_len;
+                SeriesRead(ReadRepr::Resident(&data[start..start + self.series_len]))
+            }
+            Backing::File(fb) => {
+                let frame = self.fetch_frame(fb, page, stats);
+                let first = (page * self.series_per_page()) as usize;
+                SeriesRead(ReadRepr::Cached {
+                    frame,
+                    start: (record - first) * self.series_len,
+                    len: self.series_len,
+                })
+            }
+        }
     }
 
     /// Reads `count` consecutive series starting at `start`, invoking
     /// `visit(record_id, series)` for each. The contiguous range is charged
-    /// as one random positioning followed by sequential page reads.
+    /// as one random positioning followed by sequential page reads; a range
+    /// freely straddles page boundaries (each page is fetched once).
     pub fn read_range(
         &self,
         start: usize,
@@ -197,42 +477,54 @@ impl SeriesStore {
         }
         let end = (start + count).min(self.len());
         assert!(start < self.len(), "start {start} out of bounds");
-        self.charge_pages(self.page_of(start), self.page_of(end - 1), stats);
         stats.bytes_read += self.series_bytes() * (end - start) as u64;
-        for record in start..end {
-            let off = record * self.series_len;
-            visit(record, &self.data[off..off + self.series_len]);
+        let (first_page, last_page) = (self.page_of(start), self.page_of(end - 1));
+        match &self.backing {
+            Backing::Resident(data) => {
+                self.charge_resident_pages(first_page, last_page, stats);
+                for record in start..end {
+                    let off = record * self.series_len;
+                    visit(record, &data[off..off + self.series_len]);
+                }
+            }
+            Backing::File(fb) => {
+                let spp = self.series_per_page() as usize;
+                for page in first_page..=last_page {
+                    let frame = self.fetch_frame(fb, page, stats);
+                    let page_first = page as usize * spp;
+                    let lo = start.max(page_first);
+                    let hi = end.min(page_first + frame.len() / self.series_len);
+                    for record in lo..hi {
+                        let off = (record - page_first) * self.series_len;
+                        visit(record, &frame[off..off + self.series_len]);
+                    }
+                }
+            }
         }
     }
 
-    /// Charges page accesses for the inclusive page range `[first, last]`.
-    fn charge_pages(&self, first: u64, last: u64, stats: &mut QueryStats) {
+    /// Charges simulated page accesses for the inclusive page range
+    /// `[first, last]` (resident backing).
+    fn charge_resident_pages(&self, first: u64, last: u64, stats: &mut QueryStats) {
         let mut state = self.state.lock();
         for page in first..=last {
-            if state.pool.access(page) {
-                state.totals.pool_hits += 1;
-            } else {
-                let sequential = state.last_page == Some(page.wrapping_sub(1)) || state.last_page == Some(page);
-                if sequential {
-                    state.totals.sequential_ios += 1;
-                    stats.sequential_ios += 1;
-                } else {
-                    state.totals.random_ios += 1;
-                    stats.random_ios += 1;
-                }
-                state.totals.bytes_read += self.config.page_bytes as u64;
-            }
-            state.last_page = Some(page);
+            let hit = state.pool.access(page);
+            state.charge(page, hit, self.config.page_bytes as u64, stats);
         }
     }
 
     /// Snapshot of cumulative I/O counters.
     pub fn io_snapshot(&self) -> IoSnapshot {
-        self.state.lock().totals
+        let state = self.state.lock();
+        IoSnapshot {
+            pool_evictions: state.pool.evictions(),
+            ..state.totals
+        }
     }
 
     /// Clears the buffer pool and resets cumulative counters (the paper
-    /// clears caches before each experiment step).
+    /// clears caches before each experiment step). On a file-backed store
+    /// this genuinely drops every cached frame.
     pub fn reset_io(&self) {
         let mut state = self.state.lock();
         state.pool.clear();
@@ -245,13 +537,42 @@ impl SeriesStore {
 mod tests {
     use super::*;
 
-    fn small_store(n: usize, len: usize, config: StorageConfig) -> SeriesStore {
+    fn dataset(n: usize, len: usize) -> Dataset {
         let mut d = Dataset::new(len).unwrap();
         for i in 0..n {
             let s: Vec<f32> = (0..len).map(|j| (i * len + j) as f32).collect();
             d.push(&s).unwrap();
         }
-        SeriesStore::from_dataset(&d, config).unwrap()
+        d
+    }
+
+    fn small_store(n: usize, len: usize, config: StorageConfig) -> SeriesStore {
+        SeriesStore::from_dataset(&dataset(n, len), config).unwrap()
+    }
+
+    /// Writes the dataset's payload to a flat file behind a garbage header
+    /// of `offset` bytes (proving the span offset is respected) and
+    /// attaches a file-backed store over it.
+    fn file_store(n: usize, len: usize, config: StorageConfig, name: &str) -> (SeriesStore, PathBuf) {
+        let d = dataset(n, len);
+        let path = std::env::temp_dir().join(format!(
+            "hydra-storage-filestore-{}-{name}.flat",
+            std::process::id()
+        ));
+        let offset = 32u64;
+        let mut bytes = vec![0xAAu8; offset as usize];
+        for &v in d.as_flat() {
+            bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        std::fs::write(&path, &bytes).unwrap();
+        let store = SeriesStore::file_backed(
+            &path,
+            FileSpan { offset, records: n },
+            len,
+            config,
+        )
+        .unwrap();
+        (store, path)
     }
 
     #[test]
@@ -267,11 +588,13 @@ mod tests {
         .is_err());
         let mut s = SeriesStore::new(4, StorageConfig::default()).unwrap();
         assert!(s.is_empty());
+        assert!(!s.is_file_backed());
         assert!(s.append(&[1.0, 2.0, 3.0]).is_err());
         assert_eq!(s.append(&[1.0, 2.0, 3.0, 4.0]).unwrap(), 0);
         assert_eq!(s.len(), 1);
         assert_eq!(s.series_len(), 4);
         assert_eq!(s.total_bytes(), 16);
+        assert_eq!(s.as_flat().unwrap(), &[1.0, 2.0, 3.0, 4.0]);
     }
 
     #[test]
@@ -279,7 +602,7 @@ mod tests {
         let store = small_store(10, 4, StorageConfig::on_disk());
         let mut stats = QueryStats::new();
         let s = store.read(3, &mut stats);
-        assert_eq!(s, &[12.0, 13.0, 14.0, 15.0]);
+        assert_eq!(&*s, &[12.0, 13.0, 14.0, 15.0]);
         assert_eq!(stats.bytes_read, 16);
     }
 
@@ -328,6 +651,7 @@ mod tests {
         assert_eq!(stats.random_ios + stats.sequential_ios, 1);
         let snap = store.io_snapshot();
         assert_eq!(snap.pool_hits, 1);
+        assert_eq!(snap.pool_misses, 1);
         assert_eq!(snap.random_ios, 1);
     }
 
@@ -359,5 +683,185 @@ mod tests {
         let store = small_store(4, 4, StorageConfig::in_memory());
         let mut stats = QueryStats::new();
         let _ = store.read(100, &mut stats);
+    }
+
+    // ------------------------------------------------------------------
+    // File-backed behaviour
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn file_backed_reads_match_resident_reads_and_stats() {
+        let config = StorageConfig {
+            page_bytes: 64, // 4 series of length 4 per page
+            buffer_pool_pages: 2,
+        };
+        let resident = small_store(21, 4, config);
+        let (file, path) = file_store(21, 4, config, "equiv");
+        assert!(file.is_file_backed());
+        assert_eq!(file.len(), 21);
+        assert_eq!(file.total_bytes(), resident.total_bytes());
+
+        // An access pattern with hits, misses, evictions, and a tail page.
+        let pattern = [0usize, 1, 5, 0, 20, 7, 20, 3, 19];
+        let mut rs = QueryStats::new();
+        let mut fs = QueryStats::new();
+        for &r in &pattern {
+            let a = resident.read(r, &mut rs);
+            let b = file.read(r, &mut fs);
+            assert_eq!(&*a, &*b, "record {r} drifted between backings");
+        }
+        assert_eq!(rs, fs, "per-query stats must be identical across backings");
+        let (ri, fi) = (resident.io_snapshot(), file.io_snapshot());
+        assert_eq!(ri.pool_hits, fi.pool_hits);
+        assert_eq!(ri.pool_misses, fi.pool_misses);
+        assert_eq!(ri.random_ios, fi.random_ios);
+        assert_eq!(ri.sequential_ios, fi.sequential_ios);
+        assert_eq!(ri.pool_evictions, fi.pool_evictions);
+        assert!(fi.pool_evictions > 0, "the pattern must evict at capacity 2");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn file_backed_read_range_straddles_page_boundaries() {
+        let config = StorageConfig {
+            page_bytes: 64, // 4 series/page
+            buffer_pool_pages: 8,
+        };
+        let (store, path) = file_store(21, 4, config, "straddle");
+        let mut stats = QueryStats::new();
+        let mut seen = Vec::new();
+        // Records 2..19 span pages 0..=4 (page 5 untouched); the tail of the
+        // range sits mid-page.
+        store.read_range(2, 17, &mut stats, &mut |id, s| {
+            assert_eq!(s[0], (id * 4) as f32, "record {id} content");
+            seen.push(id);
+        });
+        assert_eq!(seen, (2..19).collect::<Vec<_>>());
+        assert_eq!(stats.random_ios, 1, "one positioning");
+        assert_eq!(stats.sequential_ios, 4, "then sequential pages");
+        assert_eq!(stats.bytes_read, 17 * 16);
+        // The tail page (records 20) was never fetched.
+        assert_eq!(store.io_snapshot().pool_misses, 5);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn file_backed_bytes_read_measures_real_transfers() {
+        let config = StorageConfig {
+            page_bytes: 64, // 4 series/page -> frame = 64 bytes, tail = 1 series = 16 bytes
+            buffer_pool_pages: 0,
+        };
+        let (store, path) = file_store(9, 4, config, "bytes");
+        let mut stats = QueryStats::new();
+        store.read_range(0, 9, &mut stats, &mut |_, _| {});
+        // Pages 0 and 1 are full frames (64 bytes), page 2 holds one series.
+        assert_eq!(store.io_snapshot().bytes_read, 64 + 64 + 16);
+        // The per-query counter stays logical (bytes delivered to the query).
+        assert_eq!(stats.bytes_read, 9 * 16);
+        // Re-reading with a cold pool transfers everything again.
+        store.read_range(0, 9, &mut stats, &mut |_, _| {});
+        assert_eq!(store.io_snapshot().bytes_read, 2 * (64 + 64 + 16));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn capacity_one_pool_still_answers_correctly() {
+        // Regression: a pool of capacity 1 thrashes but never corrupts.
+        let config = StorageConfig {
+            page_bytes: 32, // 2 series of length 4 per page
+            buffer_pool_pages: 1,
+        };
+        let (store, path) = file_store(10, 4, config, "cap1");
+        let mut stats = QueryStats::new();
+        // Pinned sequence over pages 0,0,3,0: miss, hit, miss(evict), miss(evict).
+        for (r, expect_first) in [(0usize, 0.0f32), (1, 4.0), (7, 28.0), (0, 0.0)] {
+            let s = store.read(r, &mut stats);
+            assert_eq!(s[0], expect_first);
+        }
+        let snap = store.io_snapshot();
+        assert_eq!(snap.pool_hits, 1);
+        assert_eq!(snap.pool_misses, 3);
+        assert_eq!(snap.pool_evictions, 2);
+        // Full scans still return every value.
+        let mut sum = 0.0f64;
+        store.read_range(0, 10, &mut stats, &mut |_, s| {
+            sum += s.iter().map(|&v| v as f64).sum::<f64>()
+        });
+        assert_eq!(sum, (0..40).sum::<i32>() as f64);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn file_backed_store_rejects_append_and_as_flat() {
+        let (mut store, path) = file_store(4, 4, StorageConfig::on_disk(), "hatch");
+        assert!(matches!(
+            store.append(&[0.0; 4]),
+            Err(Error::Storage(_))
+        ));
+        assert!(matches!(store.as_flat(), Err(Error::Storage(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn file_backed_validates_the_span_against_the_file() {
+        let path = std::env::temp_dir().join(format!(
+            "hydra-storage-short-{}.flat",
+            std::process::id()
+        ));
+        std::fs::write(&path, vec![0u8; 100]).unwrap();
+        // 100 bytes cannot hold 10 series of length 4 (160 bytes) at offset 0.
+        assert!(matches!(
+            SeriesStore::file_backed(
+                &path,
+                FileSpan { offset: 0, records: 10 },
+                4,
+                StorageConfig::on_disk()
+            ),
+            Err(Error::Storage(_))
+        ));
+        assert!(SeriesStore::file_backed(
+            &path,
+            FileSpan { offset: 20, records: 5 },
+            4,
+            StorageConfig::on_disk()
+        )
+        .is_ok());
+        assert!(matches!(
+            SeriesStore::file_backed(
+                Path::new("/nonexistent/x.flat"),
+                FileSpan { offset: 0, records: 1 },
+                4,
+                StorageConfig::on_disk()
+            ),
+            Err(Error::Storage(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn concurrent_file_backed_readers_see_consistent_data() {
+        let config = StorageConfig {
+            page_bytes: 64,
+            buffer_pool_pages: 1, // maximum thrash
+        };
+        let (store, path) = file_store(64, 4, config, "threads");
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let store = &store;
+                scope.spawn(move || {
+                    let mut stats = QueryStats::new();
+                    for i in 0..200 {
+                        let r = (i * 7 + t * 13) % 64;
+                        let s = store.read(r, &mut stats);
+                        assert_eq!(s[0], (r * 4) as f32, "torn read of record {r}");
+                        assert_eq!(s[3], (r * 4 + 3) as f32);
+                    }
+                });
+            }
+        });
+        let snap = store.io_snapshot();
+        assert_eq!(snap.pool_hits + snap.pool_misses, 4 * 200);
+        assert!(snap.pool_evictions > 0);
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -7,8 +7,8 @@ use hydra_core::{
     Representation, Result, SearchMode, SearchParams, SearchResult, TopK,
 };
 use hydra_persist::{
-    codec, fingerprint_dataset, fingerprint_series_flat, Fingerprint, PersistError,
-    PersistentIndex, Section, SnapshotReader, SnapshotWriter,
+    codec, fingerprint_dataset, Fingerprint, PersistError, PersistentIndex, Section,
+    SnapshotReader, SnapshotWriter, StoreBacking,
 };
 use hydra_storage::{SeriesStore, StorageConfig};
 use hydra_summarize::quantization::ScalarQuantizer;
@@ -56,6 +56,9 @@ pub struct VaPlusFile {
     store: SeriesStore,
     histogram: DistanceHistogram,
     num_series: usize,
+    /// Content fingerprint of the dataset, captured at build/load time so
+    /// snapshotting never has to re-read the (possibly file-backed) store.
+    data_fingerprint: u64,
 }
 
 impl VaPlusFile {
@@ -93,6 +96,7 @@ impl VaPlusFile {
                 config.seed,
             ),
             num_series: dataset.len(),
+            data_fingerprint: fingerprint_dataset(dataset),
         })
     }
 
@@ -197,7 +201,7 @@ impl VaPlusFile {
             let series = self.store.read(id, &mut stats);
             stats.series_scanned += 1;
             stats.distance_computations += 1;
-            if let Some(d) = hydra_core::euclidean_early_abandon(query, series, bsf) {
+            if let Some(d) = hydra_core::euclidean_early_abandon(query, &series, bsf) {
                 top.push(Neighbor::new(id, d));
             }
             refined += 1;
@@ -212,14 +216,15 @@ impl VaPlusFile {
 }
 
 /// Everything that shapes a VA+file build, hashed together with the dataset
-/// content (see [`PersistentIndex`]).
+/// content (see [`PersistentIndex`]). The storage configuration is
+/// deliberately **not** hashed — it shapes only I/O economics, never the
+/// quantizer or its answers, so a snapshot may be served with any pool
+/// (`--pool-pages`) and either backing.
 fn snapshot_fingerprint(config: &VaPlusFileConfig, data_fingerprint: u64) -> u64 {
     let mut f = Fingerprint::new();
     f.push_str(VaPlusFile::KIND);
     f.push_usize(config.dft_coefficients);
     f.push_u64(config.bits_per_dim as u64);
-    f.push_usize(config.storage.page_bytes);
-    f.push_usize(config.storage.buffer_pool_pages);
     f.push_usize(config.histogram_samples);
     f.push_u64(config.seed);
     f.push_u64(data_fingerprint);
@@ -233,10 +238,13 @@ impl PersistentIndex for VaPlusFile {
     /// Snapshots the trained equi-depth quantizer, the whole approximation
     /// file and the δ-ε histogram. The DFT summarizer is stateless (it is
     /// fully determined by the configuration) and the raw series store is
-    /// re-created from the dataset, so neither is stored.
+    /// re-attached from the dataset at load time (resident, or file-backed
+    /// straight onto the dataset snapshot), so neither is stored.
     fn save(&self, path: &Path) -> hydra_persist::Result<()> {
-        let data_fp = fingerprint_series_flat(self.series_len, self.store.as_flat());
-        let mut w = SnapshotWriter::new(Self::KIND, snapshot_fingerprint(&self.config, data_fp));
+        let mut w = SnapshotWriter::new(
+            Self::KIND,
+            snapshot_fingerprint(&self.config, self.data_fingerprint),
+        );
 
         let mut meta = Section::new();
         meta.put_usize(self.series_len);
@@ -267,9 +275,19 @@ impl PersistentIndex for VaPlusFile {
         dataset: &Dataset,
         config: &VaPlusFileConfig,
     ) -> hydra_persist::Result<Self> {
+        Self::load_backed(path, dataset, config, StoreBacking::Resident)
+    }
+
+    fn load_backed(
+        path: &Path,
+        dataset: &Dataset,
+        config: &VaPlusFileConfig,
+        backing: StoreBacking<'_>,
+    ) -> hydra_persist::Result<Self> {
+        let data_fingerprint = fingerprint_dataset(dataset);
         let mut r = SnapshotReader::open(path)?;
         r.expect_kind(Self::KIND)?;
-        r.expect_fingerprint(snapshot_fingerprint(config, fingerprint_dataset(dataset)))?;
+        r.expect_fingerprint(snapshot_fingerprint(config, data_fingerprint))?;
 
         let mut meta = r.next_section()?;
         let series_len = meta.get_usize()?;
@@ -307,9 +325,8 @@ impl PersistentIndex for VaPlusFile {
                 "DFT summary length disagrees with the stored quantizer".into(),
             ));
         }
-        let store = SeriesStore::from_dataset(dataset, config.storage)
-            .map_err(|e| PersistError::Corrupt(format!("cannot rebuild series store: {e}")))?;
-        store.reset_io();
+        let store =
+            hydra_persist::backing::attach_dataset_order_store(path, dataset, config.storage, backing)?;
 
         Ok(Self {
             config: *config,
@@ -320,6 +337,7 @@ impl PersistentIndex for VaPlusFile {
             store,
             histogram,
             num_series,
+            data_fingerprint,
         })
     }
 }

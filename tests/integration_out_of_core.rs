@@ -1,0 +1,322 @@
+//! Out-of-core acceptance tests: a dataset whose raw series exceed the
+//! configured buffer pool is built, snapshotted, loaded **file-backed**,
+//! and served — concurrently and over a live `hydra-serve` session — with
+//! answers byte-identical to the resident path, while the pool's
+//! hit/miss/eviction counters show genuine eviction traffic.
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use hydra::prelude::*;
+use hydra::{Neighbor, StoreBacking};
+use hydra_serve::{
+    boot_from_dir, boot_from_dir_with, BootOptions, Request, ResponseBody, ServeClient, Server,
+    ServerConfig,
+};
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "hydra-integration-ooc-{}-{name}",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Raw series (1200 × 64 × 4 B ≈ 300 KiB) against a 1-page (64 KiB) pool:
+/// the out-of-core regime with ~5× more data than cache.
+fn ooc_scenario(dir: &PathBuf) -> (hydra::Dataset, PathBuf) {
+    let data = hydra::data::random_walk(1_200, 64, 8181);
+    assert!(
+        data.len() * data.series_len() * 4 > StorageConfig::on_disk().page_bytes,
+        "the dataset must not fit one page"
+    );
+    let data_snapshot = dir.join("walk.data.snap");
+    hydra::persist::dataset::save_dataset(&data, &data_snapshot).unwrap();
+    (data, data_snapshot)
+}
+
+#[test]
+fn parallel_workloads_over_a_file_backed_store_are_deterministic() {
+    let dir = temp_dir("parallel");
+    let (data, data_snapshot) = ooc_scenario(&dir);
+    let config = DsTreeConfig {
+        storage: StorageConfig::on_disk().with_pool_pages(1),
+        histogram_samples: 2_000,
+        seed: 3,
+        ..DsTreeConfig::default()
+    };
+    let built = DsTree::build(&data, config).unwrap();
+    let snapshot = dir.join("walk-dstree.snap");
+    built.save(&snapshot).unwrap();
+    let filed = DsTree::load_backed(
+        &snapshot,
+        &data,
+        &config,
+        StoreBacking::FileBacked {
+            dataset_snapshot: Some(&data_snapshot),
+        },
+    )
+    .unwrap();
+    assert!(filed.store().is_file_backed());
+
+    let workload = hydra::data::noisy_queries(&data, 12, &[0.0, 0.2], 99);
+    let truth = hydra::data::ground_truth(&data, &workload, 10);
+    for params in [SearchParams::exact(10), SearchParams::ng(10, 8)] {
+        let baseline = hydra::eval::run_workload(&built, &workload, &truth, &params);
+        for threads in [1usize, 2, 4] {
+            let report =
+                hydra::eval::run_workload_parallel(&filed, &workload, &truth, &params, threads);
+            assert_eq!(
+                report.accuracy, baseline.accuracy,
+                "file-backed accuracy drifted at {threads} threads ({params:?})"
+            );
+            // CPU-side work is pool-independent and must not move either;
+            // only the I/O-operation split may shift with interleaving
+            // (same caveat as the resident store under parallelism).
+            assert_eq!(
+                report.stats.distance_computations, baseline.stats.distance_computations,
+                "distance computations drifted at {threads} threads"
+            );
+            assert_eq!(report.stats.bytes_read, baseline.stats.bytes_read);
+        }
+    }
+    // The thrashing pool really evicted (the dataset is ~5× its capacity).
+    let io = filed.store().io_snapshot();
+    assert!(io.pool_evictions > 0, "no eviction traffic: {io:?}");
+    assert!(io.pool_misses > 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn file_backed_eviction_traffic_is_real_and_pinned() {
+    let dir = temp_dir("evictions");
+    let data = hydra::data::random_walk(256, 16, 4242);
+    let data_snapshot = dir.join("walk.data.snap");
+    hydra::persist::dataset::save_dataset(&data, &data_snapshot).unwrap();
+    // 2 series per page (128 B pages), pool of 4 pages = 8 of 256 series.
+    let config = SrsConfig {
+        projected_dims: 8,
+        storage: StorageConfig {
+            page_bytes: 128,
+            buffer_pool_pages: 4,
+        },
+        seed: 7,
+        ..SrsConfig::default()
+    };
+    let snapshot = dir.join("walk-srs.snap");
+    Srs::build(&data, config).unwrap().save(&snapshot).unwrap();
+    let filed = Srs::load_backed(
+        &snapshot,
+        &data,
+        &config,
+        StoreBacking::FileBacked {
+            dataset_snapshot: Some(&data_snapshot),
+        },
+    )
+    .unwrap();
+
+    // A full sweep in record order: 128 pages through a 4-page pool.
+    let mut stats = hydra::QueryStats::new();
+    let store = filed.store();
+    store.read_range(0, 256, &mut stats, &mut |_, _| {});
+    let io = store.io_snapshot();
+    assert_eq!(io.pool_misses, 128, "every page is cold exactly once");
+    assert_eq!(io.pool_hits, 0);
+    assert_eq!(io.pool_evictions, 128 - 4, "all but the pool's capacity evicted");
+    assert_eq!(io.bytes_read, 256 * 16 * 4, "every raw byte transferred once");
+    assert_eq!(stats.random_ios, 1);
+    assert_eq!(stats.sequential_ios, 127);
+    // Sweep again: the pool holds the *last* 4 pages, the scan starts at
+    // page 0 — LRU gives zero hits on a cyclic scan larger than the cache.
+    store.read_range(0, 256, &mut stats, &mut |_, _| {});
+    let io = store.io_snapshot();
+    assert_eq!(io.pool_misses, 256);
+    assert_eq!(io.pool_hits, 0);
+    assert_eq!(io.bytes_read, 2 * 256 * 16 * 4);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Replays `workload` against one served index through `connections`
+/// concurrent TCP connections, returning the answers in workload order.
+fn replay(
+    addr: SocketAddr,
+    index_name: &str,
+    params: &SearchParams,
+    workload: &hydra::data::QueryWorkload,
+    connections: usize,
+) -> Vec<Vec<Neighbor>> {
+    let queries: Vec<&[f32]> = workload.iter().collect();
+    let n = queries.len();
+    let chunk = n.div_ceil(connections).max(1);
+    let mut merged: Vec<Option<Vec<Neighbor>>> = vec![None; n];
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (c, shard) in queries.chunks(chunk).enumerate() {
+            let handle = scope.spawn(move || {
+                let mut client = ServeClient::connect(addr).expect("connect");
+                for (i, query) in shard.iter().enumerate() {
+                    client
+                        .send(&Request::Query {
+                            request_id: (i + 1) as u64,
+                            index: index_name.to_string(),
+                            params: *params,
+                            query: query.to_vec(),
+                        })
+                        .expect("send");
+                }
+                let mut answers: Vec<Option<Vec<Neighbor>>> = vec![None; shard.len()];
+                for _ in 0..shard.len() {
+                    let response = client.recv().expect("recv");
+                    let slot = (response.request_id - 1) as usize;
+                    match response.body {
+                        ResponseBody::Answer { neighbors } => answers[slot] = Some(neighbors),
+                        other => panic!("query {} failed: {other:?}", response.request_id),
+                    }
+                }
+                (c, answers)
+            });
+            handles.push(handle);
+        }
+        for handle in handles {
+            let (c, answers) = handle.join().expect("replay connection panicked");
+            for (i, answer) in answers.into_iter().enumerate() {
+                merged[c * chunk + i] = Some(answer.expect("unanswered query"));
+            }
+        }
+    });
+    merged.into_iter().map(|a| a.unwrap()).collect()
+}
+
+#[test]
+fn hydra_serve_over_a_file_backed_boot_answers_byte_identically() {
+    let dir = temp_dir("serve");
+    let (data, _) = ooc_scenario(&dir);
+    let seed = 5;
+    let configs = hydra::standard_configs(false, seed);
+    DsTree::build(&data, configs.dstree)
+        .unwrap()
+        .save(&dir.join("walk-dstree.snap"))
+        .unwrap();
+    Isax2Plus::build(&data, configs.isax)
+        .unwrap()
+        .save(&dir.join("walk-isax2.snap"))
+        .unwrap();
+    VaPlusFile::build(&data, configs.vafile)
+        .unwrap()
+        .save(&dir.join("walk-vafile.snap"))
+        .unwrap();
+    Srs::build(&data, configs.srs)
+        .unwrap()
+        .save(&dir.join("walk-srs.snap"))
+        .unwrap();
+    InvertedMultiIndex::build(&data, configs.imi)
+        .unwrap()
+        .save(&dir.join("walk-imi.snap"))
+        .unwrap();
+
+    // Offline twin: resident boot under the default pool. Server: the same
+    // snapshots booted file-backed behind a single-page pool — the raw
+    // series are ~5× the cache.
+    let resident = boot_from_dir(&dir, &hydra::standard_registry(false, seed)).unwrap();
+    let ooc_registry = hydra::standard_registry_pooled(false, seed, Some(1));
+    let booted = boot_from_dir_with(
+        &dir,
+        &ooc_registry,
+        BootOptions { file_backed: true },
+    )
+    .unwrap();
+    assert_eq!(booted.indexes.len(), 5);
+    let handle = Server::spawn(
+        booted.indexes,
+        "127.0.0.1:0",
+        ServerConfig {
+            batch_window: Duration::from_millis(2),
+            max_batch: 16,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = handle.local_addr();
+
+    let k = 10;
+    let workload = hydra::data::noisy_queries(&data, 10, &[0.0, 0.2], 33);
+    let truth = hydra::data::ground_truth(&data, &workload, k);
+    for served in &resident.indexes {
+        let caps = served.index.capabilities();
+        let mut settings = vec![SearchParams::ng(k, 16)];
+        if caps.exact {
+            settings.push(SearchParams::exact(k));
+        }
+        for params in &settings {
+            let answers = replay(addr, &served.name, params, &workload, 3);
+            let mut per_query = Vec::with_capacity(workload.len());
+            for (q, query) in workload.iter().enumerate() {
+                let offline = served.index.search(query, params).unwrap();
+                let wire = &answers[q];
+                assert_eq!(
+                    wire.len(),
+                    offline.neighbors.len(),
+                    "{} {params:?} query {q}: answer size drifted out-of-core",
+                    served.name
+                );
+                for (a, b) in wire.iter().zip(offline.neighbors.iter()) {
+                    assert_eq!(a.index, b.index, "{} query {q}: neighbor drifted", served.name);
+                    assert_eq!(
+                        a.distance.to_bits(),
+                        b.distance.to_bits(),
+                        "{} query {q}: distance drifted",
+                        served.name
+                    );
+                }
+                let answer_truth = &truth.answers[q];
+                per_query.push((
+                    hydra::eval::recall(wire, answer_truth),
+                    hydra::eval::average_precision(wire, answer_truth),
+                    hydra::eval::mean_relative_error(wire, answer_truth),
+                ));
+            }
+            let served_accuracy = hydra::eval::AccuracySummary::from_queries(&per_query);
+            let offline_report =
+                hydra::eval::run_workload(served.index.as_ref(), &workload, &truth, params);
+            assert_eq!(
+                served_accuracy, offline_report.accuracy,
+                "{} {params:?}: accuracy drifted between file-backed serving and offline",
+                served.name
+            );
+        }
+    }
+
+    let mut control = ServeClient::connect(addr).unwrap();
+    control.shutdown().unwrap();
+    drop(control);
+    let stats = handle.join();
+    assert!(stats.queries > 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn out_of_core_boot_writes_reusable_sidecars_for_tree_indexes() {
+    let dir = temp_dir("sidecars");
+    let (data, _) = ooc_scenario(&dir);
+    let configs = hydra::standard_configs(false, 5);
+    Isax2Plus::build(&data, configs.isax)
+        .unwrap()
+        .save(&dir.join("walk-isax2.snap"))
+        .unwrap();
+    let registry = hydra::standard_registry_pooled(false, 5, Some(1));
+    let options = BootOptions { file_backed: true };
+    boot_from_dir_with(&dir, &registry, options).unwrap();
+    let sidecar = dir.join("walk-isax2.snap.series");
+    assert!(
+        sidecar.exists(),
+        "a file-backed boot materializes the leaf-ordered flat file once"
+    );
+    let first = std::fs::read(&sidecar).unwrap();
+    // A second boot reuses the verified sidecar byte-for-byte.
+    boot_from_dir_with(&dir, &registry, options).unwrap();
+    assert_eq!(std::fs::read(&sidecar).unwrap(), first);
+    std::fs::remove_dir_all(&dir).ok();
+}

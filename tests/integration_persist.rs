@@ -9,7 +9,7 @@
 use std::path::{Path, PathBuf};
 
 use hydra::prelude::*;
-use hydra::{AnnIndex, Dataset, PersistentIndex};
+use hydra::{AnnIndex, Dataset, PersistentIndex, StoreBacking};
 
 fn temp_dir(name: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!(
@@ -164,6 +164,187 @@ fn every_index_in_the_zoo_roundtrips_identically() {
         std::fs::remove_dir_all(&dir).ok();
     }
 
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Loads one snapshot twice — resident and file-backed — at the given
+/// buffer-pool geometry and proves the two indistinguishable over a whole
+/// workload: same neighbors (bit-for-bit distances), same per-query
+/// `QueryStats` (the shared accounting contract), same accuracy.
+fn assert_file_backed_load_identical<T>(
+    snapshot: &Path,
+    data_snapshot: &Path,
+    data: &Dataset,
+    config: &T::Config,
+) where
+    T: AnnIndex + PersistentIndex,
+{
+    let resident = T::load_backed(snapshot, data, config, StoreBacking::Resident)
+        .unwrap_or_else(|e| panic!("{}: resident load failed: {e}", T::KIND));
+    let filed = T::load_backed(
+        snapshot,
+        data,
+        config,
+        StoreBacking::FileBacked {
+            dataset_snapshot: Some(data_snapshot),
+        },
+    )
+    .unwrap_or_else(|e| panic!("{}: file-backed load failed: {e}", T::KIND));
+
+    let workload = hydra::data::noisy_queries(data, 8, &[0.0, 0.2], 777);
+    let k = 10;
+    let caps = resident.capabilities();
+    let mut params = vec![SearchParams::ng(k, 16)];
+    if caps.exact {
+        params.push(SearchParams::exact(k));
+    }
+    if caps.delta_epsilon_approximate {
+        params.push(SearchParams::delta_epsilon(k, 0.9, 1.0));
+    }
+    for p in &params {
+        for query in workload.iter() {
+            let a = resident.search(query, p).unwrap();
+            let b = filed.search(query, p).unwrap();
+            assert_eq!(a.neighbors.len(), b.neighbors.len(), "{}: answer size", T::KIND);
+            for (x, y) in a.neighbors.iter().zip(b.neighbors.iter()) {
+                assert_eq!(x.index, y.index, "{}: neighbor drifted", T::KIND);
+                assert_eq!(
+                    x.distance.to_bits(),
+                    y.distance.to_bits(),
+                    "{}: distance drifted",
+                    T::KIND
+                );
+            }
+            assert_eq!(
+                a.stats, b.stats,
+                "{}: QueryStats must be identical across backings",
+                T::KIND
+            );
+        }
+        let truth = hydra::data::ground_truth(data, &workload, k);
+        let ra = hydra::eval::run_workload(&resident, &workload, &truth, p);
+        let rb = hydra::eval::run_workload(&filed, &workload, &truth, p);
+        assert_eq!(ra.accuracy, rb.accuracy, "{}: accuracy drifted", T::KIND);
+    }
+}
+
+/// Every disk-capable method of the zoo, loaded file-backed and proven
+/// byte-identical to the resident load of the same snapshot, at pool sizes
+/// {1 page, ~dataset/2, effectively-infinite}. Small pages force real
+/// multi-page traffic and eviction at the small pools.
+#[test]
+fn disk_capable_zoo_loads_file_backed_identically_at_every_pool_size() {
+    let dir = temp_dir("file-backed-zoo");
+    let data = hydra::data::random_walk(500, 32, 515);
+    let data_snapshot = dir.join("walk.data.snap");
+    hydra::persist::dataset::save_dataset(&data, &data_snapshot).unwrap();
+    // 500 series × 32 × 4 B = 64 000 B of raw data; 4 KiB pages → ~16 pages.
+    let pools = [1usize, 8, usize::MAX / 2];
+    let page_bytes = 4096;
+
+    let base = StorageConfig {
+        page_bytes,
+        buffer_pool_pages: 1,
+    };
+    let dstree_cfg = DsTreeConfig {
+        leaf_capacity: 32,
+        storage: base,
+        histogram_samples: 2_000,
+        seed: 1,
+        ..DsTreeConfig::default()
+    };
+    let isax_cfg = IsaxConfig {
+        leaf_capacity: 32,
+        storage: base,
+        histogram_samples: 2_000,
+        seed: 2,
+        ..IsaxConfig::default()
+    };
+    let va_cfg = VaPlusFileConfig {
+        storage: base,
+        histogram_samples: 2_000,
+        seed: 3,
+        ..VaPlusFileConfig::default()
+    };
+    let srs_cfg = SrsConfig {
+        projected_dims: 8,
+        storage: base,
+        seed: 4,
+        ..SrsConfig::default()
+    };
+    DsTree::build(&data, dstree_cfg)
+        .unwrap()
+        .save(&dir.join("walk-dstree.snap"))
+        .unwrap();
+    Isax2Plus::build(&data, isax_cfg)
+        .unwrap()
+        .save(&dir.join("walk-isax2.snap"))
+        .unwrap();
+    VaPlusFile::build(&data, va_cfg)
+        .unwrap()
+        .save(&dir.join("walk-vafile.snap"))
+        .unwrap();
+    Srs::build(&data, srs_cfg)
+        .unwrap()
+        .save(&dir.join("walk-srs.snap"))
+        .unwrap();
+
+    for pool in pools {
+        let storage = StorageConfig {
+            page_bytes,
+            buffer_pool_pages: pool,
+        };
+        assert_file_backed_load_identical::<DsTree>(
+            &dir.join("walk-dstree.snap"),
+            &data_snapshot,
+            &data,
+            &DsTreeConfig { storage, ..dstree_cfg },
+        );
+        assert_file_backed_load_identical::<Isax2Plus>(
+            &dir.join("walk-isax2.snap"),
+            &data_snapshot,
+            &data,
+            &IsaxConfig { storage, ..isax_cfg },
+        );
+        assert_file_backed_load_identical::<VaPlusFile>(
+            &dir.join("walk-vafile.snap"),
+            &data_snapshot,
+            &data,
+            &VaPlusFileConfig { storage, ..va_cfg },
+        );
+        assert_file_backed_load_identical::<Srs>(
+            &dir.join("walk-srs.snap"),
+            &data_snapshot,
+            &data,
+            &SrsConfig { storage, ..srs_cfg },
+        );
+    }
+
+    // The same snapshots also travel through the type-erased registry path
+    // a server boots with: answers at pool size 1 equal answers at ∞.
+    let mut registry = hydra::persist::LoaderRegistry::new();
+    registry.register::<DsTree>(DsTreeConfig {
+        storage: StorageConfig {
+            page_bytes,
+            buffer_pool_pages: 1,
+        },
+        ..dstree_cfg
+    });
+    let tiny = registry
+        .load_any_backed(
+            &dir.join("walk-dstree.snap"),
+            &data,
+            StoreBacking::FileBacked {
+                dataset_snapshot: Some(&data_snapshot),
+            },
+        )
+        .unwrap();
+    let resident = DsTree::load(&dir.join("walk-dstree.snap"), &data, &dstree_cfg).unwrap();
+    let q = data.series(17);
+    assert_eq!(
+        tiny.search(q, &SearchParams::exact(5)).unwrap().neighbors,
+        resident.search(q, &SearchParams::exact(5)).unwrap().neighbors,
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 
