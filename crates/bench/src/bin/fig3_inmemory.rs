@@ -24,6 +24,12 @@
 //! load time instead of a rebuild, and the accuracy columns are identical
 //! by the snapshot contract. `HYDRA_GT_CACHE=DIR` additionally caches the
 //! exact ground-truth answers.
+//!
+//! Pass `--shards S` to build every method as a `ShardedIndex` over `S`
+//! contiguous shards of each dataset — same method set, same CSV rows,
+//! answers merged by (distance, global id). Exact and guarantee-class
+//! accuracy is identical to the unsharded run; ng-approximate rows may
+//! improve (the effort knob applies per shard).
 
 use hydra_bench::{
     bench_flags, build_or_load_methods, in_memory_datasets, print_header, print_row,

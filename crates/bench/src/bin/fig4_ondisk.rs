@@ -28,6 +28,13 @@
 //! disk-resident regime of the paper. Answers, accuracy and per-query
 //! `QueryStats` are byte-identical to the resident run at any pool size;
 //! the store-level `bytes_read`/eviction totals become measurements.
+//!
+//! Pass `--shards S` to build every method as a `ShardedIndex` over `S`
+//! contiguous shards; with `--save-index DIR` each shard writes a complete
+//! bootable `DIR/shard-<s>/` directory for one `hydra-serve --shard-role
+//! worker`. Exact and guarantee-class accuracy columns are identical to
+//! the unsharded run; ng-approximate rows may improve (the effort knob
+//! applies per shard).
 
 use hydra_bench::{
     bench_flags, build_or_load_methods, on_disk_datasets, print_header, print_row,

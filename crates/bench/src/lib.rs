@@ -237,6 +237,9 @@ pub fn build_or_load_methods(
     seed: u64,
     flags: &BenchFlags,
 ) -> Vec<BuiltMethod> {
+    if flags.shards > 1 {
+        return build_or_load_methods_sharded(dataset_name, data, in_memory, seed, flags);
+    }
     let configs = hydra::standard_configs_pooled(in_memory, seed, flags.pool_pages);
     if let Some(dir) = &flags.save_index {
         let path = dataset_snapshot_file(dir, dataset_name);
@@ -268,6 +271,71 @@ pub fn build_or_load_methods(
         out.push(obtain(dataset_name, data, configs.flann, flags, Flann::build));
     }
     out
+}
+
+/// The `--shards S` path of [`build_or_load_methods`]: partition the
+/// dataset into `S` contiguous shards, run the ordinary unsharded path
+/// once per shard (so persistence, fingerprints, pool overrides and
+/// out-of-core backing all work per shard, against that shard's own
+/// `shard-<s>/` snapshot subdirectory — exactly what a
+/// `hydra-serve --shard-role worker` boots), and wrap each method's `S`
+/// per-shard indexes in one [`hydra::ShardedIndex`]. Method names, CSV
+/// rows and sweep settings are unchanged; `build_seconds` is the sum over
+/// shards and `loaded` means *every* shard was loaded.
+fn build_or_load_methods_sharded(
+    dataset_name: &str,
+    data: &Dataset,
+    in_memory: bool,
+    seed: u64,
+    flags: &BenchFlags,
+) -> Vec<BuiltMethod> {
+    let (map, shard_data) =
+        hydra::partition(data, hydra::PartitionScheme::Contiguous, flags.shards)
+            .unwrap_or_else(|e| {
+                eprintln!(
+                    "error: cannot split {dataset_name} ({} series) into {} shards: {e}",
+                    data.len(),
+                    flags.shards
+                );
+                std::process::exit(2);
+            });
+    let shard_dir = |dir: &PathBuf, s: usize| dir.join(format!("shard-{s}"));
+    let mut per_shard: Vec<Vec<BuiltMethod>> = Vec::with_capacity(flags.shards);
+    for (s, shard) in shard_data.iter().enumerate() {
+        let sub = BenchFlags {
+            shards: 1,
+            save_index: flags.save_index.as_ref().map(|d| shard_dir(d, s)),
+            load_index: flags.load_index.as_ref().map(|d| shard_dir(d, s)),
+            ..flags.clone()
+        };
+        if let Some(dir) = &sub.save_index {
+            std::fs::create_dir_all(dir).unwrap_or_else(|e| {
+                eprintln!("error: cannot create shard directory {}: {e}", dir.display());
+                std::process::exit(2);
+            });
+        }
+        per_shard.push(build_or_load_methods(dataset_name, shard, in_memory, seed, &sub));
+    }
+    let num_methods = per_shard[0].len();
+    let mut columns: Vec<_> = per_shard.into_iter().map(Vec::into_iter).collect();
+    (0..num_methods)
+        .map(|_| {
+            let parts: Vec<BuiltMethod> = columns
+                .iter_mut()
+                .map(|it| it.next().expect("every shard builds the same method set"))
+                .collect();
+            let build_seconds = parts.iter().map(|m| m.build_seconds).sum();
+            let loaded = parts.iter().all(|m| m.loaded);
+            let shards: Vec<Box<dyn AnnIndex>> = parts.into_iter().map(|m| m.index).collect();
+            let index = hydra::ShardedIndex::new(shards, map.clone())
+                .expect("per-shard builds match the partition map");
+            BuiltMethod {
+                index: Box::new(index),
+                build_seconds,
+                loaded,
+            }
+        })
+        .collect()
 }
 
 /// The parameter sweep a method uses to trace its efficiency/accuracy curve,
@@ -360,6 +428,12 @@ pub struct BenchFlags {
     /// attach their stores file-backed instead of resident. Requires
     /// `--load-index` — a fresh build is always resident.
     pub out_of_core: bool,
+    /// Shard count (`--shards S`, default 1 = unsharded). With `S > 1`
+    /// every method is built as a [`hydra::ShardedIndex`] over `S`
+    /// contiguous shards of the dataset; snapshot directories gain one
+    /// `shard-<s>/` subdirectory per shard, each a complete bootable
+    /// directory for one `hydra-serve --shard-role worker`.
+    pub shards: usize,
 }
 
 impl Default for BenchFlags {
@@ -371,6 +445,7 @@ impl Default for BenchFlags {
             load_index: None,
             pool_pages: None,
             out_of_core: false,
+            shards: 1,
         }
     }
 }
@@ -388,6 +463,7 @@ pub fn parse_bench_flags(
 ) -> std::result::Result<BenchFlags, String> {
     let mut flags = BenchFlags::default();
     let mut threads_seen = false;
+    let mut shards_seen = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value_of = |name: &str| -> Option<std::result::Result<String, String>> {
@@ -450,10 +526,20 @@ pub fn parse_bench_flags(
                 return Err("--out-of-core given more than once".into());
             }
             flags.out_of_core = true;
+        } else if let Some(value) = value_of("--shards") {
+            let value = value?;
+            if shards_seen {
+                return Err("--shards given more than once".into());
+            }
+            shards_seen = true;
+            flags.shards = match value.parse::<usize>() {
+                Ok(s) if s > 0 => s,
+                _ => return Err(format!("--shards expects a positive integer, got {value:?}")),
+            };
         } else {
             return Err(format!(
                 "unrecognized argument {arg:?} (accepted: {}--save-index DIR, --load-index DIR, \
-                 --pool-pages N, --out-of-core)",
+                 --pool-pages N, --out-of-core, --shards S)",
                 if threads_allowed { "--threads N, " } else { "" }
             ));
         }
@@ -619,6 +705,61 @@ mod tests {
         )
         .is_err());
         assert!(parse_bench_flags(&args(&["--out-of-core=yes"]), true).is_err());
+        // Sharding flag: both spellings, strict about garbage.
+        assert_eq!(parse_bench_flags(&args(&[]), true).unwrap().shards, 1);
+        assert_eq!(parse_bench_flags(&args(&["--shards", "4"]), true).unwrap().shards, 4);
+        assert_eq!(parse_bench_flags(&args(&["--shards=2"]), false).unwrap().shards, 2);
+        assert!(parse_bench_flags(&args(&["--shards", "0"]), true).is_err());
+        assert!(parse_bench_flags(&args(&["--shards", "two"]), true).is_err());
+        assert!(parse_bench_flags(&args(&["--shards"]), true).is_err());
+        assert!(parse_bench_flags(&args(&["--shards=2", "--shards=3"]), true).is_err());
+    }
+
+    #[test]
+    fn sharded_zoo_keeps_method_names_and_saves_bootable_shard_directories() {
+        let dir = std::env::temp_dir().join(format!(
+            "hydra-bench-sharded-{}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let d = make_dataset("rand256", 300, 32, 5, 51);
+        let plain = build_or_load_methods(d.name, &d.data, true, 2, &BenchFlags::default());
+        let save = BenchFlags {
+            shards: 2,
+            save_index: Some(dir.clone()),
+            ..BenchFlags::default()
+        };
+        let sharded = build_or_load_methods(d.name, &d.data, true, 2, &save);
+        assert_eq!(plain.len(), sharded.len());
+        for (p, s) in plain.iter().zip(sharded.iter()) {
+            assert_eq!(p.index.name(), s.index.name(), "CSV method names must not change");
+            assert_eq!(s.index.num_series(), 300, "sharded view spans the whole dataset");
+            assert!(!s.loaded);
+        }
+        // Each shard directory is a complete bootable snapshot directory:
+        // a dataset snapshot plus every method of the scenario.
+        for s in 0..2 {
+            let shard = dir.join(format!("shard-{s}"));
+            assert!(dataset_snapshot_file(&shard, d.name).exists());
+            assert!(snapshot_file(&shard, d.name, "dstree").exists());
+        }
+        // Loading the sharded zoo back reports loaded methods with answers
+        // identical to the freshly built sharded zoo.
+        let load = BenchFlags {
+            shards: 2,
+            load_index: Some(dir.clone()),
+            ..BenchFlags::default()
+        };
+        let loaded = build_or_load_methods(d.name, &d.data, true, 2, &load);
+        assert!(loaded.iter().all(|m| m.loaded));
+        for (b, l) in sharded.iter().zip(loaded.iter()) {
+            let params = SearchParams::ng(5, 8);
+            let (map_b, rep_b) = run_point(b.index.as_ref(), &d, &params);
+            let (map_l, rep_l) = run_point(l.index.as_ref(), &d, &params);
+            assert_eq!(map_b, map_l, "{} must answer identically", b.index.name());
+            assert_eq!(rep_b.accuracy, rep_l.accuracy);
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -53,12 +53,17 @@ pub fn euclidean(a: &[f32], b: &[f32]) -> f32 {
 ///
 /// `best_so_far` is expressed in *un-squared* Euclidean units, matching the
 /// distances returned by [`euclidean`].
+///
+/// The accumulation order is the same for every `best_so_far` (an infinite
+/// bound merely never abandons — `acc > inf` is always false, so no branch
+/// is needed for it). This is a correctness property, not a style choice:
+/// a *kept* candidate's distance must not depend on how good the best
+/// answer already was, or the same series refined in different traversal
+/// orders (sequential vs. sharded search) would report distances apart by
+/// an ULP and break the bit-identity contract of exact search.
 #[inline]
 pub fn euclidean_early_abandon(a: &[f32], b: &[f32], best_so_far: f32) -> Option<f32> {
     debug_assert_eq!(a.len(), b.len());
-    if !best_so_far.is_finite() {
-        return Some(euclidean(a, b));
-    }
     let threshold = best_so_far * best_so_far;
     let mut acc = 0.0f32;
     // Check the abandonment condition every 8 points: frequent enough to

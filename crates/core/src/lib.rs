@@ -43,7 +43,9 @@ pub use distance::{euclidean, euclidean_early_abandon, squared_euclidean};
 pub use error::{Error, Result};
 pub use histogram::DistanceHistogram;
 pub use index::{AnnIndex, Capabilities, HierarchicalIndex, Representation};
-pub use query::{Answer, Neighbor, SearchKey, SearchMode, SearchParams, SearchResult, TopK};
+pub use query::{
+    merge_top_k, Answer, Neighbor, SearchKey, SearchMode, SearchParams, SearchResult, TopK,
+};
 pub use search::{knn_search, KnnSearcher};
 pub use series::{znormalize, znormalized, Dataset};
 pub use stats::QueryStats;

@@ -7,7 +7,7 @@ use proptest::prelude::*;
 
 use crate::distance::{euclidean, euclidean_early_abandon, squared_euclidean};
 use crate::histogram::DistanceHistogram;
-use crate::query::{Neighbor, TopK};
+use crate::query::{merge_top_k, Neighbor, TopK};
 
 fn vec_strategy(len: usize) -> impl Strategy<Value = Vec<f32>> {
     proptest::collection::vec(-1000.0f32..1000.0, len)
@@ -59,6 +59,35 @@ proptest! {
         for (g, e) in got.iter().zip(all.iter()) {
             prop_assert!((g - e).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn merged_shard_top_k_equals_top_k_of_concatenation(
+        // Distances drawn from a tiny grid so duplicate-distance ties at
+        // the k boundary are the common case, not a rarity; each candidate
+        // gets a unique global id (shards partition one dataset).
+        grid in proptest::collection::vec(0usize..6, 0..60),
+        shards in 1usize..6,
+        k in 1usize..12,
+    ) {
+        let candidates: Vec<Neighbor> = grid
+            .iter()
+            .enumerate()
+            .map(|(id, &d)| Neighbor::new(id, d as f32 * 0.5))
+            .collect();
+        // Deal candidates round-robin into shard answer lists.
+        let mut per_shard: Vec<Vec<Neighbor>> = vec![Vec::new(); shards];
+        for (i, &n) in candidates.iter().enumerate() {
+            per_shard[i % shards].push(n);
+        }
+        let merged = merge_top_k(k, &per_shard);
+        let mut expected = candidates.clone();
+        expected.sort();
+        expected.truncate(k);
+        prop_assert_eq!(&merged, &expected);
+        // Shard order must not matter: the merge is deterministic.
+        per_shard.reverse();
+        prop_assert_eq!(merge_top_k(k, &per_shard), expected);
     }
 
     #[test]

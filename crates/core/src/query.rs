@@ -291,6 +291,35 @@ impl TopK {
     }
 }
 
+/// Merges per-shard top-k answer lists into the global top-k — the merge
+/// kernel of sharded (partition-and-aggregate) search.
+///
+/// Each input list holds the best neighbors one shard found, with indices
+/// already mapped to **global** ids (shards partition one dataset, so
+/// global ids are unique across lists). The output is exactly the `k`
+/// smallest neighbors of the concatenation under the total [`Neighbor`]
+/// order — distance first, ties broken by global id — so the result is
+/// deterministic regardless of shard count, shard order, or the order
+/// answers arrived in. Lists need not be sorted; fewer than `k` total
+/// candidates yield them all, and `k == 0` yields an empty answer.
+///
+/// The equivalence contract built on this: an exact search fanned out over
+/// any partition of a dataset and merged here returns bit-identical
+/// neighbors and distances to the unsharded exact search (property-tested
+/// in this crate, asserted zoo-wide in `tests/integration_shard.rs`).
+pub fn merge_top_k(k: usize, shard_answers: &[Answer]) -> Answer {
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut top = TopK::new(k);
+    for answer in shard_answers {
+        for &neighbor in answer {
+            top.push(neighbor);
+        }
+    }
+    top.into_sorted()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -395,6 +424,50 @@ mod tests {
     #[should_panic(expected = "k must be positive")]
     fn topk_rejects_zero_k() {
         let _ = TopK::new(0);
+    }
+
+    #[test]
+    fn merge_top_k_equals_top_k_of_concatenation() {
+        let a = vec![Neighbor::new(0, 1.0), Neighbor::new(2, 3.0)];
+        let b = vec![Neighbor::new(5, 0.5), Neighbor::new(7, 2.0)];
+        let c = vec![Neighbor::new(9, 4.0)];
+        let merged = merge_top_k(3, &[a.clone(), b.clone(), c.clone()]);
+        let mut concat: Vec<Neighbor> = [a, b, c].concat();
+        concat.sort();
+        concat.truncate(3);
+        assert_eq!(merged, concat);
+        // Fewer candidates than k yields everything, still sorted.
+        let short = merge_top_k(10, &[vec![Neighbor::new(1, 2.0)], vec![Neighbor::new(0, 1.0)]]);
+        assert_eq!(short, vec![Neighbor::new(0, 1.0), Neighbor::new(1, 2.0)]);
+        // k == 0 and empty inputs are legal.
+        assert!(merge_top_k(0, &[vec![Neighbor::new(1, 1.0)]]).is_empty());
+        assert!(merge_top_k(3, &[]).is_empty());
+        assert!(merge_top_k(3, &[Vec::new(), Vec::new()]).is_empty());
+    }
+
+    #[test]
+    fn merge_top_k_breaks_duplicate_distance_ties_by_global_id() {
+        // Three shards all report distance 1.0 at the k boundary; the
+        // winners must be the smallest global ids, independent of shard
+        // order.
+        let shards = vec![
+            vec![Neighbor::new(30, 1.0), Neighbor::new(31, 1.0)],
+            vec![Neighbor::new(10, 1.0), Neighbor::new(40, 2.0)],
+            vec![Neighbor::new(20, 1.0)],
+        ];
+        let merged = merge_top_k(3, &shards);
+        assert_eq!(
+            merged,
+            vec![
+                Neighbor::new(10, 1.0),
+                Neighbor::new(20, 1.0),
+                Neighbor::new(30, 1.0)
+            ]
+        );
+        // Reversing the shard order changes nothing: the merge is
+        // deterministic by construction.
+        let reversed: Vec<Answer> = shards.into_iter().rev().collect();
+        assert_eq!(merge_top_k(3, &reversed), merged);
     }
 
     #[test]

@@ -30,6 +30,7 @@
 
 pub mod generators;
 pub mod ground_truth;
+pub mod partition;
 pub mod queries;
 
 pub use generators::{
@@ -39,4 +40,5 @@ pub use ground_truth::{
     exact_knn, exact_knn_batch, ground_truth, ground_truth_cache_file, ground_truth_cached,
     ground_truth_fingerprint, GroundTruth, GROUND_TRUTH_KIND,
 };
+pub use partition::{partition, PartitionScheme, ShardMap};
 pub use queries::{noisy_queries, sample_queries, QueryWorkload};

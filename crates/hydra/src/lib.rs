@@ -14,7 +14,11 @@
 //!   ([`hydra_storage`]), the dataset/query generators ([`hydra_data`]) and
 //!   the metrics/benchmark runner ([`hydra_eval`]),
 //! * every method of the study: [`DsTree`], [`Isax2Plus`], [`VaPlusFile`],
-//!   [`Hnsw`], [`InvertedMultiIndex`], [`Srs`], [`Qalsh`] and [`Flann`].
+//!   [`Hnsw`], [`InvertedMultiIndex`], [`Srs`], [`Qalsh`] and [`Flann`],
+//! * sharded scale-out ([`hydra_shard`]): [`partition()`] a dataset,
+//!   wrap per-shard indexes in a [`ShardedIndex`], and every consumer of
+//!   [`AnnIndex`] — the figure binaries, the workload runners, serving —
+//!   works over shards unchanged.
 //!
 //! ## Quick example
 //!
@@ -59,13 +63,16 @@ pub use hydra_core as core;
 pub use hydra_data as data;
 pub use hydra_eval as eval;
 pub use hydra_persist as persist;
+pub use hydra_shard as shard;
 pub use hydra_storage as storage;
 pub use hydra_summarize as summarize;
 
 pub use hydra_core::{
-    AnnIndex, Capabilities, Dataset, DistanceHistogram, Error, Neighbor, QueryStats,
+    merge_top_k, AnnIndex, Capabilities, Dataset, DistanceHistogram, Error, Neighbor, QueryStats,
     Representation, Result, SearchKey, SearchMode, SearchParams, SearchResult,
 };
+pub use hydra_data::{partition, PartitionScheme, ShardMap};
+pub use hydra_shard::ShardedIndex;
 pub use hydra_dstree::{DsTree, DsTreeConfig};
 pub use hydra_flann::{Flann, FlannAlgorithm, FlannConfig, KdForest, KdForestConfig, KMeansTree, KMeansTreeConfig};
 pub use hydra_persist::{PersistError, PersistentIndex, StoreBacking};
@@ -86,6 +93,7 @@ pub mod prelude {
     pub use hydra_isax::{Isax2Plus, IsaxConfig};
     pub use hydra_lsh::{Qalsh, QalshConfig, Srs, SrsConfig};
     pub use hydra_persist::PersistentIndex;
+    pub use hydra_shard::ShardedIndex;
     pub use hydra_storage::StorageConfig;
     pub use hydra_vafile::{VaPlusFile, VaPlusFileConfig};
 }

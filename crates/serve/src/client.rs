@@ -50,6 +50,29 @@ impl ServeClient {
         }
     }
 
+    /// Connects to `addr` with a bound on the connection attempt itself —
+    /// one `connect(2)` that fails after at most `timeout`, no retries.
+    /// The router uses this toward its workers so a dead worker costs a
+    /// bounded wait, not a TCP-stack-default hang.
+    pub fn connect_within(addr: SocketAddr, timeout: Duration) -> std::io::Result<Self> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        Ok(Self {
+            reader: BufReader::new(stream),
+            writer,
+            next_id: 1,
+        })
+    }
+
+    /// Bounds every subsequent read: a [`recv`](Self::recv) that waits
+    /// longer than `timeout` for the next frame fails with
+    /// [`ProtocolError::Io`] instead of blocking forever. `None` restores
+    /// unbounded reads.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
     /// A fresh request id (monotonically increasing, never 0 — 0 is the
     /// protocol-error id).
     pub fn fresh_id(&mut self) -> u64 {

@@ -29,6 +29,14 @@
 //!    answered with one error response, and followed by a hangup of that
 //!    connection only.
 //!
+//! Scale-out adds a fourth rule: **a routed answer is complete or it is a
+//! typed error** ([`router`]). The router fans each query out to shard
+//! workers over this same protocol, merges their top-k by (distance,
+//! global id), and turns any worker failure — dead, stalled, or
+//! babbling — into one [`protocol::ErrorCode::Unavailable`] response
+//! within the per-worker timeout, never a hang and never a silently
+//! partial answer.
+//!
 //! The `hydra-serve` binary (`src/main.rs`) wires these together behind a
 //! small CLI; `hydra-bench`'s `serve_client` binary replays figure
 //! workloads against it and emits the same CSV schema as `fig3`/`fig4`,
@@ -41,12 +49,14 @@ pub mod boot;
 pub mod cli;
 pub mod client;
 pub mod protocol;
+pub mod router;
 pub mod server;
 
 pub use boot::{
     boot_from_dir, boot_from_dir_with, dataset_for_index, BootError, BootOptions, BootReport,
 };
 pub use client::ServeClient;
+pub use router::{Router, RouterConfig, RouterHandle, RouterStats};
 pub use protocol::{
     ErrorCode, IndexInfo, ProtocolError, Request, Response, ResponseBody, MAX_FRAME_LEN, MAX_K,
     PROTOCOL_VERSION, REQUEST_MAGIC, RESPONSE_MAGIC,

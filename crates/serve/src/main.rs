@@ -1,11 +1,23 @@
 //! The `hydra-serve` binary: boot the index zoo from a snapshot directory
-//! and serve it until a shutdown frame arrives.
+//! and serve it until a shutdown frame arrives — standalone, as one shard
+//! worker of a scale-out deployment, or as the router in front of the
+//! workers.
 //!
 //! ```text
+//! # standalone server, or one shard worker (the same thing: a worker is
+//! # just a server booted from one shard's snapshot directory)
 //! hydra-serve --snapshots DIR [--addr 127.0.0.1:7878]
+//!             [--shard-role worker]
 //!             [--storage on-disk|in-memory] [--seed N]
 //!             [--pool-pages N] [--out-of-core]
 //!             [--batch-window-ms N] [--max-batch N]
+//!
+//! # the router: no snapshots of its own, speaks the same protocol to
+//! # clients and fans each query out to the workers (in shard order)
+//! hydra-serve --shard-role router --workers HOST:PORT,HOST:PORT,...
+//!             [--addr 127.0.0.1:7878]
+//!             [--worker-timeout-ms 30000] [--worker-connect-timeout-ms 120000]
+//!             [--shard-scheme contiguous|strided]
 //! ```
 //!
 //! `--storage` and `--seed` select the `hydra::standard_registry`
@@ -22,16 +34,35 @@
 //! collections whose raw series far exceed the configured pool. Answers
 //! are byte-identical to a resident boot.
 //!
+//! In router mode, `--workers` lists the shard workers *in shard order*
+//! (worker `w` must serve shard `w` of every index — the per-shard
+//! subdirectories a `fig* --save-index DIR --shards S` run writes), and
+//! `--shard-scheme` must name the scheme that run partitioned with.
+//! `--worker-timeout-ms` bounds every call to a worker; a worker that dies
+//! or stalls turns its in-flight queries into typed `Unavailable` error
+//! responses, never a hang, and is reconnected with exponential backoff.
+//!
 //! All diagnostics go to stderr; stdout is never written, so the binary
 //! composes with shell pipelines the same way the figure binaries do.
 
 use std::time::Duration;
 
-use hydra_serve::{boot_from_dir_with, Server, ServerConfig};
+use hydra::PartitionScheme;
+use hydra_serve::{boot_from_dir_with, Router, RouterConfig, Server, ServerConfig};
+
+/// Which half of a scale-out deployment this process is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Role {
+    /// A plain server (the default) — also exactly what a shard worker is.
+    Worker,
+    /// The fan-out/merge router in front of shard workers.
+    Router,
+}
 
 /// Parsed command-line configuration.
 #[derive(Debug, Clone, PartialEq)]
 struct Args {
+    role: Role,
     snapshots: std::path::PathBuf,
     addr: String,
     in_memory: bool,
@@ -40,11 +71,16 @@ struct Args {
     out_of_core: bool,
     batch_window: Duration,
     max_batch: usize,
+    workers: Vec<String>,
+    worker_timeout: Duration,
+    worker_connect_timeout: Duration,
+    scheme: PartitionScheme,
 }
 
 impl Default for Args {
     fn default() -> Self {
         Self {
+            role: Role::Worker,
             snapshots: std::path::PathBuf::new(),
             addr: "127.0.0.1:7878".into(),
             in_memory: false,
@@ -53,6 +89,10 @@ impl Default for Args {
             out_of_core: false,
             batch_window: Duration::from_millis(1),
             max_batch: 64,
+            workers: Vec::new(),
+            worker_timeout: Duration::from_secs(30),
+            worker_connect_timeout: Duration::from_secs(120),
+            scheme: PartitionScheme::Contiguous,
         }
     }
 }
@@ -60,12 +100,12 @@ impl Default for Args {
 /// Strict flag parsing in the house style (scaffolding shared with
 /// `serve_client` via [`hydra_serve::cli`]): both `--flag VALUE` and
 /// `--flag=VALUE` spellings, and anything unusable — a typo, a bad value,
-/// a duplicate — is an error, never a silent fallback.
+/// a duplicate, a flag that does not belong to the chosen role — is an
+/// error, never a silent fallback.
 fn parse_args(args: &[String]) -> Result<Args, String> {
     use hydra_serve::cli::{once, value_of as cli_value_of};
     let mut out = Args::default();
     let mut seen: Vec<&'static str> = Vec::new();
-    let mut snapshots_given = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value_of = |name: &'static str| cli_value_of(arg, name, &mut it);
@@ -76,10 +116,60 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
                 return Err("--snapshots expects a directory path".into());
             }
             out.snapshots = value.into();
-            snapshots_given = true;
         } else if let Some(value) = value_of("--addr") {
             once("--addr", &mut seen)?;
             out.addr = value?;
+        } else if let Some(value) = value_of("--shard-role") {
+            once("--shard-role", &mut seen)?;
+            out.role = match value?.as_str() {
+                "worker" => Role::Worker,
+                "router" => Role::Router,
+                other => {
+                    return Err(format!(
+                        "--shard-role expects worker or router, got {other:?}"
+                    ))
+                }
+            };
+        } else if let Some(value) = value_of("--workers") {
+            once("--workers", &mut seen)?;
+            let value = value?;
+            out.workers = value
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(str::to_string)
+                .collect();
+            if out.workers.is_empty() {
+                return Err("--workers expects a comma-separated list of HOST:PORT".into());
+            }
+        } else if let Some(value) = value_of("--worker-timeout-ms") {
+            once("--worker-timeout-ms", &mut seen)?;
+            let value = value?;
+            out.worker_timeout = match value.parse::<u64>() {
+                Ok(ms) if ms > 0 => Duration::from_millis(ms),
+                _ => {
+                    return Err(format!(
+                        "--worker-timeout-ms expects a positive integer, got {value:?}"
+                    ))
+                }
+            };
+        } else if let Some(value) = value_of("--worker-connect-timeout-ms") {
+            once("--worker-connect-timeout-ms", &mut seen)?;
+            let value = value?;
+            out.worker_connect_timeout = match value.parse::<u64>() {
+                Ok(ms) if ms > 0 => Duration::from_millis(ms),
+                _ => {
+                    return Err(format!(
+                        "--worker-connect-timeout-ms expects a positive integer, got {value:?}"
+                    ))
+                }
+            };
+        } else if let Some(value) = value_of("--shard-scheme") {
+            once("--shard-scheme", &mut seen)?;
+            let value = value?;
+            out.scheme = PartitionScheme::parse(&value).ok_or_else(|| {
+                format!("--shard-scheme expects contiguous or strided, got {value:?}")
+            })?;
         } else if let Some(value) = value_of("--storage") {
             once("--storage", &mut seen)?;
             out.in_memory = match value?.as_str() {
@@ -123,26 +213,100 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         } else {
             return Err(format!(
                 "unrecognized argument {arg:?} (accepted: --snapshots DIR, --addr HOST:PORT, \
+                 --shard-role worker|router, --workers HOST:PORT,..., --worker-timeout-ms N, \
+                 --worker-connect-timeout-ms N, --shard-scheme contiguous|strided, \
                  --storage on-disk|in-memory, --seed N, --pool-pages N, --out-of-core, \
                  --batch-window-ms N, --max-batch N)"
             ));
         }
     }
-    if !snapshots_given {
-        return Err("--snapshots DIR is required".into());
+    // Role/flag agreement: a router serves no snapshots of its own, a
+    // worker routes to no one. A flag for the other role is a
+    // misunderstanding of the topology, so it is an error, not ignored.
+    match out.role {
+        Role::Router => {
+            if !seen.contains(&"--workers") {
+                return Err("--shard-role router requires --workers HOST:PORT,...".into());
+            }
+            for flag in [
+                "--snapshots",
+                "--storage",
+                "--seed",
+                "--pool-pages",
+                "--out-of-core",
+                "--batch-window-ms",
+                "--max-batch",
+            ] {
+                if seen.contains(&flag) {
+                    return Err(format!(
+                        "{flag} belongs to the worker role (the router holds no snapshots \
+                         and does no batching of its own)"
+                    ));
+                }
+            }
+        }
+        Role::Worker => {
+            if !seen.contains(&"--snapshots") {
+                return Err("--snapshots DIR is required".into());
+            }
+            for flag in [
+                "--workers",
+                "--worker-timeout-ms",
+                "--worker-connect-timeout-ms",
+                "--shard-scheme",
+            ] {
+                if seen.contains(&flag) {
+                    return Err(format!("{flag} requires --shard-role router"));
+                }
+            }
+        }
     }
     Ok(out)
 }
 
-fn main() {
-    let raw: Vec<String> = std::env::args().skip(1).collect();
-    let args = match parse_args(&raw) {
-        Ok(args) => args,
-        Err(msg) => {
-            eprintln!("error: {msg}");
+/// Runs the router role: resolve the worker list, boot against the
+/// workers' listings, serve until shutdown.
+fn run_router(args: &Args) {
+    use std::net::ToSocketAddrs;
+    let mut workers = Vec::with_capacity(args.workers.len());
+    for spec in &args.workers {
+        match spec.to_socket_addrs().ok().and_then(|mut it| it.next()) {
+            Some(addr) => workers.push(addr),
+            None => {
+                eprintln!("error: cannot resolve worker address {spec:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let config = RouterConfig {
+        worker_timeout: args.worker_timeout,
+        boot_timeout: args.worker_connect_timeout,
+        scheme: args.scheme,
+        ..RouterConfig::default()
+    };
+    let handle = match Router::spawn(&workers, args.addr.as_str(), config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("error: router boot failed: {e}");
             std::process::exit(2);
         }
     };
+    eprintln!(
+        "hydra-serve: routing on {} to {} workers ({:?} shards, {:?} worker timeout)",
+        handle.local_addr(),
+        workers.len(),
+        args.scheme,
+        args.worker_timeout
+    );
+    let stats = handle.join();
+    eprintln!(
+        "hydra-serve: router shutdown after {} queries ({} worker errors, {} connections)",
+        stats.queries, stats.worker_errors, stats.connections
+    );
+}
+
+/// Runs the worker (= plain server) role: boot snapshots, serve.
+fn run_worker(args: &Args) {
     let registry = hydra::standard_registry_pooled(args.in_memory, args.seed, args.pool_pages);
     let options = hydra_serve::BootOptions {
         file_backed: args.out_of_core,
@@ -202,6 +366,21 @@ fn main() {
     );
 }
 
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&raw) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    };
+    match args.role {
+        Role::Router => run_router(&args),
+        Role::Worker => run_worker(&args),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -217,6 +396,7 @@ mod tests {
         assert_eq!(a.addr, "127.0.0.1:7878");
         assert!(!a.in_memory);
         assert_eq!(a.seed, 5);
+        assert_eq!(a.role, Role::Worker);
         let a = parse_args(&args(&[
             "--snapshots=/s",
             "--addr=0.0.0.0:9000",
@@ -263,5 +443,67 @@ mod tests {
         ]))
         .is_err());
         assert!(parse_args(&args(&["--snapshots", "/s", "--out-of-core=yes"])).is_err());
+    }
+
+    #[test]
+    fn parser_understands_the_shard_roles() {
+        // Worker role is the default and an explicit no-op.
+        let a = parse_args(&args(&["--snapshots", "/s", "--shard-role", "worker"])).unwrap();
+        assert_eq!(a.role, Role::Worker);
+        // Router role: workers required, shard knobs parsed, both spellings.
+        let a = parse_args(&args(&[
+            "--shard-role=router",
+            "--workers=127.0.0.1:7971, 127.0.0.1:7972",
+            "--worker-timeout-ms=250",
+            "--worker-connect-timeout-ms=9000",
+            "--shard-scheme=strided",
+            "--addr=127.0.0.1:7970",
+        ]))
+        .unwrap();
+        assert_eq!(a.role, Role::Router);
+        assert_eq!(a.workers, vec!["127.0.0.1:7971", "127.0.0.1:7972"]);
+        assert_eq!(a.worker_timeout, Duration::from_millis(250));
+        assert_eq!(a.worker_connect_timeout, Duration::from_millis(9000));
+        assert_eq!(a.scheme, PartitionScheme::Strided);
+        // Router defaults.
+        let a = parse_args(&args(&["--shard-role", "router", "--workers", "h:1"])).unwrap();
+        assert_eq!(a.worker_timeout, Duration::from_secs(30));
+        assert_eq!(a.worker_connect_timeout, Duration::from_secs(120));
+        assert_eq!(a.scheme, PartitionScheme::Contiguous);
+        // Bad values.
+        assert!(parse_args(&args(&["--snapshots", "/s", "--shard-role", "boss"])).is_err());
+        assert!(parse_args(&args(&["--shard-role", "router", "--workers", ","])).is_err());
+        assert!(parse_args(&args(&[
+            "--shard-role=router",
+            "--workers=h:1",
+            "--worker-timeout-ms=0"
+        ]))
+        .is_err());
+        assert!(parse_args(&args(&[
+            "--shard-role=router",
+            "--workers=h:1",
+            "--shard-scheme=diagonal"
+        ]))
+        .is_err());
+        // Role/flag disagreements.
+        assert!(parse_args(&args(&["--shard-role", "router"])).is_err());
+        assert!(parse_args(&args(&[
+            "--shard-role=router",
+            "--workers=h:1",
+            "--snapshots=/s"
+        ]))
+        .is_err());
+        assert!(parse_args(&args(&[
+            "--shard-role=router",
+            "--workers=h:1",
+            "--out-of-core"
+        ]))
+        .is_err());
+        assert!(parse_args(&args(&["--snapshots", "/s", "--workers", "h:1"])).is_err());
+        assert!(parse_args(&args(&[
+            "--snapshots=/s",
+            "--worker-timeout-ms=100"
+        ]))
+        .is_err());
     }
 }

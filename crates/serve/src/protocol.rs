@@ -48,7 +48,8 @@
 //!                           the bit, so serving can be diffed against the
 //!                           offline runner)
 //! -- status 1 --            u8 error code (1 unknown index, 2 search
-//!                           error, 3 protocol error), str message
+//!                           error, 3 protocol error, 4 shard worker
+//!                           unavailable), str message
 //! -- status 2 --            u64 count, then per index: str name, str
 //!                           method, u64 series count, u64 series length,
 //!                           u8 capability bits (1 exact, 2 ng, 4 ε,
@@ -322,6 +323,11 @@ pub enum ErrorCode {
     /// [`ProtocolError`] text. Sent with request id 0, after which the
     /// server closes the connection.
     Protocol,
+    /// A shard worker behind a router was unreachable, timed out, or
+    /// answered with a malformed or mismatched response, so the router
+    /// could not assemble a complete answer. The message names the worker
+    /// and the failure; the client connection stays open.
+    Unavailable,
 }
 
 impl ErrorCode {
@@ -330,6 +336,7 @@ impl ErrorCode {
             ErrorCode::UnknownIndex => 1,
             ErrorCode::Search => 2,
             ErrorCode::Protocol => 3,
+            ErrorCode::Unavailable => 4,
         }
     }
 
@@ -338,6 +345,7 @@ impl ErrorCode {
             1 => Ok(ErrorCode::UnknownIndex),
             2 => Ok(ErrorCode::Search),
             3 => Ok(ErrorCode::Protocol),
+            4 => Ok(ErrorCode::Unavailable),
             _ => Err(ProtocolError::Corrupt(format!("unknown error code {tag}"))),
         }
     }
@@ -724,14 +732,21 @@ mod tests {
             }
             _ => panic!("body kind drifted"),
         }
-        let err = Response {
-            request_id: 1,
-            body: ResponseBody::Error {
-                code: ErrorCode::UnknownIndex,
-                message: "no such index".into(),
-            },
-        };
-        assert_eq!(roundtrip_response(&err), err);
+        for code in [
+            ErrorCode::UnknownIndex,
+            ErrorCode::Search,
+            ErrorCode::Protocol,
+            ErrorCode::Unavailable,
+        ] {
+            let err = Response {
+                request_id: 1,
+                body: ResponseBody::Error {
+                    code,
+                    message: "no such index".into(),
+                },
+            };
+            assert_eq!(roundtrip_response(&err), err);
+        }
         let list = Response {
             request_id: 2,
             body: ResponseBody::Indexes {

@@ -1,0 +1,785 @@
+//! The scale-out router: one process speaking the serving protocol on
+//! both sides. Clients talk to it exactly as they would to a single
+//! [`crate::server::Server`]; behind it, `S` worker servers each hold one
+//! shard of every index (built by `fig* --save-index DIR --shards S`,
+//! booted with `hydra-serve --shard-role worker`).
+//!
+//! ## Topology
+//!
+//! ```text
+//! client ──HSRQ──▶ router ──HSRQ──▶ worker 0 (shard 0 snapshots)
+//!                    │  fan-out
+//!                    ├─────HSRQ──▶ worker 1 (shard 1 snapshots)
+//!                    └─────HSRQ──▶ worker S-1
+//!        ◀──HSRP── merge: local ids → global via ShardMap,
+//!                  top-k by (distance, global id)
+//! ```
+//!
+//! The router is the multi-process twin of the in-process
+//! `hydra_shard::ShardedIndex`: worker order is shard order, worker-local
+//! ids are translated through the same [`ShardMap`], and per-worker
+//! answers are merged by the same (distance, global id) rule
+//! ([`hydra::merge_top_k`]) — so for exact search a routed answer is
+//! bit-identical to the in-process sharded answer, which is bit-identical
+//! to the unsharded one (`tests/integration_router.rs`).
+//!
+//! ## Failure semantics
+//!
+//! A query is answered *completely or not at all* — a partial top-k
+//! silently missing one shard's neighbors would be a wrong answer wearing
+//! a right answer's clothes. Any worker failure (connect refused, call
+//! timeout, malformed or mismatched response, worker-side error) turns
+//! the whole query into one typed error response
+//! ([`ErrorCode::Unavailable`], naming the worker and the failure) on the
+//! query's own request id, within the per-worker timeout — the router
+//! never hangs a client on a dead worker, and other connections are
+//! unaffected. Failed workers are reconnected lazily with exponential
+//! backoff (so a flapping worker cannot turn every query into a connect
+//! storm), and a worker restart is picked up on the next attempt.
+
+use std::io::{BufReader, Write};
+use std::net::{
+    IpAddr, Ipv4Addr, Ipv6Addr, Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs,
+};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use hydra::{merge_top_k, Neighbor, PartitionScheme, ShardMap};
+
+use crate::client::ServeClient;
+use crate::protocol::{read_request, ErrorCode, IndexInfo, Request, Response, ResponseBody};
+
+/// Tuning knobs of the router's worker links and client side.
+#[derive(Debug, Clone, Copy)]
+pub struct RouterConfig {
+    /// Read timeout for one worker call: a worker that accepts a query but
+    /// never answers fails the call after this long instead of hanging the
+    /// client forever.
+    pub worker_timeout: Duration,
+    /// Bound on one reconnection attempt to a failed worker.
+    pub connect_timeout: Duration,
+    /// How long boot retries the initial connection to each worker —
+    /// generous, because workers validate whole snapshot directories
+    /// before they listen.
+    pub boot_timeout: Duration,
+    /// First retry delay after a worker failure; doubles per consecutive
+    /// failure up to [`backoff_max`](Self::backoff_max), resets on the
+    /// first success.
+    pub backoff_initial: Duration,
+    /// Cap on the reconnection backoff.
+    pub backoff_max: Duration,
+    /// How the shards were cut from the original dataset. Only affects the
+    /// local→global id translation: contiguous shards are prefix-sum
+    /// offsets, strided shards interleave. Must match the `--shards` run
+    /// that produced the worker snapshot directories.
+    pub scheme: PartitionScheme,
+    /// Socket write timeout toward clients (`None` = never time out), same
+    /// role as [`crate::server::ServerConfig::write_timeout`].
+    pub write_timeout: Option<Duration>,
+}
+
+impl Default for RouterConfig {
+    /// 30 s worker calls, 5 s reconnects, 120 s boot, 100 ms → 5 s
+    /// backoff, contiguous shards.
+    fn default() -> Self {
+        Self {
+            worker_timeout: Duration::from_secs(30),
+            connect_timeout: Duration::from_secs(5),
+            boot_timeout: Duration::from_secs(120),
+            backoff_initial: Duration::from_millis(100),
+            backoff_max: Duration::from_secs(5),
+            scheme: PartitionScheme::Contiguous,
+            write_timeout: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+/// Counters the router accumulates while running (readable after shutdown
+/// via [`RouterHandle::join`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouterStats {
+    /// Queries answered, including error answers.
+    pub queries: u64,
+    /// Individual worker-call failures (timeouts, refused connects,
+    /// malformed responses, worker-side errors) — each one also produced
+    /// an [`ErrorCode::Unavailable`] or propagated error answer.
+    pub worker_errors: u64,
+    /// Client connections accepted.
+    pub connections: u64,
+}
+
+/// One index as the router serves it: the merged advertisement plus the
+/// map translating each worker's local ids to global ids.
+struct RouterIndex {
+    info: IndexInfo,
+    map: ShardMap,
+}
+
+/// The link state of one worker: a connection when healthy, a backoff
+/// clock when not. The mutex serializes calls per worker (each link is one
+/// protocol connection, and `ServeClient::call` is one-in-one-out).
+struct LinkState {
+    client: Option<ServeClient>,
+    backoff: Duration,
+    next_attempt: Instant,
+}
+
+struct WorkerLink {
+    addr: SocketAddr,
+    state: Mutex<LinkState>,
+}
+
+impl WorkerLink {
+    /// Drops the connection and arms the backoff clock — used when a
+    /// response decoded fine but was semantically wrong (stream state is
+    /// no longer trustworthy).
+    fn poison(&self, config: &RouterConfig) {
+        let mut state = self.state.lock().expect("link lock");
+        state.client = None;
+        state.next_attempt = Instant::now() + state.backoff;
+        state.backoff = (state.backoff * 2).min(config.backoff_max);
+    }
+
+    /// One request/response exchange with this worker: reconnect if needed
+    /// (respecting the backoff clock), send, await. Any failure drops the
+    /// connection — after an error the stream position is unknowable, so a
+    /// fresh connection is the only safe continuation.
+    fn call(
+        &self,
+        config: &RouterConfig,
+        make: impl FnOnce(u64) -> Request,
+    ) -> Result<ResponseBody, (ErrorCode, String)> {
+        let mut state = self.state.lock().expect("link lock");
+        if state.client.is_none() {
+            let now = Instant::now();
+            if now < state.next_attempt {
+                return Err((
+                    ErrorCode::Unavailable,
+                    format!("worker {} is backing off after a failure", self.addr),
+                ));
+            }
+            match ServeClient::connect_within(self.addr, config.connect_timeout) {
+                Ok(client) => {
+                    client.set_read_timeout(Some(config.worker_timeout)).ok();
+                    state.client = Some(client);
+                }
+                Err(e) => {
+                    state.next_attempt = now + state.backoff;
+                    state.backoff = (state.backoff * 2).min(config.backoff_max);
+                    return Err((
+                        ErrorCode::Unavailable,
+                        format!("worker {} is unreachable: {e}", self.addr),
+                    ));
+                }
+            }
+        }
+        let client = state.client.as_mut().expect("client just ensured");
+        let request = make(client.fresh_id());
+        match client.call(&request) {
+            Ok(response) => {
+                state.backoff = config.backoff_initial;
+                Ok(response.body)
+            }
+            Err(e) => {
+                state.client = None;
+                state.next_attempt = Instant::now() + state.backoff;
+                state.backoff = (state.backoff * 2).min(config.backoff_max);
+                Err((
+                    ErrorCode::Unavailable,
+                    format!("worker {} failed mid-call: {e}", self.addr),
+                ))
+            }
+        }
+    }
+}
+
+struct Inner {
+    workers: Vec<WorkerLink>,
+    indexes: Vec<RouterIndex>,
+    config: RouterConfig,
+    addr: SocketAddr,
+    shutdown: AtomicBool,
+    conns: Mutex<std::collections::HashMap<u64, TcpStream>>,
+    next_conn_id: AtomicU64,
+    queries: AtomicU64,
+    worker_errors: AtomicU64,
+    connections: AtomicU64,
+}
+
+impl Inner {
+    fn register(&self, stream: &TcpStream) -> u64 {
+        let id = self.next_conn_id.fetch_add(1, Ordering::Relaxed);
+        match stream.try_clone() {
+            Ok(clone) => {
+                self.conns.lock().expect("conns lock").insert(id, clone);
+            }
+            Err(_) => {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+        }
+        if self.shutdown.load(Ordering::SeqCst) {
+            let _ = stream.shutdown(Shutdown::Read);
+        }
+        id
+    }
+
+    fn deregister(&self, id: u64) {
+        self.conns.lock().expect("conns lock").remove(&id);
+    }
+
+    fn begin_shutdown(&self) {
+        if !self.shutdown.swap(true, Ordering::SeqCst) {
+            let mut target = self.addr;
+            if target.ip().is_unspecified() {
+                target.set_ip(match target {
+                    SocketAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
+                    SocketAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
+                });
+            }
+            let _ = TcpStream::connect(target);
+            for conn in self.conns.lock().expect("conns lock").values() {
+                let _ = conn.shutdown(Shutdown::Read);
+            }
+        }
+    }
+
+    /// Fans one query out to every worker and merges, or explains why not.
+    /// Worker order is shard order: worker `w`'s local id `i` is global id
+    /// `map.to_global(w, i)`.
+    fn route_query(
+        &self,
+        index: &str,
+        params: &hydra::SearchParams,
+        query: &[f32],
+    ) -> ResponseBody {
+        let Some(rix) = self.indexes.iter().find(|rix| rix.info.name == index) else {
+            return ResponseBody::Error {
+                code: ErrorCode::UnknownIndex,
+                message: format!("no index named {index:?} is served"),
+            };
+        };
+        let call_worker = |w: usize| -> Result<Vec<Neighbor>, (ErrorCode, String)> {
+            let link = &self.workers[w];
+            let body = link.call(&self.config, |request_id| Request::Query {
+                request_id,
+                index: index.to_string(),
+                params: *params,
+                query: query.to_vec(),
+            })?;
+            match body {
+                ResponseBody::Answer { mut neighbors } => {
+                    // A decodable answer can still carry garbage ids (a
+                    // buggy or corrupted worker); remapping one would
+                    // fabricate a neighbor some *other* worker owns.
+                    if neighbors.iter().any(|n| n.index >= rix.map.shard_len(w)) {
+                        self.workers[w].poison(&self.config);
+                        return Err((
+                            ErrorCode::Unavailable,
+                            format!(
+                                "worker {} answered an out-of-range series id",
+                                link.addr
+                            ),
+                        ));
+                    }
+                    for n in &mut neighbors {
+                        n.index = rix.map.to_global(w, n.index);
+                    }
+                    Ok(neighbors)
+                }
+                ResponseBody::Error { code, message } => {
+                    Err((code, format!("worker {}: {message}", link.addr)))
+                }
+                other => {
+                    self.workers[w].poison(&self.config);
+                    Err((
+                        ErrorCode::Unavailable,
+                        format!("worker {} answered a query with {other:?}", link.addr),
+                    ))
+                }
+            }
+        };
+        let results: Vec<_> = if self.workers.len() == 1 {
+            vec![call_worker(0)]
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..self.workers.len())
+                    .map(|w| {
+                        let call_worker = &call_worker;
+                        scope.spawn(move || call_worker(w))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+                    .collect()
+            })
+        };
+        let mut answers = Vec::with_capacity(results.len());
+        for result in results {
+            match result {
+                Ok(neighbors) => answers.push(neighbors),
+                Err((code, message)) => {
+                    self.worker_errors.fetch_add(1, Ordering::Relaxed);
+                    return ResponseBody::Error { code, message };
+                }
+            }
+        }
+        ResponseBody::Answer {
+            neighbors: merge_top_k(params.k, &answers),
+        }
+    }
+}
+
+/// A running router. Obtained from [`Router::spawn`]; dropping the handle
+/// does **not** stop it — call [`RouterHandle::shutdown`] (or send a
+/// shutdown frame) and then [`RouterHandle::join`].
+pub struct RouterHandle {
+    addr: SocketAddr,
+    inner: Arc<Inner>,
+    acceptor: std::thread::JoinHandle<()>,
+}
+
+impl RouterHandle {
+    /// The address the router actually listens on (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the router itself. Workers are **not** told to stop — only a
+    /// client's shutdown frame is forwarded to them (that is the whole-
+    /// deployment shutdown path the CI smoke uses).
+    pub fn shutdown(&self) {
+        self.inner.begin_shutdown();
+    }
+
+    /// Waits for the acceptor and every client connection to finish, then
+    /// reports the run's counters.
+    ///
+    /// # Panics
+    /// Propagates a panic of the acceptor thread (not expected).
+    pub fn join(self) -> RouterStats {
+        self.acceptor.join().expect("acceptor panicked");
+        RouterStats {
+            queries: self.inner.queries.load(Ordering::Relaxed),
+            worker_errors: self.inner.worker_errors.load(Ordering::Relaxed),
+            connections: self.inner.connections.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The scale-out router: connects to the workers, validates their
+/// listings agree, and serves the merged zoo.
+pub struct Router;
+
+impl Router {
+    /// Connects to `workers` (shard order — worker `w` must hold shard `w`
+    /// of every index), validates that every worker serves the same index
+    /// names with the same method and series length, and binds `addr` for
+    /// clients.
+    ///
+    /// # Errors
+    /// An [`std::io::Error`] if `workers` is empty, a worker cannot be
+    /// reached within [`RouterConfig::boot_timeout`], the workers'
+    /// listings disagree (serving a zoo where shard 1 of `rand256-dstree`
+    /// is missing would answer every query wrongly), the shard sizes are
+    /// not a valid split under [`RouterConfig::scheme`], or the listener
+    /// cannot bind.
+    pub fn spawn<A: ToSocketAddrs>(
+        workers: &[SocketAddr],
+        addr: A,
+        config: RouterConfig,
+    ) -> std::io::Result<RouterHandle> {
+        let invalid = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidInput, msg);
+        if workers.is_empty() {
+            return Err(invalid("refusing to route to zero workers".into()));
+        }
+        // Boot: list every worker's zoo, with the boot clients kept as the
+        // initial link connections.
+        let mut links = Vec::with_capacity(workers.len());
+        let mut listings: Vec<Vec<IndexInfo>> = Vec::with_capacity(workers.len());
+        for &worker in workers {
+            let mut client = ServeClient::connect_with_retry(worker, config.boot_timeout)?;
+            client.set_read_timeout(Some(config.worker_timeout)).ok();
+            let mut listing = client
+                .list_indexes()
+                .map_err(|e| invalid(format!("worker {worker} listing failed: {e}")))?;
+            listing.sort_by(|a, b| a.name.cmp(&b.name));
+            listings.push(listing);
+            links.push(WorkerLink {
+                addr: worker,
+                state: Mutex::new(LinkState {
+                    client: Some(client),
+                    backoff: config.backoff_initial,
+                    next_attempt: Instant::now(),
+                }),
+            });
+        }
+        // Validate agreement and build the merged view.
+        let mut indexes = Vec::with_capacity(listings[0].len());
+        for (listing, &worker) in listings.iter().zip(workers).skip(1) {
+            if listing.len() != listings[0].len() {
+                return Err(invalid(format!(
+                    "worker {worker} serves {} indexes but worker {} serves {} — every \
+                     worker must hold one shard of the same zoo",
+                    listing.len(),
+                    workers[0],
+                    listings[0].len()
+                )));
+            }
+        }
+        for (i, first) in listings[0].iter().enumerate() {
+            let mut lens = Vec::with_capacity(workers.len());
+            for (listing, &worker) in listings.iter().zip(workers) {
+                let info = &listing[i];
+                if info.name != first.name
+                    || info.method != first.method
+                    || info.series_len != first.series_len
+                    || info.capabilities() != first.capabilities()
+                {
+                    return Err(invalid(format!(
+                        "worker {worker} serves {:?} ({} over series of length {}) where \
+                         worker {} serves {:?} ({} over series of length {})",
+                        info.name,
+                        info.method,
+                        info.series_len,
+                        workers[0],
+                        first.name,
+                        first.method,
+                        first.series_len
+                    )));
+                }
+                lens.push(info.num_series as usize);
+            }
+            let map = ShardMap::from_lens(config.scheme, &lens).map_err(|e| {
+                invalid(format!(
+                    "shard sizes {lens:?} of index {:?} are not a valid {} split: {e}",
+                    first.name,
+                    config.scheme.label()
+                ))
+            })?;
+            let mut info = first.clone();
+            info.num_series = map.total() as u64;
+            indexes.push(RouterIndex { info, map });
+        }
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let inner = Arc::new(Inner {
+            workers: links,
+            indexes,
+            config,
+            addr,
+            shutdown: AtomicBool::new(false),
+            conns: Mutex::new(std::collections::HashMap::new()),
+            next_conn_id: AtomicU64::new(0),
+            queries: AtomicU64::new(0),
+            worker_errors: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+        });
+        let acceptor = {
+            let inner = Arc::clone(&inner);
+            std::thread::spawn(move || accept_loop(&inner, &listener))
+        };
+        Ok(RouterHandle {
+            addr,
+            inner,
+            acceptor,
+        })
+    }
+}
+
+fn accept_loop(inner: &Arc<Inner>, listener: &TcpListener) {
+    let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        conns = conns
+            .into_iter()
+            .filter_map(|handle| {
+                if handle.is_finished() {
+                    let _ = handle.join();
+                    None
+                } else {
+                    Some(handle)
+                }
+            })
+            .collect();
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => {
+                std::thread::sleep(Duration::from_millis(20));
+                continue;
+            }
+        };
+        inner.connections.fetch_add(1, Ordering::Relaxed);
+        if let Some(timeout) = inner.config.write_timeout.filter(|t| !t.is_zero()) {
+            let _ = stream.set_write_timeout(Some(timeout));
+        }
+        let conn_id = inner.register(&stream);
+        let inner = Arc::clone(inner);
+        conns.push(std::thread::spawn(move || {
+            connection_loop(&inner, stream, conn_id)
+        }));
+    }
+    for conn in conns {
+        let _ = conn.join();
+    }
+}
+
+/// One client connection: requests are handled in order, each fanning out
+/// to all workers before the next is read. (Cross-*connection* queries
+/// still overlap — each connection has its own thread — and the workers
+/// run their own micro-batchers.)
+fn connection_loop(inner: &Arc<Inner>, stream: TcpStream, conn_id: u64) {
+    let mut write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => {
+            inner.deregister(conn_id);
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
+    };
+    let mut reader = BufReader::new(stream);
+    let mut respond = |response: Response| {
+        let frame = response.encode();
+        write_half
+            .write_all(&frame)
+            .and_then(|()| write_half.flush())
+            .is_ok()
+    };
+    loop {
+        match read_request(&mut reader) {
+            Ok(None) => break,
+            Ok(Some(Request::Query {
+                request_id,
+                index,
+                params,
+                query,
+            })) => {
+                inner.queries.fetch_add(1, Ordering::Relaxed);
+                let body = inner.route_query(&index, &params, &query);
+                if !respond(Response { request_id, body }) {
+                    break;
+                }
+            }
+            Ok(Some(Request::ListIndexes { request_id })) => {
+                let indexes = inner.indexes.iter().map(|rix| rix.info.clone()).collect();
+                if !respond(Response {
+                    request_id,
+                    body: ResponseBody::Indexes { indexes },
+                }) {
+                    break;
+                }
+            }
+            Ok(Some(Request::Shutdown { request_id })) => {
+                // Whole-deployment shutdown: acknowledge, pass the frame on
+                // to every reachable worker (best effort — a dead worker
+                // has nothing to stop), then stop routing.
+                let _ = respond(Response {
+                    request_id,
+                    body: ResponseBody::ShutdownAck,
+                });
+                for link in &inner.workers {
+                    let _ = link.call(&inner.config, |request_id| Request::Shutdown {
+                        request_id,
+                    });
+                }
+                inner.begin_shutdown();
+                break;
+            }
+            Err(e) => {
+                // Same contract as the server: one typed error on id 0,
+                // then hang up this connection only.
+                let _ = respond(Response {
+                    request_id: 0,
+                    body: ResponseBody::Error {
+                        code: ErrorCode::Protocol,
+                        message: e.to_string(),
+                    },
+                });
+                break;
+            }
+        }
+    }
+    inner.deregister(conn_id);
+    let _ = reader.into_inner().shutdown(Shutdown::Both);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{ServedIndex, Server, ServerConfig, ServerHandle};
+    use hydra::core::{Capabilities, Representation};
+    use hydra::{AnnIndex, QueryStats, Result, SearchParams, SearchResult};
+
+    /// A worker-side stand-in: `num_series` ids, neighbor distance is
+    /// `base + local id`, so merged global answers are fully predictable.
+    struct Ramp {
+        num_series: usize,
+        base: f32,
+    }
+
+    impl AnnIndex for Ramp {
+        fn name(&self) -> &'static str {
+            "ramp"
+        }
+        fn capabilities(&self) -> Capabilities {
+            Capabilities {
+                exact: true,
+                ng_approximate: false,
+                epsilon_approximate: false,
+                delta_epsilon_approximate: false,
+                disk_resident: false,
+                representation: Representation::Raw,
+            }
+        }
+        fn num_series(&self) -> usize {
+            self.num_series
+        }
+        fn series_len(&self) -> usize {
+            2
+        }
+        fn memory_footprint(&self) -> usize {
+            0
+        }
+        fn search(&self, _query: &[f32], params: &SearchParams) -> Result<SearchResult> {
+            let neighbors = (0..self.num_series.min(params.k))
+                .map(|i| Neighbor::new(i, self.base + i as f32))
+                .collect();
+            Ok(SearchResult::new(neighbors, QueryStats::new()))
+        }
+    }
+
+    fn ramp_worker(name: &str, num_series: usize, base: f32) -> ServerHandle {
+        Server::spawn(
+            vec![ServedIndex {
+                name: name.into(),
+                index: Box::new(Ramp { num_series, base }),
+            }],
+            "127.0.0.1:0",
+            ServerConfig::default(),
+        )
+        .unwrap()
+    }
+
+    fn fast_config() -> RouterConfig {
+        RouterConfig {
+            worker_timeout: Duration::from_millis(500),
+            connect_timeout: Duration::from_millis(200),
+            boot_timeout: Duration::from_secs(5),
+            backoff_initial: Duration::from_millis(10),
+            backoff_max: Duration::from_millis(100),
+            ..RouterConfig::default()
+        }
+    }
+
+    #[test]
+    fn routes_and_merges_across_two_workers() {
+        // Worker 0: ids 0..3 at distances 10,11,12. Worker 1: ids 0..2 at
+        // distances 5,6 → global 3,4. Merged top-3: (5, g3), (6, g4), (10, g0).
+        let w0 = ramp_worker("ramp", 3, 10.0);
+        let w1 = ramp_worker("ramp", 2, 5.0);
+        let router = Router::spawn(
+            &[w0.local_addr(), w1.local_addr()],
+            "127.0.0.1:0",
+            fast_config(),
+        )
+        .unwrap();
+        let mut client = ServeClient::connect(router.local_addr()).unwrap();
+        let infos = client.list_indexes().unwrap();
+        assert_eq!(infos.len(), 1);
+        assert_eq!(infos[0].name, "ramp");
+        assert_eq!(infos[0].num_series, 5, "merged listing sums the shards");
+        let response = client
+            .call(&Request::Query {
+                request_id: 1,
+                index: "ramp".into(),
+                params: SearchParams::exact(3),
+                query: vec![0.0, 0.0],
+            })
+            .unwrap();
+        match response.body {
+            ResponseBody::Answer { neighbors } => {
+                assert_eq!(
+                    neighbors,
+                    vec![
+                        Neighbor::new(3, 5.0),
+                        Neighbor::new(4, 6.0),
+                        Neighbor::new(0, 10.0),
+                    ]
+                );
+            }
+            other => panic!("expected an answer, got {other:?}"),
+        }
+        // Unknown index is the router's own typed error, no worker calls.
+        let response = client
+            .call(&Request::Query {
+                request_id: 2,
+                index: "nope".into(),
+                params: SearchParams::exact(1),
+                query: vec![0.0, 0.0],
+            })
+            .unwrap();
+        assert!(matches!(
+            response.body,
+            ResponseBody::Error {
+                code: ErrorCode::UnknownIndex,
+                ..
+            }
+        ));
+        // Client shutdown reaches the workers through the router.
+        client.shutdown().unwrap();
+        drop(client);
+        let stats = router.join();
+        assert_eq!(stats.queries, 2);
+        assert_eq!(stats.worker_errors, 0);
+        w0.join();
+        w1.join();
+    }
+
+    #[test]
+    fn boot_rejects_disagreeing_workers_and_zero_workers() {
+        assert!(Router::spawn(&[], "127.0.0.1:0", fast_config()).is_err());
+        let w0 = ramp_worker("ramp", 3, 0.0);
+        let w1 = ramp_worker("other", 3, 0.0);
+        let err = Router::spawn(
+            &[w0.local_addr(), w1.local_addr()],
+            "127.0.0.1:0",
+            fast_config(),
+        );
+        assert!(err.is_err(), "mismatched index names must fail the boot");
+        w0.shutdown();
+        w1.shutdown();
+        w0.join();
+        w1.join();
+    }
+
+    #[test]
+    fn malformed_client_frames_hang_up_that_connection_only() {
+        let w0 = ramp_worker("ramp", 2, 0.0);
+        let router =
+            Router::spawn(&[w0.local_addr()], "127.0.0.1:0", fast_config()).unwrap();
+        let mut bad = TcpStream::connect(router.local_addr()).unwrap();
+        bad.write_all(b"not a frame at all").unwrap();
+        bad.flush().unwrap();
+        let mut reader = BufReader::new(bad.try_clone().unwrap());
+        let resp = crate::protocol::read_response(&mut reader).unwrap().unwrap();
+        assert_eq!(resp.request_id, 0);
+        assert!(matches!(
+            resp.body,
+            ResponseBody::Error {
+                code: ErrorCode::Protocol,
+                ..
+            }
+        ));
+        assert!(crate::protocol::read_response(&mut reader).unwrap().is_none());
+        // A fresh connection still routes.
+        let mut client = ServeClient::connect(router.local_addr()).unwrap();
+        assert_eq!(client.list_indexes().unwrap().len(), 1);
+        client.shutdown().unwrap();
+        drop(client);
+        router.join();
+        w0.join();
+    }
+}

@@ -3,9 +3,12 @@
 //! Only what the summarizers need: row-major matrices, multiplication,
 //! transpose, Gram–Schmidt orthonormalization, a cyclic Jacobi
 //! eigendecomposition for symmetric matrices, and the orthogonal Procrustes
-//! solution used to train OPQ rotations. Dimensions here are small (at most
-//! a few hundred), so `O(d³)` algorithms in `f64` are both fast enough and
-//! numerically robust.
+//! solution used to train OPQ rotations. `O(d³)` algorithms in `f64` are
+//! both fast enough and numerically robust for the dimensionalities the
+//! summarizers see (up to the ~1000-point series of the long random-walk
+//! datasets) — but only because every iteration count is convergence-bound
+//! with a tolerance *relative* to the matrix norm, never a fixed sweep
+//! count.
 
 /// A row-major dense matrix of `f64` values.
 #[derive(Debug, Clone, PartialEq)]
@@ -113,6 +116,11 @@ impl Matrix {
             .sum::<f64>()
             .sqrt()
     }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
 }
 
 impl std::ops::Index<(usize, usize)> for Matrix {
@@ -129,28 +137,96 @@ impl std::ops::IndexMut<(usize, usize)> for Matrix {
 }
 
 /// Orthonormalizes the rows of `m` in place with modified Gram–Schmidt.
-/// Rows that become numerically zero are replaced by canonical basis vectors
-/// so the result always has full rank.
+/// Rows that become numerically zero are replaced by canonical basis
+/// vectors — themselves orthogonalized against the rows above — so for
+/// `rows ≤ cols` the result always has orthonormal rows.
 pub fn gram_schmidt_rows(m: &mut Matrix) {
     let cols = m.cols();
     for i in 0..m.rows() {
-        // Subtract projections on previous rows.
+        // Subtract projections on previous rows. Contiguous-slice inner
+        // loops (rather than per-element indexing) — this is the hot path
+        // of the thin Procrustes basis completions.
+        let (head, tail) = m.data.split_at_mut(i * cols);
+        let row = &mut tail[..cols];
+        if row.iter().all(|v| *v == 0.0) {
+            // Exactly-zero rows (basis-completion padding) skip straight to
+            // replacement; projecting them would be `i` wasted dot products.
+            replace_degenerate_row(m, i);
+            continue;
+        }
         for j in 0..i {
-            let dot: f64 = (0..cols).map(|c| m[(i, c)] * m[(j, c)]).sum();
-            for c in 0..cols {
-                m[(i, c)] -= dot * m[(j, c)];
+            let prev = &head[j * cols..(j + 1) * cols];
+            let dot: f64 = row.iter().zip(prev.iter()).map(|(a, b)| a * b).sum();
+            for (x, p) in row.iter_mut().zip(prev.iter()) {
+                *x -= dot * p;
             }
         }
-        let norm: f64 = (0..cols).map(|c| m[(i, c)] * m[(i, c)]).sum::<f64>().sqrt();
+        let norm: f64 = row.iter().map(|v| v * v).sum::<f64>().sqrt();
         if norm < 1e-12 {
-            for c in 0..cols {
-                m[(i, c)] = if c == i % cols { 1.0 } else { 0.0 };
-            }
+            replace_degenerate_row(m, i);
         } else {
-            for c in 0..cols {
-                m[(i, c)] /= norm;
+            for x in row.iter_mut() {
+                *x /= norm;
             }
         }
+    }
+}
+
+/// Replaces row `i` (numerically zero after projection) with a canonical
+/// basis vector orthogonalized against rows `0..i`.
+///
+/// The candidate is chosen without any trial projections: against
+/// orthonormal rows, the residual of `e_c` is exactly
+/// `1 - Σⱼ m[j][c]²` (the "coverage" of coordinate `c`), so the
+/// least-covered coordinate has residual² `≥ 1 - i/cols > 0` whenever
+/// `i < cols` and always succeeds. Scanning candidates in a fixed order
+/// instead is quadratic in the worst case — structured inputs (e.g.
+/// quantizer-decoded data) saturate whole coordinate blocks early, and
+/// every saturated candidate costs a full projection pass to reject.
+///
+/// The surviving candidate is orthogonalized and then re-orthogonalized
+/// once more ("twice is enough") to keep the completion numerically
+/// orthonormal at large sizes.
+fn replace_degenerate_row(m: &mut Matrix, i: usize) {
+    let cols = m.cols();
+    let (head, tail) = m.data.split_at_mut(i * cols);
+    let row = &mut tail[..cols];
+    let mut covered = vec![0.0f64; cols];
+    for j in 0..i {
+        let prev = &head[j * cols..(j + 1) * cols];
+        for (cov, v) in covered.iter_mut().zip(prev.iter()) {
+            *cov += v * v;
+        }
+    }
+    let e = covered
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.total_cmp(b.1))
+        .map_or(i % cols, |(c, _)| c);
+    row.fill(0.0);
+    row[e] = 1.0;
+    let mut norm = 0.0;
+    for _pass in 0..2 {
+        for j in 0..i {
+            let prev = &head[j * cols..(j + 1) * cols];
+            let dot: f64 = row.iter().zip(prev.iter()).map(|(a, b)| a * b).sum();
+            for (x, p) in row.iter_mut().zip(prev.iter()) {
+                *x -= dot * p;
+            }
+        }
+        norm = row.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if norm <= 1e-8 {
+            break;
+        }
+        for x in row.iter_mut() {
+            *x /= norm;
+        }
+    }
+    if norm <= 1e-8 {
+        // More rows than dimensions: no orthogonal direction is left; fall
+        // back to a bare basis vector so the row is at least unit-norm.
+        row.fill(0.0);
+        row[e] = 1.0;
     }
 }
 
@@ -158,11 +234,28 @@ pub fn gram_schmidt_rows(m: &mut Matrix) {
 ///
 /// Returns `(eigenvalues, eigenvectors)` where column `j` of the eigenvector
 /// matrix corresponds to `eigenvalues[j]`, sorted in decreasing order.
+///
+/// Convergence is judged *relative* to the input's Frobenius norm (which
+/// Jacobi rotations preserve): the sweeps stop once the off-diagonal mass is
+/// below `1e-24` of the total. An absolute threshold cannot work here — it
+/// either never fires on large/high-variance matrices (forcing the full
+/// sweep budget, each sweep `O(n³)`) or fires vacuously on tiny-scale ones.
+/// Jacobi converges quadratically, so the relative test is reached in ~10
+/// sweeps regardless of `n`.
 pub fn symmetric_eigen(a: &Matrix) -> (Vec<f64>, Matrix) {
     assert_eq!(a.rows(), a.cols(), "matrix must be square");
     let n = a.rows();
     let mut m = a.clone();
     let mut v = Matrix::identity(n);
+    let fro2: f64 = (0..n)
+        .flat_map(|i| (0..n).map(move |j| (i, j)))
+        .map(|(i, j)| a[(i, j)] * a[(i, j)])
+        .sum();
+    let tol = 1e-24 * fro2;
+    // Per-element rotation skip at the same relative scale: an element is
+    // negligible when a full grid of elements its size would still pass the
+    // sweep test.
+    let skip = tol / (n * (n - 1) / 2).max(1) as f64;
     for _sweep in 0..100 {
         let mut off = 0.0;
         for i in 0..n {
@@ -170,12 +263,12 @@ pub fn symmetric_eigen(a: &Matrix) -> (Vec<f64>, Matrix) {
                 off += m[(i, j)] * m[(i, j)];
             }
         }
-        if off < 1e-20 {
+        if off <= tol {
             break;
         }
         for p in 0..n {
             for q in p + 1..n {
-                if m[(p, q)].abs() < 1e-18 {
+                if m[(p, q)] * m[(p, q)] <= skip {
                     continue;
                 }
                 let theta = (m[(q, q)] - m[(p, p)]) / (2.0 * m[(p, q)]);
@@ -216,38 +309,214 @@ pub fn symmetric_eigen(a: &Matrix) -> (Vec<f64>, Matrix) {
 }
 
 /// Solves the orthogonal Procrustes problem: the rotation `R` minimizing
-/// `|| A R - B ||_F` over orthogonal matrices, via the SVD of `Aᵀ B`
-/// (computed from two symmetric eigendecompositions).
+/// `|| A R - B ||_F` over orthogonal matrices.
+///
+/// The minimizer is `U Vᵀ` from the SVD of `M = Aᵀ B` — which is exactly
+/// the orthogonal factor of `M`'s polar decomposition. Three routes share
+/// the work by shape:
+///
+/// * fewer samples than dimensions (`n < d`, the typical OPQ training
+///   regime) — `M` is rank-deficient *by construction*, so the problem is
+///   first collapsed onto the data's row spaces and solved at `n × n`
+///   (the thin route);
+/// * square-or-tall with nonsingular `M` — the scaled Newton polar
+///   iteration `X ← (γX + (γX)⁻ᵀ) / 2` converges quadratically in ~10
+///   `O(d³)` inversions, an order of magnitude cheaper than Jacobi sweeps;
+/// * singular / non-converging leftovers — the explicit SVD route.
 pub fn procrustes_rotation(a: &Matrix, b: &Matrix) -> Matrix {
     assert_eq!(a.rows(), b.rows());
     assert_eq!(a.cols(), b.cols());
+    if a.rows() < a.cols() {
+        return thin_procrustes(a, b);
+    }
     let m = a.transpose().matmul(b); // d x d
-    // SVD of M: M = U S V^T, with U from eigenvectors of M M^T and V from
-    // eigenvectors of M^T M. Signs are aligned through M.
-    let mmt = m.matmul(&m.transpose());
-    let mtm = m.transpose().matmul(&m);
-    let (_, u) = symmetric_eigen(&mmt);
-    let (_, v) = symmetric_eigen(&mtm);
-    // Align sign: for each singular direction, require u_i^T M v_i >= 0.
-    let d = m.rows();
-    let mut u_aligned = u.clone();
-    for i in 0..d {
-        let mut s = 0.0;
-        for r in 0..d {
-            let mut mv = 0.0;
-            for c in 0..d {
-                mv += m[(r, c)] * v[(c, i)];
-            }
-            s += u[(r, i)] * mv;
-        }
-        if s < 0.0 {
-            for r in 0..d {
-                u_aligned[(r, i)] = -u[(r, i)];
+    if let Some(r) = polar_orthogonal_factor(&m) {
+        return r;
+    }
+    svd_rotation(&m)
+}
+
+/// [`procrustes_rotation`] for the thin case `n < d`, where `M = AᵀB` has
+/// rank at most `n` and a `d × d` SVD would waste `O(d³)` sweeps on a
+/// subspace problem. Orthonormalize the rows of `A` and `B`
+/// (`A = Rx Qx`, `B = Ry Qy`), solve the *n × n* Procrustes problem on
+/// `S = Rxᵀ Ry`, and lift: `R = Qx⁺ᵀ · diag(P, I) · Qy⁺`, where `Qx⁺`/`Qy⁺`
+/// complete the row bases to full orthogonal matrices. Since
+/// `M = Qx⁺ᵀ · diag(S, 0) · Qy⁺`, `tr(Rᵀ M) = tr(Pᵀ S) = Σ σᵢ(M)` — the
+/// lifted rotation attains the same bound as the full-space solution, so it
+/// is a true minimizer (the completion directions are free).
+fn thin_procrustes(a: &Matrix, b: &Matrix) -> Matrix {
+    let n = a.rows();
+    let d = a.cols();
+    let mut qx = a.clone();
+    gram_schmidt_rows(&mut qx);
+    let mut qy = b.clone();
+    gram_schmidt_rows(&mut qy);
+    let rx = a.matmul(&qx.transpose()); // n x n coefficients: A = Rx Qx
+    let ry = b.matmul(&qy.transpose());
+    let s = rx.transpose().matmul(&ry);
+    let p = polar_orthogonal_factor(&s).unwrap_or_else(|| svd_rotation(&s));
+    let mut qx_full = Matrix::zeros(d, d);
+    qx_full.data[..n * d].copy_from_slice(&qx.data);
+    gram_schmidt_rows(&mut qx_full);
+    let mut qy_full = Matrix::zeros(d, d);
+    qy_full.data[..n * d].copy_from_slice(&qy.data);
+    gram_schmidt_rows(&mut qy_full);
+    // diag(P, I) · Qy_full: the first n rows of Qy_full mixed by P, the
+    // completion rows passed through.
+    let mut mixed = Matrix::zeros(d, d);
+    mixed.data[n * d..].copy_from_slice(&qy_full.data[n * d..]);
+    for i in 0..n {
+        let out = &mut mixed.data[i * d..(i + 1) * d];
+        for j in 0..n {
+            let coeff = p[(i, j)];
+            let src = &qy_full.data[j * d..(j + 1) * d];
+            for (o, v) in out.iter_mut().zip(src.iter()) {
+                *o += coeff * v;
             }
         }
     }
-    // R = U V^T
-    u_aligned.matmul(&v.transpose())
+    qx_full.transpose().matmul(&mixed)
+}
+
+/// Gauss–Jordan inverse with partial pivoting; `None` when a pivot is
+/// negligible relative to the matrix scale (numerically singular).
+fn invert(m: &Matrix) -> Option<Matrix> {
+    let n = m.rows();
+    debug_assert_eq!(m.cols(), n);
+    let w = 2 * n;
+    let mut aug = vec![0.0f64; n * w];
+    for i in 0..n {
+        for j in 0..n {
+            aug[i * w + j] = m[(i, j)];
+        }
+        aug[i * w + n + i] = 1.0;
+    }
+    let scale = m.data.iter().fold(0.0f64, |acc, v| acc.max(v.abs()));
+    if scale == 0.0 {
+        return None;
+    }
+    let tol = scale * n as f64 * f64::EPSILON;
+    let mut pivot_row = vec![0.0f64; w];
+    for col in 0..n {
+        let mut piv = col;
+        let mut best = aug[col * w + col].abs();
+        for r in col + 1..n {
+            let v = aug[r * w + col].abs();
+            if v > best {
+                best = v;
+                piv = r;
+            }
+        }
+        if best <= tol {
+            return None;
+        }
+        if piv != col {
+            for j in 0..w {
+                aug.swap(col * w + j, piv * w + j);
+            }
+        }
+        let inv_p = 1.0 / aug[col * w + col];
+        for j in col..w {
+            aug[col * w + j] *= inv_p;
+        }
+        pivot_row.copy_from_slice(&aug[col * w..(col + 1) * w]);
+        for r in 0..n {
+            if r == col {
+                continue;
+            }
+            let f = aug[r * w + col];
+            if f == 0.0 {
+                continue;
+            }
+            let row = &mut aug[r * w + col..(r + 1) * w];
+            for (x, p) in row.iter_mut().zip(&pivot_row[col..]) {
+                *x -= f * p;
+            }
+        }
+    }
+    let mut out = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            out[(i, j)] = aug[i * w + n + j];
+        }
+    }
+    Some(out)
+}
+
+/// The orthogonal factor of the polar decomposition `M = R H` (`R`
+/// orthogonal, `H` symmetric PSD) by the norm-scaled Newton iteration, or
+/// `None` when `M` is singular or the iterate fails the orthogonality
+/// check. The γ scaling (Higham) keeps the iteration count ~10 even for
+/// poorly conditioned inputs.
+fn polar_orthogonal_factor(m: &Matrix) -> Option<Matrix> {
+    let d = m.rows();
+    debug_assert_eq!(m.cols(), d);
+    let fro = m.frobenius_norm();
+    if fro == 0.0 || !fro.is_finite() {
+        return None;
+    }
+    let mut x = m.clone();
+    for v in &mut x.data {
+        *v /= fro;
+    }
+    for _iter in 0..60 {
+        let xinv = invert(&x)?;
+        let gamma = (xinv.frobenius_norm() / x.frobenius_norm()).sqrt();
+        if !gamma.is_finite() || gamma == 0.0 {
+            return None;
+        }
+        let mut next = Matrix::zeros(d, d);
+        for i in 0..d {
+            for j in 0..d {
+                next[(i, j)] = 0.5 * (gamma * x[(i, j)] + xinv[(j, i)] / gamma);
+            }
+        }
+        let step = next.distance(&x);
+        x = next;
+        // An orthogonal matrix has Frobenius norm √d; once the step is deep
+        // below that scale the quadratic convergence has bottomed out.
+        if step <= 1e-13 * (d as f64).sqrt() {
+            break;
+        }
+    }
+    let orthogonality = x.transpose().matmul(&x).distance(&Matrix::identity(d));
+    (orthogonality <= 1e-8 * (d as f64).sqrt()).then_some(x)
+}
+
+/// The Procrustes rotation via an explicit SVD of `M` — the slow but fully
+/// general route, covering the rank-deficient inputs the polar Newton
+/// iteration cannot.
+///
+/// Only *one* symmetric eigendecomposition is needed: `V` comes from
+/// `MᵀM`, and each left singular vector is `u_i = M v_i / ‖M v_i‖` — which
+/// makes `u_iᵀ M v_i = σ_i ≥ 0` hold by construction, so no separate sign
+/// alignment pass is required. Directions with (numerically) zero singular
+/// value are free in the Procrustes solution; they are filled in by
+/// Gram–Schmidt completion, keeping `R` orthogonal for rank-deficient
+/// inputs too.
+fn svd_rotation(m: &Matrix) -> Matrix {
+    let d = m.rows();
+    let mtm = m.transpose().matmul(&m);
+    let (_, v) = symmetric_eigen(&mtm);
+    let mv = m.matmul(&v); // column i = M v_i, whose norm is σ_i
+    let sigma: Vec<f64> = (0..d)
+        .map(|i| (0..d).map(|r| mv[(r, i)] * mv[(r, i)]).sum::<f64>().sqrt())
+        .collect();
+    let sigma_max = sigma.iter().fold(0.0f64, |acc, &s| acc.max(s));
+    // Rows of `ut` are the left singular vectors; rows for negligible σ_i
+    // stay zero and are replaced by the Gram–Schmidt completion.
+    let mut ut = Matrix::zeros(d, d);
+    for i in 0..d {
+        if sigma[i] > sigma_max * 1e-12 && sigma[i] > 0.0 {
+            for r in 0..d {
+                ut[(i, r)] = mv[(r, i)] / sigma[i];
+            }
+        }
+    }
+    gram_schmidt_rows(&mut ut);
+    // R = U V^T with U = utᵀ.
+    ut.transpose().matmul(&v.transpose())
 }
 
 #[cfg(test)]
@@ -327,6 +596,63 @@ mod tests {
     fn procrustes_result_is_orthogonal() {
         let a = Matrix::from_vec(3, 3, vec![1.0, 2.0, 0.5, -1.0, 0.3, 2.0, 0.0, 1.0, 1.0]);
         let b = Matrix::from_vec(3, 3, vec![0.3, 1.0, 0.0, 2.0, -0.5, 1.0, 1.0, 0.0, 2.0]);
+        let r = procrustes_rotation(&a, &b);
+        let should_be_identity = r.transpose().matmul(&r);
+        assert!(should_be_identity.distance(&Matrix::identity(3)) < 1e-6);
+    }
+
+    #[test]
+    fn invert_recovers_identity_and_rejects_singular() {
+        let m = Matrix::from_vec(3, 3, vec![2.0, 1.0, 0.0, 1.0, 3.0, 1.0, 0.0, 1.0, 2.0]);
+        let inv = invert(&m).expect("well conditioned");
+        assert!(m.matmul(&inv).distance(&Matrix::identity(3)) < 1e-9);
+        let singular = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 4.0]);
+        assert!(invert(&singular).is_none());
+    }
+
+    #[test]
+    fn polar_and_svd_routes_agree_on_nonsingular_input() {
+        let a = Matrix::from_vec(
+            4,
+            3,
+            vec![1.0, 0.2, -0.5, 0.3, 2.0, 1.0, -1.0, 0.7, 0.1, 0.4, -0.6, 1.5],
+        );
+        let b = Matrix::from_vec(
+            4,
+            3,
+            vec![0.9, -0.1, 0.3, 1.2, 0.8, -0.4, 0.0, 1.1, 0.6, -0.7, 0.5, 0.2],
+        );
+        let m = a.transpose().matmul(&b);
+        let polar = polar_orthogonal_factor(&m).expect("M is nonsingular");
+        let svd = svd_rotation(&m);
+        assert!(polar.distance(&svd) < 1e-6, "{}", polar.distance(&svd));
+    }
+
+    #[test]
+    fn thin_route_attains_the_full_svd_objective() {
+        // n < d: the thin row-space route and the full d x d SVD route are
+        // both minimizers, so the attained ||A R - B||_F must agree even
+        // though the free completion directions may differ.
+        let a = Matrix::from_vec(2, 4, vec![1.0, 0.5, -0.3, 2.0, 0.7, -1.0, 0.4, 0.1]);
+        let b = Matrix::from_vec(2, 4, vec![0.2, 1.0, 0.8, -0.5, 1.5, 0.3, -0.2, 0.9]);
+        let r_thin = procrustes_rotation(&a, &b);
+        let orthogonality = r_thin.transpose().matmul(&r_thin);
+        assert!(orthogonality.distance(&Matrix::identity(4)) < 1e-9);
+        let r_full = svd_rotation(&a.transpose().matmul(&b));
+        let thin_obj = a.matmul(&r_thin).distance(&b);
+        let full_obj = a.matmul(&r_full).distance(&b);
+        assert!(
+            (thin_obj - full_obj).abs() < 1e-9,
+            "{thin_obj} vs {full_obj}"
+        );
+    }
+
+    #[test]
+    fn procrustes_handles_rank_deficient_inputs() {
+        // Rank-1 A makes M = AᵀB singular, forcing the SVD fallback; the
+        // result must still be orthogonal.
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 2.0, 4.0, 6.0]);
+        let b = Matrix::from_vec(2, 3, vec![0.5, 1.0, 0.0, 1.0, 2.0, 0.0]);
         let r = procrustes_rotation(&a, &b);
         let should_be_identity = r.transpose().matmul(&r);
         assert!(should_be_identity.distance(&Matrix::identity(3)) < 1e-6);

@@ -1,0 +1,236 @@
+//! Shared fixtures for the root integration tests: per-test temp
+//! directories, build-once-per-process snapshot zoos, and the pipelined
+//! TCP replay helper — so the serving, out-of-core, shard and router tests
+//! stop each rebuilding the same snapshot directories from scratch.
+//!
+//! Each `tests/*.rs` file is its own test binary; `mod common;` compiles
+//! this module into each of them, which is why helpers unused by one
+//! binary are expected.
+
+#![allow(dead_code)]
+
+use std::collections::BTreeMap;
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use hydra::core::{euclidean, TopK};
+use hydra::prelude::*;
+use hydra::{Capabilities, Neighbor, QueryStats, Representation, SearchResult};
+use hydra_serve::{Request, ResponseBody, ServeClient};
+
+/// Brute-force linear scan: the reference [`AnnIndex`] whose sharded
+/// equivalence is provable on paper (the true top-k of a union is the
+/// merge of the true top-k of its parts), so any drift is the harness's.
+/// Exact-only, one distance computation per series.
+pub struct Scan {
+    /// The series it scans.
+    pub data: hydra::Dataset,
+}
+
+impl AnnIndex for Scan {
+    fn name(&self) -> &'static str {
+        "scan"
+    }
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            exact: true,
+            ng_approximate: false,
+            epsilon_approximate: false,
+            delta_epsilon_approximate: false,
+            disk_resident: false,
+            representation: Representation::Raw,
+        }
+    }
+    fn num_series(&self) -> usize {
+        self.data.len()
+    }
+    fn series_len(&self) -> usize {
+        self.data.series_len()
+    }
+    fn memory_footprint(&self) -> usize {
+        self.data.payload_bytes()
+    }
+    fn search(&self, query: &[f32], params: &SearchParams) -> hydra::Result<SearchResult> {
+        if query.len() != self.data.series_len() {
+            return Err(hydra::Error::DimensionMismatch {
+                expected: self.data.series_len(),
+                found: query.len(),
+            });
+        }
+        if !matches!(params.mode, SearchMode::Exact) {
+            return Err(hydra::Error::UnsupportedMode("scan is exact-only".into()));
+        }
+        let mut stats = QueryStats::new();
+        stats.distance_computations = self.data.len() as u64;
+        Ok(SearchResult::new(
+            brute_force_top_k(&self.data, query, params.k),
+            stats,
+        ))
+    }
+}
+
+/// The true top-k of `data` under the Euclidean distance, sorted by
+/// (distance, id) — the shared kernel of [`Scan`] and the scripted workers
+/// of the router fault-injection tests.
+pub fn brute_force_top_k(data: &hydra::Dataset, query: &[f32], k: usize) -> Vec<Neighbor> {
+    let mut top = TopK::new(k);
+    for (i, series) in data.iter().enumerate() {
+        top.push(Neighbor::new(i, euclidean(query, series)));
+    }
+    top.into_sorted()
+}
+
+/// A fresh, empty temp directory owned by one test. The name carries the
+/// process id (parallel `cargo test` binaries must not collide) and the
+/// caller's tag (parallel tests within one binary must not either).
+pub fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "hydra-integration-{}-{name}",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// One prepared snapshot directory: the dataset it was built from and
+/// where the snapshots live. Shared fixtures are built once per process —
+/// do **not** delete `dir` at the end of a test; other tests in the
+/// binary may still be using it (it lives under the OS temp directory).
+pub struct ZooFixture {
+    /// The snapshot directory (dataset snapshot + one `.snap` per method).
+    pub dir: PathBuf,
+    /// The dataset every snapshot in `dir` was built over.
+    pub data: hydra::Dataset,
+}
+
+/// The out-of-core test dataset: 1200 × 64 raw series (≈ 300 KiB), ~5× a
+/// default 64 KiB page, so a 1-page pool genuinely thrashes.
+pub fn ooc_dataset() -> hydra::Dataset {
+    let data = hydra::data::random_walk(1_200, 64, 8181);
+    assert!(
+        data.len() * data.series_len() * 4 > StorageConfig::on_disk().page_bytes,
+        "the dataset must not fit one page"
+    );
+    data
+}
+
+/// Saves `data`'s snapshot plus every method of the scenario under
+/// `prefix` in `dir`, exactly as `fig* --save-index` lays a directory out:
+/// `<prefix>.data.snap`, `<prefix>-dstree.snap`, ... — the 5 disk-capable
+/// methods always, plus HNSW/QALSH/FLANN when `in_memory`.
+pub fn save_zoo(dir: &Path, prefix: &str, data: &hydra::Dataset, in_memory: bool, seed: u64) {
+    let configs = hydra::standard_configs(in_memory, seed);
+    hydra::persist::dataset::save_dataset(data, &dir.join(format!("{prefix}.data.snap")))
+        .unwrap();
+    let snap = |kind: &str| dir.join(format!("{prefix}-{kind}.snap"));
+    DsTree::build(data, configs.dstree).unwrap().save(&snap("dstree")).unwrap();
+    Isax2Plus::build(data, configs.isax).unwrap().save(&snap("isax2")).unwrap();
+    VaPlusFile::build(data, configs.vafile).unwrap().save(&snap("vafile")).unwrap();
+    Srs::build(data, configs.srs).unwrap().save(&snap("srs")).unwrap();
+    InvertedMultiIndex::build(data, configs.imi).unwrap().save(&snap("imi")).unwrap();
+    if in_memory {
+        Hnsw::build(data, configs.hnsw).unwrap().save(&snap("hnsw")).unwrap();
+        Qalsh::build(data, configs.qalsh).unwrap().save(&snap("qalsh")).unwrap();
+        Flann::build(data, configs.flann).unwrap().save(&snap("flann")).unwrap();
+    }
+}
+
+/// Build-once-per-process registry of shared fixture directories, keyed by
+/// fixture name: the first caller builds and snapshots the zoo, later
+/// callers (other tests of the same binary) reuse the directory as-is.
+static SAVED: Mutex<BTreeMap<&'static str, PathBuf>> = Mutex::new(BTreeMap::new());
+
+fn shared_zoo(
+    key: &'static str,
+    data: fn() -> hydra::Dataset,
+    prefix: &str,
+    in_memory: bool,
+    seed: u64,
+) -> ZooFixture {
+    let mut saved = SAVED.lock().unwrap();
+    let data_now = data();
+    if let Some(dir) = saved.get(key) {
+        return ZooFixture {
+            dir: dir.clone(),
+            data: data_now,
+        };
+    }
+    let dir = temp_dir(key);
+    save_zoo(&dir, prefix, &data_now, in_memory, seed);
+    saved.insert(key, dir.clone());
+    ZooFixture {
+        dir,
+        data: data_now,
+    }
+}
+
+/// The in-memory serving zoo (PR 4's fixture): 400 × 32 random walks,
+/// `hydra::standard_configs(true, 9)`, all 8 methods, prefix `zoo`.
+pub fn in_memory_zoo() -> ZooFixture {
+    shared_zoo("zoo-inmemory", || hydra::data::random_walk(400, 32, 2024), "zoo", true, 9)
+}
+
+/// The on-disk out-of-core zoo (PR 5's fixture): [`ooc_dataset`],
+/// `hydra::standard_configs(false, 5)`, the 5 disk-capable methods,
+/// prefix `walk`.
+pub fn on_disk_zoo() -> ZooFixture {
+    shared_zoo("zoo-ondisk", ooc_dataset, "walk", false, 5)
+}
+
+/// Replays `workload` against one served index through `connections`
+/// concurrent TCP connections, returning the answers in workload order.
+/// Queries are pipelined per connection (send all, then collect by request
+/// id), so server-side micro-batchers genuinely see bursts.
+pub fn replay(
+    addr: SocketAddr,
+    index_name: &str,
+    params: &SearchParams,
+    workload: &hydra::data::QueryWorkload,
+    connections: usize,
+) -> Vec<Vec<Neighbor>> {
+    let queries: Vec<&[f32]> = workload.iter().collect();
+    let n = queries.len();
+    let chunk = n.div_ceil(connections).max(1);
+    let mut merged: Vec<Option<Vec<Neighbor>>> = vec![None; n];
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (c, shard) in queries.chunks(chunk).enumerate() {
+            let handle = scope.spawn(move || {
+                let mut client = ServeClient::connect(addr).expect("connect");
+                for (i, query) in shard.iter().enumerate() {
+                    client
+                        .send(&Request::Query {
+                            request_id: (i + 1) as u64,
+                            index: index_name.to_string(),
+                            params: *params,
+                            query: query.to_vec(),
+                        })
+                        .expect("send");
+                }
+                let mut answers: Vec<Option<Vec<Neighbor>>> = vec![None; shard.len()];
+                for _ in 0..shard.len() {
+                    let response = client.recv().expect("recv");
+                    let slot = (response.request_id - 1) as usize;
+                    match response.body {
+                        ResponseBody::Answer { neighbors } => {
+                            assert!(answers[slot].is_none(), "duplicate response id");
+                            answers[slot] = Some(neighbors);
+                        }
+                        other => panic!("query {} failed: {other:?}", response.request_id),
+                    }
+                }
+                (c, answers)
+            });
+            handles.push(handle);
+        }
+        for handle in handles {
+            let (c, answers) = handle.join().expect("replay connection panicked");
+            for (i, answer) in answers.into_iter().enumerate() {
+                merged[c * chunk + i] = Some(answer.expect("unanswered query"));
+            }
+        }
+    });
+    merged.into_iter().map(|a| a.unwrap()).collect()
+}

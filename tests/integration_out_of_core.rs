@@ -3,36 +3,26 @@
 //! and served — concurrently and over a live `hydra-serve` session — with
 //! answers byte-identical to the resident path, while the pool's
 //! hit/miss/eviction counters show genuine eviction traffic.
+//!
+//! The standard-config snapshot directory comes from
+//! [`common::on_disk_zoo`] (built once per process, shared read-only);
+//! tests that need bespoke storage configs or that mutate their directory
+//! (sidecar materialization from a cold start) keep private temp dirs.
 
-use std::net::SocketAddr;
-use std::path::PathBuf;
+mod common;
+
+use std::path::Path;
 use std::time::Duration;
 
 use hydra::prelude::*;
-use hydra::{Neighbor, StoreBacking};
-use hydra_serve::{
-    boot_from_dir, boot_from_dir_with, BootOptions, Request, ResponseBody, ServeClient, Server,
-    ServerConfig,
-};
+use hydra::StoreBacking;
+use hydra_serve::{boot_from_dir, boot_from_dir_with, BootOptions, ServeClient, Server, ServerConfig};
 
-fn temp_dir(name: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!(
-        "hydra-integration-ooc-{}-{name}",
-        std::process::id()
-    ));
-    std::fs::remove_dir_all(&dir).ok();
-    std::fs::create_dir_all(&dir).unwrap();
-    dir
-}
-
-/// Raw series (1200 × 64 × 4 B ≈ 300 KiB) against a 1-page (64 KiB) pool:
-/// the out-of-core regime with ~5× more data than cache.
-fn ooc_scenario(dir: &PathBuf) -> (hydra::Dataset, PathBuf) {
-    let data = hydra::data::random_walk(1_200, 64, 8181);
-    assert!(
-        data.len() * data.series_len() * 4 > StorageConfig::on_disk().page_bytes,
-        "the dataset must not fit one page"
-    );
+/// Saves the out-of-core dataset's snapshot into `dir` and returns the
+/// dataset plus the snapshot path — the raw series (≈ 300 KiB) are ~5× a
+/// default 64 KiB page, the genuinely disk-resident regime.
+fn ooc_scenario(dir: &Path) -> (hydra::Dataset, std::path::PathBuf) {
+    let data = common::ooc_dataset();
     let data_snapshot = dir.join("walk.data.snap");
     hydra::persist::dataset::save_dataset(&data, &data_snapshot).unwrap();
     (data, data_snapshot)
@@ -40,7 +30,7 @@ fn ooc_scenario(dir: &PathBuf) -> (hydra::Dataset, PathBuf) {
 
 #[test]
 fn parallel_workloads_over_a_file_backed_store_are_deterministic() {
-    let dir = temp_dir("parallel");
+    let dir = common::temp_dir("ooc-parallel");
     let (data, data_snapshot) = ooc_scenario(&dir);
     let config = DsTreeConfig {
         storage: StorageConfig::on_disk().with_pool_pages(1),
@@ -92,7 +82,7 @@ fn parallel_workloads_over_a_file_backed_store_are_deterministic() {
 
 #[test]
 fn file_backed_eviction_traffic_is_real_and_pinned() {
-    let dir = temp_dir("evictions");
+    let dir = common::temp_dir("ooc-evictions");
     let data = hydra::data::random_walk(256, 16, 4242);
     let data_snapshot = dir.join("walk.data.snap");
     hydra::persist::dataset::save_dataset(&data, &data_snapshot).unwrap();
@@ -139,91 +129,19 @@ fn file_backed_eviction_traffic_is_real_and_pinned() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
-/// Replays `workload` against one served index through `connections`
-/// concurrent TCP connections, returning the answers in workload order.
-fn replay(
-    addr: SocketAddr,
-    index_name: &str,
-    params: &SearchParams,
-    workload: &hydra::data::QueryWorkload,
-    connections: usize,
-) -> Vec<Vec<Neighbor>> {
-    let queries: Vec<&[f32]> = workload.iter().collect();
-    let n = queries.len();
-    let chunk = n.div_ceil(connections).max(1);
-    let mut merged: Vec<Option<Vec<Neighbor>>> = vec![None; n];
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (c, shard) in queries.chunks(chunk).enumerate() {
-            let handle = scope.spawn(move || {
-                let mut client = ServeClient::connect(addr).expect("connect");
-                for (i, query) in shard.iter().enumerate() {
-                    client
-                        .send(&Request::Query {
-                            request_id: (i + 1) as u64,
-                            index: index_name.to_string(),
-                            params: *params,
-                            query: query.to_vec(),
-                        })
-                        .expect("send");
-                }
-                let mut answers: Vec<Option<Vec<Neighbor>>> = vec![None; shard.len()];
-                for _ in 0..shard.len() {
-                    let response = client.recv().expect("recv");
-                    let slot = (response.request_id - 1) as usize;
-                    match response.body {
-                        ResponseBody::Answer { neighbors } => answers[slot] = Some(neighbors),
-                        other => panic!("query {} failed: {other:?}", response.request_id),
-                    }
-                }
-                (c, answers)
-            });
-            handles.push(handle);
-        }
-        for handle in handles {
-            let (c, answers) = handle.join().expect("replay connection panicked");
-            for (i, answer) in answers.into_iter().enumerate() {
-                merged[c * chunk + i] = Some(answer.expect("unanswered query"));
-            }
-        }
-    });
-    merged.into_iter().map(|a| a.unwrap()).collect()
-}
-
 #[test]
 fn hydra_serve_over_a_file_backed_boot_answers_byte_identically() {
-    let dir = temp_dir("serve");
-    let (data, _) = ooc_scenario(&dir);
+    let zoo = common::on_disk_zoo();
+    let (dir, data) = (&zoo.dir, &zoo.data);
     let seed = 5;
-    let configs = hydra::standard_configs(false, seed);
-    DsTree::build(&data, configs.dstree)
-        .unwrap()
-        .save(&dir.join("walk-dstree.snap"))
-        .unwrap();
-    Isax2Plus::build(&data, configs.isax)
-        .unwrap()
-        .save(&dir.join("walk-isax2.snap"))
-        .unwrap();
-    VaPlusFile::build(&data, configs.vafile)
-        .unwrap()
-        .save(&dir.join("walk-vafile.snap"))
-        .unwrap();
-    Srs::build(&data, configs.srs)
-        .unwrap()
-        .save(&dir.join("walk-srs.snap"))
-        .unwrap();
-    InvertedMultiIndex::build(&data, configs.imi)
-        .unwrap()
-        .save(&dir.join("walk-imi.snap"))
-        .unwrap();
 
     // Offline twin: resident boot under the default pool. Server: the same
     // snapshots booted file-backed behind a single-page pool — the raw
     // series are ~5× the cache.
-    let resident = boot_from_dir(&dir, &hydra::standard_registry(false, seed)).unwrap();
+    let resident = boot_from_dir(dir, &hydra::standard_registry(false, seed)).unwrap();
     let ooc_registry = hydra::standard_registry_pooled(false, seed, Some(1));
     let booted = boot_from_dir_with(
-        &dir,
+        dir,
         &ooc_registry,
         BootOptions { file_backed: true },
     )
@@ -242,8 +160,8 @@ fn hydra_serve_over_a_file_backed_boot_answers_byte_identically() {
     let addr = handle.local_addr();
 
     let k = 10;
-    let workload = hydra::data::noisy_queries(&data, 10, &[0.0, 0.2], 33);
-    let truth = hydra::data::ground_truth(&data, &workload, k);
+    let workload = hydra::data::noisy_queries(data, 10, &[0.0, 0.2], 33);
+    let truth = hydra::data::ground_truth(data, &workload, k);
     for served in &resident.indexes {
         let caps = served.index.capabilities();
         let mut settings = vec![SearchParams::ng(k, 16)];
@@ -251,7 +169,7 @@ fn hydra_serve_over_a_file_backed_boot_answers_byte_identically() {
             settings.push(SearchParams::exact(k));
         }
         for params in &settings {
-            let answers = replay(addr, &served.name, params, &workload, 3);
+            let answers = common::replay(addr, &served.name, params, &workload, 3);
             let mut per_query = Vec::with_capacity(workload.len());
             for (q, query) in workload.iter().enumerate() {
                 let offline = served.index.search(query, params).unwrap();
@@ -294,12 +212,13 @@ fn hydra_serve_over_a_file_backed_boot_answers_byte_identically() {
     drop(control);
     let stats = handle.join();
     assert!(stats.queries > 0);
-    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
 fn out_of_core_boot_writes_reusable_sidecars_for_tree_indexes() {
-    let dir = temp_dir("sidecars");
+    // Private dir: this test asserts sidecar materialization from a cold
+    // start, so it must not share a directory other boots already warmed.
+    let dir = common::temp_dir("ooc-sidecars");
     let (data, _) = ooc_scenario(&dir);
     let configs = hydra::standard_configs(false, 5);
     Isax2Plus::build(&data, configs.isax)

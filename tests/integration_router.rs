@@ -1,0 +1,448 @@
+//! Router fault-injection suite: the multi-process half of the sharded
+//! scale-out contract. A router in front of real shard workers must be
+//! answer-identical to the unsharded index; a router in front of a
+//! *misbehaving* worker must degrade into typed errors, quickly and only
+//! for the queries it cannot answer completely —
+//!
+//! * a worker that dies mid-batch turns every affected query into an
+//!   [`ErrorCode::Unavailable`] answer (never a hang, never a partial
+//!   top-k), while other client connections keep working;
+//! * a worker that accepts a query and stalls forever costs at most the
+//!   configured worker timeout;
+//! * a worker that comes back is picked up through the reconnection
+//!   backoff without restarting the router.
+//!
+//! The misbehaving workers are scripted directly on the wire protocol
+//! (raw [`TcpListener`] + `hydra_serve::protocol`), because a real
+//! `Server` cannot be told to fail in precisely controlled ways.
+
+mod common;
+
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use common::Scan;
+use hydra::prelude::*;
+use hydra::{partition, PartitionScheme};
+use hydra_serve::protocol::read_request;
+use hydra_serve::{
+    ErrorCode, IndexInfo, Request, Response, ResponseBody, Router, RouterConfig, ServeClient,
+    ServedIndex, Server, ServerConfig, ServerHandle,
+};
+
+const INDEX: &str = "walk-scan";
+
+fn fast_config() -> RouterConfig {
+    RouterConfig {
+        worker_timeout: Duration::from_millis(400),
+        connect_timeout: Duration::from_millis(200),
+        boot_timeout: Duration::from_secs(5),
+        backoff_initial: Duration::from_millis(10),
+        backoff_max: Duration::from_millis(100),
+        ..RouterConfig::default()
+    }
+}
+
+/// A real worker: a full `hydra-serve` server holding one shard.
+fn scan_worker(shard: &hydra::Dataset) -> ServerHandle {
+    Server::spawn(
+        vec![ServedIndex {
+            name: INDEX.into(),
+            index: Box::new(Scan {
+                data: shard.clone(),
+            }),
+        }],
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .unwrap()
+}
+
+/// What the scripted worker does when a query arrives.
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    /// Answer correctly: the brute-force top-k over its shard, in local
+    /// ids (the router owns the local→global remap).
+    Healthy,
+    /// Read the request, then drop the connection without answering — a
+    /// worker crashing mid-call.
+    CloseOnQuery,
+    /// Read the request and never answer — a wedged worker.
+    Stall,
+}
+
+/// A scripted shard worker speaking the real wire protocol on a real
+/// socket, with a switchable failure mode. The listener stays alive across
+/// failures so the router's reconnection attempts land on the same address,
+/// as they would with a supervised worker restart.
+struct ScriptedWorker {
+    addr: SocketAddr,
+    mode: Arc<Mutex<Mode>>,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ScriptedWorker {
+    fn spawn(shard: hydra::Dataset, initial: Mode) -> Self {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mode = Arc::new(Mutex::new(initial));
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let (mode, stop) = (Arc::clone(&mode), Arc::clone(&stop));
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            stream.set_nonblocking(false).unwrap();
+                            serve_scripted(stream, &shard, &mode, &stop);
+                        }
+                        Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                    }
+                }
+            })
+        };
+        Self {
+            addr,
+            mode,
+            stop,
+            thread: Some(thread),
+        }
+    }
+
+    fn set_mode(&self, mode: Mode) {
+        *self.mode.lock().unwrap() = mode;
+    }
+}
+
+impl Drop for ScriptedWorker {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(thread) = self.thread.take() {
+            thread.join().unwrap();
+        }
+    }
+}
+
+/// One connection to the scripted worker: real protocol frames in,
+/// scripted behavior out. Returning drops the stream — the "crash".
+fn serve_scripted(stream: TcpStream, shard: &hydra::Dataset, mode: &Mutex<Mode>, stop: &AtomicBool) {
+    let mut write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut respond = |response: Response| {
+        let frame = response.encode();
+        write_half
+            .write_all(&frame)
+            .and_then(|()| write_half.flush())
+            .is_ok()
+    };
+    loop {
+        let request = match read_request(&mut reader) {
+            Ok(Some(request)) => request,
+            _ => return,
+        };
+        match request {
+            Request::ListIndexes { request_id } => {
+                let ok = respond(Response {
+                    request_id,
+                    body: ResponseBody::Indexes {
+                        indexes: vec![IndexInfo {
+                            name: INDEX.into(),
+                            method: "scan".into(),
+                            num_series: shard.len() as u64,
+                            series_len: shard.series_len() as u64,
+                            exact: true,
+                            ng_approximate: false,
+                            epsilon_approximate: false,
+                            delta_epsilon_approximate: false,
+                            disk_resident: false,
+                        }],
+                    },
+                });
+                if !ok {
+                    return;
+                }
+            }
+            Request::Query {
+                request_id,
+                query,
+                params,
+                ..
+            } => {
+                let mode_now = *mode.lock().unwrap();
+                match mode_now {
+                    Mode::Healthy => {
+                        let neighbors = common::brute_force_top_k(shard, &query, params.k);
+                        if !respond(Response {
+                            request_id,
+                            body: ResponseBody::Answer { neighbors },
+                        }) {
+                            return;
+                        }
+                    }
+                    Mode::CloseOnQuery => return,
+                    Mode::Stall => {
+                        while !stop.load(Ordering::SeqCst) {
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                        return;
+                    }
+                }
+            }
+            Request::Shutdown { request_id } => {
+                let _ = respond(Response {
+                    request_id,
+                    body: ResponseBody::ShutdownAck,
+                });
+                return;
+            }
+        }
+    }
+}
+
+fn query(client: &mut ServeClient, request_id: u64, series: &[f32], k: usize) -> ResponseBody {
+    client
+        .call(&Request::Query {
+            request_id,
+            index: INDEX.into(),
+            params: SearchParams::exact(k),
+            query: series.to_vec(),
+        })
+        .unwrap()
+        .body
+}
+
+fn is_unavailable(body: &ResponseBody) -> bool {
+    matches!(
+        body,
+        ResponseBody::Error {
+            code: ErrorCode::Unavailable,
+            ..
+        }
+    )
+}
+
+#[test]
+fn routed_answers_over_real_workers_are_bit_identical_to_unsharded() {
+    let data = hydra::data::random_walk(240, 16, 777);
+    let unsharded = Scan { data: data.clone() };
+    let (_, shards) = partition(&data, PartitionScheme::Contiguous, 2).unwrap();
+    let workers: Vec<ServerHandle> = shards.iter().map(scan_worker).collect();
+    let addrs: Vec<SocketAddr> = workers.iter().map(|w| w.local_addr()).collect();
+    let router = Router::spawn(&addrs, "127.0.0.1:0", fast_config()).unwrap();
+
+    let mut client = ServeClient::connect(router.local_addr()).unwrap();
+    let infos = client.list_indexes().unwrap();
+    assert_eq!(infos.len(), 1);
+    assert_eq!(
+        infos[0].num_series as usize,
+        data.len(),
+        "the merged listing sums the shards"
+    );
+
+    let k = 9;
+    let workload = hydra::data::noisy_queries(&data, 10, &[0.0, 0.2], 17);
+    for (q, series) in workload.iter().enumerate() {
+        let offline = unsharded.search(series, &SearchParams::exact(k)).unwrap();
+        match query(&mut client, (q + 1) as u64, series, k) {
+            ResponseBody::Answer { neighbors } => {
+                assert_eq!(neighbors.len(), offline.neighbors.len());
+                for (a, b) in neighbors.iter().zip(offline.neighbors.iter()) {
+                    assert_eq!(a.index, b.index, "query {q}: routed neighbor drifted");
+                    assert_eq!(
+                        a.distance.to_bits(),
+                        b.distance.to_bits(),
+                        "query {q}: routed distance drifted"
+                    );
+                }
+            }
+            other => panic!("query {q} failed: {other:?}"),
+        }
+    }
+
+    // One client shutdown frame stops the whole deployment: the router acks
+    // it, forwards it to every worker, and exits.
+    client.shutdown().unwrap();
+    drop(client);
+    let stats = router.join();
+    assert_eq!(stats.queries, 10);
+    assert_eq!(stats.worker_errors, 0);
+    for worker in workers {
+        worker.join();
+    }
+}
+
+#[test]
+fn a_worker_dying_mid_batch_yields_typed_errors_and_other_connections_survive() {
+    let data = hydra::data::random_walk(180, 12, 888);
+    let (_, shards) = partition(&data, PartitionScheme::Contiguous, 2).unwrap();
+    let real = scan_worker(&shards[0]);
+    let scripted = ScriptedWorker::spawn(shards[1].clone(), Mode::Healthy);
+    let router = Router::spawn(
+        &[real.local_addr(), scripted.addr],
+        "127.0.0.1:0",
+        fast_config(),
+    )
+    .unwrap();
+    let mut client = ServeClient::connect(router.local_addr()).unwrap();
+
+    // First, a complete merged answer while both workers are healthy.
+    let unsharded = Scan { data: data.clone() };
+    let series: Vec<f32> = data.series(0).to_vec();
+    let offline = unsharded.search(&series, &SearchParams::exact(5)).unwrap();
+    match query(&mut client, 1, &series, 5) {
+        ResponseBody::Answer { neighbors } => assert_eq!(neighbors, offline.neighbors),
+        other => panic!("healthy query failed: {other:?}"),
+    }
+
+    // The worker dies. Every subsequent query on this connection becomes
+    // one typed Unavailable answer within the timeout budget — not a hang,
+    // not a partial top-k over the surviving shard.
+    scripted.set_mode(Mode::CloseOnQuery);
+    let started = Instant::now();
+    for request_id in 2..=5u64 {
+        let body = query(&mut client, request_id, &series, 5);
+        assert!(
+            is_unavailable(&body),
+            "query {request_id} after worker death: expected Unavailable, got {body:?}"
+        );
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "typed errors must arrive fast, took {:?}",
+        started.elapsed()
+    );
+
+    // Other connections are unaffected: the merged listing still answers
+    // (it needs no worker call), on a fresh connection, immediately.
+    let mut second = ServeClient::connect(router.local_addr()).unwrap();
+    assert_eq!(second.list_indexes().unwrap().len(), 1);
+    drop(second);
+
+    // And the original connection is still usable — the errors were
+    // per-query, not a poisoned stream.
+    assert!(is_unavailable(&query(&mut client, 6, &series, 5)));
+
+    drop(client);
+    router.shutdown();
+    let stats = router.join();
+    assert!(
+        stats.worker_errors >= 4,
+        "each failed query counts a worker error: {stats:?}"
+    );
+    real.shutdown();
+    real.join();
+}
+
+#[test]
+fn a_stalled_worker_costs_at_most_the_worker_timeout() {
+    let data = hydra::data::random_walk(160, 12, 999);
+    let (_, shards) = partition(&data, PartitionScheme::Contiguous, 2).unwrap();
+    let real = scan_worker(&shards[0]);
+    let scripted = ScriptedWorker::spawn(shards[1].clone(), Mode::Stall);
+    let config = fast_config();
+    let router = Router::spawn(&[real.local_addr(), scripted.addr], "127.0.0.1:0", config).unwrap();
+
+    // Pipeline the stalled query, then prove the router is not wedged by
+    // serving another connection *while* the first is still waiting.
+    let mut stalled = ServeClient::connect(router.local_addr()).unwrap();
+    let series: Vec<f32> = data.series(1).to_vec();
+    stalled
+        .send(&Request::Query {
+            request_id: 1,
+            index: INDEX.into(),
+            params: SearchParams::exact(3),
+            query: series.clone(),
+        })
+        .unwrap();
+    let mut other = ServeClient::connect(router.local_addr()).unwrap();
+    assert_eq!(
+        other.list_indexes().unwrap().len(),
+        1,
+        "an unrelated connection must not wait behind a stalled worker"
+    );
+    drop(other);
+
+    let started = Instant::now();
+    let response = stalled.recv().unwrap();
+    let elapsed = started.elapsed();
+    assert!(
+        is_unavailable(&response.body),
+        "a stall must become a typed error: {:?}",
+        response.body
+    );
+    assert!(
+        elapsed < config.worker_timeout + Duration::from_secs(2),
+        "the stall cost {elapsed:?}; the budget was {:?}",
+        config.worker_timeout
+    );
+
+    drop(stalled);
+    router.shutdown();
+    router.join();
+    real.shutdown();
+    real.join();
+}
+
+#[test]
+fn the_router_reconnects_through_backoff_when_a_worker_restarts() {
+    let data = hydra::data::random_walk(200, 12, 1234);
+    let unsharded = Scan { data: data.clone() };
+    let (_, shards) = partition(&data, PartitionScheme::Contiguous, 2).unwrap();
+    let real = scan_worker(&shards[0]);
+    let scripted = ScriptedWorker::spawn(shards[1].clone(), Mode::Healthy);
+    let router = Router::spawn(
+        &[real.local_addr(), scripted.addr],
+        "127.0.0.1:0",
+        fast_config(),
+    )
+    .unwrap();
+    let mut client = ServeClient::connect(router.local_addr()).unwrap();
+    let series: Vec<f32> = data.series(2).to_vec();
+    let offline = unsharded.search(&series, &SearchParams::exact(6)).unwrap();
+
+    // Healthy → crash: queries degrade to typed errors.
+    assert!(matches!(
+        query(&mut client, 1, &series, 6),
+        ResponseBody::Answer { .. }
+    ));
+    scripted.set_mode(Mode::CloseOnQuery);
+    assert!(is_unavailable(&query(&mut client, 2, &series, 6)));
+
+    // Restart: the same address answers again. The router must recover
+    // through its reconnection backoff without being told anything.
+    scripted.set_mode(Mode::Healthy);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut request_id = 3;
+    let recovered = loop {
+        match query(&mut client, request_id, &series, 6) {
+            ResponseBody::Answer { neighbors } => break neighbors,
+            body if is_unavailable(&body) => {
+                assert!(
+                    Instant::now() < deadline,
+                    "the router did not recover within 10 s of the worker restart"
+                );
+                request_id += 1;
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            other => panic!("unexpected response during recovery: {other:?}"),
+        }
+    };
+    assert_eq!(
+        recovered, offline.neighbors,
+        "the recovered answer must be the full merged answer"
+    );
+
+    drop(client);
+    router.shutdown();
+    router.join();
+    real.shutdown();
+    real.join();
+}

@@ -8,133 +8,31 @@
 //! This is the acceptance contract of PR 4: a client cannot tell whether
 //! its answers were computed by the paper's offline harness or by the
 //! micro-batching server, except by how fast they arrive.
+//!
+//! The snapshot directory comes from [`common::in_memory_zoo`] — built
+//! once per process and shared read-only, exactly as `fig3_inmemory
+//! --save-index` lays a directory out.
 
-use std::net::SocketAddr;
-use std::path::PathBuf;
+mod common;
+
 use std::time::Duration;
 
 use hydra::prelude::*;
-use hydra::Neighbor;
-use hydra_serve::{
-    boot_from_dir, Request, ResponseBody, ServeClient, Server, ServerConfig, ServerHandle,
-};
-
-fn temp_dir(name: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!(
-        "hydra-integration-serve-{}-{name}",
-        std::process::id()
-    ));
-    std::fs::remove_dir_all(&dir).ok();
-    std::fs::create_dir_all(&dir).unwrap();
-    dir
-}
-
-/// Replays `workload` against one served index through `connections`
-/// concurrent TCP connections, returning the answers in workload order.
-fn replay(
-    addr: SocketAddr,
-    index_name: &str,
-    params: &SearchParams,
-    workload: &hydra::data::QueryWorkload,
-    connections: usize,
-) -> Vec<Vec<Neighbor>> {
-    let queries: Vec<&[f32]> = workload.iter().collect();
-    let n = queries.len();
-    let chunk = n.div_ceil(connections).max(1);
-    let mut merged: Vec<Option<Vec<Neighbor>>> = vec![None; n];
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (c, shard) in queries.chunks(chunk).enumerate() {
-            let handle = scope.spawn(move || {
-                let mut client = ServeClient::connect(addr).expect("connect");
-                // Pipeline the whole shard, then collect by request id, so
-                // the batcher genuinely sees bursts.
-                for (i, query) in shard.iter().enumerate() {
-                    client
-                        .send(&Request::Query {
-                            request_id: (i + 1) as u64,
-                            index: index_name.to_string(),
-                            params: *params,
-                            query: query.to_vec(),
-                        })
-                        .expect("send");
-                }
-                let mut answers: Vec<Option<Vec<Neighbor>>> = vec![None; shard.len()];
-                for _ in 0..shard.len() {
-                    let response = client.recv().expect("recv");
-                    let slot = (response.request_id - 1) as usize;
-                    match response.body {
-                        ResponseBody::Answer { neighbors } => {
-                            assert!(answers[slot].is_none(), "duplicate response id");
-                            answers[slot] = Some(neighbors);
-                        }
-                        other => panic!("query {} failed: {other:?}", response.request_id),
-                    }
-                }
-                (c, answers)
-            });
-            handles.push(handle);
-        }
-        for handle in handles {
-            let (c, answers) = handle.join().expect("replay connection panicked");
-            for (i, answer) in answers.into_iter().enumerate() {
-                merged[c * chunk + i] = Some(answer.expect("unanswered query"));
-            }
-        }
-    });
-    merged.into_iter().map(|a| a.unwrap()).collect()
-}
+use hydra_serve::{boot_from_dir, ServeClient, Server, ServerConfig, ServerHandle};
 
 #[test]
 fn every_index_in_the_zoo_serves_byte_identical_answers() {
-    let dir = temp_dir("zoo");
-    let data = hydra::data::random_walk(400, 32, 2024);
+    let zoo = common::in_memory_zoo();
+    let (dir, data) = (&zoo.dir, &zoo.data);
     let seed = 9;
-    let configs = hydra::standard_configs(true, seed);
-
-    // Snapshot the dataset and the whole zoo, exactly as
-    // `fig3_inmemory --save-index` lays a directory out.
-    hydra::persist::dataset::save_dataset(&data, &dir.join("zoo.data.snap")).unwrap();
-    DsTree::build(&data, configs.dstree)
-        .unwrap()
-        .save(&dir.join("zoo-dstree.snap"))
-        .unwrap();
-    Isax2Plus::build(&data, configs.isax)
-        .unwrap()
-        .save(&dir.join("zoo-isax2.snap"))
-        .unwrap();
-    VaPlusFile::build(&data, configs.vafile)
-        .unwrap()
-        .save(&dir.join("zoo-vafile.snap"))
-        .unwrap();
-    Srs::build(&data, configs.srs)
-        .unwrap()
-        .save(&dir.join("zoo-srs.snap"))
-        .unwrap();
-    InvertedMultiIndex::build(&data, configs.imi)
-        .unwrap()
-        .save(&dir.join("zoo-imi.snap"))
-        .unwrap();
-    Hnsw::build(&data, configs.hnsw)
-        .unwrap()
-        .save(&dir.join("zoo-hnsw.snap"))
-        .unwrap();
-    Qalsh::build(&data, configs.qalsh)
-        .unwrap()
-        .save(&dir.join("zoo-qalsh.snap"))
-        .unwrap();
-    Flann::build(&data, configs.flann)
-        .unwrap()
-        .save(&dir.join("zoo-flann.snap"))
-        .unwrap();
 
     // Boot the server from the directory; keep an offline twin loaded from
     // the *same* snapshots (the persist contract makes it bit-identical to
     // what the server serves).
     let registry = hydra::standard_registry(true, seed);
-    let booted = boot_from_dir(&dir, &registry).unwrap();
+    let booted = boot_from_dir(dir, &registry).unwrap();
     assert_eq!(booted.indexes.len(), 8, "the whole zoo must boot");
-    let offline = boot_from_dir(&dir, &registry).unwrap();
+    let offline = boot_from_dir(dir, &registry).unwrap();
     let handle: ServerHandle = Server::spawn(
         booted.indexes,
         "127.0.0.1:0",
@@ -162,8 +60,8 @@ fn every_index_in_the_zoo_serves_byte_identical_answers() {
     }
 
     let k = 10;
-    let workload = hydra::data::noisy_queries(&data, 12, &[0.0, 0.2], 77);
-    let truth = hydra::data::ground_truth(&data, &workload, k);
+    let workload = hydra::data::noisy_queries(data, 12, &[0.0, 0.2], 77);
+    let truth = hydra::data::ground_truth(data, &workload, k);
 
     for served in &offline.indexes {
         let caps = served.index.capabilities();
@@ -175,7 +73,7 @@ fn every_index_in_the_zoo_serves_byte_identical_answers() {
             settings.push(SearchParams::delta_epsilon(k, 0.9, 1.0));
         }
         for params in &settings {
-            let answers = replay(addr, &served.name, params, &workload, 3);
+            let answers = common::replay(addr, &served.name, params, &workload, 3);
             // Byte identity against the offline path, query by query.
             let mut per_query = Vec::with_capacity(workload.len());
             for (q, query) in workload.iter().enumerate() {
@@ -226,5 +124,4 @@ fn every_index_in_the_zoo_serves_byte_identical_answers() {
     // for 5 (those three + SRS + QALSH), 12 queries each.
     assert_eq!(stats.queries, (8 + 3 + 5) as u64 * 12);
     assert!(stats.batch_calls >= 1 && stats.ticks >= 1);
-    std::fs::remove_dir_all(&dir).ok();
 }

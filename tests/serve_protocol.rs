@@ -4,6 +4,12 @@
 //! magic/version/length fields and oversized declared lengths must each
 //! yield the exact typed `ProtocolError` — never a panic, a hang, or a
 //! partially decoded answer.
+//!
+//! The second half aims the same corruptions at the **router path**: a
+//! live `Router` whose worker answers queries with malformed or lying
+//! frames must degrade each poisoned query into a typed `Unavailable`
+//! error (never a panic, a hang, or a garbage answer passed through) and
+//! recover fully once the worker behaves again.
 
 use std::io::{Cursor, Read};
 
@@ -313,4 +319,345 @@ fn corruption_matrix_pins_every_error_class() {
     };
     let mut cur = Cursor::new(response.encode());
     assert_eq!(read_response(&mut cur).unwrap().unwrap(), response);
+}
+
+// ---------------------------------------------------------------------------
+// Router path: the same corruption classes, delivered by a live worker to a
+// live router over real sockets.
+// ---------------------------------------------------------------------------
+
+mod router_path {
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    use proptest::prelude::*;
+
+    use hydra::{Neighbor, SearchParams};
+    use hydra_serve::protocol::{read_request, MAX_FRAME_LEN, PROTOCOL_VERSION};
+    use hydra_serve::{
+        ErrorCode, IndexInfo, Request, Response, ResponseBody, Router, RouterConfig, ServeClient,
+    };
+
+    const SHARD_LEN: u64 = 8;
+
+    /// How the worker answers the **first** query of the run; every later
+    /// query gets the honest answer, so the harness can also prove the
+    /// router recovers. The closure receives the request id (some lies need
+    /// it) and the honest encoded frame, and returns the bytes to put on
+    /// the wire — `None` closes the connection instead.
+    type Corruption = dyn Fn(u64, Vec<u8>) -> Option<Vec<u8>> + Send + Sync;
+
+    fn honest_answer(request_id: u64) -> Response {
+        Response {
+            request_id,
+            body: ResponseBody::Answer {
+                neighbors: vec![Neighbor::new(0, 1.0), Neighbor::new(2, 2.0)],
+            },
+        }
+    }
+
+    /// A worker that serves a valid listing, corrupts its first query
+    /// response with `corrupt`, and answers honestly forever after. The
+    /// listener outlives every dropped connection, so the router's
+    /// reconnects land back here.
+    fn corrupting_worker(
+        corrupt: Arc<Corruption>,
+    ) -> (std::net::SocketAddr, Arc<AtomicBool>, std::thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let fired = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((stream, _)) => serve(stream, &corrupt, &fired),
+                        Err(_) => std::thread::sleep(Duration::from_millis(2)),
+                    }
+                }
+            })
+        };
+        (addr, stop, thread)
+    }
+
+    fn serve(stream: TcpStream, corrupt: &Arc<Corruption>, fired: &AtomicBool) {
+        let Ok(mut write_half) = stream.try_clone() else {
+            return;
+        };
+        let mut reader = std::io::BufReader::new(stream);
+        loop {
+            let request = match read_request(&mut reader) {
+                Ok(Some(request)) => request,
+                _ => return,
+            };
+            let frame = match request {
+                Request::ListIndexes { request_id } => Some(
+                    Response {
+                        request_id,
+                        body: ResponseBody::Indexes {
+                            indexes: vec![IndexInfo {
+                                name: "fuzz-scan".into(),
+                                method: "scan".into(),
+                                num_series: SHARD_LEN,
+                                series_len: 4,
+                                exact: true,
+                                ng_approximate: false,
+                                epsilon_approximate: false,
+                                delta_epsilon_approximate: false,
+                                disk_resident: false,
+                            }],
+                        },
+                    }
+                    .encode(),
+                ),
+                Request::Query { request_id, .. } => {
+                    let honest = honest_answer(request_id).encode();
+                    if fired.swap(true, Ordering::SeqCst) {
+                        Some(honest)
+                    } else {
+                        match corrupt(request_id, honest) {
+                            Some(bytes) => Some(bytes),
+                            None => return,
+                        }
+                    }
+                }
+                Request::Shutdown { request_id } => {
+                    let _ = write_half.write_all(
+                        &Response {
+                            request_id,
+                            body: ResponseBody::ShutdownAck,
+                        }
+                        .encode(),
+                    );
+                    return;
+                }
+            };
+            if let Some(frame) = frame {
+                if write_half
+                    .write_all(&frame)
+                    .and_then(|()| write_half.flush())
+                    .is_err()
+                {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Boots a one-worker router over the corrupting worker, fires the
+    /// poisoned query, and asserts the full degradation contract: a typed
+    /// response in bounded time (`strict` additionally pins it to
+    /// `Unavailable` — relaxed for corruptions that may still decode to a
+    /// valid frame), a live listing afterwards, and eventual recovery to
+    /// the honest answer through the reconnection backoff.
+    fn router_survives(corrupt: Arc<Corruption>, strict: bool) {
+        let (addr, stop, thread) = corrupting_worker(corrupt);
+        let config = RouterConfig {
+            worker_timeout: Duration::from_millis(300),
+            connect_timeout: Duration::from_millis(200),
+            boot_timeout: Duration::from_secs(5),
+            backoff_initial: Duration::from_millis(5),
+            backoff_max: Duration::from_millis(50),
+            ..RouterConfig::default()
+        };
+        let router = Router::spawn(&[addr], "127.0.0.1:0", config).unwrap();
+        let mut client = ServeClient::connect(router.local_addr()).unwrap();
+        // A wedged router must fail the test, not hang it.
+        client
+            .set_read_timeout(Some(Duration::from_secs(20)))
+            .unwrap();
+        let ask = |client: &mut ServeClient, request_id: u64| {
+            client
+                .call(&Request::Query {
+                    request_id,
+                    index: "fuzz-scan".into(),
+                    params: SearchParams::exact(2),
+                    query: vec![0.0; 4],
+                })
+                .expect("the router must answer every query frame")
+                .body
+        };
+
+        let poisoned = ask(&mut client, 1);
+        match &poisoned {
+            ResponseBody::Error {
+                code: ErrorCode::Unavailable,
+                ..
+            } => {}
+            ResponseBody::Answer { .. } if !strict => {}
+            other => panic!("poisoned query must degrade typed, got {other:?}"),
+        }
+
+        // The router is still alive: the cached merged listing answers.
+        assert_eq!(client.list_indexes().unwrap().len(), 1);
+
+        // And it recovers to the honest merged answer through its backoff.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut request_id = 2;
+        loop {
+            match ask(&mut client, request_id) {
+                ResponseBody::Answer { neighbors } => {
+                    assert_eq!(neighbors.len(), 2);
+                    assert_eq!(neighbors[0].index, 0);
+                    assert_eq!(neighbors[1].index, 2);
+                    break;
+                }
+                ResponseBody::Error {
+                    code: ErrorCode::Unavailable,
+                    ..
+                } => {
+                    assert!(
+                        Instant::now() < deadline,
+                        "router did not recover from the corruption"
+                    );
+                    request_id += 1;
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                other => panic!("unexpected body during recovery: {other:?}"),
+            }
+        }
+
+        drop(client);
+        router.shutdown();
+        router.join();
+        stop.store(true, Ordering::SeqCst);
+        thread.join().unwrap();
+    }
+
+    #[test]
+    fn connection_dropped_instead_of_an_answer() {
+        router_survives(Arc::new(|_, _| None), true);
+    }
+
+    #[test]
+    fn truncated_answer_frame() {
+        router_survives(Arc::new(|_, bytes: Vec<u8>| Some(bytes[..bytes.len() / 2].to_vec())), true);
+    }
+
+    #[test]
+    fn answer_with_flipped_magic() {
+        router_survives(
+            Arc::new(|_, mut bytes: Vec<u8>| {
+                bytes[0] ^= 0xFF;
+                Some(bytes)
+            }),
+            true,
+        );
+    }
+
+    #[test]
+    fn answer_from_a_future_protocol_version() {
+        router_survives(
+            Arc::new(|_, mut bytes: Vec<u8>| {
+                bytes[4..6].copy_from_slice(&(PROTOCOL_VERSION + 1).to_le_bytes());
+                Some(bytes)
+            }),
+            true,
+        );
+    }
+
+    #[test]
+    fn answer_declaring_an_oversized_frame() {
+        router_survives(
+            Arc::new(|_, mut bytes: Vec<u8>| {
+                bytes[6..10].copy_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+                Some(bytes)
+            }),
+            true,
+        );
+    }
+
+    #[test]
+    fn answer_that_is_byte_soup() {
+        router_survives(
+            Arc::new(|_, _| {
+                let mut state = 0xDEAD_BEEFu64;
+                Some(
+                    (0..40)
+                        .map(|_| {
+                            state = state
+                                .wrapping_mul(6364136223846793005)
+                                .wrapping_add(1442695040888963407);
+                            (state >> 33) as u8
+                        })
+                        .collect(),
+                )
+            }),
+            true,
+        );
+    }
+
+    #[test]
+    fn answer_echoing_the_wrong_request_id() {
+        router_survives(
+            Arc::new(|request_id, _| Some(super::Response {
+                request_id: request_id + 1,
+                body: honest_answer(request_id).body,
+            }
+            .encode())),
+            true,
+        );
+    }
+
+    #[test]
+    fn answer_with_the_wrong_body_kind() {
+        router_survives(
+            Arc::new(|request_id, _| Some(super::Response {
+                request_id,
+                body: ResponseBody::ShutdownAck,
+            }
+            .encode())),
+            true,
+        );
+    }
+
+    #[test]
+    fn answer_with_an_out_of_range_series_id() {
+        router_survives(
+            Arc::new(|request_id, _| Some(super::Response {
+                request_id,
+                body: ResponseBody::Answer {
+                    neighbors: vec![Neighbor::new(SHARD_LEN as usize + 7, 0.5)],
+                },
+            }
+            .encode())),
+            true,
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// Randomly mutilated worker responses (a cut, plus byte flips at
+        /// LCG-chosen positions) never panic or wedge the router. The
+        /// response may legitimately still decode — a flip can land in
+        /// distance value bits — so the assertion is the relaxed contract:
+        /// typed answer or typed error, live listing, full recovery.
+        #[test]
+        fn random_response_mutilations_never_wedge_the_router(seed in 0usize..1_000_000) {
+            let corrupt = move |_, bytes: Vec<u8>| {
+                let mut state = seed as u64 ^ 0xA076_1D64_78BD_642F;
+                let mut next = || {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    (state >> 33) as usize
+                };
+                let mut bytes = bytes;
+                let cut = 1 + next() % bytes.len();
+                bytes.truncate(cut);
+                for _ in 0..(next() % 4) {
+                    let pos = next() % bytes.len();
+                    bytes[pos] ^= (next() % 255 + 1) as u8;
+                }
+                Some(bytes)
+            };
+            router_survives(Arc::new(corrupt), false);
+        }
+    }
 }
