@@ -29,6 +29,14 @@
 //! `QueryStats` are byte-identical to the resident run at any pool size;
 //! the store-level `bytes_read`/eviction totals become measurements.
 //!
+//! Pass `--ingest-split F` (`0 < F < 1`) to build every index over the
+//! first `ceil(F·n)` series only and stream the rest in through
+//! `insert_batch` — the streaming-ingest regime. Methods without
+//! streaming insert fall back to a full build. Every accuracy column is
+//! identical to an unsplit run (the ingest-equivalence contract), and
+//! with `--save-index` the saved snapshots are byte-identical too — the
+//! diff CI runs to prove live growth loses nothing.
+//!
 //! Pass `--shards S` to build every method as a `ShardedIndex` over `S`
 //! contiguous shards; with `--save-index DIR` each shard writes a complete
 //! bootable `DIR/shard-<s>/` directory for one `hydra-serve --shard-role

@@ -5,8 +5,15 @@
 //!
 //! ```text
 //! serve_client --addr HOST:PORT [--scenario fig4|fig3] [--connections N]
-//!              [--connect-timeout-ms N] [--shutdown]
+//!              [--connect-timeout-ms N] [--reload] [--shutdown]
 //! ```
+//!
+//! `--reload` asks the server to hot-reload its snapshot directory
+//! **before** the replay (and before the capability listing, so the plan
+//! reflects the post-reload zoo): the server re-boots its snapshots —
+//! journals replayed, ingested series included — and swaps them in
+//! atomically without dropping this or any other live connection. The
+//! acknowledged epoch is printed to stderr; a refused reload exits 2.
 //!
 //! For every scenario dataset, every served index belonging to it, and
 //! every sweep setting the offline figure would run
@@ -46,6 +53,7 @@ struct Args {
     fig3: bool,
     connections: usize,
     connect_timeout: Duration,
+    reload: bool,
     shutdown: bool,
 }
 
@@ -56,6 +64,7 @@ impl Default for Args {
             fig3: false,
             connections: 4,
             connect_timeout: Duration::from_secs(30),
+            reload: false,
             shutdown: false,
         }
     }
@@ -104,13 +113,17 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
                 .parse()
                 .map_err(|_| format!("--connect-timeout-ms expects an integer, got {value:?}"))?;
             out.connect_timeout = Duration::from_millis(ms);
+        } else if arg == "--reload" {
+            once("--reload", &mut seen)?;
+            out.reload = true;
         } else if arg == "--shutdown" {
             once("--shutdown", &mut seen)?;
             out.shutdown = true;
         } else {
             return Err(format!(
                 "unrecognized argument {arg:?} (accepted: --addr HOST:PORT, \
-                 --scenario fig3|fig4, --connections N, --connect-timeout-ms N, --shutdown)"
+                 --scenario fig3|fig4, --connections N, --connect-timeout-ms N, --reload, \
+                 --shutdown)"
             ));
         }
     }
@@ -208,6 +221,12 @@ fn main() {
         .unwrap_or_else(|| fail(&format!("cannot resolve {:?}", args.addr)));
     let mut control = ServeClient::connect_with_retry(addr, args.connect_timeout)
         .unwrap_or_else(|e| fail(&format!("cannot connect to {addr}: {e}")));
+    if args.reload {
+        let epoch = control
+            .reload()
+            .unwrap_or_else(|e| fail(&format!("hot reload was refused: {e}")));
+        eprintln!("serve_client: server hot-reloaded to epoch {epoch}");
+    }
     let infos: Vec<IndexInfo> = control
         .list_indexes()
         .unwrap_or_else(|e| fail(&format!("cannot list indexes: {e}")));
@@ -326,17 +345,18 @@ mod tests {
     #[test]
     fn parser_accepts_both_spellings_and_rejects_garbage() {
         let a = parse_args(&args(&["--addr", "127.0.0.1:7878"])).unwrap();
-        assert!(!a.fig3 && !a.shutdown);
+        assert!(!a.fig3 && !a.shutdown && !a.reload);
         assert_eq!(a.connections, 4);
         let a = parse_args(&args(&[
             "--addr=h:1",
             "--scenario=fig3",
             "--connections=8",
             "--connect-timeout-ms=500",
+            "--reload",
             "--shutdown",
         ]))
         .unwrap();
-        assert!(a.fig3 && a.shutdown);
+        assert!(a.fig3 && a.shutdown && a.reload);
         assert_eq!(a.connections, 8);
         assert_eq!(a.connect_timeout, Duration::from_millis(500));
         assert!(parse_args(&args(&[])).is_err());
@@ -344,6 +364,8 @@ mod tests {
         assert!(parse_args(&args(&["--addr", "h:1", "--scenario", "fig9"])).is_err());
         assert!(parse_args(&args(&["--addr", "h:1", "--connections", "0"])).is_err());
         assert!(parse_args(&args(&["--addr", "h:1", "--shutdown", "--shutdown"])).is_err());
+        assert!(parse_args(&args(&["--addr", "h:1", "--reload", "--reload"])).is_err());
+        assert!(parse_args(&args(&["--addr", "h:1", "--reload=now"])).is_err());
         assert!(parse_args(&args(&["--addr", "h:1", "--threads", "2"])).is_err());
     }
 }

@@ -5,18 +5,19 @@
 fn main() {
     let data = hydra::data::random_walk(400, 64, 1);
     let methods = hydra::build_all_methods(&data, true, 1);
-    println!("method,exact,ng,epsilon,delta_epsilon,representation,disk_resident");
+    println!("method,exact,ng,epsilon,delta_epsilon,representation,disk_resident,streaming_insert");
     for m in &methods {
         let c = m.capabilities();
         println!(
-            "{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{}",
             m.name(),
             c.exact,
             c.ng_approximate,
             c.epsilon_approximate,
             c.delta_epsilon_approximate,
             c.representation.name(),
-            c.disk_resident
+            c.disk_resident,
+            c.streaming_insert
         );
     }
 }

@@ -164,7 +164,7 @@ fn obtain<T, F>(
 where
     T: AnnIndex + hydra::PersistentIndex + 'static,
     T::Config: Copy,
-    F: FnOnce(&Dataset, T::Config) -> hydra::Result<T>,
+    F: Fn(&Dataset, T::Config) -> hydra::Result<T>,
 {
     if let Some(dir) = &flags.load_index {
         let path = snapshot_file(dir, dataset_name, T::KIND);
@@ -195,7 +195,10 @@ where
         };
     }
     let t = Instant::now();
-    let index = build(data, config).expect("index build");
+    let index = match flags.ingest_split {
+        Some(split) => build_with_ingest(data, config, split, &build),
+        None => build(data, config).expect("index build"),
+    };
     let build_seconds = t.elapsed().as_secs_f64();
     if let Some(dir) = &flags.save_index {
         let path = snapshot_file(dir, dataset_name, T::KIND);
@@ -213,6 +216,49 @@ where
         build_seconds,
         loaded: false,
     }
+}
+
+/// The `--ingest-split F` build path: build over the first `ceil(F·n)`
+/// series, then stream the remaining series in through
+/// [`AnnIndex::insert_batch`] in fixed chunks. Methods that do not
+/// advertise [`hydra::Capabilities::streaming_insert`] are rebuilt over
+/// the full dataset instead, so every method still answers over all `n`
+/// series. Either way the resulting index answers — and, under
+/// `--save-index`, snapshots — identically to an unsplit build, which is
+/// the ingest-equivalence contract the CI smoke diffs.
+fn build_with_ingest<T, C, F>(data: &Dataset, config: C, split: f64, build: &F) -> T
+where
+    T: AnnIndex,
+    C: Copy,
+    F: Fn(&Dataset, C) -> hydra::Result<T>,
+{
+    /// Chunk size for the streamed tail. Any chunking yields the same
+    /// index (proven by the ingest-equivalence suites); a modest fixed
+    /// size keeps the batches realistic without a tuning knob.
+    const INGEST_CHUNK: usize = 256;
+    let n = data.len();
+    let len = data.series_len();
+    let head_len = ((n as f64) * split).ceil().max(1.0) as usize;
+    let head_len = head_len.min(n);
+    let head = Dataset::from_flat(len, data.as_flat()[..head_len * len].to_vec())
+        .expect("ingest-split head dataset");
+    let mut index = build(&head, config).expect("index build");
+    if head_len == n {
+        return index;
+    }
+    if !index.capabilities().streaming_insert {
+        return build(data, config).expect("index build");
+    }
+    let mut at = head_len;
+    while at < n {
+        let hi = (at + INGEST_CHUNK).min(n);
+        let batch: Vec<&[f32]> = (at..hi).map(|i| data.series(i)).collect();
+        index
+            .insert_batch(&batch)
+            .expect("streaming ingest of the dataset tail");
+        at = hi;
+    }
+    index
 }
 
 /// Builds every method applicable to the scenario, timing each build.
@@ -411,7 +457,7 @@ pub fn run_point_threaded(
 
 /// Command-line flags of the persistence-aware figure binaries
 /// (`fig2_indexing`, `fig3_inmemory`, `fig4_ondisk`).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BenchFlags {
     /// Worker threads for the query phase (`--threads N`; always 1 for
     /// binaries without a query phase).
@@ -434,6 +480,15 @@ pub struct BenchFlags {
     /// `shard-<s>/` subdirectory per shard, each a complete bootable
     /// directory for one `hydra-serve --shard-role worker`.
     pub shards: usize,
+    /// Streaming-ingest split (`--ingest-split F`, `0 < F < 1`): build
+    /// each index over the first `ceil(F·n)` series only, then ingest the
+    /// rest through [`hydra::AnnIndex::insert_batch`] in chunks. Methods
+    /// without [`hydra::Capabilities::streaming_insert`] fall back to a
+    /// full build. Either way the ingest-equivalence contract makes every
+    /// accuracy column identical to an unsplit run — which is exactly
+    /// what the CI ingest smoke diffs. Incompatible with `--load-index`
+    /// (a loaded index has no build phase to split).
+    pub ingest_split: Option<f64>,
 }
 
 impl Default for BenchFlags {
@@ -446,6 +501,7 @@ impl Default for BenchFlags {
             pool_pages: None,
             out_of_core: false,
             shards: 1,
+            ingest_split: None,
         }
     }
 }
@@ -526,6 +582,19 @@ pub fn parse_bench_flags(
                 return Err("--out-of-core given more than once".into());
             }
             flags.out_of_core = true;
+        } else if let Some(value) = value_of("--ingest-split") {
+            let value = value?;
+            if flags.ingest_split.is_some() {
+                return Err("--ingest-split given more than once".into());
+            }
+            flags.ingest_split = match value.parse::<f64>() {
+                Ok(f) if f > 0.0 && f < 1.0 => Some(f),
+                _ => {
+                    return Err(format!(
+                        "--ingest-split expects a fraction strictly between 0 and 1, got {value:?}"
+                    ))
+                }
+            };
         } else if let Some(value) = value_of("--shards") {
             let value = value?;
             if shards_seen {
@@ -539,7 +608,7 @@ pub fn parse_bench_flags(
         } else {
             return Err(format!(
                 "unrecognized argument {arg:?} (accepted: {}--save-index DIR, --load-index DIR, \
-                 --pool-pages N, --out-of-core, --shards S)",
+                 --pool-pages N, --out-of-core, --shards S, --ingest-split F)",
                 if threads_allowed { "--threads N, " } else { "" }
             ));
         }
@@ -554,6 +623,13 @@ pub fn parse_bench_flags(
         return Err(
             "--out-of-core requires --load-index DIR (a fresh build is always resident; save \
              snapshots first, then re-run out-of-core)"
+                .into(),
+        );
+    }
+    if flags.ingest_split.is_some() && flags.load_index.is_some() {
+        return Err(
+            "--ingest-split and --load-index are mutually exclusive (a loaded index has no \
+             build phase to split)"
                 .into(),
         );
     }
@@ -713,6 +789,36 @@ mod tests {
         assert!(parse_bench_flags(&args(&["--shards", "two"]), true).is_err());
         assert!(parse_bench_flags(&args(&["--shards"]), true).is_err());
         assert!(parse_bench_flags(&args(&["--shards=2", "--shards=3"]), true).is_err());
+        // Ingest-split flag: both spellings, a strict open interval, and
+        // mutual exclusion with --load-index (nothing to split there).
+        assert_eq!(parse_bench_flags(&args(&[]), true).unwrap().ingest_split, None);
+        assert_eq!(
+            parse_bench_flags(&args(&["--ingest-split", "0.5"]), true).unwrap().ingest_split,
+            Some(0.5)
+        );
+        assert_eq!(
+            parse_bench_flags(&args(&["--ingest-split=0.25"]), false).unwrap().ingest_split,
+            Some(0.25)
+        );
+        assert!(parse_bench_flags(&args(&["--ingest-split", "0"]), true).is_err());
+        assert!(parse_bench_flags(&args(&["--ingest-split", "1"]), true).is_err());
+        assert!(parse_bench_flags(&args(&["--ingest-split", "-0.5"]), true).is_err());
+        assert!(parse_bench_flags(&args(&["--ingest-split", "half"]), true).is_err());
+        assert!(parse_bench_flags(&args(&["--ingest-split"]), true).is_err());
+        assert!(
+            parse_bench_flags(&args(&["--ingest-split=0.5", "--ingest-split=0.6"]), true).is_err()
+        );
+        assert!(parse_bench_flags(
+            &args(&["--load-index", "/s", "--ingest-split", "0.5"]),
+            true
+        )
+        .is_err());
+        let f = parse_bench_flags(
+            &args(&["--save-index", "/s", "--ingest-split", "0.5"]),
+            true,
+        )
+        .unwrap();
+        assert_eq!(f.ingest_split, Some(0.5), "--ingest-split composes with --save-index");
     }
 
     #[test]
@@ -800,6 +906,60 @@ mod tests {
             assert_eq!(rep_r.accuracy, rep_o.accuracy);
         }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ingest_split_zoo_matches_the_full_build_in_answers_and_snapshots() {
+        let full_dir = std::env::temp_dir().join(format!(
+            "hydra-bench-ingest-full-{}",
+            std::process::id()
+        ));
+        let split_dir = std::env::temp_dir().join(format!(
+            "hydra-bench-ingest-split-{}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&full_dir).ok();
+        std::fs::remove_dir_all(&split_dir).ok();
+        let d = make_dataset("rand256", 300, 32, 5, 77);
+        let full_flags = BenchFlags {
+            save_index: Some(full_dir.clone()),
+            ..BenchFlags::default()
+        };
+        let full = build_or_load_methods(d.name, &d.data, true, 2, &full_flags);
+        let split_flags = BenchFlags {
+            save_index: Some(split_dir.clone()),
+            ingest_split: Some(0.6),
+            ..BenchFlags::default()
+        };
+        let split = build_or_load_methods(d.name, &d.data, true, 2, &split_flags);
+        assert_eq!(full.len(), split.len());
+        for (f, s) in full.iter().zip(split.iter()) {
+            assert_eq!(f.index.name(), s.index.name());
+            assert_eq!(s.index.num_series(), 300, "ingested tail must be searchable");
+            let params = SearchParams::ng(5, 8);
+            let (map_f, rep_f) = run_point(f.index.as_ref(), &d, &params);
+            let (map_s, rep_s) = run_point(s.index.as_ref(), &d, &params);
+            assert_eq!(
+                map_f,
+                map_s,
+                "{} grown by ingest answers differently from a full build",
+                f.index.name()
+            );
+            assert_eq!(rep_f.accuracy, rep_s.accuracy);
+        }
+        // The grown save is a *compacted* base: byte-identical to the
+        // snapshot a full build writes, so a later `--load-index` (or a
+        // served boot) cannot tell how the index reached its n series.
+        for entry in std::fs::read_dir(&full_dir).unwrap() {
+            let name = entry.unwrap().file_name();
+            let a = std::fs::read(full_dir.join(&name)).unwrap();
+            let b = std::fs::read(split_dir.join(&name)).unwrap_or_else(|e| {
+                panic!("ingest-split run did not save {name:?}: {e}")
+            });
+            assert_eq!(a, b, "{name:?} differs between full-build and ingest-split saves");
+        }
+        std::fs::remove_dir_all(&full_dir).ok();
+        std::fs::remove_dir_all(&split_dir).ok();
     }
 
     #[test]

@@ -77,7 +77,27 @@ impl DistanceHistogram {
     /// paper's protocol of estimating `F` on a sample (they used a 100K
     /// series sample).
     pub fn from_dataset(dataset: &Dataset, sample_pairs: usize, num_bins: usize, seed: u64) -> Self {
-        let n = dataset.len();
+        Self::from_pairwise(dataset.len(), sample_pairs, num_bins, seed, |i, j| {
+            euclidean(dataset.series(i), dataset.series(j))
+        })
+    }
+
+    /// [`DistanceHistogram::from_dataset`] for collections that are not a
+    /// [`Dataset`]: the caller supplies the pairwise distance as a closure
+    /// over series positions `0..n`.
+    ///
+    /// The sampling sequence depends only on `(n, sample_pairs, seed)`, so a
+    /// histogram rebuilt through this entry point over the same collection —
+    /// e.g. by a streaming-ingest path reading a grown series store instead
+    /// of the original dataset — is bit-identical to the one `from_dataset`
+    /// built.
+    pub fn from_pairwise(
+        n: usize,
+        sample_pairs: usize,
+        num_bins: usize,
+        seed: u64,
+        mut dist: impl FnMut(usize, usize) -> f32,
+    ) -> Self {
         if n < 2 {
             return Self::from_samples(&[1.0], num_bins, n);
         }
@@ -97,7 +117,7 @@ impl DistanceHistogram {
             if i == j {
                 j = (j + 1) % n;
             }
-            samples.push(euclidean(dataset.series(i), dataset.series(j)));
+            samples.push(dist(i, j));
         }
         Self::from_samples(&samples, num_bins, n)
     }
@@ -259,6 +279,23 @@ mod tests {
         // A different seed may (and generally will) give a slightly different
         // histogram, but must still be a valid distribution.
         assert!(h3.quantile(1.0) > 0.0);
+    }
+
+    #[test]
+    fn from_pairwise_matches_from_dataset_bit_for_bit() {
+        let mut d = Dataset::new(8).unwrap();
+        for i in 0..64 {
+            let s: Vec<f32> = (0..8).map(|j| ((i * 5 + j) % 17) as f32).collect();
+            d.push(&s).unwrap();
+        }
+        let a = DistanceHistogram::from_dataset(&d, 300, 24, 11);
+        let b = DistanceHistogram::from_pairwise(d.len(), 300, 24, 11, |i, j| {
+            euclidean(d.series(i), d.series(j))
+        });
+        assert_eq!(a.bin_edges(), b.bin_edges());
+        assert_eq!(a.cumulative_counts(), b.cumulative_counts());
+        assert_eq!(a.sample_count(), b.sample_count());
+        assert_eq!(a.dataset_size(), b.dataset_size());
     }
 
     #[test]

@@ -66,6 +66,11 @@ pub struct Capabilities {
     /// Can operate on disk-resident data (through the simulated storage
     /// layer); methods without this flag are in-memory only.
     pub disk_resident: bool,
+    /// Accepts new series after the build through
+    /// [`AnnIndex::insert_batch`] (streaming ingest); methods without this
+    /// flag answer queries over a frozen collection and return
+    /// [`crate::Error::UnsupportedMode`] from `insert_batch`.
+    pub streaming_insert: bool,
     /// The reduced representation the method indexes.
     pub representation: Representation,
 }
@@ -140,6 +145,36 @@ pub trait AnnIndex: Send + Sync {
     ) -> Vec<Result<SearchResult>> {
         queries.iter().map(|q| self.search(q, params)).collect()
     }
+
+    /// Ingests a batch of new series into a live index (streaming ingest).
+    ///
+    /// Opt-in via [`Capabilities::streaming_insert`]; the default
+    /// implementation rejects the batch with
+    /// [`crate::Error::UnsupportedMode`]. The new series receive the next
+    /// consecutive dataset positions (`num_series()` before the call, ...).
+    ///
+    /// # Contract for implementors (ingest equivalence)
+    ///
+    /// After ingesting series `0..n` in any order of calls and any batch
+    /// chunking, exact and ε/δ-ε answers must be **bit-identical** to a
+    /// fresh build over the same `n` series in the same arrival order:
+    /// same neighbors, same distances, same accuracy. Only I/O-economics
+    /// counters ([`QueryStats`] fields derived from buffer-pool state) may
+    /// differ. An ingest must either apply the whole batch or — on a
+    /// validation error such as a dimension mismatch — leave the index
+    /// exactly as it was (no partial batches).
+    ///
+    /// # Errors
+    /// [`crate::Error::UnsupportedMode`] if the index is build-once;
+    /// [`crate::Error::DimensionMismatch`] if any series in the batch does
+    /// not have [`Self::series_len`] values (the index is left unchanged).
+    fn insert_batch(&mut self, batch: &[&[f32]]) -> Result<()> {
+        let _ = batch;
+        Err(crate::Error::UnsupportedMode(format!(
+            "{} does not support streaming ingest",
+            self.name()
+        )))
+    }
 }
 
 /// A node handle inside a [`HierarchicalIndex`]. Implementations typically
@@ -195,6 +230,7 @@ mod tests {
             epsilon_approximate: false,
             delta_epsilon_approximate: false,
             disk_resident: true,
+            streaming_insert: false,
             representation: Representation::Eapca,
         };
         assert!(caps.supports(&SearchMode::Exact));
@@ -225,6 +261,7 @@ mod tests {
                     epsilon_approximate: false,
                     delta_epsilon_approximate: false,
                     disk_resident: false,
+                    streaming_insert: false,
                     representation: Representation::Raw,
                 }
             }
@@ -251,7 +288,17 @@ mod tests {
             }
         }
 
-        let index = Echo;
+        let mut index = Echo;
+        let series = [0.5f32];
+        let batch: Vec<&[f32]> = vec![&series];
+        assert!(
+            matches!(
+                index.insert_batch(&batch),
+                Err(crate::Error::UnsupportedMode(_))
+            ),
+            "the default insert_batch must reject ingest on build-once indexes"
+        );
+        let index = index;
         let q0 = [0.0f32];
         let q1 = [1.0f32];
         let bad = [2.0f32, 2.0];

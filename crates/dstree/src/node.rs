@@ -9,7 +9,7 @@ use hydra_core::{
 use hydra_core::search::SearchSpec;
 use hydra_persist::{
     codec, fingerprint_dataset, Fingerprint, PersistError, PersistentIndex, Section,
-    SnapshotReader, SnapshotWriter, StoreBacking,
+    SeriesFingerprinter, SnapshotReader, SnapshotWriter, StoreBacking,
 };
 use hydra_storage::{SeriesStore, StorageConfig};
 use hydra_summarize::apca::{segment_stats, uniform_segments, Segment};
@@ -121,12 +121,30 @@ pub struct DsTree {
     store: SeriesStore,
     /// Maps positions in the store back to dataset positions.
     store_to_dataset: Vec<usize>,
+    /// Inverse of `store_to_dataset`, maintained only once the tree has
+    /// grown (see [`DsTree::activate_growth`]); empty while pristine.
+    dataset_to_store: Vec<usize>,
     histogram: DistanceHistogram,
     num_series: usize,
     /// Content fingerprint of the dataset the tree was built over, captured
     /// at build/load time so snapshotting never has to re-read the
     /// (possibly file-backed) store.
     data_fingerprint: u64,
+    /// Whether series were ingested after the build/load. A grown tree's
+    /// leaf extents and store order are interleaved by arrival, so leaf
+    /// visits switch to member-row gathering and [`PersistentIndex::save`]
+    /// compacts back to the canonical leaf-order layout.
+    grown: bool,
+}
+
+/// Where [`DsTree::split_leaf`] re-reads the series of an overflowing leaf:
+/// the build-time dataset, or (during streaming ingest) the tree's own
+/// series store.
+enum FetchSource<'a> {
+    /// The collection being built (members are dataset positions).
+    Dataset(&'a Dataset),
+    /// The tree's own store, via `dataset_to_store` (ingest path).
+    Store,
 }
 
 impl DsTree {
@@ -158,6 +176,8 @@ impl DsTree {
             ),
             num_series: dataset.len(),
             data_fingerprint: fingerprint_dataset(dataset),
+            dataset_to_store: Vec::new(),
+            grown: false,
         };
         for id in 0..dataset.len() {
             tree.insert(dataset, id);
@@ -168,7 +188,26 @@ impl DsTree {
 
     /// Inserts one series (by dataset position) into the tree.
     fn insert(&mut self, dataset: &Dataset, id: usize) {
-        let series = dataset.series(id);
+        self.insert_series(id, dataset.series(id), &FetchSource::Dataset(dataset));
+    }
+
+    /// Reads the raw series of dataset position `id` into `out`.
+    fn fetch_series(&self, id: usize, src: &FetchSource<'_>, out: &mut Vec<f32>) {
+        match src {
+            FetchSource::Dataset(dataset) => {
+                out.clear();
+                out.extend_from_slice(dataset.series(id));
+            }
+            FetchSource::Store => self.store.read_uncharged(self.dataset_to_store[id], out),
+        }
+    }
+
+    /// Routes one series (its dataset position and raw values) to its leaf,
+    /// updating synopses along the descent and splitting on overflow — the
+    /// single insertion path shared by [`DsTree::build`] and streaming
+    /// ingest, which is what makes the two produce identical trees for the
+    /// same insert sequence.
+    fn insert_series(&mut self, id: usize, series: &[f32], src: &FetchSource<'_>) {
         // Descend to the leaf, updating synopses along the way.
         let mut node_id = 0usize;
         loop {
@@ -183,7 +222,7 @@ impl DsTree {
         }
         self.nodes[node_id].members.push(id);
         if self.nodes[node_id].members.len() > self.config.leaf_capacity {
-            self.split_leaf(dataset, node_id);
+            self.split_leaf(node_id, src);
         }
     }
 
@@ -198,9 +237,17 @@ impl DsTree {
 
     /// Splits an overflowing leaf using the best-scoring candidate
     /// (horizontal or vertical).
-    fn split_leaf(&mut self, dataset: &Dataset, node_id: usize) {
+    fn split_leaf(&mut self, node_id: usize, src: &FetchSource<'_>) {
         let members = self.nodes[node_id].members.clone();
-        let series: Vec<&[f32]> = members.iter().map(|&id| dataset.series(id)).collect();
+        let owned: Vec<Vec<f32>> = members
+            .iter()
+            .map(|&id| {
+                let mut buf = Vec::new();
+                self.fetch_series(id, src, &mut buf);
+                buf
+            })
+            .collect();
+        let series: Vec<&[f32]> = owned.iter().map(|v| v.as_slice()).collect();
         let candidates = enumerate_candidates(
             &series,
             &self.nodes[node_id].segments,
@@ -296,6 +343,53 @@ impl DsTree {
         Ok(())
     }
 
+    /// Switches the tree into growth mode: repopulates leaf membership from
+    /// the leaf extents (a loaded tree carries none — a freshly built one
+    /// still does) and builds the store-row inverse mapping. Idempotent.
+    fn activate_growth(&mut self) {
+        if self.grown {
+            return;
+        }
+        for i in 0..self.nodes.len() {
+            let (start, len) = (self.nodes[i].store_start, self.nodes[i].store_len);
+            if self.nodes[i].is_leaf() && self.nodes[i].members.len() != len {
+                self.nodes[i].members = self.store_to_dataset[start..start + len].to_vec();
+            }
+        }
+        let mut inverse = vec![usize::MAX; self.store_to_dataset.len()];
+        for (row, &id) in self.store_to_dataset.iter().enumerate() {
+            inverse[id] = row;
+        }
+        self.dataset_to_store = inverse;
+        self.grown = true;
+    }
+
+    /// Number of series in a leaf, valid in both pristine and grown trees
+    /// (a grown leaf's extent is stale; its membership is authoritative).
+    fn leaf_count(&self, node: usize) -> usize {
+        if self.grown {
+            self.nodes[node].members.len()
+        } else {
+            self.nodes[node].store_len
+        }
+    }
+
+    /// The content fingerprint of the collection as currently held: the
+    /// build/load-time cache while pristine, or a dataset-order scan of the
+    /// (permuted, grown) store once series were ingested.
+    fn current_data_fingerprint(&self) -> u64 {
+        if !self.grown {
+            return self.data_fingerprint;
+        }
+        let mut f = SeriesFingerprinter::new(self.series_len, self.num_series);
+        let mut buf = Vec::new();
+        for &row in &self.dataset_to_store {
+            self.store.read_uncharged(row, &mut buf);
+            f.push_series(&buf);
+        }
+        f.finish()
+    }
+
     /// Number of leaves in the tree.
     pub fn num_leaves(&self) -> usize {
         self.nodes.iter().filter(|n| n.is_leaf()).count()
@@ -303,11 +397,13 @@ impl DsTree {
 
     /// Average leaf fill factor (stored series / leaf capacity).
     pub fn avg_leaf_fill(&self) -> f64 {
-        let leaves: Vec<&Node> = self.nodes.iter().filter(|n| n.is_leaf()).collect();
+        let leaves: Vec<usize> = (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].is_leaf())
+            .collect();
         if leaves.is_empty() {
             return 0.0;
         }
-        let total: usize = leaves.iter().map(|n| n.store_len).sum();
+        let total: usize = leaves.iter().map(|&i| self.leaf_count(i)).sum();
         total as f64 / (leaves.len() * self.config.leaf_capacity) as f64
     }
 
@@ -382,14 +478,35 @@ impl PersistentIndex for DsTree {
     /// Snapshots the tree (per-node segmentation, EAPCA synopsis, split
     /// rule, leaf extents), the leaf-order-to-dataset mapping and the δ-ε
     /// histogram; the raw series are re-attached from the dataset at load
-    /// time (resident or file-backed). The dataset-content fingerprint was
-    /// captured when the tree was built or loaded, so saving never reads
-    /// the store.
+    /// time (resident or file-backed). A pristine tree saves its cached
+    /// dataset fingerprint and extents verbatim; a *grown* tree (see
+    /// [`AnnIndex::insert_batch`]) recomputes the fingerprint from a store
+    /// scan and **compacts** its arrival-interleaved layout to the
+    /// canonical leaf order a fresh build would have materialized — node
+    /// creation order is identical for the same insert sequence, so the
+    /// snapshot bytes are identical too.
     fn save(&self, path: &Path) -> hydra_persist::Result<()> {
         let mut w = SnapshotWriter::new(
             Self::KIND,
-            snapshot_fingerprint(&self.config, self.data_fingerprint),
+            snapshot_fingerprint(&self.config, self.current_data_fingerprint()),
         );
+
+        let (extents, mapping): (Vec<(usize, usize)>, Vec<usize>) = if self.grown {
+            let mut extents = vec![(0usize, 0usize); self.nodes.len()];
+            let mut mapping = Vec::with_capacity(self.num_series);
+            for (i, node) in self.nodes.iter().enumerate() {
+                if node.is_leaf() {
+                    extents[i] = (mapping.len(), node.members.len());
+                    mapping.extend_from_slice(&node.members);
+                }
+            }
+            (extents, mapping)
+        } else {
+            (
+                self.nodes.iter().map(|n| (n.store_start, n.store_len)).collect(),
+                self.store_to_dataset.clone(),
+            )
+        };
 
         let mut meta = Section::new();
         meta.put_usize(self.series_len);
@@ -398,7 +515,7 @@ impl PersistentIndex for DsTree {
         w.push(meta);
 
         let mut nodes = Section::new();
-        for node in &self.nodes {
+        for (node, &(store_start, store_len)) in self.nodes.iter().zip(extents.iter()) {
             nodes.put_usize(node.segments.len());
             for seg in &node.segments {
                 nodes.put_usize(seg.start);
@@ -423,15 +540,15 @@ impl PersistentIndex for DsTree {
                     nodes.put_f32(rule.threshold);
                 }
             }
-            nodes.put_usize(node.store_start);
-            nodes.put_usize(node.store_len);
+            nodes.put_usize(store_start);
+            nodes.put_usize(store_len);
             nodes.put_usize(node.size);
         }
         w.push(nodes);
 
-        let mut mapping = Section::new();
-        mapping.put_usizes(&self.store_to_dataset);
-        w.push(mapping);
+        let mut mapping_sec = Section::new();
+        mapping_sec.put_usizes(&mapping);
+        w.push(mapping_sec);
 
         let mut hist = Section::new();
         codec::put_histogram(&mut hist, &self.histogram);
@@ -568,9 +685,11 @@ impl PersistentIndex for DsTree {
             nodes,
             store,
             store_to_dataset,
+            dataset_to_store: Vec::new(),
             histogram,
             num_series,
             data_fingerprint,
+            grown: false,
         })
     }
 }
@@ -599,17 +718,38 @@ impl HierarchicalIndex for DsTree {
         visit: &mut dyn FnMut(usize, &[f32]),
     ) {
         let n = &self.nodes[node];
-        if n.store_len == 0 {
+        if !self.grown {
+            if n.store_len == 0 {
+                return;
+            }
+            self.store
+                .read_range(n.store_start, n.store_len, stats, &mut |pos, series| {
+                    visit(self.store_to_dataset[pos], series);
+                });
             return;
         }
-        self.store
-            .read_range(n.store_start, n.store_len, stats, &mut |pos, series| {
-                visit(self.store_to_dataset[pos], series);
-            });
+        // Grown tree: the leaf's series live at its members' store rows —
+        // the original (ascending) leaf block plus appended arrivals. The
+        // rows are gathered and walked as maximal contiguous runs so
+        // sequential leaf I/O stays sequential where the layout permits.
+        let mut rows: Vec<usize> = n.members.iter().map(|&id| self.dataset_to_store[id]).collect();
+        rows.sort_unstable();
+        let mut i = 0;
+        while i < rows.len() {
+            let mut j = i + 1;
+            while j < rows.len() && rows[j] == rows[j - 1] + 1 {
+                j += 1;
+            }
+            self.store
+                .read_range(rows[i], j - i, stats, &mut |pos, series| {
+                    visit(self.store_to_dataset[pos], series);
+                });
+            i = j;
+        }
     }
 
     fn leaf_size(&self, node: usize) -> usize {
-        self.nodes[node].store_len
+        self.leaf_count(node)
     }
 }
 
@@ -625,6 +765,7 @@ impl AnnIndex for DsTree {
             epsilon_approximate: true,
             delta_epsilon_approximate: true,
             disk_resident: true,
+            streaming_insert: true,
             representation: Representation::Eapca,
         }
     }
@@ -661,6 +802,54 @@ impl AnnIndex for DsTree {
         }
         let spec = SearchSpec::from_params(params, Some(&self.histogram));
         Ok(knn_search(self, query, &spec))
+    }
+
+    /// Streaming ingest by continuing the build's insert sequence: each new
+    /// series is appended to the store (arrival order), routed down the
+    /// tree — updating every synopsis on its path — and split on overflow
+    /// exactly as [`DsTree::build`] would have done, so the grown tree's
+    /// topology, synopses and answers are identical to a fresh build over
+    /// the full collection. The δ-ε histogram is re-sampled over the grown
+    /// collection after the batch.
+    fn insert_batch(&mut self, batch: &[&[f32]]) -> Result<()> {
+        for series in batch {
+            if series.len() != self.series_len {
+                return Err(Error::DimensionMismatch {
+                    expected: self.series_len,
+                    found: series.len(),
+                });
+            }
+        }
+        if batch.is_empty() {
+            return Ok(());
+        }
+        self.activate_growth();
+        for series in batch {
+            let id = self.num_series;
+            let row = self.store.append(series)?;
+            self.store_to_dataset.push(id);
+            self.dataset_to_store.push(row);
+            self.num_series += 1;
+            self.insert_series(id, series, &FetchSource::Store);
+        }
+        let store = &self.store;
+        let dataset_to_store = &self.dataset_to_store;
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        self.histogram = DistanceHistogram::from_pairwise(
+            self.num_series,
+            self.config.histogram_samples,
+            256,
+            self.config.seed,
+            |i, j| {
+                store.read_uncharged(dataset_to_store[i], &mut a);
+                store.read_uncharged(dataset_to_store[j], &mut b);
+                hydra_core::euclidean(&a, &b)
+            },
+        );
+        // A fresh build hands out a store with clean I/O counters; ingest
+        // restores the same post-build state.
+        self.store.reset_io();
+        Ok(())
     }
 }
 
@@ -816,6 +1005,84 @@ mod tests {
             Err(hydra_persist::PersistError::FingerprintMismatch { .. })
         ));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn ingest_matches_fresh_build_and_compacts_snapshots() {
+        let data = random_walk(300, 32, 42);
+        let config = DsTreeConfig {
+            leaf_capacity: 16,
+            initial_segments: 4,
+            max_segments: 8,
+            storage: StorageConfig::in_memory(),
+            histogram_samples: 2_000,
+            seed: 1,
+        };
+        let fresh = DsTree::build(&data, config).unwrap();
+
+        let head = Dataset::from_flat(32, data.as_flat()[..180 * 32].to_vec()).unwrap();
+        let tail: Vec<&[f32]> = (180..300).map(|i| data.series(i)).collect();
+
+        // Grow a freshly built tree and one round-tripped through a
+        // snapshot (whose leaves must be re-hydrated from their extents).
+        let built = DsTree::build(&head, config).unwrap();
+        let path = std::env::temp_dir().join(format!(
+            "hydra-dstree-ingest-{}.snap",
+            std::process::id()
+        ));
+        built.save(&path).unwrap();
+        let loaded = DsTree::load(&path, &head, &config).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        for mut grown in [built, loaded] {
+            grown.insert_batch(&tail[..43]).unwrap();
+            grown.insert_batch(&tail[43..]).unwrap();
+            assert_eq!(grown.num_series(), fresh.num_series());
+            assert_eq!(grown.nodes.len(), fresh.nodes.len());
+            for qi in [0usize, 50, 200, 299] {
+                let q = data.series(qi);
+                for params in [
+                    SearchParams::exact(5),
+                    SearchParams::ng(5, 2),
+                    SearchParams::delta_epsilon(5, 0.9, 1.0),
+                ] {
+                    let a = fresh.search(q, &params).unwrap();
+                    let b = grown.search(q, &params).unwrap();
+                    assert_eq!(a.neighbors.len(), b.neighbors.len());
+                    for (x, y) in a.neighbors.iter().zip(b.neighbors.iter()) {
+                        assert_eq!(x.index, y.index);
+                        assert_eq!(x.distance.to_bits(), y.distance.to_bits());
+                    }
+                    // CPU-side costs match; only page-level I/O economics
+                    // may differ (the grown store is arrival-interleaved).
+                    assert_eq!(a.stats.distance_computations, b.stats.distance_computations);
+                    assert_eq!(a.stats.leaves_visited, b.stats.leaves_visited);
+                    assert_eq!(a.stats.series_scanned, b.stats.series_scanned);
+                }
+            }
+
+            // Saving a grown tree compacts it back to the canonical
+            // leaf-order layout: bytes identical to the fresh build's.
+            let dir = std::env::temp_dir();
+            let fresh_path =
+                dir.join(format!("hydra-dstree-fresh-{}.snap", std::process::id()));
+            let grown_path =
+                dir.join(format!("hydra-dstree-grown-{}.snap", std::process::id()));
+            fresh.save(&fresh_path).unwrap();
+            grown.save(&grown_path).unwrap();
+            assert_eq!(
+                std::fs::read(&fresh_path).unwrap(),
+                std::fs::read(&grown_path).unwrap(),
+                "a grown DSTree must snapshot byte-identically to a fresh build"
+            );
+            std::fs::remove_file(&fresh_path).ok();
+            std::fs::remove_file(&grown_path).ok();
+
+            // Dimension mismatches reject the whole batch without growing.
+            let before = grown.num_series();
+            assert!(grown.insert_batch(&[&[0.0f32; 3]]).is_err());
+            assert_eq!(grown.num_series(), before);
+        }
     }
 
     #[test]

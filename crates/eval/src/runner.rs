@@ -398,6 +398,7 @@ mod tests {
                 epsilon_approximate: false,
                 delta_epsilon_approximate: false,
                 disk_resident: false,
+                streaming_insert: false,
                 representation: Representation::Raw,
             }
         }
@@ -524,6 +525,7 @@ mod tests {
                 epsilon_approximate: false,
                 delta_epsilon_approximate: false,
                 disk_resident: false,
+                streaming_insert: false,
                 representation: Representation::Raw,
             }
         }

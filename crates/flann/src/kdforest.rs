@@ -289,6 +289,7 @@ impl AnnIndex for KdForest {
             epsilon_approximate: false,
             delta_epsilon_approximate: false,
             disk_resident: false,
+            streaming_insert: false,
             representation: Representation::Partitions,
         }
     }

@@ -239,6 +239,7 @@ impl AnnIndex for KMeansTree {
             epsilon_approximate: false,
             delta_epsilon_approximate: false,
             disk_resident: false,
+            streaming_insert: false,
             representation: Representation::Partitions,
         }
     }

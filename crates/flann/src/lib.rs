@@ -211,6 +211,7 @@ impl AnnIndex for Flann {
             epsilon_approximate: false,
             delta_epsilon_approximate: false,
             disk_resident: false,
+            streaming_insert: false,
             representation: Representation::Partitions,
         }
     }

@@ -265,6 +265,58 @@ impl Hnsw {
         }
     }
 
+    /// Extends the graph with `batch`, reproducing exactly what a fresh
+    /// [`Hnsw::build`] over the grown collection would construct.
+    ///
+    /// Layer assignment comes from one seeded RNG stream drawn in node
+    /// order; re-seeding and burning the draws the build already consumed
+    /// resumes that stream, so node `i` receives the same level whether it
+    /// arrived at build time or by ingest. Insertion itself is the same
+    /// sequential [`Hnsw::insert`] loop the build runs — its outcome
+    /// depends only on the nodes inserted before, never on future levels —
+    /// so the grown graph is link-for-link identical to a fresh build.
+    fn ingest(&mut self, batch: &[&[f32]]) -> Result<()> {
+        for series in batch {
+            if series.len() != self.data.series_len() {
+                return Err(Error::DimensionMismatch {
+                    expected: self.data.series_len(),
+                    found: series.len(),
+                });
+            }
+        }
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let ml = 1.0 / (self.config.m as f64).ln();
+        let draw = move |rng: &mut StdRng| {
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            ((-u.ln() * ml).floor() as usize).min(31) as u8
+        };
+        for _ in 0..self.levels.len() {
+            draw(&mut rng);
+        }
+        let first = self.data.len();
+        for series in batch {
+            self.data.push(series)?;
+            self.levels.push(draw(&mut rng));
+        }
+        let total = self.data.len();
+        self.max_level = self
+            .max_level
+            .max(self.levels[first..].iter().copied().max().unwrap_or(0) as usize);
+        for layer in &mut self.neighbors {
+            layer.resize(total, Vec::new());
+        }
+        while self.neighbors.len() <= self.max_level {
+            self.neighbors.push(vec![Vec::new(); total]);
+        }
+        for id in first..total {
+            self.insert(id);
+        }
+        Ok(())
+    }
+
     /// Number of links in the whole graph (for diagnostics / footprint).
     pub fn num_links(&self) -> usize {
         self.neighbors
@@ -405,6 +457,7 @@ impl AnnIndex for Hnsw {
             epsilon_approximate: false,
             delta_epsilon_approximate: false,
             disk_resident: false,
+            streaming_insert: true,
             representation: Representation::Graph,
         }
     }
@@ -450,6 +503,10 @@ impl AnnIndex for Hnsw {
             top_k.push(n);
         }
         Ok(SearchResult::new(top_k.into_sorted(), stats))
+    }
+
+    fn insert_batch(&mut self, batch: &[&[f32]]) -> Result<()> {
+        self.ingest(batch)
     }
 }
 
@@ -534,6 +591,35 @@ mod tests {
             .search(&q, &SearchParams::delta_epsilon(1, 0.9, 1.0))
             .is_err());
         assert!(h.search(&[0.0; 3], &SearchParams::ng(1, 10)).is_err());
+    }
+
+    #[test]
+    fn ingest_matches_fresh_build_link_for_link() {
+        let data = sift_like(300, 16, 41);
+        let config = HnswConfig {
+            m: 6,
+            ef_construction: 48,
+            seed: 3,
+        };
+        let fresh = Hnsw::build(&data, config).unwrap();
+        let mut base = Dataset::new(16).unwrap();
+        for i in 0..200 {
+            base.push(data.series(i)).unwrap();
+        }
+        let mut grown = Hnsw::build(&base, config).unwrap();
+        let rest: Vec<&[f32]> = (200..300).map(|i| data.series(i)).collect();
+        grown.insert_batch(&rest[..1]).unwrap();
+        grown.insert_batch(&rest[1..37]).unwrap();
+        grown.insert_batch(&[]).unwrap();
+        grown.insert_batch(&rest[37..]).unwrap();
+        assert_eq!(grown.levels, fresh.levels, "resumed RNG must match");
+        assert_eq!(grown.neighbors, fresh.neighbors, "grown graph drifted");
+        assert_eq!(grown.entry_point, fresh.entry_point);
+        assert_eq!(grown.max_level, fresh.max_level);
+        // A malformed batch is rejected wholesale.
+        assert!(grown.insert_batch(&[&[0.0f32; 3][..]]).is_err());
+        assert_eq!(grown.num_series(), 300);
+        assert!(grown.capabilities().streaming_insert);
     }
 
     #[test]

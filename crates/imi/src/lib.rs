@@ -508,6 +508,7 @@ impl AnnIndex for InvertedMultiIndex {
             epsilon_approximate: false,
             delta_epsilon_approximate: false,
             disk_resident: true,
+            streaming_insert: false,
             representation: Representation::Opq,
         }
     }

@@ -9,7 +9,7 @@ use hydra_core::{
 };
 use hydra_persist::{
     codec, fingerprint_dataset, Fingerprint, PersistError, PersistentIndex, Section,
-    SnapshotReader, SnapshotWriter, StoreBacking,
+    SeriesFingerprinter, SnapshotReader, SnapshotWriter, StoreBacking,
 };
 use hydra_storage::{SeriesStore, StorageConfig};
 use hydra_summarize::paa::paa;
@@ -73,12 +73,30 @@ pub struct Isax2Plus {
     nodes: Vec<Node>,
     store: SeriesStore,
     store_to_dataset: Vec<usize>,
+    /// Inverse of `store_to_dataset`, maintained only once the tree has
+    /// grown (see [`Isax2Plus::activate_growth`]); empty while pristine.
+    dataset_to_store: Vec<usize>,
     histogram: DistanceHistogram,
     num_series: usize,
     /// Content fingerprint of the dataset the index was built over,
     /// captured at build/load time so snapshotting never has to re-read the
     /// (possibly file-backed) store.
     data_fingerprint: u64,
+    /// Whether series were ingested after the build/load. A grown tree's
+    /// leaf extents and store order are interleaved by arrival, so leaf
+    /// visits switch to member-row gathering and [`PersistentIndex::save`]
+    /// compacts back to the canonical leaf-order layout.
+    grown: bool,
+}
+
+/// Where [`Isax2Plus::insert_series`] re-reads member series when a leaf's
+/// cached SAX words need rehydrating: the build-time dataset, or (during
+/// streaming ingest) the tree's own series store.
+enum FetchSource<'a> {
+    /// The collection being built (members are dataset positions).
+    Dataset(&'a Dataset),
+    /// The index's own store, via `dataset_to_store` (ingest path).
+    Store,
 }
 
 impl Isax2Plus {
@@ -122,6 +140,8 @@ impl Isax2Plus {
             ),
             num_series: dataset.len(),
             data_fingerprint: fingerprint_dataset(dataset),
+            dataset_to_store: Vec::new(),
+            grown: false,
         };
         for id in 0..dataset.len() {
             index.insert(dataset, id);
@@ -135,8 +155,44 @@ impl Isax2Plus {
     }
 
     fn insert(&mut self, dataset: &Dataset, id: usize) {
-        let series = dataset.series(id);
-        let word = self.full_word(series);
+        let word = self.full_word(dataset.series(id));
+        self.insert_series(id, word, &FetchSource::Dataset(dataset));
+    }
+
+    /// Reads the raw series of dataset position `id` into `out`.
+    fn fetch_series(&self, id: usize, src: &FetchSource<'_>, out: &mut Vec<f32>) {
+        match src {
+            FetchSource::Dataset(dataset) => {
+                out.clear();
+                out.extend_from_slice(dataset.series(id));
+            }
+            FetchSource::Store => self.store.read_uncharged(self.dataset_to_store[id], out),
+        }
+    }
+
+    /// Recomputes the cached full-cardinality SAX words of a leaf whose
+    /// `member_words` were dropped by [`Isax2Plus::materialize`] (or never
+    /// loaded from a snapshot). `sax_word` is deterministic, so the
+    /// rehydrated words are exactly what the build computed.
+    fn hydrate_member_words(&mut self, leaf: usize, src: &FetchSource<'_>) {
+        if self.nodes[leaf].member_words.len() == self.nodes[leaf].members.len() {
+            return;
+        }
+        let members = self.nodes[leaf].members.clone();
+        let mut buf = Vec::new();
+        let mut words = Vec::with_capacity(members.len());
+        for &id in &members {
+            self.fetch_series(id, src, &mut buf);
+            words.push(self.full_word(&buf));
+        }
+        self.nodes[leaf].member_words = words;
+    }
+
+    /// Routes one series (its dataset position and full-cardinality word)
+    /// to its leaf, splitting on overflow — the single insertion path shared
+    /// by [`Isax2Plus::build`] and streaming ingest, which is what makes the
+    /// two produce identical trees for the same insert sequence.
+    fn insert_series(&mut self, id: usize, word: IsaxWord, src: &FetchSource<'_>) {
         let max_bits = self.config.sax.max_bits;
 
         // Find (or create) the root child whose 1-bit word covers this series.
@@ -172,6 +228,7 @@ impl Isax2Plus {
             current = next;
         }
 
+        self.hydrate_member_words(current, src);
         self.nodes[current].members.push(id);
         self.nodes[current].member_words.push(word);
         if self.nodes[current].members.len() > self.config.leaf_capacity {
@@ -283,6 +340,53 @@ impl Isax2Plus {
         Ok(())
     }
 
+    /// Switches the tree into growth mode: repopulates leaf membership from
+    /// the leaf extents (a loaded tree carries none — a freshly built one
+    /// still does) and builds the store-row inverse mapping. Idempotent.
+    fn activate_growth(&mut self) {
+        if self.grown {
+            return;
+        }
+        for i in 1..self.nodes.len() {
+            let (start, len) = (self.nodes[i].store_start, self.nodes[i].store_len);
+            if self.nodes[i].is_leaf() && self.nodes[i].members.len() != len {
+                self.nodes[i].members = self.store_to_dataset[start..start + len].to_vec();
+            }
+        }
+        let mut inverse = vec![usize::MAX; self.store_to_dataset.len()];
+        for (row, &id) in self.store_to_dataset.iter().enumerate() {
+            inverse[id] = row;
+        }
+        self.dataset_to_store = inverse;
+        self.grown = true;
+    }
+
+    /// Number of series in a leaf, valid in both pristine and grown trees
+    /// (a grown leaf's extent is stale; its membership is authoritative).
+    fn leaf_count(&self, node: usize) -> usize {
+        if self.grown {
+            self.nodes[node].members.len()
+        } else {
+            self.nodes[node].store_len
+        }
+    }
+
+    /// The content fingerprint of the collection as currently held: the
+    /// build/load-time cache while pristine, or a dataset-order scan of the
+    /// (permuted, grown) store once series were ingested.
+    fn current_data_fingerprint(&self) -> u64 {
+        if !self.grown {
+            return self.data_fingerprint;
+        }
+        let mut f = SeriesFingerprinter::new(self.series_len, self.num_series);
+        let mut buf = Vec::new();
+        for &row in &self.dataset_to_store {
+            self.store.read_uncharged(row, &mut buf);
+            f.push_series(&buf);
+        }
+        f.finish()
+    }
+
     /// Number of leaves.
     pub fn num_leaves(&self) -> usize {
         self.nodes
@@ -296,17 +400,13 @@ impl Isax2Plus {
     /// emptier leaves than DSTree, which is what drives its higher random
     /// I/O count.
     pub fn avg_leaf_fill(&self) -> f64 {
-        let leaves: Vec<&Node> = self
-            .nodes
-            .iter()
-            .enumerate()
-            .filter(|(i, n)| *i != 0 && n.is_leaf())
-            .map(|(_, n)| n)
+        let leaves: Vec<usize> = (0..self.nodes.len())
+            .filter(|&i| i != 0 && self.nodes[i].is_leaf())
             .collect();
         if leaves.is_empty() {
             return 0.0;
         }
-        let total: usize = leaves.iter().map(|n| n.store_len).sum();
+        let total: usize = leaves.iter().map(|&i| self.leaf_count(i)).sum();
         total as f64 / (leaves.len() * self.config.leaf_capacity) as f64
     }
 
@@ -352,13 +452,34 @@ impl PersistentIndex for Isax2Plus {
     /// the leaf-order-to-dataset mapping and the δ-ε histogram. The raw
     /// series are *not* stored: `load` re-attaches the leaf-ordered
     /// [`SeriesStore`] from its `dataset` argument (resident or
-    /// file-backed). The dataset-content fingerprint was captured when the
-    /// index was built or loaded, so saving never reads the store.
+    /// file-backed). A pristine tree saves its cached dataset fingerprint
+    /// and extents verbatim; a *grown* tree (see [`AnnIndex::insert_batch`])
+    /// recomputes the fingerprint from a store scan and **compacts** its
+    /// arrival-interleaved layout to the canonical leaf order a fresh build
+    /// would have materialized — node creation order is identical for the
+    /// same insert sequence, so the snapshot bytes are identical too.
     fn save(&self, path: &Path) -> hydra_persist::Result<()> {
         let mut w = SnapshotWriter::new(
             Self::KIND,
-            snapshot_fingerprint(&self.config, self.data_fingerprint),
+            snapshot_fingerprint(&self.config, self.current_data_fingerprint()),
         );
+
+        let (extents, mapping): (Vec<(usize, usize)>, Vec<usize>) = if self.grown {
+            let mut extents = vec![(0usize, 0usize); self.nodes.len()];
+            let mut mapping = Vec::with_capacity(self.num_series);
+            for (i, node) in self.nodes.iter().enumerate() {
+                if i != 0 && node.is_leaf() {
+                    extents[i] = (mapping.len(), node.members.len());
+                    mapping.extend_from_slice(&node.members);
+                }
+            }
+            (extents, mapping)
+        } else {
+            (
+                self.nodes.iter().map(|n| (n.store_start, n.store_len)).collect(),
+                self.store_to_dataset.clone(),
+            )
+        };
 
         let mut meta = Section::new();
         meta.put_usize(self.series_len);
@@ -367,18 +488,18 @@ impl PersistentIndex for Isax2Plus {
         w.push(meta);
 
         let mut nodes = Section::new();
-        for node in &self.nodes {
+        for (node, &(store_start, store_len)) in self.nodes.iter().zip(extents.iter()) {
             nodes.put_u16s(&node.word.symbols);
             nodes.put_u8s(&node.word.bits);
             nodes.put_usizes(&node.children);
-            nodes.put_usize(node.store_start);
-            nodes.put_usize(node.store_len);
+            nodes.put_usize(store_start);
+            nodes.put_usize(store_len);
         }
         w.push(nodes);
 
-        let mut mapping = Section::new();
-        mapping.put_usizes(&self.store_to_dataset);
-        w.push(mapping);
+        let mut mapping_sec = Section::new();
+        mapping_sec.put_usizes(&mapping);
+        w.push(mapping_sec);
 
         let mut hist = Section::new();
         codec::put_histogram(&mut hist, &self.histogram);
@@ -476,9 +597,11 @@ impl PersistentIndex for Isax2Plus {
             nodes,
             store,
             store_to_dataset,
+            dataset_to_store: Vec::new(),
             histogram,
             num_series,
             data_fingerprint,
+            grown: false,
         })
     }
 }
@@ -517,17 +640,38 @@ impl HierarchicalIndex for Isax2Plus {
         visit: &mut dyn FnMut(usize, &[f32]),
     ) {
         let n = &self.nodes[node];
-        if n.store_len == 0 {
+        if !self.grown {
+            if n.store_len == 0 {
+                return;
+            }
+            self.store
+                .read_range(n.store_start, n.store_len, stats, &mut |pos, series| {
+                    visit(self.store_to_dataset[pos], series);
+                });
             return;
         }
-        self.store
-            .read_range(n.store_start, n.store_len, stats, &mut |pos, series| {
-                visit(self.store_to_dataset[pos], series);
-            });
+        // Grown tree: the leaf's series live at its members' store rows —
+        // the original (ascending) leaf block plus appended arrivals. The
+        // rows are gathered and walked as maximal contiguous runs so
+        // sequential leaf I/O stays sequential where the layout permits.
+        let mut rows: Vec<usize> = n.members.iter().map(|&id| self.dataset_to_store[id]).collect();
+        rows.sort_unstable();
+        let mut i = 0;
+        while i < rows.len() {
+            let mut j = i + 1;
+            while j < rows.len() && rows[j] == rows[j - 1] + 1 {
+                j += 1;
+            }
+            self.store
+                .read_range(rows[i], j - i, stats, &mut |pos, series| {
+                    visit(self.store_to_dataset[pos], series);
+                });
+            i = j;
+        }
     }
 
     fn leaf_size(&self, node: usize) -> usize {
-        self.nodes[node].store_len
+        self.leaf_count(node)
     }
 }
 
@@ -543,6 +687,7 @@ impl AnnIndex for Isax2Plus {
             epsilon_approximate: true,
             delta_epsilon_approximate: true,
             disk_resident: true,
+            streaming_insert: true,
             representation: Representation::Isax,
         }
     }
@@ -564,7 +709,8 @@ impl AnnIndex for Isax2Plus {
                     + n.children.len() * std::mem::size_of::<usize>()
             })
             .sum::<usize>()
-            + self.store_to_dataset.len() * std::mem::size_of::<usize>()
+            + (self.store_to_dataset.len() + self.dataset_to_store.len())
+                * std::mem::size_of::<usize>()
             + self.breakpoints.len() * std::mem::size_of::<f32>()
     }
 
@@ -577,6 +723,54 @@ impl AnnIndex for Isax2Plus {
         }
         let spec = SearchSpec::from_params(params, Some(&self.histogram));
         Ok(knn_search(self, query, &spec))
+    }
+
+    /// Streaming ingest by continuing the build's insert sequence: each new
+    /// series is appended to the store (arrival order), routed to its leaf
+    /// and split on overflow exactly as [`Isax2Plus::build`] would have done
+    /// — so the grown tree's topology, membership and answers are identical
+    /// to a fresh build over the full collection. The δ-ε histogram is
+    /// re-sampled over the grown collection after the batch.
+    fn insert_batch(&mut self, batch: &[&[f32]]) -> Result<()> {
+        for series in batch {
+            if series.len() != self.series_len {
+                return Err(Error::DimensionMismatch {
+                    expected: self.series_len,
+                    found: series.len(),
+                });
+            }
+        }
+        if batch.is_empty() {
+            return Ok(());
+        }
+        self.activate_growth();
+        for series in batch {
+            let id = self.num_series;
+            let row = self.store.append(series)?;
+            self.store_to_dataset.push(id);
+            self.dataset_to_store.push(row);
+            self.num_series += 1;
+            let word = self.full_word(series);
+            self.insert_series(id, word, &FetchSource::Store);
+        }
+        let store = &self.store;
+        let dataset_to_store = &self.dataset_to_store;
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        self.histogram = DistanceHistogram::from_pairwise(
+            self.num_series,
+            self.config.histogram_samples,
+            256,
+            self.config.seed,
+            |i, j| {
+                store.read_uncharged(dataset_to_store[i], &mut a);
+                store.read_uncharged(dataset_to_store[j], &mut b);
+                hydra_core::euclidean(&a, &b)
+            },
+        );
+        // A fresh build hands out a store with clean I/O counters; ingest
+        // restores the same post-build state.
+        self.store.reset_io();
+        Ok(())
     }
 }
 
@@ -720,6 +914,83 @@ mod tests {
             Err(hydra_persist::PersistError::FingerprintMismatch { .. })
         ));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn ingest_matches_fresh_build_and_compacts_snapshots() {
+        let data = random_walk(300, 64, 17);
+        let config = IsaxConfig {
+            sax: SaxParams::new(8, 8),
+            leaf_capacity: 16,
+            storage: StorageConfig::in_memory(),
+            histogram_samples: 2_000,
+            seed: 5,
+        };
+        let fresh = Isax2Plus::build(&data, config).unwrap();
+
+        let head = Dataset::from_flat(64, data.as_flat()[..180 * 64].to_vec()).unwrap();
+        let tail: Vec<&[f32]> = (180..300).map(|i| data.series(i)).collect();
+
+        // Grow a freshly built tree and one round-tripped through a
+        // snapshot (whose leaves must be re-hydrated from their extents).
+        let built = Isax2Plus::build(&head, config).unwrap();
+        let path = std::env::temp_dir().join(format!(
+            "hydra-isax-ingest-{}.snap",
+            std::process::id()
+        ));
+        built.save(&path).unwrap();
+        let loaded = Isax2Plus::load(&path, &head, &config).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        for mut grown in [built, loaded] {
+            grown.insert_batch(&tail[..43]).unwrap();
+            grown.insert_batch(&tail[43..]).unwrap();
+            assert_eq!(grown.num_series(), fresh.num_series());
+            assert_eq!(grown.nodes.len(), fresh.nodes.len());
+            for qi in [0usize, 50, 200, 299] {
+                let q = data.series(qi);
+                for params in [
+                    SearchParams::exact(5),
+                    SearchParams::ng(5, 2),
+                    SearchParams::delta_epsilon(5, 0.9, 1.0),
+                ] {
+                    let a = fresh.search(q, &params).unwrap();
+                    let b = grown.search(q, &params).unwrap();
+                    assert_eq!(a.neighbors.len(), b.neighbors.len());
+                    for (x, y) in a.neighbors.iter().zip(b.neighbors.iter()) {
+                        assert_eq!(x.index, y.index);
+                        assert_eq!(x.distance.to_bits(), y.distance.to_bits());
+                    }
+                    // CPU-side costs match; only page-level I/O economics
+                    // may differ (the grown store is arrival-interleaved).
+                    assert_eq!(a.stats.distance_computations, b.stats.distance_computations);
+                    assert_eq!(a.stats.leaves_visited, b.stats.leaves_visited);
+                    assert_eq!(a.stats.series_scanned, b.stats.series_scanned);
+                }
+            }
+
+            // Saving a grown tree compacts it back to the canonical
+            // leaf-order layout: bytes identical to the fresh build's.
+            let dir = std::env::temp_dir();
+            let fresh_path =
+                dir.join(format!("hydra-isax-fresh-{}.snap", std::process::id()));
+            let grown_path =
+                dir.join(format!("hydra-isax-grown-{}.snap", std::process::id()));
+            fresh.save(&fresh_path).unwrap();
+            grown.save(&grown_path).unwrap();
+            assert_eq!(
+                std::fs::read(&fresh_path).unwrap(),
+                std::fs::read(&grown_path).unwrap(),
+                "a grown iSAX2+ tree must snapshot byte-identically to a fresh build"
+            );
+            std::fs::remove_file(&fresh_path).ok();
+            std::fs::remove_file(&grown_path).ok();
+
+            // Dimension mismatches reject the whole batch without growing.
+            let before = grown.num_series();
+            assert!(grown.insert_batch(&[&[0.0f32; 3]]).is_err());
+            assert_eq!(grown.num_series(), before);
+        }
     }
 
     #[test]

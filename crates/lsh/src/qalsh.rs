@@ -345,6 +345,7 @@ impl AnnIndex for Qalsh {
             epsilon_approximate: false,
             delta_epsilon_approximate: true,
             disk_resident: false,
+            streaming_insert: false,
             representation: Representation::Signatures,
         }
     }

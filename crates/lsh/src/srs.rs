@@ -7,8 +7,8 @@ use hydra_core::{
     SearchMode, SearchParams, SearchResult, TopK,
 };
 use hydra_persist::{
-    fingerprint_dataset, Fingerprint, PersistError, PersistentIndex, Section, SnapshotReader,
-    SnapshotWriter, StoreBacking,
+    fingerprint_dataset, Fingerprint, PersistError, PersistentIndex, Section, SeriesFingerprinter,
+    SnapshotReader, SnapshotWriter, StoreBacking,
 };
 use hydra_storage::{SeriesStore, StorageConfig};
 use hydra_summarize::GaussianProjection;
@@ -54,6 +54,10 @@ pub struct Srs {
     /// Content fingerprint of the dataset, captured at build/load time so
     /// snapshotting never has to re-read the (possibly file-backed) store.
     data_fingerprint: u64,
+    /// Whether series were ingested after the build/load: the cached
+    /// `data_fingerprint` then covers only the base collection, so a save
+    /// recomputes it from an unaccounted store scan.
+    grown: bool,
 }
 
 impl Srs {
@@ -87,7 +91,21 @@ impl Srs {
             store,
             num_series: dataset.len(),
             data_fingerprint: fingerprint_dataset(dataset),
+            grown: false,
         })
+    }
+
+    /// The content fingerprint of the indexed collection, recomputed from
+    /// the store when the index has grown past its build/load baseline.
+    fn current_data_fingerprint(&self) -> u64 {
+        if !self.grown {
+            return self.data_fingerprint;
+        }
+        let mut f = SeriesFingerprinter::new(self.series_len, self.num_series);
+        self.store.for_each_series(&mut |_, s| {
+            f.push_series(s);
+        });
+        f.finish()
     }
 
     fn projected_point(&self, id: usize) -> &[f32] {
@@ -235,7 +253,7 @@ impl PersistentIndex for Srs {
     fn save(&self, path: &Path) -> hydra_persist::Result<()> {
         let mut w = SnapshotWriter::new(
             Self::KIND,
-            snapshot_fingerprint(&self.config, self.data_fingerprint),
+            snapshot_fingerprint(&self.config, self.current_data_fingerprint()),
         );
 
         let mut meta = Section::new();
@@ -296,6 +314,7 @@ impl PersistentIndex for Srs {
             store,
             num_series,
             data_fingerprint,
+            grown: false,
         })
     }
 }
@@ -312,6 +331,7 @@ impl AnnIndex for Srs {
             epsilon_approximate: true,
             delta_epsilon_approximate: true,
             disk_resident: true,
+            streaming_insert: true,
             representation: Representation::Signatures,
         }
     }
@@ -352,6 +372,31 @@ impl AnnIndex for Srs {
                 Ok(self.search_impl(query, params, &mut order))
             })
             .collect()
+    }
+
+    /// Streaming ingest: each new series is projected with the (build-time,
+    /// seed-deterministic) Gaussian matrix and appended to the projected
+    /// table and the raw store — exactly the per-series work
+    /// [`Srs::build`] does, so a grown index is structurally identical to a
+    /// fresh build over the same collection.
+    fn insert_batch(&mut self, batch: &[&[f32]]) -> Result<()> {
+        for series in batch {
+            if series.len() != self.series_len {
+                return Err(Error::DimensionMismatch {
+                    expected: self.series_len,
+                    found: series.len(),
+                });
+            }
+        }
+        for series in batch {
+            self.projected.extend_from_slice(&self.projection.project(series));
+            self.store.append(series)?;
+            self.num_series += 1;
+        }
+        if !batch.is_empty() {
+            self.grown = true;
+        }
+        Ok(())
     }
 }
 

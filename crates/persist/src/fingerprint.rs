@@ -113,6 +113,58 @@ pub fn fingerprint_series_flat(series_len: usize, flat: &[f32]) -> u64 {
     f.finish()
 }
 
+/// [`fingerprint_dataset`] computed one series at a time, for collections
+/// with no flat slice to hand out (file-backed stores, grown stores with a
+/// resident tail): the caller announces the shape, then feeds every series
+/// **in dataset order**, and `finish` yields exactly the value
+/// [`fingerprint_dataset`] would — which is how a streaming-ingested index
+/// recomputes its content fingerprint at save time from an unaccounted
+/// store scan.
+#[derive(Debug, Clone)]
+pub struct SeriesFingerprinter {
+    f: Fingerprint,
+    series_len: usize,
+    expected: usize,
+    fed: usize,
+}
+
+impl SeriesFingerprinter {
+    /// Starts a fingerprint of `num_series` series of length `series_len`.
+    pub fn new(series_len: usize, num_series: usize) -> Self {
+        let mut f = Fingerprint::new();
+        f.push_usize(series_len);
+        f.push_usize(num_series);
+        Self {
+            f,
+            series_len,
+            expected: num_series,
+            fed: 0,
+        }
+    }
+
+    /// Feeds the next series (dataset order).
+    ///
+    /// # Panics
+    /// Panics on a wrong series length or when more than the announced
+    /// number of series is fed.
+    pub fn push_series(&mut self, series: &[f32]) -> &mut Self {
+        assert_eq!(series.len(), self.series_len, "series length mismatch");
+        assert!(self.fed < self.expected, "more series than announced");
+        self.fed += 1;
+        self.f.push_f32s(series);
+        self
+    }
+
+    /// The finished fingerprint.
+    ///
+    /// # Panics
+    /// Panics unless exactly the announced number of series was fed.
+    pub fn finish(&self) -> u64 {
+        assert_eq!(self.fed, self.expected, "fewer series than announced");
+        self.f.finish()
+    }
+}
+
 /// [`fingerprint_dataset`] over a *permuted* flat buffer: `flat` stores the
 /// series in store order and `store_to_dataset[pos]` gives the dataset
 /// position of store record `pos`. Used by the tree indexes, which lay their
@@ -189,6 +241,23 @@ mod tests {
             fingerprint_series_permuted(2, &flat, &store_to_dataset),
             fingerprint_dataset(&data)
         );
+    }
+
+    #[test]
+    fn streamed_fingerprint_matches_dataset_fingerprint() {
+        let data =
+            Dataset::from_series(2, &[[0.0f32, 1.0], [2.0, 3.0], [4.0, 5.0]]).unwrap();
+        let mut s = SeriesFingerprinter::new(2, 3);
+        for series in data.iter() {
+            s.push_series(series);
+        }
+        assert_eq!(s.finish(), fingerprint_dataset(&data));
+    }
+
+    #[test]
+    #[should_panic(expected = "fewer series than announced")]
+    fn streamed_fingerprint_rejects_short_feeds() {
+        SeriesFingerprinter::new(2, 3).finish();
     }
 
     #[test]

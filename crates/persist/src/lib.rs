@@ -27,6 +27,16 @@
 //! [`PersistError::FingerprintMismatch`] instead of answering queries from
 //! a mismatched index.
 //!
+//! ## Incremental snapshots
+//!
+//! A streaming-ingest run does not rewrite its whole snapshot per batch:
+//! it appends each accepted batch's raw series to a checksummed
+//! **journal** beside the base snapshot ([`journal`]), and loads replay
+//! the journal through `insert_batch`
+//! ([`LoaderRegistry::load_any_journaled`]) — reproducing the grown
+//! index bit for bit. A later full save compacts: the new base carries
+//! the grown data's fingerprint and the journal is deleted.
+//!
 //! ## Implementing persistence for an index
 //!
 //! Index crates implement [`PersistentIndex`] next to their private fields
@@ -43,6 +53,7 @@ pub mod codec;
 pub mod dataset;
 pub mod error;
 pub mod fingerprint;
+pub mod journal;
 pub mod registry;
 pub mod snapshot;
 
@@ -53,11 +64,14 @@ use hydra_core::Dataset;
 pub use error::{PersistError, Result};
 pub use fingerprint::{
     fingerprint_dataset, fingerprint_series_flat, fingerprint_series_permuted, Fingerprint,
+    SeriesFingerprinter,
 };
 pub use dataset::FlatSpan;
+pub use journal::{journal_path, remove_journal, JournalReader, JournalWriter};
 pub use registry::{BoxedLoader, LoaderRegistry};
 pub use snapshot::{
-    peek_kind, Section, SectionReader, SnapshotReader, SnapshotWriter, FORMAT_VERSION, MAGIC,
+    peek_fingerprint, peek_kind, Section, SectionReader, SnapshotReader, SnapshotWriter,
+    FORMAT_VERSION, MAGIC,
 };
 
 /// How a loaded index should re-attach its raw series — the out-of-core

@@ -117,6 +117,32 @@ impl LoaderRegistry {
         })?;
         loader(path, dataset, backing)
     }
+
+    /// [`LoaderRegistry::load_any_backed`], then replays the ingest
+    /// journal beside the snapshot ([`crate::journal_path`]) if one
+    /// exists — the incremental-snapshot load path. The journal is fully
+    /// validated (header, record checksums, base-fingerprint pin) before
+    /// a single batch is applied, so a damaged journal yields its typed
+    /// error and **no index**, never a partially replayed one.
+    ///
+    /// # Errors
+    /// Everything [`LoaderRegistry::load_any_backed`] reports, plus the
+    /// journal's own typed errors (see [`crate::JournalReader`]).
+    pub fn load_any_journaled(
+        &self,
+        path: &Path,
+        dataset: &Dataset,
+        backing: StoreBacking<'_>,
+    ) -> Result<Box<dyn AnnIndex>> {
+        let journal = crate::journal_path(path);
+        if !journal.exists() {
+            return self.load_any_backed(path, dataset, backing);
+        }
+        let reader = crate::JournalReader::open(&journal)?;
+        let mut index = self.load_any_backed(path, dataset, backing)?;
+        reader.replay(index.as_mut(), crate::peek_fingerprint(path)?)?;
+        Ok(index)
+    }
 }
 
 #[cfg(test)]

@@ -454,6 +454,36 @@ pub fn peek_kind(path: &Path) -> Result<String> {
     String::from_utf8(kind).map_err(|_| PersistError::Corrupt("invalid UTF-8 kind tag".into()))
 }
 
+/// Reads only the build-parameter fingerprint out of the snapshot header
+/// at `path`, with the same cheap-but-validated contract as [`peek_kind`].
+///
+/// This is how a journal ([`crate::journal`]) is pinned to its base
+/// snapshot: the journal header records this fingerprint, and replay
+/// refuses a journal whose base was rebuilt or swapped underneath it.
+pub fn peek_fingerprint(path: &Path) -> Result<u64> {
+    use std::io::Read;
+    let mut f = std::fs::File::open(path)?;
+    let mut head = [0u8; 20];
+    f.read_exact(&mut head).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            PersistError::Truncated
+        } else {
+            PersistError::from(e)
+        }
+    })?;
+    if head[..8] != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let version = u32::from_le_bytes(head[8..12].try_into().unwrap());
+    if version != FORMAT_VERSION {
+        return Err(PersistError::VersionMismatch {
+            found: version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    Ok(u64::from_le_bytes(head[12..20].try_into().unwrap()))
+}
+
 // ---------------------------------------------------------------------------
 // Whole-file reader
 // ---------------------------------------------------------------------------

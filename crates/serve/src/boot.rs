@@ -6,6 +6,7 @@
 //! ```text
 //! DIR/<dataset>.data.snap        one dataset snapshot per collection
 //! DIR/<dataset>-<kind>.snap      one index snapshot per (dataset, method)
+//! DIR/<...>.snap.journal         ingest journals (replayed into their base)
 //! DIR/gt-<fingerprint>.snap      ground-truth caches (ignored here)
 //! ```
 //!
@@ -177,9 +178,13 @@ pub fn boot_from_dir_with(
     for file in &files {
         let Some(stem) = file_name_str(file).and_then(|n| n.strip_suffix(SNAPSHOT_SUFFIX)) else {
             // `.snap.series` flat files are this boot path's own out-of-core
-            // cache (written by an earlier file-backed boot), not operator
-            // files worth flagging in the skip listing.
-            if file_name_str(file).is_some_and(|n| n.ends_with(".snap.series")) {
+            // cache (written by an earlier file-backed boot), and
+            // `.snap.journal` files are ingest journals replayed as part
+            // of loading their base snapshot — neither is an operator
+            // file worth flagging in the skip listing.
+            if file_name_str(file)
+                .is_some_and(|n| n.ends_with(".snap.series") || n.ends_with(".snap.journal"))
+            {
                 continue;
             }
             skipped.push(file.clone());
@@ -205,8 +210,11 @@ pub fn boot_from_dir_with(
         } else {
             StoreBacking::Resident
         };
+        // `load_any_journaled` also replays any `.snap.journal` beside the
+        // snapshot — a server booting after an ingesting run serves the
+        // grown index without waiting for a compacting full save.
         let index = registry
-            .load_any_backed(file, data, backing)
+            .load_any_journaled(file, data, backing)
             .map_err(|source| BootError::Snapshot {
                 file: file.clone(),
                 source,

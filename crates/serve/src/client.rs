@@ -125,6 +125,27 @@ impl ServeClient {
         }
     }
 
+    /// Asks the server to reload its snapshots and swap to a fresh epoch;
+    /// returns the new epoch id once acknowledged.
+    ///
+    /// # Errors
+    /// [`ProtocolError::Corrupt`] when the server answers with an error —
+    /// a reload refused (no reload source) or failed (damaged snapshot
+    /// directory) — with the server's message included.
+    pub fn reload(&mut self) -> Result<u64, ProtocolError> {
+        let request_id = self.fresh_id();
+        let response = self.call(&Request::Reload { request_id })?;
+        match response.body {
+            ResponseBody::ReloadAck { epoch } => Ok(epoch),
+            ResponseBody::Error { code, message } => Err(ProtocolError::Corrupt(format!(
+                "server answered reload with {code:?}: {message}"
+            ))),
+            other => Err(ProtocolError::Corrupt(format!(
+                "unexpected response body {other:?} to reload"
+            ))),
+        }
+    }
+
     /// Asks the server to shut down cleanly; returns once acknowledged.
     pub fn shutdown(&mut self) -> Result<(), ProtocolError> {
         let request_id = self.fresh_id();

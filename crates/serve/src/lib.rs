@@ -61,4 +61,4 @@ pub use protocol::{
     ErrorCode, IndexInfo, ProtocolError, Request, Response, ResponseBody, MAX_FRAME_LEN, MAX_K,
     PROTOCOL_VERSION, REQUEST_MAGIC, RESPONSE_MAGIC,
 };
-pub use server::{ServedIndex, Server, ServerConfig, ServerHandle, ServerStats};
+pub use server::{Reloader, ServedIndex, Server, ServerConfig, ServerHandle, ServerStats};

@@ -346,7 +346,16 @@ fn run_worker(args: &Args) {
         max_batch: args.max_batch,
         ..ServerConfig::default()
     };
-    let handle = match Server::spawn(report.indexes, args.addr.as_str(), config) {
+    // A reload frame re-runs exactly this boot (same directory, same
+    // registry, same backing) and swaps the zoo in as a fresh epoch —
+    // picking up snapshots rewritten by an ingesting harness run.
+    let snapshots = args.snapshots.clone();
+    let reloader: hydra_serve::Reloader = Box::new(move || {
+        boot_from_dir_with(&snapshots, &registry, options)
+            .map(|report| report.indexes)
+            .map_err(|e| e.to_string())
+    });
+    let handle = match Server::spawn_reloadable(report.indexes, args.addr.as_str(), config, Some(reloader)) {
         Ok(handle) => handle,
         Err(e) => {
             eprintln!("error: cannot bind {}: {e}", args.addr);
@@ -361,8 +370,8 @@ fn run_worker(args: &Args) {
     );
     let stats = handle.join();
     eprintln!(
-        "hydra-serve: clean shutdown after {} queries in {} batch calls over {} ticks ({} connections)",
-        stats.queries, stats.batch_calls, stats.ticks, stats.connections
+        "hydra-serve: clean shutdown after {} queries in {} batch calls over {} ticks ({} connections, {} reloads)",
+        stats.queries, stats.batch_calls, stats.ticks, stats.connections, stats.reloads
     );
 }
 

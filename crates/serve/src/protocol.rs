@@ -28,7 +28,8 @@
 //! u64 request id            (echoed verbatim in the response; 0 is
 //!                            reserved for protocol-level error responses
 //!                            and rejected as corrupt in requests)
-//! u8  op                    0 = query, 1 = list indexes, 2 = shutdown
+//! u8  op                    0 = query, 1 = list indexes, 2 = shutdown,
+//!                           3 = reload snapshots
 //! -- op 0 (query) only --
 //! str index name            (u16 length + UTF-8)
 //! u64 k                     (1 ..= MAX_K)
@@ -42,7 +43,7 @@
 //! ```text
 //! u64 request id
 //! u8  status                0 = answer, 1 = error, 2 = index list,
-//!                           3 = shutdown ack
+//!                           3 = shutdown ack, 4 = reload ack
 //! -- status 0 --            u64 count, then per neighbor u64 index + f32
 //!                           distance (bit pattern — answers are exact to
 //!                           the bit, so serving can be diffed against the
@@ -53,7 +54,8 @@
 //! -- status 2 --            u64 count, then per index: str name, str
 //!                           method, u64 series count, u64 series length,
 //!                           u8 capability bits (1 exact, 2 ng, 4 ε,
-//!                           8 δ-ε, 16 disk-resident)
+//!                           8 δ-ε, 16 disk-resident, 32 streaming-insert)
+//! -- status 4 --            u64 epoch now being served
 //! ```
 //!
 //! Trailing bytes after any payload are [`ProtocolError::Corrupt`] — a
@@ -197,6 +199,13 @@ pub enum Request {
         /// Client-chosen id echoed in the response.
         request_id: u64,
     },
+    /// Ask the server to reload its snapshot directory and atomically swap
+    /// the served index set to the fresh epoch. In-flight and concurrent
+    /// queries keep answering — each against one coherent epoch.
+    Reload {
+        /// Client-chosen id echoed in the response.
+        request_id: u64,
+    },
 }
 
 impl Request {
@@ -205,7 +214,8 @@ impl Request {
         match self {
             Request::Query { request_id, .. }
             | Request::ListIndexes { request_id }
-            | Request::Shutdown { request_id } => *request_id,
+            | Request::Shutdown { request_id }
+            | Request::Reload { request_id } => *request_id,
         }
     }
 
@@ -243,6 +253,7 @@ impl Request {
             }
             Request::ListIndexes { .. } => s.put_u8(1),
             Request::Shutdown { .. } => s.put_u8(2),
+            Request::Reload { .. } => s.put_u8(3),
         }
         frame(REQUEST_MAGIC, s.as_bytes())
     }
@@ -300,6 +311,7 @@ impl Request {
             }
             1 => Request::ListIndexes { request_id },
             2 => Request::Shutdown { request_id },
+            3 => Request::Reload { request_id },
             tag => return Err(ProtocolError::Corrupt(format!("unknown request op {tag}"))),
         };
         expect_consumed(&s)?;
@@ -373,6 +385,8 @@ pub struct IndexInfo {
     pub delta_epsilon_approximate: bool,
     /// Operates on disk-resident data.
     pub disk_resident: bool,
+    /// Accepts new series after the build (streaming ingest).
+    pub streaming_insert: bool,
 }
 
 impl IndexInfo {
@@ -389,6 +403,7 @@ impl IndexInfo {
             epsilon_approximate: caps.epsilon_approximate,
             delta_epsilon_approximate: caps.delta_epsilon_approximate,
             disk_resident: caps.disk_resident,
+            streaming_insert: caps.streaming_insert,
         }
     }
 
@@ -402,6 +417,7 @@ impl IndexInfo {
             epsilon_approximate: self.epsilon_approximate,
             delta_epsilon_approximate: self.delta_epsilon_approximate,
             disk_resident: self.disk_resident,
+            streaming_insert: self.streaming_insert,
             representation: Representation::Raw,
         }
     }
@@ -412,6 +428,7 @@ impl IndexInfo {
             | (self.epsilon_approximate as u8) << 2
             | (self.delta_epsilon_approximate as u8) << 3
             | (self.disk_resident as u8) << 4
+            | (self.streaming_insert as u8) << 5
     }
 }
 
@@ -439,6 +456,13 @@ pub enum ResponseBody {
     /// Acknowledges a shutdown request; the server exits once in-flight
     /// work has drained.
     ShutdownAck,
+    /// Acknowledges a reload request: the snapshot directory was re-read
+    /// and the served index set swapped.
+    ReloadAck {
+        /// The epoch now being served (monotonically increasing from 0 at
+        /// boot; each successful reload increments it).
+        epoch: u64,
+    },
 }
 
 /// One server response, echoing the request's id.
@@ -481,6 +505,10 @@ impl Response {
                 }
             }
             ResponseBody::ShutdownAck => s.put_u8(3),
+            ResponseBody::ReloadAck { epoch } => {
+                s.put_u8(4);
+                s.put_u64(*epoch);
+            }
         }
         frame(RESPONSE_MAGIC, s.as_bytes())
     }
@@ -526,7 +554,7 @@ impl Response {
                     let num_series = s.get_u64()?;
                     let series_len = s.get_u64()?;
                     let bits = s.get_u8()?;
-                    if bits >= 32 {
+                    if bits >= 64 {
                         return Err(ProtocolError::Corrupt(format!(
                             "unknown capability bits {bits:#x}"
                         )));
@@ -541,11 +569,15 @@ impl Response {
                         epsilon_approximate: bits & 4 != 0,
                         delta_epsilon_approximate: bits & 8 != 0,
                         disk_resident: bits & 16 != 0,
+                        streaming_insert: bits & 32 != 0,
                     });
                 }
                 ResponseBody::Indexes { indexes }
             }
             3 => ResponseBody::ShutdownAck,
+            4 => ResponseBody::ReloadAck {
+                epoch: s.get_u64()?,
+            },
             tag => {
                 return Err(ProtocolError::Corrupt(format!(
                     "unknown response status {tag}"
@@ -710,6 +742,10 @@ mod tests {
             roundtrip_request(&Request::Shutdown { request_id: u64::MAX }),
             Request::Shutdown { request_id: u64::MAX }
         );
+        assert_eq!(
+            roundtrip_request(&Request::Reload { request_id: 11 }),
+            Request::Reload { request_id: 11 }
+        );
     }
 
     #[test]
@@ -760,6 +796,7 @@ mod tests {
                     epsilon_approximate: true,
                     delta_epsilon_approximate: true,
                     disk_resident: true,
+                    streaming_insert: true,
                 }],
             },
         };
@@ -769,6 +806,11 @@ mod tests {
             body: ResponseBody::ShutdownAck,
         };
         assert_eq!(roundtrip_response(&ack), ack);
+        let reload = Response {
+            request_id: 4,
+            body: ResponseBody::ReloadAck { epoch: 7 },
+        };
+        assert_eq!(roundtrip_response(&reload), reload);
     }
 
     #[test]
@@ -783,9 +825,11 @@ mod tests {
             epsilon_approximate: true,
             delta_epsilon_approximate: true,
             disk_resident: true,
+            streaming_insert: true,
         };
         let caps = info.capabilities();
         assert!(!caps.exact && caps.ng_approximate && caps.delta_epsilon_approximate);
+        assert!(caps.streaming_insert);
         let listed = Response {
             request_id: 1,
             body: ResponseBody::Indexes {

@@ -572,6 +572,48 @@ fn connection_loop(inner: &Arc<Inner>, stream: TcpStream, conn_id: u64) {
                     break;
                 }
             }
+            Ok(Some(Request::Reload { request_id })) => {
+                // Fan the reload out to every worker, all-or-nothing like a
+                // query: a zoo where only some shards reloaded would merge
+                // answers across snapshot generations. The acked epoch is
+                // the minimum across workers — the number of reloads every
+                // worker has completed at least.
+                let mut epochs = Vec::with_capacity(inner.workers.len());
+                let mut failure = None;
+                for link in &inner.workers {
+                    match link.call(&inner.config, |request_id| Request::Reload { request_id }) {
+                        Ok(ResponseBody::ReloadAck { epoch }) => epochs.push(epoch),
+                        Ok(ResponseBody::Error { code, message }) => {
+                            failure = Some((code, format!("worker {}: {message}", link.addr)));
+                            break;
+                        }
+                        Ok(other) => {
+                            link.poison(&inner.config);
+                            failure = Some((
+                                ErrorCode::Unavailable,
+                                format!("worker {} answered a reload with {other:?}", link.addr),
+                            ));
+                            break;
+                        }
+                        Err(err) => {
+                            failure = Some(err);
+                            break;
+                        }
+                    }
+                }
+                let body = match failure {
+                    None => ResponseBody::ReloadAck {
+                        epoch: epochs.iter().copied().min().unwrap_or(0),
+                    },
+                    Some((code, message)) => {
+                        inner.worker_errors.fetch_add(1, Ordering::Relaxed);
+                        ResponseBody::Error { code, message }
+                    }
+                };
+                if !respond(Response { request_id, body }) {
+                    break;
+                }
+            }
             Ok(Some(Request::Shutdown { request_id })) => {
                 // Whole-deployment shutdown: acknowledge, pass the frame on
                 // to every reachable worker (best effort — a dead worker
@@ -631,6 +673,7 @@ mod tests {
                 epsilon_approximate: false,
                 delta_epsilon_approximate: false,
                 disk_resident: false,
+                streaming_insert: false,
                 representation: Representation::Raw,
             }
         }

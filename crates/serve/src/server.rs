@@ -32,12 +32,27 @@
 //! dimension mismatch) are error responses on the query's own id —
 //! exactly mirroring `search_batch`'s per-query `Err` positions — and
 //! never poison the rest of a batch.
+//!
+//! ## Hot reload
+//!
+//! The served index set lives in an **epoch**: an immutable
+//! `Arc<Epoch>` holding the zoo plus a monotonically increasing id.
+//! A reload frame (on a server spawned with a [`Reloader`]) builds a
+//! complete replacement zoo *outside* any lock, then swaps the epoch
+//! pointer. Queries are routed by index *name* and the batcher resolves
+//! the epoch pointer **once per tick**, so every answer in one
+//! micro-batch comes from one coherent epoch — a swap never tears a
+//! batch across generations, never drops a connection, and old epochs
+//! die only when their last in-flight tick finishes (the `Arc` keeps
+//! them alive exactly that long). A failed reload (damaged snapshot,
+//! vanished directory) answers with a typed error and leaves the
+//! current epoch serving untouched.
 
 use std::collections::BTreeMap;
 use std::io::{BufReader, Write};
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 use hydra::{AnnIndex, SearchKey, SearchParams};
@@ -63,6 +78,37 @@ impl std::fmt::Debug for ServedIndex {
             .field("num_series", &self.index.num_series())
             .finish()
     }
+}
+
+/// Rebuilds the full served index set on a reload request — typically by
+/// re-booting the snapshot directory the server originally came from
+/// (journals included). Runs on the requesting connection's reader
+/// thread, **outside** the epoch lock: a slow reload delays only its own
+/// connection, never in-flight queries. Returning `Err` leaves the
+/// current epoch serving untouched.
+pub type Reloader = Box<dyn Fn() -> Result<Vec<ServedIndex>, String> + Send + Sync>;
+
+/// One generation of the served zoo: the immutable index set every query
+/// admitted to a given batcher tick is answered from, plus the
+/// monotonically increasing id reload acks report (0 at boot, +1 per
+/// successful reload).
+struct Epoch {
+    id: u64,
+    indexes: Vec<ServedIndex>,
+}
+
+/// The spawn-time zoo validation, shared with reload: an empty or
+/// name-colliding replacement set must fail exactly like a bad boot.
+fn validate_zoo(indexes: &[ServedIndex]) -> Result<(), String> {
+    if indexes.is_empty() {
+        return Err("refusing to serve zero indexes".into());
+    }
+    let mut names: Vec<&str> = indexes.iter().map(|s| s.name.as_str()).collect();
+    names.sort_unstable();
+    if names.windows(2).any(|w| w[0] == w[1]) {
+        return Err("duplicate served index names".into());
+    }
+    Ok(())
 }
 
 /// Tuning knobs of the micro-batching loop.
@@ -110,20 +156,31 @@ pub struct ServerStats {
     pub batch_calls: u64,
     /// Connections accepted.
     pub connections: u64,
+    /// Successful epoch swaps (equals the final epoch id).
+    pub reloads: u64,
 }
 
 /// One queued query: everything the batcher needs to answer it and route
 /// the response back to its connection.
 struct Job {
     request_id: u64,
-    slot: usize,
+    /// The *name* of the index, resolved against the tick's epoch only
+    /// when the batch drains — a pre-resolved slot could dangle across a
+    /// reload that happened between enqueue and drain.
+    index: String,
     params: SearchParams,
     query: Vec<f32>,
     reply: mpsc::Sender<Vec<u8>>,
 }
 
 struct Inner {
-    indexes: Vec<ServedIndex>,
+    /// The current generation of the served zoo. Readers clone the `Arc`
+    /// (queries, listings); a reload swaps the pointer under the brief
+    /// write lock after building the replacement outside it.
+    epoch: RwLock<Arc<Epoch>>,
+    /// How to rebuild the zoo on a reload frame; `None` answers reloads
+    /// with a typed error.
+    reloader: Option<Reloader>,
     config: ServerConfig,
     addr: SocketAddr,
     shutdown: AtomicBool,
@@ -138,11 +195,35 @@ struct Inner {
     ticks: AtomicU64,
     batch_calls: AtomicU64,
     connections: AtomicU64,
+    reloads: AtomicU64,
 }
 
 impl Inner {
-    fn slot_of(&self, name: &str) -> Option<usize> {
-        self.indexes.iter().position(|s| s.name == name)
+    /// The epoch answering right now. Each caller holds its clone for one
+    /// coherent unit of work (a tick, a listing) — never across two.
+    fn current_epoch(&self) -> Arc<Epoch> {
+        Arc::clone(&self.epoch.read().expect("epoch lock"))
+    }
+
+    /// Rebuilds the zoo via the [`Reloader`] and swaps it in as the next
+    /// epoch. The rebuild runs outside any lock; only the pointer swap
+    /// (and the id increment that orders concurrent reloads) holds the
+    /// write lock.
+    fn reload(&self) -> Result<u64, String> {
+        let Some(reloader) = &self.reloader else {
+            return Err("this server was started without a reload source".into());
+        };
+        let indexes = reloader()?;
+        validate_zoo(&indexes)?;
+        let mut slot = self.epoch.write().expect("epoch lock");
+        let next = Arc::new(Epoch {
+            id: slot.id + 1,
+            indexes,
+        });
+        let id = next.id;
+        *slot = next;
+        self.reloads.fetch_add(1, Ordering::Relaxed);
+        Ok(id)
     }
 
     /// Tracks a live connection for shutdown. Closing the *read* half on
@@ -235,6 +316,7 @@ impl ServerHandle {
             ticks: self.inner.ticks.load(Ordering::Relaxed),
             batch_calls: self.inner.batch_calls.load(Ordering::Relaxed),
             connections: self.inner.connections.load(Ordering::Relaxed),
+            reloads: self.inner.reloads.load(Ordering::Relaxed),
         }
     }
 }
@@ -256,24 +338,28 @@ impl Server {
         addr: A,
         config: ServerConfig,
     ) -> std::io::Result<ServerHandle> {
-        if indexes.is_empty() {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidInput,
-                "refusing to serve zero indexes",
-            ));
-        }
-        let mut names: Vec<&str> = indexes.iter().map(|s| s.name.as_str()).collect();
-        names.sort_unstable();
-        if names.windows(2).any(|w| w[0] == w[1]) {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidInput,
-                "duplicate served index names",
-            ));
-        }
+        Self::spawn_reloadable(indexes, addr, config, None)
+    }
+
+    /// [`Server::spawn`] with a [`Reloader`]: reload frames rebuild the
+    /// zoo through it and atomically swap the served epoch. Without one
+    /// (`None`), reload frames are answered with a typed error.
+    ///
+    /// # Errors
+    /// Exactly the [`Server::spawn`] errors.
+    pub fn spawn_reloadable<A: ToSocketAddrs>(
+        indexes: Vec<ServedIndex>,
+        addr: A,
+        config: ServerConfig,
+        reloader: Option<Reloader>,
+    ) -> std::io::Result<ServerHandle> {
+        validate_zoo(&indexes)
+            .map_err(|msg| std::io::Error::new(std::io::ErrorKind::InvalidInput, msg))?;
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let inner = Arc::new(Inner {
-            indexes,
+            epoch: RwLock::new(Arc::new(Epoch { id: 0, indexes })),
+            reloader,
             config,
             addr,
             shutdown: AtomicBool::new(false),
@@ -283,6 +369,7 @@ impl Server {
             ticks: AtomicU64::new(0),
             batch_calls: AtomicU64::new(0),
             connections: AtomicU64::new(0),
+            reloads: AtomicU64::new(0),
         });
         let (job_tx, job_rx) = mpsc::channel::<Job>();
         let batcher = {
@@ -423,23 +510,12 @@ fn handle_request(
             params,
             query,
         } => {
-            let Some(slot) = inner.slot_of(&index) else {
-                inner.queries.fetch_add(1, Ordering::Relaxed);
-                let _ = reply_tx.send(
-                    Response {
-                        request_id,
-                        body: ResponseBody::Error {
-                            code: ErrorCode::UnknownIndex,
-                            message: format!("no index named {index:?} is served"),
-                        },
-                    }
-                    .encode(),
-                );
-                return;
-            };
+            // Name resolution is deferred to the batcher tick: the epoch
+            // answering this query is whichever one is current when its
+            // tick drains, never a slot index captured before a reload.
             let job = Job {
                 request_id,
-                slot,
+                index,
                 params,
                 query,
                 reply: reply_tx.clone(),
@@ -461,7 +537,8 @@ fn handle_request(
             }
         }
         Request::ListIndexes { request_id } => {
-            let indexes = inner
+            let epoch = inner.current_epoch();
+            let indexes = epoch
                 .indexes
                 .iter()
                 .map(|s| IndexInfo::describe(&s.name, s.index.as_ref()))
@@ -473,6 +550,20 @@ fn handle_request(
                 }
                 .encode(),
             );
+        }
+        Request::Reload { request_id } => {
+            // Synchronous on this connection's reader thread: the rebuild
+            // stalls only this connection's own pipeline; queries from
+            // other connections keep draining against the old epoch until
+            // the swap.
+            let body = match inner.reload() {
+                Ok(epoch) => ResponseBody::ReloadAck { epoch },
+                Err(message) => ResponseBody::Error {
+                    code: ErrorCode::Unavailable,
+                    message,
+                },
+            };
+            let _ = reply_tx.send(Response { request_id, body }.encode());
         }
         Request::Shutdown { request_id } => {
             let _ = reply_tx.send(
@@ -516,13 +607,32 @@ fn batcher_loop(inner: &Arc<Inner>, jobs: &mpsc::Receiver<Job>) {
 /// queries sharing both may legally share a `search_batch` call — and
 /// issue exactly one batched call per group, routing each result to its
 /// connection.
+///
+/// The epoch is resolved **once**, up front: every query of the tick —
+/// including unknown-index errors — is answered against the same index
+/// generation, so a concurrent reload can never mix epochs within one
+/// response batch.
 fn drain_tick(inner: &Arc<Inner>, batch: Vec<Job>) {
     inner.ticks.fetch_add(1, Ordering::Relaxed);
     inner.queries.fetch_add(batch.len() as u64, Ordering::Relaxed);
+    let epoch = inner.current_epoch();
     let mut groups: BTreeMap<(usize, SearchKey), Vec<Job>> = BTreeMap::new();
     for job in batch {
+        let Some(slot) = epoch.indexes.iter().position(|s| s.name == job.index) else {
+            let _ = job.reply.send(
+                Response {
+                    request_id: job.request_id,
+                    body: ResponseBody::Error {
+                        code: ErrorCode::UnknownIndex,
+                        message: format!("no index named {:?} is served", job.index),
+                    },
+                }
+                .encode(),
+            );
+            continue;
+        };
         groups
-            .entry((job.slot, job.params.key()))
+            .entry((slot, job.params.key()))
             .or_default()
             .push(job);
     }
@@ -530,7 +640,7 @@ fn drain_tick(inner: &Arc<Inner>, batch: Vec<Job>) {
         inner.batch_calls.fetch_add(1, Ordering::Relaxed);
         let params = group[0].params;
         let queries: Vec<&[f32]> = group.iter().map(|j| j.query.as_slice()).collect();
-        let results = inner.indexes[slot].index.search_batch(&queries, &params);
+        let results = epoch.indexes[slot].index.search_batch(&queries, &params);
         debug_assert_eq!(results.len(), group.len());
         // Pair results back by position, but never let a contract-breaking
         // index (fewer results than queries) leave a request unanswered —
@@ -550,7 +660,7 @@ fn drain_tick(inner: &Arc<Inner>, batch: Vec<Job>) {
                     code: ErrorCode::Search,
                     message: format!(
                         "index {:?} violated the search_batch contract: fewer results than queries",
-                        inner.indexes[slot].name
+                        epoch.indexes[slot].name
                     ),
                 },
             };
@@ -588,6 +698,7 @@ mod tests {
                 epsilon_approximate: false,
                 delta_epsilon_approximate: false,
                 disk_resident: false,
+                streaming_insert: false,
                 representation: Representation::Raw,
             }
         }
@@ -771,6 +882,92 @@ mod tests {
         client.call(&Request::Shutdown { request_id: 2 }).unwrap();
         drop(client);
         handle.join();
+    }
+
+    #[test]
+    fn reload_swaps_epochs_on_a_live_connection() {
+        // Each reload serves a fresh generation under a new name; the
+        // reloader fails from generation 3 on, pinning that a failed
+        // reload leaves the current epoch serving.
+        let gen = Arc::new(AtomicU64::new(0));
+        let make_gen = |n: u64| ServedIndex {
+            name: format!("gen{n}"),
+            index: Box::new(Echo {
+                batch_calls: AtomicU64::new(0),
+            }) as Box<dyn AnnIndex>,
+        };
+        let reloader: Reloader = {
+            let gen = Arc::clone(&gen);
+            Box::new(move || {
+                let n = gen.fetch_add(1, Ordering::SeqCst) + 1;
+                if n >= 3 {
+                    return Err("the snapshot directory is on fire".into());
+                }
+                Ok(vec![make_gen(n)])
+            })
+        };
+        let handle = Server::spawn_reloadable(
+            vec![make_gen(0)],
+            "127.0.0.1:0",
+            ServerConfig::default(),
+            Some(reloader),
+        )
+        .unwrap();
+        let mut client = crate::client::ServeClient::connect(handle.local_addr()).unwrap();
+        let ask = |client: &mut crate::client::ServeClient, name: &str, id: u64| {
+            client
+                .call(&Request::Query {
+                    request_id: id,
+                    index: name.into(),
+                    params: SearchParams::ng(1, 4),
+                    query: vec![9.0, 0.5],
+                })
+                .unwrap()
+                .body
+        };
+        assert!(matches!(ask(&mut client, "gen0", 1), ResponseBody::Answer { .. }));
+        // Swap to generation 1 — the same connection keeps working, the
+        // old name vanishes, the new one answers.
+        assert_eq!(client.reload().unwrap(), 1);
+        assert!(matches!(
+            ask(&mut client, "gen0", 2),
+            ResponseBody::Error {
+                code: ErrorCode::UnknownIndex,
+                ..
+            }
+        ));
+        assert!(matches!(ask(&mut client, "gen1", 3), ResponseBody::Answer { .. }));
+        let listed = client.list_indexes().unwrap();
+        assert_eq!(listed.len(), 1);
+        assert_eq!(listed[0].name, "gen1");
+        assert_eq!(client.reload().unwrap(), 2);
+        // Generation 3 fails to build: a typed error, and generation 2
+        // keeps serving untouched.
+        assert!(client.reload().is_err());
+        assert!(matches!(ask(&mut client, "gen2", 4), ResponseBody::Answer { .. }));
+        client.shutdown().unwrap();
+        drop(client);
+        let stats = handle.join();
+        assert_eq!(stats.reloads, 2);
+    }
+
+    #[test]
+    fn reload_without_a_source_is_a_typed_error() {
+        let handle = echo_server(1);
+        let mut client = crate::client::ServeClient::connect(handle.local_addr()).unwrap();
+        let resp = client.call(&Request::Reload { request_id: 6 }).unwrap();
+        assert!(matches!(
+            resp.body,
+            ResponseBody::Error {
+                code: ErrorCode::Unavailable,
+                ..
+            }
+        ));
+        // The zoo is untouched and still answering.
+        assert_eq!(client.list_indexes().unwrap()[0].name, "echo");
+        client.shutdown().unwrap();
+        drop(client);
+        assert_eq!(handle.join().reloads, 0);
     }
 
     #[test]

@@ -282,6 +282,7 @@ mod tests {
                 epsilon_approximate: false,
                 delta_epsilon_approximate: false,
                 disk_resident: false,
+                streaming_insert: false,
                 representation: hydra_core::Representation::Raw,
             }
         }

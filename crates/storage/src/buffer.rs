@@ -170,6 +170,19 @@ impl BufferPool {
         self.pages.contains_key(&page)
     }
 
+    /// Drops `page` from the pool if resident, without counting an
+    /// eviction — this is an *invalidation* (the cached frame no longer
+    /// reflects the store, e.g. because an append extended the page), not a
+    /// capacity decision. The next access misses and reloads fresh bytes.
+    pub fn remove(&mut self, page: u64) {
+        if let Some(slot) = self.pages.remove(&page) {
+            self.lru.remove(&slot.ts);
+            if let Some(frame) = slot.frame {
+                self.resident_values -= frame.len();
+            }
+        }
+    }
+
     /// Drops every resident page and zeroes the eviction counter (the paper
     /// clears OS caches between the index-building and query-answering
     /// steps).
@@ -289,6 +302,26 @@ mod tests {
         assert!(p.fetch(3).is_none());
         assert_eq!(p.resident_values(), 0);
         assert_eq!(p.len(), 0);
+    }
+
+    #[test]
+    fn remove_invalidates_without_counting_an_eviction() {
+        let mut p = BufferPool::new(2);
+        p.install(0, frame(&[1.0, 2.0]));
+        p.install(1, frame(&[3.0]));
+        p.remove(0);
+        assert!(!p.contains(0));
+        assert!(p.fetch(0).is_none(), "an invalidated page must miss");
+        assert_eq!(p.evictions(), 0, "invalidation is not an eviction");
+        assert_eq!(p.resident_values(), 1);
+        assert_eq!(p.len(), 1);
+        // Removing an absent page is a no-op.
+        p.remove(42);
+        assert_eq!(p.len(), 1);
+        // The freed slot is genuinely reusable without evicting.
+        p.install(2, frame(&[4.0]));
+        assert_eq!(p.evictions(), 0);
+        assert_eq!(p.len(), 2);
     }
 
     #[test]

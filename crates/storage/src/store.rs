@@ -127,6 +127,11 @@ struct FileBacked {
     file: std::fs::File,
     path: PathBuf,
     span: FileSpan,
+    /// Series appended *after* the store was attached (streaming ingest).
+    /// The backing file stays immutable; the tail is the resident overflow
+    /// holding records `span.records..`, flat in append order. Page frames
+    /// that straddle the file/tail boundary are assembled from both.
+    tail: Vec<f32>,
 }
 
 #[derive(Debug)]
@@ -271,6 +276,7 @@ impl SeriesStore {
                 file,
                 path: path.to_path_buf(),
                 span,
+                tail: Vec::new(),
             }),
         )?;
         let needed = (span.records as u64)
@@ -299,12 +305,17 @@ impl SeriesStore {
         matches!(self.backing, Backing::File(_))
     }
 
-    /// Appends one series, returning its record id. Only resident stores
-    /// grow; a file-backed store is attached to an immutable payload.
+    /// Appends one series, returning its record id.
+    ///
+    /// Both backings grow. A resident store extends its flat vector. A
+    /// file-backed store keeps its backing file immutable and accumulates
+    /// new records in a resident *tail* (records `span.records..`); the
+    /// page frame the new record lands on is invalidated in the buffer
+    /// pool, so readers never see a stale cached frame — growth keeps the
+    /// pool coherent.
     ///
     /// # Errors
-    /// [`Error::DimensionMismatch`] for a wrong series length,
-    /// [`Error::Storage`] on a file-backed store.
+    /// [`Error::DimensionMismatch`] for a wrong series length.
     pub fn append(&mut self, series: &[f32]) -> Result<usize> {
         if series.len() != self.series_len {
             return Err(Error::DimensionMismatch {
@@ -313,13 +324,15 @@ impl SeriesStore {
             });
         }
         let id = self.len();
+        let page = self.page_of(id);
         match &mut self.backing {
             Backing::Resident(data) => data.extend_from_slice(series),
             Backing::File(fb) => {
-                return Err(Error::Storage(format!(
-                    "cannot append to the file-backed store over {}",
-                    fb.path.display()
-                )))
+                fb.tail.extend_from_slice(series);
+                // The page now holding `id` may be cached from before the
+                // append (shorter, or missing the record entirely); drop it
+                // so the next access reloads the assembled frame.
+                self.state.lock().pool.remove(page);
             }
         }
         Ok(id)
@@ -329,7 +342,7 @@ impl SeriesStore {
     pub fn len(&self) -> usize {
         match &self.backing {
             Backing::Resident(data) => data.len() / self.series_len,
-            Backing::File(fb) => fb.span.records,
+            Backing::File(fb) => fb.span.records + fb.tail.len() / self.series_len,
         }
     }
 
@@ -387,7 +400,9 @@ impl SeriesStore {
         record as u64 / self.series_per_page()
     }
 
-    /// Reads the whole frame of `page` from the backing file.
+    /// Reads the whole frame of `page`: file bytes for records inside the
+    /// immutable span, resident tail values for records appended after the
+    /// store was attached (a frame freely straddles the boundary).
     ///
     /// # Panics
     /// Panics if the read fails: the span was validated when the store was
@@ -397,21 +412,31 @@ impl SeriesStore {
         use std::os::unix::fs::FileExt;
         let spp = self.series_per_page();
         let first = page * spp;
-        let count = spp.min(fb.span.records as u64 - first) as usize;
-        let bytes = count * self.series_bytes() as usize;
-        let mut buf = vec![0u8; bytes];
-        fb.file
-            .read_exact_at(&mut buf, fb.span.offset + first * self.series_bytes())
-            .unwrap_or_else(|e| {
-                panic!(
-                    "file-backed series store: reading page {page} of {} failed: {e}",
-                    fb.path.display()
-                )
-            });
-        let values: Vec<f32> = buf
-            .chunks_exact(4)
-            .map(|c| f32::from_bits(u32::from_le_bytes(c.try_into().unwrap())))
-            .collect();
+        let total = (fb.span.records + fb.tail.len() / self.series_len) as u64;
+        let count = spp.min(total - first) as usize;
+        let from_file = (fb.span.records as u64).saturating_sub(first).min(count as u64) as usize;
+        let mut values: Vec<f32> = Vec::with_capacity(count * self.series_len);
+        if from_file > 0 {
+            let bytes = from_file * self.series_bytes() as usize;
+            let mut buf = vec![0u8; bytes];
+            fb.file
+                .read_exact_at(&mut buf, fb.span.offset + first * self.series_bytes())
+                .unwrap_or_else(|e| {
+                    panic!(
+                        "file-backed series store: reading page {page} of {} failed: {e}",
+                        fb.path.display()
+                    )
+                });
+            values.extend(
+                buf.chunks_exact(4)
+                    .map(|c| f32::from_bits(u32::from_le_bytes(c.try_into().unwrap()))),
+            );
+        }
+        if from_file < count {
+            let lo = (first as usize + from_file - fb.span.records) * self.series_len;
+            let hi = (first as usize + count - fb.span.records) * self.series_len;
+            values.extend_from_slice(&fb.tail[lo..hi]);
+        }
         Arc::from(values)
     }
 
@@ -499,6 +524,75 @@ impl SeriesStore {
                         visit(record, &frame[off..off + self.series_len]);
                     }
                 }
+            }
+        }
+    }
+
+    /// Reads one series into `out` without touching the buffer pool or any
+    /// I/O counter — a maintenance hatch like [`SeriesStore::as_flat`], but
+    /// available on both backings. Streaming ingest uses it for the
+    /// maintenance reads growth requires (recomputing summaries, splitting
+    /// tree leaves, re-fingerprinting at save time): those must not perturb
+    /// the I/O economics the store exists to measure, and must never be
+    /// used on a query path.
+    ///
+    /// # Panics
+    /// Panics if `record` is out of bounds, or on a genuine disk fault.
+    pub fn read_uncharged(&self, record: usize, out: &mut Vec<f32>) {
+        assert!(record < self.len(), "record {record} out of bounds");
+        out.clear();
+        match &self.backing {
+            Backing::Resident(data) => {
+                let start = record * self.series_len;
+                out.extend_from_slice(&data[start..start + self.series_len]);
+            }
+            Backing::File(fb) => {
+                if record < fb.span.records {
+                    use std::os::unix::fs::FileExt;
+                    let mut buf = vec![0u8; self.series_bytes() as usize];
+                    fb.file
+                        .read_exact_at(&mut buf, fb.span.offset + record as u64 * self.series_bytes())
+                        .unwrap_or_else(|e| {
+                            panic!(
+                                "file-backed series store: reading record {record} of {} failed: {e}",
+                                fb.path.display()
+                            )
+                        });
+                    out.extend(
+                        buf.chunks_exact(4)
+                            .map(|c| f32::from_bits(u32::from_le_bytes(c.try_into().unwrap()))),
+                    );
+                } else {
+                    let start = (record - fb.span.records) * self.series_len;
+                    out.extend_from_slice(&fb.tail[start..start + self.series_len]);
+                }
+            }
+        }
+    }
+
+    /// Visits every stored series in record order without touching the
+    /// buffer pool or any I/O counter — the scan-shaped companion of
+    /// [`SeriesStore::read_uncharged`], used by save-time fingerprinting
+    /// and ingest-time retraining. Never use it on a query path.
+    pub fn for_each_series(&self, visit: &mut dyn FnMut(usize, &[f32])) {
+        match &self.backing {
+            Backing::Resident(data) => {
+                for (record, series) in data.chunks_exact(self.series_len).enumerate() {
+                    visit(record, series);
+                }
+            }
+            Backing::File(fb) => {
+                let spp = self.series_per_page() as usize;
+                let len = self.len();
+                let mut record = 0usize;
+                for page in 0..self.len().div_ceil(spp) {
+                    let frame = self.load_frame(fb, page as u64);
+                    for series in frame.chunks_exact(self.series_len) {
+                        visit(record, series);
+                        record += 1;
+                    }
+                }
+                debug_assert_eq!(record, len);
             }
         }
     }
@@ -792,13 +886,91 @@ mod tests {
     }
 
     #[test]
-    fn file_backed_store_rejects_append_and_as_flat() {
+    fn file_backed_store_rejects_as_flat_but_accepts_append() {
         let (mut store, path) = file_store(4, 4, StorageConfig::on_disk(), "hatch");
-        assert!(matches!(
-            store.append(&[0.0; 4]),
-            Err(Error::Storage(_))
-        ));
         assert!(matches!(store.as_flat(), Err(Error::Storage(_))));
+        assert!(store.append(&[0.0; 3]).is_err(), "dimension still checked");
+        assert_eq!(store.append(&[90.0, 91.0, 92.0, 93.0]).unwrap(), 4);
+        assert_eq!(store.len(), 5);
+        assert!(
+            matches!(store.as_flat(), Err(Error::Storage(_))),
+            "growth does not create a resident flat view"
+        );
+        let mut stats = QueryStats::new();
+        assert_eq!(&*store.read(4, &mut stats), &[90.0, 91.0, 92.0, 93.0]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn file_backed_append_grows_the_store_and_keeps_the_pool_coherent() {
+        // 2 series of length 4 per page: appends land mid-page, on the
+        // file/tail boundary page, and on fresh tail-only pages.
+        let config = StorageConfig {
+            page_bytes: 32,
+            buffer_pool_pages: 8,
+        };
+        let (mut store, path) = file_store(3, 4, config, "grow");
+        let mut stats = QueryStats::new();
+        // Warm the pool on the boundary page (page 1 holds record 2 only).
+        assert_eq!(store.read(2, &mut stats)[0], 8.0);
+        // Record 3 completes page 1: the cached short frame must not be
+        // served stale.
+        assert_eq!(store.append(&[100.0, 101.0, 102.0, 103.0]).unwrap(), 3);
+        assert_eq!(store.len(), 4);
+        assert_eq!(&*store.read(3, &mut stats), &[100.0, 101.0, 102.0, 103.0]);
+        // Records 4 and 5 form a tail-only page.
+        store.append(&[110.0; 4]).unwrap();
+        store.append(&[120.0; 4]).unwrap();
+        assert_eq!(store.total_bytes(), 6 * 16);
+        // Every record — file span, boundary page, pure tail — reads back
+        // exactly, before and after a pool reset.
+        for round in 0..2 {
+            let expected_first = [0.0f32, 4.0, 8.0, 100.0, 110.0, 120.0];
+            for (r, &first) in expected_first.iter().enumerate() {
+                let s = store.read(r, &mut stats);
+                assert_eq!(s[0], first, "record {r}, round {round}");
+                assert_eq!(s.len(), 4);
+            }
+            store.reset_io();
+        }
+        // read_range crosses the boundary seamlessly.
+        let mut seen = Vec::new();
+        store.read_range(1, 5, &mut stats, &mut |id, s| seen.push((id, s[0])));
+        assert_eq!(
+            seen,
+            vec![(1, 4.0), (2, 8.0), (3, 100.0), (4, 110.0), (5, 120.0)]
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn uncharged_reads_and_scans_match_charged_reads_on_both_backings() {
+        let config = StorageConfig {
+            page_bytes: 32, // 2 series of length 4 per page
+            buffer_pool_pages: 2,
+        };
+        let mut resident = small_store(7, 4, config);
+        let (mut file, path) = file_store(7, 4, config, "uncharged");
+        resident.append(&[70.0, 71.0, 72.0, 73.0]).unwrap();
+        file.append(&[70.0, 71.0, 72.0, 73.0]).unwrap();
+        for store in [&resident, &file] {
+            let mut buf = Vec::new();
+            let mut scanned: Vec<(usize, Vec<f32>)> = Vec::new();
+            store.for_each_series(&mut |id, s| scanned.push((id, s.to_vec())));
+            assert_eq!(scanned.len(), 8);
+            for (id, s) in &scanned {
+                store.read_uncharged(*id, &mut buf);
+                assert_eq!(&buf, s, "record {id}");
+            }
+            assert_eq!(
+                store.io_snapshot(),
+                IoSnapshot::default(),
+                "maintenance reads must not charge any I/O"
+            );
+            let mut stats = QueryStats::new();
+            let charged = store.read(5, &mut stats);
+            assert_eq!(&*charged, &scanned[5].1[..]);
+        }
         std::fs::remove_file(&path).ok();
     }
 

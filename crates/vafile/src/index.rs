@@ -8,7 +8,7 @@ use hydra_core::{
 };
 use hydra_persist::{
     codec, fingerprint_dataset, Fingerprint, PersistError, PersistentIndex, Section,
-    SnapshotReader, SnapshotWriter, StoreBacking,
+    SeriesFingerprinter, SnapshotReader, SnapshotWriter, StoreBacking,
 };
 use hydra_storage::{SeriesStore, StorageConfig};
 use hydra_summarize::quantization::ScalarQuantizer;
@@ -59,6 +59,10 @@ pub struct VaPlusFile {
     /// Content fingerprint of the dataset, captured at build/load time so
     /// snapshotting never has to re-read the (possibly file-backed) store.
     data_fingerprint: u64,
+    /// Whether series were ingested after the build/load; a grown index's
+    /// cached `data_fingerprint` is stale, so [`PersistentIndex::save`]
+    /// recomputes it from a store scan instead.
+    grown: bool,
 }
 
 impl VaPlusFile {
@@ -97,7 +101,53 @@ impl VaPlusFile {
             ),
             num_series: dataset.len(),
             data_fingerprint: fingerprint_dataset(dataset),
+            grown: false,
         })
+    }
+
+    /// The content fingerprint of the collection as currently held: the
+    /// build/load-time cache while pristine, or a fresh dataset-order store
+    /// scan once the index has grown (the store keeps dataset order, so the
+    /// scan reproduces [`fingerprint_dataset`] of the grown collection).
+    fn current_data_fingerprint(&self) -> u64 {
+        if !self.grown {
+            return self.data_fingerprint;
+        }
+        let mut f = SeriesFingerprinter::new(self.series_len, self.num_series);
+        self.store.for_each_series(&mut |_, series| {
+            f.push_series(series);
+        });
+        f.finish()
+    }
+
+    /// Re-derives everything a fresh build computes — DFT summaries, the
+    /// equi-depth quantizer, the whole approximation file and the δ-ε
+    /// histogram — from an unaccounted scan of the (grown) store. Eager
+    /// re-quantization is what makes streaming ingest *equivalent* to a
+    /// fresh build: both paths train the quantizer over exactly the same
+    /// summaries in the same order, so every derived byte matches.
+    fn requantize_all(&mut self) {
+        let dft = &self.dft;
+        let mut summaries: Vec<Vec<f32>> = Vec::with_capacity(self.num_series);
+        self.store.for_each_series(&mut |_, series| {
+            summaries.push(dft.transform(series));
+        });
+        let refs: Vec<&[f32]> = summaries.iter().map(|v| v.as_slice()).collect();
+        self.quantizer = ScalarQuantizer::train(&refs, self.config.bits_per_dim);
+        self.approximations = summaries.iter().map(|s| self.quantizer.encode(s)).collect();
+        let store = &self.store;
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        self.histogram = DistanceHistogram::from_pairwise(
+            self.num_series,
+            self.config.histogram_samples,
+            256,
+            self.config.seed,
+            |i, j| {
+                store.read_uncharged(i, &mut a);
+                store.read_uncharged(j, &mut b);
+                hydra_core::euclidean(&a, &b)
+            },
+        );
     }
 
     /// The configuration the index was built with.
@@ -243,7 +293,7 @@ impl PersistentIndex for VaPlusFile {
     fn save(&self, path: &Path) -> hydra_persist::Result<()> {
         let mut w = SnapshotWriter::new(
             Self::KIND,
-            snapshot_fingerprint(&self.config, self.data_fingerprint),
+            snapshot_fingerprint(&self.config, self.current_data_fingerprint()),
         );
 
         let mut meta = Section::new();
@@ -338,6 +388,7 @@ impl PersistentIndex for VaPlusFile {
             histogram,
             num_series,
             data_fingerprint,
+            grown: false,
         })
     }
 }
@@ -354,6 +405,7 @@ impl AnnIndex for VaPlusFile {
             epsilon_approximate: true,
             delta_epsilon_approximate: true,
             disk_resident: true,
+            streaming_insert: true,
             representation: Representation::Dft,
         }
     }
@@ -379,6 +431,35 @@ impl AnnIndex for VaPlusFile {
         self.validate(query)?;
         let mut candidates = Vec::new();
         Ok(self.skip_sequential(query, params, &mut candidates))
+    }
+
+    /// Streaming ingest by append-and-requantize: the batch is appended to
+    /// the raw-series store (which keeps dataset order), then the quantizer,
+    /// approximation file and histogram are re-derived over the grown
+    /// collection exactly as a fresh build would derive them — so answers
+    /// are bit-identical to building over the full collection at once.
+    fn insert_batch(&mut self, batch: &[&[f32]]) -> Result<()> {
+        for series in batch {
+            if series.len() != self.series_len {
+                return Err(Error::DimensionMismatch {
+                    expected: self.series_len,
+                    found: series.len(),
+                });
+            }
+        }
+        if batch.is_empty() {
+            return Ok(());
+        }
+        for series in batch {
+            self.store.append(series)?;
+            self.num_series += 1;
+        }
+        self.requantize_all();
+        self.grown = true;
+        // A fresh build hands out a store with clean I/O counters; ingest
+        // restores the same post-build state.
+        self.store.reset_io();
+        Ok(())
     }
 
     /// Batched search: the phase-1 candidate buffer (one `(lower bound, id)`
@@ -564,6 +645,65 @@ mod tests {
             Err(hydra_persist::PersistError::FingerprintMismatch { .. })
         ));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn ingest_matches_fresh_build_bit_for_bit() {
+        let data = random_walk(300, 64, 23);
+        let config = VaPlusFileConfig {
+            dft_coefficients: 8,
+            bits_per_dim: 4,
+            storage: StorageConfig::in_memory(),
+            histogram_samples: 2_000,
+            seed: 3,
+        };
+        let fresh = VaPlusFile::build(&data, config).unwrap();
+
+        let head =
+            Dataset::from_flat(64, data.as_flat()[..200 * 64].to_vec()).unwrap();
+        let mut grown = VaPlusFile::build(&head, config).unwrap();
+        let tail: Vec<&[f32]> = (200..300).map(|i| data.series(i)).collect();
+        grown.insert_batch(&tail[..37]).unwrap();
+        grown.insert_batch(&tail[37..]).unwrap();
+
+        assert_eq!(grown.num_series(), fresh.num_series());
+        for qi in [0usize, 57, 250, 299] {
+            let q = data.series(qi);
+            for params in [
+                SearchParams::exact(5),
+                SearchParams::ng(5, 10),
+                SearchParams::delta_epsilon(5, 0.9, 1.0),
+            ] {
+                let a = fresh.search(q, &params).unwrap();
+                let b = grown.search(q, &params).unwrap();
+                assert_eq!(a.neighbors.len(), b.neighbors.len());
+                for (x, y) in a.neighbors.iter().zip(b.neighbors.iter()) {
+                    assert_eq!(x.index, y.index);
+                    assert_eq!(x.distance.to_bits(), y.distance.to_bits());
+                }
+                assert_eq!(a.stats, b.stats);
+            }
+        }
+
+        // A grown index snapshots byte-identically to the fresh build: the
+        // save-time fingerprint recompute covers the ingested series.
+        let dir = std::env::temp_dir();
+        let fresh_path = dir.join(format!("hydra-vafile-fresh-{}.snap", std::process::id()));
+        let grown_path = dir.join(format!("hydra-vafile-grown-{}.snap", std::process::id()));
+        fresh.save(&fresh_path).unwrap();
+        grown.save(&grown_path).unwrap();
+        assert_eq!(
+            std::fs::read(&fresh_path).unwrap(),
+            std::fs::read(&grown_path).unwrap(),
+            "a grown VA+file must snapshot byte-identically to a fresh build"
+        );
+        std::fs::remove_file(&fresh_path).ok();
+        std::fs::remove_file(&grown_path).ok();
+
+        // Dimension mismatches reject the whole batch without growing.
+        let before = grown.num_series();
+        assert!(grown.insert_batch(&[&[0.0f32; 3]]).is_err());
+        assert_eq!(grown.num_series(), before);
     }
 
     #[test]

@@ -39,6 +39,7 @@ impl AnnIndex for Scan {
             epsilon_approximate: false,
             delta_epsilon_approximate: false,
             disk_resident: false,
+            streaming_insert: false,
             representation: Representation::Raw,
         }
     }

@@ -163,6 +163,7 @@ fn serve_scripted(stream: TcpStream, shard: &hydra::Dataset, mode: &Mutex<Mode>,
                             epsilon_approximate: false,
                             delta_epsilon_approximate: false,
                             disk_resident: false,
+                            streaming_insert: false,
                         }],
                     },
                 });
@@ -194,6 +195,20 @@ fn serve_scripted(stream: TcpStream, shard: &hydra::Dataset, mode: &Mutex<Mode>,
                         }
                         return;
                     }
+                }
+            }
+            Request::Reload { request_id } => {
+                // Like a real worker spawned without a `Reloader`: a typed
+                // refusal, the connection stays up.
+                let ok = respond(Response {
+                    request_id,
+                    body: ResponseBody::Error {
+                        code: ErrorCode::Unavailable,
+                        message: "scripted worker has no reloader".into(),
+                    },
+                });
+                if !ok {
+                    return;
                 }
             }
             Request::Shutdown { request_id } => {

@@ -254,7 +254,7 @@ fn corruption_matrix_pins_every_error_class() {
         use hydra::persist::Section;
         let mut s = Section::new();
         s.put_u64(1);
-        s.put_u8(3); // unknown op
+        s.put_u8(4); // unknown op (3 is Reload)
         cases.push(s.as_bytes().to_vec());
         let mut s = Section::new();
         s.put_u64(1);
@@ -410,6 +410,7 @@ mod router_path {
                                 epsilon_approximate: false,
                                 delta_epsilon_approximate: false,
                                 disk_resident: false,
+                                streaming_insert: false,
                             }],
                         },
                     }
@@ -426,6 +427,16 @@ mod router_path {
                         }
                     }
                 }
+                Request::Reload { request_id } => Some(
+                    Response {
+                        request_id,
+                        body: ResponseBody::Error {
+                            code: hydra_serve::ErrorCode::Unavailable,
+                            message: "fuzz worker has no reloader".into(),
+                        },
+                    }
+                    .encode(),
+                ),
                 Request::Shutdown { request_id } => {
                     let _ = write_half.write_all(
                         &Response {
