@@ -30,15 +30,20 @@
 //! answers merged by (distance, global id). Exact and guarantee-class
 //! accuracy is identical to the unsharded run; ng-approximate rows may
 //! improve (the effort knob applies per shard).
+//!
+//! Pass `--trace-out FILE` to additionally write a per-stage breakdown
+//! CSV (one row per sweep point per recorded pipeline stage: call count,
+//! seconds, and I/O) — where each point's query time actually went.
 
 use hydra_bench::{
     bench_flags, build_or_load_methods, in_memory_datasets, print_header, print_row,
-    run_point_threaded, sweep_settings,
+    run_point_threaded, sweep_settings, TraceWriter,
 };
 
 fn main() {
     let flags = bench_flags(true);
     let threads = flags.threads;
+    let mut tracer = TraceWriter::from_flags(&flags);
     print_header();
     let k = 100;
     for dataset in in_memory_datasets(k) {
@@ -49,6 +54,19 @@ fn main() {
                 for (setting, params) in sweep_settings(built.index.as_ref(), k, guarantees) {
                     let (map, report) =
                         run_point_threaded(built.index.as_ref(), &dataset, &params, threads);
+                    if let Some(w) = tracer.as_mut() {
+                        w.record(
+                            &format!("fig3-{mode}"),
+                            dataset.name,
+                            built.index.name(),
+                            &setting,
+                            &report.trace,
+                        )
+                        .unwrap_or_else(|e| {
+                            eprintln!("error: cannot write --trace-out row: {e}");
+                            std::process::exit(2);
+                        });
+                    }
                     print_row(
                         &format!("fig3-throughput-{mode}"),
                         dataset.name,

@@ -1,0 +1,166 @@
+//! `hydra_stat`: a `top`-style live view of a running `hydra-serve`
+//! server (or router), built on the stats frame of the serving protocol.
+//!
+//! ```text
+//! hydra_stat --addr HOST:PORT            # refresh every 2 s until Ctrl-C
+//! hydra_stat --addr HOST:PORT --once     # one scrape to stdout, then exit
+//! hydra_stat --addr HOST:PORT --interval-ms 500
+//! ```
+//!
+//! Each refresh opens one `Stats` request over the existing connection and
+//! prints the returned Prometheus text exposition verbatim — `hydra_stat`
+//! adds no interpretation beyond a screen clear and a timestamp header, so
+//! what it shows is exactly what a real scraper would ingest. `--once`
+//! (scrape to stdout, no screen control) is the scriptable spelling the CI
+//! observability smoke uses.
+//!
+//! Diagnostics go to stderr; scraped text goes to stdout.
+
+use std::time::Duration;
+
+use hydra_serve::ServeClient;
+
+struct Args {
+    addr: String,
+    once: bool,
+    interval: Duration,
+}
+
+fn parse_args(args: &[String]) -> Result<Args, String> {
+    let mut addr: Option<String> = None;
+    let mut once = false;
+    let mut interval = Duration::from_secs(2);
+    let mut interval_seen = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value_of = |name: &str| -> Option<Result<String, String>> {
+            if arg == name {
+                Some(
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| format!("{name} requires a value")),
+                )
+            } else {
+                arg.strip_prefix(&format!("{name}=")).map(|v| Ok(v.to_string()))
+            }
+        };
+        if let Some(value) = value_of("--addr") {
+            if addr.is_some() {
+                return Err("--addr given more than once".into());
+            }
+            let value = value?;
+            if value.is_empty() {
+                return Err("--addr expects HOST:PORT".into());
+            }
+            addr = Some(value);
+        } else if arg == "--once" {
+            if once {
+                return Err("--once given more than once".into());
+            }
+            once = true;
+        } else if let Some(value) = value_of("--interval-ms") {
+            if interval_seen {
+                return Err("--interval-ms given more than once".into());
+            }
+            interval_seen = true;
+            let value = value?;
+            interval = match value.parse::<u64>() {
+                Ok(ms) if ms > 0 => Duration::from_millis(ms),
+                _ => {
+                    return Err(format!(
+                        "--interval-ms expects a positive integer, got {value:?}"
+                    ))
+                }
+            };
+        } else {
+            return Err(format!(
+                "unrecognized argument {arg:?} (accepted: --addr HOST:PORT, --once, \
+                 --interval-ms N)"
+            ));
+        }
+    }
+    let addr = addr.ok_or("--addr HOST:PORT is required")?;
+    if once && interval_seen {
+        return Err("--interval-ms is meaningless with --once".into());
+    }
+    Ok(Args {
+        addr,
+        once,
+        interval,
+    })
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&raw) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    };
+    let mut client = match ServeClient::connect(args.addr.as_str()) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("error: cannot connect to {}: {e}", args.addr);
+            std::process::exit(2);
+        }
+    };
+    let mut scrapes: u64 = 0;
+    loop {
+        let text = match client.stats() {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("error: stats scrape of {} failed: {e}", args.addr);
+                std::process::exit(2);
+            }
+        };
+        scrapes += 1;
+        if args.once {
+            print!("{text}");
+            return;
+        }
+        // ANSI clear + home, like `top` — the exposition itself is
+        // printed untouched below the header line.
+        print!("\x1b[2J\x1b[H");
+        println!(
+            "hydra_stat: {} (scrape #{scrapes}, every {:?}; Ctrl-C to quit)",
+            args.addr, args.interval
+        );
+        println!();
+        print!("{text}");
+        use std::io::Write as _;
+        std::io::stdout().flush().ok();
+        std::thread::sleep(args.interval);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parser_is_strict_about_flags() {
+        let a = parse_args(&args(&["--addr", "127.0.0.1:7878"])).unwrap();
+        assert_eq!(a.addr, "127.0.0.1:7878");
+        assert!(!a.once);
+        assert_eq!(a.interval, Duration::from_secs(2));
+        let a = parse_args(&args(&["--addr=h:1", "--once"])).unwrap();
+        assert!(a.once);
+        let a = parse_args(&args(&["--addr=h:1", "--interval-ms=500"])).unwrap();
+        assert_eq!(a.interval, Duration::from_millis(500));
+        assert!(parse_args(&args(&[])).is_err(), "--addr is required");
+        assert!(parse_args(&args(&["--addr"])).is_err());
+        assert!(parse_args(&args(&["--addr="])).is_err());
+        assert!(parse_args(&args(&["--addr=h:1", "--addr=h:2"])).is_err());
+        assert!(parse_args(&args(&["--addr=h:1", "--interval-ms", "0"])).is_err());
+        assert!(parse_args(&args(&["--addr=h:1", "--interval-ms", "soon"])).is_err());
+        assert!(parse_args(&args(&["--addr=h:1", "--once", "--once"])).is_err());
+        assert!(parse_args(&args(&["--addr=h:1", "--once", "--interval-ms=5"])).is_err());
+        assert!(parse_args(&args(&["--addr=h:1", "--top"])).is_err());
+    }
+}

@@ -489,6 +489,12 @@ pub struct BenchFlags {
     /// what the CI ingest smoke diffs. Incompatible with `--load-index`
     /// (a loaded index has no build phase to split).
     pub ingest_split: Option<f64>,
+    /// Stage-trace CSV file (`--trace-out FILE`): each sweep point appends
+    /// one row per recorded [`hydra_obs::Stage`] of its workload's
+    /// [`hydra_obs::QueryTrace`] — where the time of a figure's queries
+    /// went (fan-out vs. per-shard search) and what I/O each stage did.
+    /// `None` (the default) records nothing and costs nothing.
+    pub trace_out: Option<PathBuf>,
 }
 
 impl Default for BenchFlags {
@@ -502,6 +508,7 @@ impl Default for BenchFlags {
             out_of_core: false,
             shards: 1,
             ingest_split: None,
+            trace_out: None,
         }
     }
 }
@@ -595,6 +602,15 @@ pub fn parse_bench_flags(
                     ))
                 }
             };
+        } else if let Some(value) = value_of("--trace-out") {
+            let value = value?;
+            if flags.trace_out.is_some() {
+                return Err("--trace-out given more than once".into());
+            }
+            if value.is_empty() {
+                return Err("--trace-out expects a file path".into());
+            }
+            flags.trace_out = Some(PathBuf::from(value));
         } else if let Some(value) = value_of("--shards") {
             let value = value?;
             if shards_seen {
@@ -608,7 +624,7 @@ pub fn parse_bench_flags(
         } else {
             return Err(format!(
                 "unrecognized argument {arg:?} (accepted: {}--save-index DIR, --load-index DIR, \
-                 --pool-pages N, --out-of-core, --shards S, --ingest-split F)",
+                 --pool-pages N, --out-of-core, --shards S, --ingest-split F, --trace-out FILE)",
                 if threads_allowed { "--threads N, " } else { "" }
             ));
         }
@@ -646,6 +662,81 @@ pub fn bench_flags(threads_allowed: bool) -> BenchFlags {
             eprintln!("error: {msg}");
             std::process::exit(2);
         }
+    }
+}
+
+/// Writes the `--trace-out FILE` stage-breakdown CSV: one row per
+/// recorded stage per sweep point, with the stage's call count,
+/// wall-clock seconds, and I/O counters — the workload-level view of the
+/// same [`hydra_obs::QueryTrace`] the server's slow-query log prints
+/// per query. Stages a run never enters (e.g. fan-out in a sequential
+/// run) produce no row.
+pub struct TraceWriter {
+    out: std::io::BufWriter<std::fs::File>,
+}
+
+impl TraceWriter {
+    /// The header row of the trace CSV.
+    pub const HEADER: &'static str =
+        "figure,dataset,method,setting,stage,calls,seconds,bytes_read,random_ios,sequential_ios";
+
+    /// Creates (truncating) `path` and writes the header.
+    ///
+    /// # Errors
+    /// The underlying [`std::io::Error`] if the file cannot be created or
+    /// written.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        use std::io::Write as _;
+        let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+        writeln!(out, "{}", Self::HEADER)?;
+        Ok(Self { out })
+    }
+
+    /// Opens the writer a figure binary's flags ask for: `Some` under
+    /// `--trace-out FILE` (exiting with an error if the file cannot be
+    /// created — a silently traceless run must not masquerade as a traced
+    /// one), `None` otherwise.
+    pub fn from_flags(flags: &BenchFlags) -> Option<Self> {
+        let path = flags.trace_out.as_deref()?;
+        match Self::create(path) {
+            Ok(writer) => Some(writer),
+            Err(e) => {
+                eprintln!("error: cannot create --trace-out {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Appends the recorded stages of one sweep point's trace.
+    ///
+    /// # Errors
+    /// The underlying [`std::io::Error`] of a failed write.
+    pub fn record(
+        &mut self,
+        figure: &str,
+        dataset: &str,
+        method: &str,
+        setting: &str,
+        trace: &hydra_obs::QueryTrace,
+    ) -> std::io::Result<()> {
+        use std::io::Write as _;
+        for stage in hydra_obs::Stage::ALL {
+            let span = trace.span(stage);
+            if span.calls == 0 {
+                continue;
+            }
+            writeln!(
+                self.out,
+                "{figure},{dataset},{method},{setting},{},{},{:.6},{},{},{}",
+                stage.name(),
+                span.calls,
+                span.nanos as f64 / 1e9,
+                span.io.bytes_read,
+                span.io.random_ios,
+                span.io.sequential_ios,
+            )?;
+        }
+        self.out.flush()
     }
 }
 
@@ -819,6 +910,50 @@ mod tests {
         )
         .unwrap();
         assert_eq!(f.ingest_split, Some(0.5), "--ingest-split composes with --save-index");
+        // Trace-out flag: both spellings, strict about garbage.
+        assert_eq!(parse_bench_flags(&args(&[]), true).unwrap().trace_out, None);
+        let f = parse_bench_flags(&args(&["--trace-out", "/tmp/t.csv"]), true).unwrap();
+        assert_eq!(f.trace_out.as_deref(), Some(Path::new("/tmp/t.csv")));
+        let f = parse_bench_flags(&args(&["--trace-out=t.csv"]), false).unwrap();
+        assert_eq!(f.trace_out.as_deref(), Some(Path::new("t.csv")));
+        assert!(parse_bench_flags(&args(&["--trace-out"]), true).is_err());
+        assert!(parse_bench_flags(&args(&["--trace-out="]), true).is_err());
+        assert!(
+            parse_bench_flags(&args(&["--trace-out=a", "--trace-out=b"]), true).is_err()
+        );
+    }
+
+    #[test]
+    fn trace_writer_emits_one_row_per_recorded_stage() {
+        let path = std::env::temp_dir().join(format!(
+            "hydra-bench-trace-{}.csv",
+            std::process::id()
+        ));
+        let d = make_dataset("rand256", 200, 32, 5, 91);
+        let dstree = DsTree::build(&d.data, DsTreeConfig::default()).unwrap();
+        let params = SearchParams::ng(5, 8);
+        let (_, seq) = run_point_threaded(&dstree, &d, &params, 1);
+        let (_, par) = run_point_threaded(&dstree, &d, &params, 3);
+        let mut w = TraceWriter::create(&path).unwrap();
+        w.record("fig-test", d.name, dstree.name(), "nprobe=8", &seq.trace).unwrap();
+        w.record("fig-test", d.name, dstree.name(), "nprobe=8", &par.trace).unwrap();
+        drop(w);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], TraceWriter::HEADER);
+        // Sequential run: shard_search only. Parallel run: + fan_out.
+        let stages: Vec<&str> = lines[1..]
+            .iter()
+            .map(|l| l.split(',').nth(4).unwrap())
+            .collect();
+        assert_eq!(stages, vec!["shard_search", "fan_out", "shard_search"]);
+        for line in &lines[1..] {
+            assert_eq!(line.split(',').count(), 10, "malformed row {line:?}");
+        }
+        // The sequential row's calls column is the workload size.
+        let calls: u64 = lines[1].split(',').nth(5).unwrap().parse().unwrap();
+        assert_eq!(calls, seq.num_queries as u64);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -12,7 +12,7 @@
 
 use crate::error::Result;
 use crate::query::{SearchParams, SearchResult};
-use crate::stats::QueryStats;
+use crate::stats::{QueryStats, StoreCounters};
 
 /// How a method summarizes (represents) the data, mirroring the
 /// "Representation" column of Table 1 in the paper.
@@ -174,6 +174,19 @@ pub trait AnnIndex: Send + Sync {
             "{} does not support streaming ingest",
             self.name()
         )))
+    }
+
+    /// Cumulative lifetime counters of the series store backing this
+    /// index, for live observability scrapes.
+    ///
+    /// `None` (the default) means the index holds no series store —
+    /// purely in-memory methods (HNSW, IMI, FLANN) have no I/O economy
+    /// to report. Disk-capable methods return their store's running
+    /// totals; sharded indexes return the sum over their shards.
+    /// Reading the counters must never perturb them (a scrape is not a
+    /// query).
+    fn store_counters(&self) -> Option<StoreCounters> {
+        None
     }
 }
 

@@ -48,4 +48,4 @@ pub use query::{
 };
 pub use search::{knn_search, KnnSearcher};
 pub use series::{znormalize, znormalized, Dataset};
-pub use stats::QueryStats;
+pub use stats::{QueryStats, StoreCounters};

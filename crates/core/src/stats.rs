@@ -49,6 +49,26 @@ impl QueryStats {
         self.delta_stop_triggered |= other.delta_stop_triggered;
     }
 
+    /// The numeric counters as stable `(name, value)` pairs, in
+    /// declaration order. This is the single source of truth used both
+    /// by the serve tier (summing per-query stats into scrapeable
+    /// `hydra_query_stats_total{counter=...}` metrics) and by the
+    /// reconciliation test that asserts those scraped sums equal the
+    /// client-side sums — sharing the enumeration means a new counter
+    /// field cannot silently fall out of the contract.
+    pub fn counters(&self) -> [(&'static str, u64); 8] {
+        [
+            ("distance_computations", self.distance_computations),
+            ("lower_bound_computations", self.lower_bound_computations),
+            ("leaves_visited", self.leaves_visited),
+            ("nodes_visited", self.nodes_visited),
+            ("series_scanned", self.series_scanned),
+            ("bytes_read", self.bytes_read),
+            ("random_ios", self.random_ios),
+            ("sequential_ios", self.sequential_ios),
+        ]
+    }
+
     /// Fraction of the dataset touched, given the total raw payload size in
     /// bytes. Returns a value in `[0, +∞)`; values above 1 indicate repeated
     /// access to the same data.
@@ -61,9 +81,101 @@ impl QueryStats {
     }
 }
 
+/// Cumulative, process-lifetime counters of a series store (buffer pool
+/// plus backing file), as reported live by disk-capable indexes through
+/// [`crate::AnnIndex::store_counters`].
+///
+/// Unlike [`QueryStats`], which is scoped to one query, these are
+/// monotone totals since the store was created — the shape an operator
+/// scrapes as gauges/counters rather than per-answer deltas.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreCounters {
+    /// Random (seek-then-read) I/O operations charged so far.
+    pub random_ios: u64,
+    /// Sequential I/O operations charged so far.
+    pub sequential_ios: u64,
+    /// Raw bytes served out of the store so far.
+    pub bytes_read: u64,
+    /// Buffer-pool page hits.
+    pub pool_hits: u64,
+    /// Buffer-pool page misses (faults that went to the backing file).
+    pub pool_misses: u64,
+    /// Buffer-pool page evictions.
+    pub pool_evictions: u64,
+}
+
+impl StoreCounters {
+    /// Component-wise sum, used by sharded indexes to aggregate their
+    /// shards' stores into one logical store view.
+    pub fn merge(&mut self, other: &StoreCounters) {
+        self.random_ios += other.random_ios;
+        self.sequential_ios += other.sequential_ios;
+        self.bytes_read += other.bytes_read;
+        self.pool_hits += other.pool_hits;
+        self.pool_misses += other.pool_misses;
+        self.pool_evictions += other.pool_evictions;
+    }
+
+    /// The counters as stable `(name, value)` pairs, mirroring
+    /// [`QueryStats::counters`] for the scrape path.
+    pub fn counters(&self) -> [(&'static str, u64); 6] {
+        [
+            ("random_ios", self.random_ios),
+            ("sequential_ios", self.sequential_ios),
+            ("bytes_read", self.bytes_read),
+            ("pool_hits", self.pool_hits),
+            ("pool_misses", self.pool_misses),
+            ("pool_evictions", self.pool_evictions),
+        ]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn counters_enumeration_matches_fields() {
+        let s = QueryStats {
+            distance_computations: 1,
+            lower_bound_computations: 2,
+            leaves_visited: 3,
+            nodes_visited: 4,
+            series_scanned: 5,
+            bytes_read: 6,
+            random_ios: 7,
+            sequential_ios: 8,
+            delta_stop_triggered: true,
+        };
+        let pairs = s.counters();
+        assert_eq!(pairs[0], ("distance_computations", 1));
+        assert_eq!(pairs[7], ("sequential_ios", 8));
+        let names: std::collections::BTreeSet<_> = pairs.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names.len(), pairs.len(), "counter names must be unique");
+    }
+
+    #[test]
+    fn store_counters_merge_sums_component_wise() {
+        let mut a = StoreCounters {
+            random_ios: 1,
+            sequential_ios: 2,
+            bytes_read: 3,
+            pool_hits: 4,
+            pool_misses: 5,
+            pool_evictions: 6,
+        };
+        a.merge(&StoreCounters {
+            random_ios: 10,
+            sequential_ios: 20,
+            bytes_read: 30,
+            pool_hits: 40,
+            pool_misses: 50,
+            pool_evictions: 60,
+        });
+        assert_eq!(a.bytes_read, 33);
+        assert_eq!(a.pool_evictions, 66);
+        assert_eq!(a.counters()[2], ("bytes_read", 33));
+    }
 
     #[test]
     fn merge_accumulates_all_fields() {

@@ -793,6 +793,10 @@ impl AnnIndex for DsTree {
             + self.store_to_dataset.len() * std::mem::size_of::<usize>()
     }
 
+    fn store_counters(&self) -> Option<hydra_core::StoreCounters> {
+        Some(self.store.counters())
+    }
+
     fn search(&self, query: &[f32], params: &SearchParams) -> Result<SearchResult> {
         if query.len() != self.series_len {
             return Err(Error::DimensionMismatch {

@@ -75,10 +75,11 @@
 //! real, at the client (`serve_client` reports these same three
 //! percentiles over wire-level latencies).
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use hydra_core::{AnnIndex, QueryStats, SearchParams};
 use hydra_data::{GroundTruth, QueryWorkload};
+use hydra_obs::{QueryTrace, Stage, StageIo};
 
 use crate::metrics::{average_precision, mean_relative_error, recall, AccuracySummary};
 
@@ -116,6 +117,13 @@ pub struct WorkloadReport {
     /// sharding merges the tail, e.g. 9 queries at 8 requested threads run
     /// as 5 shards of 2).
     pub threads: usize,
+    /// Stage-span breakdown of the whole workload: the sequential runner
+    /// attributes each query's time (and the workload's summed I/O) to
+    /// the search stage; the parallel runner additionally records the
+    /// fan-out stage (wall-clock of the threaded section, waiting on the
+    /// slowest shard). Fig binaries render this as the `--trace-out`
+    /// stage-breakdown CSV.
+    pub trace: QueryTrace,
 }
 
 impl WorkloadReport {
@@ -216,12 +224,15 @@ pub fn run_workload(
     let mut per_query_seconds = Vec::with_capacity(workload.len());
     let mut stats = QueryStats::new();
     let started = Instant::now();
+    let mut trace = QueryTrace::new();
     for (q, query) in workload.iter().enumerate() {
         let t0 = Instant::now();
         let result = index
             .search(query, params)
             .unwrap_or_default_result();
-        per_query_seconds.push(t0.elapsed().as_secs_f64());
+        let elapsed = t0.elapsed();
+        trace.record(Stage::ShardSearch, elapsed);
+        per_query_seconds.push(elapsed.as_secs_f64());
         stats.merge(&result.stats);
         let truth = &ground_truth.answers[q];
         per_query.push((
@@ -231,6 +242,7 @@ pub fn run_workload(
         ));
     }
     let total_seconds = started.elapsed().as_secs_f64();
+    trace.record_io(Stage::ShardSearch, stage_io(&stats));
     let queries_per_minute = if total_seconds > 0.0 {
         workload.len() as f64 / total_seconds * 60.0
     } else {
@@ -248,6 +260,17 @@ pub fn run_workload(
         per_query_seconds,
         num_queries: workload.len(),
         threads: 1,
+        trace,
+    }
+}
+
+/// The I/O slice of a summed [`QueryStats`], in the shape stage traces
+/// attribute per stage.
+fn stage_io(stats: &QueryStats) -> StageIo {
+    StageIo {
+        bytes_read: stats.bytes_read,
+        random_ios: stats.random_ios,
+        sequential_ios: stats.sequential_ios,
     }
 }
 
@@ -325,10 +348,22 @@ pub fn run_workload_parallel(
             }
         });
     }
-    let total_seconds = started.elapsed().as_secs_f64();
+    let fan_out_wall = started.elapsed();
+    let total_seconds = fan_out_wall.as_secs_f64();
     let mut stats = QueryStats::new();
     for s in &per_query_stats {
         stats.merge(s);
+    }
+    // Per-query search time is the shard-amortized mean (module docs);
+    // the fan-out span is the wall-clock of the whole threaded section,
+    // i.e. the wait on the slowest shard.
+    let mut trace = QueryTrace::new();
+    for &s in &per_query_seconds {
+        trace.record(Stage::ShardSearch, Duration::from_secs_f64(s));
+    }
+    trace.record_io(Stage::ShardSearch, stage_io(&stats));
+    if n > 0 {
+        trace.record(Stage::FanOut, fan_out_wall);
     }
     let queries_per_minute = if total_seconds > 0.0 {
         n as f64 / total_seconds * 60.0
@@ -347,6 +382,7 @@ pub fn run_workload_parallel(
         per_query_seconds,
         num_queries: n,
         threads: spawned,
+        trace,
     }
 }
 
@@ -619,6 +655,27 @@ mod tests {
             assert!(report.latency.p50_seconds <= report.latency.p95_seconds);
             assert!(report.latency.p95_seconds <= report.latency.p99_seconds);
         }
+    }
+
+    #[test]
+    fn reports_carry_stage_traces() {
+        let data = random_walk(150, 16, 21);
+        let workload = noisy_queries(&data, 8, &[0.1], 22);
+        let gt = ground_truth(&data, &workload, 3);
+        let index = BruteForce { data };
+        let params = SearchParams::exact(3);
+
+        let seq = run_workload(&index, &workload, &gt, &params);
+        let search = seq.trace.span(Stage::ShardSearch);
+        assert_eq!(search.calls, 8, "one search span per query");
+        assert!(search.nanos > 0);
+        assert_eq!(seq.trace.span(Stage::FanOut).calls, 0, "sequential runner never fans out");
+        assert_eq!(search.io.bytes_read, seq.stats.bytes_read);
+
+        let par = run_workload_parallel(&index, &workload, &gt, &params, 4);
+        assert_eq!(par.trace.span(Stage::ShardSearch).calls, 8);
+        assert_eq!(par.trace.span(Stage::FanOut).calls, 1, "one fan-out per threaded section");
+        assert!(par.trace.span(Stage::FanOut).nanos > 0);
     }
 
     #[test]

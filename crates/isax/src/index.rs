@@ -714,6 +714,10 @@ impl AnnIndex for Isax2Plus {
             + self.breakpoints.len() * std::mem::size_of::<f32>()
     }
 
+    fn store_counters(&self) -> Option<hydra_core::StoreCounters> {
+        Some(self.store.counters())
+    }
+
     fn search(&self, query: &[f32], params: &SearchParams) -> Result<SearchResult> {
         if query.len() != self.series_len {
             return Err(Error::DimensionMismatch {

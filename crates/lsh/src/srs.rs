@@ -348,6 +348,10 @@ impl AnnIndex for Srs {
         self.projected.len() * std::mem::size_of::<f32>() + self.projection.memory_footprint()
     }
 
+    fn store_counters(&self) -> Option<hydra_core::StoreCounters> {
+        Some(self.store.counters())
+    }
+
     fn search(&self, query: &[f32], params: &SearchParams) -> Result<SearchResult> {
         self.validate(query, params)?;
         let mut order = Vec::new();

@@ -1,0 +1,458 @@
+//! The metrics registry: named atomic counters, gauges, and log-scale
+//! histograms, rendered as Prometheus text exposition.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are cheap `Arc`
+//! clones of the registered metric, so call sites fetch them once and
+//! update lock-free forever after; the registry's mutex is only taken
+//! at registration and at render (scrape) time.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Upper bounds (inclusive, `le`) of the fixed histogram buckets:
+/// powers of two from 1 to 2^27. One implicit `+Inf` overflow bucket
+/// follows. With microsecond observations this spans 1 µs to ~134 s,
+/// wide enough for both in-memory nodes-visited counts and out-of-core
+/// query latencies without any per-histogram configuration.
+pub const HISTOGRAM_BUCKETS: [u64; 28] = {
+    let mut b = [0u64; 28];
+    let mut i = 0;
+    while i < 28 {
+        b[i] = 1u64 << i;
+        i += 1;
+    }
+    b
+};
+
+/// A monotonically increasing event count.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that can go up and down (queue depths, epochs, pool
+/// occupancy). Signed so "delta since last scrape went negative" is
+/// representable.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Sets to an absolute value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds a (possibly negative) delta.
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket log-scale histogram of non-negative integer
+/// observations (the workspace convention is **microseconds** for
+/// durations).
+///
+/// Buckets are the powers of two in [`HISTOGRAM_BUCKETS`] plus an
+/// implicit `+Inf` overflow bucket, so `observe` is branch-light and
+/// allocation-free. The rendered `_count` is derived from the bucket
+/// array at scrape time, which keeps `le="+Inf"` and `_count` exactly
+/// equal even while other threads record concurrently.
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistogramInner>);
+
+#[derive(Debug)]
+struct HistogramInner {
+    // HISTOGRAM_BUCKETS.len() bounded buckets + 1 overflow.
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS.len() + 1],
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram(Arc::new(HistogramInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+        }))
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, v: u64) {
+        let idx = if v <= 1 {
+            0
+        } else {
+            // Smallest i with v <= 2^i is bit_length(v - 1); beyond the
+            // last bound it lands in the overflow slot.
+            let i = (64 - (v - 1).leading_zeros()) as usize;
+            i.min(HISTOGRAM_BUCKETS.len())
+        };
+        self.0.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Records a duration in whole microseconds (the workspace unit
+    /// convention for latency histograms).
+    pub fn observe_micros(&self, d: Duration) {
+        self.observe(d.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Total number of observations (sum over all buckets).
+    pub fn count(&self) -> u64 {
+        self.0.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket (non-cumulative) counts: one slot per
+    /// [`HISTOGRAM_BUCKETS`] bound, then the `+Inf` overflow slot.
+    pub fn bucket_counts(&self) -> [u64; HISTOGRAM_BUCKETS.len() + 1] {
+        std::array::from_fn(|i| self.0.buckets[i].load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// Registration + scrape state. Keyed by `(name, rendered labels)` so
+/// rendering can group a metric family's label variants together and
+/// emit its `# TYPE` header exactly once. (A raw concatenated-string
+/// key would sort `foobar` *between* `foo` and `foo{...}` because
+/// `'{' > 'z'` is false — `'{'` is 0x7B, above every lowercase letter —
+/// splitting families apart.)
+#[derive(Default)]
+struct RegistryInner {
+    metrics: BTreeMap<(String, String), Metric>,
+    // Prometheus requires one kind per family (name), not per key.
+    kinds: HashMap<String, &'static str>,
+}
+
+/// A registry of named metrics, rendered on demand in the Prometheus
+/// text exposition format.
+///
+/// Getter methods are idempotent: asking twice for the same
+/// `name{labels}` returns handles onto the same underlying atomics, so
+/// instrumentation code can re-resolve handles freely (e.g. per-worker
+/// labels discovered at runtime).
+#[derive(Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<Mutex<RegistryInner>>,
+}
+
+impl MetricsRegistry {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns (registering on first use) the counter `name{labels}`.
+    ///
+    /// # Panics
+    /// If `name` was previously registered as a different metric kind —
+    /// an instrumentation bug, reported loudly.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.register(name, labels, || Metric::Counter(Counter::default())) {
+            Metric::Counter(c) => c,
+            other => unreachable!("registry returned {} for counter", other.kind()),
+        }
+    }
+
+    /// Returns (registering on first use) the gauge `name{labels}`.
+    ///
+    /// # Panics
+    /// If `name` was previously registered as a different metric kind.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.register(name, labels, || Metric::Gauge(Gauge::default())) {
+            Metric::Gauge(g) => g,
+            other => unreachable!("registry returned {} for gauge", other.kind()),
+        }
+    }
+
+    /// Returns (registering on first use) the histogram `name{labels}`.
+    ///
+    /// # Panics
+    /// If `name` was previously registered as a different metric kind.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        match self.register(name, labels, || Metric::Histogram(Histogram::default())) {
+            Metric::Histogram(h) => h,
+            other => unreachable!("registry returned {} for histogram", other.kind()),
+        }
+    }
+
+    fn register(&self, name: &str, labels: &[(&str, &str)], make: impl FnOnce() -> Metric) -> Metric {
+        let key = (name.to_string(), render_labels(labels));
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        let metric = inner.metrics.entry(key).or_insert_with(make).clone();
+        let kind = metric.kind();
+        let prev = inner.kinds.entry(name.to_string()).or_insert(kind);
+        assert!(
+            *prev == kind,
+            "metric {name:?} registered as both {prev} and {kind}: \
+             one family must have one kind (instrumentation bug)"
+        );
+        metric
+    }
+
+    /// Renders every registered metric in the Prometheus text
+    /// exposition format: one `# TYPE` line per family, then one sample
+    /// line per key (histograms expand to cumulative `_bucket` lines
+    /// plus `_sum` and `_count`).
+    pub fn render(&self) -> String {
+        let inner = self.inner.lock().expect("metrics registry poisoned");
+        let mut out = String::new();
+        let mut last_family: Option<&str> = None;
+        for ((name, labels), metric) in &inner.metrics {
+            if last_family != Some(name.as_str()) {
+                let _ = writeln!(out, "# TYPE {name} {}", metric.kind());
+                last_family = Some(name.as_str());
+            }
+            match metric {
+                Metric::Counter(c) => {
+                    let _ = writeln!(out, "{name}{} {}", braced(labels, None), c.get());
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(out, "{name}{} {}", braced(labels, None), g.get());
+                }
+                Metric::Histogram(h) => {
+                    let counts = h.bucket_counts();
+                    let mut cum = 0u64;
+                    for (i, bound) in HISTOGRAM_BUCKETS.iter().enumerate() {
+                        cum += counts[i];
+                        let le = bound.to_string();
+                        let _ =
+                            writeln!(out, "{name}_bucket{} {cum}", braced(labels, Some(&le)));
+                    }
+                    cum += counts[HISTOGRAM_BUCKETS.len()];
+                    let _ = writeln!(out, "{name}_bucket{} {cum}", braced(labels, Some("+Inf")));
+                    let _ = writeln!(out, "{name}_sum{} {}", braced(labels, None), h.sum());
+                    let _ = writeln!(out, "{name}_count{} {cum}", braced(labels, None));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Renders a label set into its canonical `k="v",k2="v2"` body (no
+/// braces), escaping `\`, `"`, and newlines per the exposition format.
+fn render_labels(labels: &[(&str, &str)]) -> String {
+    let mut out = String::new();
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"");
+        for ch in v.chars() {
+            match ch {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out
+}
+
+/// Wraps a rendered label body in braces, appending an `le` label when
+/// rendering a histogram bucket. Empty label sets with no `le` render
+/// as nothing at all (bare `name value`).
+fn braced(labels: &str, le: Option<&str>) -> String {
+    match (labels.is_empty(), le) {
+        (true, None) => String::new(),
+        (true, Some(le)) => format!("{{le=\"{le}\"}}"),
+        (false, None) => format!("{{{labels}}}"),
+        (false, Some(le)) => format!("{{{labels},le=\"{le}\"}}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_do_arithmetic() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("hydra_events_total", &[("kind", "tick")]);
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Idempotent getter: same underlying atomic.
+        assert_eq!(reg.counter("hydra_events_total", &[("kind", "tick")]).get(), 5);
+
+        let g = reg.gauge("hydra_depth", &[]);
+        g.set(7);
+        g.add(-9);
+        assert_eq!(g.get(), -2);
+    }
+
+    #[test]
+    fn histogram_bucket_bounds_are_powers_of_two() {
+        assert_eq!(HISTOGRAM_BUCKETS[0], 1);
+        assert_eq!(HISTOGRAM_BUCKETS[27], 1 << 27);
+    }
+
+    // Satellite: histogram edge coverage.
+
+    #[test]
+    fn histogram_with_zero_observations_renders_all_zero() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("hydra_latency_us", &[]);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        let text = reg.render();
+        assert!(text.contains("hydra_latency_us_count 0"), "{text}");
+        assert!(text.contains("hydra_latency_us_sum 0"), "{text}");
+        assert!(text.contains("hydra_latency_us_bucket{le=\"+Inf\"} 0"), "{text}");
+    }
+
+    #[test]
+    fn histogram_single_observation_lands_in_exactly_one_bucket() {
+        let h = Histogram::default();
+        h.observe(3); // 2 < 3 <= 4 → le="4" bucket.
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), 3);
+        let counts = h.bucket_counts();
+        assert_eq!(counts.iter().sum::<u64>(), 1);
+        assert_eq!(counts[2], 1, "3 belongs in the le=4 bucket (index 2)");
+    }
+
+    #[test]
+    fn histogram_boundary_values_land_on_the_inclusive_side() {
+        let h = Histogram::default();
+        h.observe(0); // le="1"
+        h.observe(1); // le="1"
+        h.observe(2); // le="2"
+        h.observe(1 << 27); // last bounded bucket, inclusive.
+        let counts = h.bucket_counts();
+        assert_eq!(counts[0], 2);
+        assert_eq!(counts[1], 1);
+        assert_eq!(counts[27], 1);
+        assert_eq!(counts[28], 0, "2^27 itself is not overflow");
+    }
+
+    #[test]
+    fn histogram_values_beyond_the_last_bucket_go_to_overflow() {
+        let h = Histogram::default();
+        h.observe((1 << 27) + 1);
+        h.observe(u64::MAX);
+        let counts = h.bucket_counts();
+        assert_eq!(counts[HISTOGRAM_BUCKETS.len()], 2);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), ((1u64 << 27) + 1).wrapping_add(u64::MAX));
+    }
+
+    #[test]
+    fn histogram_concurrent_recording_from_4_threads_sums_exactly() {
+        let h = Histogram::default();
+        const PER_THREAD: u64 = 10_000;
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let h = h.clone();
+                scope.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        // Mix of small, boundary, and overflow values.
+                        h.observe(t * 1000 + (i % 7) * (1 << (i % 30)));
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 4 * PER_THREAD, "no observation lost or doubled");
+        let counts = h.bucket_counts();
+        assert_eq!(counts.iter().sum::<u64>(), 4 * PER_THREAD);
+    }
+
+    #[test]
+    fn render_groups_families_and_emits_type_once() {
+        let reg = MetricsRegistry::new();
+        reg.counter("hydra_q_total", &[("index", "b")]).add(2);
+        reg.counter("hydra_q_total", &[("index", "a")]).add(1);
+        // A name that would sort between `hydra_q_total` and its labeled
+        // variants under naive string keys ('{' sorts above 'z').
+        reg.counter("hydra_q_totalz", &[]).add(9);
+        let text = reg.render();
+        assert_eq!(text.matches("# TYPE hydra_q_total counter").count(), 1, "{text}");
+        assert_eq!(text.matches("# TYPE hydra_q_totalz counter").count(), 1, "{text}");
+        let a = text.find("hydra_q_total{index=\"a\"} 1").expect("a sample");
+        let b = text.find("hydra_q_total{index=\"b\"} 2").expect("b sample");
+        let z = text.find("hydra_q_totalz 9").expect("z sample");
+        assert!(a < b && b < z, "families contiguous, labels sorted: {text}");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let reg = MetricsRegistry::new();
+        reg.gauge("hydra_g", &[("path", "a\\b\"c\nd")]).set(1);
+        let text = reg.render();
+        assert!(text.contains("hydra_g{path=\"a\\\\b\\\"c\\nd\"} 1"), "{text}");
+    }
+
+    #[test]
+    fn histogram_render_is_cumulative_and_self_consistent() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("hydra_lat", &[("stage", "search")]);
+        for v in [1, 1, 2, 5, 1 << 30] {
+            h.observe(v);
+        }
+        let text = reg.render();
+        assert!(text.contains("hydra_lat_bucket{stage=\"search\",le=\"1\"} 2"), "{text}");
+        assert!(text.contains("hydra_lat_bucket{stage=\"search\",le=\"2\"} 3"), "{text}");
+        assert!(text.contains("hydra_lat_bucket{stage=\"search\",le=\"8\"} 4"), "{text}");
+        assert!(text.contains("hydra_lat_bucket{stage=\"search\",le=\"+Inf\"} 5"), "{text}");
+        assert!(text.contains("hydra_lat_count{stage=\"search\"} 5"), "{text}");
+        assert!(
+            text.contains(&format!("hydra_lat_sum{{stage=\"search\"}} {}", 1 + 1 + 2 + 5 + (1u64 << 30))),
+            "{text}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one family must have one kind")]
+    fn kind_collision_panics_loudly() {
+        let reg = MetricsRegistry::new();
+        reg.counter("hydra_thing", &[]);
+        reg.histogram("hydra_thing", &[("x", "y")]);
+    }
+}

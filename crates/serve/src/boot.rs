@@ -21,8 +21,9 @@
 //! validated, and can never discover a bad snapshot at query time.
 
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
-use hydra::persist::{dataset::load_dataset, LoaderRegistry, PersistError, StoreBacking};
+use hydra::persist::{dataset::load_dataset, journal_path, LoaderRegistry, PersistError, StoreBacking};
 use hydra::Dataset;
 
 use crate::server::ServedIndex;
@@ -91,6 +92,23 @@ pub struct BootReport {
     /// truth caches, unrelated files) — surfaced so an operator can spot a
     /// typo'd dataset name in a listing.
     pub skipped: Vec<PathBuf>,
+    /// How each index loaded, in [`indexes`](Self::indexes) order — the
+    /// raw material for the boot/reload metrics
+    /// (`hydra_index_load_micros`, `hydra_index_journaled`).
+    pub loads: Vec<IndexLoad>,
+}
+
+/// How one index snapshot loaded during a boot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexLoad {
+    /// The served index name (snapshot file stem).
+    pub name: String,
+    /// Wall-clock time for the snapshot load, including any journal
+    /// replay and (for out-of-core boots) backing-file verification.
+    pub elapsed: Duration,
+    /// Whether a `.snap.journal` sat beside the snapshot and was replayed
+    /// into the loaded index.
+    pub journaled: bool,
 }
 
 /// The dataset an index name belongs to: the **longest** name in
@@ -213,21 +231,32 @@ pub fn boot_from_dir_with(
         // `load_any_journaled` also replays any `.snap.journal` beside the
         // snapshot — a server booting after an ingesting run serves the
         // grown index without waiting for a compacting full save.
+        let journaled = journal_path(file).exists();
+        let t0 = std::time::Instant::now();
         let index = registry
             .load_any_journaled(file, data, backing)
             .map_err(|source| BootError::Snapshot {
                 file: file.clone(),
                 source,
             })?;
-        indexes.push(ServedIndex {
-            name: stem.to_string(),
-            index,
-        });
+        let elapsed = t0.elapsed();
+        indexes.push((
+            ServedIndex {
+                name: stem.to_string(),
+                index,
+            },
+            IndexLoad {
+                name: stem.to_string(),
+                elapsed,
+                journaled,
+            },
+        ));
     }
     if indexes.is_empty() {
         return Err(BootError::NoIndexes(dir.to_path_buf()));
     }
-    indexes.sort_by(|a, b| a.name.cmp(&b.name));
+    indexes.sort_by(|a, b| a.0.name.cmp(&b.0.name));
+    let (indexes, loads): (Vec<ServedIndex>, Vec<IndexLoad>) = indexes.into_iter().unzip();
     let mut dataset_summaries: Vec<(String, usize, usize)> = datasets
         .iter()
         .map(|(name, d, _)| (name.clone(), d.len(), d.series_len()))
@@ -237,6 +266,7 @@ pub fn boot_from_dir_with(
         indexes,
         datasets: dataset_summaries,
         skipped,
+        loads,
     })
 }
 
@@ -284,6 +314,13 @@ mod tests {
         assert_eq!(names, vec!["walk-hnsw", "walk-isax2"]);
         assert_eq!(report.datasets, vec![("walk".to_string(), 150, 32)]);
         assert_eq!(report.skipped.len(), 2, "gt cache and notes.txt are skipped");
+        // Load telemetry rides along, one entry per index, in index order.
+        let load_names: Vec<&str> = report.loads.iter().map(|l| l.name.as_str()).collect();
+        assert_eq!(load_names, names);
+        assert!(
+            report.loads.iter().all(|l| !l.journaled),
+            "no journals were written in this directory"
+        );
         // The loaded index answers like a fresh build.
         let q = data.series(3);
         let served = &report.indexes[1];

@@ -146,6 +146,26 @@ impl ServeClient {
         }
     }
 
+    /// Scrapes the server's (or router's) metrics registry: one
+    /// point-in-time snapshot in the Prometheus text exposition format.
+    ///
+    /// # Errors
+    /// [`ProtocolError::Corrupt`] when the server answers with an error
+    /// or an unexpected body.
+    pub fn stats(&mut self) -> Result<String, ProtocolError> {
+        let request_id = self.fresh_id();
+        let response = self.call(&Request::Stats { request_id })?;
+        match response.body {
+            ResponseBody::Stats { text } => Ok(text),
+            ResponseBody::Error { code, message } => Err(ProtocolError::Corrupt(format!(
+                "server answered stats with {code:?}: {message}"
+            ))),
+            other => Err(ProtocolError::Corrupt(format!(
+                "unexpected response body {other:?} to stats"
+            ))),
+        }
+    }
+
     /// Asks the server to shut down cleanly; returns once acknowledged.
     pub fn shutdown(&mut self) -> Result<(), ProtocolError> {
         let request_id = self.fresh_id();

@@ -54,8 +54,10 @@ pub mod server;
 
 pub use boot::{
     boot_from_dir, boot_from_dir_with, dataset_for_index, BootError, BootOptions, BootReport,
+    IndexLoad,
 };
 pub use client::ServeClient;
+pub use hydra_obs::MetricsRegistry;
 pub use router::{Router, RouterConfig, RouterHandle, RouterStats};
 pub use protocol::{
     ErrorCode, IndexInfo, ProtocolError, Request, Response, ResponseBody, MAX_FRAME_LEN, MAX_K,

@@ -11,6 +11,7 @@
 //!             [--storage on-disk|in-memory] [--seed N]
 //!             [--pool-pages N] [--out-of-core]
 //!             [--batch-window-ms N] [--max-batch N]
+//!             [--slow-query-ms N]
 //!
 //! # the router: no snapshots of its own, speaks the same protocol to
 //! # clients and fans each query out to the workers (in shard order)
@@ -42,6 +43,13 @@
 //! or stalls turns its in-flight queries into typed `Unavailable` error
 //! responses, never a hang, and is reconnected with exponential backoff.
 //!
+//! `--slow-query-ms N` (worker role, off by default) logs one structured
+//! stderr line per query whose served latency — queue wait plus its
+//! amortized share of the batched search plus response encoding — reaches
+//! `N` milliseconds, with a per-stage breakdown. Both roles answer stats
+//! frames with a Prometheus text scrape of their registry (see the
+//! `hydra_stat` binary in `hydra-bench`).
+//!
 //! All diagnostics go to stderr; stdout is never written, so the binary
 //! composes with shell pipelines the same way the figure binaries do.
 
@@ -71,6 +79,7 @@ struct Args {
     out_of_core: bool,
     batch_window: Duration,
     max_batch: usize,
+    slow_query: Option<Duration>,
     workers: Vec<String>,
     worker_timeout: Duration,
     worker_connect_timeout: Duration,
@@ -89,6 +98,7 @@ impl Default for Args {
             out_of_core: false,
             batch_window: Duration::from_millis(1),
             max_batch: 64,
+            slow_query: None,
             workers: Vec::new(),
             worker_timeout: Duration::from_secs(30),
             worker_connect_timeout: Duration::from_secs(120),
@@ -210,13 +220,24 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
                 Ok(n) if n > 0 => n,
                 _ => return Err(format!("--max-batch expects a positive integer, got {value:?}")),
             };
+        } else if let Some(value) = value_of("--slow-query-ms") {
+            once("--slow-query-ms", &mut seen)?;
+            let value = value?;
+            out.slow_query = match value.parse::<u64>() {
+                Ok(ms) if ms > 0 => Some(Duration::from_millis(ms)),
+                _ => {
+                    return Err(format!(
+                        "--slow-query-ms expects a positive integer, got {value:?}"
+                    ))
+                }
+            };
         } else {
             return Err(format!(
                 "unrecognized argument {arg:?} (accepted: --snapshots DIR, --addr HOST:PORT, \
                  --shard-role worker|router, --workers HOST:PORT,..., --worker-timeout-ms N, \
                  --worker-connect-timeout-ms N, --shard-scheme contiguous|strided, \
                  --storage on-disk|in-memory, --seed N, --pool-pages N, --out-of-core, \
-                 --batch-window-ms N, --max-batch N)"
+                 --batch-window-ms N, --max-batch N, --slow-query-ms N)"
             ));
         }
     }
@@ -236,6 +257,7 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
                 "--out-of-core",
                 "--batch-window-ms",
                 "--max-batch",
+                "--slow-query-ms",
             ] {
                 if seen.contains(&flag) {
                     return Err(format!(
@@ -305,6 +327,22 @@ fn run_router(args: &Args) {
     );
 }
 
+/// Publishes one boot's per-index load telemetry: how long each snapshot
+/// took to load (including journal replay) and whether a journal was
+/// replayed. Gauges, not counters — a reload overwrites them with the
+/// latest boot's values.
+fn set_boot_gauges(metrics: &hydra_serve::MetricsRegistry, loads: &[hydra_serve::IndexLoad]) {
+    for load in loads {
+        let labels: &[(&str, &str)] = &[("index", load.name.as_str())];
+        metrics
+            .gauge("hydra_index_load_micros", labels)
+            .set(load.elapsed.as_micros() as i64);
+        metrics
+            .gauge("hydra_index_journaled", labels)
+            .set(load.journaled as i64);
+    }
+}
+
 /// Runs the worker (= plain server) role: boot snapshots, serve.
 fn run_worker(args: &Args) {
     let registry = hydra::standard_registry_pooled(args.in_memory, args.seed, args.pool_pages);
@@ -344,18 +382,32 @@ fn run_worker(args: &Args) {
     let config = ServerConfig {
         batch_window: args.batch_window,
         max_batch: args.max_batch,
+        slow_query: args.slow_query,
         ..ServerConfig::default()
     };
+    let metrics = hydra_serve::MetricsRegistry::new();
+    set_boot_gauges(&metrics, &report.loads);
     // A reload frame re-runs exactly this boot (same directory, same
     // registry, same backing) and swaps the zoo in as a fresh epoch —
-    // picking up snapshots rewritten by an ingesting harness run.
+    // picking up snapshots rewritten by an ingesting harness run. The
+    // reload's own load telemetry lands in the same scrapeable registry.
     let snapshots = args.snapshots.clone();
+    let reload_metrics = metrics.clone();
     let reloader: hydra_serve::Reloader = Box::new(move || {
         boot_from_dir_with(&snapshots, &registry, options)
-            .map(|report| report.indexes)
+            .map(|report| {
+                set_boot_gauges(&reload_metrics, &report.loads);
+                report.indexes
+            })
             .map_err(|e| e.to_string())
     });
-    let handle = match Server::spawn_reloadable(report.indexes, args.addr.as_str(), config, Some(reloader)) {
+    let handle = match Server::spawn_with_metrics(
+        report.indexes,
+        args.addr.as_str(),
+        config,
+        Some(reloader),
+        metrics,
+    ) {
         Ok(handle) => handle,
         Err(e) => {
             eprintln!("error: cannot bind {}: {e}", args.addr);
@@ -452,6 +504,19 @@ mod tests {
         ]))
         .is_err());
         assert!(parse_args(&args(&["--snapshots", "/s", "--out-of-core=yes"])).is_err());
+        // Slow-query logging: off by default, positive ms only, worker-only.
+        let a = parse_args(&args(&["--snapshots", "/s"])).unwrap();
+        assert_eq!(a.slow_query, None);
+        let a = parse_args(&args(&["--snapshots=/s", "--slow-query-ms=250"])).unwrap();
+        assert_eq!(a.slow_query, Some(Duration::from_millis(250)));
+        assert!(parse_args(&args(&["--snapshots", "/s", "--slow-query-ms", "0"])).is_err());
+        assert!(parse_args(&args(&["--snapshots", "/s", "--slow-query-ms", "soon"])).is_err());
+        assert!(parse_args(&args(&[
+            "--shard-role=router",
+            "--workers=h:1",
+            "--slow-query-ms=100"
+        ]))
+        .is_err());
     }
 
     #[test]

@@ -29,7 +29,7 @@
 //!                            reserved for protocol-level error responses
 //!                            and rejected as corrupt in requests)
 //! u8  op                    0 = query, 1 = list indexes, 2 = shutdown,
-//!                           3 = reload snapshots
+//!                           3 = reload snapshots, 4 = stats scrape
 //! -- op 0 (query) only --
 //! str index name            (u16 length + UTF-8)
 //! u64 k                     (1 ..= MAX_K)
@@ -43,7 +43,8 @@
 //! ```text
 //! u64 request id
 //! u8  status                0 = answer, 1 = error, 2 = index list,
-//!                           3 = shutdown ack, 4 = reload ack
+//!                           3 = shutdown ack, 4 = reload ack,
+//!                           5 = stats snapshot
 //! -- status 0 --            u64 count, then per neighbor u64 index + f32
 //!                           distance (bit pattern — answers are exact to
 //!                           the bit, so serving can be diffed against the
@@ -56,6 +57,11 @@
 //!                           u8 capability bits (1 exact, 2 ng, 4 ε,
 //!                           8 δ-ε, 16 disk-resident, 32 streaming-insert)
 //! -- status 4 --            u64 epoch now being served
+//! -- status 5 --            UTF-8 metrics text in the Prometheus
+//!                           exposition format, as a u64 byte count +
+//!                           raw bytes (not the u16-length str codec —
+//!                           a busy server's scrape easily exceeds
+//!                           64 KiB)
 //! ```
 //!
 //! Trailing bytes after any payload are [`ProtocolError::Corrupt`] — a
@@ -206,6 +212,14 @@ pub enum Request {
         /// Client-chosen id echoed in the response.
         request_id: u64,
     },
+    /// Ask for a point-in-time snapshot of the server's (or router's)
+    /// metrics registry, answered as Prometheus exposition text. A
+    /// scrape is pure observation: it never perturbs the counters it
+    /// reads and never touches the query path.
+    Stats {
+        /// Client-chosen id echoed in the response.
+        request_id: u64,
+    },
 }
 
 impl Request {
@@ -215,7 +229,8 @@ impl Request {
             Request::Query { request_id, .. }
             | Request::ListIndexes { request_id }
             | Request::Shutdown { request_id }
-            | Request::Reload { request_id } => *request_id,
+            | Request::Reload { request_id }
+            | Request::Stats { request_id } => *request_id,
         }
     }
 
@@ -254,6 +269,7 @@ impl Request {
             Request::ListIndexes { .. } => s.put_u8(1),
             Request::Shutdown { .. } => s.put_u8(2),
             Request::Reload { .. } => s.put_u8(3),
+            Request::Stats { .. } => s.put_u8(4),
         }
         frame(REQUEST_MAGIC, s.as_bytes())
     }
@@ -312,6 +328,7 @@ impl Request {
             1 => Request::ListIndexes { request_id },
             2 => Request::Shutdown { request_id },
             3 => Request::Reload { request_id },
+            4 => Request::Stats { request_id },
             tag => return Err(ProtocolError::Corrupt(format!("unknown request op {tag}"))),
         };
         expect_consumed(&s)?;
@@ -463,6 +480,14 @@ pub enum ResponseBody {
         /// boot; each successful reload increments it).
         epoch: u64,
     },
+    /// A point-in-time metrics snapshot.
+    Stats {
+        /// The registry rendered in the Prometheus text exposition
+        /// format. Carried as raw bytes on the wire (u64 count prefix)
+        /// rather than the u16-length `str` codec, because a busy
+        /// server's scrape easily exceeds 64 KiB.
+        text: String,
+    },
 }
 
 /// One server response, echoing the request's id.
@@ -508,6 +533,10 @@ impl Response {
             ResponseBody::ReloadAck { epoch } => {
                 s.put_u8(4);
                 s.put_u64(*epoch);
+            }
+            ResponseBody::Stats { text } => {
+                s.put_u8(5);
+                s.put_u8s(text.as_bytes());
             }
         }
         frame(RESPONSE_MAGIC, s.as_bytes())
@@ -578,6 +607,15 @@ impl Response {
             4 => ResponseBody::ReloadAck {
                 epoch: s.get_u64()?,
             },
+            5 => {
+                // get_u8s bounds its allocation by the remaining payload,
+                // so a hostile count cannot allocate beyond the frame.
+                let bytes = s.get_u8s()?;
+                let text = String::from_utf8(bytes).map_err(|e| {
+                    ProtocolError::Corrupt(format!("stats text is not UTF-8: {e}"))
+                })?;
+                ResponseBody::Stats { text }
+            }
             tag => {
                 return Err(ProtocolError::Corrupt(format!(
                     "unknown response status {tag}"
@@ -746,6 +784,10 @@ mod tests {
             roundtrip_request(&Request::Reload { request_id: 11 }),
             Request::Reload { request_id: 11 }
         );
+        assert_eq!(
+            roundtrip_request(&Request::Stats { request_id: 13 }),
+            Request::Stats { request_id: 13 }
+        );
     }
 
     #[test]
@@ -811,6 +853,31 @@ mod tests {
             body: ResponseBody::ReloadAck { epoch: 7 },
         };
         assert_eq!(roundtrip_response(&reload), reload);
+        for text in [
+            String::new(),
+            "# TYPE hydra_queries_total counter\nhydra_queries_total 42\n".to_string(),
+            // Metrics text above the u16 limit of the `str` codec must
+            // survive, which is why stats ride the raw-bytes codec.
+            "x".repeat(100_000),
+        ] {
+            let stats = Response {
+                request_id: 5,
+                body: ResponseBody::Stats { text },
+            };
+            assert_eq!(roundtrip_response(&stats), stats);
+        }
+    }
+
+    #[test]
+    fn non_utf8_stats_text_is_corrupt() {
+        let mut s = Section::new();
+        s.put_u64(1);
+        s.put_u8(5);
+        s.put_u8s(&[0xff, 0xfe, 0x41]);
+        assert!(matches!(
+            Response::decode(s.as_bytes()),
+            Err(ProtocolError::Corrupt(msg)) if msg.contains("UTF-8")
+        ));
     }
 
     #[test]

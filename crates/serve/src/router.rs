@@ -46,6 +46,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use hydra::{merge_top_k, Neighbor, PartitionScheme, ShardMap};
+use hydra_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 
 use crate::client::ServeClient;
 use crate::protocol::{read_request, ErrorCode, IndexInfo, Request, Response, ResponseBody};
@@ -125,9 +126,50 @@ struct LinkState {
     next_attempt: Instant,
 }
 
+/// Live health metrics of one worker link, all under a
+/// `worker="host:port"` label so a scrape of the router shows exactly
+/// which shard is slow, flapping, or backing off.
+struct WorkerMetrics {
+    /// Calls currently inside [`WorkerLink::call`] — queued on the link
+    /// lock or on the wire. Per link this hovers between 0 and the number
+    /// of concurrently routed queries touching that worker.
+    in_flight: Gauge,
+    calls_total: Counter,
+    errors_total: Counter,
+    /// Subset of `errors_total` where the call ran into the configured
+    /// worker timeout (classified by elapsed wall-clock, since the
+    /// underlying error is an opaque socket error).
+    timeouts_total: Counter,
+    /// Successful (re)connections made by the call path — boot
+    /// connections are not counted, so a nonzero value means the link
+    /// failed at least once after boot.
+    reconnects_total: Counter,
+    /// The link's *current* backoff delay in microseconds; resets to the
+    /// configured initial on the first success.
+    backoff_micros: Gauge,
+    call_micros: Histogram,
+}
+
+impl WorkerMetrics {
+    fn new(registry: &MetricsRegistry, addr: SocketAddr) -> Self {
+        let addr = addr.to_string();
+        let labels: &[(&str, &str)] = &[("worker", addr.as_str())];
+        Self {
+            in_flight: registry.gauge("hydra_router_worker_in_flight", labels),
+            calls_total: registry.counter("hydra_router_worker_calls_total", labels),
+            errors_total: registry.counter("hydra_router_worker_errors_total", labels),
+            timeouts_total: registry.counter("hydra_router_worker_timeouts_total", labels),
+            reconnects_total: registry.counter("hydra_router_worker_reconnects_total", labels),
+            backoff_micros: registry.gauge("hydra_router_worker_backoff_micros", labels),
+            call_micros: registry.histogram("hydra_router_worker_call_micros", labels),
+        }
+    }
+}
+
 struct WorkerLink {
     addr: SocketAddr,
     state: Mutex<LinkState>,
+    metrics: WorkerMetrics,
 }
 
 impl WorkerLink {
@@ -139,6 +181,10 @@ impl WorkerLink {
         state.client = None;
         state.next_attempt = Instant::now() + state.backoff;
         state.backoff = (state.backoff * 2).min(config.backoff_max);
+        self.metrics.errors_total.inc();
+        self.metrics
+            .backoff_micros
+            .set(state.backoff.as_micros() as i64);
     }
 
     /// One request/response exchange with this worker: reconnect if needed
@@ -146,6 +192,23 @@ impl WorkerLink {
     /// connection — after an error the stream position is unknowable, so a
     /// fresh connection is the only safe continuation.
     fn call(
+        &self,
+        config: &RouterConfig,
+        make: impl FnOnce(u64) -> Request,
+    ) -> Result<ResponseBody, (ErrorCode, String)> {
+        self.metrics.in_flight.add(1);
+        self.metrics.calls_total.inc();
+        let result = self.call_locked(config, make);
+        if result.is_err() {
+            self.metrics.errors_total.inc();
+        }
+        self.metrics.in_flight.add(-1);
+        result
+    }
+
+    /// The body of [`call`](Self::call), split out so the in-flight gauge
+    /// and error counter are maintained on every exit path.
+    fn call_locked(
         &self,
         config: &RouterConfig,
         make: impl FnOnce(u64) -> Request,
@@ -163,10 +226,14 @@ impl WorkerLink {
                 Ok(client) => {
                     client.set_read_timeout(Some(config.worker_timeout)).ok();
                     state.client = Some(client);
+                    self.metrics.reconnects_total.inc();
                 }
                 Err(e) => {
                     state.next_attempt = now + state.backoff;
                     state.backoff = (state.backoff * 2).min(config.backoff_max);
+                    self.metrics
+                        .backoff_micros
+                        .set(state.backoff.as_micros() as i64);
                     return Err((
                         ErrorCode::Unavailable,
                         format!("worker {} is unreachable: {e}", self.addr),
@@ -176,15 +243,28 @@ impl WorkerLink {
         }
         let client = state.client.as_mut().expect("client just ensured");
         let request = make(client.fresh_id());
-        match client.call(&request) {
+        let t0 = Instant::now();
+        let result = client.call(&request);
+        let elapsed = t0.elapsed();
+        self.metrics.call_micros.observe_micros(elapsed);
+        match result {
             Ok(response) => {
                 state.backoff = config.backoff_initial;
+                self.metrics
+                    .backoff_micros
+                    .set(state.backoff.as_micros() as i64);
                 Ok(response.body)
             }
             Err(e) => {
+                if elapsed >= config.worker_timeout {
+                    self.metrics.timeouts_total.inc();
+                }
                 state.client = None;
                 state.next_attempt = Instant::now() + state.backoff;
                 state.backoff = (state.backoff * 2).min(config.backoff_max);
+                self.metrics
+                    .backoff_micros
+                    .set(state.backoff.as_micros() as i64);
                 Err((
                     ErrorCode::Unavailable,
                     format!("worker {} failed mid-call: {e}", self.addr),
@@ -205,6 +285,9 @@ struct Inner {
     queries: AtomicU64,
     worker_errors: AtomicU64,
     connections: AtomicU64,
+    registry: MetricsRegistry,
+    queries_total: Counter,
+    connections_total: Counter,
 }
 
 impl Inner {
@@ -346,6 +429,12 @@ impl RouterHandle {
         self.addr
     }
 
+    /// The router's metrics registry — the same one a stats frame scrapes
+    /// over the wire, exposed for in-process inspection in tests.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.inner.registry
+    }
+
     /// Stops the router itself. Workers are **not** told to stop — only a
     /// client's shutdown frame is forwarded to them (that is the whole-
     /// deployment shutdown path the CI smoke uses).
@@ -396,6 +485,7 @@ impl Router {
         }
         // Boot: list every worker's zoo, with the boot clients kept as the
         // initial link connections.
+        let registry = MetricsRegistry::new();
         let mut links = Vec::with_capacity(workers.len());
         let mut listings: Vec<Vec<IndexInfo>> = Vec::with_capacity(workers.len());
         for &worker in workers {
@@ -406,6 +496,10 @@ impl Router {
                 .map_err(|e| invalid(format!("worker {worker} listing failed: {e}")))?;
             listing.sort_by(|a, b| a.name.cmp(&b.name));
             listings.push(listing);
+            let metrics = WorkerMetrics::new(&registry, worker);
+            metrics
+                .backoff_micros
+                .set(config.backoff_initial.as_micros() as i64);
             links.push(WorkerLink {
                 addr: worker,
                 state: Mutex::new(LinkState {
@@ -413,6 +507,7 @@ impl Router {
                     backoff: config.backoff_initial,
                     next_attempt: Instant::now(),
                 }),
+                metrics,
             });
         }
         // Validate agreement and build the merged view.
@@ -475,6 +570,9 @@ impl Router {
             queries: AtomicU64::new(0),
             worker_errors: AtomicU64::new(0),
             connections: AtomicU64::new(0),
+            queries_total: registry.counter("hydra_router_queries_total", &[]),
+            connections_total: registry.counter("hydra_router_connections_total", &[]),
+            registry,
         });
         let acceptor = {
             let inner = Arc::clone(&inner);
@@ -513,6 +611,7 @@ fn accept_loop(inner: &Arc<Inner>, listener: &TcpListener) {
             }
         };
         inner.connections.fetch_add(1, Ordering::Relaxed);
+        inner.connections_total.inc();
         if let Some(timeout) = inner.config.write_timeout.filter(|t| !t.is_zero()) {
             let _ = stream.set_write_timeout(Some(timeout));
         }
@@ -558,6 +657,7 @@ fn connection_loop(inner: &Arc<Inner>, stream: TcpStream, conn_id: u64) {
                 query,
             })) => {
                 inner.queries.fetch_add(1, Ordering::Relaxed);
+                inner.queries_total.inc();
                 let body = inner.route_query(&index, &params, &query);
                 if !respond(Response { request_id, body }) {
                     break;
@@ -611,6 +711,19 @@ fn connection_loop(inner: &Arc<Inner>, stream: TcpStream, conn_id: u64) {
                     }
                 };
                 if !respond(Response { request_id, body }) {
+                    break;
+                }
+            }
+            Ok(Some(Request::Stats { request_id })) => {
+                // The router answers with its *own* registry — per-worker
+                // link health and fan-out counters. Scraping a worker's
+                // query/stage metrics means scraping that worker directly;
+                // merging texts here would conflate two processes' clocks.
+                let text = inner.registry.render();
+                if !respond(Response {
+                    request_id,
+                    body: ResponseBody::Stats { text },
+                }) {
                     break;
                 }
             }

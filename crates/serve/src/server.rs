@@ -49,13 +49,14 @@
 //! current epoch serving untouched.
 
 use std::collections::BTreeMap;
-use std::io::{BufReader, Write};
+use std::io::{BufReader, Read, Write};
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
-use hydra::{AnnIndex, SearchKey, SearchParams};
+use hydra::{AnnIndex, QueryStats, SearchKey, SearchParams};
+use hydra_obs::{Counter, Gauge, Histogram, MetricsRegistry, QueryTrace, Stage};
 
 use crate::protocol::{
     read_request, ErrorCode, IndexInfo, Request, Response, ResponseBody,
@@ -129,16 +130,23 @@ pub struct ServerConfig {
     /// this timeout is what bounds how long such a stalled connection can
     /// delay `ServerHandle::join`.
     pub write_timeout: Option<Duration>,
+    /// Slow-query log threshold (`None` = off, the default). A query
+    /// whose total served time — queue wait plus its amortized share of
+    /// the batched search plus response encoding — reaches this bound
+    /// writes one structured line (index, params key, stage breakdown
+    /// from its [`QueryTrace`]) to stderr.
+    pub slow_query: Option<Duration>,
 }
 
 impl Default for ServerConfig {
-    /// 1 ms window, 64 requests, 30 s write timeout — latency-lean
-    /// defaults for local serving.
+    /// 1 ms window, 64 requests, 30 s write timeout, no slow-query log —
+    /// latency-lean defaults for local serving.
     fn default() -> Self {
         Self {
             batch_window: Duration::from_millis(1),
             max_batch: 64,
             write_timeout: Some(Duration::from_secs(30)),
+            slow_query: None,
         }
     }
 }
@@ -171,6 +179,151 @@ struct Job {
     params: SearchParams,
     query: Vec<f32>,
     reply: mpsc::Sender<Vec<u8>>,
+    /// When the reader enqueued this job — the start of its enqueue
+    /// stage span (queue wait is drain time minus this).
+    enqueued_at: Instant,
+}
+
+/// Every pre-resolved metric handle the serving loop touches. Resolved
+/// once at spawn so the hot path (drain_tick, connection readers and
+/// writers) never takes the registry mutex — each update is one relaxed
+/// atomic RMW, which is what keeps the instrumented path answer- and
+/// stats-identical to the uninstrumented one.
+struct Metrics {
+    registry: MetricsRegistry,
+    queries_total: Counter,
+    ticks_total: Counter,
+    batch_calls_total: Counter,
+    connections_total: Counter,
+    /// Jobs enqueued but not yet drained (std's mpsc has no len(); the
+    /// reader increments on enqueue, the batcher decrements per drained
+    /// job, so the gauge is exact between ticks).
+    queue_depth: Gauge,
+    /// Jobs per drained tick — how full the batch window ran.
+    batch_occupancy: Histogram,
+    /// (index, parameter-key) groups per tick.
+    groups_per_tick: Histogram,
+    /// End-to-end served latency per query, in microseconds: queue wait
+    /// + amortized share of the batched search + response encoding. Its
+    /// `_count` reconciles exactly with `hydra_queries_total` for
+    /// queries that reached the batcher.
+    query_micros: Histogram,
+    /// Per-stage latency histograms (microseconds).
+    stage_enqueue_micros: Histogram,
+    stage_search_micros: Histogram,
+    stage_write_micros: Histogram,
+    /// The 8 numeric [`QueryStats`] counters summed over every answered
+    /// query, in `QueryStats::counters()` order. This is the scrape-side
+    /// half of the reconciliation contract: summing the per-answer stats
+    /// client-side must give exactly these values.
+    query_stats: Vec<Counter>,
+    /// Error responses by kind.
+    errors_unknown_index: Counter,
+    errors_search: Counter,
+    errors_shutdown: Counter,
+    protocol_errors: Counter,
+    /// Wire-level connection counters (all connections summed).
+    rx_bytes: Counter,
+    rx_frames: Counter,
+    tx_bytes: Counter,
+    tx_frames: Counter,
+    /// The epoch currently being served.
+    epoch: Gauge,
+    reloads_success: Counter,
+    reloads_failed: Counter,
+    /// Duration of the most recent reload attempt (success or failure).
+    reload_last_micros: Gauge,
+    /// Outcome of the most recent reload attempt: 1 success, 0 failure,
+    /// -1 never attempted.
+    reload_last_ok: Gauge,
+    /// Queries written to the slow-query log.
+    slow_queries_total: Counter,
+}
+
+impl Metrics {
+    fn new(registry: MetricsRegistry) -> Self {
+        let query_stats = QueryStats::default()
+            .counters()
+            .iter()
+            .map(|(name, _)| registry.counter("hydra_query_stats_total", &[("counter", name)]))
+            .collect();
+        let m = Self {
+            queries_total: registry.counter("hydra_queries_total", &[]),
+            ticks_total: registry.counter("hydra_ticks_total", &[]),
+            batch_calls_total: registry.counter("hydra_batch_calls_total", &[]),
+            connections_total: registry.counter("hydra_connections_total", &[]),
+            queue_depth: registry.gauge("hydra_batch_queue_depth", &[]),
+            batch_occupancy: registry.histogram("hydra_batch_occupancy", &[]),
+            groups_per_tick: registry.histogram("hydra_batch_groups", &[]),
+            query_micros: registry.histogram("hydra_query_micros", &[]),
+            stage_enqueue_micros: registry
+                .histogram("hydra_stage_micros", &[("stage", Stage::Enqueue.name())]),
+            stage_search_micros: registry
+                .histogram("hydra_stage_micros", &[("stage", Stage::ShardSearch.name())]),
+            stage_write_micros: registry
+                .histogram("hydra_stage_micros", &[("stage", Stage::Write.name())]),
+            query_stats,
+            errors_unknown_index: registry
+                .counter("hydra_query_errors_total", &[("kind", "unknown_index")]),
+            errors_search: registry.counter("hydra_query_errors_total", &[("kind", "search")]),
+            errors_shutdown: registry.counter("hydra_query_errors_total", &[("kind", "shutdown")]),
+            protocol_errors: registry.counter("hydra_protocol_errors_total", &[]),
+            rx_bytes: registry.counter("hydra_rx_bytes_total", &[]),
+            rx_frames: registry.counter("hydra_rx_frames_total", &[]),
+            tx_bytes: registry.counter("hydra_tx_bytes_total", &[]),
+            tx_frames: registry.counter("hydra_tx_frames_total", &[]),
+            epoch: registry.gauge("hydra_epoch", &[]),
+            reloads_success: registry.counter("hydra_reloads_total", &[("outcome", "success")]),
+            reloads_failed: registry.counter("hydra_reloads_total", &[("outcome", "failed")]),
+            reload_last_micros: registry.gauge("hydra_reload_last_micros", &[]),
+            reload_last_ok: registry.gauge("hydra_reload_last_ok", &[]),
+            slow_queries_total: registry.counter("hydra_slow_queries_total", &[]),
+            registry,
+        };
+        m.reload_last_ok.set(-1);
+        m
+    }
+
+    /// Adds one answered query's stats into the scrapeable sums.
+    fn observe_query_stats(&self, stats: &QueryStats) {
+        for ((_, value), counter) in stats.counters().iter().zip(&self.query_stats) {
+            counter.add(*value);
+        }
+    }
+}
+
+/// Refreshes the live buffer-pool gauges from the served indexes, then
+/// renders the registry — the body of a `Stats` scrape. Store counters
+/// are polled at scrape time (not accumulated per query) because they
+/// are the *store's* cumulative truth; gauges, not counters, because a
+/// reload replaces the stores and the values legitimately reset.
+fn render_stats(registry: &MetricsRegistry, epoch: &Epoch) -> String {
+    for served in &epoch.indexes {
+        if let Some(counters) = served.index.store_counters() {
+            for (name, value) in counters.counters() {
+                registry
+                    .gauge("hydra_store", &[("index", served.name.as_str()), ("counter", name)])
+                    .set(value as i64);
+            }
+        }
+    }
+    registry.render()
+}
+
+/// A [`Read`] pass-through that counts bytes into a [`Counter`], used to
+/// meter each connection's receive side. Exposes the wrapped stream so
+/// the connection teardown can still `shutdown()` the socket.
+struct CountingReader {
+    inner: TcpStream,
+    bytes: Counter,
+}
+
+impl Read for CountingReader {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.bytes.add(n as u64);
+        Ok(n)
+    }
 }
 
 struct Inner {
@@ -196,6 +349,7 @@ struct Inner {
     batch_calls: AtomicU64,
     connections: AtomicU64,
     reloads: AtomicU64,
+    metrics: Metrics,
 }
 
 impl Inner {
@@ -213,8 +367,27 @@ impl Inner {
         let Some(reloader) = &self.reloader else {
             return Err("this server was started without a reload source".into());
         };
-        let indexes = reloader()?;
-        validate_zoo(&indexes)?;
+        // Both outcomes are observable through the registry (the
+        // ServerStats.reloads counter only ever counted successes, so a
+        // failed hot reload used to be invisible to everything but the
+        // requesting connection).
+        let t0 = Instant::now();
+        let rebuilt = reloader().and_then(|indexes| {
+            validate_zoo(&indexes)?;
+            Ok(indexes)
+        });
+        let elapsed = t0.elapsed();
+        self.metrics
+            .reload_last_micros
+            .set(elapsed.as_micros().min(i64::MAX as u128) as i64);
+        let indexes = match rebuilt {
+            Ok(indexes) => indexes,
+            Err(message) => {
+                self.metrics.reloads_failed.inc();
+                self.metrics.reload_last_ok.set(0);
+                return Err(message);
+            }
+        };
         let mut slot = self.epoch.write().expect("epoch lock");
         let next = Arc::new(Epoch {
             id: slot.id + 1,
@@ -223,6 +396,9 @@ impl Inner {
         let id = next.id;
         *slot = next;
         self.reloads.fetch_add(1, Ordering::Relaxed);
+        self.metrics.reloads_success.inc();
+        self.metrics.reload_last_ok.set(1);
+        self.metrics.epoch.set(id.min(i64::MAX as u64) as i64);
         Ok(id)
     }
 
@@ -295,6 +471,12 @@ impl ServerHandle {
         self.addr
     }
 
+    /// The metrics registry this server records into — the same one a
+    /// `Stats` frame renders. Handy for in-process scraping in tests.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.inner.metrics.registry
+    }
+
     /// Asks the server to stop accepting and drain, as a shutdown frame
     /// would.
     pub fn shutdown(&self) {
@@ -353,6 +535,24 @@ impl Server {
         config: ServerConfig,
         reloader: Option<Reloader>,
     ) -> std::io::Result<ServerHandle> {
+        Self::spawn_with_metrics(indexes, addr, config, reloader, MetricsRegistry::new())
+    }
+
+    /// [`Server::spawn_reloadable`] recording into a caller-supplied
+    /// [`MetricsRegistry`] instead of a fresh one — so boot-time gauges
+    /// (per-index load times, journal replays) registered before the
+    /// server exists appear in the same `Stats` scrape as the serving
+    /// counters.
+    ///
+    /// # Errors
+    /// Exactly the [`Server::spawn`] errors.
+    pub fn spawn_with_metrics<A: ToSocketAddrs>(
+        indexes: Vec<ServedIndex>,
+        addr: A,
+        config: ServerConfig,
+        reloader: Option<Reloader>,
+        registry: MetricsRegistry,
+    ) -> std::io::Result<ServerHandle> {
         validate_zoo(&indexes)
             .map_err(|msg| std::io::Error::new(std::io::ErrorKind::InvalidInput, msg))?;
         let listener = TcpListener::bind(addr)?;
@@ -370,6 +570,7 @@ impl Server {
             batch_calls: AtomicU64::new(0),
             connections: AtomicU64::new(0),
             reloads: AtomicU64::new(0),
+            metrics: Metrics::new(registry),
         });
         let (job_tx, job_rx) = mpsc::channel::<Job>();
         let batcher = {
@@ -420,6 +621,7 @@ fn accept_loop(inner: &Arc<Inner>, listener: &TcpListener, job_tx: mpsc::Sender<
             }
         };
         inner.connections.fetch_add(1, Ordering::Relaxed);
+        inner.metrics.connections_total.inc();
         if let Some(timeout) = inner.config.write_timeout.filter(|t| !t.is_zero()) {
             let _ = stream.set_write_timeout(Some(timeout));
         }
@@ -450,13 +652,24 @@ fn connection_loop(inner: &Arc<Inner>, stream: TcpStream, conn_id: u64, job_tx: 
         }
     };
     let (reply_tx, reply_rx) = mpsc::channel::<Vec<u8>>();
-    let writer = std::thread::spawn(move || writer_loop(write_half, &reply_rx));
-    let mut reader = BufReader::new(stream);
+    let writer = {
+        let tx_bytes = inner.metrics.tx_bytes.clone();
+        let tx_frames = inner.metrics.tx_frames.clone();
+        std::thread::spawn(move || writer_loop(write_half, &reply_rx, &tx_bytes, &tx_frames))
+    };
+    let mut reader = BufReader::new(CountingReader {
+        inner: stream,
+        bytes: inner.metrics.rx_bytes.clone(),
+    });
     loop {
         match read_request(&mut reader) {
             Ok(None) => break,
-            Ok(Some(request)) => handle_request(inner, request, job_tx, &reply_tx),
+            Ok(Some(request)) => {
+                inner.metrics.rx_frames.inc();
+                handle_request(inner, request, job_tx, &reply_tx);
+            }
             Err(e) => {
+                inner.metrics.protocol_errors.inc();
                 // One typed protocol-error response (id 0), then hang up:
                 // after a framing error the stream position is unknowable,
                 // so continuing could misparse every later byte.
@@ -483,10 +696,15 @@ fn connection_loop(inner: &Arc<Inner>, stream: TcpStream, conn_id: u64, job_tx: 
     // Release the shutdown-sweep handle (it would otherwise hold the
     // socket open past this thread's life) and hang up explicitly.
     inner.deregister(conn_id);
-    let _ = reader.into_inner().shutdown(Shutdown::Both);
+    let _ = reader.into_inner().inner.shutdown(Shutdown::Both);
 }
 
-fn writer_loop(mut stream: TcpStream, replies: &mpsc::Receiver<Vec<u8>>) {
+fn writer_loop(
+    mut stream: TcpStream,
+    replies: &mpsc::Receiver<Vec<u8>>,
+    tx_bytes: &Counter,
+    tx_frames: &Counter,
+) {
     while let Ok(frame) = replies.recv() {
         if stream.write_all(&frame).and_then(|()| stream.flush()).is_err() {
             // The peer is gone; keep draining so queued senders never
@@ -494,6 +712,8 @@ fn writer_loop(mut stream: TcpStream, replies: &mpsc::Receiver<Vec<u8>>) {
             // they hang up.
             break;
         }
+        tx_bytes.add(frame.len() as u64);
+        tx_frames.inc();
     }
 }
 
@@ -519,11 +739,16 @@ fn handle_request(
                 params,
                 query,
                 reply: reply_tx.clone(),
+                enqueued_at: Instant::now(),
             };
+            inner.metrics.queue_depth.add(1);
             if job_tx.send(job).is_err() {
                 // The batcher is gone (shutdown raced the request). Still
                 // an answered query for the stats, like every other error.
                 inner.queries.fetch_add(1, Ordering::Relaxed);
+                inner.metrics.queue_depth.add(-1);
+                inner.metrics.queries_total.inc();
+                inner.metrics.errors_shutdown.inc();
                 let _ = reply_tx.send(
                     Response {
                         request_id,
@@ -564,6 +789,20 @@ fn handle_request(
                 },
             };
             let _ = reply_tx.send(Response { request_id, body }.encode());
+        }
+        Request::Stats { request_id } => {
+            // Answered inline on the reader thread, like listings: a
+            // scrape reads atomics and polls store counters but runs no
+            // search, so it cannot perturb answers or per-query stats.
+            let epoch = inner.current_epoch();
+            let text = render_stats(&inner.metrics.registry, &epoch);
+            let _ = reply_tx.send(
+                Response {
+                    request_id,
+                    body: ResponseBody::Stats { text },
+                }
+                .encode(),
+            );
         }
         Request::Shutdown { request_id } => {
             let _ = reply_tx.send(
@@ -615,19 +854,29 @@ fn batcher_loop(inner: &Arc<Inner>, jobs: &mpsc::Receiver<Job>) {
 fn drain_tick(inner: &Arc<Inner>, batch: Vec<Job>) {
     inner.ticks.fetch_add(1, Ordering::Relaxed);
     inner.queries.fetch_add(batch.len() as u64, Ordering::Relaxed);
+    let m = &inner.metrics;
+    m.ticks_total.inc();
+    m.queries_total.add(batch.len() as u64);
+    m.queue_depth.add(-(batch.len() as i64));
+    m.batch_occupancy.observe(batch.len() as u64);
+    // The moment the tick starts working is where every job's enqueue
+    // (queue-wait) span ends.
+    let drained_at = Instant::now();
     let epoch = inner.current_epoch();
     let mut groups: BTreeMap<(usize, SearchKey), Vec<Job>> = BTreeMap::new();
     for job in batch {
         let Some(slot) = epoch.indexes.iter().position(|s| s.name == job.index) else {
-            let _ = job.reply.send(
-                Response {
-                    request_id: job.request_id,
-                    body: ResponseBody::Error {
-                        code: ErrorCode::UnknownIndex,
-                        message: format!("no index named {:?} is served", job.index),
-                    },
-                }
-                .encode(),
+            m.errors_unknown_index.inc();
+            let message = format!("no index named {:?} is served", job.index);
+            finish_job(
+                inner,
+                &job,
+                ResponseBody::Error {
+                    code: ErrorCode::UnknownIndex,
+                    message,
+                },
+                drained_at,
+                Duration::ZERO,
             );
             continue;
         };
@@ -636,11 +885,19 @@ fn drain_tick(inner: &Arc<Inner>, batch: Vec<Job>) {
             .or_default()
             .push(job);
     }
+    m.groups_per_tick.observe(groups.len() as u64);
     for ((slot, _), group) in groups {
         inner.batch_calls.fetch_add(1, Ordering::Relaxed);
+        m.batch_calls_total.inc();
         let params = group[0].params;
         let queries: Vec<&[f32]> = group.iter().map(|j| j.query.as_slice()).collect();
+        let t0 = Instant::now();
         let results = epoch.indexes[slot].index.search_batch(&queries, &params);
+        let group_elapsed = t0.elapsed();
+        m.stage_search_micros.observe_micros(group_elapsed);
+        // One batched call measures one wall-clock; each query's share is
+        // the amortized mean, mirroring the offline parallel runner.
+        let amortized = group_elapsed / group.len() as u32;
         debug_assert_eq!(results.len(), group.len());
         // Pair results back by position, but never let a contract-breaking
         // index (fewer results than queries) leave a request unanswered —
@@ -649,30 +906,79 @@ fn drain_tick(inner: &Arc<Inner>, batch: Vec<Job>) {
         let mut results = results.into_iter();
         for job in &group {
             let body = match results.next() {
-                Some(Ok(answer)) => ResponseBody::Answer {
-                    neighbors: answer.neighbors,
-                },
-                Some(Err(e)) => ResponseBody::Error {
-                    code: ErrorCode::Search,
-                    message: e.to_string(),
-                },
-                None => ResponseBody::Error {
-                    code: ErrorCode::Search,
-                    message: format!(
-                        "index {:?} violated the search_batch contract: fewer results than queries",
-                        epoch.indexes[slot].name
-                    ),
-                },
-            };
-            let _ = job.reply.send(
-                Response {
-                    request_id: job.request_id,
-                    body,
+                Some(Ok(answer)) => {
+                    m.observe_query_stats(&answer.stats);
+                    ResponseBody::Answer {
+                        neighbors: answer.neighbors,
+                    }
                 }
-                .encode(),
+                Some(Err(e)) => {
+                    m.errors_search.inc();
+                    ResponseBody::Error {
+                        code: ErrorCode::Search,
+                        message: e.to_string(),
+                    }
+                }
+                None => {
+                    m.errors_search.inc();
+                    ResponseBody::Error {
+                        code: ErrorCode::Search,
+                        message: format!(
+                            "index {:?} violated the search_batch contract: fewer results than queries",
+                            epoch.indexes[slot].name
+                        ),
+                    }
+                }
+            };
+            finish_job(inner, job, body, drained_at, amortized);
+        }
+    }
+}
+
+/// Encodes and sends one job's response, observing its latency spans and
+/// writing the slow-query log line when the configured threshold is hit.
+/// `search_share` is the job's amortized share of its group's batched
+/// search (zero for jobs that never reached an index).
+fn finish_job(
+    inner: &Arc<Inner>,
+    job: &Job,
+    body: ResponseBody,
+    drained_at: Instant,
+    search_share: Duration,
+) {
+    let m = &inner.metrics;
+    let queue_wait = drained_at.saturating_duration_since(job.enqueued_at);
+    m.stage_enqueue_micros.observe_micros(queue_wait);
+    let t0 = Instant::now();
+    let frame = Response {
+        request_id: job.request_id,
+        body,
+    }
+    .encode();
+    let encode_elapsed = t0.elapsed();
+    m.stage_write_micros.observe_micros(encode_elapsed);
+    let total = queue_wait + search_share + encode_elapsed;
+    m.query_micros.observe_micros(total);
+    if let Some(threshold) = inner.config.slow_query {
+        if total >= threshold {
+            m.slow_queries_total.inc();
+            let mut trace = QueryTrace::new();
+            trace.record(Stage::Enqueue, queue_wait);
+            if !search_share.is_zero() {
+                trace.record(Stage::ShardSearch, search_share);
+            }
+            trace.record(Stage::Write, encode_elapsed);
+            eprintln!(
+                "slow-query request_id={} index={:?} params={:?} total_ms={:.1} stages: {}",
+                job.request_id,
+                job.index,
+                job.params.key(),
+                total.as_secs_f64() * 1e3,
+                trace.breakdown(),
             );
         }
     }
+    let _ = job.reply.send(frame);
 }
 
 #[cfg(test)]

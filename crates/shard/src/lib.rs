@@ -223,6 +223,21 @@ impl AnnIndex for ShardedIndex {
         self.shards.iter().map(|s| s.memory_footprint()).sum()
     }
 
+    /// The component-wise sum over every shard's store, presenting the
+    /// sharded collection as one logical store to the scrape path.
+    /// `None` when the inner method holds no store at all.
+    fn store_counters(&self) -> Option<hydra_core::StoreCounters> {
+        let mut total = hydra_core::StoreCounters::default();
+        let mut any = false;
+        for shard in &self.shards {
+            if let Some(c) = shard.store_counters() {
+                total.merge(&c);
+                any = true;
+            }
+        }
+        any.then_some(total)
+    }
+
     fn search(&self, query: &[f32], params: &SearchParams) -> Result<SearchResult> {
         let per_shard = self.fan_out(|shard| shard.search(query, params));
         self.merge_query(params.k, per_shard)

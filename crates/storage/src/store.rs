@@ -3,7 +3,7 @@
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-use hydra_core::{Dataset, Error, QueryStats, Result};
+use hydra_core::{Dataset, Error, QueryStats, Result, StoreCounters};
 use parking_lot::Mutex;
 
 use crate::buffer::BufferPool;
@@ -613,6 +613,22 @@ impl SeriesStore {
         IoSnapshot {
             pool_evictions: state.pool.evictions(),
             ..state.totals
+        }
+    }
+
+    /// The same cumulative totals as [`SeriesStore::io_snapshot`], in
+    /// the core [`StoreCounters`] shape the observability layer scrapes
+    /// through [`hydra_core::AnnIndex::store_counters`]. Reading is a
+    /// pure snapshot — it charges nothing and touches no pool state.
+    pub fn counters(&self) -> StoreCounters {
+        let snap = self.io_snapshot();
+        StoreCounters {
+            random_ios: snap.random_ios,
+            sequential_ios: snap.sequential_ios,
+            bytes_read: snap.bytes_read,
+            pool_hits: snap.pool_hits,
+            pool_misses: snap.pool_misses,
+            pool_evictions: snap.pool_evictions,
         }
     }
 

@@ -427,6 +427,10 @@ impl AnnIndex for VaPlusFile {
             + self.quantizer.dims() * (self.quantizer.cells() + 1) * std::mem::size_of::<f32>()
     }
 
+    fn store_counters(&self) -> Option<hydra_core::StoreCounters> {
+        Some(self.store.counters())
+    }
+
     fn search(&self, query: &[f32], params: &SearchParams) -> Result<SearchResult> {
         self.validate(query)?;
         let mut candidates = Vec::new();

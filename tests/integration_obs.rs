@@ -1,0 +1,340 @@
+//! Observability acceptance suite: the telemetry layer must *describe*
+//! the serving pipeline without *touching* it.
+//!
+//! Two contracts are asserted over real TCP:
+//!
+//! 1. **Answers are unchanged.** Every answer served while metrics are
+//!    being recorded is byte-identical (same neighbors, bit-identical
+//!    distances) to the offline path on an index loaded from the same
+//!    snapshots — observability never changes answers.
+//! 2. **Scrapes reconcile exactly.** The `Stats` frame's Prometheus text
+//!    exposition parses cleanly (every line a `# TYPE` header or one
+//!    sample, no duplicate keys), `hydra_queries_total` equals the number
+//!    of queries actually replayed, each
+//!    `hydra_query_stats_total{counter=...}` equals the same counter
+//!    summed over the offline runs' [`QueryStats`], and a second scrape
+//!    is monotone on every counter. The router answers the same frame
+//!    from its own registry, and its per-worker call counters reconcile
+//!    with the worker's own served-query count.
+//!
+//! Queries replay sequentially through [`ServeClient::call`] (one query
+//! per batch tick), so the batcher's `search_batch` degenerates to the
+//! offline per-query path and the per-query counters must match exactly.
+
+mod common;
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use common::Scan;
+use hydra::prelude::*;
+use hydra::QueryStats;
+use hydra_serve::{
+    boot_from_dir, Request, ResponseBody, Router, RouterConfig, ServeClient, ServedIndex,
+    Server, ServerConfig,
+};
+
+/// Parses a Prometheus text exposition into `sample key -> value`,
+/// asserting the grammar on the way: every line is either a
+/// `# TYPE <name> <kind>` header or a `<name>[{labels}] <value>` sample,
+/// and no sample key appears twice.
+fn parse_exposition(text: &str) -> BTreeMap<String, f64> {
+    let mut samples = BTreeMap::new();
+    for line in text.lines() {
+        assert!(!line.trim().is_empty(), "blank line in exposition");
+        if let Some(header) = line.strip_prefix("# TYPE ") {
+            let mut parts = header.split(' ');
+            let name = parts.next().unwrap_or("");
+            let kind = parts.next().unwrap_or("");
+            assert!(!name.is_empty(), "TYPE header without a name: {line:?}");
+            assert!(
+                matches!(kind, "counter" | "gauge" | "histogram"),
+                "TYPE header with unknown kind: {line:?}"
+            );
+            assert!(parts.next().is_none(), "trailing tokens in {line:?}");
+            continue;
+        }
+        let (key, value) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("unparseable sample line {line:?}"));
+        let value: f64 = value
+            .parse()
+            .unwrap_or_else(|_| panic!("non-numeric value in sample line {line:?}"));
+        assert!(
+            samples.insert(key.to_string(), value).is_none(),
+            "duplicate sample key {key:?}"
+        );
+    }
+    samples
+}
+
+/// Looks up one sample and returns it as the non-negative integer every
+/// counter (and `_count`) must be.
+fn counter(samples: &BTreeMap<String, f64>, key: &str) -> u64 {
+    let v = *samples
+        .get(key)
+        .unwrap_or_else(|| panic!("missing sample {key:?}"));
+    assert!(
+        v >= 0.0 && v.fract() == 0.0,
+        "sample {key:?} is not a non-negative integer: {v}"
+    );
+    v as u64
+}
+
+/// Sends one query through `client` and returns the answer's neighbors,
+/// panicking on any non-answer body.
+fn ask(
+    client: &mut ServeClient,
+    request_id: u64,
+    index: &str,
+    params: &SearchParams,
+    query: &[f32],
+) -> Vec<hydra::Neighbor> {
+    let response = client
+        .call(&Request::Query {
+            request_id,
+            index: index.to_string(),
+            params: *params,
+            query: query.to_vec(),
+        })
+        .unwrap();
+    match response.body {
+        ResponseBody::Answer { neighbors } => neighbors,
+        other => panic!("query {request_id} on {index:?} failed: {other:?}"),
+    }
+}
+
+#[test]
+fn scraped_metrics_reconcile_exactly_and_answers_stay_byte_identical() {
+    let zoo = common::in_memory_zoo();
+    let registry = hydra::standard_registry(true, 9);
+    let booted = boot_from_dir(&zoo.dir, &registry).unwrap();
+    assert_eq!(booted.indexes.len(), 8, "the whole zoo must boot");
+    let offline = boot_from_dir(&zoo.dir, &registry).unwrap();
+    let handle = Server::spawn(
+        booted.indexes,
+        "127.0.0.1:0",
+        ServerConfig {
+            batch_window: Duration::from_millis(1),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = handle.local_addr();
+
+    let k = 10;
+    let params = SearchParams::ng(k, 16);
+    let workload = hydra::data::noisy_queries(&zoo.data, 6, &[0.0, 0.2], 41);
+
+    // Replay the workload against every index, one query per call, while
+    // the offline twin answers the same queries; answers must match to
+    // the bit and the per-query stats sum into the reconciliation total.
+    let mut client = ServeClient::connect(addr).unwrap();
+    let mut offline_sums = QueryStats::new();
+    let mut replayed: u64 = 0;
+    for served in &offline.indexes {
+        for (q, query) in workload.iter().enumerate() {
+            replayed += 1;
+            let wire = ask(&mut client, replayed, &served.name, &params, query);
+            let answer = served.index.search(query, &params).unwrap();
+            assert_eq!(
+                wire.len(),
+                answer.neighbors.len(),
+                "{} query {q}: answer set size drifted under instrumentation",
+                served.name
+            );
+            for (a, b) in wire.iter().zip(answer.neighbors.iter()) {
+                assert_eq!(a.index, b.index, "{} query {q}: neighbor drifted", served.name);
+                assert_eq!(
+                    a.distance.to_bits(),
+                    b.distance.to_bits(),
+                    "{} query {q}: distance drifted",
+                    served.name
+                );
+            }
+            offline_sums.merge(&answer.stats);
+        }
+    }
+
+    // One query for an index that does not exist: it must still be
+    // *counted* (as a query and as a typed error), not just answered.
+    let response = client
+        .call(&Request::Query {
+            request_id: replayed + 1,
+            index: "no-such-index".into(),
+            params,
+            query: workload.iter().next().unwrap().to_vec(),
+        })
+        .unwrap();
+    assert!(
+        matches!(
+            response.body,
+            ResponseBody::Error {
+                code: hydra_serve::ErrorCode::UnknownIndex,
+                ..
+            }
+        ),
+        "expected UnknownIndex, got {:?}",
+        response.body
+    );
+    let total = replayed + 1;
+
+    // First scrape: exact reconciliation.
+    let first = parse_exposition(&client.stats().unwrap());
+    assert_eq!(
+        counter(&first, "hydra_queries_total"),
+        total,
+        "queries_total must equal the number of queries replayed"
+    );
+    assert_eq!(
+        counter(&first, "hydra_query_micros_count"),
+        total,
+        "every query (even a failed one) must observe its latency"
+    );
+    assert_eq!(
+        counter(&first, "hydra_query_errors_total{kind=\"unknown_index\"}"),
+        1
+    );
+    assert_eq!(counter(&first, "hydra_query_errors_total{kind=\"search\"}"), 0);
+    for (name, value) in offline_sums.counters() {
+        assert_eq!(
+            counter(&first, &format!("hydra_query_stats_total{{counter=\"{name}\"}}")),
+            value,
+            "scraped {name} must equal the offline QueryStats sum"
+        );
+    }
+    assert!(counter(&first, "hydra_connections_total") >= 1);
+    assert!(counter(&first, "hydra_ticks_total") >= 1);
+    assert!(counter(&first, "hydra_batch_calls_total") >= replayed);
+    assert_eq!(counter(&first, "hydra_rx_frames_total"), total + 1); // + the stats frame
+    assert_eq!(*first.get("hydra_epoch").unwrap(), 0.0, "no reload has happened");
+    assert_eq!(
+        *first.get("hydra_reload_last_ok").unwrap(),
+        -1.0,
+        "reload_last_ok starts unset"
+    );
+
+    // More traffic (pipelined this time — grouping is allowed to batch),
+    // then a second scrape: every counter-like sample is monotone and the
+    // query total advances by exactly the replayed count.
+    let more = common::replay(addr, &offline.indexes[0].name, &params, &workload, 2);
+    assert_eq!(more.len(), workload.len());
+    let second = parse_exposition(&client.stats().unwrap());
+    assert_eq!(
+        counter(&second, "hydra_queries_total"),
+        total + workload.len() as u64
+    );
+    for (key, v1) in &first {
+        if key.ends_with("_total") || key.ends_with("_count") || key.contains("_bucket{") {
+            let v2 = second
+                .get(key)
+                .unwrap_or_else(|| panic!("sample {key:?} disappeared between scrapes"));
+            assert!(
+                v2 >= v1,
+                "counter {key:?} went backwards between scrapes: {v1} -> {v2}"
+            );
+        }
+    }
+
+    client.shutdown().unwrap();
+    drop(client);
+    let stats = handle.join();
+    // The legacy join() totals and the scraped registry agree.
+    assert_eq!(stats.queries, total + workload.len() as u64);
+}
+
+#[test]
+fn the_router_answers_stats_from_its_own_registry_and_reconciles_with_its_worker() {
+    let data = hydra::data::random_walk(200, 16, 4242);
+    let offline = Scan { data: data.clone() };
+    let worker = Server::spawn(
+        vec![ServedIndex {
+            name: "walk-scan".into(),
+            index: Box::new(Scan { data: data.clone() }),
+        }],
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let router = Router::spawn(
+        &[worker.local_addr()],
+        "127.0.0.1:0",
+        RouterConfig {
+            worker_timeout: Duration::from_millis(800),
+            connect_timeout: Duration::from_millis(400),
+            boot_timeout: Duration::from_secs(5),
+            ..RouterConfig::default()
+        },
+    )
+    .unwrap();
+
+    let k = 4;
+    let params = SearchParams::exact(k);
+    let workload = hydra::data::noisy_queries(&data, 5, &[0.0, 0.2], 7);
+    let mut client = ServeClient::connect(router.local_addr()).unwrap();
+    for (q, series) in workload.iter().enumerate() {
+        let wire = ask(&mut client, (q + 1) as u64, "walk-scan", &params, series);
+        let answer = offline.search(series, &params).unwrap();
+        assert_eq!(wire.len(), answer.neighbors.len());
+        for (a, b) in wire.iter().zip(answer.neighbors.iter()) {
+            assert_eq!(a.index, b.index, "routed query {q}: neighbor drifted");
+            assert_eq!(
+                a.distance.to_bits(),
+                b.distance.to_bits(),
+                "routed query {q}: distance drifted"
+            );
+        }
+    }
+
+    // The router's scrape is its *own* registry: router-level families
+    // plus one labeled family set per worker — never the worker's
+    // server-level families.
+    let samples = parse_exposition(&client.stats().unwrap());
+    let queries = workload.len() as u64;
+    assert_eq!(counter(&samples, "hydra_router_queries_total"), queries);
+    assert!(counter(&samples, "hydra_router_connections_total") >= 1);
+    assert!(
+        !samples.contains_key("hydra_queries_total"),
+        "the router must not leak worker-level families into its scrape"
+    );
+    let label = format!("worker=\"{}\"", worker.local_addr());
+    assert!(
+        counter(&samples, &format!("hydra_router_worker_calls_total{{{label}}}")) >= queries,
+        "every routed query is one worker call"
+    );
+    assert_eq!(
+        counter(&samples, &format!("hydra_router_worker_errors_total{{{label}}}")),
+        0
+    );
+    assert_eq!(
+        counter(&samples, &format!("hydra_router_worker_timeouts_total{{{label}}}")),
+        0
+    );
+    assert_eq!(
+        *samples
+            .get(&format!("hydra_router_worker_in_flight{{{label}}}"))
+            .unwrap(),
+        0.0,
+        "no call is in flight while the scrape itself is being answered"
+    );
+    assert!(
+        counter(&samples, &format!("hydra_router_worker_call_micros_count{{{label}}}"))
+            >= queries
+    );
+
+    // Cross-tier reconciliation: the worker's own scrape confirms it
+    // served exactly the queries the router fanned out.
+    let mut direct = ServeClient::connect(worker.local_addr()).unwrap();
+    let worker_samples = parse_exposition(&direct.stats().unwrap());
+    assert_eq!(counter(&worker_samples, "hydra_queries_total"), queries);
+    drop(direct);
+
+    // One client shutdown stops the deployment; the legacy router stats
+    // agree with the scrape.
+    client.shutdown().unwrap();
+    drop(client);
+    let stats = router.join();
+    assert_eq!(stats.queries, queries);
+    assert_eq!(stats.worker_errors, 0);
+    worker.join();
+}

@@ -211,6 +211,21 @@ fn serve_scripted(stream: TcpStream, shard: &hydra::Dataset, mode: &Mutex<Mode>,
                     return;
                 }
             }
+            Request::Stats { request_id } => {
+                // A minimal but well-formed exposition; these tests never
+                // scrape the scripted worker, the arm only keeps the
+                // protocol complete.
+                let ok = respond(Response {
+                    request_id,
+                    body: ResponseBody::Stats {
+                        text: "# TYPE hydra_queries_total counter\nhydra_queries_total 0\n"
+                            .into(),
+                    },
+                });
+                if !ok {
+                    return;
+                }
+            }
             Request::Shutdown { request_id } => {
                 let _ = respond(Response {
                     request_id,

@@ -206,6 +206,39 @@ proptest! {
         }
     }
 
+    /// Stats frames ride the same frame layer: any text round-trips, every
+    /// strict prefix is `Truncated`, and a flipped magic is `BadMagic` —
+    /// a scrape can never wedge or panic a connection.
+    #[test]
+    fn stats_frames_obey_the_frame_layer(
+        id in 1usize..1_000,
+        text_len in 0usize..300,
+        seed in 0usize..1_000_000,
+        cut_pick in 0usize..10_000,
+    ) {
+        let text: String = (0..text_len)
+            .map(|i| char::from(b' ' + ((seed + i * 31) % 90) as u8))
+            .collect();
+        let response = Response {
+            request_id: id as u64,
+            body: ResponseBody::Stats { text },
+        };
+        let bytes = response.encode();
+        let decoded = read_response(&mut Cursor::new(bytes.clone())).unwrap().unwrap();
+        prop_assert_eq!(&decoded, &response);
+        let cut = 1 + cut_pick % (bytes.len() - 1);
+        prop_assert!(matches!(
+            read_response(&mut Cursor::new(bytes[..cut].to_vec())),
+            Err(ProtocolError::Truncated)
+        ));
+        let mut bad = bytes.clone();
+        bad[0] ^= 0x40;
+        prop_assert!(matches!(
+            read_response(&mut Cursor::new(bad)),
+            Err(ProtocolError::BadMagic { .. })
+        ));
+    }
+
     /// Flipping any single payload byte of a query frame never panics the
     /// decoder: it either still decodes (the flip landed in value bits) or
     /// fails with a typed error.
@@ -254,7 +287,7 @@ fn corruption_matrix_pins_every_error_class() {
         use hydra::persist::Section;
         let mut s = Section::new();
         s.put_u64(1);
-        s.put_u8(4); // unknown op (3 is Reload)
+        s.put_u8(9); // unknown op (4, Stats, is the highest assigned)
         cases.push(s.as_bytes().to_vec());
         let mut s = Section::new();
         s.put_u64(1);
@@ -307,6 +340,55 @@ fn corruption_matrix_pins_every_error_class() {
         assert!(matches!(
             Response::decode(s.as_bytes()),
             Err(ProtocolError::Truncated)
+        ));
+    }
+
+    // Stats frames obey the same matrix. A stats request is op 4 with no
+    // payload — trailing bytes are Corrupt, not ignored.
+    {
+        use hydra::persist::Section;
+        let mut s = Section::new();
+        s.put_u64(1);
+        s.put_u8(4);
+        assert_eq!(
+            Request::decode(s.as_bytes()).unwrap(),
+            Request::Stats { request_id: 1 }
+        );
+        s.put_u8(0xAB);
+        assert!(matches!(
+            Request::decode(s.as_bytes()),
+            Err(ProtocolError::Corrupt(_))
+        ));
+    }
+    // A stats response declaring ~2^64 text bytes fails typed before any
+    // allocation; one declaring more than it carries is Truncated; a text
+    // that is not UTF-8 is Corrupt, never a panic.
+    {
+        use hydra::persist::Section;
+        let mut s = Section::new();
+        s.put_u64(1);
+        s.put_u8(5);
+        s.put_u64(u64::MAX);
+        assert!(matches!(
+            Response::decode(s.as_bytes()),
+            Err(ProtocolError::Truncated)
+        ));
+        let mut s = Section::new();
+        s.put_u64(1);
+        s.put_u8(5);
+        s.put_u64(100); // declares 100 bytes...
+        s.put_u8s(b"short"); // ...after an 8-byte count, carries 5
+        assert!(matches!(
+            Response::decode(s.as_bytes()),
+            Err(ProtocolError::Truncated)
+        ));
+        let mut s = Section::new();
+        s.put_u64(1);
+        s.put_u8(5);
+        s.put_u8s(&[0xFF, 0xFE, 0x41]);
+        assert!(matches!(
+            Response::decode(s.as_bytes()),
+            Err(ProtocolError::Corrupt(_))
         ));
     }
 
@@ -433,6 +515,15 @@ mod router_path {
                         body: ResponseBody::Error {
                             code: hydra_serve::ErrorCode::Unavailable,
                             message: "fuzz worker has no reloader".into(),
+                        },
+                    }
+                    .encode(),
+                ),
+                Request::Stats { request_id } => Some(
+                    Response {
+                        request_id,
+                        body: ResponseBody::Stats {
+                            text: String::new(),
                         },
                     }
                     .encode(),
