@@ -31,6 +31,71 @@ fn bench_distances(c: &mut Criterion) {
     group.finish();
 }
 
+/// The compressed page tier's fused decode+distance kernels against their
+/// decode-into-a-scratch-buffer equivalent. The fused path's edge is
+/// abandonment: it never decodes positions past the abandon point, so
+/// under a tight bound (the refinement regime — most candidates abandon
+/// early) it skips almost all decode work, while the loose-bound case
+/// pays for fusion with a less vectorizable loop. The page tier's win is
+/// bytes moved either way; these numbers locate the CPU crossover.
+fn bench_fused_quantized(c: &mut Criterion) {
+    let query = series(4, 256);
+    let target = series(5, 256);
+    let (lo, hi) = target.iter().fold((f32::MAX, f32::MIN), |(lo, hi), &v| {
+        (lo.min(v), hi.max(v))
+    });
+    let scale = ((hi - lo) / 255.0).max(f32::MIN_POSITIVE);
+    let min = lo;
+    let u8_codes: Vec<u8> = target
+        .iter()
+        .map(|&v| (((v - min) / scale).round() as i64).clamp(0, 255) as u8)
+        .collect();
+    let f16_codes: Vec<u16> = target
+        .iter()
+        .map(|&v| hydra::core::f16_bits_from_f32(v))
+        .collect();
+    let mut group = c.benchmark_group("fused-quantized");
+    group.sample_size(30);
+    group.bench_function("fused-u8-256-loose", |bench| {
+        bench.iter(|| {
+            std::hint::black_box(hydra::core::euclidean_early_abandon_u8(
+                &query,
+                &u8_codes,
+                min,
+                scale,
+                f32::INFINITY,
+            ))
+        })
+    });
+    group.bench_function("fused-u8-256-tight", |bench| {
+        bench.iter(|| {
+            std::hint::black_box(hydra::core::euclidean_early_abandon_u8(
+                &query, &u8_codes, min, scale, 0.5,
+            ))
+        })
+    });
+    group.bench_function("fused-f16-256-loose", |bench| {
+        bench.iter(|| {
+            std::hint::black_box(hydra::core::euclidean_early_abandon_f16(
+                &query,
+                &f16_codes,
+                f32::INFINITY,
+            ))
+        })
+    });
+    group.bench_function("decode-then-kernel-u8-256", |bench| {
+        bench.iter(|| {
+            let decoded: Vec<f32> = u8_codes.iter().map(|&c| min + c as f32 * scale).collect();
+            std::hint::black_box(hydra::core::euclidean_early_abandon(
+                &query,
+                &decoded,
+                f32::INFINITY,
+            ))
+        })
+    });
+    group.finish();
+}
+
 fn bench_summarizations(c: &mut Criterion) {
     let s = series(3, 256);
     let params = SaxParams::default();
@@ -97,5 +162,11 @@ fn bench_quantization(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_distances, bench_summarizations, bench_quantization);
+criterion_group!(
+    benches,
+    bench_distances,
+    bench_fused_quantized,
+    bench_summarizations,
+    bench_quantization
+);
 criterion_main!(benches);

@@ -29,6 +29,16 @@
 //! `QueryStats` are byte-identical to the resident run at any pool size;
 //! the store-level `bytes_read`/eviction totals become measurements.
 //!
+//! Pass `--page-codec u8|f16|f32` (with `--load-index`) to serve the raw
+//! series through the quantized page tier: pages hold u8 (or f16) codes
+//! with a per-page min/scale header, pruning runs on the fused
+//! decode+distance kernels, and every returned distance is refined against
+//! the exact f32 series. Accuracy and distance columns are bit-identical
+//! to the default `f32` run at any pool size; `bytes_read` drops ~4×
+//! (`u8`) or ~2× (`f16`) at equal `--pool-pages`, and the store-level
+//! `compressed_bytes_read` counter records the coded traffic — the
+//! equal-memory comparison CI diffs.
+//!
 //! Pass `--ingest-split F` (`0 < F < 1`) to build every index over the
 //! first `ceil(F·n)` series only and stream the rest in through
 //! `insert_batch` — the streaming-ingest regime. Methods without

@@ -286,7 +286,8 @@ pub fn build_or_load_methods(
     if flags.shards > 1 {
         return build_or_load_methods_sharded(dataset_name, data, in_memory, seed, flags);
     }
-    let configs = hydra::standard_configs_pooled(in_memory, seed, flags.pool_pages);
+    let configs =
+        hydra::standard_configs_tiered(in_memory, seed, flags.pool_pages, flags.page_codec);
     if let Some(dir) = &flags.save_index {
         let path = dataset_snapshot_file(dir, dataset_name);
         hydra::persist::dataset::save_dataset(data, &path).unwrap_or_else(|e| {
@@ -495,6 +496,14 @@ pub struct BenchFlags {
     /// went (fan-out vs. per-shard search) and what I/O each stage did.
     /// `None` (the default) records nothing and costs nothing.
     pub trace_out: Option<PathBuf>,
+    /// Page codec for the disk-capable methods' raw-series tier
+    /// (`--page-codec u8|f16|f32`, default `f32`). A non-`f32` codec keeps
+    /// the sealed pages quantized (u8: ~4× fewer bytes per page read, f16:
+    /// ~2×) and refines every candidate against the exact `f32` series, so
+    /// accuracy and distance columns stay bit-identical while `bytes_read`
+    /// drops. Requires `--load-index`: a fresh build serves its raw tier
+    /// unsealed, so the codec would silently measure nothing.
+    pub page_codec: hydra::PageCodec,
 }
 
 impl Default for BenchFlags {
@@ -509,6 +518,7 @@ impl Default for BenchFlags {
             shards: 1,
             ingest_split: None,
             trace_out: None,
+            page_codec: hydra::PageCodec::F32,
         }
     }
 }
@@ -527,6 +537,7 @@ pub fn parse_bench_flags(
     let mut flags = BenchFlags::default();
     let mut threads_seen = false;
     let mut shards_seen = false;
+    let mut codec_seen = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value_of = |name: &str| -> Option<std::result::Result<String, String>> {
@@ -611,6 +622,20 @@ pub fn parse_bench_flags(
                 return Err("--trace-out expects a file path".into());
             }
             flags.trace_out = Some(PathBuf::from(value));
+        } else if let Some(value) = value_of("--page-codec") {
+            let value = value?;
+            if codec_seen {
+                return Err("--page-codec given more than once".into());
+            }
+            codec_seen = true;
+            flags.page_codec = match hydra::PageCodec::parse(&value) {
+                Ok(codec) => codec,
+                Err(_) => {
+                    return Err(format!(
+                        "--page-codec expects u8, f16 or f32, got {value:?}"
+                    ))
+                }
+            };
         } else if let Some(value) = value_of("--shards") {
             let value = value?;
             if shards_seen {
@@ -624,7 +649,8 @@ pub fn parse_bench_flags(
         } else {
             return Err(format!(
                 "unrecognized argument {arg:?} (accepted: {}--save-index DIR, --load-index DIR, \
-                 --pool-pages N, --out-of-core, --shards S, --ingest-split F, --trace-out FILE)",
+                 --pool-pages N, --out-of-core, --page-codec u8|f16|f32, --shards S, \
+                 --ingest-split F, --trace-out FILE)",
                 if threads_allowed { "--threads N, " } else { "" }
             ));
         }
@@ -646,6 +672,13 @@ pub fn parse_bench_flags(
         return Err(
             "--ingest-split and --load-index are mutually exclusive (a loaded index has no \
              build phase to split)"
+                .into(),
+        );
+    }
+    if flags.page_codec != hydra::PageCodec::F32 && flags.load_index.is_none() {
+        return Err(
+            "--page-codec u8/f16 requires --load-index DIR (a fresh build serves its raw tier \
+             unsealed, so the codec would measure nothing; save snapshots first)"
                 .into(),
         );
     }
@@ -910,6 +943,42 @@ mod tests {
         )
         .unwrap();
         assert_eq!(f.ingest_split, Some(0.5), "--ingest-split composes with --save-index");
+        // Page-codec flag: both spellings, strict values, duplicate
+        // rejection, and a non-f32 codec demands snapshots to load (a
+        // fresh build never seals its raw tier).
+        assert_eq!(
+            parse_bench_flags(&args(&[]), true).unwrap().page_codec,
+            hydra::PageCodec::F32
+        );
+        let f = parse_bench_flags(
+            &args(&["--load-index", "/s", "--page-codec", "u8"]),
+            true,
+        )
+        .unwrap();
+        assert_eq!(f.page_codec, hydra::PageCodec::U8);
+        let f = parse_bench_flags(&args(&["--load-index=/s", "--page-codec=f16"]), false).unwrap();
+        assert_eq!(f.page_codec, hydra::PageCodec::F16);
+        assert_eq!(
+            parse_bench_flags(&args(&["--page-codec", "f32"]), true).unwrap().page_codec,
+            hydra::PageCodec::F32,
+            "an explicit f32 codec is the default and needs no snapshots"
+        );
+        assert!(parse_bench_flags(&args(&["--page-codec", "u4"]), true).is_err());
+        assert!(parse_bench_flags(&args(&["--page-codec"]), true).is_err());
+        assert!(parse_bench_flags(
+            &args(&["--load-index=/s", "--page-codec=u8", "--page-codec=u8"]),
+            true
+        )
+        .is_err());
+        assert!(
+            parse_bench_flags(&args(&["--page-codec", "u8"]), true).is_err(),
+            "a coded tier without --load-index would silently measure nothing"
+        );
+        assert!(parse_bench_flags(
+            &args(&["--save-index", "/s", "--page-codec", "u8"]),
+            true
+        )
+        .is_err());
         // Trace-out flag: both spellings, strict about garbage.
         assert_eq!(parse_bench_flags(&args(&[]), true).unwrap().trace_out, None);
         let f = parse_bench_flags(&args(&["--trace-out", "/tmp/t.csv"]), true).unwrap();
@@ -1040,6 +1109,63 @@ mod tests {
             assert_eq!(map_r, map_o);
             assert_eq!(rep_r.accuracy, rep_o.accuracy);
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn page_codec_zoo_answers_bit_identically_and_reads_fewer_bytes() {
+        let dir = std::env::temp_dir().join(format!(
+            "hydra-bench-codec-{}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        // 2 000 × 64 × 4 B = 8 default pages of raw series behind a
+        // single-page pool: the genuinely thrashing regime where page
+        // traffic, not survivor refinement, dominates `bytes_read`.
+        let d = make_dataset("rand256", 2_000, 64, 5, 83);
+        let save = BenchFlags {
+            save_index: Some(dir.clone()),
+            ..BenchFlags::default()
+        };
+        build_or_load_methods(d.name, &d.data, false, 5, &save);
+        let load = |codec| BenchFlags {
+            load_index: Some(dir.clone()),
+            out_of_core: true,
+            pool_pages: Some(1),
+            page_codec: codec,
+            ..BenchFlags::default()
+        };
+        let raw = build_or_load_methods(d.name, &d.data, false, 5, &load(hydra::PageCodec::F32));
+        let coded = build_or_load_methods(d.name, &d.data, false, 5, &load(hydra::PageCodec::U8));
+        assert_eq!(raw.len(), coded.len());
+        let mut some_store_compared = false;
+        for (r, c) in raw.iter().zip(coded.iter()) {
+            assert_eq!(r.index.name(), c.index.name());
+            let params = SearchParams::ng(5, 8);
+            let (map_r, rep_r) = run_point(r.index.as_ref(), &d, &params);
+            let (map_c, rep_c) = run_point(c.index.as_ref(), &d, &params);
+            assert_eq!(
+                map_r, map_c,
+                "{} answers drifted under --page-codec u8",
+                r.index.name()
+            );
+            assert_eq!(rep_r.accuracy, rep_c.accuracy);
+            let (Some(rio), Some(cio)) = (r.index.store_counters(), c.index.store_counters())
+            else {
+                continue;
+            };
+            some_store_compared = true;
+            assert!(
+                cio.bytes_read < rio.bytes_read,
+                "{}: coded tier read {} bytes, raw {}",
+                r.index.name(),
+                cio.bytes_read,
+                rio.bytes_read
+            );
+            assert!(cio.compressed_bytes_read > 0, "{}", r.index.name());
+            assert_eq!(rio.compressed_bytes_read, 0);
+        }
+        assert!(some_store_compared, "no disk method exposed store counters");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -5,41 +5,131 @@
 //! early-abandoning variant, which stops accumulating squared differences as
 //! soon as the partial sum exceeds the best-so-far distance — the single
 //! most important CPU optimization for leaf refinement.
+//!
+//! # The accumulation-order contract
+//!
+//! Every kernel in this module accumulates squared differences in **one
+//! canonical order**, implemented once in the private `sum_squares_abandoning`
+//! helper:
+//!
+//! * four independent accumulators over interleaved 4-element lanes
+//!   (`acc_k` sums positions `j` with `j % 4 == k`), which lets the
+//!   compiler vectorize the loop with FMA-friendly independent chains
+//!   without relying on floating-point reassociation flags;
+//! * abandonment checks every 8 positions (two 4-lanes), on the horizontal
+//!   reduction `(acc0 + acc1) + (acc2 + acc3)` — reading the partial sum
+//!   never alters the accumulators;
+//! * the final value is that same reduction, followed by the scalar tail
+//!   (`len % 4` trailing positions) added in index order.
+//!
+//! This is a repo-wide correctness contract, not a style choice:
+//! [`squared_euclidean`], [`euclidean_early_abandon`] and the fused
+//! quantized-decode kernels ([`euclidean_early_abandon_u8`],
+//! [`euclidean_early_abandon_f16`]) must produce **bit-identical** partial
+//! sums for the same inputs, because a kept candidate's distance must not
+//! depend on which entry point examined it. If `euclidean(a, b)` and
+//! `euclidean_early_abandon(a, b, ∞)` could disagree by an ULP, the same
+//! series refined through different code paths (sequential scan vs. tree
+//! leaf vs. compressed-page refinement) would report distances apart by an
+//! ULP and break the bit-identity contract of exact search. The property
+//! suite pins the entry points against each other bit-for-bit.
+//!
+//! Thresholds are compared in **squared space end-to-end** via the private
+//! `squared_threshold` helper, which saturates at [`f32::MAX`] instead of
+//! overflowing to `inf`: a large-but-finite bound (e.g. `f32::MAX`) must
+//! still abandon candidates whose squared sum overflows, not silently
+//! disable abandonment.
 
-/// Squared Euclidean distance between two equally-sized slices.
+/// The canonical accumulation order (see the module docs): 4-way lanes,
+/// abandonment check on the horizontal sum every 8 positions, reduction
+/// `(acc0 + acc1) + (acc2 + acc3)`, scalar tail in index order.
 ///
-/// # Panics
-/// Panics in debug builds if the slices have different lengths.
-#[inline]
-pub fn squared_euclidean(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    // Manual 4-way unrolling: lets the compiler vectorize without relying on
-    // floating-point reassociation flags.
+/// Returns `None` as soon as a checked partial sum exceeds `threshold`
+/// (a squared bound; pass `f32::INFINITY` to never abandon), otherwise
+/// `Some(total squared sum)`.
+#[inline(always)]
+fn sum_squares_abandoning<D>(len: usize, diff: D, threshold: f32) -> Option<f32>
+where
+    D: Fn(usize) -> f32,
+{
     let mut acc0 = 0.0f32;
     let mut acc1 = 0.0f32;
     let mut acc2 = 0.0f32;
     let mut acc3 = 0.0f32;
-    let chunks = a.len() / 4;
-    for i in 0..chunks {
-        let j = i * 4;
-        let d0 = a[j] - b[j];
-        let d1 = a[j + 1] - b[j + 1];
-        let d2 = a[j + 2] - b[j + 2];
-        let d3 = a[j + 3] - b[j + 3];
-        acc0 += d0 * d0;
-        acc1 += d1 * d1;
-        acc2 += d2 * d2;
-        acc3 += d3 * d3;
+    let quads = len / 4;
+    let mut q = 0usize;
+    while q < quads {
+        // Check the abandonment condition every 8 positions: frequent
+        // enough to save work, rare enough not to dominate the loop with
+        // branches.
+        let stop = (q + 2).min(quads);
+        while q < stop {
+            let j = q * 4;
+            let d0 = diff(j);
+            let d1 = diff(j + 1);
+            let d2 = diff(j + 2);
+            let d3 = diff(j + 3);
+            acc0 += d0 * d0;
+            acc1 += d1 * d1;
+            acc2 += d2 * d2;
+            acc3 += d3 * d3;
+            q += 1;
+        }
+        if (acc0 + acc1) + (acc2 + acc3) > threshold {
+            return None;
+        }
     }
-    let mut acc = acc0 + acc1 + acc2 + acc3;
-    for j in chunks * 4..a.len() {
-        let d = a[j] - b[j];
+    let mut acc = (acc0 + acc1) + (acc2 + acc3);
+    for j in quads * 4..len {
+        let d = diff(j);
         acc += d * d;
     }
-    acc
+    if acc > threshold {
+        return None;
+    }
+    Some(acc)
+}
+
+/// The squared-space abandonment threshold for an un-squared bound,
+/// saturated at [`f32::MAX`] instead of overflowing.
+///
+/// `best_so_far * best_so_far` overflows to `inf` for any finite bound
+/// above `√f32::MAX ≈ 1.84e19`, which would make `partial > threshold`
+/// unconditionally false and silently disable abandonment. Saturating is
+/// exact: a partial squared sum can only exceed `f32::MAX` by being `inf`,
+/// and a candidate whose squared distance is `inf` has (kernel-computed)
+/// distance `inf`, which no finite bound keeps; conversely any finite
+/// squared sum `≤ f32::MAX` has distance `≤ √f32::MAX`, below every bound
+/// whose square overflowed. An infinite bound stays infinite (never
+/// abandons).
+#[inline]
+fn squared_threshold(best_so_far: f32) -> f32 {
+    let t = best_so_far * best_so_far;
+    if t.is_finite() || !best_so_far.is_finite() {
+        t
+    } else {
+        f32::MAX
+    }
+}
+
+/// Squared Euclidean distance between two equally-sized slices, in the
+/// canonical accumulation order (see the module docs).
+///
+/// # Panics
+/// Panics if the slices have different lengths — in release builds too.
+/// A silent truncation (or out-of-bounds read) on mismatched inputs would
+/// corrupt answers unpredictably; the mismatch is always a caller bug.
+#[inline]
+pub fn squared_euclidean(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "squared_euclidean: slice lengths differ");
+    sum_squares_abandoning(a.len(), |j| a[j] - b[j], f32::INFINITY)
+        .expect("an infinite threshold never abandons")
 }
 
 /// Euclidean distance between two equally-sized slices.
+///
+/// # Panics
+/// Panics if the slices have different lengths (see [`squared_euclidean`]).
 #[inline]
 pub fn euclidean(a: &[f32], b: &[f32]) -> f32 {
     squared_euclidean(a, b).sqrt()
@@ -47,37 +137,92 @@ pub fn euclidean(a: &[f32], b: &[f32]) -> f32 {
 
 /// Early-abandoning Euclidean distance.
 ///
-/// Accumulates squared differences and returns `None` as soon as the partial
-/// sum exceeds `best_so_far`² (i.e., the candidate cannot improve on the
-/// current best answer). Returns `Some(distance)` otherwise.
+/// Accumulates squared differences in the canonical order (see the module
+/// docs) and returns `None` as soon as the partial sum exceeds
+/// `best_so_far`² (i.e., the candidate cannot improve on the current best
+/// answer). Returns `Some(distance)` otherwise; a returned distance is
+/// bit-identical to [`euclidean`] on the same inputs, and never exceeds
+/// `best_so_far`.
 ///
 /// `best_so_far` is expressed in *un-squared* Euclidean units, matching the
-/// distances returned by [`euclidean`].
+/// distances returned by [`euclidean`]; the comparison itself happens in
+/// squared space through the saturating private `squared_threshold`, so
+/// large-but-finite bounds keep abandoning (no `inf` overflow). The
+/// accumulation order is the same for every `best_so_far` (an infinite
+/// bound merely never abandons), so a *kept* candidate's distance does not
+/// depend on how good the best answer already was.
 ///
-/// The accumulation order is the same for every `best_so_far` (an infinite
-/// bound merely never abandons — `acc > inf` is always false, so no branch
-/// is needed for it). This is a correctness property, not a style choice:
-/// a *kept* candidate's distance must not depend on how good the best
-/// answer already was, or the same series refined in different traversal
-/// orders (sequential vs. sharded search) would report distances apart by
-/// an ULP and break the bit-identity contract of exact search.
+/// # Panics
+/// Panics if the slices have different lengths — in release builds too,
+/// consistent with [`squared_euclidean`] (the old `chunks(8).zip` silently
+/// truncated mismatched slices in release builds).
 #[inline]
 pub fn euclidean_early_abandon(a: &[f32], b: &[f32], best_so_far: f32) -> Option<f32> {
-    debug_assert_eq!(a.len(), b.len());
-    let threshold = best_so_far * best_so_far;
-    let mut acc = 0.0f32;
-    // Check the abandonment condition every 8 points: frequent enough to
-    // save work, rare enough not to dominate the loop with branches.
-    for (ca, cb) in a.chunks(8).zip(b.chunks(8)) {
-        for (x, y) in ca.iter().zip(cb.iter()) {
-            let d = x - y;
-            acc += d * d;
-        }
-        if acc > threshold {
-            return None;
-        }
-    }
-    Some(acc.sqrt())
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "euclidean_early_abandon: slice lengths differ"
+    );
+    sum_squares_abandoning(a.len(), |j| a[j] - b[j], squared_threshold(best_so_far))
+        .map(f32::sqrt)
+}
+
+/// Fused u8-decode + early-abandoning Euclidean distance — the compressed
+/// page tier's scan kernel.
+///
+/// `codes` holds one u8 per position; position `j` decodes to
+/// `min + codes[j] as f32 * scale` (the affine per-page quantization of
+/// `hydra-storage`), and the decoded value feeds the canonical accumulation
+/// order directly — no intermediate buffer. The result is bit-identical to
+/// decoding into a scratch slice and calling [`euclidean_early_abandon`]
+/// on it (the property suite pins this).
+///
+/// `threshold` is an un-squared bound like `best_so_far`; callers pass the
+/// conservative `best + quantization_error` bound, so `None` proves the
+/// *exact* distance cannot beat the best answer either.
+///
+/// # Panics
+/// Panics if `query` and `codes` have different lengths.
+#[inline]
+pub fn euclidean_early_abandon_u8(
+    query: &[f32],
+    codes: &[u8],
+    min: f32,
+    scale: f32,
+    threshold: f32,
+) -> Option<f32> {
+    assert_eq!(
+        query.len(),
+        codes.len(),
+        "euclidean_early_abandon_u8: query and code lengths differ"
+    );
+    sum_squares_abandoning(
+        query.len(),
+        |j| query[j] - (min + codes[j] as f32 * scale),
+        squared_threshold(threshold),
+    )
+    .map(f32::sqrt)
+}
+
+/// Fused f16-decode + early-abandoning Euclidean distance (see
+/// [`euclidean_early_abandon_u8`]); `codes` holds IEEE 754 binary16 bit
+/// patterns, decoded with [`crate::half::f32_from_f16_bits`].
+///
+/// # Panics
+/// Panics if `query` and `codes` have different lengths.
+#[inline]
+pub fn euclidean_early_abandon_f16(query: &[f32], codes: &[u16], threshold: f32) -> Option<f32> {
+    assert_eq!(
+        query.len(),
+        codes.len(),
+        "euclidean_early_abandon_f16: query and code lengths differ"
+    );
+    sum_squares_abandoning(
+        query.len(),
+        |j| query[j] - crate::half::f32_from_f16_bits(codes[j]),
+        squared_threshold(threshold),
+    )
+    .map(f32::sqrt)
 }
 
 /// Squared Euclidean norm of a slice.
@@ -126,15 +271,35 @@ mod tests {
         }
     }
 
+    /// The heart of the kernel-consistency bugfix: both entry points share
+    /// one accumulation order, so a kept candidate's distance is the same
+    /// bit pattern through either — for every length, including tails.
+    #[test]
+    fn entry_points_agree_bit_for_bit() {
+        for len in [1usize, 3, 4, 7, 8, 9, 15, 16, 17, 31, 64, 100, 257] {
+            let a: Vec<f32> = (0..len).map(|i| (i as f32 * 0.7).cos() * 3.0).collect();
+            let b: Vec<f32> = (0..len).map(|i| (i as f32 * 1.3).sin() * 2.0).collect();
+            let exact = euclidean(&a, &b);
+            let ea = euclidean_early_abandon(&a, &b, f32::INFINITY).unwrap();
+            assert_eq!(exact.to_bits(), ea.to_bits(), "len={len}");
+            // A kept candidate reports the exact bits under any bound.
+            // (A bound exactly equal to the distance may abandon: squaring
+            // the rounded sqrt can land just below the accumulated sum.)
+            if let Some(kept) = euclidean_early_abandon(&a, &b, exact) {
+                assert_eq!(exact.to_bits(), kept.to_bits(), "len={len}");
+            }
+        }
+    }
+
     #[test]
     fn early_abandon_agrees_when_not_abandoning() {
         let a: Vec<f32> = (0..64).map(|i| i as f32).collect();
         let b: Vec<f32> = (0..64).map(|i| i as f32 + 1.0).collect();
         let exact = euclidean(&a, &b);
         let ea = euclidean_early_abandon(&a, &b, f32::INFINITY).unwrap();
-        assert!((exact - ea).abs() < 1e-4);
+        assert_eq!(exact.to_bits(), ea.to_bits());
         let ea2 = euclidean_early_abandon(&a, &b, exact + 1.0).unwrap();
-        assert!((exact - ea2).abs() < 1e-4);
+        assert_eq!(exact.to_bits(), ea2.to_bits());
     }
 
     #[test]
@@ -142,6 +307,95 @@ mod tests {
         let a = vec![0.0f32; 256];
         let b = vec![10.0f32; 256];
         assert_eq!(euclidean_early_abandon(&a, &b, 1.0), None);
+    }
+
+    /// Regression: `best_so_far * best_so_far` used to overflow to `inf`
+    /// for large-but-finite bounds, silently disabling abandonment — the
+    /// kernel would then *keep* a candidate at distance `inf`, violating
+    /// the `Some(d) ⟹ d ≤ best_so_far` contract.
+    #[test]
+    fn large_finite_bounds_still_abandon() {
+        // Each term is (1e20)² = 1e40, far beyond f32::MAX: the squared
+        // sum overflows to inf, so the candidate's distance is inf and no
+        // finite bound may keep it.
+        let a = vec![0.0f32; 8];
+        let b = vec![1e20f32; 8];
+        assert_eq!(euclidean(&a, &b), f32::INFINITY);
+        for bound in [f32::MAX, 1e30f32, 2e19f32] {
+            assert_eq!(
+                euclidean_early_abandon(&a, &b, bound),
+                None,
+                "bound {bound} must abandon a candidate at distance inf"
+            );
+        }
+        // An infinite bound never abandons — it faithfully reports inf.
+        assert_eq!(
+            euclidean_early_abandon(&a, &b, f32::INFINITY),
+            Some(f32::INFINITY)
+        );
+        // Large-but-finite distances below a saturated bound are kept: the
+        // clamp is exact, not merely conservative.
+        let c = vec![1e18f32; 8];
+        let d = euclidean(&a, &c);
+        assert!(d.is_finite());
+        assert_eq!(
+            euclidean_early_abandon(&a, &c, f32::MAX).unwrap().to_bits(),
+            d.to_bits()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "slice lengths differ")]
+    fn squared_euclidean_rejects_mismatched_lengths() {
+        squared_euclidean(&[1.0, 2.0, 3.0], &[1.0, 2.0]);
+    }
+
+    /// Regression: the old `chunks(8).zip` silently truncated mismatched
+    /// slices in release builds; the mismatch is now an explicit panic,
+    /// consistent with [`squared_euclidean`].
+    #[test]
+    #[should_panic(expected = "slice lengths differ")]
+    fn early_abandon_rejects_mismatched_lengths() {
+        euclidean_early_abandon(&[1.0, 2.0, 3.0], &[1.0, 2.0], f32::INFINITY);
+    }
+
+    #[test]
+    fn fused_u8_kernel_matches_decode_then_distance() {
+        for len in [1usize, 4, 7, 8, 9, 31, 64, 100] {
+            let q: Vec<f32> = (0..len).map(|i| (i as f32 * 0.9).sin() * 4.0).collect();
+            let codes: Vec<u8> = (0..len).map(|i| (i * 37 % 256) as u8).collect();
+            let (min, scale) = (-3.25f32, 0.031f32);
+            let decoded: Vec<f32> = codes.iter().map(|&c| min + c as f32 * scale).collect();
+            for bound in [f32::INFINITY, 5.0, 0.5] {
+                let fused = euclidean_early_abandon_u8(&q, &codes, min, scale, bound);
+                let two_step = euclidean_early_abandon(&q, &decoded, bound);
+                assert_eq!(
+                    fused.map(f32::to_bits),
+                    two_step.map(f32::to_bits),
+                    "len={len} bound={bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_f16_kernel_matches_decode_then_distance() {
+        use crate::half::{f16_bits_from_f32, f32_from_f16_bits};
+        let len = 67;
+        let q: Vec<f32> = (0..len).map(|i| (i as f32 * 0.4).cos() * 2.0).collect();
+        let codes: Vec<u16> = (0..len)
+            .map(|i| f16_bits_from_f32((i as f32 * 1.7).sin() * 3.0))
+            .collect();
+        let decoded: Vec<f32> = codes.iter().map(|&c| f32_from_f16_bits(c)).collect();
+        for bound in [f32::INFINITY, 4.0, 0.25] {
+            let fused = euclidean_early_abandon_f16(&q, &codes, bound);
+            let two_step = euclidean_early_abandon(&q, &decoded, bound);
+            assert_eq!(
+                fused.map(f32::to_bits),
+                two_step.map(f32::to_bits),
+                "bound={bound}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,157 @@
+//! IEEE 754 binary16 ("half precision") bit conversions.
+//!
+//! The compressed page tier's `f16` codec stores series values as binary16
+//! bit patterns; the fused kernel in [`crate::distance`] decodes them on
+//! the fly. The conversions live here — not behind an external crate — so
+//! the encoder (`hydra-storage`) and the decoder (the kernel) are
+//! guaranteed to agree bit-for-bit on every value, which the refinement
+//! contract depends on: the quantization error recorded at encode time is
+//! only valid if the query-time decode reproduces the exact same f32s.
+//!
+//! Encoding rounds to nearest, ties to even (the IEEE default); values
+//! beyond the binary16 range become signed infinities, NaNs become the
+//! canonical quiet NaN. Decoding is exact (every binary16 value is exactly
+//! representable in f32).
+
+/// Converts an `f32` to the nearest IEEE 754 binary16 bit pattern
+/// (round-to-nearest-even; overflow to infinity; NaN to canonical quiet
+/// NaN).
+#[inline]
+pub fn f16_bits_from_f32(v: f32) -> u16 {
+    let bits = v.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let man = bits & 0x007f_ffff;
+    if exp == 0xff {
+        // Infinity or NaN.
+        return if man == 0 { sign | 0x7c00 } else { sign | 0x7e00 };
+    }
+    let e = exp - 127 + 15;
+    if e >= 0x1f {
+        // Overflow to infinity.
+        return sign | 0x7c00;
+    }
+    if e <= 0 {
+        // Subnormal (or zero) in binary16.
+        if e < -10 {
+            return sign; // Underflow to signed zero.
+        }
+        let man = man | 0x0080_0000; // Make the implicit bit explicit.
+        let shift = (14 - e) as u32; // 14..=24
+        let half = man >> shift;
+        let rem = man & ((1u32 << shift) - 1);
+        let halfway = 1u32 << (shift - 1);
+        let round_up = rem > halfway || (rem == halfway && (half & 1) == 1);
+        return sign | (half + round_up as u32) as u16;
+    }
+    let half = ((e as u32) << 10) | (man >> 13);
+    let rem = man & 0x1fff;
+    let round_up = rem > 0x1000 || (rem == 0x1000 && (half & 1) == 1);
+    // Rounding may carry into the exponent, and from the largest finite
+    // value into infinity — both are correct round-to-nearest-even.
+    sign | (half + round_up as u32) as u16
+}
+
+/// Converts an IEEE 754 binary16 bit pattern to the `f32` it denotes
+/// (exact).
+#[inline]
+pub fn f32_from_f16_bits(bits: u16) -> f32 {
+    let sign = ((bits & 0x8000) as u32) << 16;
+    let exp = (bits >> 10) & 0x1f;
+    let man = (bits & 0x3ff) as u32;
+    match (exp, man) {
+        (0, 0) => f32::from_bits(sign),
+        (0, m) => {
+            // Subnormal: magnitude is m × 2⁻²⁴, exact in f32.
+            let v = m as f32 * (1.0 / 16_777_216.0);
+            if sign != 0 {
+                -v
+            } else {
+                v
+            }
+        }
+        (0x1f, 0) => f32::from_bits(sign | 0x7f80_0000),
+        (0x1f, m) => f32::from_bits(sign | 0x7f80_0000 | (m << 13)),
+        (e, m) => f32::from_bits(sign | ((e as u32 + 112) << 23) | (m << 13)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values_encode_exactly() {
+        assert_eq!(f16_bits_from_f32(0.0), 0x0000);
+        assert_eq!(f16_bits_from_f32(-0.0), 0x8000);
+        assert_eq!(f16_bits_from_f32(1.0), 0x3c00);
+        assert_eq!(f16_bits_from_f32(-2.0), 0xc000);
+        assert_eq!(f16_bits_from_f32(0.5), 0x3800);
+        assert_eq!(f16_bits_from_f32(65504.0), 0x7bff); // Largest finite.
+        assert_eq!(f16_bits_from_f32(65536.0), 0x7c00); // Overflow -> inf.
+        assert_eq!(f16_bits_from_f32(f32::INFINITY), 0x7c00);
+        assert_eq!(f16_bits_from_f32(f32::NEG_INFINITY), 0xfc00);
+        assert_eq!(f16_bits_from_f32(f32::NAN) & 0x7c00, 0x7c00);
+        assert_ne!(f16_bits_from_f32(f32::NAN) & 0x03ff, 0);
+        // Smallest positive subnormal: 2^-24.
+        assert_eq!(f16_bits_from_f32(5.960_464_5e-8), 0x0001);
+        // Below half the smallest subnormal: underflow to zero.
+        assert_eq!(f16_bits_from_f32(1.0e-9), 0x0000);
+    }
+
+    #[test]
+    fn decode_is_exact_for_known_values() {
+        assert_eq!(f32_from_f16_bits(0x3c00), 1.0);
+        assert_eq!(f32_from_f16_bits(0xc000), -2.0);
+        assert_eq!(f32_from_f16_bits(0x7bff), 65504.0);
+        assert_eq!(f32_from_f16_bits(0x7c00), f32::INFINITY);
+        assert_eq!(f32_from_f16_bits(0xfc00), f32::NEG_INFINITY);
+        assert!(f32_from_f16_bits(0x7e00).is_nan());
+        assert_eq!(f32_from_f16_bits(0x0001), 5.960_464_5e-8);
+        assert_eq!(f32_from_f16_bits(0x8001), -5.960_464_5e-8);
+    }
+
+    /// Every non-NaN binary16 value survives decode→encode unchanged —
+    /// exhaustively, all 65 536 bit patterns.
+    #[test]
+    fn exhaustive_decode_encode_roundtrip() {
+        for bits in 0..=u16::MAX {
+            let v = f32_from_f16_bits(bits);
+            if v.is_nan() {
+                assert!(f32_from_f16_bits(f16_bits_from_f32(v)).is_nan());
+                continue;
+            }
+            assert_eq!(
+                f16_bits_from_f32(v),
+                bits,
+                "bit pattern {bits:#06x} (value {v}) did not round-trip"
+            );
+        }
+    }
+
+    /// Round-to-nearest-even at the halfway points.
+    #[test]
+    fn ties_round_to_even() {
+        // 1.0 + 2^-11 is exactly halfway between 0x3c00 (even) and 0x3c01.
+        let halfway = f32::from_bits(0x3f80_1000);
+        assert_eq!(f16_bits_from_f32(halfway), 0x3c00);
+        // The next halfway point, between 0x3c01 and 0x3c02, rounds up to
+        // the even 0x3c02.
+        let halfway_up = f32::from_bits(0x3f80_3000);
+        assert_eq!(f16_bits_from_f32(halfway_up), 0x3c02);
+        // Just above a halfway point rounds up.
+        let above = f32::from_bits(0x3f80_1001);
+        assert_eq!(f16_bits_from_f32(above), 0x3c01);
+    }
+
+    #[test]
+    fn encode_error_is_within_half_ulp() {
+        for &v in &[0.1f32, -3.7, 123.456, 0.0009765, 4096.5, -65000.0] {
+            let decoded = f32_from_f16_bits(f16_bits_from_f32(v));
+            // binary16 has an 11-bit significand: half an ULP is at most
+            // 2^-11 relative for normal values (worst at binade edges).
+            let rel = ((decoded - v) / v).abs();
+            assert!(rel <= 1.0 / 2048.0, "value {v}: decoded {decoded}");
+        }
+    }
+}

@@ -228,6 +228,41 @@ pub trait HierarchicalIndex {
 
     /// Number of series stored in leaf `node` (0 for internal nodes).
     fn leaf_size(&self, node: NodeId) -> usize;
+
+    /// Refines every series stored in leaf `node` against `query` under an
+    /// early-abandonment bound, invoking `accept` with the dataset position
+    /// and exact distance of each candidate that survives; `accept` returns
+    /// the (possibly tightened) bound for subsequent candidates. Returns the
+    /// number of candidates examined (each counts as one distance
+    /// computation, abandoned or not).
+    ///
+    /// The default implementation walks [`Self::visit_leaf`] and runs
+    /// [`crate::distance::euclidean_early_abandon`] on each raw series —
+    /// exactly what the generic search driver used to inline. Indexes whose
+    /// leaves live in a `SeriesStore` override this to route contiguous
+    /// leaf runs through the store's codec-aware refinement scan, which
+    /// prunes on compressed pages and recomputes surviving distances from
+    /// exact f32 series; the accumulation-order contract of
+    /// [`crate::distance`] makes the two paths report bit-identical
+    /// distances.
+    fn refine_leaf(
+        &self,
+        node: NodeId,
+        query: &[f32],
+        best_so_far: f32,
+        stats: &mut QueryStats,
+        accept: &mut dyn FnMut(usize, f32) -> f32,
+    ) -> u64 {
+        let mut scanned = 0u64;
+        let mut bound = best_so_far;
+        self.visit_leaf(node, stats, &mut |id, series| {
+            scanned += 1;
+            if let Some(d) = crate::distance::euclidean_early_abandon(query, series, bound) {
+                bound = accept(id, d);
+            }
+        });
+        scanned
+    }
 }
 
 #[cfg(test)]

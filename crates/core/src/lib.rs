@@ -30,6 +30,7 @@
 
 pub mod distance;
 pub mod error;
+pub mod half;
 pub mod histogram;
 pub mod index;
 pub mod query;
@@ -39,7 +40,11 @@ pub mod search;
 pub mod series;
 pub mod stats;
 
-pub use distance::{euclidean, euclidean_early_abandon, squared_euclidean};
+pub use distance::{
+    euclidean, euclidean_early_abandon, euclidean_early_abandon_f16, euclidean_early_abandon_u8,
+    squared_euclidean,
+};
+pub use half::{f16_bits_from_f32, f32_from_f16_bits};
 pub use error::{Error, Result};
 pub use histogram::DistanceHistogram;
 pub use index::{AnnIndex, Capabilities, HierarchicalIndex, Representation};

@@ -5,7 +5,11 @@
 
 use proptest::prelude::*;
 
-use crate::distance::{euclidean, euclidean_early_abandon, squared_euclidean};
+use crate::distance::{
+    euclidean, euclidean_early_abandon, euclidean_early_abandon_f16, euclidean_early_abandon_u8,
+    squared_euclidean,
+};
+use crate::half::{f16_bits_from_f32, f32_from_f16_bits};
 use crate::histogram::DistanceHistogram;
 use crate::query::{merge_top_k, Neighbor, TopK};
 
@@ -37,9 +41,71 @@ proptest! {
     ) {
         let exact = euclidean(&a, &b);
         match euclidean_early_abandon(&a, &b, threshold) {
-            Some(d) => prop_assert!((d - exact).abs() <= 1e-3 * exact.max(1.0)),
+            // Kernel-consistency contract: a kept candidate's distance is
+            // the exact distance, bit for bit — not merely close.
+            Some(d) => prop_assert_eq!(d.to_bits(), exact.to_bits()),
             None => prop_assert!(exact >= threshold * 0.999),
         }
+    }
+
+    /// The accumulation-order contract (see `distance` module docs):
+    /// `euclidean(a, b)` and `euclidean_early_abandon(a, b, ∞)` are the
+    /// same bit pattern on every input — lengths chosen to exercise the
+    /// 4-lane body, the 8-position check cadence and the scalar tail.
+    #[test]
+    fn entry_points_share_one_accumulation_order(
+        len in 1usize..96,
+        seed in proptest::collection::vec(-1000.0f32..1000.0, 96 * 2),
+    ) {
+        let a = &seed[..len];
+        let b = &seed[96..96 + len];
+        let exact = euclidean(a, b);
+        let ea = euclidean_early_abandon(a, b, f32::INFINITY)
+            .expect("an infinite bound never abandons");
+        prop_assert_eq!(exact.to_bits(), ea.to_bits());
+        let sq = squared_euclidean(a, b);
+        prop_assert_eq!(sq.sqrt().to_bits(), exact.to_bits());
+    }
+
+    /// The fused quantized kernels are bit-identical to decode-then-kernel:
+    /// pruning decisions and surviving distances cannot depend on whether
+    /// a page was decoded to a scratch buffer first.
+    #[test]
+    fn fused_quantized_kernels_match_decode_then_kernel(
+        len in 1usize..80,
+        query in vec_strategy(80),
+        codes in proptest::collection::vec(0usize..256, 80),
+        min in -100.0f32..100.0,
+        scale in 0.0f32..2.0,
+        threshold in 0.0f32..5000.0,
+    ) {
+        let query = &query[..len];
+        let u8_codes: Vec<u8> = codes[..len].iter().map(|&c| c as u8).collect();
+        let u8_codes = &u8_codes[..];
+        let decoded: Vec<f32> = u8_codes.iter().map(|&c| min + c as f32 * scale).collect();
+        let fused = euclidean_early_abandon_u8(query, u8_codes, min, scale, threshold);
+        let two_step = euclidean_early_abandon(query, &decoded, threshold);
+        prop_assert_eq!(fused.map(f32::to_bits), two_step.map(f32::to_bits));
+
+        let f16_codes: Vec<u16> = decoded.iter().map(|&v| f16_bits_from_f32(v)).collect();
+        let f16_decoded: Vec<f32> = f16_codes.iter().map(|&c| f32_from_f16_bits(c)).collect();
+        let fused16 = euclidean_early_abandon_f16(query, &f16_codes, threshold);
+        let two_step16 = euclidean_early_abandon(query, &f16_decoded, threshold);
+        prop_assert_eq!(fused16.map(f32::to_bits), two_step16.map(f32::to_bits));
+    }
+
+    /// f16 round-trips preserve value within half an ULP and decode→encode
+    /// is the identity on in-range values.
+    #[test]
+    fn f16_roundtrip_is_tight(v in -60000.0f32..60000.0) {
+        let bits = f16_bits_from_f32(v);
+        let decoded = f32_from_f16_bits(bits);
+        prop_assert!(decoded.is_finite());
+        // An 11-bit significand -> half-ULP relative error at most 2^-11
+        // for normal values; subnormals get an absolute bound of 2^-25.
+        let tol = (v.abs() / 2048.0).max(1.0 / 33_554_432.0);
+        prop_assert!((decoded - v).abs() <= tol, "{} -> {}", v, decoded);
+        prop_assert_eq!(f16_bits_from_f32(decoded), bits);
     }
 
     #[test]

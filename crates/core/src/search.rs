@@ -20,7 +20,6 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use crate::distance::euclidean_early_abandon;
 use crate::histogram::DistanceHistogram;
 use crate::index::{HierarchicalIndex, NodeId};
 use crate::query::{Neighbor, SearchMode, SearchParams, SearchResult, TopK};
@@ -159,14 +158,16 @@ impl<'a, I: HierarchicalIndex + ?Sized> KnnSearcher<'a, I> {
             if self.index.is_leaf(entry.node) {
                 leaves_visited += 1;
                 stats.leaves_visited += 1;
-                let mut scanned = 0u64;
-                self.index.visit_leaf(entry.node, &mut stats, &mut |id, series| {
-                    scanned += 1;
-                    let bsf = top.kth_distance();
-                    if let Some(d) = euclidean_early_abandon(query, series, bsf) {
+                let scanned = self.index.refine_leaf(
+                    entry.node,
+                    query,
+                    top.kth_distance(),
+                    &mut stats,
+                    &mut |id, d| {
                         top.push(Neighbor::new(id, d));
-                    }
-                });
+                        top.kth_distance()
+                    },
+                );
                 stats.series_scanned += scanned;
                 stats.distance_computations += scanned;
                 // Line 16 of Algorithm 2: probabilistic stop condition.

@@ -102,6 +102,11 @@ pub struct StoreCounters {
     pub pool_misses: u64,
     /// Buffer-pool page evictions.
     pub pool_evictions: u64,
+    /// Bytes served from *compressed* pages (u8/f16 codecs), a subset of
+    /// [`Self::bytes_read`]. Zero on raw-f32 stores; on a coded store the
+    /// remainder `bytes_read - compressed_bytes_read` is the exact-f32
+    /// refinement traffic, so this pair shows the compression win live.
+    pub compressed_bytes_read: u64,
 }
 
 impl StoreCounters {
@@ -114,11 +119,12 @@ impl StoreCounters {
         self.pool_hits += other.pool_hits;
         self.pool_misses += other.pool_misses;
         self.pool_evictions += other.pool_evictions;
+        self.compressed_bytes_read += other.compressed_bytes_read;
     }
 
     /// The counters as stable `(name, value)` pairs, mirroring
     /// [`QueryStats::counters`] for the scrape path.
-    pub fn counters(&self) -> [(&'static str, u64); 6] {
+    pub fn counters(&self) -> [(&'static str, u64); 7] {
         [
             ("random_ios", self.random_ios),
             ("sequential_ios", self.sequential_ios),
@@ -126,6 +132,7 @@ impl StoreCounters {
             ("pool_hits", self.pool_hits),
             ("pool_misses", self.pool_misses),
             ("pool_evictions", self.pool_evictions),
+            ("compressed_bytes_read", self.compressed_bytes_read),
         ]
     }
 }
@@ -163,6 +170,7 @@ mod tests {
             pool_hits: 4,
             pool_misses: 5,
             pool_evictions: 6,
+            compressed_bytes_read: 7,
         };
         a.merge(&StoreCounters {
             random_ios: 10,
@@ -171,10 +179,16 @@ mod tests {
             pool_hits: 40,
             pool_misses: 50,
             pool_evictions: 60,
+            compressed_bytes_read: 70,
         });
         assert_eq!(a.bytes_read, 33);
         assert_eq!(a.pool_evictions, 66);
+        assert_eq!(a.compressed_bytes_read, 77);
         assert_eq!(a.counters()[2], ("bytes_read", 33));
+        assert_eq!(a.counters()[6], ("compressed_bytes_read", 77));
+        let names: std::collections::BTreeSet<_> =
+            a.counters().iter().map(|(n, _)| *n).collect();
+        assert_eq!(names.len(), a.counters().len());
     }
 
     #[test]

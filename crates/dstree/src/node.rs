@@ -751,6 +751,48 @@ impl HierarchicalIndex for DsTree {
     fn leaf_size(&self, node: usize) -> usize {
         self.leaf_count(node)
     }
+
+    /// Mirrors `visit_leaf`'s run structure through the store's
+    /// `scan_refine`, so on a coded store the leaf scan prunes on
+    /// compressed pages (and only survivors read exact f32), while on a
+    /// raw store the I/O charges are exactly `visit_leaf`'s.
+    fn refine_leaf(
+        &self,
+        node: usize,
+        query: &[f32],
+        best_so_far: f32,
+        stats: &mut QueryStats,
+        accept: &mut dyn FnMut(usize, f32) -> f32,
+    ) -> u64 {
+        let n = &self.nodes[node];
+        let mut bound = best_so_far;
+        if !self.grown {
+            if n.store_len == 0 {
+                return 0;
+            }
+            self.store
+                .scan_refine(n.store_start, n.store_len, query, bound, stats, &mut |pos, d| {
+                    accept(self.store_to_dataset[pos], d)
+                });
+            return n.store_len as u64;
+        }
+        let mut rows: Vec<usize> = n.members.iter().map(|&id| self.dataset_to_store[id]).collect();
+        rows.sort_unstable();
+        let mut i = 0;
+        while i < rows.len() {
+            let mut j = i + 1;
+            while j < rows.len() && rows[j] == rows[j - 1] + 1 {
+                j += 1;
+            }
+            bound = self
+                .store
+                .scan_refine(rows[i], j - i, query, bound, stats, &mut |pos, d| {
+                    accept(self.store_to_dataset[pos], d)
+                });
+            i = j;
+        }
+        rows.len() as u64
+    }
 }
 
 impl AnnIndex for DsTree {

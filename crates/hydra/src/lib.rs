@@ -80,7 +80,7 @@ pub use hydra_hnsw::{Hnsw, HnswConfig};
 pub use hydra_imi::{ImiConfig, InvertedMultiIndex};
 pub use hydra_isax::{Isax2Plus, IsaxConfig};
 pub use hydra_lsh::{Qalsh, QalshConfig, Srs, SrsConfig};
-pub use hydra_storage::StorageConfig;
+pub use hydra_storage::{PageCodec, StorageConfig};
 pub use hydra_vafile::{VaPlusFile, VaPlusFileConfig};
 
 /// Convenience prelude pulling in the types most programs need.
@@ -145,6 +145,21 @@ pub fn standard_configs_pooled(
     seed: u64,
     pool_pages: Option<usize>,
 ) -> StandardConfigs {
+    standard_configs_tiered(in_memory, seed, pool_pages, PageCodec::F32)
+}
+
+/// [`standard_configs_pooled`] with the page codec of the disk-capable
+/// methods' stores selected too (`--page-codec u8|f16|f32`). Like the pool
+/// capacity, the codec is a pure serving knob: it is not part of any
+/// snapshot fingerprint, shapes only I/O economics, and never changes
+/// answers — coded stores prune on compressed pages but recompute every
+/// returned distance from exact f32 series.
+pub fn standard_configs_tiered(
+    in_memory: bool,
+    seed: u64,
+    pool_pages: Option<usize>,
+    codec: PageCodec,
+) -> StandardConfigs {
     let mut storage = if in_memory {
         StorageConfig::in_memory()
     } else {
@@ -153,6 +168,7 @@ pub fn standard_configs_pooled(
     if let Some(pages) = pool_pages {
         storage = storage.with_pool_pages(pages);
     }
+    storage = storage.with_page_codec(codec);
     StandardConfigs {
         dstree: DsTreeConfig {
             storage,
@@ -212,7 +228,19 @@ pub fn standard_registry_pooled(
     seed: u64,
     pool_pages: Option<usize>,
 ) -> persist::LoaderRegistry {
-    let configs = standard_configs_pooled(in_memory, seed, pool_pages);
+    standard_registry_tiered(in_memory, seed, pool_pages, PageCodec::F32)
+}
+
+/// [`standard_registry_pooled`] with the page codec selected too — the
+/// registry a `hydra-serve --page-codec u8` boot uses (see
+/// [`standard_configs_tiered`]).
+pub fn standard_registry_tiered(
+    in_memory: bool,
+    seed: u64,
+    pool_pages: Option<usize>,
+    codec: PageCodec,
+) -> persist::LoaderRegistry {
+    let configs = standard_configs_tiered(in_memory, seed, pool_pages, codec);
     let mut registry = persist::LoaderRegistry::new();
     registry.register::<DsTree>(configs.dstree);
     registry.register::<Isax2Plus>(configs.isax);
@@ -346,6 +374,49 @@ mod tests {
                 let got = loaded.search(data.series(3), &SearchParams::exact(5)).unwrap();
                 assert_eq!(got.neighbors, baseline.neighbors,
                     "pool {pool_pages:?} / {backing:?} drifted");
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshots_load_under_any_page_codec_with_identical_answers() {
+        // The page codec is a serving knob like the pool: one snapshot
+        // saved under the defaults boots with any --page-codec, and the
+        // answers — neighbors AND distances — are bit-identical, because
+        // coded stores only prune on compressed pages and recompute every
+        // returned distance from exact f32 series.
+        let data = data::random_walk(250, 32, 9);
+        let dir = std::env::temp_dir().join(format!(
+            "hydra-facade-tiered-{}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let index = DsTree::build(&data, standard_configs(false, 9).dstree).unwrap();
+        let path = dir.join("walk-dstree.snap");
+        index.save(&path).unwrap();
+        let baseline = index.search(data.series(7), &SearchParams::exact(5)).unwrap();
+        for codec in [PageCodec::U8, PageCodec::F16] {
+            let registry = standard_registry_tiered(false, 9, Some(2), codec);
+            for backing in [
+                StoreBacking::Resident,
+                StoreBacking::FileBacked {
+                    dataset_snapshot: None,
+                },
+            ] {
+                let loaded = registry.load_any_backed(&path, &data, backing).unwrap();
+                let got = loaded.search(data.series(7), &SearchParams::exact(5)).unwrap();
+                assert_eq!(
+                    got.neighbors, baseline.neighbors,
+                    "codec {:?} / {backing:?} drifted",
+                    codec
+                );
+                let counters = loaded.store_counters().unwrap();
+                assert!(
+                    counters.compressed_bytes_read > 0,
+                    "codec {codec:?} / {backing:?} must have scanned compressed pages"
+                );
             }
         }
         std::fs::remove_dir_all(&dir).ok();

@@ -211,12 +211,9 @@ impl Srs {
                     }
                 }
             }
-            let series = self.store.read(id, &mut stats);
             stats.series_scanned += 1;
             stats.distance_computations += 1;
-            if let Some(d) =
-                hydra_core::euclidean_early_abandon(query, &series, top.kth_distance())
-            {
+            if let Some(d) = self.store.refine(id, query, top.kth_distance(), &mut stats) {
                 top.push(Neighbor::new(id, d));
             }
             examined += 1;

@@ -26,9 +26,13 @@ use std::path::Path;
 use hydra_core::Dataset;
 use hydra_storage::{FileSpan, SeriesStore, StorageConfig};
 
-use crate::dataset::{dataset_flat_region, ensure_flat_series, sidecar_series_path, FlatSpan};
+use crate::dataset::{
+    coded_sidecar_path, dataset_flat_region, ensure_coded_series, ensure_flat_series,
+    sidecar_series_path, FlatSpan,
+};
 use crate::error::{PersistError, Result};
 use crate::StoreBacking;
+use hydra_storage::PageCodec;
 
 fn file_backed(path: &Path, span: FlatSpan, storage: StorageConfig) -> Result<SeriesStore> {
     SeriesStore::file_backed(
@@ -44,6 +48,29 @@ fn file_backed(path: &Path, span: FlatSpan, storage: StorageConfig) -> Result<Se
         PersistError::Io(format!(
             "cannot attach file-backed store {}: {e}",
             path.display()
+        ))
+    })
+}
+
+/// Builds (or reuses) and attaches the coded-page sidecar of the flat
+/// backing file at `backing_file` when `storage` selects a non-f32 codec.
+/// A no-op under f32 — raw pages serve directly.
+fn attach_coded_tier(
+    store: &mut SeriesStore,
+    backing_file: &Path,
+    dataset: &Dataset,
+    order: Option<&[usize]>,
+) -> Result<()> {
+    let storage = store.config();
+    if storage.codec == PageCodec::F32 {
+        return Ok(());
+    }
+    let sidecar = coded_sidecar_path(backing_file, storage.codec);
+    ensure_coded_series(&sidecar, dataset, order, &storage)?;
+    store.attach_coded_file(&sidecar).map_err(|e| {
+        PersistError::Io(format!(
+            "cannot attach coded tier {}: {e}",
+            sidecar.display()
         ))
     })
 }
@@ -75,6 +102,7 @@ pub fn attach_permuted_store(
                     PersistError::Corrupt(format!("cannot rebuild series store: {e}"))
                 })?;
             }
+            store.seal_coded();
             store.reset_io();
             Ok(store)
         }
@@ -82,7 +110,9 @@ pub fn attach_permuted_store(
             let sidecar = sidecar_series_path(snapshot);
             // `ensure_flat_series` validates the mapping range itself.
             let span = ensure_flat_series(&sidecar, dataset, Some(store_to_dataset))?;
-            file_backed(&sidecar, span, storage)
+            let mut store = file_backed(&sidecar, span, storage)?;
+            attach_coded_tier(&mut store, &sidecar, dataset, Some(store_to_dataset))?;
+            Ok(store)
         }
     }
 }
@@ -103,8 +133,9 @@ pub fn attach_dataset_order_store(
 ) -> Result<SeriesStore> {
     match backing {
         StoreBacking::Resident => {
-            let store = SeriesStore::from_dataset(dataset, storage)
+            let mut store = SeriesStore::from_dataset(dataset, storage)
                 .map_err(|e| PersistError::Corrupt(format!("cannot rebuild series store: {e}")))?;
+            store.seal_coded();
             store.reset_io();
             Ok(store)
         }
@@ -112,14 +143,18 @@ pub fn attach_dataset_order_store(
             dataset_snapshot: Some(data_path),
         } => {
             let span = dataset_flat_region(data_path, dataset)?;
-            file_backed(data_path, span, storage)
+            let mut store = file_backed(data_path, span, storage)?;
+            attach_coded_tier(&mut store, data_path, dataset, None)?;
+            Ok(store)
         }
         StoreBacking::FileBacked {
             dataset_snapshot: None,
         } => {
             let sidecar = sidecar_series_path(snapshot);
             let span = ensure_flat_series(&sidecar, dataset, None)?;
-            file_backed(&sidecar, span, storage)
+            let mut store = file_backed(&sidecar, span, storage)?;
+            attach_coded_tier(&mut store, &sidecar, dataset, None)?;
+            Ok(store)
         }
     }
 }
@@ -159,6 +194,7 @@ mod tests {
         let storage = StorageConfig {
             page_bytes: 32,
             buffer_pool_pages: 1,
+            codec: PageCodec::F32,
         };
         let resident =
             attach_permuted_store(&snapshot, &d, &mapping, storage, StoreBacking::Resident)
@@ -239,5 +275,73 @@ mod tests {
         ));
         std::fs::remove_file(&data_snap).ok();
         std::fs::remove_file(crate::dataset::sidecar_series_path(&snapshot)).ok();
+    }
+
+    #[test]
+    fn coded_backings_answer_bit_identically_and_read_fewer_bytes() {
+        // Pseudo-random values: a u8 grid cannot represent them exactly, so
+        // quantization genuinely prunes and survivors genuinely re-read.
+        let mut d = Dataset::new(4).unwrap();
+        let mut x = 0x2545f491u32;
+        for _ in 0..64 {
+            let s: Vec<f32> = (0..4)
+                .map(|_| {
+                    x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+                    (x >> 8) as f32 / (1 << 24) as f32 * 50.0 - 25.0
+                })
+                .collect();
+            d.push(&s).unwrap();
+        }
+        let snapshot = temp_path("coded.snap");
+        let mapping: Vec<usize> = (0..64).rev().collect();
+        let scan = |store: &SeriesStore| {
+            let query = vec![0.5f32; 4];
+            let mut stats = QueryStats::new();
+            let mut accepted = Vec::new();
+            let mut best = f32::INFINITY;
+            store.scan_refine(0, store.len(), &query, best, &mut stats, &mut |id, dist| {
+                accepted.push((id, dist.to_bits()));
+                best = best.min(dist);
+                best
+            });
+            (accepted, stats)
+        };
+        let attach = |codec: PageCodec, backing: StoreBacking<'_>| {
+            let storage = StorageConfig {
+                page_bytes: 32,
+                buffer_pool_pages: 2,
+                codec,
+            };
+            attach_permuted_store(&snapshot, &d, &mapping, storage, backing).unwrap()
+        };
+        let cleanup = || {
+            let sidecar = sidecar_series_path(&snapshot);
+            for codec in [PageCodec::U8, PageCodec::F16] {
+                std::fs::remove_file(coded_sidecar_path(&sidecar, codec)).ok();
+            }
+            std::fs::remove_file(sidecar).ok();
+        };
+        cleanup();
+
+        let (want, raw_stats) = scan(&attach(PageCodec::F32, StoreBacking::Resident));
+        for codec in [PageCodec::U8, PageCodec::F16] {
+            let resident = attach(codec, StoreBacking::Resident);
+            let filed = attach(
+                codec,
+                StoreBacking::FileBacked {
+                    dataset_snapshot: None,
+                },
+            );
+            assert_eq!(resident.sealed(), 64, "resident attach seals in RAM");
+            assert_eq!(filed.sealed(), 64, "file attach seals via the sidecar");
+            let (res_acc, res_stats) = scan(&resident);
+            let (file_acc, file_stats) = scan(&filed);
+            assert_eq!(res_acc, want, "{}: resident answers drifted", codec.name());
+            assert_eq!(file_acc, want, "{}: file answers drifted", codec.name());
+            assert_eq!(res_stats, file_stats, "{}: backings must agree", codec.name());
+            assert!(res_stats.bytes_read < raw_stats.bytes_read);
+            assert!(filed.io_snapshot().compressed_bytes_read > 0);
+        }
+        cleanup();
     }
 }

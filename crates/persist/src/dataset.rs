@@ -41,10 +41,12 @@ use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 
 use hydra_core::Dataset;
+use hydra_storage::coded::{CodedHeader, CodedPage, PageCodec, CODED_HEADER_BYTES};
+use hydra_storage::StorageConfig;
 
 use crate::error::{PersistError, Result};
 use crate::fingerprint::{fingerprint_dataset, Fingerprint};
-use crate::snapshot::{Section, SnapshotReader, SnapshotWriter, MAGIC};
+use crate::snapshot::{fnv1a64_continue, Section, SnapshotReader, SnapshotWriter, FNV_OFFSET_BASIS, MAGIC};
 
 /// Kind tag of dataset snapshots.
 pub const DATASET_KIND: &str = "dataset";
@@ -314,6 +316,160 @@ pub fn ensure_flat_series(
     Ok(span)
 }
 
+/// The coded-page sidecar derived from the flat backing file at `backing`
+/// for a non-f32 codec: `<backing>.<codec>` (e.g. `index.snap.series.u8`).
+/// Each codec gets its own sidecar, so switching serving codecs never
+/// invalidates another codec's cache.
+pub fn coded_sidecar_path(backing: &Path, codec: PageCodec) -> PathBuf {
+    let mut os = backing.as_os_str().to_os_string();
+    os.push(format!(".{}", codec.name()));
+    PathBuf::from(os)
+}
+
+/// Checks whether the `HYDRCODE` sidecar at `path` was derived from
+/// exactly the expected source payload and page grouping, with an intact
+/// coded payload. Any shortfall reports `Ok(false)` (the caller rewrites).
+fn coded_series_is_valid(
+    path: &Path,
+    codec: PageCodec,
+    series_len: usize,
+    records: usize,
+    series_per_page: usize,
+    source_fingerprint: u64,
+) -> Result<bool> {
+    let mut file = match std::fs::File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(false),
+        Err(e) => return Err(e.into()),
+    };
+    let mut header = [0u8; CODED_HEADER_BYTES as usize];
+    if file.read_exact(&mut header).is_err() {
+        return Ok(false);
+    }
+    let header = match CodedHeader::decode(&header) {
+        Ok(h) => h,
+        Err(_) => return Ok(false),
+    };
+    if header.codec != codec
+        || header.series_len != series_len as u64
+        || header.records != records as u64
+        || header.series_per_page != series_per_page as u64
+        || header.source_fingerprint != source_fingerprint
+    {
+        return Ok(false);
+    }
+    // Verify the coded payload really hashes to the header fingerprint, so
+    // a flipped bit in the cache is repaired instead of served.
+    let mut state = FNV_OFFSET_BASIS;
+    let mut total = 0u64;
+    let mut buf = vec![0u8; 1 << 20];
+    loop {
+        match file.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                state = fnv1a64_continue(state, &buf[..n]);
+                total += n as u64;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return Ok(false),
+        }
+    }
+    let _ = total;
+    Ok(state == header.payload_fingerprint)
+}
+
+/// Ensures the `HYDRCODE` coded-page sidecar at `path` holds `dataset`'s
+/// series (in the given order, `None` = dataset order) quantized under
+/// `storage.codec` and grouped exactly as a [`hydra_storage::SeriesStore`]
+/// with `storage` groups its raw pages — the file a file-backed store
+/// attaches with `SeriesStore::attach_coded_file`.
+///
+/// Like [`ensure_flat_series`], the sidecar is a derived cache: reused when
+/// its header names the same source payload (by fingerprint) and its coded
+/// payload verifies, and atomically (re)written from the in-RAM dataset
+/// otherwise. The codec never enters *snapshot* fingerprints — it shapes
+/// only I/O economics, never answers — so the same snapshot serves any
+/// codec.
+///
+/// # Errors
+/// [`PersistError::Corrupt`] on an f32 codec (there is nothing to encode)
+/// or an out-of-range `order`; [`PersistError::Io`] on filesystem failures.
+pub fn ensure_coded_series(
+    path: &Path,
+    dataset: &Dataset,
+    order: Option<&[usize]>,
+    storage: &StorageConfig,
+) -> Result<()> {
+    let codec = storage.codec;
+    if codec == PageCodec::F32 {
+        return Err(PersistError::Corrupt(
+            "the f32 codec has no coded sidecar".into(),
+        ));
+    }
+    if let Some(order) = order {
+        if let Some(&bad) = order.iter().find(|&&ds| ds >= dataset.len()) {
+            return Err(PersistError::Corrupt(format!(
+                "coded series order references series {bad} of a {}-series dataset",
+                dataset.len()
+            )));
+        }
+    }
+    let series_len = dataset.series_len();
+    let records = order.map_or(dataset.len(), <[usize]>::len);
+    let series_per_page = (storage.page_bytes as usize / (series_len * 4)).max(1);
+    let source_fingerprint = flat_series_fingerprint(dataset, order);
+    if coded_series_is_valid(
+        path,
+        codec,
+        series_len,
+        records,
+        series_per_page,
+        source_fingerprint,
+    )? {
+        return Ok(());
+    }
+
+    let mut payload = Vec::new();
+    let mut scratch: Vec<f32> = Vec::with_capacity(series_per_page * series_len);
+    for page_first in (0..records).step_by(series_per_page) {
+        scratch.clear();
+        for pos in page_first..(page_first + series_per_page).min(records) {
+            let ds = order.map_or(pos, |o| o[pos]);
+            scratch.extend_from_slice(dataset.series(ds));
+        }
+        payload.extend_from_slice(&CodedPage::encode(&scratch, series_len, codec).to_disk_bytes());
+    }
+    let header = CodedHeader {
+        codec,
+        series_len: series_len as u64,
+        records: records as u64,
+        series_per_page: series_per_page as u64,
+        source_fingerprint,
+        payload_fingerprint: fnv1a64_continue(FNV_OFFSET_BASIS, &payload),
+    }
+    .encode();
+
+    let tmp = {
+        let mut os = path.as_os_str().to_os_string();
+        os.push(format!(".tmp.{}", std::process::id()));
+        PathBuf::from(os)
+    };
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    {
+        let file = std::fs::File::create(&tmp)?;
+        let mut w = std::io::BufWriter::new(file);
+        w.write_all(&header)?;
+        w.write_all(&payload)?;
+        w.flush()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -467,5 +623,83 @@ mod tests {
             sidecar_series_path(Path::new("/snaps/rand256-isax2.snap")),
             Path::new("/snaps/rand256-isax2.snap.series")
         );
+        assert_eq!(
+            coded_sidecar_path(Path::new("/snaps/x.snap.series"), PageCodec::U8),
+            Path::new("/snaps/x.snap.series.u8")
+        );
+        assert_eq!(
+            coded_sidecar_path(Path::new("/snaps/x.snap.series"), PageCodec::F16),
+            Path::new("/snaps/x.snap.series.f16")
+        );
+    }
+
+    #[test]
+    fn coded_sidecar_cache_is_reused_verified_and_self_healing() {
+        let d = Dataset::from_series(
+            4,
+            &[
+                [1.0f32, -2.5, 3.0, 0.125],
+                [10.0, 20.0, 30.0, 40.0],
+                [-7.0, 0.0, 7.0, 14.0],
+                [2.0, 4.0, 6.0, 8.0],
+                [0.5, 1.5, 2.5, 3.5],
+            ],
+        )
+        .unwrap();
+        let storage = StorageConfig {
+            page_bytes: 32, // 2 series per page
+            buffer_pool_pages: 2,
+            codec: PageCodec::U8,
+        };
+        let path = temp_path("coded.series.u8");
+        std::fs::remove_file(&path).ok();
+        ensure_coded_series(&path, &d, None, &storage).unwrap();
+        let pristine = std::fs::read(&path).unwrap();
+
+        // The header names the layout a store with this config expects.
+        let header = CodedHeader::decode(pristine[..64].try_into().unwrap()).unwrap();
+        assert_eq!(header.codec, PageCodec::U8);
+        assert_eq!(header.series_len, 4);
+        assert_eq!(header.records, 5);
+        assert_eq!(header.series_per_page, 2);
+        assert_eq!(header.source_fingerprint, flat_series_fingerprint(&d, None));
+
+        // Reuse does not rewrite.
+        ensure_coded_series(&path, &d, None, &storage).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), pristine);
+
+        // A flipped payload byte is detected and the sidecar rebuilt.
+        let mut damaged = pristine.clone();
+        let last = damaged.len() - 1;
+        damaged[last] ^= 0x10;
+        std::fs::write(&path, &damaged).unwrap();
+        ensure_coded_series(&path, &d, None, &storage).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), pristine, "damage repaired");
+
+        // A different series order is a different source fingerprint: the
+        // cache is invalidated, not served.
+        let order = [4usize, 3, 2, 1, 0];
+        ensure_coded_series(&path, &d, Some(&order), &storage).unwrap();
+        let reordered = std::fs::read(&path).unwrap();
+        assert_ne!(reordered, pristine);
+
+        // Misuse is typed, never a panic or a silent no-op.
+        assert!(matches!(
+            ensure_coded_series(&path, &d, Some(&[9]), &storage),
+            Err(PersistError::Corrupt(_))
+        ));
+        assert!(matches!(
+            ensure_coded_series(
+                &path,
+                &d,
+                None,
+                &StorageConfig {
+                    codec: PageCodec::F32,
+                    ..storage
+                }
+            ),
+            Err(PersistError::Corrupt(_))
+        ));
+        std::fs::remove_file(&path).ok();
     }
 }

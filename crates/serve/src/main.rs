@@ -9,7 +9,7 @@
 //! hydra-serve --snapshots DIR [--addr 127.0.0.1:7878]
 //!             [--shard-role worker]
 //!             [--storage on-disk|in-memory] [--seed N]
-//!             [--pool-pages N] [--out-of-core]
+//!             [--pool-pages N] [--out-of-core] [--page-codec u8|f16|f32]
 //!             [--batch-window-ms N] [--max-batch N]
 //!             [--slow-query-ms N]
 //!
@@ -34,6 +34,14 @@
 //! `--pool-pages N` bounds that cache — together they let a boot serve
 //! collections whose raw series far exceed the configured pool. Answers
 //! are byte-identical to a resident boot.
+//!
+//! `--page-codec u8|f16|f32` (default `f32`) serves the booted indexes'
+//! raw-series tier quantized: pages hold u8 or f16 codes with per-page
+//! min/scale headers, candidate pruning runs fused decode+distance
+//! kernels, and every returned distance is refined against the exact f32
+//! series — answers stay byte-identical while each page read moves ~4×
+//! (`u8`) or ~2× (`f16`) fewer bytes. The coded traffic is scrapeable as
+//! the `hydra_store` gauge with the `compressed_bytes_read` label.
 //!
 //! In router mode, `--workers` lists the shard workers *in shard order*
 //! (worker `w` must serve shard `w` of every index — the per-shard
@@ -77,6 +85,7 @@ struct Args {
     seed: u64,
     pool_pages: Option<usize>,
     out_of_core: bool,
+    page_codec: hydra::PageCodec,
     batch_window: Duration,
     max_batch: usize,
     slow_query: Option<Duration>,
@@ -96,6 +105,7 @@ impl Default for Args {
             seed: 5,
             pool_pages: None,
             out_of_core: false,
+            page_codec: hydra::PageCodec::F32,
             batch_window: Duration::from_millis(1),
             max_batch: 64,
             slow_query: None,
@@ -206,6 +216,11 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         } else if arg == "--out-of-core" {
             once("--out-of-core", &mut seen)?;
             out.out_of_core = true;
+        } else if let Some(value) = value_of("--page-codec") {
+            once("--page-codec", &mut seen)?;
+            let value = value?;
+            out.page_codec = hydra::PageCodec::parse(&value)
+                .map_err(|_| format!("--page-codec expects u8, f16 or f32, got {value:?}"))?;
         } else if let Some(value) = value_of("--batch-window-ms") {
             once("--batch-window-ms", &mut seen)?;
             let value = value?;
@@ -237,7 +252,8 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
                  --shard-role worker|router, --workers HOST:PORT,..., --worker-timeout-ms N, \
                  --worker-connect-timeout-ms N, --shard-scheme contiguous|strided, \
                  --storage on-disk|in-memory, --seed N, --pool-pages N, --out-of-core, \
-                 --batch-window-ms N, --max-batch N, --slow-query-ms N)"
+                 --page-codec u8|f16|f32, --batch-window-ms N, --max-batch N, \
+                 --slow-query-ms N)"
             ));
         }
     }
@@ -255,6 +271,7 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
                 "--seed",
                 "--pool-pages",
                 "--out-of-core",
+                "--page-codec",
                 "--batch-window-ms",
                 "--max-batch",
                 "--slow-query-ms",
@@ -345,7 +362,12 @@ fn set_boot_gauges(metrics: &hydra_serve::MetricsRegistry, loads: &[hydra_serve:
 
 /// Runs the worker (= plain server) role: boot snapshots, serve.
 fn run_worker(args: &Args) {
-    let registry = hydra::standard_registry_pooled(args.in_memory, args.seed, args.pool_pages);
+    let registry = hydra::standard_registry_tiered(
+        args.in_memory,
+        args.seed,
+        args.pool_pages,
+        args.page_codec,
+    );
     let options = hydra_serve::BootOptions {
         file_backed: args.out_of_core,
     };
@@ -363,6 +385,12 @@ fn run_worker(args: &Args) {
                 Some(p) => format!(", pool {p} pages"),
                 None => String::new(),
             }
+        );
+    }
+    if args.page_codec != hydra::PageCodec::F32 {
+        eprintln!(
+            "hydra-serve: raw-series tier quantized ({} pages, exact-refined answers)",
+            args.page_codec.name()
         );
     }
     for (name, n, len) in &report.datasets {
@@ -504,6 +532,27 @@ mod tests {
         ]))
         .is_err());
         assert!(parse_args(&args(&["--snapshots", "/s", "--out-of-core=yes"])).is_err());
+        // Page-codec flag: f32 by default, strict values, worker-only.
+        let a = parse_args(&args(&["--snapshots", "/s"])).unwrap();
+        assert_eq!(a.page_codec, hydra::PageCodec::F32);
+        let a = parse_args(&args(&["--snapshots=/s", "--page-codec=u8"])).unwrap();
+        assert_eq!(a.page_codec, hydra::PageCodec::U8);
+        let a = parse_args(&args(&["--snapshots", "/s", "--page-codec", "f16"])).unwrap();
+        assert_eq!(a.page_codec, hydra::PageCodec::F16);
+        assert!(parse_args(&args(&["--snapshots", "/s", "--page-codec", "mp3"])).is_err());
+        assert!(parse_args(&args(&["--snapshots", "/s", "--page-codec"])).is_err());
+        assert!(parse_args(&args(&[
+            "--snapshots=/s",
+            "--page-codec=u8",
+            "--page-codec=u8"
+        ]))
+        .is_err());
+        assert!(parse_args(&args(&[
+            "--shard-role=router",
+            "--workers=h:1",
+            "--page-codec=u8"
+        ]))
+        .is_err());
         // Slow-query logging: off by default, positive ms only, worker-only.
         let a = parse_args(&args(&["--snapshots", "/s"])).unwrap();
         assert_eq!(a.slow_query, None);

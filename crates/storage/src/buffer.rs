@@ -18,12 +18,53 @@
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
+use crate::coded::CodedPage;
+
+/// The cached contents of one page. A store caches either raw f32 frames
+/// (the f32 codec) or coded pages (the u8/f16 codecs) — one kind per
+/// store, but the pool itself is agnostic: hit/miss/eviction decisions
+/// depend only on page identity, never on the frame representation.
+#[derive(Debug, Clone)]
+pub enum Frame {
+    /// A raw page frame of f32 values.
+    Raw(Arc<[f32]>),
+    /// A compressed page (u8/f16 codes plus residual norms).
+    Coded(Arc<CodedPage>),
+}
+
+impl Frame {
+    /// Approximate footprint in f32-equivalents, for
+    /// [`BufferPool::resident_values`].
+    fn values(&self) -> usize {
+        match self {
+            Frame::Raw(f) => f.len(),
+            Frame::Coded(p) => p.footprint_values(),
+        }
+    }
+
+    /// The raw f32 frame, if this is one.
+    pub fn as_raw(&self) -> Option<Arc<[f32]>> {
+        match self {
+            Frame::Raw(f) => Some(Arc::clone(f)),
+            Frame::Coded(_) => None,
+        }
+    }
+
+    /// The coded page, if this is one.
+    pub fn as_coded(&self) -> Option<Arc<CodedPage>> {
+        match self {
+            Frame::Coded(p) => Some(Arc::clone(p)),
+            Frame::Raw(_) => None,
+        }
+    }
+}
+
 /// One resident page: its recency timestamp and, for file-backed stores,
 /// the cached frame contents.
 #[derive(Debug)]
 struct Slot {
     ts: u64,
-    frame: Option<Arc<[f32]>>,
+    frame: Option<Frame>,
 }
 
 /// LRU set of pages with a fixed capacity, optionally caching page bytes.
@@ -101,7 +142,7 @@ impl BufferPool {
                 self.lru.remove(&oldest_ts);
                 if let Some(slot) = self.pages.remove(&victim) {
                     if let Some(frame) = slot.frame {
-                        self.resident_values -= frame.len();
+                        self.resident_values -= frame.values();
                     }
                 }
                 self.evictions += 1;
@@ -109,7 +150,7 @@ impl BufferPool {
         }
     }
 
-    fn insert_slot(&mut self, page: u64, frame: Option<Arc<[f32]>>) {
+    fn insert_slot(&mut self, page: u64, frame: Option<Frame>) {
         if self.capacity == 0 {
             return;
         }
@@ -119,7 +160,7 @@ impl BufferPool {
         self.clock += 1;
         self.make_room();
         if let Some(frame) = &frame {
-            self.resident_values += frame.len();
+            self.resident_values += frame.values();
         }
         self.pages.insert(
             page,
@@ -146,7 +187,7 @@ impl BufferPool {
     /// touches recency and returns a shared handle to the frame; a miss
     /// returns `None` — the caller reads the page from disk and
     /// [`BufferPool::install`]s it.
-    pub fn fetch(&mut self, page: u64) -> Option<Arc<[f32]>> {
+    pub fn fetch(&mut self, page: u64) -> Option<Frame> {
         if self.touch(page) {
             self.pages.get(&page).and_then(|slot| slot.frame.clone())
         } else {
@@ -157,7 +198,7 @@ impl BufferPool {
     /// Caches the frame a [`BufferPool::fetch`] miss loaded from disk,
     /// evicting the least recently used page if the pool is full. A
     /// zero-capacity pool caches nothing.
-    pub fn install(&mut self, page: u64, frame: Arc<[f32]>) {
+    pub fn install(&mut self, page: u64, frame: Frame) {
         debug_assert!(
             !self.pages.contains_key(&page),
             "install after a fetch hit would duplicate page {page}"
@@ -178,7 +219,7 @@ impl BufferPool {
         if let Some(slot) = self.pages.remove(&page) {
             self.lru.remove(&slot.ts);
             if let Some(frame) = slot.frame {
-                self.resident_values -= frame.len();
+                self.resident_values -= frame.values();
             }
         }
     }
@@ -254,8 +295,8 @@ mod tests {
         assert!(p.evictions() > 0);
     }
 
-    fn frame(values: &[f32]) -> Arc<[f32]> {
-        Arc::from(values.to_vec())
+    fn frame(values: &[f32]) -> Frame {
+        Frame::Raw(Arc::from(values.to_vec()))
     }
 
     #[test]
@@ -263,7 +304,10 @@ mod tests {
         let mut p = BufferPool::new(2);
         assert!(p.fetch(0).is_none(), "cold pool misses");
         p.install(0, frame(&[1.0, 2.0]));
-        assert_eq!(p.fetch(0).as_deref(), Some(&[1.0f32, 2.0][..]));
+        assert_eq!(
+            p.fetch(0).and_then(|f| f.as_raw()).as_deref(),
+            Some(&[1.0f32, 2.0][..])
+        );
         assert_eq!(p.resident_values(), 2);
         p.install(1, frame(&[3.0]));
         assert_eq!(p.resident_values(), 3);
@@ -346,5 +390,19 @@ mod tests {
             .collect();
         assert_eq!(id_hits, frame_hits);
         assert_eq!(id_only.evictions(), framed.evictions());
+    }
+
+    #[test]
+    fn coded_frames_share_the_pool_and_its_accounting() {
+        use crate::coded::{CodedPage, PageCodec};
+        let mut p = BufferPool::new(1);
+        let page = Arc::new(CodedPage::encode(&[1.0, 2.0, 3.0, 4.0], 2, PageCodec::U8));
+        p.install(0, Frame::Coded(Arc::clone(&page)));
+        let hit = p.fetch(0).expect("installed frame is resident");
+        assert!(hit.as_coded().is_some());
+        assert!(hit.as_raw().is_none(), "a coded frame is not a raw one");
+        assert!(p.resident_values() > 0);
+        p.remove(0);
+        assert_eq!(p.resident_values(), 0, "footprint accounting balances");
     }
 }

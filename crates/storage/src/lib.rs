@@ -34,7 +34,9 @@
 #![warn(rust_2018_idioms)]
 
 pub mod buffer;
+pub mod coded;
 pub mod store;
 
 pub use buffer::BufferPool;
+pub use coded::{CodedHeader, CodedPage, PageCodec, CODED_HEADER_BYTES};
 pub use store::{FileSpan, IoSnapshot, SeriesRead, SeriesStore, StorageConfig};

@@ -6,7 +6,11 @@ use std::sync::Arc;
 use hydra_core::{Dataset, Error, QueryStats, Result, StoreCounters};
 use parking_lot::Mutex;
 
-use crate::buffer::BufferPool;
+use crate::buffer::{BufferPool, Frame};
+use crate::coded::{
+    coded_series_bytes, conservative_threshold, page_disk_bytes, CodedHeader, CodedPage,
+    PageCodec, PageCodes, CODED_HEADER_BYTES,
+};
 
 /// Configuration of the storage layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -16,6 +20,11 @@ pub struct StorageConfig {
     /// Capacity of the buffer pool in pages. Use a large value (or
     /// [`StorageConfig::in_memory`]) to model a dataset that fits in RAM.
     pub buffer_pool_pages: usize,
+    /// How sealed pages are encoded — the compressed page tier. Like the
+    /// pool capacity, the codec shapes only I/O economics, never answers
+    /// (the refinement contract recomputes every returned distance from
+    /// exact f32 values), so it is a pure serving knob.
+    pub codec: PageCodec,
 }
 
 impl StorageConfig {
@@ -25,6 +34,7 @@ impl StorageConfig {
         Self {
             page_bytes: 64 * 1024,
             buffer_pool_pages: 128,
+            codec: PageCodec::F32,
         }
     }
 
@@ -34,6 +44,7 @@ impl StorageConfig {
         Self {
             page_bytes: 64 * 1024,
             buffer_pool_pages: usize::MAX / 2,
+            codec: PageCodec::F32,
         }
     }
 
@@ -46,6 +57,15 @@ impl StorageConfig {
             buffer_pool_pages: pages,
             ..self
         }
+    }
+
+    /// This configuration with the page codec replaced — the
+    /// `--page-codec` serving knob. Like the pool capacity, a codec may
+    /// differ freely between the process that built an index and the one
+    /// that serves it: answers are bit-identical by the refinement
+    /// contract.
+    pub fn with_page_codec(self, codec: PageCodec) -> Self {
+        Self { codec, ..self }
     }
 }
 
@@ -76,6 +96,10 @@ pub struct IoSnapshot {
     /// a file-backed store (the dropped bytes must be re-read), bookkeeping
     /// on a resident one.
     pub pool_evictions: u64,
+    /// The subset of [`IoSnapshot::bytes_read`] served from compressed
+    /// (u8/f16) pages. Zero on raw-f32 stores; the remainder is exact-f32
+    /// refinement traffic.
+    pub compressed_bytes_read: u64,
 }
 
 #[derive(Debug)]
@@ -140,6 +164,38 @@ enum Backing {
     Resident(Vec<f32>),
     /// Values live in a file; the buffer pool caches real page bytes.
     File(FileBacked),
+}
+
+/// The compressed page tier of a store (codec ≠ f32): where the encoded
+/// pages of the *sealed* region (records `0..sealed`) live. Records at or
+/// beyond `sealed` — streaming-ingest tail growth — always go through the
+/// raw path.
+#[derive(Debug)]
+enum CodedTier {
+    /// No coded tier: every access is raw (the f32 codec, or a store that
+    /// was never sealed — fresh builds run raw even under a coded config).
+    None,
+    /// Encoded pages held in RAM, mirroring the resident raw payload; the
+    /// pool tracks page ids and the byte charges *simulate* the coded
+    /// transfers, exactly as the resident raw path simulates raw ones.
+    Resident { pages: Vec<Arc<CodedPage>>, sealed: usize },
+    /// Encoded pages live in a `HYDRCODE` sidecar file; a pool miss is a
+    /// genuine `pread` of the coded record, so the compressed byte counts
+    /// are real transfers.
+    File {
+        file: std::fs::File,
+        path: PathBuf,
+        sealed: usize,
+    },
+}
+
+impl CodedTier {
+    fn sealed(&self) -> usize {
+        match self {
+            CodedTier::None => 0,
+            CodedTier::Resident { sealed, .. } | CodedTier::File { sealed, .. } => *sealed,
+        }
+    }
 }
 
 /// A guard over one series read from a [`SeriesStore`], dereferencing to
@@ -209,6 +265,7 @@ pub struct SeriesStore {
     series_len: usize,
     config: StorageConfig,
     backing: Backing,
+    coded: CodedTier,
     state: Mutex<AccessState>,
 }
 
@@ -228,6 +285,7 @@ impl SeriesStore {
             series_len,
             config,
             backing,
+            coded: CodedTier::None,
             state: Mutex::new(AccessState {
                 pool: BufferPool::new(config.buffer_pool_pages),
                 last_page: None,
@@ -447,12 +505,19 @@ impl SeriesStore {
     fn fetch_frame(&self, fb: &FileBacked, page: u64, stats: &mut QueryStats) -> Arc<[f32]> {
         let mut state = self.state.lock();
         if let Some(frame) = state.pool.fetch(page) {
-            state.charge(page, true, 0, stats);
-            return frame;
+            if let Some(raw) = frame.as_raw() {
+                state.charge(page, true, 0, stats);
+                return raw;
+            }
+            // The slot holds this page's *coded* representation (possible
+            // only for the one page straddling the seal boundary, when raw
+            // tail reads and coded scans interleave). A raw read cannot be
+            // served from codes, so invalidate and fault the raw bytes in.
+            state.pool.remove(page);
         }
         let frame = self.load_frame(fb, page);
         state.charge(page, false, (frame.len() * std::mem::size_of::<f32>()) as u64, stats);
-        state.pool.install(page, Arc::clone(&frame));
+        state.pool.install(page, Frame::Raw(Arc::clone(&frame)));
         frame
     }
 
@@ -607,6 +672,329 @@ impl SeriesStore {
         }
     }
 
+    // ------------------------------------------------------------------
+    // The compressed page tier (codec != f32)
+    // ------------------------------------------------------------------
+
+    /// Number of records covered by the coded tier (0 when there is
+    /// none). Records `0..sealed` are scanned through compressed pages by
+    /// [`SeriesStore::refine`] / [`SeriesStore::scan_refine`]; records at
+    /// or beyond it (streaming-ingest tail growth) always go raw.
+    pub fn sealed(&self) -> usize {
+        self.coded.sealed()
+    }
+
+    /// Encodes the current contents of a **resident** store into the
+    /// compressed page tier, sealing records `0..len()`. A no-op for the
+    /// f32 codec. The attach helpers in `hydra-persist` call this after
+    /// populating a resident store; fresh builds never seal, so build-time
+    /// I/O stays raw.
+    ///
+    /// # Panics
+    /// Panics on a file-backed store — those attach a `HYDRCODE` sidecar
+    /// with [`SeriesStore::attach_coded_file`] instead, so the compressed
+    /// byte counts stay real transfers.
+    pub fn seal_coded(&mut self) {
+        if self.config.codec == PageCodec::F32 {
+            return;
+        }
+        let data = match &self.backing {
+            Backing::Resident(data) => data,
+            Backing::File(_) => {
+                panic!("file-backed stores attach a HYDRCODE sidecar instead of sealing in RAM")
+            }
+        };
+        let spp = self.series_per_page() as usize;
+        let len = data.len() / self.series_len;
+        let mut pages = Vec::with_capacity(len.div_ceil(spp));
+        for page in 0..len.div_ceil(spp) {
+            let lo = page * spp * self.series_len;
+            let hi = ((page + 1) * spp).min(len) * self.series_len;
+            pages.push(Arc::new(CodedPage::encode(
+                &data[lo..hi],
+                self.series_len,
+                self.config.codec,
+            )));
+        }
+        self.coded = CodedTier::Resident { pages, sealed: len };
+    }
+
+    /// Attaches the `HYDRCODE` sidecar at `path` as the compressed page
+    /// tier of a **file-backed** store, sealing the span records. The
+    /// sidecar's header must agree with this store's codec, series length,
+    /// span size and page grouping (it was written for exactly this
+    /// layout; `hydra-persist` rebuilds it otherwise).
+    ///
+    /// # Errors
+    /// [`Error::InvalidParameter`] on a resident store or under the f32
+    /// codec; [`Error::Storage`] if the sidecar cannot be opened, has a
+    /// foreign header, or is shorter than its page records require.
+    pub fn attach_coded_file(&mut self, path: &Path) -> Result<()> {
+        if self.config.codec == PageCodec::F32 {
+            return Err(Error::InvalidParameter(
+                "the f32 codec has no coded tier to attach".into(),
+            ));
+        }
+        let span_records = match &self.backing {
+            Backing::File(fb) => fb.span.records,
+            Backing::Resident(_) => {
+                return Err(Error::InvalidParameter(
+                    "resident stores seal their coded tier in RAM".into(),
+                ))
+            }
+        };
+        use std::os::unix::fs::FileExt;
+        let file = std::fs::File::open(path)
+            .map_err(|e| Error::Storage(format!("cannot open {}: {e}", path.display())))?;
+        let mut header = [0u8; CODED_HEADER_BYTES as usize];
+        file.read_exact_at(&mut header, 0)
+            .map_err(|e| Error::Storage(format!("cannot read {}: {e}", path.display())))?;
+        let header = CodedHeader::decode(&header)?;
+        let spp = self.series_per_page();
+        if header.codec != self.config.codec
+            || header.series_len != self.series_len as u64
+            || header.records != span_records as u64
+            || header.series_per_page != spp
+        {
+            return Err(Error::Storage(format!(
+                "{} was coded for a different layout (codec {}, len {}, {} records, {} series/page)",
+                path.display(),
+                header.codec.name(),
+                header.series_len,
+                header.records,
+                header.series_per_page,
+            )));
+        }
+        let full_pages = (span_records as u64) / spp;
+        let tail_records = span_records as u64 - full_pages * spp;
+        let needed = CODED_HEADER_BYTES
+            + full_pages * page_disk_bytes(spp as usize, self.series_len, self.config.codec)
+            + if tail_records > 0 {
+                page_disk_bytes(tail_records as usize, self.series_len, self.config.codec)
+            } else {
+                0
+            };
+        let actual = file
+            .metadata()
+            .map_err(|e| Error::Storage(format!("cannot stat {}: {e}", path.display())))?
+            .len();
+        if actual < needed {
+            return Err(Error::Storage(format!(
+                "{} holds {actual} bytes but its pages need {needed}",
+                path.display()
+            )));
+        }
+        self.coded = CodedTier::File {
+            file,
+            path: path.to_path_buf(),
+            sealed: span_records,
+        };
+        Ok(())
+    }
+
+    /// Logical bytes one coded series charges to a query.
+    fn coded_record_bytes(&self) -> u64 {
+        coded_series_bytes(self.series_len, self.config.codec)
+    }
+
+    /// Returns the coded page `page` of the sealed region, charging the
+    /// page access (hit, or miss with the coded record's real byte size —
+    /// also counted into `compressed_bytes_read`).
+    fn fetch_coded_page(&self, page: u64, stats: &mut QueryStats) -> Arc<CodedPage> {
+        match &self.coded {
+            CodedTier::None => unreachable!("coded access without a coded tier"),
+            CodedTier::Resident { pages, .. } => {
+                let frame = Arc::clone(&pages[page as usize]);
+                let miss_bytes =
+                    page_disk_bytes(frame.count(), self.series_len, self.config.codec);
+                let mut state = self.state.lock();
+                let hit = state.pool.access(page);
+                state.charge(page, hit, miss_bytes, stats);
+                if !hit {
+                    state.totals.compressed_bytes_read += miss_bytes;
+                }
+                frame
+            }
+            CodedTier::File { file, path, sealed } => {
+                let mut state = self.state.lock();
+                if let Some(frame) = state.pool.fetch(page) {
+                    if let Some(coded) = frame.as_coded() {
+                        state.charge(page, true, 0, stats);
+                        return coded;
+                    }
+                    // Mirror image of the raw path: the seal-boundary page
+                    // may be cached raw by a tail read; refetch its codes.
+                    state.pool.remove(page);
+                }
+                use std::os::unix::fs::FileExt;
+                let spp = self.series_per_page();
+                let first = page * spp;
+                let count = spp.min(*sealed as u64 - first) as usize;
+                let stride = page_disk_bytes(spp as usize, self.series_len, self.config.codec);
+                let bytes = page_disk_bytes(count, self.series_len, self.config.codec);
+                let mut buf = vec![0u8; bytes as usize];
+                file.read_exact_at(&mut buf, CODED_HEADER_BYTES + page * stride)
+                    .unwrap_or_else(|e| {
+                        panic!(
+                            "coded series store: reading page {page} of {} failed: {e}",
+                            path.display()
+                        )
+                    });
+                let frame = Arc::new(
+                    CodedPage::from_disk_bytes(&buf, count, self.series_len, self.config.codec)
+                        .unwrap_or_else(|e| {
+                            panic!("coded page {page} of {} is corrupt: {e}", path.display())
+                        }),
+                );
+                state.charge(page, false, bytes, stats);
+                state.totals.compressed_bytes_read += bytes;
+                state.pool.install(page, Frame::Coded(Arc::clone(&frame)));
+                frame
+            }
+        }
+    }
+
+    /// Charges the exact-f32 read that refines one surviving candidate: a
+    /// targeted random read of one raw series, bypassing the page pool
+    /// (it does not disturb the coded scan's sequentiality detection).
+    fn charge_exact_refinement(&self, stats: &mut QueryStats) {
+        stats.bytes_read += self.series_bytes();
+        stats.random_ios += 1;
+        let mut state = self.state.lock();
+        state.totals.bytes_read += self.series_bytes();
+        state.totals.random_ios += 1;
+    }
+
+    /// Runs the fused quantized early-abandonment kernel for record
+    /// `record` of the coded page `frame`, under the conservative bound.
+    fn coded_probe(
+        &self,
+        frame: &CodedPage,
+        idx_in_page: usize,
+        query: &[f32],
+        best_so_far: f32,
+    ) -> Option<f32> {
+        let threshold = conservative_threshold(best_so_far, frame.errs[idx_in_page]);
+        let range = idx_in_page * self.series_len..(idx_in_page + 1) * self.series_len;
+        match &frame.codes {
+            PageCodes::U8(codes) => hydra_core::euclidean_early_abandon_u8(
+                query,
+                &codes[range],
+                frame.min,
+                frame.scale,
+                threshold,
+            ),
+            PageCodes::F16(codes) => {
+                hydra_core::euclidean_early_abandon_f16(query, &codes[range], threshold)
+            }
+        }
+    }
+
+    /// Refines one candidate: early-abandoning Euclidean distance between
+    /// `query` and record `record`, returning `None` if the candidate
+    /// provably cannot beat `best_so_far`.
+    ///
+    /// On a raw (f32) store this is exactly `read` followed by
+    /// [`hydra_core::euclidean_early_abandon`], with identical charging.
+    /// On a coded store the candidate is first probed through its
+    /// compressed page under the conservative bound
+    /// `best_so_far + residual_norm`; only survivors pay an exact-f32
+    /// read (charged as one random I/O plus the series bytes) and re-run the
+    /// *same* kernel on the exact values — so the returned distances, and
+    /// therefore the answers, are bit-identical across codecs, while
+    /// pruned candidates cost only their coded bytes.
+    ///
+    /// # Panics
+    /// Panics if `record` is out of bounds, or on a genuine disk fault.
+    pub fn refine(
+        &self,
+        record: usize,
+        query: &[f32],
+        best_so_far: f32,
+        stats: &mut QueryStats,
+    ) -> Option<f32> {
+        assert!(record < self.len(), "record {record} out of bounds");
+        if record >= self.coded.sealed() {
+            let series = self.read(record, stats);
+            return hydra_core::euclidean_early_abandon(query, &series, best_so_far);
+        }
+        stats.bytes_read += self.coded_record_bytes();
+        let page = self.page_of(record);
+        let frame = self.fetch_coded_page(page, stats);
+        let idx = record - (page * self.series_per_page()) as usize;
+        self.coded_probe(&frame, idx, query, best_so_far)?;
+        self.charge_exact_refinement(stats);
+        let mut exact = Vec::new();
+        self.read_uncharged(record, &mut exact);
+        hydra_core::euclidean_early_abandon(query, &exact, best_so_far)
+    }
+
+    /// Refines `count` consecutive candidates starting at `start` — the
+    /// scan-shaped companion of [`SeriesStore::refine`], used by tree
+    /// leaves whose contents are contiguous runs. `accept(record, d)` is
+    /// invoked for each surviving candidate and returns the (possibly
+    /// tightened) bound for the rest of the scan; the final bound is
+    /// returned.
+    ///
+    /// On a raw (f32) store this charges exactly what
+    /// [`SeriesStore::read_range`] plus the kernel would (it *is* that
+    /// call); on a coded store the sealed prefix of the range scans
+    /// compressed pages and only survivors read exact f32 bytes, while
+    /// any tail records (appended after sealing) fall through to the raw
+    /// path.
+    pub fn scan_refine(
+        &self,
+        start: usize,
+        count: usize,
+        query: &[f32],
+        best_so_far: f32,
+        stats: &mut QueryStats,
+        accept: &mut dyn FnMut(usize, f32) -> f32,
+    ) -> f32 {
+        let mut bound = best_so_far;
+        if count == 0 {
+            return bound;
+        }
+        let end = (start + count).min(self.len());
+        assert!(start < self.len(), "start {start} out of bounds");
+        let sealed = self.coded.sealed();
+        let coded_end = end.min(sealed);
+        if coded_end > start {
+            let spp = self.series_per_page();
+            let mut exact = Vec::new();
+            for page in self.page_of(start)..=self.page_of(coded_end - 1) {
+                let frame = self.fetch_coded_page(page, stats);
+                let page_first = (page * spp) as usize;
+                let lo = start.max(page_first);
+                let hi = coded_end.min(page_first + frame.count());
+                for record in lo..hi {
+                    stats.bytes_read += self.coded_record_bytes();
+                    if self
+                        .coded_probe(&frame, record - page_first, query, bound)
+                        .is_some()
+                    {
+                        self.charge_exact_refinement(stats);
+                        self.read_uncharged(record, &mut exact);
+                        if let Some(d) =
+                            hydra_core::euclidean_early_abandon(query, &exact, bound)
+                        {
+                            bound = accept(record, d);
+                        }
+                    }
+                }
+            }
+        }
+        let raw_start = start.max(sealed);
+        if end > raw_start {
+            self.read_range(raw_start, end - raw_start, stats, &mut |record, series| {
+                if let Some(d) = hydra_core::euclidean_early_abandon(query, series, bound) {
+                    bound = accept(record, d);
+                }
+            });
+        }
+        bound
+    }
+
     /// Snapshot of cumulative I/O counters.
     pub fn io_snapshot(&self) -> IoSnapshot {
         let state = self.state.lock();
@@ -629,6 +1017,7 @@ impl SeriesStore {
             pool_hits: snap.pool_hits,
             pool_misses: snap.pool_misses,
             pool_evictions: snap.pool_evictions,
+            compressed_bytes_read: snap.compressed_bytes_read,
         }
     }
 
@@ -692,7 +1081,8 @@ mod tests {
             8,
             StorageConfig {
                 page_bytes: 1,
-                buffer_pool_pages: 1
+                buffer_pool_pages: 1,
+                codec: PageCodec::F32
             }
         )
         .is_err());
@@ -722,6 +1112,7 @@ mod tests {
         let config = StorageConfig {
             page_bytes: 256,
             buffer_pool_pages: 0,
+            codec: PageCodec::F32,
         };
         let store = small_store(64, 4, config);
         let mut stats = QueryStats::new();
@@ -737,6 +1128,7 @@ mod tests {
         let config = StorageConfig {
             page_bytes: 256, // 16 series/page
             buffer_pool_pages: 0,
+            codec: PageCodec::F32,
         };
         let store = small_store(256, 4, config);
         let mut stats = QueryStats::new();
@@ -753,6 +1145,7 @@ mod tests {
         let config = StorageConfig {
             page_bytes: 256,
             buffer_pool_pages: 1024,
+            codec: PageCodec::F32,
         };
         let store = small_store(64, 4, config);
         let mut stats = QueryStats::new();
@@ -804,6 +1197,7 @@ mod tests {
         let config = StorageConfig {
             page_bytes: 64, // 4 series of length 4 per page
             buffer_pool_pages: 2,
+            codec: PageCodec::F32,
         };
         let resident = small_store(21, 4, config);
         let (file, path) = file_store(21, 4, config, "equiv");
@@ -836,6 +1230,7 @@ mod tests {
         let config = StorageConfig {
             page_bytes: 64, // 4 series/page
             buffer_pool_pages: 8,
+            codec: PageCodec::F32,
         };
         let (store, path) = file_store(21, 4, config, "straddle");
         let mut stats = QueryStats::new();
@@ -860,6 +1255,7 @@ mod tests {
         let config = StorageConfig {
             page_bytes: 64, // 4 series/page -> frame = 64 bytes, tail = 1 series = 16 bytes
             buffer_pool_pages: 0,
+            codec: PageCodec::F32,
         };
         let (store, path) = file_store(9, 4, config, "bytes");
         let mut stats = QueryStats::new();
@@ -880,6 +1276,7 @@ mod tests {
         let config = StorageConfig {
             page_bytes: 32, // 2 series of length 4 per page
             buffer_pool_pages: 1,
+            codec: PageCodec::F32,
         };
         let (store, path) = file_store(10, 4, config, "cap1");
         let mut stats = QueryStats::new();
@@ -924,6 +1321,7 @@ mod tests {
         let config = StorageConfig {
             page_bytes: 32,
             buffer_pool_pages: 8,
+            codec: PageCodec::F32,
         };
         let (mut store, path) = file_store(3, 4, config, "grow");
         let mut stats = QueryStats::new();
@@ -964,6 +1362,7 @@ mod tests {
         let config = StorageConfig {
             page_bytes: 32, // 2 series of length 4 per page
             buffer_pool_pages: 2,
+            codec: PageCodec::F32,
         };
         let mut resident = small_store(7, 4, config);
         let (mut file, path) = file_store(7, 4, config, "uncharged");
@@ -1031,6 +1430,7 @@ mod tests {
         let config = StorageConfig {
             page_bytes: 64,
             buffer_pool_pages: 1, // maximum thrash
+            codec: PageCodec::F32,
         };
         let (store, path) = file_store(64, 4, config, "threads");
         std::thread::scope(|scope| {
@@ -1051,5 +1451,301 @@ mod tests {
         assert_eq!(snap.pool_hits + snap.pool_misses, 4 * 200);
         assert!(snap.pool_evictions > 0);
         std::fs::remove_file(&path).ok();
+    }
+
+    // ------------------------------------------------------------------
+    // Compressed page tier
+    // ------------------------------------------------------------------
+
+    use crate::coded::{page_disk_bytes, CodedHeader, CodedPage, CODED_HEADER_BYTES};
+
+    /// A dataset whose values genuinely stress u8 quantization (spread,
+    /// sign changes, non-grid values) — unlike the linear ramp above,
+    /// whose page-affine values a u8 grid can represent too faithfully.
+    fn varied_dataset(n: usize, len: usize) -> Dataset {
+        let mut d = Dataset::new(len).unwrap();
+        let mut x = 0x9e3779b9u32;
+        for _ in 0..n {
+            let s: Vec<f32> = (0..len)
+                .map(|_| {
+                    x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+                    (x >> 8) as f32 / (1 << 24) as f32 * 200.0 - 100.0
+                })
+                .collect();
+            d.push(&s).unwrap();
+        }
+        d
+    }
+
+    fn tiered_config(codec: PageCodec) -> StorageConfig {
+        StorageConfig {
+            page_bytes: 256, // 4 series of length 16 per page
+            buffer_pool_pages: 4,
+            codec,
+        }
+    }
+
+    /// 1-NN over the whole store through `scan_refine`, recording every
+    /// accepted `(record, distance_bits)` pair.
+    fn one_nn_scan(store: &SeriesStore, query: &[f32]) -> (Vec<(usize, u32)>, QueryStats) {
+        let mut stats = QueryStats::new();
+        let mut accepted = Vec::new();
+        let mut best = f32::INFINITY;
+        store.scan_refine(0, store.len(), query, best, &mut stats, &mut |id, dist| {
+            accepted.push((id, dist.to_bits()));
+            best = best.min(dist);
+            best
+        });
+        (accepted, stats)
+    }
+
+    /// Writes the `HYDRCODE` sidecar for `d` under `codec`, page-grouped
+    /// exactly as a store with `config` would group its raw pages.
+    fn write_coded_sidecar(d: &Dataset, config: &StorageConfig, path: &Path) {
+        let len = d.series_len();
+        let spp = (config.page_bytes as usize / (4 * len)).max(1);
+        let flat = d.as_flat();
+        let n = flat.len() / len;
+        let mut bytes = CodedHeader {
+            codec: config.codec,
+            series_len: len as u64,
+            records: n as u64,
+            series_per_page: spp as u64,
+            source_fingerprint: 0,
+            payload_fingerprint: 0,
+        }
+        .encode()
+        .to_vec();
+        for page in 0..n.div_ceil(spp) {
+            let lo = page * spp * len;
+            let hi = ((page + 1) * spp).min(n) * len;
+            bytes.extend_from_slice(&CodedPage::encode(&flat[lo..hi], len, config.codec).to_disk_bytes());
+        }
+        std::fs::write(path, &bytes).unwrap();
+    }
+
+    #[test]
+    fn sealed_refine_answers_match_raw_store_bit_for_bit() {
+        let d = varied_dataset(100, 16);
+        let raw = SeriesStore::from_dataset(&d, tiered_config(PageCodec::F32)).unwrap();
+        let mut query: Vec<f32> = d.get(37).unwrap().to_vec();
+        query.iter_mut().for_each(|v| *v += 0.25);
+
+        let (want, raw_stats) = one_nn_scan(&raw, &query);
+        assert!(!want.is_empty());
+        for codec in [PageCodec::U8, PageCodec::F16] {
+            let mut coded = SeriesStore::from_dataset(&d, tiered_config(codec)).unwrap();
+            assert_eq!(coded.sealed(), 0, "fresh builds are raw even under a coded config");
+            coded.seal_coded();
+            assert_eq!(coded.sealed(), 100);
+            let (got, coded_stats) = one_nn_scan(&coded, &query);
+            assert_eq!(got, want, "{} accept sequence diverged", codec.name());
+            assert!(
+                coded_stats.bytes_read < raw_stats.bytes_read,
+                "{}: coded scan must be cheaper ({} vs {} bytes)",
+                codec.name(),
+                coded_stats.bytes_read,
+                raw_stats.bytes_read,
+            );
+
+            // Candidate-at-a-time refinement agrees with the raw kernel at
+            // every record and every bound tightness.
+            let mut best = f32::INFINITY;
+            for r in 0..coded.len() {
+                let mut s1 = QueryStats::new();
+                let mut s2 = QueryStats::new();
+                let coded_d = coded.refine(r, &query, best, &mut s1);
+                let series = raw.read(r, &mut s2);
+                let raw_d = hydra_core::euclidean_early_abandon(&query, &series, best);
+                if let Some(d) = raw_d {
+                    assert_eq!(
+                        coded_d.map(f32::to_bits),
+                        Some(d.to_bits()),
+                        "{} record {r}",
+                        codec.name()
+                    );
+                    best = best.min(d);
+                } else {
+                    // The coded probe may keep a candidate the raw kernel
+                    // abandons (its bound is conservative), but the exact
+                    // re-check then abandons it too.
+                    assert_eq!(coded_d, None, "{} record {r}", codec.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coded_file_tier_matches_coded_resident_tier_exactly() {
+        let d = varied_dataset(100, 16);
+        let mut query: Vec<f32> = d.get(11).unwrap().to_vec();
+        query[3] += 4.0;
+
+        for codec in [PageCodec::U8, PageCodec::F16] {
+            let config = tiered_config(codec);
+            let mut resident = SeriesStore::from_dataset(&d, config.clone()).unwrap();
+            resident.seal_coded();
+            resident.reset_io();
+
+            let dir = std::env::temp_dir();
+            let flat = dir.join(format!(
+                "hydra-storage-coded-{}-{}.flat",
+                std::process::id(),
+                codec.name()
+            ));
+            let sidecar = dir.join(format!(
+                "hydra-storage-coded-{}-{}.coded",
+                std::process::id(),
+                codec.name()
+            ));
+            let mut bytes = Vec::new();
+            for &v in d.as_flat() {
+                bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+            std::fs::write(&flat, &bytes).unwrap();
+            write_coded_sidecar(&d, &config, &sidecar);
+            let mut file = SeriesStore::file_backed(
+                &flat,
+                FileSpan { offset: 0, records: 100 },
+                16,
+                config.clone(),
+            )
+            .unwrap();
+            file.attach_coded_file(&sidecar).unwrap();
+            assert_eq!(file.sealed(), 100);
+
+            let (res_acc, res_stats) = one_nn_scan(&resident, &query);
+            let (file_acc, file_stats) = one_nn_scan(&file, &query);
+            assert_eq!(file_acc, res_acc, "{} answers diverged", codec.name());
+            assert_eq!(
+                file_stats, res_stats,
+                "{}: the resident tier must simulate exactly what the file tier measures",
+                codec.name()
+            );
+            assert_eq!(file.io_snapshot(), resident.io_snapshot());
+            let snap = file.io_snapshot();
+            assert!(snap.compressed_bytes_read > 0);
+            assert!(
+                snap.compressed_bytes_read <= snap.bytes_read,
+                "compressed bytes are a subset of all bytes"
+            );
+            std::fs::remove_file(&flat).ok();
+            std::fs::remove_file(&sidecar).ok();
+        }
+    }
+
+    #[test]
+    fn coded_scan_reads_fewer_bytes_at_equal_pool_size() {
+        let d = varied_dataset(256, 16);
+        let scan = |codec: PageCodec| {
+            let mut store = SeriesStore::from_dataset(&d, tiered_config(codec)).unwrap();
+            store.seal_coded();
+            store.reset_io();
+            let query: Vec<f32> = d.get(0).unwrap().to_vec();
+            let (_, stats) = one_nn_scan(&store, &query);
+            stats
+        };
+        let raw = scan(PageCodec::F32);
+        let u8s = scan(PageCodec::U8);
+        let f16s = scan(PageCodec::F16);
+        // Per-series logical charges: 64 raw, 4+16=20 for u8, 4+32=36 for
+        // f16 — plus per-survivor exact reads, which quantization keeps
+        // rare. The issue's acceptance bar is >= 3x for u8.
+        assert!(
+            u8s.bytes_read * 3 <= raw.bytes_read,
+            "u8 must read >=3x fewer bytes ({} vs {})",
+            u8s.bytes_read,
+            raw.bytes_read
+        );
+        assert!(f16s.bytes_read < raw.bytes_read);
+        assert!(u8s.bytes_read < f16s.bytes_read);
+    }
+
+    #[test]
+    fn appended_tail_records_stay_raw_after_sealing() {
+        let d = varied_dataset(20, 8);
+        let mut store = SeriesStore::from_dataset(
+            &d,
+            StorageConfig {
+                page_bytes: 128,
+                buffer_pool_pages: 4,
+                codec: PageCodec::U8,
+            },
+        )
+        .unwrap();
+        store.seal_coded();
+        assert_eq!(store.sealed(), 20);
+        let fresh: Vec<f32> = (0..8).map(|j| j as f32 * 0.5 - 2.0).collect();
+        store.append(&fresh).unwrap();
+        assert_eq!(store.sealed(), 20, "appends never silently join the coded tier");
+
+        // Refining the tail record charges full raw bytes and returns the
+        // exact distance.
+        let query = vec![0.0f32; 8];
+        let mut stats = QueryStats::new();
+        let got = store.refine(20, &query, f32::INFINITY, &mut stats).unwrap();
+        let want = hydra_core::euclidean(&query, &fresh);
+        assert_eq!(got.to_bits(), want.to_bits());
+        assert_eq!(stats.bytes_read, 32, "tail refinement reads raw f32 bytes");
+        assert_eq!(store.io_snapshot().compressed_bytes_read, 0);
+
+        // A scan straddling the seal boundary covers both tiers.
+        let mut seen = Vec::new();
+        let mut stats = QueryStats::new();
+        store.scan_refine(18, 3, &query, f32::INFINITY, &mut stats, &mut |id, _| {
+            seen.push(id);
+            f32::INFINITY
+        });
+        assert_eq!(seen, vec![18, 19, 20]);
+    }
+
+    #[test]
+    fn attach_coded_file_rejects_foreign_sidecars() {
+        let d = varied_dataset(30, 8);
+        let config = StorageConfig {
+            page_bytes: 128,
+            buffer_pool_pages: 4,
+            codec: PageCodec::U8,
+        };
+        let dir = std::env::temp_dir();
+        let flat = dir.join(format!("hydra-storage-badcoded-{}.flat", std::process::id()));
+        let mut bytes = Vec::new();
+        for &v in d.as_flat() {
+            bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        std::fs::write(&flat, &bytes).unwrap();
+        let mut store = SeriesStore::file_backed(
+            &flat,
+            FileSpan { offset: 0, records: 30 },
+            8,
+            config.clone(),
+        )
+        .unwrap();
+
+        // Sidecar coded for a different codec.
+        let sidecar = dir.join(format!("hydra-storage-badcoded-{}.f16", std::process::id()));
+        write_coded_sidecar(&d, &config.clone().with_page_codec(PageCodec::F16), &sidecar);
+        assert!(store.attach_coded_file(&sidecar).is_err());
+
+        // Truncated payload.
+        let good = dir.join(format!("hydra-storage-badcoded-{}.u8", std::process::id()));
+        write_coded_sidecar(&d, &config, &good);
+        let full = std::fs::read(&good).unwrap();
+        std::fs::write(&good, &full[..full.len() - 1]).unwrap();
+        assert!(store.attach_coded_file(&good).is_err());
+
+        // Restored, it attaches.
+        std::fs::write(&good, &full).unwrap();
+        store.attach_coded_file(&good).unwrap();
+        assert_eq!(store.sealed(), 30);
+
+        // Header byte-layout sanity: total size is header + page records.
+        assert_eq!(
+            full.len() as u64,
+            CODED_HEADER_BYTES + 7 * page_disk_bytes(4, 8, PageCodec::U8) + page_disk_bytes(2, 8, PageCodec::U8),
+        );
+        std::fs::remove_file(&flat).ok();
+        std::fs::remove_file(&sidecar).ok();
+        std::fs::remove_file(&good).ok();
     }
 }

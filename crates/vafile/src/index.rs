@@ -248,10 +248,9 @@ impl VaPlusFile {
                     break;
                 }
             }
-            let series = self.store.read(id, &mut stats);
             stats.series_scanned += 1;
             stats.distance_computations += 1;
-            if let Some(d) = hydra_core::euclidean_early_abandon(query, &series, bsf) {
+            if let Some(d) = self.store.refine(id, query, bsf, &mut stats) {
                 top.push(Neighbor::new(id, d));
             }
             refined += 1;

@@ -92,6 +92,7 @@ fn file_backed_eviction_traffic_is_real_and_pinned() {
         storage: StorageConfig {
             page_bytes: 128,
             buffer_pool_pages: 4,
+            codec: hydra::PageCodec::F32,
         },
         seed: 7,
         ..SrsConfig::default()
@@ -212,6 +213,136 @@ fn hydra_serve_over_a_file_backed_boot_answers_byte_identically() {
     drop(control);
     let stats = handle.join();
     assert!(stats.queries > 0);
+}
+
+#[test]
+fn page_codec_matrix_answers_bit_identically_and_cuts_read_traffic() {
+    let dir = common::temp_dir("ooc-codec-matrix");
+    let (data, data_snapshot) = ooc_scenario(&dir);
+    // One scan-shaped refiner (DSTree: contiguous leaf runs through
+    // `scan_refine`) and one candidate-shaped refiner (VA+file: per-record
+    // `refine`) cover both coded read paths.
+    let dstree_base = DsTreeConfig {
+        storage: StorageConfig::on_disk(),
+        histogram_samples: 2_000,
+        seed: 3,
+        ..DsTreeConfig::default()
+    };
+    let vafile_base = VaPlusFileConfig {
+        storage: StorageConfig::on_disk(),
+        seed: 3,
+        ..VaPlusFileConfig::default()
+    };
+    let dstree_snap = dir.join("walk-dstree.snap");
+    DsTree::build(&data, dstree_base).unwrap().save(&dstree_snap).unwrap();
+    let vafile_snap = dir.join("walk-vafile.snap");
+    VaPlusFile::build(&data, vafile_base).unwrap().save(&vafile_snap).unwrap();
+
+    let workload = hydra::data::noisy_queries(&data, 8, &[0.0, 0.2], 17);
+    let truth = hydra::data::ground_truth(&data, &workload, 10);
+    let settings = [SearchParams::exact(10), SearchParams::ng(10, 8)];
+
+    // The resident-f32 twin is the answer oracle: every matrix cell must
+    // reproduce its neighbors *and* distance bits exactly.
+    let baseline_answers = |index: &dyn hydra::AnnIndex| -> Vec<Vec<(usize, u32)>> {
+        settings
+            .iter()
+            .flat_map(|params| {
+                workload.iter().map(move |q| {
+                    index
+                        .search(q, params)
+                        .unwrap()
+                        .neighbors
+                        .iter()
+                        .map(|n| (n.index, n.distance.to_bits()))
+                        .collect()
+                })
+            })
+            .collect()
+    };
+    let dstree_resident = DsTree::load_backed(
+        &dstree_snap,
+        &data,
+        &dstree_base,
+        StoreBacking::Resident,
+    )
+    .unwrap();
+    let vafile_resident =
+        VaPlusFile::load_backed(&vafile_snap, &data, &vafile_base, StoreBacking::Resident)
+            .unwrap();
+    let oracle_dstree = baseline_answers(&dstree_resident);
+    let oracle_vafile = baseline_answers(&vafile_resident);
+
+    // bytes_read per codec for the thrashing single-page pool, collected
+    // from the matrix sweep below (threads = 1 cell, file-backed).
+    let mut dstree_bytes = std::collections::HashMap::new();
+    for codec in [
+        hydra::PageCodec::F32,
+        hydra::PageCodec::U8,
+        hydra::PageCodec::F16,
+    ] {
+        for pool in [1usize, 4] {
+            let storage = StorageConfig::on_disk().with_pool_pages(pool).with_page_codec(codec);
+            let dstree_cfg = DsTreeConfig { storage, ..dstree_base };
+            let vafile_cfg = VaPlusFileConfig { storage, ..vafile_base };
+            let backing = StoreBacking::FileBacked {
+                dataset_snapshot: Some(&data_snapshot),
+            };
+            let dstree = DsTree::load_backed(&dstree_snap, &data, &dstree_cfg, backing).unwrap();
+            let vafile =
+                VaPlusFile::load_backed(&vafile_snap, &data, &vafile_cfg, backing).unwrap();
+            assert_eq!(
+                baseline_answers(&dstree),
+                oracle_dstree,
+                "dstree answers drifted ({codec:?}, pool {pool})"
+            );
+            assert_eq!(
+                baseline_answers(&vafile),
+                oracle_vafile,
+                "va+file answers drifted ({codec:?}, pool {pool})"
+            );
+            // Parallel serving over the coded tier: accuracy and CPU-side
+            // counters must match the sequential run exactly.
+            for params in &settings {
+                let seq = hydra::eval::run_workload(&dstree, &workload, &truth, params);
+                for threads in [1usize, 4] {
+                    let par = hydra::eval::run_workload_parallel(
+                        &dstree, &workload, &truth, params, threads,
+                    );
+                    assert_eq!(
+                        par.accuracy, seq.accuracy,
+                        "accuracy drifted ({codec:?}, pool {pool}, {threads} threads)"
+                    );
+                    assert_eq!(
+                        par.stats.distance_computations,
+                        seq.stats.distance_computations
+                    );
+                    assert_eq!(par.stats.bytes_read, seq.stats.bytes_read);
+                }
+            }
+            if pool == 1 {
+                dstree_bytes.insert(codec.name(), dstree.store().io_snapshot());
+            }
+        }
+    }
+    // Equal pool, same access pattern, smaller pages: the coded tiers move
+    // genuinely fewer bytes, u8 at least 3× fewer than raw f32 pages, and
+    // the coded traffic is broken out in its own counter.
+    let raw = &dstree_bytes["f32"];
+    let u8s = &dstree_bytes["u8"];
+    let f16 = &dstree_bytes["f16"];
+    assert!(
+        u8s.bytes_read * 3 <= raw.bytes_read,
+        "u8 pages read {} bytes vs raw {}",
+        u8s.bytes_read,
+        raw.bytes_read
+    );
+    assert!(f16.bytes_read < raw.bytes_read);
+    assert!(u8s.bytes_read < f16.bytes_read);
+    assert_eq!(raw.compressed_bytes_read, 0);
+    assert!(u8s.compressed_bytes_read > 0);
+    assert!(u8s.compressed_bytes_read <= u8s.bytes_read);
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

@@ -245,6 +245,7 @@ fn disk_capable_zoo_loads_file_backed_identically_at_every_pool_size() {
     let base = StorageConfig {
         page_bytes,
         buffer_pool_pages: 1,
+        codec: hydra::PageCodec::F32,
     };
     let dstree_cfg = DsTreeConfig {
         leaf_capacity: 32,
@@ -293,6 +294,7 @@ fn disk_capable_zoo_loads_file_backed_identically_at_every_pool_size() {
         let storage = StorageConfig {
             page_bytes,
             buffer_pool_pages: pool,
+            codec: hydra::PageCodec::F32,
         };
         assert_file_backed_load_identical::<DsTree>(
             &dir.join("walk-dstree.snap"),
@@ -327,6 +329,7 @@ fn disk_capable_zoo_loads_file_backed_identically_at_every_pool_size() {
         storage: StorageConfig {
             page_bytes,
             buffer_pool_pages: 1,
+            codec: hydra::PageCodec::F32,
         },
         ..dstree_cfg
     });
