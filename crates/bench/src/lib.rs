@@ -286,8 +286,13 @@ pub fn build_or_load_methods(
     if flags.shards > 1 {
         return build_or_load_methods_sharded(dataset_name, data, in_memory, seed, flags);
     }
-    let configs =
-        hydra::standard_configs_tiered(in_memory, seed, flags.pool_pages, flags.page_codec);
+    let configs = hydra::standard_configs_io(
+        in_memory,
+        seed,
+        flags.pool_pages,
+        flags.page_codec,
+        flags.backing_io,
+    );
     if let Some(dir) = &flags.save_index {
         let path = dataset_snapshot_file(dir, dataset_name);
         hydra::persist::dataset::save_dataset(data, &path).unwrap_or_else(|e| {
@@ -504,6 +509,12 @@ pub struct BenchFlags {
     /// drops. Requires `--load-index`: a fresh build serves its raw tier
     /// unsealed, so the codec would silently measure nothing.
     pub page_codec: hydra::PageCodec,
+    /// How a file-backed store transfers page bytes (`--backing
+    /// pread|mmap`, default `pread`). A pure serving knob: answers,
+    /// accuracy and every per-query counter are identical under either
+    /// mode. Requires `--out-of-core` — a resident store does no file
+    /// I/O to transfer differently.
+    pub backing_io: hydra::FileIoMode,
 }
 
 impl Default for BenchFlags {
@@ -519,6 +530,7 @@ impl Default for BenchFlags {
             ingest_split: None,
             trace_out: None,
             page_codec: hydra::PageCodec::F32,
+            backing_io: hydra::FileIoMode::Pread,
         }
     }
 }
@@ -538,6 +550,7 @@ pub fn parse_bench_flags(
     let mut threads_seen = false;
     let mut shards_seen = false;
     let mut codec_seen = false;
+    let mut backing_seen = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value_of = |name: &str| -> Option<std::result::Result<String, String>> {
@@ -636,6 +649,16 @@ pub fn parse_bench_flags(
                     ))
                 }
             };
+        } else if let Some(value) = value_of("--backing") {
+            let value = value?;
+            if backing_seen {
+                return Err("--backing given more than once".into());
+            }
+            backing_seen = true;
+            flags.backing_io = match hydra::FileIoMode::parse(&value) {
+                Some(io) => io,
+                None => return Err(format!("--backing expects pread or mmap, got {value:?}")),
+            };
         } else if let Some(value) = value_of("--shards") {
             let value = value?;
             if shards_seen {
@@ -649,8 +672,8 @@ pub fn parse_bench_flags(
         } else {
             return Err(format!(
                 "unrecognized argument {arg:?} (accepted: {}--save-index DIR, --load-index DIR, \
-                 --pool-pages N, --out-of-core, --page-codec u8|f16|f32, --shards S, \
-                 --ingest-split F, --trace-out FILE)",
+                 --pool-pages N, --out-of-core, --page-codec u8|f16|f32, --backing pread|mmap, \
+                 --shards S, --ingest-split F, --trace-out FILE)",
                 if threads_allowed { "--threads N, " } else { "" }
             ));
         }
@@ -679,6 +702,13 @@ pub fn parse_bench_flags(
         return Err(
             "--page-codec u8/f16 requires --load-index DIR (a fresh build serves its raw tier \
              unsealed, so the codec would measure nothing; save snapshots first)"
+                .into(),
+        );
+    }
+    if flags.backing_io != hydra::FileIoMode::Pread && !flags.out_of_core {
+        return Err(
+            "--backing mmap requires --out-of-core (a resident store does no file I/O to \
+             transfer differently)"
                 .into(),
         );
     }
@@ -976,6 +1006,46 @@ mod tests {
         );
         assert!(parse_bench_flags(
             &args(&["--save-index", "/s", "--page-codec", "u8"]),
+            true
+        )
+        .is_err());
+        // Backing flag: both spellings, strict values, duplicate
+        // rejection, and mmap demands an out-of-core store to transfer
+        // from (a resident store does no file I/O).
+        assert_eq!(
+            parse_bench_flags(&args(&[]), true).unwrap().backing_io,
+            hydra::FileIoMode::Pread
+        );
+        let f = parse_bench_flags(
+            &args(&["--load-index", "/s", "--out-of-core", "--backing", "mmap"]),
+            true,
+        )
+        .unwrap();
+        assert_eq!(f.backing_io, hydra::FileIoMode::Mmap);
+        let f = parse_bench_flags(
+            &args(&["--load-index=/s", "--out-of-core", "--backing=mmap"]),
+            false,
+        )
+        .unwrap();
+        assert_eq!(f.backing_io, hydra::FileIoMode::Mmap);
+        assert_eq!(
+            parse_bench_flags(&args(&["--backing", "pread"]), true).unwrap().backing_io,
+            hydra::FileIoMode::Pread,
+            "an explicit pread backing is the default and needs no store file"
+        );
+        assert!(parse_bench_flags(&args(&["--backing", "aio"]), true).is_err());
+        assert!(parse_bench_flags(&args(&["--backing"]), true).is_err());
+        assert!(parse_bench_flags(
+            &args(&["--load-index=/s", "--out-of-core", "--backing=mmap", "--backing=mmap"]),
+            true
+        )
+        .is_err());
+        assert!(
+            parse_bench_flags(&args(&["--backing", "mmap"]), true).is_err(),
+            "mmap without --out-of-core has no file to map"
+        );
+        assert!(parse_bench_flags(
+            &args(&["--load-index", "/s", "--backing", "mmap"]),
             true
         )
         .is_err());

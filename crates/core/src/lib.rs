@@ -51,6 +51,6 @@ pub use index::{AnnIndex, Capabilities, HierarchicalIndex, Representation};
 pub use query::{
     merge_top_k, Answer, Neighbor, SearchKey, SearchMode, SearchParams, SearchResult, TopK,
 };
-pub use search::{knn_search, KnnSearcher};
+pub use search::{knn_search, predict_first_leaf, KnnSearcher};
 pub use series::{znormalize, znormalized, Dataset};
 pub use stats::{QueryStats, StoreCounters};

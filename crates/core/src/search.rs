@@ -197,6 +197,28 @@ impl<'a, I: HierarchicalIndex + ?Sized> KnnSearcher<'a, I> {
     }
 }
 
+/// Predicts the leaf a best-first search would refine first: a greedy
+/// descent from the closest root, following the child with the smallest
+/// lower bound at every level. Entirely I/O-free — only `min_dist` is
+/// consulted — so batch schedulers can declare a storage working set
+/// before any query runs. `None` on an empty hierarchy (no roots, or an
+/// internal node without children).
+pub fn predict_first_leaf<I: HierarchicalIndex + ?Sized>(
+    index: &I,
+    query: &[f32],
+) -> Option<usize> {
+    let closest = |nodes: Vec<usize>| {
+        nodes
+            .into_iter()
+            .min_by(|&a, &b| index.min_dist(query, a).total_cmp(&index.min_dist(query, b)))
+    };
+    let mut node = closest(index.roots())?;
+    while !index.is_leaf(node) {
+        node = closest(index.children(node))?;
+    }
+    Some(node)
+}
+
 /// Convenience wrapper: builds a throw-away [`KnnSearcher`] and runs one
 /// query.
 pub fn knn_search<I: HierarchicalIndex + ?Sized>(

@@ -80,7 +80,7 @@ pub use hydra_hnsw::{Hnsw, HnswConfig};
 pub use hydra_imi::{ImiConfig, InvertedMultiIndex};
 pub use hydra_isax::{Isax2Plus, IsaxConfig};
 pub use hydra_lsh::{Qalsh, QalshConfig, Srs, SrsConfig};
-pub use hydra_storage::{PageCodec, StorageConfig};
+pub use hydra_storage::{FileIoMode, PageCodec, StorageConfig};
 pub use hydra_vafile::{VaPlusFile, VaPlusFileConfig};
 
 /// Convenience prelude pulling in the types most programs need.
@@ -160,6 +160,21 @@ pub fn standard_configs_tiered(
     pool_pages: Option<usize>,
     codec: PageCodec,
 ) -> StandardConfigs {
+    standard_configs_io(in_memory, seed, pool_pages, codec, FileIoMode::Pread)
+}
+
+/// [`standard_configs_tiered`] with the file I/O mode of the disk-capable
+/// methods' stores selected too (`--backing pread|mmap`). The last of the
+/// serving knobs: like the pool capacity and the codec it is not part of
+/// any snapshot fingerprint and never changes answers — both modes move
+/// the same page bytes through the same accounting path.
+pub fn standard_configs_io(
+    in_memory: bool,
+    seed: u64,
+    pool_pages: Option<usize>,
+    codec: PageCodec,
+    io: FileIoMode,
+) -> StandardConfigs {
     let mut storage = if in_memory {
         StorageConfig::in_memory()
     } else {
@@ -168,7 +183,7 @@ pub fn standard_configs_tiered(
     if let Some(pages) = pool_pages {
         storage = storage.with_pool_pages(pages);
     }
-    storage = storage.with_page_codec(codec);
+    storage = storage.with_page_codec(codec).with_io_mode(io);
     StandardConfigs {
         dstree: DsTreeConfig {
             storage,
@@ -240,7 +255,20 @@ pub fn standard_registry_tiered(
     pool_pages: Option<usize>,
     codec: PageCodec,
 ) -> persist::LoaderRegistry {
-    let configs = standard_configs_tiered(in_memory, seed, pool_pages, codec);
+    standard_registry_io(in_memory, seed, pool_pages, codec, FileIoMode::Pread)
+}
+
+/// [`standard_registry_tiered`] with the file I/O mode selected too — the
+/// registry a `hydra-serve --backing mmap` boot uses (see
+/// [`standard_configs_io`]).
+pub fn standard_registry_io(
+    in_memory: bool,
+    seed: u64,
+    pool_pages: Option<usize>,
+    codec: PageCodec,
+    io: FileIoMode,
+) -> persist::LoaderRegistry {
+    let configs = standard_configs_io(in_memory, seed, pool_pages, codec, io);
     let mut registry = persist::LoaderRegistry::new();
     registry.register::<DsTree>(configs.dstree);
     registry.register::<Isax2Plus>(configs.isax);

@@ -28,8 +28,8 @@ use hydra_core::{
     SearchMode, SearchParams, SearchResult, TopK,
 };
 use hydra_persist::{
-    codec, fingerprint_dataset, Fingerprint, PersistError, PersistentIndex, Section,
-    SnapshotReader, SnapshotWriter,
+    codec, fingerprint_dataset, DataSource, Fingerprint, PersistError, PersistentIndex, Section,
+    SnapshotReader, SnapshotWriter, StoreBacking,
 };
 use hydra_summarize::quantization::{KMeans, OptimizedProductQuantizer, ProductQuantizer};
 use std::cmp::Reverse;
@@ -416,7 +416,24 @@ impl PersistentIndex for InvertedMultiIndex {
     }
 
     fn load(path: &Path, dataset: &Dataset, config: &ImiConfig) -> hydra_persist::Result<Self> {
-        let data_fingerprint = fingerprint_dataset(dataset);
+        Self::load_from(
+            path,
+            DataSource::InMemory(dataset),
+            config,
+            StoreBacking::Resident,
+        )
+    }
+
+    /// IMI holds no raw-series store — everything it needs from the data
+    /// is the fingerprint and the shape, both free on a streamed source,
+    /// so the lazy path costs nothing extra here.
+    fn load_from(
+        path: &Path,
+        source: DataSource<'_>,
+        config: &ImiConfig,
+        _backing: StoreBacking<'_>,
+    ) -> hydra_persist::Result<Self> {
+        let data_fingerprint = source.fingerprint();
         let mut r = SnapshotReader::open(path)?;
         r.expect_kind(Self::KIND)?;
         r.expect_fingerprint(snapshot_fingerprint(config, data_fingerprint))?;
@@ -425,7 +442,7 @@ impl PersistentIndex for InvertedMultiIndex {
         let series_len = meta.get_usize()?;
         let half = meta.get_usize()?;
         let num_series = meta.get_usize()?;
-        if series_len != dataset.series_len() || num_series != dataset.len() || half * 2 != series_len
+        if series_len != source.series_len() || num_series != source.len() || half * 2 != series_len
         {
             return Err(PersistError::Corrupt(
                 "snapshot metadata disagrees with the dataset".into(),

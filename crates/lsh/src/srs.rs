@@ -7,8 +7,8 @@ use hydra_core::{
     SearchMode, SearchParams, SearchResult, TopK,
 };
 use hydra_persist::{
-    fingerprint_dataset, Fingerprint, PersistError, PersistentIndex, Section, SeriesFingerprinter,
-    SnapshotReader, SnapshotWriter, StoreBacking,
+    fingerprint_dataset, DataSource, Fingerprint, PersistError, PersistentIndex, Section,
+    SeriesFingerprinter, SnapshotReader, SnapshotWriter, StoreBacking,
 };
 use hydra_storage::{SeriesStore, StorageConfig};
 use hydra_summarize::GaussianProjection;
@@ -221,6 +221,31 @@ impl Srs {
         stats.leaves_visited = examined as u64;
         SearchResult::new(top.into_sorted(), stats)
     }
+
+    /// The first `prefix` records [`Srs::search_impl`] would examine for
+    /// `query`: the smallest projected distances, computed uncharged (no
+    /// stats, no store reads) so the batch scheduler can declare a working
+    /// set before any query runs. Appends one single-record range per
+    /// candidate.
+    fn predicted_candidates(&self, query: &[f32], prefix: usize, out: &mut Vec<(usize, usize)>) {
+        let qp = self.projection.project(query);
+        let mut order: Vec<(f32, usize)> = (0..self.num_series)
+            .map(|id| {
+                (
+                    hydra_core::squared_euclidean(&qp, self.projected_point(id)),
+                    id,
+                )
+            })
+            .collect();
+        let cut = prefix.min(order.len());
+        if cut == 0 {
+            return;
+        }
+        if cut < order.len() {
+            order.select_nth_unstable_by(cut - 1, |a, b| a.0.total_cmp(&b.0));
+        }
+        out.extend(order[..cut].iter().map(|&(_, id)| (id, 1)));
+    }
 }
 
 /// Everything that shapes an SRS build, hashed together with the dataset
@@ -276,7 +301,19 @@ impl PersistentIndex for Srs {
         config: &SrsConfig,
         backing: StoreBacking<'_>,
     ) -> hydra_persist::Result<Self> {
-        let data_fingerprint = fingerprint_dataset(dataset);
+        Self::load_from(path, DataSource::InMemory(dataset), config, backing)
+    }
+
+    /// Loads without ever materializing a streamed dataset: shape and
+    /// fingerprint come from the source's header facts, and the raw series
+    /// re-attach straight from the validated snapshot file.
+    fn load_from(
+        path: &Path,
+        source: DataSource<'_>,
+        config: &SrsConfig,
+        backing: StoreBacking<'_>,
+    ) -> hydra_persist::Result<Self> {
+        let data_fingerprint = source.fingerprint();
         let mut r = SnapshotReader::open(path)?;
         r.expect_kind(Self::KIND)?;
         r.expect_fingerprint(snapshot_fingerprint(config, data_fingerprint))?;
@@ -285,7 +322,7 @@ impl PersistentIndex for Srs {
         let series_len = meta.get_usize()?;
         let num_series = meta.get_usize()?;
         let m = meta.get_usize()?;
-        if series_len != dataset.series_len() || num_series != dataset.len() || m != config.projected_dims
+        if series_len != source.series_len() || num_series != source.len() || m != config.projected_dims
         {
             return Err(PersistError::Corrupt(
                 "snapshot metadata disagrees with the dataset or configuration".into(),
@@ -300,8 +337,12 @@ impl PersistentIndex for Srs {
             ));
         }
 
-        let store =
-            hydra_persist::backing::attach_dataset_order_store(path, dataset, config.storage, backing)?;
+        let store = hydra_persist::backing::attach_dataset_order_store_from(
+            path,
+            source,
+            config.storage,
+            backing,
+        )?;
 
         Ok(Self {
             config: *config,
@@ -360,19 +401,44 @@ impl AnnIndex for Srs {
     /// per-query CPU counters and errors are identical to [`Self::search`];
     /// as for every disk-backed method, the I/O-operation counters depend
     /// on the shared buffer pool's warm-up order.
+    ///
+    /// On a file-backed store the batch also declares its working set: each
+    /// query's ranked top-candidate prefix — the records its incremental
+    /// scan examines first — is pinned in the buffer pool for the duration
+    /// of the batch, so candidates shared across queries stay resident
+    /// instead of being evicted between queries. No prefetch: the
+    /// candidates are scattered single records, and the early-termination
+    /// test may prune them before they are ever read.
     fn search_batch(
         &self,
         queries: &[&[f32]],
         params: &SearchParams,
     ) -> Vec<Result<SearchResult>> {
+        let pinned = if self.store.is_file_backed() && queries.len() > 1 {
+            let prefix = match params.mode {
+                SearchMode::Ng { nprobe } => nprobe.max(1),
+                _ => 4 * params.k.max(1),
+            };
+            let mut ranges = Vec::new();
+            for query in queries {
+                if query.len() == self.series_len {
+                    self.predicted_candidates(query, prefix, &mut ranges);
+                }
+            }
+            self.store.pin_working_set(&ranges, false)
+        } else {
+            Vec::new()
+        };
         let mut order = Vec::with_capacity(self.num_series);
-        queries
+        let results = queries
             .iter()
             .map(|query| {
                 self.validate(query, params)?;
                 Ok(self.search_impl(query, params, &mut order))
             })
-            .collect()
+            .collect();
+        self.store.release_working_set(&pinned);
+        results
     }
 
     /// Streaming ingest: each new series is projected with the (build-time,

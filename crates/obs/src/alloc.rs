@@ -1,0 +1,118 @@
+//! A heap-tracking global allocator for boot-memory accounting.
+//!
+//! The out-of-core serving promise is a *memory* promise — "boot touches
+//! O(pool) bytes, not O(dataset)" — and a promise nobody measures is a
+//! promise that silently rots. [`TrackingAllocator`] wraps the system
+//! allocator with two relaxed atomics (live bytes, high-water mark) so a
+//! binary can install it:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: hydra_obs::TrackingAllocator = hydra_obs::TrackingAllocator;
+//! ```
+//!
+//! and export the observed peak as a gauge (`hydra_boot_peak_heap_bytes`
+//! in `hydra-serve`), which CI then pins below the dataset size. The
+//! bookkeeping is two relaxed atomic RMWs per allocation — cheap enough
+//! to leave on unconditionally — and when the allocator is *not*
+//! installed, [`heap_peak_bytes`] simply reports 0, which callers treat
+//! as "not measured".
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+fn on_alloc(size: usize) {
+    let live = LIVE.fetch_add(size, Ordering::Relaxed) + size;
+    PEAK.fetch_max(live, Ordering::Relaxed);
+}
+
+fn on_dealloc(size: usize) {
+    LIVE.fetch_sub(size, Ordering::Relaxed);
+}
+
+/// A [`GlobalAlloc`] that delegates to [`System`] and keeps live/peak
+/// byte counts (see the module docs). Install with `#[global_allocator]`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct TrackingAllocator;
+
+// SAFETY: delegates allocation verbatim to `System`; the added atomics
+// never touch the returned memory.
+unsafe impl GlobalAlloc for TrackingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc(layout);
+        if !ptr.is_null() {
+            on_alloc(layout.size());
+        }
+        ptr
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc_zeroed(layout);
+        if !ptr.is_null() {
+            on_alloc(layout.size());
+        }
+        ptr
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        on_dealloc(layout.size());
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let new_ptr = System.realloc(ptr, layout, new_size);
+        if !new_ptr.is_null() {
+            on_dealloc(layout.size());
+            on_alloc(new_size);
+        }
+        new_ptr
+    }
+}
+
+/// Heap bytes currently live, or 0 if no [`TrackingAllocator`] is
+/// installed in this process.
+pub fn heap_live_bytes() -> usize {
+    LIVE.load(Ordering::Relaxed)
+}
+
+/// The high-water mark of live heap bytes since process start (or the
+/// last [`reset_heap_peak`]), or 0 if no [`TrackingAllocator`] is
+/// installed.
+pub fn heap_peak_bytes() -> usize {
+    PEAK.load(Ordering::Relaxed)
+}
+
+/// Restarts the high-water mark from the current live count — call at
+/// the start of the phase being measured (e.g. just before a boot).
+pub fn reset_heap_peak() {
+    PEAK.store(LIVE.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The test binary does not install the allocator, so the counters
+    // only move when driven directly — which is exactly what lets the
+    // arithmetic be pinned deterministically.
+    #[test]
+    fn live_and_peak_track_alloc_dealloc_pairs() {
+        reset_heap_peak();
+        let base_live = heap_live_bytes();
+        on_alloc(1000);
+        on_alloc(500);
+        assert_eq!(heap_live_bytes(), base_live + 1500);
+        assert!(heap_peak_bytes() >= base_live + 1500);
+        on_dealloc(1000);
+        assert_eq!(heap_live_bytes(), base_live + 500);
+        let peak = heap_peak_bytes();
+        assert!(peak >= base_live + 1500, "peak survives the dealloc");
+        reset_heap_peak();
+        assert!(heap_peak_bytes() <= peak, "reset re-arms from live");
+        on_dealloc(500);
+        assert_eq!(heap_live_bytes(), base_live);
+    }
+}

@@ -34,8 +34,10 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod alloc;
 mod metrics;
 mod trace;
 
+pub use alloc::{heap_live_bytes, heap_peak_bytes, reset_heap_peak, TrackingAllocator};
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, HISTOGRAM_BUCKETS};
 pub use trace::{Stage, StageIo, StageSpan, QueryTrace};

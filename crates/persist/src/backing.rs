@@ -27,10 +27,11 @@ use hydra_core::Dataset;
 use hydra_storage::{FileSpan, SeriesStore, StorageConfig};
 
 use crate::dataset::{
-    coded_sidecar_path, dataset_flat_region, ensure_coded_series, ensure_flat_series,
+    coded_sidecar_path, dataset_flat_region, ensure_coded_series_from, ensure_flat_series_from,
     sidecar_series_path, FlatSpan,
 };
 use crate::error::{PersistError, Result};
+use crate::stream::{open_dataset_streaming, DataSource};
 use crate::StoreBacking;
 use hydra_storage::PageCodec;
 
@@ -58,7 +59,7 @@ fn file_backed(path: &Path, span: FlatSpan, storage: StorageConfig) -> Result<Se
 fn attach_coded_tier(
     store: &mut SeriesStore,
     backing_file: &Path,
-    dataset: &Dataset,
+    source: DataSource<'_>,
     order: Option<&[usize]>,
 ) -> Result<()> {
     let storage = store.config();
@@ -66,13 +67,35 @@ fn attach_coded_tier(
         return Ok(());
     }
     let sidecar = coded_sidecar_path(backing_file, storage.codec);
-    ensure_coded_series(&sidecar, dataset, order, &storage)?;
+    ensure_coded_series_from(&sidecar, source, order, &storage)?;
     store.attach_coded_file(&sidecar).map_err(|e| {
         PersistError::Io(format!(
             "cannot attach coded tier {}: {e}",
             sidecar.display()
         ))
     })
+}
+
+/// The payload span of the dataset snapshot at `data_path`, validated
+/// against `source` — [`dataset_flat_region`] without requiring the
+/// dataset in RAM. A streamed source that *is* this snapshot already
+/// carries the answer; anything else (re)validates the file and checks
+/// its content fingerprint against the source's.
+fn dataset_flat_region_from(data_path: &Path, source: DataSource<'_>) -> Result<FlatSpan> {
+    match source {
+        DataSource::InMemory(dataset) => dataset_flat_region(data_path, dataset),
+        DataSource::Streamed(handle) if handle.path() == data_path => Ok(handle.flat_span()),
+        DataSource::Streamed(handle) => {
+            let other = open_dataset_streaming(data_path)?;
+            if other.fingerprint() != handle.fingerprint() {
+                return Err(PersistError::FingerprintMismatch {
+                    expected: handle.fingerprint(),
+                    found: other.fingerprint(),
+                });
+            }
+            Ok(other.flat_span())
+        }
+    }
 }
 
 /// Re-attaches a permuted (leaf-ordered) raw-series store under the
@@ -90,15 +113,44 @@ pub fn attach_permuted_store(
     storage: StorageConfig,
     backing: StoreBacking<'_>,
 ) -> Result<SeriesStore> {
+    attach_permuted_store_from(
+        snapshot,
+        DataSource::InMemory(dataset),
+        store_to_dataset,
+        storage,
+        backing,
+    )
+}
+
+/// [`attach_permuted_store`] over a [`DataSource`] — the lazy boot path.
+/// A streamed source feeds a resident rebuild one series at a time and a
+/// file-backed sidecar rebuild straight from the validated snapshot, so
+/// neither ever materializes the dataset.
+///
+/// # Errors
+/// Everything [`attach_permuted_store`] reports, plus [`PersistError::Io`]
+/// if a streamed source cannot be read.
+pub fn attach_permuted_store_from(
+    snapshot: &Path,
+    source: DataSource<'_>,
+    store_to_dataset: &[usize],
+    storage: StorageConfig,
+    backing: StoreBacking<'_>,
+) -> Result<SeriesStore> {
     match backing {
         StoreBacking::Resident => {
-            let mut store = SeriesStore::new(dataset.series_len(), storage)
+            let mut store = SeriesStore::new(source.series_len(), storage)
                 .map_err(|e| PersistError::Corrupt(format!("cannot rebuild series store: {e}")))?;
+            let fetch = source.series_fetch()?;
+            let mut series = Vec::new();
             for &ds in store_to_dataset {
-                let series = dataset.get(ds).ok_or_else(|| {
-                    PersistError::Corrupt(format!("store mapping {ds} out of range"))
-                })?;
-                store.append(series).map_err(|e| {
+                if ds >= source.len() {
+                    return Err(PersistError::Corrupt(format!(
+                        "store mapping {ds} out of range"
+                    )));
+                }
+                fetch.get(ds, &mut series)?;
+                store.append(&series).map_err(|e| {
                     PersistError::Corrupt(format!("cannot rebuild series store: {e}"))
                 })?;
             }
@@ -108,10 +160,10 @@ pub fn attach_permuted_store(
         }
         StoreBacking::FileBacked { .. } => {
             let sidecar = sidecar_series_path(snapshot);
-            // `ensure_flat_series` validates the mapping range itself.
-            let span = ensure_flat_series(&sidecar, dataset, Some(store_to_dataset))?;
+            // `ensure_flat_series_from` validates the mapping range itself.
+            let span = ensure_flat_series_from(&sidecar, source, Some(store_to_dataset))?;
             let mut store = file_backed(&sidecar, span, storage)?;
-            attach_coded_tier(&mut store, &sidecar, dataset, Some(store_to_dataset))?;
+            attach_coded_tier(&mut store, &sidecar, source, Some(store_to_dataset))?;
             Ok(store)
         }
     }
@@ -131,10 +183,46 @@ pub fn attach_dataset_order_store(
     storage: StorageConfig,
     backing: StoreBacking<'_>,
 ) -> Result<SeriesStore> {
+    attach_dataset_order_store_from(snapshot, DataSource::InMemory(dataset), storage, backing)
+}
+
+/// [`attach_dataset_order_store`] over a [`DataSource`] — the lazy boot
+/// path. File-backed against the dataset snapshot a streamed source was
+/// opened from, nothing is read at all: the validated handle already
+/// carries the payload span.
+///
+/// # Errors
+/// Everything [`attach_dataset_order_store`] reports, plus
+/// [`PersistError::Io`] if a streamed source cannot be read.
+pub fn attach_dataset_order_store_from(
+    snapshot: &Path,
+    source: DataSource<'_>,
+    storage: StorageConfig,
+    backing: StoreBacking<'_>,
+) -> Result<SeriesStore> {
     match backing {
         StoreBacking::Resident => {
-            let mut store = SeriesStore::from_dataset(dataset, storage)
-                .map_err(|e| PersistError::Corrupt(format!("cannot rebuild series store: {e}")))?;
+            let mut store = match source {
+                DataSource::InMemory(dataset) => SeriesStore::from_dataset(dataset, storage)
+                    .map_err(|e| {
+                        PersistError::Corrupt(format!("cannot rebuild series store: {e}"))
+                    })?,
+                DataSource::Streamed(_) => {
+                    let mut store =
+                        SeriesStore::new(source.series_len(), storage).map_err(|e| {
+                            PersistError::Corrupt(format!("cannot rebuild series store: {e}"))
+                        })?;
+                    let fetch = source.series_fetch()?;
+                    let mut series = Vec::new();
+                    for record in 0..source.len() {
+                        fetch.get(record, &mut series)?;
+                        store.append(&series).map_err(|e| {
+                            PersistError::Corrupt(format!("cannot rebuild series store: {e}"))
+                        })?;
+                    }
+                    store
+                }
+            };
             store.seal_coded();
             store.reset_io();
             Ok(store)
@@ -142,18 +230,18 @@ pub fn attach_dataset_order_store(
         StoreBacking::FileBacked {
             dataset_snapshot: Some(data_path),
         } => {
-            let span = dataset_flat_region(data_path, dataset)?;
+            let span = dataset_flat_region_from(data_path, source)?;
             let mut store = file_backed(data_path, span, storage)?;
-            attach_coded_tier(&mut store, data_path, dataset, None)?;
+            attach_coded_tier(&mut store, data_path, source, None)?;
             Ok(store)
         }
         StoreBacking::FileBacked {
             dataset_snapshot: None,
         } => {
             let sidecar = sidecar_series_path(snapshot);
-            let span = ensure_flat_series(&sidecar, dataset, None)?;
+            let span = ensure_flat_series_from(&sidecar, source, None)?;
             let mut store = file_backed(&sidecar, span, storage)?;
-            attach_coded_tier(&mut store, &sidecar, dataset, None)?;
+            attach_coded_tier(&mut store, &sidecar, source, None)?;
             Ok(store)
         }
     }
@@ -163,6 +251,7 @@ pub fn attach_dataset_order_store(
 mod tests {
     use super::*;
     use crate::dataset::save_dataset;
+    use hydra_storage::FileIoMode;
     use hydra_core::QueryStats;
 
     fn temp_path(name: &str) -> std::path::PathBuf {
@@ -195,6 +284,7 @@ mod tests {
             page_bytes: 32,
             buffer_pool_pages: 1,
             codec: PageCodec::F32,
+            io: FileIoMode::Pread,
         };
         let resident =
             attach_permuted_store(&snapshot, &d, &mapping, storage, StoreBacking::Resident)
@@ -311,6 +401,7 @@ mod tests {
                 page_bytes: 32,
                 buffer_pool_pages: 2,
                 codec,
+                io: FileIoMode::Pread,
             };
             attach_permuted_store(&snapshot, &d, &mapping, storage, backing).unwrap()
         };

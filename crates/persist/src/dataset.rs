@@ -47,6 +47,7 @@ use hydra_storage::StorageConfig;
 use crate::error::{PersistError, Result};
 use crate::fingerprint::{fingerprint_dataset, Fingerprint};
 use crate::snapshot::{fnv1a64_continue, Section, SnapshotReader, SnapshotWriter, FNV_OFFSET_BASIS, MAGIC};
+use crate::stream::DataSource;
 
 /// Kind tag of dataset snapshots.
 pub const DATASET_KIND: &str = "dataset";
@@ -188,6 +189,35 @@ pub fn flat_series_fingerprint(dataset: &Dataset, order: Option<&[usize]>) -> u6
     f.finish()
 }
 
+/// [`flat_series_fingerprint`] over a [`DataSource`]: free for an
+/// in-memory dataset or a streamed source in dataset order (the handle
+/// already holds it), one bounded-memory pass of per-series reads for a
+/// streamed source with a permuted order.
+///
+/// # Errors
+/// [`PersistError::Io`] if a streamed source cannot be read.
+pub fn flat_series_fingerprint_from(
+    source: DataSource<'_>,
+    order: Option<&[usize]>,
+) -> Result<u64> {
+    match (source, order) {
+        (DataSource::InMemory(dataset), _) => Ok(flat_series_fingerprint(dataset, order)),
+        (DataSource::Streamed(handle), None) => Ok(handle.fingerprint()),
+        (DataSource::Streamed(_), Some(order)) => {
+            let fetch = source.series_fetch()?;
+            let mut f = Fingerprint::new();
+            f.push_usize(source.series_len());
+            f.push_usize(order.len());
+            let mut series = Vec::new();
+            for &ds in order {
+                fetch.get(ds, &mut series)?;
+                f.push_f32s(&series);
+            }
+            Ok(f.finish())
+        }
+    }
+}
+
 fn flat_header(series_len: usize, records: usize, fingerprint: u64) -> [u8; FLAT_PAYLOAD_OFFSET as usize] {
     let mut header = [0u8; FLAT_PAYLOAD_OFFSET as usize];
     header[0..8].copy_from_slice(&FLAT_MAGIC);
@@ -227,7 +257,9 @@ fn flat_series_is_valid(
     f.push_usize(series_len);
     f.push_usize(records);
     let mut remaining = records * series_len * 4;
-    let mut buf = vec![0u8; (1 << 20).min(remaining.max(4))];
+    // Bounded chunks: sidecar verification happens during lazy boot, whose
+    // whole promise is an O(pool)-memory start — never buffer the payload.
+    let mut buf = vec![0u8; crate::stream::STREAM_CHUNK_BYTES.min(remaining.max(4))];
     while remaining > 0 {
         let take = buf.len().min(remaining);
         if file.read_exact(&mut buf[..take]).is_err() {
@@ -258,17 +290,33 @@ pub fn ensure_flat_series(
     dataset: &Dataset,
     order: Option<&[usize]>,
 ) -> Result<FlatSpan> {
+    ensure_flat_series_from(path, DataSource::InMemory(dataset), order)
+}
+
+/// [`ensure_flat_series`] over a [`DataSource`]: a streamed source is read
+/// one series at a time (bounded-memory `pread`s against its validated
+/// snapshot), so rebuilding a sidecar during lazy boot never materializes
+/// the dataset.
+///
+/// # Errors
+/// Everything [`ensure_flat_series`] reports, plus [`PersistError::Io`] if
+/// a streamed source cannot be read.
+pub fn ensure_flat_series_from(
+    path: &Path,
+    source: DataSource<'_>,
+    order: Option<&[usize]>,
+) -> Result<FlatSpan> {
     if let Some(order) = order {
-        if let Some(&bad) = order.iter().find(|&&ds| ds >= dataset.len()) {
+        if let Some(&bad) = order.iter().find(|&&ds| ds >= source.len()) {
             return Err(PersistError::Corrupt(format!(
                 "flat series order references series {bad} of a {}-series dataset",
-                dataset.len()
+                source.len()
             )));
         }
     }
-    let series_len = dataset.series_len();
-    let records = order.map_or(dataset.len(), <[usize]>::len);
-    let fingerprint = flat_series_fingerprint(dataset, order);
+    let series_len = source.series_len();
+    let records = order.map_or(source.len(), <[usize]>::len);
+    let fingerprint = flat_series_fingerprint_from(source, order)?;
     let span = FlatSpan {
         payload_offset: FLAT_PAYLOAD_OFFSET,
         records,
@@ -292,22 +340,13 @@ pub fn ensure_flat_series(
         let file = std::fs::File::create(&tmp)?;
         let mut w = std::io::BufWriter::new(file);
         w.write_all(&flat_header(series_len, records, fingerprint))?;
-        let mut write_series = |series: &[f32]| -> Result<()> {
-            for &v in series {
+        let fetch = source.series_fetch()?;
+        let mut series = Vec::new();
+        for pos in 0..records {
+            let ds = order.map_or(pos, |o| o[pos]);
+            fetch.get(ds, &mut series)?;
+            for &v in &series {
                 w.write_all(&v.to_bits().to_le_bytes())?;
-            }
-            Ok(())
-        };
-        match order {
-            None => {
-                for series in dataset.iter() {
-                    write_series(series)?;
-                }
-            }
-            Some(order) => {
-                for &ds in order {
-                    write_series(dataset.series(ds))?;
-                }
             }
         }
         w.flush()?;
@@ -400,6 +439,24 @@ pub fn ensure_coded_series(
     order: Option<&[usize]>,
     storage: &StorageConfig,
 ) -> Result<()> {
+    ensure_coded_series_from(path, DataSource::InMemory(dataset), order, storage)
+}
+
+/// [`ensure_coded_series`] over a [`DataSource`]. A rewrite encodes in two
+/// bounded-memory passes — one to fingerprint the coded payload for the
+/// header, one to write it — reading the source a page's worth of series
+/// at a time, so even a coded-tier rebuild during lazy boot stays O(page)
+/// in memory.
+///
+/// # Errors
+/// Everything [`ensure_coded_series`] reports, plus [`PersistError::Io`]
+/// if a streamed source cannot be read.
+pub fn ensure_coded_series_from(
+    path: &Path,
+    source: DataSource<'_>,
+    order: Option<&[usize]>,
+    storage: &StorageConfig,
+) -> Result<()> {
     let codec = storage.codec;
     if codec == PageCodec::F32 {
         return Err(PersistError::Corrupt(
@@ -407,17 +464,17 @@ pub fn ensure_coded_series(
         ));
     }
     if let Some(order) = order {
-        if let Some(&bad) = order.iter().find(|&&ds| ds >= dataset.len()) {
+        if let Some(&bad) = order.iter().find(|&&ds| ds >= source.len()) {
             return Err(PersistError::Corrupt(format!(
                 "coded series order references series {bad} of a {}-series dataset",
-                dataset.len()
+                source.len()
             )));
         }
     }
-    let series_len = dataset.series_len();
-    let records = order.map_or(dataset.len(), <[usize]>::len);
+    let series_len = source.series_len();
+    let records = order.map_or(source.len(), <[usize]>::len);
     let series_per_page = (storage.page_bytes as usize / (series_len * 4)).max(1);
-    let source_fingerprint = flat_series_fingerprint(dataset, order);
+    let source_fingerprint = flat_series_fingerprint_from(source, order)?;
     if coded_series_is_valid(
         path,
         codec,
@@ -429,23 +486,35 @@ pub fn ensure_coded_series(
         return Ok(());
     }
 
-    let mut payload = Vec::new();
+    let fetch = source.series_fetch()?;
+    let mut series: Vec<f32> = Vec::new();
     let mut scratch: Vec<f32> = Vec::with_capacity(series_per_page * series_len);
-    for page_first in (0..records).step_by(series_per_page) {
-        scratch.clear();
-        for pos in page_first..(page_first + series_per_page).min(records) {
-            let ds = order.map_or(pos, |o| o[pos]);
-            scratch.extend_from_slice(dataset.series(ds));
+    let mut encode_pages = |sink: &mut dyn FnMut(&[u8]) -> Result<()>| -> Result<()> {
+        for page_first in (0..records).step_by(series_per_page) {
+            scratch.clear();
+            for pos in page_first..(page_first + series_per_page).min(records) {
+                let ds = order.map_or(pos, |o| o[pos]);
+                fetch.get(ds, &mut series)?;
+                scratch.extend_from_slice(&series);
+            }
+            sink(&CodedPage::encode(&scratch, series_len, codec).to_disk_bytes())?;
         }
-        payload.extend_from_slice(&CodedPage::encode(&scratch, series_len, codec).to_disk_bytes());
-    }
+        Ok(())
+    };
+    // Pass 1: the header records the coded payload's fingerprint, and the
+    // header is written first — fingerprint now, encode again when writing.
+    let mut state = FNV_OFFSET_BASIS;
+    encode_pages(&mut |page| {
+        state = fnv1a64_continue(state, page);
+        Ok(())
+    })?;
     let header = CodedHeader {
         codec,
         series_len: series_len as u64,
         records: records as u64,
         series_per_page: series_per_page as u64,
         source_fingerprint,
-        payload_fingerprint: fnv1a64_continue(FNV_OFFSET_BASIS, &payload),
+        payload_fingerprint: state,
     }
     .encode();
 
@@ -463,7 +532,10 @@ pub fn ensure_coded_series(
         let file = std::fs::File::create(&tmp)?;
         let mut w = std::io::BufWriter::new(file);
         w.write_all(&header)?;
-        w.write_all(&payload)?;
+        encode_pages(&mut |page| {
+            w.write_all(page)?;
+            Ok(())
+        })?;
         w.flush()?;
     }
     std::fs::rename(&tmp, path)?;
@@ -650,6 +722,7 @@ mod tests {
             page_bytes: 32, // 2 series per page
             buffer_pool_pages: 2,
             codec: PageCodec::U8,
+            io: hydra_storage::FileIoMode::Pread,
         };
         let path = temp_path("coded.series.u8");
         std::fs::remove_file(&path).ok();

@@ -56,6 +56,7 @@ pub mod fingerprint;
 pub mod journal;
 pub mod registry;
 pub mod snapshot;
+pub mod stream;
 
 use std::path::Path;
 
@@ -72,6 +73,9 @@ pub use registry::{BoxedLoader, LoaderRegistry};
 pub use snapshot::{
     peek_fingerprint, peek_kind, Section, SectionReader, SnapshotReader, SnapshotWriter,
     FORMAT_VERSION, MAGIC,
+};
+pub use stream::{
+    open_dataset_streaming, DataSource, DatasetHandle, MaterializedDataset, STREAM_CHUNK_BYTES,
 };
 
 /// How a loaded index should re-attach its raw series — the out-of-core
@@ -172,5 +176,30 @@ pub trait PersistentIndex: Sized {
     ) -> Result<Self> {
         let _ = backing;
         Self::load(path, dataset, config)
+    }
+
+    /// [`PersistentIndex::load_backed`] from a [`DataSource`] — the lazy
+    /// boot entry point.
+    ///
+    /// The default implementation materializes the source (loading the
+    /// dataset snapshot into RAM if it was streamed) and delegates to
+    /// [`PersistentIndex::load_backed`] — always correct, never lazy.
+    /// Disk-capable indexes override it to take shape and fingerprint from
+    /// the source's header facts and re-attach series straight from the
+    /// validated snapshot file, so a whole serve boot touches O(pool)
+    /// memory instead of O(dataset). The loaded index must answer
+    /// byte-identically under every combination of source and backing.
+    ///
+    /// # Errors
+    /// Everything [`PersistentIndex::load_backed`] reports, plus I/O
+    /// failures while reading a streamed source.
+    fn load_from(
+        path: &Path,
+        source: DataSource<'_>,
+        config: &Self::Config,
+        backing: StoreBacking<'_>,
+    ) -> Result<Self> {
+        let dataset = source.materialized()?;
+        Self::load_backed(path, &dataset, config, backing)
     }
 }

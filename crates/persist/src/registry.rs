@@ -22,11 +22,17 @@ use hydra_core::{AnnIndex, Dataset};
 
 use crate::error::{PersistError, Result};
 use crate::snapshot::peek_kind;
+use crate::stream::DataSource;
 use crate::{PersistentIndex, StoreBacking};
 
-/// A type-erased snapshot loader: `(path, dataset, backing) -> boxed index`.
+/// A type-erased snapshot loader: `(path, source, backing) -> boxed index`.
+/// The [`DataSource`] keeps the dispatch lazy-capable — a loader whose
+/// index overrides [`PersistentIndex::load_from`] never materializes a
+/// streamed dataset.
 pub type BoxedLoader = Box<
-    dyn for<'a> Fn(&Path, &Dataset, StoreBacking<'a>) -> Result<Box<dyn AnnIndex>> + Send + Sync,
+    dyn for<'a> Fn(&Path, DataSource<'a>, StoreBacking<'a>) -> Result<Box<dyn AnnIndex>>
+        + Send
+        + Sync,
 >;
 
 /// Maps snapshot kind tags to loaders, so callers can restore a directory
@@ -64,9 +70,8 @@ impl LoaderRegistry {
     {
         self.loaders.insert(
             T::KIND.to_string(),
-            Box::new(move |path, dataset, backing| {
-                Ok(Box::new(T::load_backed(path, dataset, &config, backing)?)
-                    as Box<dyn AnnIndex>)
+            Box::new(move |path, source, backing| {
+                Ok(Box::new(T::load_from(path, source, &config, backing)?) as Box<dyn AnnIndex>)
             }),
         );
     }
@@ -110,12 +115,29 @@ impl LoaderRegistry {
         dataset: &Dataset,
         backing: StoreBacking<'_>,
     ) -> Result<Box<dyn AnnIndex>> {
+        self.load_any_from(path, DataSource::InMemory(dataset), backing)
+    }
+
+    /// [`LoaderRegistry::load_any_backed`] over a [`DataSource`] — the
+    /// lazy boot entry point. With a streamed source, a disk-capable index
+    /// boots without the dataset ever being materialized; memory-only
+    /// indexes load it through [`DataSource::materialized`].
+    ///
+    /// # Errors
+    /// Exactly [`LoaderRegistry::load_any_backed`]'s, plus I/O failures
+    /// reading a streamed source.
+    pub fn load_any_from(
+        &self,
+        path: &Path,
+        source: DataSource<'_>,
+        backing: StoreBacking<'_>,
+    ) -> Result<Box<dyn AnnIndex>> {
         let kind = peek_kind(path)?;
         let loader = self.loaders.get(&kind).ok_or_else(|| PersistError::UnknownKind {
             found: kind,
             registered: self.loaders.keys().cloned().collect(),
         })?;
-        loader(path, dataset, backing)
+        loader(path, source, backing)
     }
 
     /// [`LoaderRegistry::load_any_backed`], then replays the ingest
@@ -134,12 +156,26 @@ impl LoaderRegistry {
         dataset: &Dataset,
         backing: StoreBacking<'_>,
     ) -> Result<Box<dyn AnnIndex>> {
+        self.load_any_journaled_from(path, DataSource::InMemory(dataset), backing)
+    }
+
+    /// [`LoaderRegistry::load_any_journaled`] over a [`DataSource`].
+    ///
+    /// # Errors
+    /// Everything [`LoaderRegistry::load_any_from`] reports, plus the
+    /// journal's own typed errors (see [`crate::JournalReader`]).
+    pub fn load_any_journaled_from(
+        &self,
+        path: &Path,
+        source: DataSource<'_>,
+        backing: StoreBacking<'_>,
+    ) -> Result<Box<dyn AnnIndex>> {
         let journal = crate::journal_path(path);
         if !journal.exists() {
-            return self.load_any_backed(path, dataset, backing);
+            return self.load_any_from(path, source, backing);
         }
         let reader = crate::JournalReader::open(&journal)?;
-        let mut index = self.load_any_backed(path, dataset, backing)?;
+        let mut index = self.load_any_from(path, source, backing)?;
         reader.replay(index.as_mut(), crate::peek_fingerprint(path)?)?;
         Ok(index)
     }

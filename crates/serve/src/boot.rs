@@ -23,7 +23,10 @@
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
-use hydra::persist::{dataset::load_dataset, journal_path, LoaderRegistry, PersistError, StoreBacking};
+use hydra::persist::{
+    dataset::load_dataset, journal_path, open_dataset_streaming, DataSource, DatasetHandle,
+    LoaderRegistry, PersistError, StoreBacking,
+};
 use hydra::Dataset;
 
 use crate::server::ServedIndex;
@@ -173,13 +176,21 @@ pub fn boot_from_dir_with(
     files.sort();
 
     // Pass 1: datasets (keeping each snapshot's path: out-of-core boots
-    // hand it to the loaders as the backing file).
-    let mut datasets: Vec<(String, Dataset, PathBuf)> = Vec::new();
+    // hand it to the loaders as the backing file). Out-of-core, the
+    // snapshot is *streamed* — fully validated in bounded chunks, but
+    // never materialized — so boot-time peak memory stays O(pool) no
+    // matter how large the collection is.
+    let mut datasets: Vec<(String, BootData, PathBuf)> = Vec::new();
     for file in &files {
         let Some(name) = file_name_str(file).and_then(|n| n.strip_suffix(DATASET_SUFFIX)) else {
             continue;
         };
-        let data = load_dataset(file).map_err(|source| BootError::Snapshot {
+        let data = if options.file_backed {
+            open_dataset_streaming(file).map(BootData::Streamed)
+        } else {
+            load_dataset(file).map(BootData::Mem)
+        }
+        .map_err(|source| BootError::Snapshot {
             file: file.clone(),
             source,
         })?;
@@ -234,7 +245,7 @@ pub fn boot_from_dir_with(
         let journaled = journal_path(file).exists();
         let t0 = std::time::Instant::now();
         let index = registry
-            .load_any_journaled(file, data, backing)
+            .load_any_journaled_from(file, data.source(), backing)
             .map_err(|source| BootError::Snapshot {
                 file: file.clone(),
                 source,
@@ -272,6 +283,39 @@ pub fn boot_from_dir_with(
 
 fn file_name_str(path: &Path) -> Option<&str> {
     path.file_name().and_then(|n| n.to_str())
+}
+
+/// A dataset as pass 1 of the boot scan holds it: materialized for a
+/// resident boot, a validated header-facts handle for an out-of-core one
+/// — which is the whole point of the lazy boot path: with `--out-of-core`
+/// nothing dataset-sized is ever allocated between here and serving.
+#[derive(Debug)]
+enum BootData {
+    Mem(Dataset),
+    Streamed(DatasetHandle),
+}
+
+impl BootData {
+    fn len(&self) -> usize {
+        match self {
+            BootData::Mem(d) => d.len(),
+            BootData::Streamed(h) => h.len(),
+        }
+    }
+
+    fn series_len(&self) -> usize {
+        match self {
+            BootData::Mem(d) => d.series_len(),
+            BootData::Streamed(h) => h.series_len(),
+        }
+    }
+
+    fn source(&self) -> DataSource<'_> {
+        match self {
+            BootData::Mem(d) => DataSource::InMemory(d),
+            BootData::Streamed(h) => DataSource::Streamed(h),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -68,6 +68,15 @@ struct Slot {
 }
 
 /// LRU set of pages with a fixed capacity, optionally caching page bytes.
+///
+/// Pages can additionally be **pinned** ([`BufferPool::pin`]): a batch that
+/// knows its working set up front pins those pages so that its own
+/// scattered accesses cannot evict them mid-batch. Pinning never changes
+/// the hit/miss accounting of an access — it only constrains the *victim
+/// choice*: eviction takes the least recently used unpinned page, and if
+/// every resident page is pinned the pool degrades to read-through (the
+/// new page is served but not cached). Pins are reference-counted so
+/// concurrent batches compose.
 #[derive(Debug)]
 pub struct BufferPool {
     capacity: usize,
@@ -75,6 +84,8 @@ pub struct BufferPool {
     pages: HashMap<u64, Slot>,
     /// last-use timestamp -> page (for O(log n) eviction)
     lru: BTreeMap<u64, u64>,
+    /// page -> pin count (pages a running batch declared as working set)
+    pins: HashMap<u64, u32>,
     clock: u64,
     evictions: u64,
     /// Total `f32` values held by cached frames (0 in id-only mode).
@@ -89,6 +100,7 @@ impl BufferPool {
             capacity,
             pages: HashMap::new(),
             lru: BTreeMap::new(),
+            pins: HashMap::new(),
             clock: 0,
             evictions: 0,
             resident_values: 0,
@@ -135,19 +147,30 @@ impl BufferPool {
         }
     }
 
-    /// Evicts the least recently used page if the pool is full.
-    fn make_room(&mut self) {
-        if self.pages.len() >= self.capacity {
-            if let Some((&oldest_ts, &victim)) = self.lru.iter().next() {
-                self.lru.remove(&oldest_ts);
-                if let Some(slot) = self.pages.remove(&victim) {
-                    if let Some(frame) = slot.frame {
-                        self.resident_values -= frame.values();
-                    }
-                }
-                self.evictions += 1;
+    /// Makes a slot available, evicting the least recently used *unpinned*
+    /// page if the pool is full. Returns `false` when no slot could be
+    /// freed because every resident page is pinned — the caller then skips
+    /// caching (read-through).
+    fn make_room(&mut self) -> bool {
+        if self.pages.len() < self.capacity {
+            return true;
+        }
+        let victim = self
+            .lru
+            .iter()
+            .find(|(_, page)| !self.pins.contains_key(page))
+            .map(|(&ts, &page)| (ts, page));
+        let Some((oldest_ts, victim)) = victim else {
+            return false;
+        };
+        self.lru.remove(&oldest_ts);
+        if let Some(slot) = self.pages.remove(&victim) {
+            if let Some(frame) = slot.frame {
+                self.resident_values -= frame.values();
             }
         }
+        self.evictions += 1;
+        true
     }
 
     fn insert_slot(&mut self, page: u64, frame: Option<Frame>) {
@@ -158,7 +181,9 @@ impl BufferPool {
         // paired with a fetch, so it must never reuse the clock value of an
         // earlier touch (two LRU entries would collide).
         self.clock += 1;
-        self.make_room();
+        if !self.make_room() {
+            return;
+        }
         if let Some(frame) = &frame {
             self.resident_values += frame.values();
         }
@@ -211,6 +236,37 @@ impl BufferPool {
         self.pages.contains_key(&page)
     }
 
+    /// Pins `page`: while pinned it is never chosen as an eviction victim.
+    /// Pinning is reference-counted ([`BufferPool::unpin`] releases one
+    /// count) and independent of residency — pinning a non-resident page
+    /// protects it from the moment it is cached. Pins never change
+    /// hit/miss accounting, only victim choice.
+    pub fn pin(&mut self, page: u64) {
+        *self.pins.entry(page).or_insert(0) += 1;
+    }
+
+    /// Releases one pin count of `page`; at zero the page rejoins the
+    /// plain LRU victim order at its current recency. Unpinning a page
+    /// that was never pinned is a no-op.
+    pub fn unpin(&mut self, page: u64) {
+        if let Some(count) = self.pins.get_mut(&page) {
+            *count -= 1;
+            if *count == 0 {
+                self.pins.remove(&page);
+            }
+        }
+    }
+
+    /// Whether `page` currently holds at least one pin.
+    pub fn is_pinned(&self, page: u64) -> bool {
+        self.pins.contains_key(&page)
+    }
+
+    /// Number of distinct currently pinned pages.
+    pub fn pinned_pages(&self) -> usize {
+        self.pins.len()
+    }
+
     /// Drops `page` from the pool if resident, without counting an
     /// eviction — this is an *invalidation* (the cached frame no longer
     /// reflects the store, e.g. because an append extended the page), not a
@@ -226,7 +282,8 @@ impl BufferPool {
 
     /// Drops every resident page and zeroes the eviction counter (the paper
     /// clears OS caches between the index-building and query-answering
-    /// steps).
+    /// steps). Pins are left in place: they belong to an in-flight batch,
+    /// not to the cache contents.
     pub fn clear(&mut self) {
         self.pages.clear();
         self.lru.clear();
@@ -390,6 +447,223 @@ mod tests {
             .collect();
         assert_eq!(id_hits, frame_hits);
         assert_eq!(id_only.evictions(), framed.evictions());
+    }
+
+    #[test]
+    fn pinned_pages_are_never_evicted() {
+        let mut p = BufferPool::new(2);
+        p.pin(0);
+        p.access(0);
+        for page in 1..20u64 {
+            p.access(page);
+        }
+        assert!(p.contains(0), "pinned page survived the sweep");
+        assert!(p.is_pinned(0));
+        assert_eq!(p.len(), 2);
+        p.unpin(0);
+        // Unpinned, it is the LRU victim again.
+        p.access(100);
+        assert!(!p.contains(0), "after release the plain LRU order applies");
+    }
+
+    #[test]
+    fn fully_pinned_pool_degrades_to_read_through() {
+        let mut p = BufferPool::new(1);
+        p.pin(0);
+        assert!(!p.access(0));
+        let evictions_before = p.evictions();
+        // The only slot is pinned: new pages are served but not cached,
+        // and nothing is evicted.
+        assert!(!p.access(1));
+        assert!(!p.access(1), "read-through pages keep missing");
+        assert!(p.access(0), "the pinned page is still resident");
+        assert_eq!(p.evictions(), evictions_before);
+        assert_eq!(p.len(), 1);
+        p.unpin(0);
+        assert!(!p.access(2));
+        assert!(!p.contains(0), "release re-enables eviction");
+    }
+
+    #[test]
+    fn pins_are_reference_counted() {
+        let mut p = BufferPool::new(1);
+        p.pin(3);
+        p.pin(3);
+        p.access(3);
+        p.unpin(3);
+        assert!(p.is_pinned(3), "one of two pins released");
+        p.access(4);
+        assert!(p.contains(3));
+        p.unpin(3);
+        assert!(!p.is_pinned(3));
+        assert_eq!(p.pinned_pages(), 0);
+        // Unpinning a never-pinned page is a no-op.
+        p.unpin(77);
+        p.access(5);
+        assert!(!p.contains(3));
+    }
+
+    #[test]
+    fn pinning_never_changes_hit_or_miss_accounting() {
+        // The same access pattern with and without pins yields the same
+        // hit/miss sequence whenever the pinned pages are the ones LRU
+        // would have kept anyway.
+        let pattern = [0u64, 1, 0, 1, 0, 1];
+        let mut plain = BufferPool::new(2);
+        let plain_hits: Vec<bool> = pattern.iter().map(|&pg| plain.access(pg)).collect();
+        let mut pinned = BufferPool::new(2);
+        pinned.pin(0);
+        pinned.pin(1);
+        let pinned_hits: Vec<bool> = pattern.iter().map(|&pg| pinned.access(pg)).collect();
+        assert_eq!(plain_hits, pinned_hits);
+        assert_eq!(plain.evictions(), pinned.evictions());
+    }
+
+    /// Reference LRU-with-pins model, mirroring the documented pool
+    /// semantics move for move. The proptests below replay random op
+    /// sequences against both and require identical observable state.
+    struct ModelPool {
+        capacity: usize,
+        /// Resident pages, least recently used first.
+        recency: Vec<u64>,
+        pins: Vec<u64>,
+        evictions: u64,
+    }
+
+    impl ModelPool {
+        fn new(capacity: usize) -> Self {
+            Self {
+                capacity,
+                recency: Vec::new(),
+                pins: Vec::new(),
+                evictions: 0,
+            }
+        }
+
+        fn access(&mut self, page: u64) -> bool {
+            if let Some(pos) = self.recency.iter().position(|&p| p == page) {
+                self.recency.remove(pos);
+                self.recency.push(page);
+                return true;
+            }
+            if self.capacity == 0 {
+                return false;
+            }
+            if self.recency.len() >= self.capacity {
+                let victim = self
+                    .recency
+                    .iter()
+                    .position(|p| !self.pins.contains(p));
+                match victim {
+                    Some(pos) => {
+                        self.recency.remove(pos);
+                        self.evictions += 1;
+                    }
+                    None => return false, // read-through: not cached
+                }
+            }
+            self.recency.push(page);
+            false
+        }
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Random op sequences (accesses, pins, unpins, invalidations) keep
+        /// the pool in lock-step with the reference model: same residency,
+        /// same eviction count, pinned pages never evicted, and the
+        /// counting invariants `hits + misses == reads` and
+        /// `evictions <= misses` hold throughout.
+        #[test]
+        fn random_ops_match_the_lru_pin_model(
+            ops in collection::vec(0usize..96, 1..256),
+            cap in 0usize..5,
+        ) {
+            let mut pool = BufferPool::new(cap);
+            let mut model = ModelPool::new(cap);
+            let (mut reads, mut hits, mut misses) = (0u64, 0u64, 0u64);
+            for op in ops {
+                let page = (op % 8) as u64;
+                match op / 8 {
+                    0..=7 => {
+                        reads += 1;
+                        let hit = pool.access(page);
+                        prop_assert_eq!(hit, model.access(page));
+                        if hit { hits += 1 } else { misses += 1 }
+                    }
+                    8 | 9 => {
+                        pool.pin(page);
+                        model.pins.push(page);
+                    }
+                    10 => {
+                        if model.pins.contains(&page) {
+                            pool.unpin(page);
+                            let pos = model.pins.iter().position(|&p| p == page).unwrap();
+                            model.pins.swap_remove(pos);
+                        }
+                    }
+                    _ => {
+                        pool.remove(page);
+                        model.recency.retain(|&p| p != page);
+                    }
+                }
+                // Residency and eviction totals agree with the model after
+                // every single op — this subsumes "a pinned page is never
+                // evicted" and "release restores plain LRU order".
+                for probe in 0..8u64 {
+                    prop_assert_eq!(
+                        pool.contains(probe),
+                        model.recency.contains(&probe),
+                        "page {} residency drifted from the model", probe
+                    );
+                }
+                prop_assert_eq!(pool.evictions(), model.evictions);
+                prop_assert!(pool.len() <= cap);
+            }
+            prop_assert_eq!(hits + misses, reads);
+            prop_assert!(pool.evictions() <= misses, "an eviction implies an earlier miss");
+        }
+
+        /// The id-only and frame entry points agree on hits, misses and
+        /// evictions under pins too — the property that keeps resident and
+        /// file-backed stores' I/O accounting identical during pinned
+        /// batches.
+        #[test]
+        fn id_only_and_frame_modes_agree_under_pins(
+            ops in collection::vec(0usize..48, 1..128),
+            cap in 0usize..4,
+        ) {
+            let mut id_only = BufferPool::new(cap);
+            let mut framed = BufferPool::new(cap);
+            for op in ops {
+                let page = (op % 8) as u64;
+                match op / 8 {
+                    0..=3 => {
+                        let id_hit = id_only.access(page);
+                        let frame_hit = if framed.fetch(page).is_some() {
+                            true
+                        } else {
+                            framed.install(page, frame(&[page as f32]));
+                            false
+                        };
+                        prop_assert_eq!(id_hit, frame_hit);
+                    }
+                    4 => {
+                        id_only.pin(page);
+                        framed.pin(page);
+                    }
+                    _ => {
+                        id_only.unpin(page);
+                        framed.unpin(page);
+                    }
+                }
+                prop_assert_eq!(id_only.evictions(), framed.evictions());
+                prop_assert_eq!(id_only.len(), framed.len());
+            }
+        }
     }
 
     #[test]

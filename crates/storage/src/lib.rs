@@ -39,4 +39,4 @@ pub mod store;
 
 pub use buffer::BufferPool;
 pub use coded::{CodedHeader, CodedPage, PageCodec, CODED_HEADER_BYTES};
-pub use store::{FileSpan, IoSnapshot, SeriesRead, SeriesStore, StorageConfig};
+pub use store::{FileIoMode, FileSpan, IoSnapshot, SeriesRead, SeriesStore, StorageConfig};

@@ -12,6 +12,46 @@ use crate::coded::{
     PageCodec, PageCodes, CODED_HEADER_BYTES,
 };
 
+/// How a file-backed store moves page bytes off disk. Like the pool
+/// capacity and the page codec, the I/O mode shapes only how transfers
+/// happen, never answers — both modes feed the identical frame bytes
+/// through the identical pool/accounting path, so hit/miss/eviction
+/// sequences and every [`QueryStats`] field are the same under either.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum FileIoMode {
+    /// Positional reads ([`std::os::unix::fs::FileExt::read_exact_at`]) —
+    /// one syscall per pool miss.
+    #[default]
+    Pread,
+    /// The backing span is mapped read-only once ([`mmap(2)`]); a pool miss
+    /// copies the frame out of the mapping instead of issuing a syscall.
+    /// Frames are still *copied* (the payload offset is not f32-aligned,
+    /// and the pool must own its bytes for eviction to mean anything), so
+    /// accounting stays a measurement of the same transfers.
+    ///
+    /// [`mmap(2)`]: https://man7.org/linux/man-pages/man2/mmap.2.html
+    Mmap,
+}
+
+impl FileIoMode {
+    /// The mode's CLI name (`--backing pread|mmap`).
+    pub fn name(self) -> &'static str {
+        match self {
+            FileIoMode::Pread => "pread",
+            FileIoMode::Mmap => "mmap",
+        }
+    }
+
+    /// Parses a CLI name; `None` for anything but `pread`/`mmap`.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "pread" => Some(FileIoMode::Pread),
+            "mmap" => Some(FileIoMode::Mmap),
+            _ => None,
+        }
+    }
+}
+
 /// Configuration of the storage layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StorageConfig {
@@ -25,6 +65,9 @@ pub struct StorageConfig {
     /// (the refinement contract recomputes every returned distance from
     /// exact f32 values), so it is a pure serving knob.
     pub codec: PageCodec,
+    /// How a file-backed store transfers page bytes (`pread` or `mmap`).
+    /// Ignored by resident stores; a pure serving knob like the others.
+    pub io: FileIoMode,
 }
 
 impl StorageConfig {
@@ -35,6 +78,7 @@ impl StorageConfig {
             page_bytes: 64 * 1024,
             buffer_pool_pages: 128,
             codec: PageCodec::F32,
+            io: FileIoMode::Pread,
         }
     }
 
@@ -45,6 +89,7 @@ impl StorageConfig {
             page_bytes: 64 * 1024,
             buffer_pool_pages: usize::MAX / 2,
             codec: PageCodec::F32,
+            io: FileIoMode::Pread,
         }
     }
 
@@ -66,6 +111,13 @@ impl StorageConfig {
     /// contract.
     pub fn with_page_codec(self, codec: PageCodec) -> Self {
         Self { codec, ..self }
+    }
+
+    /// This configuration with the file I/O mode replaced — the
+    /// `--backing pread|mmap` serving knob. Answers and accounting are
+    /// identical under either mode (see [`FileIoMode`]).
+    pub fn with_io_mode(self, io: FileIoMode) -> Self {
+        Self { io, ..self }
     }
 }
 
@@ -146,16 +198,131 @@ pub struct FileSpan {
     pub records: usize,
 }
 
+/// A read-only `mmap(2)` of the head of a backing file, torn down on drop.
+///
+/// Only bytes `0..len` are ever dereferenced, and `len` is validated
+/// against the file's length *before* mapping — so the mapping can never
+/// fault (SIGBUS) on a short file; a file that is short fails the attach
+/// with a typed error instead. The payload offset inside the mapping is
+/// byte-granular (snapshot payloads are not f32-aligned), which is why
+/// frames are memcpy'd out of the mapping rather than reinterpreted in
+/// place.
+struct MmapRegion {
+    ptr: std::ptr::NonNull<u8>,
+    len: usize,
+}
+
+// The mapping is immutable for its whole lifetime (PROT_READ over a
+// read-only file), so shared references from any thread are sound.
+unsafe impl Send for MmapRegion {}
+unsafe impl Sync for MmapRegion {}
+
+impl std::fmt::Debug for MmapRegion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MmapRegion").field("len", &self.len).finish()
+    }
+}
+
+// The platform mmap entry points. The workspace vendors no libc crate, but
+// every std binary on a unix target already links these symbols; the repo
+// is unix-only throughout (`std::os::unix::fs::FileExt` on every pread).
+extern "C" {
+    fn mmap(
+        addr: *mut std::ffi::c_void,
+        len: usize,
+        prot: i32,
+        flags: i32,
+        fd: i32,
+        offset: i64,
+    ) -> *mut std::ffi::c_void;
+    fn munmap(addr: *mut std::ffi::c_void, len: usize) -> i32;
+}
+
+const PROT_READ: i32 = 1;
+const MAP_SHARED: i32 = 1;
+
+impl MmapRegion {
+    /// Maps the first `len` bytes of `file` read-only. The caller must
+    /// have verified the file is at least `len` bytes long.
+    fn map(file: &std::fs::File, len: usize, path: &Path) -> Result<Self> {
+        use std::os::unix::io::AsRawFd;
+        debug_assert!(len > 0, "mapping an empty span is a caller bug");
+        let ptr = unsafe {
+            mmap(
+                std::ptr::null_mut(),
+                len,
+                PROT_READ,
+                MAP_SHARED,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as isize == -1 {
+            return Err(Error::Storage(format!(
+                "cannot mmap {} ({len} bytes): {}",
+                path.display(),
+                std::io::Error::last_os_error()
+            )));
+        }
+        Ok(Self {
+            ptr: std::ptr::NonNull::new(ptr.cast::<u8>())
+                .ok_or_else(|| Error::Storage(format!("mmap of {} returned null", path.display())))?,
+            len,
+        })
+    }
+
+    /// The mapped bytes.
+    fn bytes(&self) -> &[u8] {
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+}
+
+impl Drop for MmapRegion {
+    fn drop(&mut self) {
+        unsafe {
+            munmap(self.ptr.as_ptr().cast(), self.len);
+        }
+    }
+}
+
 #[derive(Debug)]
 struct FileBacked {
     file: std::fs::File,
     path: PathBuf,
     span: FileSpan,
+    /// Under [`FileIoMode::Mmap`], the validated head of the file
+    /// (`0..span.offset + payload`) mapped read-only; misses copy frames
+    /// from here instead of issuing a `pread`. `None` under
+    /// [`FileIoMode::Pread`] or for an empty span.
+    map: Option<MmapRegion>,
     /// Series appended *after* the store was attached (streaming ingest).
     /// The backing file stays immutable; the tail is the resident overflow
     /// holding records `span.records..`, flat in append order. Page frames
     /// that straddle the file/tail boundary are assembled from both.
     tail: Vec<f32>,
+}
+
+impl FileBacked {
+    /// Copies the `len` payload bytes at file offset `offset` into `buf` —
+    /// through the mapping when one exists, via `pread` otherwise. The one
+    /// place the two I/O modes differ.
+    fn read_payload(&self, buf: &mut [u8], offset: u64, context: &dyn std::fmt::Display) {
+        match &self.map {
+            Some(map) => {
+                let lo = offset as usize;
+                buf.copy_from_slice(&map.bytes()[lo..lo + buf.len()]);
+            }
+            None => {
+                use std::os::unix::fs::FileExt;
+                self.file.read_exact_at(buf, offset).unwrap_or_else(|e| {
+                    panic!(
+                        "file-backed series store: reading {context} of {} failed: {e}",
+                        self.path.display()
+                    )
+                });
+            }
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -327,13 +494,14 @@ impl SeriesStore {
     ) -> Result<Self> {
         let file = std::fs::File::open(path)
             .map_err(|e| Error::Storage(format!("cannot open {}: {e}", path.display())))?;
-        let store = Self::validated(
+        let mut store = Self::validated(
             series_len,
             config,
             Backing::File(FileBacked {
                 file,
                 path: path.to_path_buf(),
                 span,
+                map: None,
                 tail: Vec::new(),
             }),
         )?;
@@ -354,6 +522,15 @@ impl SeriesStore {
                 "{} holds {actual} bytes but the span needs {needed}",
                 path.display()
             )));
+        }
+        // Only after the span has been validated against the real file
+        // length is the mapping created — a short file fails above with a
+        // typed error, so dereferencing `0..needed` can never SIGBUS.
+        if config.io == FileIoMode::Mmap && needed > 0 {
+            match &mut store.backing {
+                Backing::File(fb) => fb.map = Some(MmapRegion::map(&fb.file, needed as usize, path)?),
+                Backing::Resident(_) => unreachable!(),
+            }
         }
         Ok(store)
     }
@@ -467,7 +644,6 @@ impl SeriesStore {
     /// attached, so a failure here is a genuine I/O fault (or the file was
     /// mutated behind the store's back), not a recoverable query error.
     fn load_frame(&self, fb: &FileBacked, page: u64) -> Arc<[f32]> {
-        use std::os::unix::fs::FileExt;
         let spp = self.series_per_page();
         let first = page * spp;
         let total = (fb.span.records + fb.tail.len() / self.series_len) as u64;
@@ -477,14 +653,11 @@ impl SeriesStore {
         if from_file > 0 {
             let bytes = from_file * self.series_bytes() as usize;
             let mut buf = vec![0u8; bytes];
-            fb.file
-                .read_exact_at(&mut buf, fb.span.offset + first * self.series_bytes())
-                .unwrap_or_else(|e| {
-                    panic!(
-                        "file-backed series store: reading page {page} of {} failed: {e}",
-                        fb.path.display()
-                    )
-                });
+            fb.read_payload(
+                &mut buf,
+                fb.span.offset + first * self.series_bytes(),
+                &format_args!("page {page}"),
+            );
             values.extend(
                 buf.chunks_exact(4)
                     .map(|c| f32::from_bits(u32::from_le_bytes(c.try_into().unwrap()))),
@@ -613,16 +786,12 @@ impl SeriesStore {
             }
             Backing::File(fb) => {
                 if record < fb.span.records {
-                    use std::os::unix::fs::FileExt;
                     let mut buf = vec![0u8; self.series_bytes() as usize];
-                    fb.file
-                        .read_exact_at(&mut buf, fb.span.offset + record as u64 * self.series_bytes())
-                        .unwrap_or_else(|e| {
-                            panic!(
-                                "file-backed series store: reading record {record} of {} failed: {e}",
-                                fb.path.display()
-                            )
-                        });
+                    fb.read_payload(
+                        &mut buf,
+                        fb.span.offset + record as u64 * self.series_bytes(),
+                        &format_args!("record {record}"),
+                    );
                     out.extend(
                         buf.chunks_exact(4)
                             .map(|c| f32::from_bits(u32::from_le_bytes(c.try_into().unwrap()))),
@@ -1030,6 +1199,102 @@ impl SeriesStore {
         state.last_page = None;
         state.totals = IoSnapshot::default();
     }
+
+    // ------------------------------------------------------------------
+    // Batch-aware pinning and prefetch
+    // ------------------------------------------------------------------
+
+    /// Declares the page working set of an in-flight batch: the pages
+    /// covering each `(start, count)` record range are pinned in the
+    /// buffer pool (never chosen as eviction victims) and, when `prefetch`
+    /// is set, faulted in ascending page order so the misses are charged
+    /// as one sequential sweep instead of the batch's own access pattern.
+    ///
+    /// Returns the pages actually pinned — hand them back to
+    /// [`SeriesStore::release_working_set`] when the batch completes.
+    ///
+    /// Semantics that keep the existing equivalence tests honest:
+    /// - Pinning never changes *what* a read returns or how a per-query
+    ///   [`QueryStats`] charges logical bytes; it only changes which pages
+    ///   the pool keeps resident, i.e. the store-wide hit/miss economics.
+    /// - The set is clipped to one page short of the pool capacity, so
+    ///   demand paging always keeps at least one evictable slot; ranges
+    ///   whose union exceeds the budget are truncated (those pages fall
+    ///   back to plain LRU) rather than pinned into a read-through pool.
+    /// - Prefetch charges land on the store totals through the same
+    ///   `AccessState::charge` path as any other access; the per-page
+    ///   scratch stats are discarded because prefetch belongs to the
+    ///   batch, not to any one query.
+    pub fn pin_working_set(&self, ranges: &[(usize, usize)], prefetch: bool) -> Vec<u64> {
+        let len = self.len();
+        let budget = self.config.buffer_pool_pages.saturating_sub(1);
+        if len == 0 || budget == 0 {
+            return Vec::new();
+        }
+        let mut pages: Vec<u64> = Vec::new();
+        for &(start, count) in ranges {
+            if count == 0 || start >= len {
+                continue;
+            }
+            let end = start.saturating_add(count).min(len);
+            pages.extend(self.page_of(start)..=self.page_of(end - 1));
+        }
+        pages.sort_unstable();
+        pages.dedup();
+        pages.truncate(budget);
+        {
+            let mut state = self.state.lock();
+            for &page in &pages {
+                state.pool.pin(page);
+            }
+        }
+        if prefetch {
+            // Ascending order makes the fault-in sweep sequential after the
+            // first positioning. Only the pinned pages are prefetched:
+            // faulting in pages the pool cannot protect would evict other
+            // useful frames and then miss again on demand.
+            let mut scratch = QueryStats::new();
+            for &page in &pages {
+                self.prefetch_page(page, &mut scratch);
+            }
+        }
+        pages
+    }
+
+    /// Unpins pages previously returned by
+    /// [`SeriesStore::pin_working_set`], restoring plain LRU eviction.
+    pub fn release_working_set(&self, pages: &[u64]) {
+        let mut state = self.state.lock();
+        for &page in pages {
+            state.pool.unpin(page);
+        }
+    }
+
+    /// Faults one page into the pool through whichever representation the
+    /// store would serve it from: the coded tier for sealed records, the
+    /// raw frame path for a file backing, a plain id-access for a resident
+    /// one. Must not be called with the state lock held —
+    /// [`SeriesStore::fetch_coded_page`] locks internally.
+    fn prefetch_page(&self, page: u64, stats: &mut QueryStats) {
+        let first = (page * self.series_per_page()) as usize;
+        if first >= self.len() {
+            return;
+        }
+        if first < self.coded.sealed() {
+            let _ = self.fetch_coded_page(page, stats);
+            return;
+        }
+        match &self.backing {
+            Backing::Resident(_) => {
+                let mut state = self.state.lock();
+                let hit = state.pool.access(page);
+                state.charge(page, hit, self.config.page_bytes as u64, stats);
+            }
+            Backing::File(fb) => {
+                let _ = self.fetch_frame(fb, page, stats);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1082,7 +1347,8 @@ mod tests {
             StorageConfig {
                 page_bytes: 1,
                 buffer_pool_pages: 1,
-                codec: PageCodec::F32
+                codec: PageCodec::F32,
+                io: FileIoMode::Pread,
             }
         )
         .is_err());
@@ -1113,6 +1379,7 @@ mod tests {
             page_bytes: 256,
             buffer_pool_pages: 0,
             codec: PageCodec::F32,
+            io: FileIoMode::Pread,
         };
         let store = small_store(64, 4, config);
         let mut stats = QueryStats::new();
@@ -1129,6 +1396,7 @@ mod tests {
             page_bytes: 256, // 16 series/page
             buffer_pool_pages: 0,
             codec: PageCodec::F32,
+            io: FileIoMode::Pread,
         };
         let store = small_store(256, 4, config);
         let mut stats = QueryStats::new();
@@ -1146,6 +1414,7 @@ mod tests {
             page_bytes: 256,
             buffer_pool_pages: 1024,
             codec: PageCodec::F32,
+            io: FileIoMode::Pread,
         };
         let store = small_store(64, 4, config);
         let mut stats = QueryStats::new();
@@ -1198,6 +1467,7 @@ mod tests {
             page_bytes: 64, // 4 series of length 4 per page
             buffer_pool_pages: 2,
             codec: PageCodec::F32,
+            io: FileIoMode::Pread,
         };
         let resident = small_store(21, 4, config);
         let (file, path) = file_store(21, 4, config, "equiv");
@@ -1231,6 +1501,7 @@ mod tests {
             page_bytes: 64, // 4 series/page
             buffer_pool_pages: 8,
             codec: PageCodec::F32,
+            io: FileIoMode::Pread,
         };
         let (store, path) = file_store(21, 4, config, "straddle");
         let mut stats = QueryStats::new();
@@ -1256,6 +1527,7 @@ mod tests {
             page_bytes: 64, // 4 series/page -> frame = 64 bytes, tail = 1 series = 16 bytes
             buffer_pool_pages: 0,
             codec: PageCodec::F32,
+            io: FileIoMode::Pread,
         };
         let (store, path) = file_store(9, 4, config, "bytes");
         let mut stats = QueryStats::new();
@@ -1277,6 +1549,7 @@ mod tests {
             page_bytes: 32, // 2 series of length 4 per page
             buffer_pool_pages: 1,
             codec: PageCodec::F32,
+            io: FileIoMode::Pread,
         };
         let (store, path) = file_store(10, 4, config, "cap1");
         let mut stats = QueryStats::new();
@@ -1295,6 +1568,151 @@ mod tests {
             sum += s.iter().map(|&v| v as f64).sum::<f64>()
         });
         assert_eq!(sum, (0..40).sum::<i32>() as f64);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mmap_reads_are_bit_identical_to_pread_with_identical_counters() {
+        let config = StorageConfig {
+            page_bytes: 64, // 4 series of length 4 per page
+            buffer_pool_pages: 2,
+            codec: PageCodec::F32,
+            io: FileIoMode::Pread,
+        };
+        let (pread, path_a) = file_store(21, 4, config, "iopread");
+        let (mut mapped, path_b) =
+            file_store(21, 4, config.with_io_mode(FileIoMode::Mmap), "iommap");
+        let pattern = [0usize, 1, 5, 0, 20, 7, 20, 3, 19];
+        let mut ps = QueryStats::new();
+        let mut ms = QueryStats::new();
+        for &r in &pattern {
+            let a = pread.read(r, &mut ps);
+            let b = mapped.read(r, &mut ms);
+            assert_eq!(
+                a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                b.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "record {r} drifted between I/O modes"
+            );
+        }
+        assert_eq!(ps, ms, "per-query stats must be identical across I/O modes");
+        assert_eq!(
+            pread.io_snapshot(),
+            mapped.io_snapshot(),
+            "store totals (incl. real transfer bytes) must be identical"
+        );
+
+        // The uncharged maintenance hatch reads through the mapping too.
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        pread.read_uncharged(2, &mut a);
+        mapped.read_uncharged(2, &mut b);
+        assert_eq!(a, b);
+
+        // Growth after attach: the frame of the last page is assembled from
+        // mapped file bytes plus the resident tail.
+        mapped.append(&[90.0, 91.0, 92.0, 93.0]).unwrap();
+        let mut stats = QueryStats::new();
+        let mut seen = Vec::new();
+        mapped.read_range(20, 2, &mut stats, &mut |id, s| seen.push((id, s[0])));
+        assert_eq!(seen, vec![(20, 80.0), (21, 90.0)]);
+        std::fs::remove_file(&path_a).ok();
+        std::fs::remove_file(&path_b).ok();
+    }
+
+    #[test]
+    fn mmap_attach_validates_the_span_before_mapping() {
+        // A file shorter than the span promises must fail the attach with a
+        // typed error under either I/O mode — never produce a mapping whose
+        // tail could fault.
+        let path = std::env::temp_dir().join(format!(
+            "hydra-storage-short-mmap-{}.flat",
+            std::process::id()
+        ));
+        std::fs::write(&path, vec![0u8; 40]).unwrap();
+        let span = FileSpan { offset: 32, records: 2 };
+        for io in [FileIoMode::Pread, FileIoMode::Mmap] {
+            let got = SeriesStore::file_backed(
+                &path,
+                span,
+                4,
+                StorageConfig::on_disk().with_io_mode(io),
+            );
+            assert!(
+                matches!(got, Err(Error::Storage(_))),
+                "{}: short file must be rejected before any page is served",
+                io.name()
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn pinned_working_set_survives_a_thrashing_scan() {
+        let config = StorageConfig {
+            page_bytes: 32, // 2 series of length 4 per page
+            buffer_pool_pages: 4,
+            codec: PageCodec::F32,
+            io: FileIoMode::Pread,
+        };
+        let (store, path) = file_store(16, 4, config, "pin"); // 8 pages
+        let mut stats = QueryStats::new();
+
+        // Records 0..6 cover pages 0..=2; the budget (capacity - 1) admits
+        // exactly those three.
+        let pinned = store.pin_working_set(&[(0, 6)], true);
+        assert_eq!(pinned, vec![0, 1, 2]);
+        let warm = store.io_snapshot();
+        assert_eq!(warm.pool_misses, 3, "prefetch faulted the set in");
+        assert_eq!(warm.random_ios, 1, "one positioning...");
+        assert_eq!(warm.sequential_ios, 2, "...then a sequential sweep");
+
+        // A full scan: the pinned pages hit; pages 3..=7 fight over the one
+        // unpinned slot and never touch the working set.
+        store.read_range(0, 16, &mut stats, &mut |_, _| {});
+        let snap = store.io_snapshot();
+        assert_eq!(snap.pool_hits, 3);
+        assert_eq!(snap.pool_misses, 3 + 5);
+        let _ = store.read(0, &mut stats);
+        let _ = store.read(5, &mut stats);
+        assert_eq!(
+            store.io_snapshot().pool_hits,
+            5,
+            "the working set is still resident after the scan"
+        );
+
+        // Release restores plain LRU: a thrashing sweep now evicts the
+        // previously pinned pages like any others.
+        store.release_working_set(&pinned);
+        for r in (6..16).chain(6..16) {
+            let _ = store.read(r, &mut stats);
+        }
+        let hits_before = store.io_snapshot().pool_hits;
+        let _ = store.read(0, &mut stats);
+        assert_eq!(
+            store.io_snapshot().pool_hits,
+            hits_before,
+            "page 0 must have been evicted once unpinned"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn pin_working_set_clips_to_the_pool_budget() {
+        let config = StorageConfig {
+            page_bytes: 32,
+            buffer_pool_pages: 2,
+            codec: PageCodec::F32,
+            io: FileIoMode::Pread,
+        };
+        let (store, path) = file_store(16, 4, config, "pinclip");
+        // Asking for everything pins only capacity - 1 pages; ranges beyond
+        // the store length are clipped, empty ones skipped.
+        let pinned = store.pin_working_set(&[(0, usize::MAX), (3, 0), (100, 4)], false);
+        assert_eq!(pinned, vec![0]);
+        store.release_working_set(&pinned);
+
+        // A degenerate pool (capacity <= 1) pins nothing at all.
+        let tiny = SeriesStore::from_dataset(&dataset(8, 4), config.with_pool_pages(1)).unwrap();
+        assert!(tiny.pin_working_set(&[(0, 8)], true).is_empty());
         std::fs::remove_file(&path).ok();
     }
 
@@ -1322,6 +1740,7 @@ mod tests {
             page_bytes: 32,
             buffer_pool_pages: 8,
             codec: PageCodec::F32,
+            io: FileIoMode::Pread,
         };
         let (mut store, path) = file_store(3, 4, config, "grow");
         let mut stats = QueryStats::new();
@@ -1363,6 +1782,7 @@ mod tests {
             page_bytes: 32, // 2 series of length 4 per page
             buffer_pool_pages: 2,
             codec: PageCodec::F32,
+            io: FileIoMode::Pread,
         };
         let mut resident = small_store(7, 4, config);
         let (mut file, path) = file_store(7, 4, config, "uncharged");
@@ -1431,6 +1851,7 @@ mod tests {
             page_bytes: 64,
             buffer_pool_pages: 1, // maximum thrash
             codec: PageCodec::F32,
+            io: FileIoMode::Pread,
         };
         let (store, path) = file_store(64, 4, config, "threads");
         std::thread::scope(|scope| {
@@ -1482,6 +1903,7 @@ mod tests {
             page_bytes: 256, // 4 series of length 16 per page
             buffer_pool_pages: 4,
             codec,
+            io: FileIoMode::Pread,
         }
     }
 
@@ -1670,6 +2092,7 @@ mod tests {
                 page_bytes: 128,
                 buffer_pool_pages: 4,
                 codec: PageCodec::U8,
+                io: FileIoMode::Pread,
             },
         )
         .unwrap();
@@ -1706,6 +2129,7 @@ mod tests {
             page_bytes: 128,
             buffer_pool_pages: 4,
             codec: PageCodec::U8,
+            io: FileIoMode::Pread,
         };
         let dir = std::env::temp_dir();
         let flat = dir.join(format!("hydra-storage-badcoded-{}.flat", std::process::id()));

@@ -7,7 +7,7 @@ use hydra_core::{
     Representation, Result, SearchMode, SearchParams, SearchResult, TopK,
 };
 use hydra_persist::{
-    codec, fingerprint_dataset, Fingerprint, PersistError, PersistentIndex, Section,
+    codec, fingerprint_dataset, DataSource, Fingerprint, PersistError, PersistentIndex, Section,
     SeriesFingerprinter, SnapshotReader, SnapshotWriter, StoreBacking,
 };
 use hydra_storage::{SeriesStore, StorageConfig};
@@ -262,6 +262,29 @@ impl VaPlusFile {
         stats.leaves_visited = refined as u64;
         SearchResult::new(top.into_sorted(), stats)
     }
+
+    /// The first `prefix` records phase 2 would refine for `query`: the
+    /// smallest phase-1 lower bounds, computed uncharged (no stats, no
+    /// store reads) so the batch scheduler can declare a working set before
+    /// any query runs. Appends one single-record range per candidate (the
+    /// store is dataset-ordered, so the id is the record).
+    fn predicted_candidates(&self, query: &[f32], prefix: usize, out: &mut Vec<(usize, usize)>) {
+        let query_summary = self.dft.transform(query);
+        let mut lbs: Vec<(f32, usize)> = self
+            .approximations
+            .iter()
+            .enumerate()
+            .map(|(id, code)| (self.quantizer.lower_bound(&query_summary, code), id))
+            .collect();
+        let cut = prefix.min(lbs.len());
+        if cut == 0 {
+            return;
+        }
+        if cut < lbs.len() {
+            lbs.select_nth_unstable_by(cut - 1, |a, b| a.0.total_cmp(&b.0));
+        }
+        out.extend(lbs[..cut].iter().map(|&(_, id)| (id, 1)));
+    }
 }
 
 /// Everything that shapes a VA+file build, hashed together with the dataset
@@ -333,7 +356,19 @@ impl PersistentIndex for VaPlusFile {
         config: &VaPlusFileConfig,
         backing: StoreBacking<'_>,
     ) -> hydra_persist::Result<Self> {
-        let data_fingerprint = fingerprint_dataset(dataset);
+        Self::load_from(path, DataSource::InMemory(dataset), config, backing)
+    }
+
+    /// Loads without ever materializing a streamed dataset: shape and
+    /// fingerprint come from the source's header facts, and the raw series
+    /// re-attach straight from the validated snapshot file.
+    fn load_from(
+        path: &Path,
+        source: DataSource<'_>,
+        config: &VaPlusFileConfig,
+        backing: StoreBacking<'_>,
+    ) -> hydra_persist::Result<Self> {
+        let data_fingerprint = source.fingerprint();
         let mut r = SnapshotReader::open(path)?;
         r.expect_kind(Self::KIND)?;
         r.expect_fingerprint(snapshot_fingerprint(config, data_fingerprint))?;
@@ -341,7 +376,7 @@ impl PersistentIndex for VaPlusFile {
         let mut meta = r.next_section()?;
         let series_len = meta.get_usize()?;
         let num_series = meta.get_usize()?;
-        if series_len != dataset.series_len() || num_series != dataset.len() {
+        if series_len != source.series_len() || num_series != source.len() {
             return Err(PersistError::Corrupt(
                 "snapshot metadata disagrees with the dataset".into(),
             ));
@@ -374,8 +409,12 @@ impl PersistentIndex for VaPlusFile {
                 "DFT summary length disagrees with the stored quantizer".into(),
             ));
         }
-        let store =
-            hydra_persist::backing::attach_dataset_order_store(path, dataset, config.storage, backing)?;
+        let store = hydra_persist::backing::attach_dataset_order_store_from(
+            path,
+            source,
+            config.storage,
+            backing,
+        )?;
 
         Ok(Self {
             config: *config,
@@ -472,19 +511,44 @@ impl AnnIndex for VaPlusFile {
     /// (`random_ios`/`sequential_ios`) can differ — a pool hit charges no
     /// operation at all, and hits depend on how the shared, order-sensitive
     /// buffer pool was warmed, exactly as between two sequential runs.
+    ///
+    /// On a file-backed store the batch also declares its working set: each
+    /// query's most promising phase-2 candidates — the smallest phase-1
+    /// lower bounds, which refinement reads first — are pinned in the
+    /// buffer pool for the duration of the batch, so candidates shared
+    /// across queries stay resident instead of being evicted between
+    /// queries. No prefetch: the candidates are scattered single records,
+    /// and the closing bound may prune them before they are ever read.
     fn search_batch(
         &self,
         queries: &[&[f32]],
         params: &SearchParams,
     ) -> Vec<Result<SearchResult>> {
+        let pinned = if self.store.is_file_backed() && queries.len() > 1 {
+            let prefix = match params.mode {
+                SearchMode::Ng { nprobe } => nprobe.max(1),
+                _ => 4 * params.k.max(1),
+            };
+            let mut ranges = Vec::new();
+            for query in queries {
+                if query.len() == self.series_len {
+                    self.predicted_candidates(query, prefix, &mut ranges);
+                }
+            }
+            self.store.pin_working_set(&ranges, false)
+        } else {
+            Vec::new()
+        };
         let mut candidates = Vec::with_capacity(self.num_series);
-        queries
+        let results = queries
             .iter()
             .map(|query| {
                 self.validate(query)?;
                 Ok(self.skip_sequential(query, params, &mut candidates))
             })
-            .collect()
+            .collect();
+        self.store.release_working_set(&pinned);
+        results
     }
 }
 

@@ -93,6 +93,7 @@ fn file_backed_eviction_traffic_is_real_and_pinned() {
             page_bytes: 128,
             buffer_pool_pages: 4,
             codec: hydra::PageCodec::F32,
+            io: hydra::FileIoMode::Pread,
         },
         seed: 7,
         ..SrsConfig::default()
@@ -342,6 +343,225 @@ fn page_codec_matrix_answers_bit_identically_and_cuts_read_traffic() {
     assert_eq!(raw.compressed_bytes_read, 0);
     assert!(u8s.compressed_bytes_read > 0);
     assert!(u8s.compressed_bytes_read <= u8s.bytes_read);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn backing_matrix_is_bit_identical_to_resident_across_pools_and_threads() {
+    let dir = common::temp_dir("ooc-backing-matrix");
+    let (data, data_snapshot) = ooc_scenario(&dir);
+    let seed = 5;
+    let build = hydra::standard_configs(false, seed);
+    let dstree_snap = dir.join("walk-dstree.snap");
+    DsTree::build(&data, build.dstree).unwrap().save(&dstree_snap).unwrap();
+    let isax_snap = dir.join("walk-isax2.snap");
+    Isax2Plus::build(&data, build.isax).unwrap().save(&isax_snap).unwrap();
+    let vafile_snap = dir.join("walk-vafile.snap");
+    VaPlusFile::build(&data, build.vafile).unwrap().save(&vafile_snap).unwrap();
+    let srs_snap = dir.join("walk-srs.snap");
+    Srs::build(&data, build.srs).unwrap().save(&srs_snap).unwrap();
+
+    let workload = hydra::data::noisy_queries(&data, 8, &[0.0, 0.2], 21);
+    let truth = hydra::data::ground_truth(&data, &workload, 10);
+
+    // One loader per disk method, generic over the serving knobs (pool,
+    // backing transfer mode) that must never leak into answers.
+    type Loader<'a> =
+        Box<dyn Fn(&hydra::StandardConfigs, StoreBacking<'_>) -> Box<dyn hydra::AnnIndex> + 'a>;
+    let loaders: Vec<(&str, Loader<'_>)> = vec![
+        (
+            "dstree",
+            Box::new(|c, b| {
+                Box::new(DsTree::load_backed(&dstree_snap, &data, &c.dstree, b).unwrap())
+            }),
+        ),
+        (
+            "isax2",
+            Box::new(|c, b| {
+                Box::new(Isax2Plus::load_backed(&isax_snap, &data, &c.isax, b).unwrap())
+            }),
+        ),
+        (
+            "vafile",
+            Box::new(|c, b| {
+                Box::new(VaPlusFile::load_backed(&vafile_snap, &data, &c.vafile, b).unwrap())
+            }),
+        ),
+        (
+            "srs",
+            Box::new(|c, b| Box::new(Srs::load_backed(&srs_snap, &data, &c.srs, b).unwrap())),
+        ),
+    ];
+
+    // Pool axis: a thrashing single page, half the dataset's pages, and a
+    // pool the dataset fits in entirely.
+    let page_bytes = StorageConfig::on_disk().page_bytes;
+    let total_pages = (data.len() * data.series_len() * 4).div_ceil(page_bytes);
+    let pools = [1usize, (total_pages / 2).max(1), total_pages * 4];
+
+    for (name, load) in &loaders {
+        let resident = load(&hydra::standard_configs(false, seed), StoreBacking::Resident);
+        let caps = resident.capabilities();
+        let mut settings = vec![SearchParams::ng(10, 8)];
+        if caps.exact {
+            settings.push(SearchParams::exact(10));
+        }
+        // The resident twin is the oracle: neighbors, distance bits and the
+        // logical bytes_read of every query, plus the workload-level
+        // accuracy/CPU report.
+        let oracle: Vec<Vec<(Vec<(usize, u32)>, u64)>> = settings
+            .iter()
+            .map(|params| {
+                workload
+                    .iter()
+                    .map(|q| {
+                        let r = resident.search(q, params).unwrap();
+                        (
+                            r.neighbors.iter().map(|n| (n.index, n.distance.to_bits())).collect(),
+                            r.stats.bytes_read,
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        let oracle_reports: Vec<_> = settings
+            .iter()
+            .map(|params| hydra::eval::run_workload(resident.as_ref(), &workload, &truth, params))
+            .collect();
+
+        for io in [hydra::FileIoMode::Pread, hydra::FileIoMode::Mmap] {
+            for &pool in &pools {
+                let cell = format!("{name} ({} backing, pool {pool})", io.name());
+                let configs = hydra::standard_configs_io(
+                    false,
+                    seed,
+                    Some(pool),
+                    hydra::PageCodec::F32,
+                    io,
+                );
+                let filed = load(
+                    &configs,
+                    StoreBacking::FileBacked {
+                        dataset_snapshot: Some(&data_snapshot),
+                    },
+                );
+                for (s, params) in settings.iter().enumerate() {
+                    for (qi, q) in workload.iter().enumerate() {
+                        let r = filed.search(q, params).unwrap();
+                        let got: Vec<(usize, u32)> =
+                            r.neighbors.iter().map(|n| (n.index, n.distance.to_bits())).collect();
+                        assert_eq!(
+                            got, oracle[s][qi].0,
+                            "{cell} {params:?} query {qi}: neighbors/distances drifted"
+                        );
+                        assert_eq!(
+                            r.stats.bytes_read, oracle[s][qi].1,
+                            "{cell} {params:?} query {qi}: logical bytes_read drifted"
+                        );
+                    }
+                    for threads in [1usize, 4] {
+                        let par = hydra::eval::run_workload_parallel(
+                            filed.as_ref(),
+                            &workload,
+                            &truth,
+                            params,
+                            threads,
+                        );
+                        assert_eq!(
+                            par.accuracy, oracle_reports[s].accuracy,
+                            "{cell} {params:?}: accuracy drifted at {threads} threads"
+                        );
+                        assert_eq!(
+                            par.stats.distance_computations,
+                            oracle_reports[s].stats.distance_computations,
+                            "{cell} {params:?}: CPU work drifted at {threads} threads"
+                        );
+                        assert_eq!(
+                            par.stats.bytes_read, oracle_reports[s].stats.bytes_read,
+                            "{cell} {params:?}: bytes_read drifted at {threads} threads"
+                        );
+                    }
+                }
+            }
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn batch_search_pins_its_working_set_and_cuts_pool_misses() {
+    let dir = common::temp_dir("ooc-batch-pinning");
+    let (data, data_snapshot) = ooc_scenario(&dir);
+    // A 2-page pool against ~5 pages of raw series: per-query exact search
+    // sweeps more pages than the pool holds, so a plain query loop is a
+    // cyclic LRU worst case (zero hits), while the batch path's pinned
+    // working set survives from query to query.
+    let config = DsTreeConfig {
+        storage: StorageConfig::on_disk().with_pool_pages(2),
+        histogram_samples: 2_000,
+        seed: 3,
+        ..DsTreeConfig::default()
+    };
+    let snapshot = dir.join("walk-dstree.snap");
+    DsTree::build(&data, config).unwrap().save(&snapshot).unwrap();
+    let filed = DsTree::load_backed(
+        &snapshot,
+        &data,
+        &config,
+        StoreBacking::FileBacked {
+            dataset_snapshot: Some(&data_snapshot),
+        },
+    )
+    .unwrap();
+    assert!(filed.store().is_file_backed());
+
+    // A far-away query defeats pruning (every leaf looks equally
+    // promising), so each search genuinely sweeps the collection.
+    let query = vec![100.0f32; data.series_len()];
+    let queries: Vec<&[f32]> = (0..8).map(|_| query.as_slice()).collect();
+    let params = SearchParams::exact(10);
+
+    filed.store().reset_io();
+    let individual: Vec<_> =
+        queries.iter().map(|q| filed.search(q, &params).unwrap()).collect();
+    let loop_io = filed.store().io_snapshot();
+
+    filed.store().reset_io();
+    let batched = filed.search_batch(&queries, &params);
+    let batch_io = filed.store().io_snapshot();
+
+    // The batch contract first: answers and logical charges bit-identical.
+    for (a, b) in individual.iter().zip(batched.iter()) {
+        let b = b.as_ref().unwrap();
+        assert_eq!(a.neighbors.len(), b.neighbors.len());
+        for (x, y) in a.neighbors.iter().zip(b.neighbors.iter()) {
+            assert_eq!(x.index, y.index, "batching changed a neighbor");
+            assert_eq!(
+                x.distance.to_bits(),
+                y.distance.to_bits(),
+                "batching changed a distance"
+            );
+        }
+        assert_eq!(
+            a.stats.bytes_read, b.stats.bytes_read,
+            "logical bytes are batch-invariant"
+        );
+    }
+    // The economics second: the pinned working set turns repeat visits
+    // into pool hits, so the batch faults strictly fewer pages than the
+    // loop (even counting its own prefetch sweep).
+    assert!(
+        batch_io.pool_misses < loop_io.pool_misses,
+        "batch-aware pinning did not cut pool misses: batch {} vs loop {}",
+        batch_io.pool_misses,
+        loop_io.pool_misses
+    );
+    assert!(
+        batch_io.pool_hits > loop_io.pool_hits,
+        "pinned pages should be re-read as hits: batch {} vs loop {}",
+        batch_io.pool_hits,
+        loop_io.pool_hits
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 

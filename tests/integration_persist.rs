@@ -246,6 +246,7 @@ fn disk_capable_zoo_loads_file_backed_identically_at_every_pool_size() {
         page_bytes,
         buffer_pool_pages: 1,
         codec: hydra::PageCodec::F32,
+        io: hydra::FileIoMode::Pread,
     };
     let dstree_cfg = DsTreeConfig {
         leaf_capacity: 32,
@@ -295,6 +296,7 @@ fn disk_capable_zoo_loads_file_backed_identically_at_every_pool_size() {
             page_bytes,
             buffer_pool_pages: pool,
             codec: hydra::PageCodec::F32,
+            io: hydra::FileIoMode::Pread,
         };
         assert_file_backed_load_identical::<DsTree>(
             &dir.join("walk-dstree.snap"),
@@ -330,6 +332,7 @@ fn disk_capable_zoo_loads_file_backed_identically_at_every_pool_size() {
             page_bytes,
             buffer_pool_pages: 1,
             codec: hydra::PageCodec::F32,
+            io: hydra::FileIoMode::Pread,
         },
         ..dstree_cfg
     });

@@ -1,0 +1,83 @@
+//! Boot-memory regression: a file-backed (`--out-of-core`) boot must
+//! never materialize the dataset. The snapshot fingerprint is validated
+//! by streaming bounded chunks and the indexes re-attach their stores
+//! straight from the validated file, so the boot's peak heap stays
+//! O(pool + index structure) — a small fraction of the raw payload.
+//!
+//! The proof is a real meter, not a code review: this binary installs
+//! [`hydra_obs::TrackingAllocator`] as its global allocator (exactly as
+//! `hydra-serve` does) and pins the high-water mark of both boot paths.
+//! A resident boot must allocate at least the payload (the meter works);
+//! a streamed boot must stay under half of it (no Dataset-sized
+//! allocation anywhere in the chain). One test only — the allocator's
+//! counters are process-global, and a sibling test's allocations would
+//! pollute the peak.
+
+mod common;
+
+use hydra::prelude::*;
+use hydra_serve::{boot_from_dir, boot_from_dir_with, BootOptions};
+
+#[global_allocator]
+static ALLOC: hydra_obs::TrackingAllocator = hydra_obs::TrackingAllocator;
+
+#[test]
+fn streamed_boot_peak_heap_stays_below_the_dataset_payload() {
+    let dir = common::temp_dir("lazy-boot");
+    let seed = 5;
+    // 2000 × 512 f32 = 4 MiB of raw payload. Long series, few of them, on
+    // purpose: every O(collection) structure a boot legitimately holds —
+    // VA approximations, store mappings, tree nodes, their snapshot
+    // sections — scales with the series *count*, while the raw payload
+    // scales with count × length. Growing the length is what makes the
+    // payload/2 bar discriminate "materialized the dataset" from
+    // "loaded a Θ(n) index".
+    let data = hydra::data::random_walk(2_000, 512, 777);
+    let payload = data.len() * data.series_len() * 4;
+    hydra::persist::dataset::save_dataset(&data, &dir.join("walk.data.snap")).unwrap();
+    let configs = hydra::standard_configs(false, seed);
+    DsTree::build(&data, configs.dstree)
+        .unwrap()
+        .save(&dir.join("walk-dstree.snap"))
+        .unwrap();
+    VaPlusFile::build(&data, configs.vafile)
+        .unwrap()
+        .save(&dir.join("walk-vafile.snap"))
+        .unwrap();
+    drop(data);
+    let registry = hydra::standard_registry_pooled(false, seed, Some(1));
+
+    // Warm-up boot: the first file-backed boot of a directory materializes
+    // the flat-series sidecars. Sidecar writing is O(page) too, but it is
+    // a once-per-directory cost, not a boot cost — measure steady state.
+    boot_from_dir_with(&dir, &registry, BootOptions { file_backed: true }).unwrap();
+
+    // The meter works: a resident boot materializes the Dataset, so its
+    // peak must clear the payload.
+    hydra_obs::reset_heap_peak();
+    let live = hydra_obs::heap_live_bytes();
+    let resident = boot_from_dir(&dir, &registry).unwrap();
+    let resident_delta = hydra_obs::heap_peak_bytes() - live;
+    assert_eq!(resident.indexes.len(), 2);
+    assert!(
+        resident_delta >= payload,
+        "a resident boot must allocate at least the {payload}-byte payload, saw {resident_delta}"
+    );
+    drop(resident);
+
+    // The promise holds: the streamed boot never allocates anything
+    // dataset-sized.
+    hydra_obs::reset_heap_peak();
+    let live = hydra_obs::heap_live_bytes();
+    let streamed =
+        boot_from_dir_with(&dir, &registry, BootOptions { file_backed: true }).unwrap();
+    let streamed_delta = hydra_obs::heap_peak_bytes() - live;
+    assert_eq!(streamed.indexes.len(), 2);
+    eprintln!("boot peaks: resident {resident_delta} bytes, streamed {streamed_delta} bytes");
+    assert!(
+        streamed_delta < payload / 2,
+        "streamed boot peaked at {streamed_delta} heap bytes — a Dataset-sized allocation \
+         ({payload} bytes of payload) crept back into the out-of-core boot path"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
